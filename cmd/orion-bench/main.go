@@ -1,0 +1,70 @@
+// Command orion-bench regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	orion-bench -exp fig7          # one experiment
+//	orion-bench -exp all           # everything, paper order
+//	orion-bench -list              # show experiment ids
+//	orion-bench -exp fig6 -quick   # reduced sweep for a fast look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"orion/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
+	quick := flag.Bool("quick", false, "reduced sweeps and horizons")
+	seed := flag.Int64("seed", 42, "arrival-process seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.FullRegistry() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := harness.Options{Quick: *quick, Seed: *seed}
+	run := func(e harness.Experiment) error {
+		start := time.Now()
+		r, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("=== %s: %s (%.1fs)\n", e.ID, e.Title, time.Since(start).Seconds())
+		fmt.Println(r.Render())
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range harness.Registry() {
+			// extensions run via their own ids; "all" covers the paper set
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, err := harness.ByIDExperiment(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+// Command orion-profile runs the offline profiling phase for a workload
+// (§5.2): it characterizes every kernel (duration, compute/memory
+// intensity, SM requirement, roofline class) and measures dedicated-GPU
+// request latency, writing the profile as JSON.
+//
+// Usage:
+//
+//	orion-profile -workload resnet50-inf -o resnet50-inf.json
+//	orion-profile -workload bert-train -device a100
+//	orion-profile -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orion/internal/gpu"
+	"orion/internal/profiler"
+	"orion/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "workload id, e.g. resnet50-inf")
+	device := flag.String("device", "v100", "device: v100 or a100")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list workload ids and exit")
+	exportWL := flag.Bool("export-workload", false, "write the workload's kernel trace as JSON instead of profiling it")
+	flag.Parse()
+
+	if *list {
+		for _, m := range workload.Catalog() {
+			fmt.Printf("%-20s %4d kernels, %7.2f ms/request, %5.1f GB resident\n",
+				m.ID(), m.KernelCount(), m.TargetDuration.Millis(),
+				float64(m.WeightsBytes)/(1<<30))
+		}
+		return
+	}
+	if *wl == "" {
+		fmt.Fprintln(os.Stderr, "need -workload (see -list)")
+		os.Exit(2)
+	}
+	m, err := workload.ByID(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *exportWL {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := m.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var spec gpu.Spec
+	switch *device {
+	case "v100":
+		spec = gpu.V100()
+	case "a100":
+		spec = gpu.A100()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q (v100 or a100)\n", *device)
+		os.Exit(2)
+	}
+
+	p, err := profiler.Collect(m, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := p.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "profiled %s on %s: %d ops, request latency %.3f ms -> %s\n",
+			p.Workload, p.Device, len(p.Kernels), p.RequestLatency.Millis(), *out)
+	}
+}

@@ -1,0 +1,132 @@
+// Command orion-sim runs one GPU-sharing scenario: a high-priority job
+// collocated with best-effort jobs under a chosen scheme, printing each
+// job's latency percentiles and throughput plus device utilization.
+//
+// Usage:
+//
+//	orion-sim -scheme orion -hp resnet50-inf -hp-arrival poisson -hp-rps 15 -be resnet50-train
+//	orion-sim -scheme reef -hp resnet101-inf -be mobilenetv2-train,bert-train
+//	orion-sim -scheme ideal -hp resnet50-train
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"orion/internal/gpu"
+	"orion/internal/harness"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+func main() {
+	scheme := flag.String("scheme", "orion", "ideal|temporal|streams|mps|reef|ticktock|orion")
+	hp := flag.String("hp", "", "high-priority workload id")
+	hpFile := flag.String("hp-file", "", "load the high-priority workload from a JSON trace instead")
+	hpArr := flag.String("hp-arrival", "closed", "closed|poisson|uniform|apollo")
+	hpRPS := flag.Float64("hp-rps", 0, "high-priority request rate (open-loop arrivals)")
+	be := flag.String("be", "", "comma-separated best-effort workload ids (closed loop)")
+	device := flag.String("device", "v100", "v100 or a100")
+	horizon := flag.Float64("horizon", 10, "simulated seconds")
+	warmup := flag.Float64("warmup", 2, "warmup seconds excluded from stats")
+	seed := flag.Int64("seed", 42, "arrival seed")
+	flag.Parse()
+
+	if *hp == "" && *hpFile == "" {
+		fmt.Fprintln(os.Stderr, "need -hp workload id or -hp-file trace (try: orion-profile -list)")
+		os.Exit(2)
+	}
+	spec := gpu.V100()
+	if *device == "a100" {
+		spec = gpu.A100()
+	}
+
+	var hpModel *workload.Model
+	var err error
+	if *hpFile != "" {
+		f, ferr := os.Open(*hpFile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(2)
+		}
+		hpModel, err = workload.ReadJSON(f)
+		f.Close()
+	} else {
+		hpModel, err = workload.ByID(*hp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var arrival harness.ArrivalKind
+	switch *hpArr {
+	case "closed":
+		arrival = harness.Closed
+	case "poisson":
+		arrival = harness.Poisson
+	case "uniform":
+		arrival = harness.Uniform
+	case "apollo":
+		arrival = harness.Apollo
+	default:
+		fmt.Fprintf(os.Stderr, "unknown arrival %q\n", *hpArr)
+		os.Exit(2)
+	}
+	if arrival != harness.Closed && *hpRPS <= 0 {
+		fmt.Fprintln(os.Stderr, "open-loop arrivals need -hp-rps")
+		os.Exit(2)
+	}
+
+	jobs := []harness.JobSpec{{
+		Model: hpModel, Priority: sched.HighPriority, Arrival: arrival, RPS: *hpRPS,
+	}}
+	if *be != "" {
+		for _, id := range strings.Split(*be, ",") {
+			m, err := workload.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			jobs = append(jobs, harness.JobSpec{
+				Model: m, Priority: sched.BestEffort, Arrival: harness.Closed,
+			})
+		}
+	}
+
+	res, err := harness.Run(harness.RunConfig{
+		Scheme: harness.Scheme(*scheme), Device: spec, Jobs: jobs,
+		Horizon: sim.Seconds(*horizon), Warmup: sim.Seconds(*warmup), Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scheme=%s device=%s horizon=%.1fs warmup=%.1fs\n\n", *scheme, spec.Name, *horizon, *warmup)
+	for _, j := range res.Jobs {
+		fmt.Printf("%-22s [%s]\n", j.Name, j.Priority)
+		fmt.Printf("  requests   %d (%.2f/s)\n", j.Stats.Completed, j.Stats.Throughput())
+		fmt.Printf("  latency    p50 %.2fms  p95 %.2fms  p99 %.2fms  (dedicated %.2fms)\n",
+			j.Stats.Latency.P50().Millis(), j.Stats.Latency.P95().Millis(),
+			j.Stats.Latency.P99().Millis(), j.DedicatedLatency.Millis())
+	}
+	u := res.Utilization
+	fmt.Printf("\ndevice utilization: SM busy %.0f%%  compute %.0f%%  membw %.0f%%  memcap %.0f%%\n",
+		u.SMBusy*100, u.Compute*100, u.MemBW*100, u.MemCapacity*100)
+
+	if len(res.Verdicts) > 0 {
+		fmt.Println("\nscheduler decisions:")
+		keys := make([]string, 0, len(res.Verdicts))
+		for k := range res.Verdicts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-28s %d\n", k, res.Verdicts[k])
+		}
+	}
+}

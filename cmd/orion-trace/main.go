@@ -1,0 +1,76 @@
+// Command orion-trace dumps a device-utilization time series as CSV — the
+// data behind Figures 1, 8 and 9.
+//
+// Usage:
+//
+//	orion-trace -workload mobilenetv2-train -seconds 2 -bucket-ms 2 > fig1.csv
+//	orion-trace -workload resnet50-inf -rps 100 -collocate resnet50-train > fig8.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orion/internal/gpu"
+	"orion/internal/harness"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "mobilenetv2-train", "workload id")
+	rps := flag.Float64("rps", 0, "uniform request rate (0 = closed loop)")
+	collocate := flag.String("collocate", "", "best-effort workload to collocate under Orion")
+	seconds := flag.Float64("seconds", 2, "traced window after warmup, seconds")
+	bucketMS := flag.Float64("bucket-ms", 2, "resampling bucket, milliseconds")
+	seed := flag.Int64("seed", 42, "arrival seed")
+	flag.Parse()
+
+	m, err := workload.ByID(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	hp := harness.JobSpec{Model: m, Priority: sched.HighPriority, Arrival: harness.Closed}
+	if *rps > 0 {
+		hp.Arrival = harness.Uniform
+		hp.RPS = *rps
+	}
+	jobs := []harness.JobSpec{hp}
+	scheme := harness.Ideal
+	if *collocate != "" {
+		bm, err := workload.ByID(*collocate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		jobs = append(jobs, harness.JobSpec{Model: bm, Priority: sched.BestEffort, Arrival: harness.Closed})
+		scheme = harness.Orion
+	}
+
+	warmup := sim.Seconds(1)
+	res, err := harness.Run(harness.RunConfig{
+		Scheme: scheme, Jobs: jobs,
+		Horizon: warmup + sim.Seconds(*seconds), Warmup: warmup,
+		Seed: *seed, Tracing: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	bucket := sim.Millis(*bucketMS)
+	from := sim.Time(warmup)
+	to := from.Add(sim.Seconds(*seconds))
+	samples := gpu.ResampleTrace(res.Trace, from, to, bucket)
+	fmt.Println("t_ms,compute_util,membw_util,sm_busy,mem_capacity")
+	for _, s := range samples {
+		fmt.Printf("%.3f,%.4f,%.4f,%.4f,%.4f\n",
+			float64(s.Start)/1e6, s.Compute, s.MemBW, s.SMBusy, s.MemCapacity)
+	}
+	u := res.Utilization
+	fmt.Fprintf(os.Stderr, "averages: compute %.1f%% membw %.1f%% smbusy %.1f%%\n",
+		u.Compute*100, u.MemBW*100, u.SMBusy*100)
+}

@@ -1,0 +1,74 @@
+// Inference serving: a latency-critical object-detection model receives
+// bursty Apollo-like traffic while a best-effort offline inference job
+// harvests the gaps. The example compares sharing techniques on tail
+// latency and aggregate request throughput — the paper's inf-inf use case
+// (Figures 11-12), where Orion raises per-GPU throughput up to 7.3x while
+// holding the high-priority p99 near dedicated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orion/internal/harness"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/trace"
+	"orion/internal/workload"
+)
+
+func main() {
+	hpModel := workload.ResNet50Inference()
+	beModel := workload.BERTInference() // offline batch scoring, closed loop
+
+	hpRPS, err := trace.RPS(hpModel.Name, trace.InfInfPoisson)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jobs := []harness.JobSpec{
+		{Model: hpModel, Priority: sched.HighPriority, Arrival: harness.Apollo, RPS: hpRPS},
+		// Offline scoring issues one request after another: it will soak
+		// up every idle microsecond the scheduler lets it have.
+		{Model: beModel, Priority: sched.BestEffort, Arrival: harness.Closed},
+	}
+
+	const sloMS = 6.0 // p99 service-level objective for the detector
+
+	fmt.Printf("high-priority: %s, Apollo-like bursty arrivals, mean %.0f rps (SLO: p99 < %.0f ms)\n",
+		hpModel.ID(), hpRPS, sloMS)
+	fmt.Printf("best-effort:   %s, offline batch scoring (closed loop)\n\n", beModel.ID())
+	fmt.Printf("%-10s %-10s %-10s %-10s %-12s %-10s\n",
+		"scheme", "hp p50", "hp p99", "SLO", "aggregate", "gpus")
+
+	for _, scheme := range []harness.Scheme{
+		harness.Ideal, harness.Temporal, harness.Streams,
+		harness.MPSScheme, harness.Reef, harness.Orion,
+	} {
+		res, err := harness.Run(harness.RunConfig{
+			Scheme: scheme, Jobs: jobs,
+			Horizon: sim.Seconds(12), Warmup: sim.Seconds(3), Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hp := res.HP()
+		p99 := hp.Stats.Latency.P99().Millis()
+		slo := "PASS"
+		if p99 > sloMS {
+			slo = "MISS"
+		}
+		gpus := 1
+		if scheme == harness.Ideal {
+			gpus = len(jobs)
+		}
+		fmt.Printf("%-10s %-10.2f %-10.2f %-10s %-12.1f %-10d\n",
+			scheme, hp.Stats.Latency.P50().Millis(), p99, slo,
+			res.AggregateThroughput(), gpus)
+	}
+
+	fmt.Println("\nIdeal uses one dedicated GPU per job; every other scheme packs both")
+	fmt.Println("jobs on a single GPU. Temporal sharing and the interference-oblivious")
+	fmt.Println("spatial schemes blow the SLO; Orion holds the tail closest to the")
+	fmt.Println("dedicated GPU while the offline scorer soaks up the leftover capacity.")
+}

@@ -1,0 +1,122 @@
+// Quickstart: share one simulated V100 between a latency-critical
+// inference job and a best-effort training job under the Orion scheduler,
+// using the library's layers directly (engine -> device -> cudart ->
+// profiler -> Orion -> drivers).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orion/internal/core"
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/profiler"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/trace"
+	"orion/internal/workload"
+)
+
+func main() {
+	// 1. Pick workloads: ResNet50 inference (high-priority) collocated
+	//    with ResNet50 training (best-effort).
+	hpModel := workload.ResNet50Inference()
+	beModel := workload.ResNet50Training()
+
+	// 2. Offline profiling phase (§5.2): characterize each kernel and
+	//    measure dedicated request latency. Orion requires this.
+	spec := gpu.V100()
+	hpProf, err := profiler.Collect(hpModel, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	beProf, err := profiler.Collect(beModel, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s: %d ops, dedicated latency %.2f ms\n",
+		hpModel.ID(), len(hpProf.Kernels), hpProf.RequestLatency.Millis())
+	fmt.Printf("profiled %s: %d ops, dedicated iteration %.2f ms\n\n",
+		beModel.ID(), len(beProf.Kernels), beProf.RequestLatency.Millis())
+
+	// 3. Build the simulated GPU and the Orion scheduler on top of it.
+	eng := sim.NewEngine()
+	dev, err := gpu.NewDevice(eng, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := cudart.NewContext(dev)
+	orion, err := core.New(eng, ctx, core.Config{
+		Profiles: map[string]*profiler.Profile{
+			hpModel.ID(): hpProf,
+			beModel.ID(): beProf,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Register clients: one high-priority, one best-effort.
+	hpClient, err := orion.Register(sched.ClientConfig{
+		Name: "inference", Priority: sched.HighPriority, Model: hpModel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	beClient, err := orion.Register(sched.ClientConfig{
+		Name: "training", Priority: sched.BestEffort, Model: beModel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	orion.Start()
+
+	// 5. Drive the jobs: Poisson inference arrivals at the paper's
+	//    Table 3 rate; training in a closed loop.
+	horizon := sim.Time(sim.Seconds(10))
+	warmup := sim.Seconds(2)
+	arrivals, err := trace.NewPoisson(15, sim.NewRand(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hpDriver, err := sched.NewDriver(sched.DriverConfig{
+		Engine: eng, Client: hpClient, Model: hpModel,
+		Arrivals: arrivals, Horizon: horizon, Warmup: warmup,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	beDriver, err := sched.NewDriver(sched.DriverConfig{
+		Engine: eng, Client: beClient, Model: beModel,
+		Horizon: horizon, Warmup: warmup,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hpDriver.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if err := beDriver.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Run the simulation and report.
+	eng.RunUntil(horizon)
+
+	hp := hpDriver.Stats()
+	be := beDriver.Stats()
+	fmt.Printf("high-priority inference: %.1f req/s, p50 %.2f ms, p99 %.2f ms (dedicated %.2f ms)\n",
+		hp.Throughput(), hp.Latency.P50().Millis(), hp.Latency.P99().Millis(),
+		hpProf.RequestLatency.Millis())
+	fmt.Printf("best-effort training:    %.2f it/s (dedicated %.2f it/s)\n",
+		be.Throughput(), 1/beProf.RequestLatency.Seconds())
+
+	u := dev.Utilization()
+	fmt.Printf("GPU: SM busy %.0f%%, compute %.0f%%, membw %.0f%%, memory %.0f%%\n",
+		u.SMBusy*100, u.Compute*100, u.MemBW*100, u.MemCapacity*100)
+
+	hpSub, beSub, beDef, throttle := orion.Stats()
+	fmt.Printf("scheduler: %d hp kernels, %d be kernels submitted, %d deferrals, %d throttle hits\n",
+		hpSub, beSub, beDef, throttle)
+}

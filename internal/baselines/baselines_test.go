@@ -1,0 +1,318 @@
+package baselines
+
+import (
+	"testing"
+
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/profiler"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/trace"
+	"orion/internal/workload"
+)
+
+func newRig(t *testing.T) (*sim.Engine, *cudart.Context) {
+	t.Helper()
+	eng := sim.NewEngine()
+	eng.MaxEvents = 500_000_000
+	dev, err := gpu.NewDevice(eng, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, cudart.NewContext(dev)
+}
+
+func profilesFor(t *testing.T, models ...*workload.Model) map[string]*profiler.Profile {
+	t.Helper()
+	out := map[string]*profiler.Profile{}
+	for _, m := range models {
+		p, err := profiler.Collect(m, gpu.V100())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[m.ID()] = p
+	}
+	return out
+}
+
+// runPair drives an HP inference job (Poisson) and a BE training job
+// (closed loop) through a backend and returns their stats.
+func runPair(t *testing.T, eng *sim.Engine, backend sched.Backend,
+	hpModel, beModel *workload.Model, rps float64, horizon sim.Duration) (hp, be *sched.Driver) {
+	t.Helper()
+	hpc, err := backend.Register(sched.ClientConfig{Name: "hp", Priority: sched.HighPriority, Model: hpModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bec, err := backend.Register(sched.ClientConfig{Name: "be", Priority: sched.BestEffort, Model: beModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend.Start()
+	arr, _ := trace.NewPoisson(rps, sim.NewRand(42))
+	hp, err = sched.NewDriver(sched.DriverConfig{
+		Engine: eng, Client: hpc, Model: hpModel, Arrivals: arr,
+		Horizon: sim.Time(horizon), Warmup: horizon / 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err = sched.NewDriver(sched.DriverConfig{
+		Engine: eng, Client: bec, Model: beModel,
+		Horizon: sim.Time(horizon), Warmup: horizon / 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp.Start()
+	be.Start()
+	eng.Run()
+	return hp, be
+}
+
+func TestTemporalHeadOfLineBlocking(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewTemporal(eng, ctx)
+	hp, be := runPair(t, eng, backend,
+		workload.ResNet50Inference(), workload.ResNet50Training(), 15, sim.Seconds(5))
+	// An inference request arriving mid training iteration waits up to a
+	// full ~100ms iteration: p99 far above the ~8ms dedicated latency.
+	if p99 := hp.Stats().Latency.P99(); p99 < sim.Millis(40) {
+		t.Errorf("temporal p99 = %.1fms, expected head-of-line blocking >> 8ms", p99.Millis())
+	}
+	if be.Stats().Completed == 0 {
+		t.Error("best-effort training made no progress under temporal sharing")
+	}
+}
+
+func TestTemporalPrioritizesHP(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewTemporal(eng, ctx)
+	hp, _ := runPair(t, eng, backend,
+		workload.MobileNetV2Inference(), workload.MobileNetV2Training(), 40, sim.Seconds(4))
+	// Despite blocking, the high-priority job is served ahead of queued
+	// best-effort iterations: its median must stay below one iteration.
+	if p50 := hp.Stats().Latency.P50(); p50 > sim.Millis(90) {
+		t.Errorf("temporal p50 = %.1fms, HP not being prioritized", p50.Millis())
+	}
+}
+
+func TestStreamsCollocationRuns(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewStreams(ctx)
+	hp, be := runPair(t, eng, backend,
+		workload.ResNet50Inference(), workload.ResNet50Training(), 15, sim.Seconds(5))
+	if hp.Stats().Completed == 0 || be.Stats().Completed == 0 {
+		t.Fatal("jobs made no progress under Streams")
+	}
+	// Spatial sharing: no request-granularity blocking, so p50 far below
+	// a training iteration; but interference-oblivious, so the tail is
+	// well above dedicated (~8ms).
+	if p50 := hp.Stats().Latency.P50(); p50 > sim.Millis(60) {
+		t.Errorf("streams p50 = %.1fms, spatial sharing should avoid iteration-length waits", p50.Millis())
+	}
+}
+
+func TestStreamsGILOverheadGrows(t *testing.T) {
+	_, ctx := newRig(t)
+	backend := NewStreams(ctx)
+	a, _ := backend.Register(sched.ClientConfig{Name: "a", Model: workload.ResNet50Inference()})
+	if a.LaunchOverhead() != 0 {
+		t.Errorf("single client GIL overhead = %v, want 0", a.LaunchOverhead())
+	}
+	backend.Register(sched.ClientConfig{Name: "b", Model: workload.ResNet50Training()})
+	backend.Register(sched.ClientConfig{Name: "c", Model: workload.MobileNetV2Inference()})
+	if a.LaunchOverhead() != 2*GILOverheadPerPeer {
+		t.Errorf("3-client GIL overhead = %v, want %v", a.LaunchOverhead(), 2*GILOverheadPerPeer)
+	}
+}
+
+func TestMPSNoStreamPriorities(t *testing.T) {
+	_, ctx := newRig(t)
+	backend := NewMPS(ctx)
+	hp, _ := backend.Register(sched.ClientConfig{Name: "hp", Priority: sched.HighPriority, Model: workload.ResNet50Inference()})
+	if hp.(*passClient).stream.Priority() != 0 {
+		t.Error("MPS honoured stream priority; it must not")
+	}
+	if hp.LaunchOverhead() != MPSOverhead {
+		t.Errorf("MPS overhead = %v, want %v", hp.LaunchOverhead(), MPSOverhead)
+	}
+}
+
+func TestMPSCollocationRuns(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewMPS(ctx)
+	hp, be := runPair(t, eng, backend,
+		workload.ResNet50Inference(), workload.ResNet50Training(), 15, sim.Seconds(5))
+	if hp.Stats().Completed == 0 || be.Stats().Completed == 0 {
+		t.Fatal("jobs made no progress under MPS")
+	}
+}
+
+func TestReefProtectsHPButStarvesBE(t *testing.T) {
+	eng, ctx := newRig(t)
+	hpM, beM := workload.ResNet50Training(), workload.MobileNetV2Training()
+	backend := NewReef(eng, ctx, profilesFor(t, hpM, beM))
+	hpc, _ := backend.Register(sched.ClientConfig{Name: "hp", Priority: sched.HighPriority, Model: hpM})
+	bec, _ := backend.Register(sched.ClientConfig{Name: "be", Priority: sched.BestEffort, Model: beM})
+	backend.Start()
+	horizon := sim.Time(sim.Seconds(6))
+	hp, _ := sched.NewDriver(sched.DriverConfig{Engine: eng, Client: hpc, Model: hpM, Horizon: horizon, Warmup: sim.Seconds(1)})
+	be, _ := sched.NewDriver(sched.DriverConfig{Engine: eng, Client: bec, Model: beM, Horizon: horizon, Warmup: sim.Seconds(1)})
+	hp.Start()
+	be.Start()
+	eng.Run()
+	// Paper §6.2.2: REEF keeps HP training within ~8% of dedicated
+	// (10.3 it/s) but barely executes the best-effort trainer, whose
+	// kernels are too large to fit beside the HP kernels.
+	hpThr := hp.Stats().Throughput()
+	beThr := be.Stats().Throughput()
+	if hpThr < 8.5 {
+		t.Errorf("REEF HP training = %.2f it/s, want near dedicated 10.3", hpThr)
+	}
+	if beThr > 0.35*12.5 {
+		t.Errorf("REEF BE training = %.2f it/s, expected heavy starvation (paper: few iterations)", beThr)
+	}
+}
+
+func TestReefQueueDepthBoundsOutstanding(t *testing.T) {
+	eng, ctx := newRig(t)
+	beM := workload.MobileNetV2Inference()
+	backend := NewReef(eng, ctx, profilesFor(t, beM))
+	backend.QueueDepth = 3
+	bec, _ := backend.Register(sched.ClientConfig{Name: "be", Priority: sched.BestEffort, Model: beM})
+	backend.Start()
+	for i := range beM.Ops {
+		bec.Submit(&beM.Ops[i], nil)
+	}
+	maxOut := 0
+	for i := 1; i < 1000; i++ {
+		eng.At(sim.Time(sim.Micros(float64(i)*10)), func() {
+			if backend.beOutstanding > maxOut {
+				maxOut = backend.beOutstanding
+			}
+		})
+	}
+	eng.Run()
+	if maxOut > 3 {
+		t.Errorf("outstanding best-effort kernels reached %d, queue depth 3", maxOut)
+	}
+	if maxOut == 0 {
+		t.Error("no best-effort kernels ran")
+	}
+}
+
+func TestReefRequiresProfile(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewReef(eng, ctx, nil)
+	if _, err := backend.Register(sched.ClientConfig{Name: "x", Model: workload.ResNet50Inference()}); err == nil {
+		t.Fatal("client without profile accepted")
+	}
+}
+
+func TestReefSingleHP(t *testing.T) {
+	eng, ctx := newRig(t)
+	a, b := workload.ResNet50Inference(), workload.MobileNetV2Inference()
+	backend := NewReef(eng, ctx, profilesFor(t, a, b))
+	if _, err := backend.Register(sched.ClientConfig{Name: "a", Priority: sched.HighPriority, Model: a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backend.Register(sched.ClientConfig{Name: "b", Priority: sched.HighPriority, Model: b}); err == nil {
+		t.Fatal("second HP client accepted")
+	}
+}
+
+func TestTickTockTrainingOnly(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewTickTock(eng, ctx)
+	if _, err := backend.Register(sched.ClientConfig{Name: "inf", Model: workload.ResNet50Inference()}); err == nil {
+		t.Fatal("inference job accepted by Tick-Tock")
+	}
+	if _, err := backend.Register(sched.ClientConfig{Name: "t1", Model: workload.ResNet50Training()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backend.Register(sched.ClientConfig{Name: "t2", Model: workload.MobileNetV2Training()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backend.Register(sched.ClientConfig{Name: "t3", Model: workload.BERTTraining()}); err == nil {
+		t.Fatal("third trainer accepted")
+	}
+}
+
+func TestTickTockBothTrainersProgressWithBarrier(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewTickTock(eng, ctx)
+	aM, bM := workload.ResNet50Training(), workload.MobileNetV2Training()
+	ac, _ := backend.Register(sched.ClientConfig{Name: "a", Priority: sched.HighPriority, Model: aM})
+	bc, _ := backend.Register(sched.ClientConfig{Name: "b", Priority: sched.BestEffort, Model: bM})
+	backend.Start()
+	horizon := sim.Time(sim.Seconds(6))
+	ad, _ := sched.NewDriver(sched.DriverConfig{Engine: eng, Client: ac, Model: aM, Horizon: horizon, Warmup: sim.Seconds(1)})
+	bd, _ := sched.NewDriver(sched.DriverConfig{Engine: eng, Client: bc, Model: bM, Horizon: horizon, Warmup: sim.Seconds(1)})
+	ad.Start()
+	bd.Start()
+	eng.Run()
+	aThr, bThr := ad.Stats().Throughput(), bd.Stats().Throughput()
+	if aThr == 0 || bThr == 0 {
+		t.Fatalf("trainer starved: %.2f / %.2f it/s", aThr, bThr)
+	}
+	// Barrier coupling: the faster job (MobileNet, 12.5 it/s dedicated)
+	// is dragged down toward the slower one's pace (ResNet50, 10.3).
+	if bThr > 0.85*12.5 {
+		t.Errorf("Tick-Tock fast job at %.2f it/s, barriers should drag it below dedicated", bThr)
+	}
+	// The two jobs complete iterations in near lock-step.
+	if diff := aThr - bThr; diff > 3 || diff < -3 {
+		t.Errorf("Tick-Tock jobs diverge: %.2f vs %.2f it/s", aThr, bThr)
+	}
+	// High-priority training throughput suffers vs dedicated (paper:
+	// 1.93x reduction).
+	if aThr > 0.8*10.3 {
+		t.Errorf("Tick-Tock HP at %.2f it/s, expected well below dedicated 10.3", aThr)
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	eng, ctx := newRig(t)
+	names := map[string]sched.Backend{
+		"temporal": NewTemporal(eng, ctx),
+		"streams":  NewStreams(ctx),
+		"mps":      NewMPS(ctx),
+		"reef":     NewReef(eng, ctx, nil),
+		"ticktock": NewTickTock(eng, ctx),
+	}
+	for want, b := range names {
+		if b.Name() != want {
+			t.Errorf("Name() = %q, want %q", b.Name(), want)
+		}
+	}
+}
+
+func TestTemporalEmptyRequest(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewTemporal(eng, ctx)
+	c, _ := backend.Register(sched.ClientConfig{Name: "x", Model: workload.ResNet50Inference()})
+	backend.Start()
+	fired := false
+	c.BeginRequest()
+	c.EndRequest(func(sim.Time) { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("empty request never completed")
+	}
+}
+
+func TestTickTockEmptyRequest(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewTickTock(eng, ctx)
+	c, _ := backend.Register(sched.ClientConfig{Name: "x", Model: workload.ResNet50Training()})
+	backend.Start()
+	fired := false
+	c.BeginRequest()
+	c.EndRequest(func(sim.Time) { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("empty request never completed")
+	}
+}

@@ -1,0 +1,256 @@
+package baselines
+
+import (
+	"fmt"
+
+	"orion/internal/cudart"
+	"orion/internal/kernels"
+	"orion/internal/profiler"
+	"orion/internal/sched"
+	"orion/internal/sim"
+)
+
+// DefaultReefQueueDepth is the best-effort software queue depth used by
+// REEF-N, per the paper's discussion with the REEF authors (§6.1).
+const DefaultReefQueueDepth = 12
+
+// Reef implements the REEF-N policy the paper compares against:
+// high-priority kernels bypass best-effort kernels waiting in software
+// queues and go straight to a high-priority stream; best-effort kernels
+// are admitted up to a bounded device-queue depth, selected by size — a
+// best-effort kernel launches only when its SM requirement fits in the SMs
+// the currently executing high-priority kernel leaves free. REEF is not
+// interference-aware: it considers kernel sizes, never compute/memory
+// profiles, and it does not throttle the accumulated duration of admitted
+// best-effort work.
+type Reef struct {
+	eng *sim.Engine
+	ctx *cudart.Context
+	// QueueDepth bounds outstanding best-effort kernels (default 12).
+	QueueDepth int
+	// Profiles supplies per-kernel SM requirements, as in Orion.
+	Profiles map[string]*profiler.Profile
+
+	hp     *reefClient
+	be     []*reefClient
+	rrNext int
+
+	// hpSMs is the FIFO of outstanding high-priority kernel SM needs;
+	// the front is the kernel currently executing.
+	hpSMs []int
+	hpOut int
+
+	beOutstanding int // outstanding best-effort kernels on the device
+
+	inSchedule bool
+	again      bool
+	started    bool
+}
+
+// NewReef creates the REEF-N backend.
+func NewReef(eng *sim.Engine, ctx *cudart.Context, profiles map[string]*profiler.Profile) *Reef {
+	return &Reef{eng: eng, ctx: ctx, QueueDepth: DefaultReefQueueDepth, Profiles: profiles}
+}
+
+// Name implements sched.Backend.
+func (r *Reef) Name() string { return "reef" }
+
+// Start implements sched.Backend.
+func (r *Reef) Start() { r.started = true }
+
+// Register implements sched.Backend.
+func (r *Reef) Register(cfg sched.ClientConfig) (sched.Client, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("reef: client %q has no model", cfg.Name)
+	}
+	prof := r.Profiles[cfg.Model.ID()]
+	if prof == nil {
+		return nil, fmt.Errorf("reef: no profile for %s", cfg.Model.ID())
+	}
+	prio := 0
+	if cfg.Priority == sched.HighPriority {
+		prio = 1
+	}
+	c := &reefClient{
+		backend: r,
+		cfg:     cfg,
+		profile: prof,
+		stream:  r.ctx.StreamCreateWithPriority(prio),
+		tracker: sched.NewTracker(r.eng),
+	}
+	if cfg.Priority == sched.HighPriority {
+		if r.hp != nil {
+			return nil, fmt.Errorf("reef: second high-priority client %q", cfg.Name)
+		}
+		r.hp = c
+	} else {
+		r.be = append(r.be, c)
+	}
+	return c, nil
+}
+
+type reefClient struct {
+	backend *Reef
+	cfg     sched.ClientConfig
+	profile *profiler.Profile
+	stream  *cudart.Stream
+	tracker *sched.Tracker
+	queue   []reefOp
+}
+
+type reefOp struct {
+	op   *kernels.Descriptor
+	prof *profiler.KernelProfile
+	done func(sim.Time)
+}
+
+func (c *reefClient) BeginRequest() {}
+
+// LaunchOverhead: REEF's interception cost is comparable to Orion's.
+func (c *reefClient) LaunchOverhead() sim.Duration { return 300 * sim.Nanosecond }
+
+func (c *reefClient) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
+	if op == nil {
+		return fmt.Errorf("reef: nil op")
+	}
+	if err := sched.CheckCapacity(c.backend.ctx, op); err != nil {
+		return err
+	}
+	var prof *profiler.KernelProfile
+	if op.Op == kernels.OpKernel {
+		p, ok := c.profile.Kernel(op.ID)
+		if !ok || p.Duration <= 0 || p.Name != op.Name {
+			derived, err := profiler.Derive(op, c.backend.ctx.Device().Spec())
+			if err != nil {
+				return fmt.Errorf("reef: %s kernel %d not profiled and underivable: %w",
+					c.cfg.Name, op.ID, err)
+			}
+			p = derived
+		}
+		prof = p
+	}
+	c.tracker.OnSubmit()
+	c.queue = append(c.queue, reefOp{op, prof, done})
+	c.backend.schedule()
+	return nil
+}
+
+func (c *reefClient) EndRequest(cb func(sim.Time)) error {
+	c.tracker.Sync(cb)
+	return nil
+}
+
+func (r *Reef) schedule() {
+	if r.inSchedule {
+		r.again = true
+		return
+	}
+	r.inSchedule = true
+	for {
+		r.again = false
+		progress := true
+		for progress {
+			progress = false
+			if r.hp != nil && r.drainHP() {
+				progress = true
+			}
+			if r.serveBE() {
+				progress = true
+			}
+		}
+		if !r.again {
+			break
+		}
+	}
+	r.inSchedule = false
+}
+
+// drainHP bypasses: every queued high-priority op goes straight to the
+// device.
+func (r *Reef) drainHP() bool {
+	c := r.hp
+	progress := false
+	for len(c.queue) > 0 {
+		q := c.queue[0]
+		c.queue = c.queue[:copy(c.queue, c.queue[1:])]
+		if q.op.Op == kernels.OpKernel {
+			r.hpSMs = append(r.hpSMs, q.prof.SMsNeeded)
+		}
+		r.hpOut++
+		r.submit(c, q, true)
+		progress = true
+	}
+	return progress
+}
+
+func (r *Reef) hpActive() bool {
+	return r.hp != nil && (r.hpOut > 0 || len(r.hp.queue) > 0)
+}
+
+// freeSMsEstimate is the device capacity minus the currently executing
+// high-priority kernel's profiled SM need — REEF's size-based selection
+// signal.
+func (r *Reef) freeSMsEstimate() int {
+	total := r.ctx.Device().Spec().NumSMs
+	if len(r.hpSMs) == 0 {
+		return total
+	}
+	free := total - r.hpSMs[0]
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+func (r *Reef) serveBE() bool {
+	n := len(r.be)
+	progress := false
+	for i := 0; i < n; i++ {
+		c := r.be[(r.rrNext+i)%n]
+		if len(c.queue) == 0 {
+			continue
+		}
+		q := c.queue[0]
+		if q.op.Op != kernels.OpKernel {
+			c.queue = c.queue[:copy(c.queue, c.queue[1:])]
+			r.submit(c, q, false)
+			progress = true
+			continue
+		}
+		if r.beOutstanding >= r.QueueDepth {
+			continue
+		}
+		if r.hpActive() && q.prof.SMsNeeded > r.freeSMsEstimate() {
+			continue
+		}
+		c.queue = c.queue[:copy(c.queue, c.queue[1:])]
+		r.beOutstanding++
+		r.submit(c, q, false)
+		progress = true
+	}
+	if n > 0 {
+		r.rrNext = (r.rrNext + 1) % n
+	}
+	return progress
+}
+
+func (r *Reef) submit(c *reefClient, q reefOp, hp bool) {
+	done := func(at sim.Time) {
+		if hp {
+			r.hpOut--
+			if q.op.Op == kernels.OpKernel && len(r.hpSMs) > 0 {
+				r.hpSMs = r.hpSMs[:copy(r.hpSMs, r.hpSMs[1:])]
+			}
+		} else if q.op.Op == kernels.OpKernel {
+			r.beOutstanding--
+		}
+		c.tracker.OnComplete(at)
+		if q.done != nil {
+			q.done(at)
+		}
+		r.schedule()
+	}
+	if err := sched.SubmitTo(r.ctx, c.stream, q.op, done); err != nil {
+		panic(fmt.Sprintf("reef: submit %s: %v", q.op.Name, err))
+	}
+}

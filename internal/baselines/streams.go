@@ -1,0 +1,123 @@
+// Package baselines implements the GPU-sharing techniques the paper
+// compares Orion against (§6.1): temporal sharing, GPU Streams, NVIDIA
+// MPS, REEF-N, and Tick-Tock. The Ideal baseline (dedicated GPUs) is the
+// sched.Direct backend on per-job devices, assembled by the harness.
+package baselines
+
+import (
+	"fmt"
+
+	"orion/internal/cudart"
+	"orion/internal/kernels"
+	"orion/internal/sched"
+	"orion/internal/sim"
+)
+
+// GILOverheadPerPeer is the extra client-side CPU cost each additional
+// collocated client adds to every operation under the GPU Streams
+// baseline: the clients run as threads of one Python process and contend
+// for the global interpreter lock (§6.2.1).
+const GILOverheadPerPeer = 1500 * sim.Nanosecond
+
+// MPSOverhead is the per-operation cost of the MPS server hop. MPS
+// clients run as separate processes, so there is no GIL contention, but
+// stream priorities are unavailable in MPS mode (§6.4).
+const MPSOverhead = 400 * sim.Nanosecond
+
+// Streams is the GPU Streams baseline: every client submits directly to
+// its own CUDA stream from a thread of a shared process. The high-priority
+// client gets a high-priority stream; all clients pay GIL contention that
+// grows with the number of collocated threads.
+type Streams struct {
+	ctx *cudart.Context
+	// UsePriorities assigns the high-priority client a high-priority
+	// stream (the paper's Streams baseline does; the Figure 14 "GPU
+	// Streams" ablation point does not).
+	UsePriorities bool
+	clients       []*passClient
+}
+
+// NewStreams creates the GPU Streams baseline backend.
+func NewStreams(ctx *cudart.Context) *Streams {
+	return &Streams{ctx: ctx, UsePriorities: true}
+}
+
+// Name implements sched.Backend.
+func (s *Streams) Name() string { return "streams" }
+
+// Start implements sched.Backend.
+func (s *Streams) Start() {}
+
+// Register implements sched.Backend.
+func (s *Streams) Register(cfg sched.ClientConfig) (sched.Client, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("streams: client %q has no model", cfg.Name)
+	}
+	prio := 0
+	if s.UsePriorities && cfg.Priority == sched.HighPriority {
+		prio = 1
+	}
+	c := &passClient{
+		ctx:    s.ctx,
+		stream: s.ctx.StreamCreateWithPriority(prio),
+		overhead: func() sim.Duration {
+			// GIL contention scales with the number of peer threads.
+			return GILOverheadPerPeer * sim.Duration(len(s.clients)-1)
+		},
+	}
+	s.clients = append(s.clients, c)
+	return c, nil
+}
+
+// MPS is the NVIDIA Multi-Process Service baseline: clients run as
+// separate processes spatially sharing the GPU with no interference
+// control and no stream priorities.
+type MPS struct {
+	ctx     *cudart.Context
+	clients []*passClient
+}
+
+// NewMPS creates the MPS baseline backend.
+func NewMPS(ctx *cudart.Context) *MPS {
+	return &MPS{ctx: ctx}
+}
+
+// Name implements sched.Backend.
+func (m *MPS) Name() string { return "mps" }
+
+// Start implements sched.Backend.
+func (m *MPS) Start() {}
+
+// Register implements sched.Backend.
+func (m *MPS) Register(cfg sched.ClientConfig) (sched.Client, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("mps: client %q has no model", cfg.Name)
+	}
+	c := &passClient{
+		ctx: m.ctx,
+		// Stream priorities are not honoured under MPS.
+		stream:   m.ctx.StreamCreateWithPriority(0),
+		overhead: func() sim.Duration { return MPSOverhead },
+	}
+	m.clients = append(m.clients, c)
+	return c, nil
+}
+
+// passClient is the shared pass-through client used by Streams and MPS.
+type passClient struct {
+	ctx      *cudart.Context
+	stream   *cudart.Stream
+	overhead func() sim.Duration
+}
+
+func (c *passClient) BeginRequest() {}
+
+func (c *passClient) LaunchOverhead() sim.Duration { return c.overhead() }
+
+func (c *passClient) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
+	return sched.SubmitTo(c.ctx, c.stream, op, done)
+}
+
+func (c *passClient) EndRequest(cb func(sim.Time)) error {
+	return c.ctx.StreamSynchronize(c.stream, cb)
+}

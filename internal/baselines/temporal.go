@@ -1,0 +1,192 @@
+package baselines
+
+import (
+	"fmt"
+
+	"orion/internal/cudart"
+	"orion/internal/kernels"
+	"orion/internal/sched"
+	"orion/internal/sim"
+)
+
+// Temporal is the temporal-sharing baseline: the GPU executes one job's
+// request (inference batch or training minibatch) at a time, prioritizing
+// the high-priority job's pending requests. An incoming request must wait
+// for the ongoing request to finish — the head-of-line blocking the paper
+// shows in Figure 2 and §6.2.1.
+type Temporal struct {
+	eng     *sim.Engine
+	ctx     *cudart.Context
+	clients []*temporalClient
+	// current is the client whose request currently holds the GPU.
+	current *temporalClient
+	rrNext  int
+	started bool
+
+	// SwapStates enables Gandiva/Salus-style state swapping on context
+	// switches, admitting job sets whose combined memory exceeds the
+	// device (see temporal_swap.go).
+	SwapStates bool
+	lru        []*temporalClient
+	swapIns    uint64
+}
+
+// NewTemporal creates the temporal-sharing backend.
+func NewTemporal(eng *sim.Engine, ctx *cudart.Context) *Temporal {
+	return &Temporal{eng: eng, ctx: ctx}
+}
+
+// Name implements sched.Backend.
+func (t *Temporal) Name() string { return "temporal" }
+
+// Start implements sched.Backend.
+func (t *Temporal) Start() { t.started = true }
+
+// Register implements sched.Backend.
+func (t *Temporal) Register(cfg sched.ClientConfig) (sched.Client, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("temporal: client %q has no model", cfg.Name)
+	}
+	c := &temporalClient{
+		backend: t,
+		cfg:     cfg,
+		stream:  t.ctx.StreamCreate(),
+	}
+	t.clients = append(t.clients, c)
+	return c, nil
+}
+
+type temporalClient struct {
+	backend *Temporal
+	cfg     sched.ClientConfig
+	stream  *cudart.Stream
+	// resident marks the client's model state as on-device (SwapStates).
+	resident bool
+
+	// wantsGPU marks a request that has begun submitting but has not yet
+	// been granted the device; buffered ops wait here.
+	wantsGPU bool
+	granted  bool
+	buffered []bufferedOp
+	// endCb is the pending EndRequest callback (set when the request
+	// sealed before being granted).
+	endPending bool
+	endCb      func(sim.Time)
+}
+
+type bufferedOp struct {
+	op   *kernels.Descriptor
+	done func(sim.Time)
+}
+
+func (c *temporalClient) BeginRequest() {}
+
+func (c *temporalClient) LaunchOverhead() sim.Duration { return 0 }
+
+func (c *temporalClient) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
+	if op == nil {
+		return fmt.Errorf("temporal: nil op")
+	}
+	if handled, err := c.interceptWeightsMalloc(op, done); handled || err != nil {
+		return err
+	}
+	if err := sched.CheckCapacity(c.backend.ctx, op); err != nil {
+		return err
+	}
+	if c.granted {
+		return sched.SubmitTo(c.backend.ctx, c.stream, op, done)
+	}
+	c.buffered = append(c.buffered, bufferedOp{op, done})
+	if !c.wantsGPU {
+		c.wantsGPU = true
+		c.backend.grantNext()
+	}
+	return nil
+}
+
+func (c *temporalClient) EndRequest(cb func(sim.Time)) error {
+	if c.granted {
+		return c.finish(cb)
+	}
+	if !c.wantsGPU {
+		// Empty request (no ops buffered): complete immediately.
+		if cb != nil {
+			cb(c.backend.eng.Now())
+		}
+		return nil
+	}
+	c.endPending = true
+	c.endCb = cb
+	return nil
+}
+
+// finish seals the granted request: a marker on the stream releases the
+// GPU when everything has drained.
+func (c *temporalClient) finish(cb func(sim.Time)) error {
+	return c.backend.ctx.StreamSynchronize(c.stream, func(at sim.Time) {
+		c.granted = false
+		c.backend.current = nil
+		if cb != nil {
+			cb(at)
+		}
+		c.backend.grantNext()
+	})
+}
+
+// grantNext hands the GPU to the next waiting request: the high-priority
+// client first, then best-effort clients round-robin.
+func (t *Temporal) grantNext() {
+	if t.current != nil {
+		return
+	}
+	var pick *temporalClient
+	for _, c := range t.clients {
+		if c.wantsGPU && c.cfg.Priority == sched.HighPriority {
+			pick = c
+			break
+		}
+	}
+	if pick == nil {
+		n := len(t.clients)
+		for i := 0; i < n; i++ {
+			c := t.clients[(t.rrNext+i)%n]
+			if c.wantsGPU {
+				pick = c
+				t.rrNext = (t.rrNext + i + 1) % n
+				break
+			}
+		}
+	}
+	if pick == nil {
+		return
+	}
+	t.current = pick
+	pick.wantsGPU = false
+	pick.granted = true
+	swapBytes, err := t.ensureResident(pick)
+	if err != nil {
+		panic(fmt.Sprintf("temporal: residency: %v", err))
+	}
+	if swapBytes > 0 {
+		// The context-switch transfer precedes the request on the
+		// client's stream.
+		if err := sched.SubmitTo(t.ctx, pick.stream, swapDescriptor(swapBytes), nil); err != nil {
+			panic(fmt.Sprintf("temporal: swap-in: %v", err))
+		}
+	}
+	buf := pick.buffered
+	pick.buffered = nil
+	for _, b := range buf {
+		if err := sched.SubmitTo(t.ctx, pick.stream, b.op, b.done); err != nil {
+			panic(fmt.Sprintf("temporal: flush: %v", err))
+		}
+	}
+	if pick.endPending {
+		pick.endPending = false
+		cb := pick.endCb
+		pick.endCb = nil
+		if err := pick.finish(cb); err != nil {
+			panic(fmt.Sprintf("temporal: finish: %v", err))
+		}
+	}
+}

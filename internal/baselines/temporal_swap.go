@@ -1,0 +1,103 @@
+package baselines
+
+import (
+	"fmt"
+
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+// State swapping for temporal sharing — the mechanism the Gandiva / Salus
+// / Clockwork line of work builds around (§4): when the models sharing a
+// GPU do not fit in device memory together, the time-slicer transfers
+// model state in and out on context switches. Enabling SwapStates makes
+// the Temporal backend admit such job sets; every grant to a non-resident
+// client first evicts least-recently-granted state (device-to-host, the
+// state may be dirty) and streams the granted client's weights in
+// (host-to-device) on the client's own stream, so the request naturally
+// queues behind its own swap-in.
+//
+// The paper positions Orion as complementary to these systems: they pack
+// more models per GPU; Orion fills each resident model's idle
+// microseconds.
+
+// ensureResident makes the granted client's state resident, charging
+// eviction and swap-in transfers. It returns the bytes to stream in (0 if
+// already resident).
+func (t *Temporal) ensureResident(c *temporalClient) (int64, error) {
+	if !t.SwapStates {
+		return 0, nil
+	}
+	if c.resident {
+		t.touch(c)
+		return 0, nil
+	}
+	dev := t.ctx.Device()
+	need := c.cfg.Model.WeightsBytes
+	var evicted int64
+	for dev.AllocatedBytes()+need > dev.Spec().MemoryBytes {
+		victim := t.oldestResident(c)
+		if victim == nil {
+			return 0, fmt.Errorf("temporal: %s (%d bytes) cannot fit even alone", c.cfg.Name, need)
+		}
+		victim.resident = false
+		dev.Release(victim.cfg.Model.WeightsBytes)
+		evicted += victim.cfg.Model.WeightsBytes
+	}
+	if err := dev.Reserve(need); err != nil {
+		return 0, err
+	}
+	c.resident = true
+	t.touch(c)
+	t.swapIns++
+	// Dirty state out + weights in, one PCIe round charged up front.
+	return need + evicted, nil
+}
+
+// oldestResident returns the least-recently-granted resident client other
+// than the one being granted.
+func (t *Temporal) oldestResident(granting *temporalClient) *temporalClient {
+	for _, c := range t.lru {
+		if c != granting && c.resident {
+			return c
+		}
+	}
+	return nil
+}
+
+// touch marks a client most-recently granted.
+func (t *Temporal) touch(c *temporalClient) {
+	for i, x := range t.lru {
+		if x == c {
+			copy(t.lru[i:], t.lru[i+1:])
+			t.lru[len(t.lru)-1] = c
+			return
+		}
+	}
+	t.lru = append(t.lru, c)
+}
+
+// SwapIns reports how many state swap-ins happened.
+func (t *Temporal) SwapIns() uint64 { return t.swapIns }
+
+// swapDescriptor builds the transfer charged for a context switch.
+func swapDescriptor(bytes int64) *kernels.Descriptor {
+	return &kernels.Descriptor{
+		ID: -1, Name: "state_swap", Op: kernels.OpMemcpyH2D, Bytes: bytes,
+		// Synchronous: the job cannot run until its state is resident,
+		// and the paper notes blocking transfers stall kernel dispatch.
+		Sync: true,
+	}
+}
+
+// interceptWeightsMalloc handles the driver's one-time weights allocation
+// under SwapStates: residency is managed at grant time instead, so the
+// allocation only keeps its device-synchronizing cost.
+func (c *temporalClient) interceptWeightsMalloc(op *kernels.Descriptor, done func(sim.Time)) (bool, error) {
+	if !c.backend.SwapStates || op.Op != kernels.OpMalloc || op.Bytes != c.cfg.Model.WeightsBytes {
+		return false, nil
+	}
+	// A zero-byte release is a device-synchronizing no-op with the same
+	// timing as the malloc it replaces.
+	return true, c.backend.ctx.FreeBytes(0, c.stream, done)
+}

@@ -1,0 +1,164 @@
+package baselines
+
+import (
+	"fmt"
+
+	"orion/internal/cudart"
+	"orion/internal/kernels"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// TickTock implements the Tick-Tock / Zico style training collocation the
+// paper compares against in the train-train use case (§6.2.2): the forward
+// and backward passes of two collocated training jobs are offset — while
+// one job runs its forward pass, the other runs its backward pass — with a
+// global barrier at every phase boundary. The barrier makes the fastest
+// job wait for the slowest, which is why the paper measures Tick-Tock at
+// the lowest aggregate throughput of all baselines.
+type TickTock struct {
+	eng     *sim.Engine
+	ctx     *cudart.Context
+	clients []*ttClient
+	// slotActive counts phases still executing in the current slot.
+	slotActive int
+	started    bool
+}
+
+// NewTickTock creates the Tick-Tock backend.
+func NewTickTock(eng *sim.Engine, ctx *cudart.Context) *TickTock {
+	return &TickTock{eng: eng, ctx: ctx}
+}
+
+// Name implements sched.Backend.
+func (t *TickTock) Name() string { return "ticktock" }
+
+// Start implements sched.Backend.
+func (t *TickTock) Start() { t.started = true }
+
+// Register implements sched.Backend. Tick-Tock collocates exactly two
+// training jobs.
+func (t *TickTock) Register(cfg sched.ClientConfig) (sched.Client, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("ticktock: client %q has no model", cfg.Name)
+	}
+	if cfg.Model.Kind != workload.Training {
+		return nil, fmt.Errorf("ticktock: %s is not a training job (Tick-Tock offsets forward/backward passes)", cfg.Model.ID())
+	}
+	if len(t.clients) >= 2 {
+		return nil, fmt.Errorf("ticktock: more than two training jobs")
+	}
+	c := &ttClient{
+		backend: t,
+		cfg:     cfg,
+		stream:  t.ctx.StreamCreate(),
+	}
+	if len(t.clients) == 1 {
+		// Offset the second job by one slot so forward and backward
+		// passes interleave: slot 0 runs only job A's forward pass.
+		c.phases = append(c.phases, phase{skip: true})
+	}
+	t.clients = append(t.clients, c)
+	return c, nil
+}
+
+type phase struct {
+	ops  []bufferedOp
+	skip bool // offset placeholder: occupies one slot doing nothing
+	cb   func(sim.Time)
+}
+
+type ttClient struct {
+	backend *TickTock
+	cfg     sched.ClientConfig
+	stream  *cudart.Stream
+
+	buffering []bufferedOp
+	phases    []phase
+}
+
+func (c *ttClient) BeginRequest() {}
+
+func (c *ttClient) LaunchOverhead() sim.Duration { return 0 }
+
+func (c *ttClient) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
+	if op == nil {
+		return fmt.Errorf("ticktock: nil op")
+	}
+	if err := sched.CheckCapacity(c.backend.ctx, op); err != nil {
+		return err
+	}
+	c.buffering = append(c.buffering, bufferedOp{op, done})
+	return nil
+}
+
+// EndRequest seals the buffered iteration into forward and backward
+// phases; cb fires when the backward phase completes.
+func (c *ttClient) EndRequest(cb func(sim.Time)) error {
+	ops := c.buffering
+	c.buffering = nil
+	if len(ops) == 0 {
+		if cb != nil {
+			cb(c.backend.eng.Now())
+		}
+		return nil
+	}
+	split := c.cfg.Model.PhaseBoundary
+	if split <= 0 || split >= len(ops) {
+		c.phases = append(c.phases, phase{ops: ops, cb: cb})
+	} else {
+		c.phases = append(c.phases,
+			phase{ops: ops[:split]},
+			phase{ops: ops[split:], cb: cb})
+	}
+	c.backend.schedule()
+	return nil
+}
+
+// schedule starts a new slot when the previous one has fully drained: one
+// pending phase from every client launches concurrently, then the barrier.
+func (t *TickTock) schedule() {
+	if t.slotActive > 0 {
+		return
+	}
+	var starting []*ttClient
+	for _, c := range t.clients {
+		if len(c.phases) > 0 {
+			starting = append(starting, c)
+		}
+	}
+	if len(starting) == 0 {
+		return
+	}
+	t.slotActive = len(starting)
+	for _, c := range starting {
+		p := c.phases[0]
+		c.phases = c.phases[:copy(c.phases, c.phases[1:])]
+		c.runPhase(p)
+	}
+}
+
+func (c *ttClient) runPhase(p phase) {
+	t := c.backend
+	finish := func(at sim.Time) {
+		if p.cb != nil {
+			p.cb(at)
+		}
+		t.slotActive--
+		// Let same-timestamp sealing land before the next slot forms.
+		t.eng.At(t.eng.Now(), t.schedule)
+	}
+	if p.skip {
+		finish(t.eng.Now())
+		return
+	}
+	for _, b := range p.ops {
+		if err := sched.SubmitTo(t.ctx, c.stream, b.op, b.done); err != nil {
+			panic(fmt.Sprintf("ticktock: submit: %v", err))
+		}
+	}
+	if err := t.ctx.StreamSynchronize(c.stream, finish); err != nil {
+		panic(fmt.Sprintf("ticktock: sync: %v", err))
+	}
+}

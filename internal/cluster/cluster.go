@@ -1,0 +1,144 @@
+// Package cluster prototypes the cluster-manager co-design the paper's §7
+// proposes: using each job's offline compute/memory-intensity profile, the
+// cluster manager places jobs with complementary resource profiles on the
+// same GPU, so that the per-GPU Orion scheduler has opposite-profile
+// kernels to interleave.
+//
+// The placer works on profile summaries (time-weighted average compute
+// and memory-bandwidth intensity, plus resident memory) and produces GPU
+// pairings; the harness evaluates a placement by running every pair under
+// Orion and summing throughput.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"orion/internal/kernels"
+	"orion/internal/profiler"
+	"orion/internal/sim"
+)
+
+// Summary condenses a workload's offline profile into the signals the
+// placer uses.
+type Summary struct {
+	// Workload is the workload id.
+	Workload string
+	// Compute and MemBW are time-weighted average intensities (0..1).
+	Compute float64
+	MemBW   float64
+	// MemoryBytes is the job's resident device memory.
+	MemoryBytes int64
+	// RequestLatency is the dedicated request latency.
+	RequestLatency sim.Duration
+}
+
+// Summarize condenses a profile (plus the job's memory footprint) for
+// placement.
+func Summarize(p *profiler.Profile, memoryBytes int64) (Summary, error) {
+	if p == nil {
+		return Summary{}, fmt.Errorf("cluster: nil profile")
+	}
+	var total, c, m float64
+	for _, k := range p.Kernels {
+		if k.Duration <= 0 {
+			continue
+		}
+		d := float64(k.Duration)
+		total += d
+		c += k.ComputeUtil * d
+		m += k.MemBWUtil * d
+	}
+	if total == 0 {
+		return Summary{}, fmt.Errorf("cluster: profile %s has no kernels", p.Workload)
+	}
+	return Summary{
+		Workload:       p.Workload,
+		Compute:        c / total,
+		MemBW:          m / total,
+		MemoryBytes:    memoryBytes,
+		RequestLatency: p.RequestLatency,
+	}, nil
+}
+
+// Profile classifies a summary with the same roofline rule kernels use.
+func (s Summary) Profile() kernels.Profile {
+	return kernels.Classify(s.Compute, s.MemBW)
+}
+
+// Complementarity scores how well two jobs collocate: high when one is
+// compute-leaning and the other memory-leaning (their kernels interleave
+// without contending), low when both stress the same resource.
+func Complementarity(a, b Summary) float64 {
+	return a.Compute*b.MemBW + a.MemBW*b.Compute - a.Compute*b.Compute - a.MemBW*b.MemBW
+}
+
+// Pair is two jobs placed on one GPU (B may be empty for an odd job out).
+type Pair struct {
+	A, B Summary
+}
+
+// HasB reports whether the pair has a second job.
+func (p Pair) HasB() bool { return p.B.Workload != "" }
+
+// PlaceGreedy pairs jobs by descending complementarity, skipping pairs
+// whose combined memory exceeds the device. Leftover jobs (odd counts,
+// memory misfits) get their own GPU.
+func PlaceGreedy(jobs []Summary, deviceMemory int64) []Pair {
+	type cand struct {
+		i, j  int
+		score float64
+	}
+	var cands []cand
+	for i := 0; i < len(jobs); i++ {
+		for j := i + 1; j < len(jobs); j++ {
+			if jobs[i].MemoryBytes+jobs[j].MemoryBytes > deviceMemory {
+				continue
+			}
+			cands = append(cands, cand{i, j, Complementarity(jobs[i], jobs[j])})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
+	used := make([]bool, len(jobs))
+	var out []Pair
+	for _, c := range cands {
+		if used[c.i] || used[c.j] {
+			continue
+		}
+		used[c.i], used[c.j] = true, true
+		out = append(out, Pair{A: jobs[c.i], B: jobs[c.j]})
+	}
+	for i, u := range used {
+		if !u {
+			out = append(out, Pair{A: jobs[i]})
+		}
+	}
+	return out
+}
+
+// PlaceNaive pairs jobs in arrival order — the profile-oblivious baseline
+// a cluster manager without the co-design would produce.
+func PlaceNaive(jobs []Summary, deviceMemory int64) []Pair {
+	var out []Pair
+	for i := 0; i < len(jobs); {
+		if i+1 < len(jobs) && jobs[i].MemoryBytes+jobs[i+1].MemoryBytes <= deviceMemory {
+			out = append(out, Pair{A: jobs[i], B: jobs[i+1]})
+			i += 2
+			continue
+		}
+		out = append(out, Pair{A: jobs[i]})
+		i++
+	}
+	return out
+}
+
+// GPUs reports how many devices a placement uses.
+func GPUs(pairs []Pair) int { return len(pairs) }

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"orion/internal/gpu"
+	"orion/internal/kernels"
+	"orion/internal/profiler"
+	"orion/internal/workload"
+)
+
+func summaries(t *testing.T, models ...*workload.Model) []Summary {
+	t.Helper()
+	var out []Summary
+	for _, m := range models {
+		p, err := profiler.Collect(m, gpu.V100())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Summarize(p, m.WeightsBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestSummarizeMatchesTable1(t *testing.T) {
+	s := summaries(t, workload.BERTInference())[0]
+	// BERT-large inference: ~72% compute, ~28% membw (Table 1).
+	if s.Compute < 0.65 || s.Compute > 0.80 {
+		t.Errorf("BERT compute %.2f, want ~0.72", s.Compute)
+	}
+	if s.MemBW < 0.20 || s.MemBW > 0.36 {
+		t.Errorf("BERT membw %.2f, want ~0.28", s.MemBW)
+	}
+	if s.Profile() != kernels.ProfileCompute {
+		t.Errorf("BERT profile %v, want compute", s.Profile())
+	}
+}
+
+func TestSummarizeRejectsEmpty(t *testing.T) {
+	if _, err := Summarize(nil, 0); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	if _, err := Summarize(&profiler.Profile{Workload: "x"}, 0); err == nil {
+		t.Fatal("kernel-less profile accepted")
+	}
+}
+
+func TestComplementarityPrefersOpposites(t *testing.T) {
+	compute := Summary{Workload: "c", Compute: 0.8, MemBW: 0.2}
+	memory := Summary{Workload: "m", Compute: 0.15, MemBW: 0.75}
+	opposite := Complementarity(compute, memory)
+	sameC := Complementarity(compute, compute)
+	sameM := Complementarity(memory, memory)
+	if opposite <= sameC || opposite <= sameM {
+		t.Fatalf("complementarity opposite=%.3f sameC=%.3f sameM=%.3f; opposites must score highest",
+			opposite, sameC, sameM)
+	}
+}
+
+func TestComplementaritySymmetric(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		x := Summary{Compute: float64(a%100) / 100, MemBW: float64(b%100) / 100}
+		y := Summary{Compute: float64(c%100) / 100, MemBW: float64(d%100) / 100}
+		return Complementarity(x, y) == Complementarity(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceGreedyPairsOpposites(t *testing.T) {
+	jobs := []Summary{
+		{Workload: "compute1", Compute: 0.8, MemBW: 0.2, MemoryBytes: 1 << 30},
+		{Workload: "compute2", Compute: 0.75, MemBW: 0.25, MemoryBytes: 1 << 30},
+		{Workload: "memory1", Compute: 0.15, MemBW: 0.7, MemoryBytes: 1 << 30},
+		{Workload: "memory2", Compute: 0.1, MemBW: 0.8, MemoryBytes: 1 << 30},
+	}
+	pairs := PlaceGreedy(jobs, 16<<30)
+	if len(pairs) != 2 {
+		t.Fatalf("%d pairs, want 2", len(pairs))
+	}
+	for _, p := range pairs {
+		if !p.HasB() {
+			t.Fatalf("unpaired job %s", p.A.Workload)
+		}
+		// Every pair must mix a compute- and a memory-leaning job.
+		aC := p.A.Compute > p.A.MemBW
+		bC := p.B.Compute > p.B.MemBW
+		if aC == bC {
+			t.Errorf("pair (%s,%s) not complementary", p.A.Workload, p.B.Workload)
+		}
+	}
+}
+
+func TestPlaceGreedyRespectsMemory(t *testing.T) {
+	jobs := []Summary{
+		{Workload: "big1", Compute: 0.8, MemBW: 0.2, MemoryBytes: 12 << 30},
+		{Workload: "big2", Compute: 0.1, MemBW: 0.8, MemoryBytes: 12 << 30},
+	}
+	pairs := PlaceGreedy(jobs, 16<<30)
+	if len(pairs) != 2 {
+		t.Fatalf("%d GPUs, want 2 (jobs don't fit together)", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.HasB() {
+			t.Fatal("over-capacity pair produced")
+		}
+	}
+}
+
+func TestPlaceGreedyOddJobOut(t *testing.T) {
+	jobs := []Summary{
+		{Workload: "a", Compute: 0.8, MemBW: 0.2, MemoryBytes: 1 << 30},
+		{Workload: "b", Compute: 0.1, MemBW: 0.8, MemoryBytes: 1 << 30},
+		{Workload: "c", Compute: 0.5, MemBW: 0.5, MemoryBytes: 1 << 30},
+	}
+	pairs := PlaceGreedy(jobs, 16<<30)
+	if GPUs(pairs) != 2 {
+		t.Fatalf("%d GPUs, want 2", GPUs(pairs))
+	}
+	single := 0
+	for _, p := range pairs {
+		if !p.HasB() {
+			single++
+		}
+	}
+	if single != 1 {
+		t.Fatalf("%d singles, want 1", single)
+	}
+}
+
+func TestPlaceNaivePairsInOrder(t *testing.T) {
+	jobs := []Summary{
+		{Workload: "a", MemoryBytes: 1 << 30},
+		{Workload: "b", MemoryBytes: 1 << 30},
+		{Workload: "c", MemoryBytes: 1 << 30},
+	}
+	pairs := PlaceNaive(jobs, 16<<30)
+	if len(pairs) != 2 {
+		t.Fatalf("%d pairs, want 2", len(pairs))
+	}
+	if pairs[0].A.Workload != "a" || pairs[0].B.Workload != "b" || pairs[1].A.Workload != "c" {
+		t.Fatalf("naive order wrong: %+v", pairs)
+	}
+}
+
+// Property: greedy placement never exceeds device memory, never duplicates
+// or drops a job.
+func TestPlaceGreedyProperty(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		if len(seeds) == 0 || len(seeds) > 16 {
+			return true
+		}
+		var jobs []Summary
+		for i, s := range seeds {
+			jobs = append(jobs, Summary{
+				Workload:    string(rune('a' + i)),
+				Compute:     float64(s%100) / 100,
+				MemBW:       float64((s>>1)%100) / 100,
+				MemoryBytes: int64(s%12+1) << 30,
+			})
+		}
+		pairs := PlaceGreedy(jobs, 16<<30)
+		seen := map[string]int{}
+		for _, p := range pairs {
+			seen[p.A.Workload]++
+			var mem int64 = p.A.MemoryBytes
+			if p.HasB() {
+				seen[p.B.Workload]++
+				mem += p.B.MemoryBytes
+			}
+			if mem > 16<<30 {
+				return false
+			}
+		}
+		if len(seen) != len(jobs) {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end sanity with real workloads: BERT inference (compute) pairs
+// with an LLM-style memory-bound job rather than with another compute job.
+func TestGreedyOnRealProfiles(t *testing.T) {
+	jobs := summaries(t,
+		workload.BERTInference(),        // compute-bound
+		workload.TransformerInference(), // compute-leaning
+		workload.ResNet101Inference(),   // memory-leaning
+		workload.MobileNetV2Inference(),
+	)
+	pairs := PlaceGreedy(jobs, 16<<30)
+	if len(pairs) != 2 {
+		t.Fatalf("%d pairs, want 2", len(pairs))
+	}
+	// BERT must not pair with Transformer (both compute-leaning).
+	for _, p := range pairs {
+		if !p.HasB() {
+			continue
+		}
+		both := p.A.Workload + "+" + p.B.Workload
+		if both == "bert-inf+transformer-inf" || both == "transformer-inf+bert-inf" {
+			t.Errorf("greedy paired the two compute-bound jobs: %s", both)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/profiler"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/trace"
+	"orion/internal/workload"
+)
+
+// Client churn: a best-effort client dies mid-run; the high-priority job's
+// latency returns to its dedicated level and the scheduler keeps working.
+func TestBEClientChurn(t *testing.T) {
+	hpM := workload.ResNet50Inference()
+	beM := workload.ResNet50Training()
+	hpProf, err := profiler.Collect(hpM, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	beProf, err := profiler.Collect(beM, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := sim.NewEngine()
+	eng.MaxEvents = 500_000_000
+	dev, _ := gpu.NewDevice(eng, gpu.V100())
+	ctx := cudart.NewContext(dev)
+	o, err := New(eng, ctx, Config{Profiles: map[string]*profiler.Profile{
+		hpM.ID(): hpProf, beM.ID(): beProf,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpc, _ := o.Register(sched.ClientConfig{Name: "hp", Priority: sched.HighPriority, Model: hpM})
+	bec, _ := o.Register(sched.ClientConfig{Name: "be", Priority: sched.BestEffort, Model: beM})
+	o.Start()
+
+	horizon := sim.Time(sim.Seconds(8))
+	arr, _ := trace.NewPoisson(30, sim.NewRand(9))
+	hpd, _ := sched.NewDriver(sched.DriverConfig{
+		Engine: eng, Client: hpc, Model: hpM, Arrivals: arr,
+		Horizon: horizon, Warmup: sim.Seconds(4), // measure only after the churn
+	})
+	bed, _ := sched.NewDriver(sched.DriverConfig{
+		Engine: eng, Client: bec, Model: beM, Horizon: horizon,
+	})
+	hpd.Start()
+	bed.Start()
+
+	// The best-effort trainer dies at t=3s.
+	eng.At(sim.Time(sim.Seconds(3)), bed.Stop)
+	eng.RunUntil(horizon)
+
+	if !bed.Stopped() {
+		t.Fatal("best-effort driver not stopped")
+	}
+	beIters := bed.TotalCompleted()
+	if beIters == 0 || beIters > 35 {
+		t.Fatalf("best-effort completed %d iterations, want ~30 then death", beIters)
+	}
+	// Post-churn, the high-priority job has the device to itself: its
+	// measured window (4s..8s) should sit at the dedicated level.
+	p50 := hpd.Stats().Latency.P50()
+	if p50 > hpProf.RequestLatency*11/10 {
+		t.Errorf("post-churn p50 %.2fms vs dedicated %.2fms; scheduler did not recover",
+			p50.Millis(), hpProf.RequestLatency.Millis())
+	}
+	if hpd.Stats().Completed == 0 {
+		t.Fatal("no high-priority requests measured")
+	}
+}
+
+// High-priority churn: the HP client stops; best-effort work floods the
+// now-idle device (hp_task_running goes false for good).
+func TestHPClientChurnFreesBestEffort(t *testing.T) {
+	hpM := workload.BERTInference()
+	beM := workload.MobileNetV2Training()
+	hpProf, _ := profiler.Collect(hpM, gpu.V100())
+	beProf, _ := profiler.Collect(beM, gpu.V100())
+
+	eng := sim.NewEngine()
+	eng.MaxEvents = 500_000_000
+	dev, _ := gpu.NewDevice(eng, gpu.V100())
+	ctx := cudart.NewContext(dev)
+	o, _ := New(eng, ctx, Config{Profiles: map[string]*profiler.Profile{
+		hpM.ID(): hpProf, beM.ID(): beProf,
+	}})
+	hpc, _ := o.Register(sched.ClientConfig{Name: "hp", Priority: sched.HighPriority, Model: hpM})
+	bec, _ := o.Register(sched.ClientConfig{Name: "be", Priority: sched.BestEffort, Model: beM})
+	o.Start()
+
+	horizon := sim.Time(sim.Seconds(8))
+	arr, _ := trace.NewPoisson(5, sim.NewRand(10))
+	hpd, _ := sched.NewDriver(sched.DriverConfig{Engine: eng, Client: hpc, Model: hpM, Arrivals: arr, Horizon: horizon})
+	bed, _ := sched.NewDriver(sched.DriverConfig{
+		Engine: eng, Client: bec, Model: beM,
+		Horizon: horizon, Warmup: sim.Seconds(4),
+	})
+	hpd.Start()
+	bed.Start()
+	eng.At(sim.Time(sim.Seconds(3)), hpd.Stop)
+	eng.RunUntil(horizon)
+
+	// With the high-priority client gone, the trainer should run at its
+	// throttled-but-unblocked rate in the 4s..8s window.
+	thr := bed.Stats().Throughput()
+	if thr < 9 {
+		t.Errorf("best-effort at %.2f it/s after high-priority churn, want near dedicated 12.5", thr)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"orion/internal/sim"
+)
+
+// Decision records one scheduling verdict for a best-effort kernel — the
+// scheduler's explanation of why a kernel was admitted or deferred.
+// Decisions feed the decision log, a bounded ring buffer for debugging
+// and the orion-sim introspection output.
+type Decision struct {
+	// At is when the verdict was made.
+	At sim.Time
+	// Client is the best-effort client's name.
+	Client string
+	// Kernel is the kernel's name.
+	Kernel string
+	// Verdict is the outcome.
+	Verdict Verdict
+}
+
+// Verdict enumerates the reasons a best-effort kernel is admitted or
+// deferred, mirroring the branches of Listing 1.
+type Verdict int
+
+const (
+	// AdmittedIdle: no high-priority work was active.
+	AdmittedIdle Verdict = iota
+	// AdmittedOpposite: small kernel with opposite (or unknown) profile
+	// to the executing high-priority kernel.
+	AdmittedOpposite
+	// DeferredThrottle: outstanding best-effort duration exceeded
+	// DUR_THRESHOLD and prior kernels were still in flight.
+	DeferredThrottle
+	// DeferredSMs: the kernel's SM requirement met or exceeded
+	// SM_THRESHOLD.
+	DeferredSMs
+	// DeferredProfile: the kernel's profile matched the executing
+	// high-priority kernel's.
+	DeferredProfile
+	// DeferredPCIe: a best-effort memory copy waited out an in-flight
+	// high-priority transfer (ScheduleMemcpys extension).
+	DeferredPCIe
+)
+
+// Admitted reports whether the verdict allowed submission.
+func (v Verdict) Admitted() bool { return v == AdmittedIdle || v == AdmittedOpposite }
+
+func (v Verdict) String() string {
+	switch v {
+	case AdmittedIdle:
+		return "admitted:hp-idle"
+	case AdmittedOpposite:
+		return "admitted:opposite-profile"
+	case DeferredThrottle:
+		return "deferred:duration-throttle"
+	case DeferredSMs:
+		return "deferred:sm-threshold"
+	case DeferredProfile:
+		return "deferred:same-profile"
+	case DeferredPCIe:
+		return "deferred:pcie-busy"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// decisionLog is a fixed-capacity ring of the most recent decisions.
+type decisionLog struct {
+	buf   []Decision
+	next  int
+	count uint64
+	// byVerdict tallies every decision ever made, not just retained ones.
+	byVerdict map[Verdict]uint64
+}
+
+func newDecisionLog(capacity int) *decisionLog {
+	return &decisionLog{
+		buf:       make([]Decision, capacity),
+		byVerdict: map[Verdict]uint64{},
+	}
+}
+
+func (l *decisionLog) record(d Decision) {
+	l.byVerdict[d.Verdict]++
+	if len(l.buf) == 0 {
+		return
+	}
+	l.buf[l.next] = d
+	l.next = (l.next + 1) % len(l.buf)
+	l.count++
+}
+
+// recent returns up to n of the latest decisions, newest last.
+func (l *decisionLog) recent(n int) []Decision {
+	if len(l.buf) == 0 || n <= 0 {
+		return nil
+	}
+	have := int(l.count)
+	if have > len(l.buf) {
+		have = len(l.buf)
+	}
+	if n > have {
+		n = have
+	}
+	out := make([]Decision, 0, n)
+	start := (l.next - n + len(l.buf)) % len(l.buf)
+	for i := 0; i < n; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// DefaultDecisionLogSize bounds the retained decision history.
+const DefaultDecisionLogSize = 1024
+
+// RecentDecisions returns up to n of the scheduler's latest best-effort
+// verdicts, oldest first. Empty until best-effort kernels flow.
+func (o *Orion) RecentDecisions(n int) []Decision {
+	if o.decisions == nil {
+		return nil
+	}
+	return o.decisions.recent(n)
+}
+
+// VerdictCounts tallies every verdict the scheduler has issued.
+func (o *Orion) VerdictCounts() map[Verdict]uint64 {
+	out := map[Verdict]uint64{}
+	if o.decisions == nil {
+		return out
+	}
+	for k, v := range o.decisions.byVerdict {
+		out[k] = v
+	}
+	return out
+}
+
+// FormatDecisions renders decisions as a debugging table.
+func FormatDecisions(ds []Decision) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-18s %-22s %s\n", "t(ms)", "client", "kernel", "verdict")
+	for _, d := range ds {
+		fmt.Fprintf(&b, "%-12.3f %-18s %-22s %s\n",
+			float64(d.At)/1e6, d.Client, d.Kernel, d.Verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+func TestDecisionLogRecordsVerdicts(t *testing.T) {
+	hp := mkModel("hp", workload.Inference, mkKernel(0, "hpconv", sim.Millis(1), 0.9, 0.2, 40))
+	be := mkModel("be", workload.Inference,
+		mkKernel(0, "beconv", sim.Micros(100), 0.9, 0.2, 10), // same profile: deferred
+		mkKernel(1, "bebn", sim.Micros(100), 0.1, 0.8, 10))   // opposite: admitted
+	r := newRig(t, Config{}, hp, be)
+	hpc := register(t, r.o, hp, sched.HighPriority)
+	bec := register(t, r.o, be, sched.BestEffort)
+	r.o.Start()
+	hpc.Submit(&hp.Ops[0], nil)
+	bec.Submit(&be.Ops[0], nil)
+	bec.Submit(&be.Ops[1], nil)
+	r.eng.Run()
+
+	counts := r.o.VerdictCounts()
+	if counts[DeferredProfile] == 0 {
+		t.Errorf("no same-profile deferral recorded: %v", counts)
+	}
+	if counts[AdmittedIdle] == 0 {
+		t.Errorf("the deferred kernel should eventually be admitted idle: %v", counts)
+	}
+	recent := r.o.RecentDecisions(10)
+	if len(recent) == 0 {
+		t.Fatal("no decisions retained")
+	}
+	// Newest-last ordering.
+	for i := 1; i < len(recent); i++ {
+		if recent[i].At < recent[i-1].At {
+			t.Fatal("decision log out of order")
+		}
+	}
+	out := FormatDecisions(recent)
+	if !strings.Contains(out, "verdict") || !strings.Contains(out, "be-inf") {
+		t.Errorf("FormatDecisions output:\n%s", out)
+	}
+}
+
+func TestDecisionVerdictStrings(t *testing.T) {
+	cases := map[Verdict]string{
+		AdmittedIdle:     "admitted:hp-idle",
+		AdmittedOpposite: "admitted:opposite-profile",
+		DeferredThrottle: "deferred:duration-throttle",
+		DeferredSMs:      "deferred:sm-threshold",
+		DeferredProfile:  "deferred:same-profile",
+		DeferredPCIe:     "deferred:pcie-busy",
+	}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(v), v.String(), want)
+		}
+		wantAdmit := strings.HasPrefix(want, "admitted")
+		if v.Admitted() != wantAdmit {
+			t.Errorf("%v.Admitted() = %v", v, v.Admitted())
+		}
+	}
+	if !strings.Contains(Verdict(99).String(), "99") {
+		t.Error("unknown verdict string should embed the value")
+	}
+}
+
+func TestDecisionRingWraps(t *testing.T) {
+	l := newDecisionLog(4)
+	for i := 0; i < 10; i++ {
+		l.record(Decision{At: sim.Time(i), Verdict: AdmittedIdle})
+	}
+	recent := l.recent(10)
+	if len(recent) != 4 {
+		t.Fatalf("retained %d, want 4", len(recent))
+	}
+	if recent[0].At != 6 || recent[3].At != 9 {
+		t.Fatalf("ring contents wrong: %+v", recent)
+	}
+	if l.byVerdict[AdmittedIdle] != 10 {
+		t.Fatalf("tally %d, want 10 (counts survive eviction)", l.byVerdict[AdmittedIdle])
+	}
+}
+
+func TestDecisionRingZeroCapacity(t *testing.T) {
+	l := newDecisionLog(0)
+	l.record(Decision{Verdict: DeferredSMs}) // must not panic
+	if got := l.recent(5); len(got) != 0 {
+		t.Fatalf("zero-capacity ring returned %d entries", len(got))
+	}
+	if l.byVerdict[DeferredSMs] != 1 {
+		t.Fatal("tally lost")
+	}
+}
+
+func TestRecentDecisionsFewerThanAsked(t *testing.T) {
+	l := newDecisionLog(8)
+	l.record(Decision{At: 1})
+	l.record(Decision{At: 2})
+	got := l.recent(5)
+	if len(got) != 2 || got[0].At != 1 || got[1].At != 2 {
+		t.Fatalf("recent = %+v", got)
+	}
+}

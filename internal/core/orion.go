@@ -1,0 +1,512 @@
+// Package core implements the Orion scheduler — the paper's primary
+// contribution: a fine-grained, interference-aware GPU scheduler that
+// intercepts the operations of clients sharing a GPU and decides, per
+// kernel, when to submit them to the hardware.
+//
+// The policy follows Listing 1 of the paper:
+//
+//   - high-priority operations go straight to a dedicated high-priority
+//     CUDA stream;
+//   - a best-effort kernel is submitted only if no high-priority task is
+//     running, or if it is small (sm_needed < SM_THRESHOLD) and has the
+//     opposite compute/memory profile to the currently running
+//     high-priority kernel (unknown-profile kernels pair with anything);
+//   - because submitted kernels cannot be preempted, the total expected
+//     duration of outstanding best-effort kernels is throttled to
+//     DUR_THRESHOLD percent of the high-priority job's dedicated request
+//     latency, tracked with CUDA events (cudaEventQuery, never blocking);
+//   - memory operations bypass the policy and go straight to the device
+//     (§5.1.3);
+//   - multiple best-effort clients are served round-robin, each on its
+//     own stream.
+package core
+
+import (
+	"fmt"
+
+	"orion/internal/cudart"
+	"orion/internal/kernels"
+	"orion/internal/profiler"
+	"orion/internal/sched"
+	"orion/internal/sim"
+)
+
+// DefaultDurThreshold is the paper's default DUR_THRESHOLD: outstanding
+// best-effort kernel time is capped at 2.5% of the high-priority job's
+// request latency (§5.1.1, §6.4).
+const DefaultDurThreshold = 0.025
+
+// DefaultInterceptOverhead is the client-side CPU cost of Orion's kernel
+// launch interception and queue insertion; the paper measures the total
+// interception overhead at under 1% (§6.5).
+const DefaultInterceptOverhead = 300 * sim.Nanosecond
+
+// DefaultPollInterval is the scheduler's reaction time to a best-effort
+// completion event: the cudaEventQuery poll plus the kernel-launch round
+// trip of the scheduler thread. Every serialized best-effort kernel pays
+// it, which is what keeps throttled best-effort jobs below their dedicated
+// throughput (paper Table 4).
+const DefaultPollInterval = 20 * sim.Microsecond
+
+// Config tunes the Orion scheduler. The zero value plus a profile table
+// gives the paper's defaults; the ablation flags reproduce the Figure 14
+// policy breakdown when selectively disabled.
+type Config struct {
+	// Profiles maps workload ID to its offline profile. Every client
+	// registered must have an entry (run profiler.Collect first).
+	Profiles map[string]*profiler.Profile
+
+	// SMThreshold is the size cap for collocating a best-effort kernel
+	// alongside a running high-priority kernel. Zero selects the paper's
+	// default: the total number of SMs on the device.
+	SMThreshold int
+
+	// DurThreshold is the outstanding best-effort duration cap as a
+	// fraction of high-priority request latency. Zero selects
+	// DefaultDurThreshold (2.5%).
+	DurThreshold float64
+
+	// DisableStreamPriorities runs all streams at the same priority
+	// (Figure 14: Orion works even where priorities are unavailable,
+	// e.g. under MPS).
+	DisableStreamPriorities bool
+	// DisableProfileCheck drops the compute/memory opposite-profile
+	// condition (Figure 14 "Stream Priorities" / "+SM size" ablations).
+	DisableProfileCheck bool
+	// DisableSMCheck drops the sm_needed < SM_THRESHOLD condition.
+	DisableSMCheck bool
+	// DisableDurThrottle drops the outstanding-duration throttle.
+	DisableDurThrottle bool
+
+	// InterceptOverhead is the per-op client-side interception cost.
+	// Zero selects DefaultInterceptOverhead.
+	InterceptOverhead sim.Duration
+
+	// PollInterval is the scheduler's wakeup delay after a best-effort
+	// completion event. Zero selects DefaultPollInterval.
+	PollInterval sim.Duration
+
+	// ScheduleMemcpys enables the §5.1.3 extension: instead of passing
+	// best-effort memory copies straight through, Orion defers them while
+	// any high-priority transfer is in flight, so best-effort H2D/D2H
+	// traffic never contends with the high-priority job for PCIe
+	// bandwidth. Off by default, matching the paper's current design.
+	ScheduleMemcpys bool
+
+	// AutoTuneSM selects the dynamic SM_THRESHOLD tuning mode (§5.1.1).
+	// The default enables the binary-search tuner exactly when the
+	// high-priority client is a training job.
+	AutoTuneSM AutoTuneMode
+	// TuneInterval is the tuner's sampling period (default 500 ms).
+	TuneInterval sim.Duration
+	// TuneTolerance is the accepted high-priority throughput loss while
+	// raising the threshold (default 0.15).
+	TuneTolerance float64
+}
+
+// Orion is the scheduler backend.
+type Orion struct {
+	eng *sim.Engine
+	ctx *cudart.Context
+	cfg Config
+
+	hp      *client
+	be      []*client
+	rrNext  int
+	started bool
+
+	// hpProfiles is the FIFO of outstanding high-priority kernel
+	// profiles; the front is the kernel currently executing (stream
+	// order guarantees in-order completion).
+	hpProfiles []kernels.Profile
+	hpOut      int // outstanding high-priority ops of any kind
+
+	// beOutstanding is the expected total duration of outstanding
+	// best-effort kernels (be_duration in Listing 1).
+	beOutstanding sim.Duration
+
+	// hpCopiesOut counts outstanding high-priority memory copies, the
+	// PCIe-pressure signal for the ScheduleMemcpys extension.
+	hpCopiesOut int
+
+	inSchedule bool
+	again      bool
+	tuner      *tuner
+	decisions  *decisionLog
+
+	// stats
+	beDeferred   uint64 // policy said "not now" for a best-effort kernel
+	beSubmitted  uint64
+	hpSubmitted  uint64
+	throttleHits uint64
+}
+
+type client struct {
+	o       *Orion
+	cfg     sched.ClientConfig
+	profile *profiler.Profile
+	stream  *cudart.Stream
+	tracker *sched.Tracker
+	queue   []*queuedOp
+	// event tracks the most recently submitted best-effort kernel
+	// (be_submitted in Listing 1), polled with cudaEventQuery.
+	event *cudart.Event
+	// requests counts completed requests (EndRequest firings), the
+	// throughput signal the SM_THRESHOLD tuner watches.
+	requests uint64
+}
+
+type queuedOp struct {
+	op   *kernels.Descriptor
+	prof *profiler.KernelProfile
+	done func(sim.Time)
+}
+
+// New creates an Orion scheduler over the context.
+func New(eng *sim.Engine, ctx *cudart.Context, cfg Config) (*Orion, error) {
+	if eng == nil || ctx == nil {
+		return nil, fmt.Errorf("orion: nil engine or context")
+	}
+	if cfg.DurThreshold == 0 {
+		cfg.DurThreshold = DefaultDurThreshold
+	}
+	if cfg.DurThreshold < 0 || cfg.DurThreshold > 1 {
+		return nil, fmt.Errorf("orion: DurThreshold %v outside (0,1]", cfg.DurThreshold)
+	}
+	if cfg.SMThreshold == 0 {
+		cfg.SMThreshold = ctx.Device().Spec().NumSMs
+	}
+	if cfg.SMThreshold < 0 {
+		return nil, fmt.Errorf("orion: negative SMThreshold")
+	}
+	if cfg.InterceptOverhead == 0 {
+		cfg.InterceptOverhead = DefaultInterceptOverhead
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = DefaultPollInterval
+	}
+	if cfg.PollInterval < 0 {
+		return nil, fmt.Errorf("orion: negative PollInterval")
+	}
+	return &Orion{
+		eng: eng, ctx: ctx, cfg: cfg,
+		decisions: newDecisionLog(DefaultDecisionLogSize),
+	}, nil
+}
+
+// Name implements sched.Backend.
+func (o *Orion) Name() string { return "orion" }
+
+// Register implements sched.Backend. Exactly one high-priority client may
+// register; any number of best-effort clients may.
+func (o *Orion) Register(cc sched.ClientConfig) (sched.Client, error) {
+	if o.started {
+		return nil, fmt.Errorf("orion: register after Start")
+	}
+	if cc.Model == nil {
+		return nil, fmt.Errorf("orion: client %q has no model", cc.Name)
+	}
+	prof := o.cfg.Profiles[cc.Model.ID()]
+	if prof == nil {
+		return nil, fmt.Errorf("orion: no offline profile for %s (run profiler.Collect)", cc.Model.ID())
+	}
+	if prof.RequestLatency <= 0 {
+		return nil, fmt.Errorf("orion: profile for %s has no request latency", cc.Model.ID())
+	}
+	prio := 0
+	if cc.Priority == sched.HighPriority && !o.cfg.DisableStreamPriorities {
+		prio = 1
+	}
+	c := &client{
+		o:       o,
+		cfg:     cc,
+		profile: prof,
+		stream:  o.ctx.StreamCreateWithPriority(prio),
+		tracker: sched.NewTracker(o.eng),
+		event:   o.ctx.EventCreate(),
+	}
+	if cc.Priority == sched.HighPriority {
+		if o.hp != nil {
+			return nil, fmt.Errorf("orion: second high-priority client %q", cc.Name)
+		}
+		o.hp = c
+	} else {
+		o.be = append(o.be, c)
+	}
+	return c, nil
+}
+
+// Start implements sched.Backend.
+func (o *Orion) Start() {
+	o.started = true
+	o.startTuner()
+}
+
+// SetSMThreshold adjusts the SM threshold at runtime (used by the dynamic
+// tuner and the sensitivity benches).
+func (o *Orion) SetSMThreshold(v int) {
+	if v < 0 {
+		v = 0
+	}
+	o.cfg.SMThreshold = v
+}
+
+// SMThreshold reports the current SM threshold.
+func (o *Orion) SMThreshold() int { return o.cfg.SMThreshold }
+
+// Stats reports scheduler counters: high-priority and best-effort kernels
+// submitted, best-effort deferrals, and duration-throttle hits.
+func (o *Orion) Stats() (hpSubmitted, beSubmitted, beDeferred, throttleHits uint64) {
+	return o.hpSubmitted, o.beSubmitted, o.beDeferred, o.throttleHits
+}
+
+// --- sched.Client implementation -----------------------------------------
+
+func (c *client) BeginRequest() {}
+
+func (c *client) LaunchOverhead() sim.Duration { return c.o.cfg.InterceptOverhead }
+
+// Submit intercepts one client operation into the client's software queue
+// and pokes the scheduler.
+func (c *client) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
+	if op == nil {
+		return fmt.Errorf("orion: nil op")
+	}
+	if err := sched.CheckCapacity(c.o.ctx, op); err != nil {
+		return err
+	}
+	var prof *profiler.KernelProfile
+	if op.Op == kernels.OpKernel {
+		p, ok := c.profile.Kernel(op.ID)
+		if !ok || p.Duration <= 0 || p.Name != op.Name {
+			// Not part of the offline profile (e.g. a fused CUDA graph):
+			// characterize it from its launch parameters on the fly.
+			derived, err := profiler.Derive(op, c.o.ctx.Device().Spec())
+			if err != nil {
+				return fmt.Errorf("orion: %s kernel %d not profiled and underivable: %w",
+					c.cfg.Name, op.ID, err)
+			}
+			p = derived
+		}
+		prof = p
+	}
+	c.tracker.OnSubmit()
+	c.queue = append(c.queue, &queuedOp{op: op, prof: prof, done: done})
+	c.o.schedule()
+	return nil
+}
+
+// EndRequest fires cb once everything the client submitted has completed.
+func (c *client) EndRequest(cb func(sim.Time)) error {
+	c.tracker.Sync(func(at sim.Time) {
+		c.requests++
+		if cb != nil {
+			cb(at)
+		}
+	})
+	return nil
+}
+
+// --- scheduler ------------------------------------------------------------
+
+// schedule runs the Listing 1 policy loop until no further operation can
+// be submitted. It is re-entrant-safe: activations during a pass coalesce
+// into another pass.
+func (o *Orion) schedule() {
+	if o.inSchedule {
+		o.again = true
+		return
+	}
+	o.inSchedule = true
+	for {
+		o.again = false
+		progress := true
+		for progress {
+			progress = false
+			if o.hp != nil && o.drainHP() {
+				progress = true
+			}
+			if o.serveBE() {
+				progress = true
+			}
+		}
+		if !o.again {
+			break
+		}
+	}
+	o.inSchedule = false
+}
+
+// drainHP submits every queued high-priority op directly to the dedicated
+// high-priority stream (Listing 1 lines 7-9).
+func (o *Orion) drainHP() bool {
+	c := o.hp
+	progress := false
+	for len(c.queue) > 0 {
+		q := c.queue[0]
+		c.queue = c.queue[:copy(c.queue, c.queue[1:])]
+		if q.op.Op == kernels.OpKernel {
+			o.hpProfiles = append(o.hpProfiles, q.prof.Class)
+		}
+		if q.op.Op.IsMemcpy() {
+			o.hpCopiesOut++
+		}
+		o.hpOut++
+		o.hpSubmitted++
+		o.submit(c, q, true)
+		progress = true
+	}
+	return progress
+}
+
+// hpTaskRunning reports whether any high-priority work is queued or
+// outstanding on the device.
+func (o *Orion) hpTaskRunning() bool {
+	if o.hp == nil {
+		return false
+	}
+	return o.hpOut > 0 || len(o.hp.queue) > 0
+}
+
+// currentHPProfile is the profile of the high-priority kernel currently
+// executing (front of the outstanding FIFO).
+func (o *Orion) currentHPProfile() kernels.Profile {
+	if len(o.hpProfiles) == 0 {
+		return kernels.ProfileUnknown
+	}
+	return o.hpProfiles[0]
+}
+
+// durBudget is DUR_THRESHOLD expressed in time: a fraction of the
+// high-priority job's dedicated request latency. With no high-priority
+// client there is nothing to protect and the throttle is off.
+func (o *Orion) durBudget() sim.Duration {
+	if o.hp == nil {
+		return 1 << 62
+	}
+	return sim.Duration(float64(o.hp.profile.RequestLatency) * o.cfg.DurThreshold)
+}
+
+// serveBE makes one round-robin pass over best-effort clients, submitting
+// at most one operation per client (Listing 1 lines 10-21 generalized to
+// N clients).
+func (o *Orion) serveBE() bool {
+	n := len(o.be)
+	progress := false
+	for i := 0; i < n; i++ {
+		c := o.be[(o.rrNext+i)%n]
+		if len(c.queue) == 0 {
+			continue
+		}
+		q := c.queue[0]
+
+		if q.op.Op != kernels.OpKernel {
+			// Memory operations bypass the kernel policy (§5.1.3) —
+			// unless PCIe-aware scheduling is on, in which case a
+			// best-effort copy waits out in-flight high-priority
+			// transfers.
+			if o.cfg.ScheduleMemcpys && q.op.Op.IsMemcpy() && o.hpCopiesOut > 0 {
+				o.beDeferred++
+				o.decisions.record(Decision{
+					At: o.eng.Now(), Client: c.cfg.Name, Kernel: q.op.Name,
+					Verdict: DeferredPCIe,
+				})
+				continue
+			}
+			c.queue = c.queue[:copy(c.queue, c.queue[1:])]
+			o.submit(c, q, false)
+			progress = true
+			continue
+		}
+
+		verdict := o.admitBE(q)
+		o.decisions.record(Decision{
+			At: o.eng.Now(), Client: c.cfg.Name, Kernel: q.op.Name, Verdict: verdict,
+		})
+		if !verdict.Admitted() {
+			o.beDeferred++
+			continue
+		}
+		c.queue = c.queue[:copy(c.queue, c.queue[1:])]
+		o.beOutstanding += q.prof.Duration
+		o.beSubmitted++
+		o.submit(c, q, false)
+		// Record the submission in a CUDA event (be_submitted.record).
+		if err := o.ctx.EventRecord(c.event, c.stream); err != nil {
+			panic(fmt.Sprintf("orion: event record: %v", err))
+		}
+		c.event.OnComplete(func(sim.Time) {
+			// The scheduler notices the completion at its next poll.
+			o.eng.After(o.cfg.PollInterval, o.schedule)
+		})
+		progress = true
+	}
+	if n > 0 {
+		o.rrNext = (o.rrNext + 1) % n
+	}
+	return progress
+}
+
+// admitBE is schedule_be plus the duration throttle of Listing 1,
+// returning the reason for its verdict.
+func (o *Orion) admitBE(q *queuedOp) Verdict {
+	// Duration throttle (lines 12-16): outstanding best-effort work must
+	// stay under the budget; it resets only when the last submitted
+	// best-effort kernels have finished (cudaEventQuery, non-blocking).
+	if !o.cfg.DisableDurThrottle && o.beOutstanding > o.durBudget() {
+		if o.allBEEventsFinished() {
+			o.beOutstanding = 0
+		} else {
+			o.throttleHits++
+			return DeferredThrottle
+		}
+	}
+
+	// schedule_be (lines 23-30).
+	if !o.hpTaskRunning() {
+		return AdmittedIdle
+	}
+	if !o.cfg.DisableSMCheck && q.prof.SMsNeeded >= o.cfg.SMThreshold {
+		return DeferredSMs
+	}
+	if !o.cfg.DisableProfileCheck &&
+		!kernels.Opposite(q.prof.Class, o.currentHPProfile()) {
+		return DeferredProfile
+	}
+	return AdmittedOpposite
+}
+
+// allBEEventsFinished polls every best-effort client's last-submission
+// event without blocking.
+func (o *Orion) allBEEventsFinished() bool {
+	for _, c := range o.be {
+		if !c.event.Query() {
+			return false
+		}
+	}
+	return true
+}
+
+// submit lowers an operation onto the client's stream and hooks completion
+// back into the scheduler.
+func (o *Orion) submit(c *client, q *queuedOp, hp bool) {
+	done := func(at sim.Time) {
+		if hp {
+			o.hpOut--
+			if q.op.Op == kernels.OpKernel && len(o.hpProfiles) > 0 {
+				o.hpProfiles = o.hpProfiles[:copy(o.hpProfiles, o.hpProfiles[1:])]
+			}
+			if q.op.Op.IsMemcpy() {
+				o.hpCopiesOut--
+			}
+		}
+		c.tracker.OnComplete(at)
+		if q.done != nil {
+			q.done(at)
+		}
+		o.schedule()
+	}
+	if err := sched.SubmitTo(o.ctx, c.stream, q.op, done); err != nil {
+		panic(fmt.Sprintf("orion: submit %s: %v", q.op.Name, err))
+	}
+}

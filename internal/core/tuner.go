@@ -1,0 +1,138 @@
+package core
+
+import (
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// AutoTuneMode controls the dynamic SM_THRESHOLD tuner of §5.1.1: when the
+// high-priority job is throughput-oriented (training), SM_THRESHOLD can be
+// raised for more aggressive collocation, found by binary search on the
+// high-priority job's throughput. The search runs between zero and the
+// maximum SM requirement of any best-effort kernel.
+type AutoTuneMode int
+
+const (
+	// AutoTuneDefault enables tuning exactly when the high-priority
+	// client is a training job — the paper's behaviour.
+	AutoTuneDefault AutoTuneMode = iota
+	// AutoTuneOn always tunes.
+	AutoTuneOn
+	// AutoTuneOff pins SM_THRESHOLD at its configured value.
+	AutoTuneOff
+)
+
+// Tuning defaults.
+const (
+	// DefaultTuneInterval is how often the tuner re-evaluates
+	// high-priority throughput.
+	DefaultTuneInterval = 500 * sim.Millisecond
+	// DefaultTuneTolerance is the throughput degradation the tuner
+	// accepts while raising the threshold (the paper reports keeping
+	// high-priority training within 16% of dedicated).
+	DefaultTuneTolerance = 0.15
+)
+
+// tuner runs the binary search. All state lives on the engine's virtual
+// clock; the search converges in log2(maxSM) intervals.
+type tuner struct {
+	o         *Orion
+	interval  sim.Duration
+	tolerance float64
+
+	lo, hi    int // search bounds on SM_THRESHOLD
+	reference float64
+
+	// measurement window: the tuner only judges throughput once enough
+	// requests completed for the estimate to beat quantization noise.
+	windowStart sim.Time
+	windowCount uint64
+}
+
+// tuneMinRequests is the minimum completed high-priority requests per
+// measurement before the tuner adjusts the threshold; below it, a single
+// request of jitter would exceed the tolerance being enforced.
+const tuneMinRequests = 8
+
+// startTuner arms the tuner if the configuration and client mix call for
+// it. Called from Orion.Start.
+func (o *Orion) startTuner() {
+	switch o.cfg.AutoTuneSM {
+	case AutoTuneOff:
+		return
+	case AutoTuneDefault:
+		if o.hp == nil || o.hp.cfg.Model.Kind != workload.Training || len(o.be) == 0 {
+			return
+		}
+	case AutoTuneOn:
+		if o.hp == nil || len(o.be) == 0 {
+			return
+		}
+	}
+	maxSM := 0
+	for _, c := range o.be {
+		for _, k := range c.profile.Kernels {
+			if k.SMsNeeded > maxSM {
+				maxSM = k.SMsNeeded
+			}
+		}
+	}
+	if maxSM == 0 {
+		return
+	}
+	interval := o.cfg.TuneInterval
+	if interval == 0 {
+		interval = DefaultTuneInterval
+	}
+	tolerance := o.cfg.TuneTolerance
+	if tolerance == 0 {
+		tolerance = DefaultTuneTolerance
+	}
+	t := &tuner{
+		o:         o,
+		interval:  interval,
+		tolerance: tolerance,
+		lo:        0,
+		hi:        maxSM + 1,
+		reference: 1 / o.hp.profile.RequestLatency.Seconds(),
+	}
+	// Start optimistic: admit everything the search range allows, then
+	// back off if high-priority throughput degrades.
+	o.SetSMThreshold(t.hi)
+	t.windowStart = o.eng.Now()
+	t.windowCount = o.hp.requests
+	o.tuner = t
+	o.eng.AfterWeak(t.interval, t.tick)
+}
+
+// tick measures high-priority request throughput over the accumulated
+// window and halves the search range accordingly. Windows with too few
+// completions keep accumulating instead of judging on noise.
+func (t *tuner) tick() {
+	o := t.o
+	completed := o.hp.requests - t.windowCount
+	if completed < tuneMinRequests {
+		o.eng.AfterWeak(t.interval, t.tick)
+		return
+	}
+	elapsed := o.eng.Now().Sub(t.windowStart).Seconds()
+	// Half a request of slack absorbs window-boundary quantization.
+	rate := (float64(completed) + 0.5) / elapsed
+	t.windowStart = o.eng.Now()
+	t.windowCount = o.hp.requests
+
+	if rate >= (1-t.tolerance)*t.reference {
+		// High-priority job healthy: current threshold is admissible.
+		t.lo = o.SMThreshold()
+	} else {
+		// Too much interference: current threshold is too high.
+		t.hi = o.SMThreshold() - 1
+		if t.hi < t.lo {
+			t.hi = t.lo
+		}
+	}
+	next := (t.lo + t.hi + 1) / 2
+	o.SetSMThreshold(next)
+	o.schedule()
+	o.eng.AfterWeak(t.interval, t.tick)
+}

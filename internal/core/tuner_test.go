@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/profiler"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// collocateTrainers runs HP + BE training jobs under Orion with the given
+// config and returns (hp it/s, be it/s, final SM threshold).
+func collocateTrainers(t *testing.T, cfg Config, hpM, beM *workload.Model) (float64, float64, int) {
+	t.Helper()
+	hpProf, err := profiler.Collect(hpM, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	beProf, err := profiler.Collect(beM, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	eng.MaxEvents = 500_000_000
+	dev, _ := gpu.NewDevice(eng, gpu.V100())
+	ctx := cudartContext(dev)
+	cfg.Profiles = map[string]*profiler.Profile{hpM.ID(): hpProf, beM.ID(): beProf}
+	o, err := New(eng, ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpc, err := o.Register(sched.ClientConfig{Name: "hp", Priority: sched.HighPriority, Model: hpM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bec, err := o.Register(sched.ClientConfig{Name: "be", Priority: sched.BestEffort, Model: beM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Start()
+	horizon := sim.Time(sim.Seconds(10))
+	hpd, _ := sched.NewDriver(sched.DriverConfig{Engine: eng, Client: hpc, Model: hpM, Horizon: horizon, Warmup: sim.Seconds(3)})
+	bed, _ := sched.NewDriver(sched.DriverConfig{Engine: eng, Client: bec, Model: beM, Horizon: horizon, Warmup: sim.Seconds(3)})
+	hpd.Start()
+	bed.Start()
+	eng.Run()
+	return hpd.Stats().Throughput(), bed.Stats().Throughput(), o.SMThreshold()
+}
+
+// The §5.1.1 tuner: with a high-priority training job, the threshold is
+// raised so best-effort device-filling kernels collocate, while the
+// high-priority job keeps most of its dedicated throughput.
+func TestTunerEnablesTrainTrainHarvest(t *testing.T) {
+	hpThr, beThr, final := collocateTrainers(t, Config{},
+		workload.ResNet50Training(), workload.MobileNetV2Training())
+	if beThr < 2 {
+		t.Errorf("tuned best-effort trainer at %.2f it/s, want real harvest", beThr)
+	}
+	if hpThr < 0.75*10.3 {
+		t.Errorf("tuned high-priority trainer at %.2f it/s, dropped below 75%% of dedicated 10.3", hpThr)
+	}
+	if final <= 80 {
+		t.Logf("final SM threshold %d (tuner backed off)", final)
+	}
+}
+
+// AutoTuneOff pins the threshold: device-filling best-effort kernels stay
+// blocked and the best-effort trainer starves.
+func TestTunerOffStarvesBigBEKernels(t *testing.T) {
+	_, beThr, final := collocateTrainers(t, Config{AutoTuneSM: AutoTuneOff},
+		workload.ResNet50Training(), workload.MobileNetV2Training())
+	if final != 80 {
+		t.Errorf("threshold moved to %d despite AutoTuneOff", final)
+	}
+	if beThr > 1.5 {
+		t.Errorf("best-effort trainer at %.2f it/s with 80-SM threshold; its conv kernels should be blocked", beThr)
+	}
+}
+
+// AutoTuneDefault must not tune for a high-priority inference job:
+// latency-critical jobs keep the conservative default.
+func TestTunerDefaultOffForInference(t *testing.T) {
+	hpM, beM := workload.ResNet50Inference(), workload.ResNet50Training()
+	hpProf, _ := profiler.Collect(hpM, gpu.V100())
+	beProf, _ := profiler.Collect(beM, gpu.V100())
+	eng := sim.NewEngine()
+	dev, _ := gpu.NewDevice(eng, gpu.V100())
+	o, err := New(eng, cudartContext(dev), Config{
+		Profiles: map[string]*profiler.Profile{hpM.ID(): hpProf, beM.ID(): beProf},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Register(sched.ClientConfig{Name: "hp", Priority: sched.HighPriority, Model: hpM})
+	o.Register(sched.ClientConfig{Name: "be", Priority: sched.BestEffort, Model: beM})
+	o.Start()
+	if o.tuner != nil {
+		t.Fatal("tuner armed for a high-priority inference job under AutoTuneDefault")
+	}
+	if o.SMThreshold() != 80 {
+		t.Fatalf("threshold %d, want default 80", o.SMThreshold())
+	}
+}
+
+// AutoTuneOn arms the tuner even for inference high-priority jobs.
+func TestTunerOnForInference(t *testing.T) {
+	hpM, beM := workload.ResNet50Inference(), workload.ResNet50Training()
+	hpProf, _ := profiler.Collect(hpM, gpu.V100())
+	beProf, _ := profiler.Collect(beM, gpu.V100())
+	eng := sim.NewEngine()
+	dev, _ := gpu.NewDevice(eng, gpu.V100())
+	o, err := New(eng, cudartContext(dev), Config{
+		AutoTuneSM: AutoTuneOn,
+		Profiles:   map[string]*profiler.Profile{hpM.ID(): hpProf, beM.ID(): beProf},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Register(sched.ClientConfig{Name: "hp", Priority: sched.HighPriority, Model: hpM})
+	o.Register(sched.ClientConfig{Name: "be", Priority: sched.BestEffort, Model: beM})
+	o.Start()
+	if o.tuner == nil {
+		t.Fatal("tuner not armed under AutoTuneOn")
+	}
+}
+
+// Without best-effort clients there is nothing to tune.
+func TestTunerIdleWithoutBEClients(t *testing.T) {
+	hpM := workload.ResNet50Training()
+	hpProf, _ := profiler.Collect(hpM, gpu.V100())
+	eng := sim.NewEngine()
+	dev, _ := gpu.NewDevice(eng, gpu.V100())
+	o, _ := New(eng, cudartContext(dev), Config{
+		Profiles: map[string]*profiler.Profile{hpM.ID(): hpProf},
+	})
+	o.Register(sched.ClientConfig{Name: "hp", Priority: sched.HighPriority, Model: hpM})
+	o.Start()
+	if o.tuner != nil {
+		t.Fatal("tuner armed with no best-effort clients")
+	}
+}
+
+// cudartContext is a tiny helper hiding the cudart import.
+func cudartContext(dev *gpu.Device) *cudart.Context { return cudart.NewContext(dev) }

@@ -1,0 +1,288 @@
+// Package cudart provides a CUDA-runtime-style API over the simulated GPU
+// device: streams with priorities, kernel launches, synchronous and
+// asynchronous memory operations, and CUDA events.
+//
+// This is the surface the real Orion intercepts with dynamically linked
+// wrappers (§5.3); here it is the surface through which schedulers and
+// example applications drive the device model. All "blocking" calls take
+// completion callbacks because everything runs inside the discrete-event
+// engine: a caller models blocking by not issuing further work until the
+// callback fires.
+package cudart
+
+import (
+	"fmt"
+
+	"orion/internal/gpu"
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+// Context wraps one GPU device, mirroring a CUDA context.
+type Context struct {
+	dev     *gpu.Device
+	streams []*Stream
+}
+
+// NewContext creates a context on the device.
+func NewContext(dev *gpu.Device) *Context {
+	return &Context{dev: dev}
+}
+
+// Device returns the underlying device.
+func (c *Context) Device() *gpu.Device { return c.dev }
+
+// Stream is a CUDA stream handle.
+type Stream struct {
+	ctx *Context
+	gs  *gpu.Stream
+}
+
+// StreamCreateWithPriority creates a stream; higher priority dispatches
+// first, mirroring cudaStreamCreateWithPriority.
+func (c *Context) StreamCreateWithPriority(priority int) *Stream {
+	s := &Stream{ctx: c, gs: c.dev.CreateStream(priority)}
+	c.streams = append(c.streams, s)
+	return s
+}
+
+// StreamCreate creates a default-priority stream.
+func (c *Context) StreamCreate() *Stream { return c.StreamCreateWithPriority(0) }
+
+// Priority returns the stream's priority.
+func (s *Stream) Priority() int { return s.gs.Priority() }
+
+// Pending reports queued-but-incomplete operations on the stream.
+func (s *Stream) Pending() int { return s.gs.Pending() }
+
+// Idle reports whether the stream has drained.
+func (s *Stream) Idle() bool { return s.gs.Idle() }
+
+// LaunchKernel submits a kernel to a stream (cudaLaunchKernel). onComplete,
+// if non-nil, fires when the kernel finishes on the device.
+func (c *Context) LaunchKernel(desc *kernels.Descriptor, s *Stream, onComplete func(sim.Time)) error {
+	if s == nil || s.ctx != c {
+		return fmt.Errorf("cudart: launch on foreign or nil stream")
+	}
+	return c.dev.Submit(s.gs, gpu.NewKernelTask(desc, onComplete))
+}
+
+// Memcpy submits a synchronous copy (cudaMemcpy): kernel dispatch stalls
+// while the transfer is in flight, and the caller should treat onComplete
+// as the unblock point.
+func (c *Context) Memcpy(desc *kernels.Descriptor, s *Stream, onComplete func(sim.Time)) error {
+	return c.memcpy(desc, s, true, onComplete)
+}
+
+// MemcpyAsync submits an asynchronous copy (cudaMemcpyAsync).
+func (c *Context) MemcpyAsync(desc *kernels.Descriptor, s *Stream, onComplete func(sim.Time)) error {
+	return c.memcpy(desc, s, false, onComplete)
+}
+
+func (c *Context) memcpy(desc *kernels.Descriptor, s *Stream, sync bool, onComplete func(sim.Time)) error {
+	if s == nil || s.ctx != c {
+		return fmt.Errorf("cudart: memcpy on foreign or nil stream")
+	}
+	if desc == nil || !desc.Op.IsMemcpy() {
+		return fmt.Errorf("cudart: memcpy with non-memcpy descriptor")
+	}
+	return c.dev.Submit(s.gs, gpu.NewCopyTask(desc, sync, onComplete))
+}
+
+// Memset submits a device-memory fill (cudaMemsetAsync semantics).
+func (c *Context) Memset(desc *kernels.Descriptor, s *Stream, onComplete func(sim.Time)) error {
+	if s == nil || s.ctx != c {
+		return fmt.Errorf("cudart: memset on foreign or nil stream")
+	}
+	if desc == nil || desc.Op != kernels.OpMemset {
+		return fmt.Errorf("cudart: memset with wrong descriptor op %v", descOp(desc))
+	}
+	return c.dev.Submit(s.gs, gpu.NewCopyTask(desc, false, onComplete))
+}
+
+func descOp(d *kernels.Descriptor) kernels.Op {
+	if d == nil {
+		return kernels.Op(-1)
+	}
+	return d.Op
+}
+
+// Allocation is a device memory allocation handle.
+type Allocation struct {
+	ctx   *Context
+	bytes int64
+	freed bool
+}
+
+// Bytes reports the allocation size.
+func (a *Allocation) Bytes() int64 { return a.bytes }
+
+// Malloc reserves device memory (cudaMalloc). The capacity check is
+// immediate; the device-synchronizing cost of the allocation is modelled
+// by a sync-op task, and onComplete fires when it finishes.
+func (c *Context) Malloc(bytes int64, s *Stream, onComplete func(sim.Time)) (*Allocation, error) {
+	if s == nil || s.ctx != c {
+		return nil, fmt.Errorf("cudart: malloc on foreign or nil stream")
+	}
+	if bytes <= 0 {
+		return nil, fmt.Errorf("cudart: malloc of %d bytes", bytes)
+	}
+	if err := c.dev.Reserve(bytes); err != nil {
+		return nil, err
+	}
+	a := &Allocation{ctx: c, bytes: bytes}
+	desc := &kernels.Descriptor{Name: "cudaMalloc", Op: kernels.OpMalloc, Bytes: bytes}
+	if err := c.dev.Submit(s.gs, gpu.NewSyncOpTask(desc, onComplete)); err != nil {
+		c.dev.Release(bytes)
+		return nil, err
+	}
+	return a, nil
+}
+
+// Free releases an allocation (cudaFree); it also device-synchronizes.
+func (c *Context) Free(a *Allocation, s *Stream, onComplete func(sim.Time)) error {
+	if s == nil || s.ctx != c {
+		return fmt.Errorf("cudart: free on foreign or nil stream")
+	}
+	if a == nil || a.ctx != c {
+		return fmt.Errorf("cudart: free of foreign or nil allocation")
+	}
+	if a.freed {
+		return fmt.Errorf("cudart: double free")
+	}
+	a.freed = true
+	desc := &kernels.Descriptor{Name: "cudaFree", Op: kernels.OpFree, Bytes: a.bytes}
+	bytes := a.bytes
+	return c.dev.Submit(s.gs, gpu.NewSyncOpTask(desc, func(at sim.Time) {
+		c.dev.Release(bytes)
+		if onComplete != nil {
+			onComplete(at)
+		}
+	}))
+}
+
+// FreeBytes releases device memory capacity by size rather than by
+// allocation handle — the form workload traces carry, since they record
+// profiled operation streams, not live pointers. Like Free, it
+// device-synchronizes before completing.
+func (c *Context) FreeBytes(bytes int64, s *Stream, onComplete func(sim.Time)) error {
+	if s == nil || s.ctx != c {
+		return fmt.Errorf("cudart: free on foreign or nil stream")
+	}
+	if bytes < 0 || bytes > c.dev.AllocatedBytes() {
+		return fmt.Errorf("cudart: freeing %d of %d allocated bytes", bytes, c.dev.AllocatedBytes())
+	}
+	desc := &kernels.Descriptor{Name: "cudaFree", Op: kernels.OpFree, Bytes: bytes}
+	return c.dev.Submit(s.gs, gpu.NewSyncOpTask(desc, func(at sim.Time) {
+		c.dev.Release(bytes)
+		if onComplete != nil {
+			onComplete(at)
+		}
+	}))
+}
+
+// Event is a CUDA event: a marker recorded into a stream whose completion
+// can be polled without blocking (cudaEventQuery) — the mechanism Orion
+// uses to track outstanding best-effort kernels (§5.1.2).
+type Event struct {
+	recorded bool
+	done     bool
+	at       sim.Time
+	waiters  []func(sim.Time)
+	// gen invalidates in-flight recordings when the event is re-recorded:
+	// only the marker from the latest EventRecord may complete the event,
+	// matching CUDA's move-the-event semantics.
+	gen uint64
+}
+
+// EventCreate returns a fresh event.
+func (c *Context) EventCreate() *Event { return &Event{} }
+
+// EventRecord records the event into the stream: it completes when every
+// operation submitted to the stream before this call has completed.
+// Re-recording a completed event resets it.
+func (c *Context) EventRecord(e *Event, s *Stream) error {
+	if s == nil || s.ctx != c {
+		return fmt.Errorf("cudart: record on foreign or nil stream")
+	}
+	if e == nil {
+		return fmt.Errorf("cudart: nil event")
+	}
+	e.recorded = true
+	e.done = false
+	e.gen++
+	gen := e.gen
+	return c.dev.Submit(s.gs, gpu.NewMarkerTask(func(at sim.Time) {
+		if e.gen != gen {
+			return // superseded by a later EventRecord
+		}
+		e.done = true
+		e.at = at
+		ws := e.waiters
+		e.waiters = nil
+		for _, w := range ws {
+			w(at)
+		}
+	}))
+}
+
+// Query reports whether the event has completed (cudaEventQuery). An event
+// that was never recorded reports true, matching CUDA.
+func (e *Event) Query() bool {
+	return !e.recorded || e.done
+}
+
+// CompletedAt reports when the event completed.
+func (e *Event) CompletedAt() sim.Time { return e.at }
+
+// OnComplete registers a callback for the event's completion. If the
+// event is already complete (or never recorded), the callback is invoked
+// immediately.
+func (e *Event) OnComplete(cb func(sim.Time)) {
+	if cb == nil {
+		return
+	}
+	if e.Query() {
+		cb(e.at)
+		return
+	}
+	e.waiters = append(e.waiters, cb)
+}
+
+// StreamSynchronize invokes cb when every operation currently submitted to
+// the stream has completed (cudaStreamSynchronize).
+func (c *Context) StreamSynchronize(s *Stream, cb func(sim.Time)) error {
+	if s == nil || s.ctx != c {
+		return fmt.Errorf("cudart: synchronize on foreign or nil stream")
+	}
+	return c.dev.Submit(s.gs, gpu.NewMarkerTask(cb))
+}
+
+// DeviceSynchronize invokes cb when all work submitted to all of the
+// context's streams has completed (cudaDeviceSynchronize).
+func (c *Context) DeviceSynchronize(cb func(sim.Time)) error {
+	pending := 0
+	var fire sim.Time
+	done := func(at sim.Time) {
+		pending--
+		if at > fire {
+			fire = at
+		}
+		if pending == 0 && cb != nil {
+			cb(fire)
+		}
+	}
+	for _, s := range c.streams {
+		pending++
+		if err := c.dev.Submit(s.gs, gpu.NewMarkerTask(done)); err != nil {
+			return err
+		}
+	}
+	if pending == 0 {
+		// No streams: already synchronized.
+		if cb != nil {
+			cb(c.dev.Engine().Now())
+		}
+	}
+	return nil
+}

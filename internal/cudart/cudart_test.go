@@ -1,0 +1,371 @@
+package cudart
+
+import (
+	"testing"
+
+	"orion/internal/gpu"
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+func newCtx(t *testing.T) (*sim.Engine, *Context) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev, err := gpu.NewDevice(eng, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, NewContext(dev)
+}
+
+func kdesc(id int, dur sim.Duration) *kernels.Descriptor {
+	return &kernels.Descriptor{
+		ID: id, Name: "k", Op: kernels.OpKernel,
+		Launch:   kernels.LaunchConfig{Blocks: 40, ThreadsPerBlock: 256, RegsPerThread: 32},
+		Duration: dur, ComputeUtil: 0.5, MemBWUtil: 0.3,
+	}
+}
+
+func cdesc(id int, op kernels.Op, bytes int64) *kernels.Descriptor {
+	return &kernels.Descriptor{ID: id, Name: "cp", Op: op, Bytes: bytes}
+}
+
+func TestLaunchKernelCompletes(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	var done sim.Time
+	if err := ctx.LaunchKernel(kdesc(1, sim.Micros(100)), s, func(at sim.Time) { done = at }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if done == 0 {
+		t.Fatal("kernel never completed")
+	}
+}
+
+func TestLaunchOnForeignStream(t *testing.T) {
+	eng, ctx := newCtx(t)
+	_, other := newCtx(t)
+	s := other.StreamCreate()
+	if err := ctx.LaunchKernel(kdesc(1, sim.Micros(10)), s, nil); err == nil {
+		t.Fatal("foreign stream accepted")
+	}
+	if err := ctx.LaunchKernel(kdesc(1, sim.Micros(10)), nil, nil); err == nil {
+		t.Fatal("nil stream accepted")
+	}
+	eng.Run()
+}
+
+func TestStreamPriorities(t *testing.T) {
+	_, ctx := newCtx(t)
+	hi := ctx.StreamCreateWithPriority(3)
+	lo := ctx.StreamCreate()
+	if hi.Priority() != 3 || lo.Priority() != 0 {
+		t.Fatalf("priorities: hi=%d lo=%d", hi.Priority(), lo.Priority())
+	}
+}
+
+func TestStreamPendingAndIdle(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	if !s.Idle() {
+		t.Fatal("fresh stream not idle")
+	}
+	ctx.LaunchKernel(kdesc(1, sim.Micros(100)), s, nil)
+	ctx.LaunchKernel(kdesc(2, sim.Micros(100)), s, nil)
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	eng.Run()
+	if !s.Idle() {
+		t.Fatal("stream not idle after drain")
+	}
+}
+
+func TestMemcpyValidation(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	if err := ctx.Memcpy(kdesc(1, 10), s, nil); err == nil {
+		t.Fatal("memcpy with kernel descriptor accepted")
+	}
+	if err := ctx.MemcpyAsync(cdesc(2, kernels.OpMemcpyH2D, 1024), nil, nil); err == nil {
+		t.Fatal("nil stream accepted")
+	}
+	if err := ctx.Memcpy(cdesc(3, kernels.OpMemcpyH2D, 1024), s, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+}
+
+func TestMemsetValidation(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	if err := ctx.Memset(cdesc(1, kernels.OpMemcpyH2D, 10), s, nil); err == nil {
+		t.Fatal("memset with memcpy descriptor accepted")
+	}
+	var done bool
+	if err := ctx.Memset(cdesc(2, kernels.OpMemset, 1<<20), s, func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("memset never completed")
+	}
+}
+
+func TestMallocReservesAndFreeReleases(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	a, err := ctx.Malloc(4<<30, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Device().AllocatedBytes() != 4<<30 {
+		t.Fatalf("allocated = %d", ctx.Device().AllocatedBytes())
+	}
+	if a.Bytes() != 4<<30 {
+		t.Fatalf("Bytes() = %d", a.Bytes())
+	}
+	var freedAt sim.Time
+	if err := ctx.Free(a, s, func(at sim.Time) { freedAt = at }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if ctx.Device().AllocatedBytes() != 0 {
+		t.Fatalf("allocated after free = %d", ctx.Device().AllocatedBytes())
+	}
+	if freedAt == 0 {
+		t.Fatal("free callback never fired")
+	}
+}
+
+func TestMallocOOM(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	if _, err := ctx.Malloc(20<<30, s, nil); err == nil {
+		t.Fatal("over-capacity malloc accepted")
+	}
+	if _, err := ctx.Malloc(0, s, nil); err == nil {
+		t.Fatal("zero-byte malloc accepted")
+	}
+	eng.Run()
+}
+
+func TestDoubleFree(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	a, err := ctx.Malloc(1<<20, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Free(a, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Free(a, s, nil); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := ctx.Free(nil, s, nil); err == nil {
+		t.Fatal("nil free accepted")
+	}
+	eng.Run()
+}
+
+func TestEventQuerySemantics(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	e := ctx.EventCreate()
+	if !e.Query() {
+		t.Fatal("unrecorded event must query true (CUDA semantics)")
+	}
+	ctx.LaunchKernel(kdesc(1, sim.Millis(1)), s, nil)
+	if err := ctx.EventRecord(e, s); err != nil {
+		t.Fatal(err)
+	}
+	if e.Query() {
+		t.Fatal("event complete before the kernel ahead of it")
+	}
+	eng.Run()
+	if !e.Query() {
+		t.Fatal("event incomplete after drain")
+	}
+	if e.CompletedAt() < sim.Time(sim.Millis(1)) {
+		t.Fatalf("event completed at %v, before the 1ms kernel", e.CompletedAt())
+	}
+}
+
+func TestEventRerecordResets(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	e := ctx.EventCreate()
+	ctx.EventRecord(e, s)
+	eng.Run()
+	if !e.Query() {
+		t.Fatal("event incomplete")
+	}
+	ctx.LaunchKernel(kdesc(1, sim.Millis(1)), s, nil)
+	ctx.EventRecord(e, s)
+	if e.Query() {
+		t.Fatal("re-recorded event did not reset")
+	}
+	eng.Run()
+	if !e.Query() {
+		t.Fatal("re-recorded event never completed")
+	}
+}
+
+func TestEventOnComplete(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	e := ctx.EventCreate()
+	ctx.LaunchKernel(kdesc(1, sim.Millis(1)), s, nil)
+	ctx.EventRecord(e, s)
+	var fired sim.Time
+	e.OnComplete(func(at sim.Time) { fired = at })
+	eng.Run()
+	if fired == 0 {
+		t.Fatal("OnComplete never fired")
+	}
+	// Already-complete event: immediate callback.
+	count := 0
+	e.OnComplete(func(sim.Time) { count++ })
+	if count != 1 {
+		t.Fatal("OnComplete on completed event not immediate")
+	}
+	e.OnComplete(nil) // must not panic
+}
+
+func TestEventRecordValidation(t *testing.T) {
+	_, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	if err := ctx.EventRecord(nil, s); err == nil {
+		t.Fatal("nil event accepted")
+	}
+	if err := ctx.EventRecord(ctx.EventCreate(), nil); err == nil {
+		t.Fatal("nil stream accepted")
+	}
+}
+
+func TestStreamSynchronize(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	ctx.LaunchKernel(kdesc(1, sim.Millis(2)), s, nil)
+	var at sim.Time
+	if err := ctx.StreamSynchronize(s, func(tt sim.Time) { at = tt }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if at < sim.Time(sim.Millis(2)) {
+		t.Fatalf("synchronize fired at %v, before the 2ms kernel", at)
+	}
+}
+
+func TestDeviceSynchronizeWaitsForAllStreams(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s1, s2 := ctx.StreamCreate(), ctx.StreamCreate()
+	ctx.LaunchKernel(kdesc(1, sim.Millis(1)), s1, nil)
+	ctx.LaunchKernel(kdesc(2, sim.Millis(3)), s2, nil)
+	var at sim.Time
+	if err := ctx.DeviceSynchronize(func(tt sim.Time) { at = tt }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if at < sim.Time(sim.Millis(3)) {
+		t.Fatalf("device sync at %v, before the slowest stream drained", at)
+	}
+}
+
+func TestDeviceSynchronizeNoStreams(t *testing.T) {
+	_, ctx := newCtx(t)
+	fired := false
+	if err := ctx.DeviceSynchronize(func(sim.Time) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("device sync with no streams should complete immediately")
+	}
+}
+
+// End-to-end: a mini inference request through the cudart API — H2D input
+// copy, kernels, D2H result copy, stream sync — with sensible timing.
+func TestMiniRequestLifecycle(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	if err := ctx.MemcpyAsync(cdesc(0, kernels.OpMemcpyH2D, 1_200_000), s, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := ctx.LaunchKernel(kdesc(i, sim.Micros(200)), s, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctx.MemcpyAsync(cdesc(6, kernels.OpMemcpyD2H, 4000), s, nil); err != nil {
+		t.Fatal(err)
+	}
+	var done sim.Time
+	ctx.StreamSynchronize(s, func(at sim.Time) { done = at })
+	eng.Run()
+	// copy ~110us + 5 kernels ~1.015ms + tiny d2h ~10us
+	if done < sim.Time(sim.Millis(1.1)) || done > sim.Time(sim.Millis(1.3)) {
+		t.Fatalf("request completed at %v, want ~1.14ms", done)
+	}
+}
+
+// Re-recording an event while its previous marker is still in flight must
+// invalidate the old recording (CUDA's move-the-event semantics): the
+// event completes only when the NEW marker does.
+func TestEventRerecordInvalidatesInFlightMarker(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	e := ctx.EventCreate()
+	ctx.LaunchKernel(kdesc(1, sim.Millis(1)), s, nil)
+	if err := ctx.EventRecord(e, s); err != nil {
+		t.Fatal(err)
+	}
+	// Re-record behind a second kernel before the first marker fires.
+	ctx.LaunchKernel(kdesc(2, sim.Millis(1)), s, nil)
+	if err := ctx.EventRecord(e, s); err != nil {
+		t.Fatal(err)
+	}
+	// Run until just after the first kernel (and the superseded marker).
+	eng.RunUntil(sim.Time(sim.Millis(1.5)))
+	if e.Query() {
+		t.Fatal("superseded marker completed the event")
+	}
+	eng.Run()
+	if !e.Query() {
+		t.Fatal("event never completed")
+	}
+	if e.CompletedAt() < sim.Time(sim.Millis(2)) {
+		t.Fatalf("event completed at %v, before the second kernel", e.CompletedAt())
+	}
+}
+
+func TestFreeBytes(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	if _, err := ctx.Malloc(1<<20, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.FreeBytes(2<<20, s, nil); err == nil {
+		t.Fatal("over-free accepted")
+	}
+	var done sim.Time
+	if err := ctx.FreeBytes(1<<20, s, func(at sim.Time) { done = at }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if done == 0 {
+		t.Fatal("FreeBytes never completed")
+	}
+	if ctx.Device().AllocatedBytes() != 0 {
+		t.Fatalf("allocated %d after FreeBytes", ctx.Device().AllocatedBytes())
+	}
+	// Zero-byte release is a device-synchronizing no-op.
+	if err := ctx.FreeBytes(0, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.FreeBytes(1, nil, nil); err == nil {
+		t.Fatal("nil stream accepted")
+	}
+	eng.Run()
+}

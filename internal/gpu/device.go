@@ -1,0 +1,809 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+// Stream is a CUDA stream: an in-order queue of device operations. At most
+// one operation of a stream executes at a time; operations on different
+// streams may overlap. Higher Priority values are dispatched first, matching
+// cudaStreamCreateWithPriority semantics (priorities influence dispatch
+// order of pending work but never preempt running kernels).
+type Stream struct {
+	id       int
+	priority int
+	dev      *Device
+	queue    []*Task // queue[0] is the oldest; active when queue[0].state == taskRunning
+}
+
+// ID returns the stream's device-unique identifier.
+func (s *Stream) ID() int { return s.id }
+
+// Priority returns the stream's dispatch priority (higher wins).
+func (s *Stream) Priority() int { return s.priority }
+
+// Pending reports the number of queued-but-incomplete operations.
+func (s *Stream) Pending() int { return len(s.queue) }
+
+// Idle reports whether the stream has no queued or executing work.
+func (s *Stream) Idle() bool { return len(s.queue) == 0 }
+
+type taskState int
+
+const (
+	taskQueued taskState = iota
+	taskRunning
+	taskDone
+)
+
+type taskKind int
+
+const (
+	taskKernel taskKind = iota
+	taskCopy
+	taskSyncOp // malloc / free: device-synchronizing
+	taskMarker // event record / synchronization sentinel
+)
+
+// Task is one device operation in flight. Construct tasks with the
+// NewKernelTask / NewCopyTask / NewSyncOpTask / NewMarkerTask helpers and
+// submit them with Device.Submit.
+type Task struct {
+	// Desc describes the operation (nil for markers).
+	Desc *kernels.Descriptor
+	// SyncCopy marks a blocking memcpy, which stalls kernel dispatch
+	// while the transfer is in flight.
+	SyncCopy bool
+	// OnComplete, if non-nil, is invoked (via a zero-delay event) when
+	// the operation finishes on the device.
+	OnComplete func(now sim.Time)
+
+	kind   taskKind
+	state  taskState
+	stream *Stream
+	seq    uint64
+
+	// kernel execution state
+	smNeeded  int     // effective SM demand, capped at device size
+	granted   int     // SMs currently granted
+	remaining float64 // ns of work left at unit rate
+	rate      float64 // current progress rate (work-ns per ns)
+	compute   float64 // compute-throughput demand at full grant
+	membw     float64 // memory-bandwidth demand at full grant
+	waveWork  float64 // ns of work per wave of thread blocks
+	nextShed  float64 // remaining-work level at which the current wave ends
+
+	// readyAt is when the kernel, having reached the head of its stream,
+	// becomes dispatchable: the hardware's kernel-launch latency. During
+	// this window other streams' pending blocks can claim the SMs — the
+	// gap best-effort kernels sneak into on real hardware, motivating
+	// Orion's duration throttle.
+	readyAt sim.Time
+	armed   bool
+
+	startedAt sim.Time
+	doneAt    sim.Time
+}
+
+// Done reports whether the task has completed on the device.
+func (t *Task) Done() bool { return t.state == taskDone }
+
+// Running reports whether the task is currently executing.
+func (t *Task) Running() bool { return t.state == taskRunning }
+
+// GrantedSMs reports the SMs currently granted to a running kernel.
+func (t *Task) GrantedSMs() int { return t.granted }
+
+// SMNeeded reports the kernel's effective SM demand on this device.
+func (t *Task) SMNeeded() int { return t.smNeeded }
+
+// CompletedAt returns when the task finished (zero if not yet done).
+func (t *Task) CompletedAt() sim.Time { return t.doneAt }
+
+// StartedAt returns when the task began executing on the device.
+func (t *Task) StartedAt() sim.Time { return t.startedAt }
+
+// NewKernelTask builds a kernel-launch task from a descriptor.
+func NewKernelTask(desc *kernels.Descriptor, onComplete func(sim.Time)) *Task {
+	return &Task{Desc: desc, OnComplete: onComplete, kind: taskKernel}
+}
+
+// NewCopyTask builds a memory-copy task. sync marks CUDA-synchronous copy
+// semantics (cudaMemcpy): the copy stalls kernel dispatch while in flight.
+func NewCopyTask(desc *kernels.Descriptor, sync bool, onComplete func(sim.Time)) *Task {
+	return &Task{Desc: desc, SyncCopy: sync, OnComplete: onComplete, kind: taskCopy}
+}
+
+// NewSyncOpTask builds a device-synchronizing operation (malloc / free).
+func NewSyncOpTask(desc *kernels.Descriptor, onComplete func(sim.Time)) *Task {
+	return &Task{Desc: desc, OnComplete: onComplete, kind: taskSyncOp}
+}
+
+// NewMarkerTask builds a zero-cost sentinel that completes when every
+// operation submitted to the same stream before it has completed. It is
+// the primitive beneath CUDA events and stream synchronization.
+func NewMarkerTask(onComplete func(sim.Time)) *Task {
+	return &Task{OnComplete: onComplete, kind: taskMarker}
+}
+
+// copyEngine serializes DMA transfers in one direction.
+type copyEngine struct {
+	freeAt sim.Time
+}
+
+// Device is the simulated GPU.
+type Device struct {
+	eng  *sim.Engine
+	spec Spec
+
+	streams   []*Stream
+	seq       uint64
+	resident  []*Task // kernels currently executing
+	freeSMs   int
+	allocated int64 // device memory in use
+
+	h2d, d2h copyEngine
+	// blockingCopies counts in-flight synchronous copies; kernel dispatch
+	// stalls while it is non-zero (the GPU cannot schedule kernels during
+	// blocking host-device transfers, §6.2.1).
+	blockingCopies int
+	copiesInFlight int
+
+	// syncQueue holds device-synchronizing ops waiting for the device to
+	// drain; syncRunning is the one currently executing.
+	syncQueue   []*Task
+	syncRunning *Task
+
+	lastUpdate  sim.Time
+	completion  *sim.Event
+	inUpdate    bool
+	dirty       bool
+	kernelsDone uint64
+
+	util utilAccum
+}
+
+// NewDevice creates a device from a spec, attached to the engine.
+func NewDevice(eng *sim.Engine, spec Spec) (*Device, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{
+		eng:     eng,
+		spec:    spec,
+		freeSMs: spec.NumSMs,
+	}, nil
+}
+
+// Spec returns the device's architecture description.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Engine returns the simulation engine the device runs on.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// CreateStream creates a stream with the given priority (higher wins).
+func (d *Device) CreateStream(priority int) *Stream {
+	s := &Stream{id: len(d.streams), priority: priority, dev: d}
+	d.streams = append(d.streams, s)
+	return s
+}
+
+// KernelsCompleted reports how many kernels have finished on the device.
+func (d *Device) KernelsCompleted() uint64 { return d.kernelsDone }
+
+// FreeSMs reports the number of unoccupied SMs.
+func (d *Device) FreeSMs() int { return d.freeSMs }
+
+// ResidentKernels reports the number of kernels currently executing.
+func (d *Device) ResidentKernels() int { return len(d.resident) }
+
+// AllocatedBytes reports device memory currently reserved.
+func (d *Device) AllocatedBytes() int64 { return d.allocated }
+
+// Reserve claims device memory capacity, failing when it would exceed the
+// device. The timing of the allocation is modelled by the malloc task; the
+// capacity check is synchronous so clients fail fast.
+func (d *Device) Reserve(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("gpu: negative reservation %d", bytes)
+	}
+	if d.allocated+bytes > d.spec.MemoryBytes {
+		return fmt.Errorf("gpu: out of memory: %d + %d exceeds %d",
+			d.allocated, bytes, d.spec.MemoryBytes)
+	}
+	d.allocated += bytes
+	return nil
+}
+
+// Release returns reserved device memory.
+func (d *Device) Release(bytes int64) {
+	if bytes < 0 || bytes > d.allocated {
+		panic(fmt.Sprintf("gpu: bad release %d (allocated %d)", bytes, d.allocated))
+	}
+	d.allocated -= bytes
+}
+
+// Idle reports whether nothing is executing or queued anywhere on the
+// device.
+func (d *Device) Idle() bool {
+	if len(d.resident) > 0 || d.copiesInFlight > 0 || d.syncRunning != nil || len(d.syncQueue) > 0 {
+		return false
+	}
+	for _, s := range d.streams {
+		if len(s.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// executionIdle reports whether no work is executing (queues may be
+// non-empty); this is the drain condition for device-synchronizing ops.
+func (d *Device) executionIdle() bool {
+	return len(d.resident) == 0 && d.copiesInFlight == 0 && d.syncRunning == nil
+}
+
+// Submit enqueues a task on a stream. The task starts when it reaches the
+// head of the stream and the device model admits it.
+func (d *Device) Submit(s *Stream, t *Task) error {
+	if s == nil || s.dev != d {
+		return fmt.Errorf("gpu: submit to foreign or nil stream")
+	}
+	if t == nil {
+		return fmt.Errorf("gpu: nil task")
+	}
+	if t.state != taskQueued || t.stream != nil {
+		return fmt.Errorf("gpu: task resubmitted")
+	}
+	if err := d.prepare(t); err != nil {
+		return err
+	}
+	t.stream = s
+	t.seq = d.seq
+	d.seq++
+	s.queue = append(s.queue, t)
+	if len(s.queue) == 1 {
+		d.armHead(s)
+	}
+	d.update()
+	return nil
+}
+
+// armHead starts the kernel-launch latency clock for a stream's new head
+// kernel: it becomes dispatchable DispatchLatency after reaching the head.
+func (d *Device) armHead(s *Stream) {
+	if len(s.queue) == 0 {
+		return
+	}
+	t := s.queue[0]
+	if t.kind != taskKernel || t.state != taskQueued || t.armed {
+		return
+	}
+	t.armed = true
+	t.readyAt = d.eng.Now().Add(d.spec.DispatchLatency)
+	if t.readyAt > d.eng.Now() {
+		d.eng.At(t.readyAt, d.update)
+	}
+}
+
+// prepare derives execution parameters from the task's descriptor.
+func (d *Device) prepare(t *Task) error {
+	switch t.kind {
+	case taskMarker:
+		return nil
+	case taskKernel:
+		desc := t.Desc
+		if desc == nil || desc.Op != kernels.OpKernel {
+			return fmt.Errorf("gpu: kernel task without kernel descriptor")
+		}
+		if err := desc.Validate(); err != nil {
+			return err
+		}
+		need, err := kernels.SMsNeeded(desc.Launch, d.spec.SM)
+		if err != nil {
+			return err
+		}
+		perSM, err := kernels.BlocksPerSM(desc.Launch, d.spec.SM)
+		if err != nil {
+			return err
+		}
+		if need > d.spec.NumSMs {
+			// The dedicated-GPU duration was measured with the kernel
+			// running in waves over the full device, so the effective
+			// demand is the whole device.
+			need = d.spec.NumSMs
+		}
+		t.smNeeded = need
+		// Demands are profiled relative to the reference device; rescale
+		// to this device's capacities (a smaller MIG slice sees higher
+		// demand, a bigger part lower) and cap defensively.
+		cScale, mScale := d.spec.demandScales()
+		t.compute = math.Min(math.Min(t.Desc.ComputeUtil, 1.0)*cScale, 4.0)
+		t.membw = math.Min(math.Min(t.Desc.MemBWUtil, 1.0)*mScale, 4.0)
+		t.remaining = float64(desc.Duration)
+		// Thread blocks retire (and free their SMs) at wave boundaries:
+		// waves = ceil(blocks / (blocks_per_sm * full grant)). Kernels with
+		// a single wave hold their SMs until completion — the hardware
+		// non-preemption Orion designs around.
+		waves := (desc.Launch.Blocks + perSM*need - 1) / (perSM * need)
+		if waves < 1 {
+			waves = 1
+		}
+		t.waveWork = t.remaining / float64(waves)
+		t.nextShed = t.remaining - t.waveWork
+		return nil
+	case taskCopy:
+		if t.Desc == nil || !t.Desc.Op.IsMemcpy() && t.Desc.Op != kernels.OpMemset {
+			return fmt.Errorf("gpu: copy task without memcpy descriptor")
+		}
+		if t.Desc.Op == kernels.OpMemcpyD2D || t.Desc.Op == kernels.OpMemset {
+			// On-device transfers burn memory bandwidth, not PCIe:
+			// model them as short memory-saturating kernels.
+			bw := d.spec.MemBandwidth / 2 // read + write
+			if t.Desc.Op == kernels.OpMemset {
+				bw = d.spec.MemBandwidth
+			}
+			t.kind = taskKernel
+			t.smNeeded = 8
+			if t.smNeeded > d.spec.NumSMs {
+				t.smNeeded = d.spec.NumSMs
+			}
+			t.compute = 0.05
+			t.membw = 0.9
+			t.remaining = float64(t.Desc.Bytes) / bw * 1e9
+			t.waveWork = t.remaining
+			t.nextShed = 0
+		}
+		return nil
+	case taskSyncOp:
+		if t.Desc == nil || (t.Desc.Op != kernels.OpMalloc && t.Desc.Op != kernels.OpFree) {
+			return fmt.Errorf("gpu: sync-op task must be malloc or free")
+		}
+		return nil
+	default:
+		return fmt.Errorf("gpu: unknown task kind %d", int(t.kind))
+	}
+}
+
+// update is the single entry point that advances the device model after
+// any state change: it integrates progress at the old rates, completes
+// finished work, dispatches newly admissible work, recomputes contention,
+// and re-arms the completion timer.
+func (d *Device) update() {
+	if d.inUpdate {
+		d.dirty = true
+		return
+	}
+	d.inUpdate = true
+	d.integrate()
+	for {
+		d.dirty = false
+		progress := d.finishKernels()
+		progress = d.shedWaves() || progress
+		progress = d.startSyncOp() || progress
+		progress = d.dispatch() || progress
+		if !progress && !d.dirty {
+			break
+		}
+	}
+	d.computeRates()
+	d.armCompletion()
+	d.inUpdate = false
+}
+
+// integrate advances kernel progress and utilization integrals from
+// lastUpdate to now using the rates computed at the previous update.
+func (d *Device) integrate() {
+	now := d.eng.Now()
+	dt := float64(now - d.lastUpdate)
+	if dt <= 0 {
+		d.lastUpdate = now
+		return
+	}
+	for _, k := range d.resident {
+		k.remaining -= k.rate * dt
+	}
+	c, m := d.demand()
+	slow := d.slowdown(c, m)
+	d.util.accumulate(d.lastUpdate, dt, achieved(c, slow), achieved(m, slow),
+		float64(d.spec.NumSMs-d.freeSMs)/float64(d.spec.NumSMs),
+		float64(d.allocated)/float64(d.spec.MemoryBytes))
+	d.lastUpdate = now
+}
+
+// demand sums granted compute and memory-bandwidth demand over resident
+// kernels.
+func (d *Device) demand() (c, m float64) {
+	for _, k := range d.resident {
+		share := k.share()
+		c += k.compute * share
+		m += k.membw * share
+	}
+	return c, m
+}
+
+func (t *Task) share() float64 {
+	if t.smNeeded == 0 {
+		return 1
+	}
+	return float64(t.granted) / float64(t.smNeeded)
+}
+
+// slowdown is the fluid contention factor applied to every resident kernel.
+func (d *Device) slowdown(c, m float64) float64 {
+	s := 1.0
+	if c > 1 {
+		if v := math.Pow(c, d.spec.ComputeAlpha); v > s {
+			s = v
+		}
+	}
+	if m > 1 {
+		if v := math.Pow(m, d.spec.MemoryAlpha); v > s {
+			s = v
+		}
+	}
+	return s
+}
+
+// achieved converts total demand into achieved utilization under a
+// contention slowdown.
+func achieved(demand, slow float64) float64 {
+	v := demand / slow
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+const workEpsilon = 1.0 // ns of kernel work treated as complete
+
+// finishKernels retires resident kernels whose work is done.
+func (d *Device) finishKernels() bool {
+	progress := false
+	for i := 0; i < len(d.resident); {
+		k := d.resident[i]
+		if k.remaining > workEpsilon {
+			i++
+			continue
+		}
+		d.resident[i] = d.resident[len(d.resident)-1]
+		d.resident = d.resident[:len(d.resident)-1]
+		d.freeSMs += k.granted
+		k.granted = 0
+		d.completeTask(k)
+		d.kernelsDone++
+		progress = true
+	}
+	return progress
+}
+
+// completeTask marks a task done, pops it from its stream, and defers its
+// callback to a zero-delay event so clients observe a consistent device.
+func (d *Device) completeTask(t *Task) {
+	t.state = taskDone
+	t.doneAt = d.eng.Now()
+	s := t.stream
+	if len(s.queue) == 0 || s.queue[0] != t {
+		panic("gpu: completing task that is not at stream head")
+	}
+	copy(s.queue, s.queue[1:])
+	s.queue[len(s.queue)-1] = nil
+	s.queue = s.queue[:len(s.queue)-1]
+	d.armHead(s)
+	if cb := t.OnComplete; cb != nil {
+		d.eng.At(d.eng.Now(), func() { cb(t.doneAt) })
+	}
+}
+
+// syncBarrierSeq returns the submission sequence of the oldest waiting
+// device-synchronizing op: operations submitted after it must not start
+// until it completes (cudaMalloc/cudaFree synchronize the device). While a
+// sync op is actually running, everything is frozen.
+func (d *Device) syncBarrierSeq() uint64 {
+	if d.syncRunning != nil {
+		return 0
+	}
+	barrier := ^uint64(0)
+	for _, t := range d.syncQueue {
+		if t.seq < barrier {
+			barrier = t.seq
+		}
+	}
+	return barrier
+}
+
+// startSyncOp admits the oldest queued device-synchronizing op once every
+// operation submitted before it has drained, and completes the running one
+// when its overhead elapses.
+func (d *Device) startSyncOp() bool {
+	if d.syncRunning != nil || len(d.syncQueue) == 0 {
+		return false
+	}
+	if !d.executionIdle() {
+		return false
+	}
+	// Pick the oldest waiting sync op.
+	oldest := 0
+	for i, t := range d.syncQueue {
+		if t.seq < d.syncQueue[oldest].seq {
+			oldest = i
+		}
+	}
+	op := d.syncQueue[oldest]
+	// Operations submitted before the sync op must complete first; with
+	// execution idle, any such operation is still a stream head.
+	for _, s := range d.streams {
+		if len(s.queue) > 0 && s.queue[0] != op && s.queue[0].seq < op.seq {
+			return false
+		}
+	}
+	d.syncQueue = append(d.syncQueue[:oldest], d.syncQueue[oldest+1:]...)
+	d.syncRunning = op
+	op.state = taskRunning
+	op.startedAt = d.eng.Now()
+	d.eng.After(d.spec.SyncOverhead, func() {
+		d.syncRunning = nil
+		d.completeTask(op)
+		d.update()
+	})
+	return true
+}
+
+// dispatch starts admissible head-of-stream operations and distributes
+// free SMs. It returns whether any state changed.
+func (d *Device) dispatch() bool {
+	progress := false
+
+	// Device-synchronizing ops at stream heads move to the drain queue.
+	for _, s := range d.streams {
+		if len(s.queue) > 0 && s.queue[0].kind == taskSyncOp && s.queue[0].state == taskQueued {
+			t := s.queue[0]
+			t.state = taskRunning // occupies the stream while queued for drain
+			d.syncQueue = append(d.syncQueue, t)
+			progress = true
+		}
+	}
+
+	// Only operations submitted before the oldest waiting sync op may
+	// start; everything younger waits for the device synchronization.
+	barrier := d.syncBarrierSeq()
+
+	// Markers and stream-head bookkeeping: they are free.
+	for _, s := range d.streams {
+		for len(s.queue) > 0 && s.queue[0].kind == taskMarker &&
+			s.queue[0].state == taskQueued && s.queue[0].seq < barrier {
+			m := s.queue[0]
+			m.state = taskRunning
+			m.startedAt = d.eng.Now()
+			d.completeTask(m)
+			progress = true
+		}
+	}
+
+	// Copies next: they run on the DMA engines alongside kernels.
+	for _, s := range d.streams {
+		if len(s.queue) == 0 {
+			continue
+		}
+		t := s.queue[0]
+		if t.kind != taskCopy || t.state != taskQueued || t.seq >= barrier {
+			continue
+		}
+		d.startCopy(t)
+		progress = true
+	}
+
+	// Kernels: allocate free SMs by (priority, submission order), both to
+	// resident kernels that want more SMs and to pending head kernels.
+	if d.blockingCopies == 0 && d.freeSMs > 0 {
+		progress = d.allocateSMs(barrier) || progress
+	}
+	return progress
+}
+
+func (d *Device) startCopy(t *Task) {
+	t.state = taskRunning
+	var eng *copyEngine
+	switch t.Desc.Op {
+	case kernels.OpMemcpyH2D:
+		eng = &d.h2d
+	case kernels.OpMemcpyD2H:
+		eng = &d.d2h
+	default:
+		panic("gpu: startCopy on non-PCIe op")
+	}
+	now := d.eng.Now()
+	start := now
+	if eng.freeAt > start {
+		start = eng.freeAt
+	}
+	dur := d.spec.CopyLatency + sim.Duration(float64(t.Desc.Bytes)/d.spec.PCIeBandwidth*1e9)
+	end := start.Add(dur)
+	eng.freeAt = end
+	t.startedAt = start
+	d.copiesInFlight++
+	if t.SyncCopy {
+		d.blockingCopies++
+	}
+	d.eng.At(end, func() {
+		d.copiesInFlight--
+		if t.SyncCopy {
+			d.blockingCopies--
+		}
+		d.completeTask(t)
+		d.update()
+	})
+}
+
+// shedWaves releases the SM grant of every resident kernel whose current
+// wave of thread blocks has retired. The freed SMs are redistributed by the
+// dispatch pass that follows, where a higher-priority pending kernel can now
+// claim them — modelling the hardware's block-granularity (and only
+// block-granularity) responsiveness to stream priority: running blocks are
+// never preempted.
+func (d *Device) shedWaves() bool {
+	progress := false
+	for _, k := range d.resident {
+		if k.nextShed <= 0 || k.remaining > k.nextShed+workEpsilon {
+			continue
+		}
+		for k.nextShed > 0 && k.remaining <= k.nextShed+workEpsilon {
+			k.nextShed -= k.waveWork
+		}
+		if k.nextShed < 0 {
+			k.nextShed = 0
+		}
+		d.freeSMs += k.granted
+		k.granted = 0
+		progress = true
+	}
+	return progress
+}
+
+// allocateSMs distributes free SMs across resident kernels wanting more
+// SMs and pending head-of-stream kernels. Higher-priority streams are
+// served first; within a priority level SMs are split proportionally to
+// demand (hardware interleaves blocks from equal-priority streams roughly
+// fairly). A pending kernel becomes resident as soon as it receives at
+// least one SM (a partial wave); with zero free SMs it waits — which is
+// what serializes an SM-saturating kernel behind another.
+func (d *Device) allocateSMs(barrier uint64) bool {
+	type cand struct {
+		t       *Task
+		pending bool
+	}
+	var cands []cand
+	for _, k := range d.resident {
+		if k.granted < k.smNeeded {
+			cands = append(cands, cand{k, false})
+		}
+	}
+	for _, s := range d.streams {
+		if len(s.queue) == 0 {
+			continue
+		}
+		t := s.queue[0]
+		if t.kind == taskKernel && t.state == taskQueued && t.readyAt <= d.eng.Now() && t.seq < barrier {
+			cands = append(cands, cand{t, true})
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		pi, pj := cands[i].t.stream.priority, cands[j].t.stream.priority
+		if pi != pj {
+			return pi > pj
+		}
+		return cands[i].t.seq < cands[j].t.seq
+	})
+	progress := false
+	for lo := 0; lo < len(cands) && d.freeSMs > 0; {
+		hi := lo
+		prio := cands[lo].t.stream.priority
+		want := 0
+		for hi < len(cands) && cands[hi].t.stream.priority == prio {
+			want += cands[hi].t.smNeeded - cands[hi].t.granted
+			hi++
+		}
+		group := cands[lo:hi]
+		pool := d.freeSMs
+		if want <= pool {
+			// Everyone in this priority level gets their full ask.
+			for _, c := range group {
+				if g := c.t.smNeeded - c.t.granted; g > 0 {
+					d.grant(c.t, g, c.pending)
+					progress = true
+				}
+			}
+		} else {
+			// Oversubscribed level: split the pool proportionally to
+			// demand with floor rounding, then hand out the remainder in
+			// submission order — deterministic and starvation-free.
+			grants := make([]int, len(group))
+			used := 0
+			for i, c := range group {
+				w := c.t.smNeeded - c.t.granted
+				g := w * pool / want
+				grants[i] = g
+				used += g
+			}
+			for i := range group {
+				if used >= pool {
+					break
+				}
+				if grants[i] < group[i].t.smNeeded-group[i].t.granted {
+					grants[i]++
+					used++
+				}
+			}
+			for i, c := range group {
+				if grants[i] > 0 {
+					d.grant(c.t, grants[i], c.pending)
+					progress = true
+				}
+			}
+		}
+		lo = hi
+	}
+	return progress
+}
+
+// grant assigns SMs to a kernel, admitting it to the resident set if it
+// was pending.
+func (d *Device) grant(t *Task, sms int, pending bool) {
+	d.freeSMs -= sms
+	if d.freeSMs < 0 {
+		panic("gpu: granted more SMs than free")
+	}
+	t.granted += sms
+	if pending && t.state == taskQueued {
+		t.state = taskRunning
+		t.startedAt = d.eng.Now()
+		d.resident = append(d.resident, t)
+	}
+}
+
+// computeRates refreshes every resident kernel's progress rate from the
+// current grants and contention.
+func (d *Device) computeRates() {
+	c, m := d.demand()
+	slow := d.slowdown(c, m)
+	for _, k := range d.resident {
+		k.rate = k.share() / slow
+	}
+}
+
+// armCompletion schedules the next kernel-completion wakeup.
+func (d *Device) armCompletion() {
+	if d.completion != nil {
+		d.eng.Cancel(d.completion)
+		d.completion = nil
+	}
+	var next float64 = math.Inf(1)
+	for _, k := range d.resident {
+		if k.rate <= 0 {
+			continue
+		}
+		target := k.remaining // completion
+		if k.nextShed > 0 {
+			target = k.remaining - k.nextShed // next wave boundary
+		}
+		if eta := target / k.rate; eta < next {
+			next = eta
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	delay := sim.Duration(math.Ceil(next))
+	if delay < 0 {
+		delay = 0
+	}
+	d.completion = d.eng.After(delay, d.update)
+}

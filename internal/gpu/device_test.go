@@ -1,0 +1,701 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+// Test kernel descriptors mirroring the paper's §3.2 toy experiment:
+// Conv2d is compute-intensive and saturates the device's SMs across many
+// block waves; BN2d is memory-intensive and needs 40% of SMs in one wave.
+
+func convDesc(id int) *kernels.Descriptor {
+	return &kernels.Descriptor{
+		ID: id, Name: "conv2d", Op: kernels.OpKernel,
+		Launch:   kernels.LaunchConfig{Blocks: 2560, ThreadsPerBlock: 256, RegsPerThread: 64},
+		Duration: sim.Millis(1.35), ComputeUtil: 0.89, MemBWUtil: 0.20,
+	}
+}
+
+func bnDesc(id int) *kernels.Descriptor {
+	return &kernels.Descriptor{
+		ID: id, Name: "bn2d", Op: kernels.OpKernel,
+		Launch:   kernels.LaunchConfig{Blocks: 128, ThreadsPerBlock: 512, RegsPerThread: 32},
+		Duration: sim.Millis(0.93), ComputeUtil: 0.14, MemBWUtil: 0.80,
+	}
+}
+
+// singleWaveFull is a kernel that needs every SM for its entire duration:
+// once resident, nothing else can run until it completes.
+func singleWaveFull(id int, dur sim.Duration) *kernels.Descriptor {
+	return &kernels.Descriptor{
+		ID: id, Name: "hog", Op: kernels.OpKernel,
+		Launch:   kernels.LaunchConfig{Blocks: 320, ThreadsPerBlock: 256, RegsPerThread: 64},
+		Duration: dur, ComputeUtil: 0.9, MemBWUtil: 0.3,
+	}
+}
+
+func smallDesc(id int, dur sim.Duration) *kernels.Descriptor {
+	return &kernels.Descriptor{
+		ID: id, Name: "small", Op: kernels.OpKernel,
+		Launch:   kernels.LaunchConfig{Blocks: 16, ThreadsPerBlock: 256, RegsPerThread: 32},
+		Duration: dur, ComputeUtil: 0.3, MemBWUtil: 0.2,
+	}
+}
+
+func newV100(t *testing.T) (*sim.Engine, *Device) {
+	t.Helper()
+	eng := sim.NewEngine()
+	eng.MaxEvents = 50_000_000
+	dev, err := NewDevice(eng, V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, dev
+}
+
+func mustSubmit(t *testing.T, d *Device, s *Stream, task *Task) {
+	t.Helper()
+	if err := d.Submit(s, task); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func approxMillis(t *testing.T, name string, got sim.Time, wantMS, tolMS float64) {
+	t.Helper()
+	g := float64(got) / float64(sim.Millisecond)
+	if math.Abs(g-wantMS) > tolMS {
+		t.Errorf("%s completed at %.3f ms, want %.3f ± %.3f ms", name, g, wantMS, tolMS)
+	}
+}
+
+func TestSingleKernelRunsForItsDuration(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	var done sim.Time
+	mustSubmit(t, dev, s, NewKernelTask(convDesc(1), func(at sim.Time) { done = at }))
+	eng.Run()
+	// duration + 3us dispatch latency
+	approxMillis(t, "conv", done, 1.353, 0.001)
+	if dev.KernelsCompleted() != 1 {
+		t.Fatalf("KernelsCompleted = %d, want 1", dev.KernelsCompleted())
+	}
+	if !dev.Idle() {
+		t.Fatal("device not idle after completion")
+	}
+	if dev.FreeSMs() != dev.Spec().NumSMs {
+		t.Fatalf("FreeSMs = %d, want %d", dev.FreeSMs(), dev.Spec().NumSMs)
+	}
+}
+
+func TestSameStreamSerializes(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	var t1, t2 sim.Time
+	mustSubmit(t, dev, s, NewKernelTask(bnDesc(1), func(at sim.Time) { t1 = at }))
+	mustSubmit(t, dev, s, NewKernelTask(bnDesc(2), func(at sim.Time) { t2 = at }))
+	eng.Run()
+	// In-order: second starts only after first completes; no contention, so
+	// each takes 0.933 ms.
+	approxMillis(t, "first", t1, 0.933, 0.001)
+	approxMillis(t, "second", t2, 1.866, 0.001)
+}
+
+func TestDifferentStreamsOverlap(t *testing.T) {
+	eng, dev := newV100(t)
+	s1, s2 := dev.CreateStream(0), dev.CreateStream(0)
+	var t1, t2 sim.Time
+	// Two small kernels that together fit comfortably: both finish in
+	// roughly one kernel duration.
+	mustSubmit(t, dev, s1, NewKernelTask(smallDesc(1, sim.Millis(1)), func(at sim.Time) { t1 = at }))
+	mustSubmit(t, dev, s2, NewKernelTask(smallDesc(2, sim.Millis(1)), func(at sim.Time) { t2 = at }))
+	eng.Run()
+	approxMillis(t, "k1", t1, 1.003, 0.001)
+	approxMillis(t, "k2", t2, 1.003, 0.001)
+}
+
+// Table 2, row Conv2d-Conv2d: two SM-saturating compute kernels gain
+// nothing from collocation.
+func TestConvConvCollocationIsNotFaster(t *testing.T) {
+	eng, dev := newV100(t)
+	s1, s2 := dev.CreateStream(0), dev.CreateStream(0)
+	var last sim.Time
+	done := func(at sim.Time) {
+		if at > last {
+			last = at
+		}
+	}
+	mustSubmit(t, dev, s1, NewKernelTask(convDesc(1), done))
+	mustSubmit(t, dev, s2, NewKernelTask(convDesc(2), done))
+	eng.Run()
+	// Sequential time would be 2 * 1.353 = 2.706 ms. Collocated must be
+	// within a few percent of that (paper: 0.98x "speedup").
+	approxMillis(t, "conv+conv", last, 2.706, 0.10)
+}
+
+// Table 2, row Conv2d-BN2d: opposite-profile kernels overlap productively.
+func TestConvBNCollocationSpeedsUp(t *testing.T) {
+	eng, dev := newV100(t)
+	s1, s2 := dev.CreateStream(0), dev.CreateStream(0)
+	var last sim.Time
+	done := func(at sim.Time) {
+		if at > last {
+			last = at
+		}
+	}
+	mustSubmit(t, dev, s1, NewKernelTask(convDesc(1), done))
+	mustSubmit(t, dev, s2, NewKernelTask(bnDesc(2), done))
+	eng.Run()
+	seq := 1.353 + 0.933 // 2.286 ms
+	got := float64(last) / float64(sim.Millisecond)
+	speedup := seq / got
+	if speedup < 1.2 || speedup > 1.6 {
+		t.Errorf("conv+bn speedup = %.2fx (end %.3f ms), want 1.2-1.6x (paper: 1.41x)", speedup, got)
+	}
+}
+
+// Order independence: submitting BN first must give the same collocation
+// benefit as submitting Conv first.
+func TestConvBNCollocationOrderIndependent(t *testing.T) {
+	run := func(convFirst bool) float64 {
+		eng, dev := newV100(t)
+		s1, s2 := dev.CreateStream(0), dev.CreateStream(0)
+		var last sim.Time
+		done := func(at sim.Time) {
+			if at > last {
+				last = at
+			}
+		}
+		if convFirst {
+			mustSubmit(t, dev, s1, NewKernelTask(convDesc(1), done))
+			mustSubmit(t, dev, s2, NewKernelTask(bnDesc(2), done))
+		} else {
+			mustSubmit(t, dev, s2, NewKernelTask(bnDesc(2), done))
+			mustSubmit(t, dev, s1, NewKernelTask(convDesc(1), done))
+		}
+		eng.Run()
+		return float64(last) / float64(sim.Millisecond)
+	}
+	a, b := run(true), run(false)
+	if math.Abs(a-b) > 0.15 {
+		t.Errorf("collocation end time depends on submission order: %.3f vs %.3f ms", a, b)
+	}
+}
+
+// Table 2, row BN2d-BN2d: two memory-bound kernels interfere through
+// memory bandwidth; collocation helps only marginally.
+func TestBNBNCollocationMarginal(t *testing.T) {
+	eng, dev := newV100(t)
+	s1, s2 := dev.CreateStream(0), dev.CreateStream(0)
+	var last sim.Time
+	done := func(at sim.Time) {
+		if at > last {
+			last = at
+		}
+	}
+	mustSubmit(t, dev, s1, NewKernelTask(bnDesc(1), done))
+	mustSubmit(t, dev, s2, NewKernelTask(bnDesc(2), done))
+	eng.Run()
+	seq := 2 * 0.933
+	got := float64(last) / float64(sim.Millisecond)
+	speedup := seq / got
+	if speedup < 0.95 || speedup > 1.2 {
+		t.Errorf("bn+bn speedup = %.2fx, want ~1.0-1.2x (paper: 1.08x)", speedup)
+	}
+	if speedup > 1.15 {
+		t.Errorf("bn+bn speedup %.2fx too high: memory contention not modelled", speedup)
+	}
+}
+
+// An SM-saturating single-wave kernel blocks everything until it completes:
+// the non-preemption behaviour Orion designs around.
+func TestNoPreemptionOfResidentKernel(t *testing.T) {
+	eng, dev := newV100(t)
+	be := dev.CreateStream(0)
+	hp := dev.CreateStream(10)
+	var hpStart sim.Time
+	hpTask := NewKernelTask(smallDesc(2, sim.Millis(0.1)), nil)
+	mustSubmit(t, dev, be, NewKernelTask(singleWaveFull(1, sim.Millis(2)), nil))
+	eng.At(sim.Time(sim.Micros(100)), func() {
+		if err := dev.Submit(hp, hpTask); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	hpStart = hpTask.StartedAt()
+	// The high-priority kernel cannot start before the 2ms hog finishes,
+	// despite its higher stream priority.
+	if hpStart < sim.Time(sim.Millis(2)) {
+		t.Errorf("high-priority kernel started at %v, before the resident hog finished", hpStart)
+	}
+}
+
+// Priority takes effect at wave boundaries: a multi-wave best-effort kernel
+// yields SMs to a newly arrived high-priority kernel at its next boundary,
+// long before it completes.
+func TestPriorityStealsAtWaveBoundary(t *testing.T) {
+	eng, dev := newV100(t)
+	be := dev.CreateStream(0)
+	hp := dev.CreateStream(10)
+	hpTask := NewKernelTask(bnDesc(2), nil)
+	mustSubmit(t, dev, be, NewKernelTask(convDesc(1), nil)) // 8 waves, ~169us each
+	eng.At(sim.Time(sim.Micros(50)), func() {
+		if err := dev.Submit(hp, hpTask); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	start := hpTask.StartedAt()
+	if start >= sim.Time(sim.Millis(1.0)) {
+		t.Errorf("high-priority kernel started at %v, should enter at a wave boundary (~170us)", start)
+	}
+	if start < sim.Time(sim.Micros(100)) {
+		t.Errorf("high-priority kernel started at %v, before any wave boundary", start)
+	}
+}
+
+// Priority also orders pending kernels: when both wait for a drained
+// device, the high-priority one goes first.
+func TestPriorityOrdersPendingKernels(t *testing.T) {
+	eng, dev := newV100(t)
+	s0 := dev.CreateStream(0)
+	lo := dev.CreateStream(0)
+	hi := dev.CreateStream(5)
+	loTask := NewKernelTask(singleWaveFull(2, sim.Millis(1)), nil)
+	hiTask := NewKernelTask(singleWaveFull(3, sim.Millis(1)), nil)
+	mustSubmit(t, dev, s0, NewKernelTask(singleWaveFull(1, sim.Millis(1)), nil))
+	// Submit low first, then high: high must still run first.
+	mustSubmit(t, dev, lo, loTask)
+	mustSubmit(t, dev, hi, hiTask)
+	eng.Run()
+	if hiTask.StartedAt() >= loTask.StartedAt() {
+		t.Errorf("high-priority started at %v, low at %v; want high first",
+			hiTask.StartedAt(), loTask.StartedAt())
+	}
+}
+
+func TestMarkerCompletesAfterPredecessors(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	var kDone, mDone sim.Time
+	mustSubmit(t, dev, s, NewKernelTask(bnDesc(1), func(at sim.Time) { kDone = at }))
+	mustSubmit(t, dev, s, NewMarkerTask(func(at sim.Time) { mDone = at }))
+	eng.Run()
+	if mDone < kDone || mDone == 0 {
+		t.Errorf("marker completed at %v, kernel at %v; want marker >= kernel", mDone, kDone)
+	}
+}
+
+func TestMarkerOnEmptyStreamCompletesImmediately(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	m := NewMarkerTask(nil)
+	mustSubmit(t, dev, s, m)
+	eng.Run()
+	if !m.Done() {
+		t.Fatal("marker on empty stream did not complete")
+	}
+	if m.CompletedAt() != 0 {
+		t.Fatalf("marker completed at %v, want 0", m.CompletedAt())
+	}
+}
+
+func copyDesc(id int, op kernels.Op, bytes int64) *kernels.Descriptor {
+	return &kernels.Descriptor{ID: id, Name: "copy", Op: op, Bytes: bytes}
+}
+
+func TestCopyDuration(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	task := NewCopyTask(copyDesc(1, kernels.OpMemcpyH2D, 12_000_000), false, nil)
+	mustSubmit(t, dev, s, task)
+	eng.Run()
+	// 12 MB at 12 GB/s = 1 ms, + 10 us latency.
+	approxMillis(t, "h2d", task.CompletedAt(), 1.010, 0.001)
+}
+
+func TestCopiesSerializeOnOneEngine(t *testing.T) {
+	eng, dev := newV100(t)
+	s1, s2 := dev.CreateStream(0), dev.CreateStream(0)
+	a := NewCopyTask(copyDesc(1, kernels.OpMemcpyH2D, 12_000_000), false, nil)
+	b := NewCopyTask(copyDesc(2, kernels.OpMemcpyH2D, 12_000_000), false, nil)
+	mustSubmit(t, dev, s1, a)
+	mustSubmit(t, dev, s2, b)
+	eng.Run()
+	approxMillis(t, "first copy", a.CompletedAt(), 1.010, 0.001)
+	approxMillis(t, "second copy", b.CompletedAt(), 2.020, 0.001)
+}
+
+func TestOppositeDirectionCopiesOverlap(t *testing.T) {
+	eng, dev := newV100(t)
+	s1, s2 := dev.CreateStream(0), dev.CreateStream(0)
+	a := NewCopyTask(copyDesc(1, kernels.OpMemcpyH2D, 12_000_000), false, nil)
+	b := NewCopyTask(copyDesc(2, kernels.OpMemcpyD2H, 12_000_000), false, nil)
+	mustSubmit(t, dev, s1, a)
+	mustSubmit(t, dev, s2, b)
+	eng.Run()
+	approxMillis(t, "h2d", a.CompletedAt(), 1.010, 0.001)
+	approxMillis(t, "d2h", b.CompletedAt(), 1.010, 0.001)
+}
+
+func TestBlockingCopyStallsKernelDispatch(t *testing.T) {
+	eng, dev := newV100(t)
+	cs, ks := dev.CreateStream(0), dev.CreateStream(0)
+	k := NewKernelTask(smallDesc(2, sim.Millis(0.1)), nil)
+	mustSubmit(t, dev, cs, NewCopyTask(copyDesc(1, kernels.OpMemcpyH2D, 12_000_000), true, nil))
+	mustSubmit(t, dev, ks, k)
+	eng.Run()
+	// The kernel must wait out the ~1.01ms blocking copy.
+	if k.StartedAt() < sim.Time(sim.Millis(1.0)) {
+		t.Errorf("kernel started at %v during a blocking copy", k.StartedAt())
+	}
+}
+
+func TestAsyncCopyDoesNotStallKernels(t *testing.T) {
+	eng, dev := newV100(t)
+	cs, ks := dev.CreateStream(0), dev.CreateStream(0)
+	k := NewKernelTask(smallDesc(2, sim.Millis(0.1)), nil)
+	mustSubmit(t, dev, cs, NewCopyTask(copyDesc(1, kernels.OpMemcpyH2D, 12_000_000), false, nil))
+	mustSubmit(t, dev, ks, k)
+	eng.Run()
+	if k.StartedAt() > sim.Time(sim.Micros(10)) {
+		t.Errorf("kernel started at %v, should overlap the async copy", k.StartedAt())
+	}
+}
+
+func TestD2DCopyConsumesMemoryBandwidth(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	// 450 MB at 450 GB/s effective (read+write at 900 GB/s) = 1 ms.
+	task := NewCopyTask(copyDesc(1, kernels.OpMemcpyD2D, 450_000_000), false, nil)
+	mustSubmit(t, dev, s, task)
+	eng.Run()
+	approxMillis(t, "d2d", task.CompletedAt(), 1.003, 0.010)
+}
+
+func TestMemsetRunsAtFullBandwidth(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	task := NewCopyTask(copyDesc(1, kernels.OpMemset, 900_000_000), false, nil)
+	mustSubmit(t, dev, s, task)
+	eng.Run()
+	approxMillis(t, "memset", task.CompletedAt(), 1.003, 0.010)
+}
+
+func mallocDesc(id int, bytes int64) *kernels.Descriptor {
+	return &kernels.Descriptor{ID: id, Name: "malloc", Op: kernels.OpMalloc, Bytes: bytes}
+}
+
+func TestSyncOpDrainsDeviceThenRuns(t *testing.T) {
+	eng, dev := newV100(t)
+	ks, ms := dev.CreateStream(0), dev.CreateStream(0)
+	m := NewSyncOpTask(mallocDesc(2, 1<<20), nil)
+	mustSubmit(t, dev, ks, NewKernelTask(bnDesc(1), nil))
+	mustSubmit(t, dev, ms, m)
+	eng.Run()
+	// malloc waits for the 0.933ms kernel then takes 10us overhead.
+	approxMillis(t, "malloc", m.CompletedAt(), 0.943, 0.001)
+}
+
+func TestSyncOpBlocksSubsequentDispatch(t *testing.T) {
+	eng, dev := newV100(t)
+	ks, ms := dev.CreateStream(0), dev.CreateStream(0)
+	k2 := NewKernelTask(smallDesc(3, sim.Millis(0.1)), nil)
+	mustSubmit(t, dev, ks, NewKernelTask(bnDesc(1), nil))
+	mustSubmit(t, dev, ms, NewSyncOpTask(mallocDesc(2, 1<<20), nil))
+	mustSubmit(t, dev, ks, k2)
+	eng.Run()
+	// k2 must not start until the malloc has drained the device and run.
+	if k2.StartedAt() < sim.Time(sim.Micros(943)) {
+		t.Errorf("kernel started at %v, before the device-synchronizing malloc finished", k2.StartedAt())
+	}
+}
+
+func TestReserveAndRelease(t *testing.T) {
+	_, dev := newV100(t)
+	if err := dev.Reserve(8 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if dev.AllocatedBytes() != 8<<30 {
+		t.Fatalf("AllocatedBytes = %d", dev.AllocatedBytes())
+	}
+	if err := dev.Reserve(9 << 30); err == nil {
+		t.Fatal("over-capacity reservation accepted")
+	}
+	dev.Release(8 << 30)
+	if dev.AllocatedBytes() != 0 {
+		t.Fatalf("AllocatedBytes after release = %d", dev.AllocatedBytes())
+	}
+	if err := dev.Reserve(-1); err == nil {
+		t.Fatal("negative reservation accepted")
+	}
+}
+
+func TestReleaseTooMuchPanics(t *testing.T) {
+	_, dev := newV100(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	dev.Release(1)
+}
+
+func TestSubmitErrors(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	if err := dev.Submit(s, nil); err == nil {
+		t.Error("nil task accepted")
+	}
+	if err := dev.Submit(nil, NewMarkerTask(nil)); err == nil {
+		t.Error("nil stream accepted")
+	}
+	other, _ := NewDevice(eng, V100())
+	os := other.CreateStream(0)
+	if err := dev.Submit(os, NewMarkerTask(nil)); err == nil {
+		t.Error("foreign stream accepted")
+	}
+	bad := NewKernelTask(&kernels.Descriptor{Name: "x", Op: kernels.OpKernel,
+		Launch: kernels.LaunchConfig{Blocks: 0, ThreadsPerBlock: 1}, Duration: 1}, nil)
+	if err := dev.Submit(s, bad); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+	tk := NewMarkerTask(nil)
+	mustSubmit(t, dev, s, tk)
+	eng.Run()
+	if err := dev.Submit(s, tk); err == nil {
+		t.Error("task resubmission accepted")
+	}
+	wrongKind := NewKernelTask(copyDesc(9, kernels.OpMemcpyH2D, 10), nil)
+	if err := dev.Submit(s, wrongKind); err == nil {
+		t.Error("kernel task with memcpy descriptor accepted")
+	}
+	wrongCopy := NewCopyTask(convDesc(10), false, nil)
+	if err := dev.Submit(s, wrongCopy); err == nil {
+		t.Error("copy task with kernel descriptor accepted")
+	}
+	wrongSync := NewSyncOpTask(convDesc(11), nil)
+	if err := dev.Submit(s, wrongSync); err == nil {
+		t.Error("sync-op task with kernel descriptor accepted")
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	bad := V100()
+	bad.NumSMs = 0
+	if _, err := NewDevice(eng, bad); err == nil {
+		t.Error("zero-SM spec accepted")
+	}
+	bad2 := V100()
+	bad2.MemoryAlpha = 0.5
+	if _, err := NewDevice(eng, bad2); err == nil {
+		t.Error("sub-linear contention exponent accepted")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	for _, spec := range []Spec{V100(), A100()} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+	cases := []func(*Spec){
+		func(s *Spec) { s.MemoryBytes = 0 },
+		func(s *Spec) { s.MemBandwidth = 0 },
+		func(s *Spec) { s.PCIeBandwidth = -1 },
+		func(s *Spec) { s.SM.MaxThreads = 0 },
+	}
+	for i, mutate := range cases {
+		s := V100()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestUtilizationDedicatedKernel(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	mustSubmit(t, dev, s, NewKernelTask(convDesc(1), nil))
+	eng.Run()
+	u := dev.Utilization()
+	// Over the whole window the conv kernel ran at 89% compute: average
+	// must be close (dispatch latency dilutes it slightly).
+	if u.Compute < 0.85 || u.Compute > 0.90 {
+		t.Errorf("compute util = %.3f, want ~0.89", u.Compute)
+	}
+	if u.MemBW < 0.17 || u.MemBW > 0.22 {
+		t.Errorf("membw util = %.3f, want ~0.20", u.MemBW)
+	}
+	if u.SMBusy < 0.95 {
+		t.Errorf("SM busy = %.3f, want ~1.0", u.SMBusy)
+	}
+}
+
+func TestUtilizationIdleGap(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	mustSubmit(t, dev, s, NewKernelTask(bnDesc(1), nil))
+	eng.Run()
+	// Advance time with an idle gap equal to the busy time: averages halve.
+	eng.At(eng.Now()+eng.Now(), func() {})
+	eng.Run()
+	u := dev.Utilization()
+	if u.MemBW < 0.35 || u.MemBW > 0.45 {
+		t.Errorf("membw util with 50%% idle = %.3f, want ~0.40", u.MemBW)
+	}
+}
+
+func TestResetUtilization(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	mustSubmit(t, dev, s, NewKernelTask(convDesc(1), nil))
+	eng.Run()
+	dev.ResetUtilization()
+	u := dev.Utilization()
+	if u.Elapsed != 0 || u.Compute != 0 {
+		t.Errorf("after reset: %+v, want zeroes", u)
+	}
+}
+
+func TestTracingRecordsSegments(t *testing.T) {
+	eng, dev := newV100(t)
+	dev.EnableTracing(0)
+	s := dev.CreateStream(0)
+	mustSubmit(t, dev, s, NewKernelTask(convDesc(1), nil))
+	eng.Run()
+	dev.Utilization() // flush
+	tr := dev.Trace()
+	if len(tr) == 0 {
+		t.Fatal("no trace segments recorded")
+	}
+	var busy sim.Duration
+	for _, seg := range tr {
+		if seg.Compute > 0.5 {
+			busy += seg.Duration
+		}
+	}
+	if busy < sim.Millis(1.2) {
+		t.Errorf("busy trace time = %v, want ~1.35ms", busy)
+	}
+}
+
+func TestTraceCapTruncates(t *testing.T) {
+	eng, dev := newV100(t)
+	dev.EnableTracing(2)
+	s := dev.CreateStream(0)
+	for i := 0; i < 10; i++ {
+		mustSubmit(t, dev, s, NewKernelTask(smallDesc(i, sim.Micros(50)), nil))
+		mustSubmit(t, dev, s, NewKernelTask(bnDesc(100+i), nil))
+	}
+	eng.Run()
+	dev.Utilization()
+	if len(dev.Trace()) > 2 {
+		t.Fatalf("trace grew past cap: %d segments", len(dev.Trace()))
+	}
+	if !dev.TraceTruncated() {
+		t.Fatal("truncation not flagged")
+	}
+}
+
+func TestResampleTrace(t *testing.T) {
+	trace := []UtilSample{
+		{Start: 0, Duration: sim.Millis(1), Compute: 1.0},
+		{Start: sim.Time(sim.Millis(1)), Duration: sim.Millis(1), Compute: 0.0},
+		{Start: sim.Time(sim.Millis(2)), Duration: sim.Millis(2), Compute: 0.5},
+	}
+	out := ResampleTrace(trace, 0, sim.Time(sim.Millis(4)), sim.Millis(2))
+	if len(out) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(out))
+	}
+	if math.Abs(out[0].Compute-0.5) > 1e-9 {
+		t.Errorf("bucket 0 compute = %v, want 0.5", out[0].Compute)
+	}
+	if math.Abs(out[1].Compute-0.5) > 1e-9 {
+		t.Errorf("bucket 1 compute = %v, want 0.5", out[1].Compute)
+	}
+}
+
+func TestResampleTraceEdges(t *testing.T) {
+	if out := ResampleTrace(nil, 0, 100, 0); out != nil {
+		t.Error("zero bucket should return nil")
+	}
+	if out := ResampleTrace(nil, 100, 100, 10); out != nil {
+		t.Error("empty window should return nil")
+	}
+	// Segment partially outside the window is clipped.
+	trace := []UtilSample{{Start: 0, Duration: sim.Millis(10), Compute: 1.0}}
+	out := ResampleTrace(trace, sim.Time(sim.Millis(8)), sim.Time(sim.Millis(12)), sim.Millis(2))
+	if len(out) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(out))
+	}
+	if out[0].Compute != 1.0 || out[1].Compute != 0.0 {
+		t.Errorf("clipping wrong: %+v", out)
+	}
+}
+
+func TestManyStreamsManyKernelsDrain(t *testing.T) {
+	eng, dev := newV100(t)
+	const streams = 8
+	const perStream = 25
+	count := 0
+	for i := 0; i < streams; i++ {
+		s := dev.CreateStream(i % 3)
+		for j := 0; j < perStream; j++ {
+			var d *kernels.Descriptor
+			switch j % 3 {
+			case 0:
+				d = smallDesc(i*100+j, sim.Micros(30))
+			case 1:
+				d = bnDesc(i*100 + j)
+			default:
+				d = convDesc(i*100 + j)
+			}
+			mustSubmit(t, dev, s, NewKernelTask(d, func(sim.Time) { count++ }))
+		}
+	}
+	eng.Run()
+	if count != streams*perStream {
+		t.Fatalf("completed %d kernels, want %d", count, streams*perStream)
+	}
+	if !dev.Idle() {
+		t.Fatal("device not idle after drain")
+	}
+	if dev.FreeSMs() != dev.Spec().NumSMs {
+		t.Fatalf("leaked SMs: free = %d", dev.FreeSMs())
+	}
+}
+
+// Work conservation: aggregate completion of a fixed kernel set never
+// beats the sum of dedicated durations divided by device capacity, and the
+// device never idles while work is pending.
+func TestWorkConservation(t *testing.T) {
+	eng, dev := newV100(t)
+	var totalWork sim.Duration
+	const n = 12
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		s := dev.CreateStream(0)
+		d := bnDesc(i)
+		totalWork += d.Duration
+		mustSubmit(t, dev, s, NewKernelTask(d, func(at sim.Time) {
+			if at > last {
+				last = at
+			}
+		}))
+	}
+	eng.Run()
+	// 12 BN kernels: SM capacity admits 2 at a time (32 SMs each, 80 SMs)
+	// but memory bandwidth limits aggregate progress; end time cannot be
+	// earlier than total memory-bandwidth demand allows: each kernel needs
+	// 0.8 bw-seconds/sec, so >= 12*0.933*0.8 = 8.95 ms.
+	lower := sim.Duration(float64(totalWork) * 0.8)
+	if sim.Duration(last) < lower {
+		t.Errorf("finished at %v, faster than bandwidth bound %v", last, lower)
+	}
+}

@@ -1,0 +1,302 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+// multiWave builds a device-filling kernel with the given number of block
+// waves (blocks = 4 * 80 * waves at 256 threads / 64 regs).
+func multiWave(id, waves int, dur sim.Duration, cu, mu float64) *kernels.Descriptor {
+	return &kernels.Descriptor{
+		ID: id, Name: "mw", Op: kernels.OpKernel,
+		Launch:   kernels.LaunchConfig{Blocks: 4 * 80 * waves, ThreadsPerBlock: 256, RegsPerThread: 64},
+		Duration: dur, ComputeUtil: cu, MemBWUtil: mu,
+	}
+}
+
+// A multi-wave kernel yields its SMs at each wave boundary, so a
+// higher-priority kernel submitted mid-flight starts within one wave.
+func TestWaveBoundaryLatencyBound(t *testing.T) {
+	eng, dev := newV100(t)
+	be := dev.CreateStream(0)
+	hp := dev.CreateStream(5)
+	// 8 waves over 1.6ms: boundaries every ~200us.
+	mustSubmit(t, dev, be, NewKernelTask(multiWave(1, 8, sim.Millis(1.6), 0.8, 0.2), nil))
+	hpTask := NewKernelTask(smallDesc(2, sim.Micros(50)), nil)
+	eng.At(sim.Time(sim.Micros(300)), func() {
+		if err := dev.Submit(hp, hpTask); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	// Submitted at 300us; ready at 303us; the running wave ends by 400us.
+	if hpTask.StartedAt() > sim.Time(sim.Micros(450)) {
+		t.Errorf("high-priority kernel started at %v, want within one wave (~200us)", hpTask.StartedAt())
+	}
+}
+
+// A single-wave kernel never sheds: a later high-priority kernel waits the
+// full residual duration.
+func TestSingleWaveIsSticky(t *testing.T) {
+	eng, dev := newV100(t)
+	be := dev.CreateStream(0)
+	hp := dev.CreateStream(5)
+	mustSubmit(t, dev, be, NewKernelTask(singleWaveFull(1, sim.Millis(1.6)), nil))
+	hpTask := NewKernelTask(smallDesc(2, sim.Micros(50)), nil)
+	eng.At(sim.Time(sim.Micros(300)), func() {
+		dev.Submit(hp, hpTask)
+	})
+	eng.Run()
+	if hpTask.StartedAt() < sim.Time(sim.Millis(1.6)) {
+		t.Errorf("high-priority kernel started at %v inside a single-wave resident kernel", hpTask.StartedAt())
+	}
+}
+
+// The dispatch gap: a second stream's pending kernel can claim the device
+// between two in-order kernels of another stream.
+func TestDispatchGapAllowsSneakIn(t *testing.T) {
+	eng, dev := newV100(t)
+	a := dev.CreateStream(0)
+	b := dev.CreateStream(0)
+	// Stream a: two back-to-back full-device kernels.
+	k1 := NewKernelTask(singleWaveFull(1, sim.Millis(1)), nil)
+	k2 := NewKernelTask(singleWaveFull(2, sim.Millis(1)), nil)
+	mustSubmit(t, dev, a, k1)
+	mustSubmit(t, dev, a, k2)
+	// Stream b: a kernel pending from early on. It becomes ready long
+	// before k1 finishes, so at k1's completion it is the only ready
+	// kernel (k2 is still in its launch-latency window) and wins the SMs.
+	sneak := NewKernelTask(singleWaveFull(3, sim.Millis(0.5)), nil)
+	eng.At(sim.Time(sim.Micros(100)), func() { dev.Submit(b, sneak) })
+	eng.Run()
+	if sneak.StartedAt() < sim.Time(sim.Millis(1)) || sneak.StartedAt() > sim.Time(sim.Millis(1.01)) {
+		t.Errorf("sneak kernel started at %v, want right at the 1ms boundary", sneak.StartedAt())
+	}
+	if k2.StartedAt() < sneak.CompletedAt() {
+		t.Errorf("k2 started at %v, before the sneak kernel finished at %v",
+			k2.StartedAt(), sneak.CompletedAt())
+	}
+}
+
+// Equal-priority streams share SMs proportionally when both are pending at
+// the same instant.
+func TestEqualPriorityProportionalSplit(t *testing.T) {
+	eng, dev := newV100(t)
+	a := dev.CreateStream(0)
+	b := dev.CreateStream(0)
+	// Both want all 80 SMs, submitted at the same time.
+	ka := NewKernelTask(singleWaveFull(1, sim.Millis(1)), nil)
+	kb := NewKernelTask(singleWaveFull(2, sim.Millis(1)), nil)
+	mustSubmit(t, dev, a, ka)
+	mustSubmit(t, dev, b, kb)
+	eng.RunUntil(sim.Time(sim.Micros(10)))
+	if ka.GrantedSMs() != 40 || kb.GrantedSMs() != 40 {
+		t.Errorf("grants %d/%d, want 40/40 proportional split", ka.GrantedSMs(), kb.GrantedSMs())
+	}
+	eng.Run()
+}
+
+// Higher-priority pending kernels take their full ask before lower ones
+// see any SMs.
+func TestPriorityAbsoluteAmongPending(t *testing.T) {
+	eng, dev := newV100(t)
+	lo := dev.CreateStream(0)
+	hi := dev.CreateStream(3)
+	kl := NewKernelTask(singleWaveFull(1, sim.Millis(1)), nil)
+	kh := NewKernelTask(singleWaveFull(2, sim.Millis(1)), nil)
+	mustSubmit(t, dev, lo, kl)
+	mustSubmit(t, dev, hi, kh)
+	eng.RunUntil(sim.Time(sim.Micros(10)))
+	if kh.GrantedSMs() != 80 || kl.GrantedSMs() != 0 {
+		t.Errorf("grants hi=%d lo=%d, want 80/0", kh.GrantedSMs(), kl.GrantedSMs())
+	}
+	eng.Run()
+}
+
+// Contention accounting: two memory-heavy kernels oversubscribe bandwidth;
+// achieved utilization saturates at 100% and both slow down.
+func TestContentionSlowdownAccounting(t *testing.T) {
+	eng, dev := newV100(t)
+	s1, s2 := dev.CreateStream(0), dev.CreateStream(0)
+	a := NewKernelTask(bnDesc(1), nil)
+	b := NewKernelTask(bnDesc(2), nil)
+	mustSubmit(t, dev, s1, a)
+	mustSubmit(t, dev, s2, b)
+	eng.Run()
+	u := dev.Utilization()
+	if u.MemBW > 1.0 {
+		t.Errorf("membw utilization %.2f exceeds 1.0", u.MemBW)
+	}
+	// Both ran concurrently at M=1.6 demand: achieved membw near the
+	// superlinear-penalty ceiling (1.6/1.6^1.35 ~= 0.85).
+	if u.MemBW < 0.7 {
+		t.Errorf("membw utilization %.2f, want ~0.85 under oversubscription", u.MemBW)
+	}
+	// Both finished late: completion after the dedicated 0.933ms.
+	if a.CompletedAt() < sim.Time(sim.Millis(1.2)) {
+		t.Errorf("kernel finished at %v despite bandwidth contention", a.CompletedAt())
+	}
+}
+
+// Property: for random kernel mixes on one stream, total busy time equals
+// the sum of durations plus dispatch gaps, and kernels finish in order.
+func TestSingleStreamSerializationProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 || len(durs) > 40 {
+			return true
+		}
+		eng := sim.NewEngine()
+		dev, err := NewDevice(eng, V100())
+		if err != nil {
+			return false
+		}
+		s := dev.CreateStream(0)
+		var sum sim.Duration
+		var ends []sim.Time
+		for i, d := range durs {
+			dur := sim.Duration(d)*sim.Microsecond + sim.Microsecond
+			sum += dur + dev.Spec().DispatchLatency
+			task := NewKernelTask(smallDesc(i, dur), func(at sim.Time) { ends = append(ends, at) })
+			if dev.Submit(s, task) != nil {
+				return false
+			}
+		}
+		eng.Run()
+		if len(ends) != len(durs) {
+			return false
+		}
+		for i := 1; i < len(ends); i++ {
+			if ends[i] < ends[i-1] {
+				return false
+			}
+		}
+		return ends[len(ends)-1] == sim.Time(sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: across random two-stream mixes, the device conserves SMs (no
+// leaks) and always drains.
+func TestSMConservationProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		count := int(n%12) + 1
+		eng := sim.NewEngine()
+		eng.MaxEvents = 10_000_000
+		dev, err := NewDevice(eng, V100())
+		if err != nil {
+			return false
+		}
+		r := sim.NewRand(seed)
+		streams := []*Stream{dev.CreateStream(0), dev.CreateStream(1)}
+		for i := 0; i < count; i++ {
+			var desc *kernels.Descriptor
+			switch r.Intn(4) {
+			case 0:
+				desc = convDesc(i)
+			case 1:
+				desc = bnDesc(i)
+			case 2:
+				desc = multiWave(i, 1+r.Intn(4), sim.Micros(float64(50+r.Intn(500))), 0.5, 0.5)
+			default:
+				desc = smallDesc(i, sim.Micros(float64(10+r.Intn(100))))
+			}
+			if dev.Submit(streams[r.Intn(2)], NewKernelTask(desc, nil)) != nil {
+				return false
+			}
+		}
+		eng.Run()
+		return dev.Idle() && dev.FreeSMs() == dev.Spec().NumSMs &&
+			dev.KernelsCompleted() == uint64(count)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sync-op ordering: operations submitted before a malloc complete first;
+// operations submitted after it wait.
+func TestSyncOpBarrierOrdering(t *testing.T) {
+	eng, dev := newV100(t)
+	k1 := dev.CreateStream(0)
+	k2 := dev.CreateStream(0)
+	ms := dev.CreateStream(0)
+	before := NewKernelTask(smallDesc(1, sim.Millis(1)), nil)
+	mustSubmit(t, dev, k1, before)
+	m := NewSyncOpTask(mallocDesc(2, 1<<20), nil)
+	mustSubmit(t, dev, ms, m)
+	after := NewKernelTask(smallDesc(3, sim.Micros(100)), nil)
+	mustSubmit(t, dev, k2, after)
+	eng.Run()
+	if m.CompletedAt() < before.CompletedAt() {
+		t.Errorf("malloc at %v finished before the older kernel at %v",
+			m.CompletedAt(), before.CompletedAt())
+	}
+	if after.StartedAt() < m.CompletedAt() {
+		t.Errorf("younger kernel started at %v, before the malloc finished at %v",
+			after.StartedAt(), m.CompletedAt())
+	}
+}
+
+// Two sync ops drain in submission order.
+func TestTwoSyncOpsFIFO(t *testing.T) {
+	eng, dev := newV100(t)
+	s1, s2 := dev.CreateStream(0), dev.CreateStream(0)
+	a := NewSyncOpTask(mallocDesc(1, 1<<20), nil)
+	b := NewSyncOpTask(mallocDesc(2, 1<<20), nil)
+	mustSubmit(t, dev, s1, a)
+	mustSubmit(t, dev, s2, b)
+	eng.Run()
+	if !a.Done() || !b.Done() {
+		t.Fatal("sync ops did not complete")
+	}
+	if b.CompletedAt() <= a.CompletedAt() {
+		t.Errorf("second malloc at %v not after first at %v", b.CompletedAt(), a.CompletedAt())
+	}
+}
+
+// A100 has more SMs: a kernel partition that saturates a V100 leaves SMs
+// free on an A100.
+func TestA100HasHeadroom(t *testing.T) {
+	eng := sim.NewEngine()
+	dev, err := NewDevice(eng, A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dev.CreateStream(0)
+	// 80-SM single-wave kernel on a 108-SM device.
+	k := NewKernelTask(singleWaveFull(1, sim.Millis(1)), nil)
+	if err := dev.Submit(s, k); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(sim.Micros(10)))
+	if dev.FreeSMs() != 108-80 {
+		t.Errorf("free SMs = %d, want 28", dev.FreeSMs())
+	}
+	eng.Run()
+}
+
+// Utilization integrals are additive across Reset boundaries.
+func TestUtilizationWindowing(t *testing.T) {
+	eng, dev := newV100(t)
+	s := dev.CreateStream(0)
+	mustSubmit(t, dev, s, NewKernelTask(bnDesc(1), func(sim.Time) {
+		dev.ResetUtilization()
+		dev.Submit(s, NewKernelTask(convDesc(2), nil))
+	}))
+	eng.Run()
+	u := dev.Utilization()
+	// The window only covers the conv kernel: compute-heavy.
+	if u.Compute < 0.8 {
+		t.Errorf("windowed compute %.2f, want ~0.89 (conv only)", u.Compute)
+	}
+	if math.Abs(u.MemBW-0.20) > 0.05 {
+		t.Errorf("windowed membw %.2f, want ~0.20", u.MemBW)
+	}
+}

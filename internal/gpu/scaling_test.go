@@ -1,0 +1,160 @@
+package gpu
+
+import (
+	"testing"
+
+	"orion/internal/sim"
+)
+
+// migSlice halves a V100: kernel demand fractions, profiled against the
+// full card, must double on the slice.
+func migSlice() Spec {
+	s := V100()
+	s.Name = "V100/mig-1of2"
+	s.NumSMs = 40
+	s.MemBandwidth /= 2
+	s.MemoryBytes /= 2
+	return s
+}
+
+func TestDemandScalesOnSlice(t *testing.T) {
+	c, m := migSlice().demandScales()
+	if c != 2.0 || m != 2.0 {
+		t.Fatalf("slice scales = %v/%v, want 2/2", c, m)
+	}
+	c, m = V100().demandScales()
+	if c != 1.0 || m != 1.0 {
+		t.Fatalf("V100 scales = %v/%v, want 1/1", c, m)
+	}
+	c, m = A100().demandScales()
+	if c >= 1.0 || m >= 1.0 {
+		t.Fatalf("A100 scales = %v/%v, want < 1 (bigger device)", c, m)
+	}
+}
+
+func TestZeroRefDefaultsToOwnCapacity(t *testing.T) {
+	s := V100()
+	s.RefNumSMs = 0
+	s.RefMemBandwidth = 0
+	c, m := s.demandScales()
+	if c != 1 || m != 1 {
+		t.Fatalf("scales = %v/%v, want 1/1 when unset", c, m)
+	}
+}
+
+// A memory-bound kernel profiled on the full card saturates a half-slice's
+// bandwidth: it runs slower there.
+func TestMemoryKernelSlowerOnSlice(t *testing.T) {
+	run := func(spec Spec) sim.Time {
+		eng := sim.NewEngine()
+		dev, err := NewDevice(eng, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := dev.CreateStream(0)
+		// 80% of V100 bandwidth = 160% of the slice's.
+		task := NewKernelTask(bnDesc(1), nil)
+		if err := dev.Submit(s, task); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return task.CompletedAt()
+	}
+	full := run(V100())
+	slice := run(migSlice())
+	if slice <= full {
+		t.Fatalf("memory-bound kernel on slice finished at %v, full card %v; bandwidth halving ignored", slice, full)
+	}
+	// 1.6x oversubscription with alpha 1.35: ~1.9x slower.
+	ratio := float64(slice) / float64(full)
+	if ratio < 1.4 || ratio > 2.4 {
+		t.Errorf("slice slowdown %.2fx, want ~1.9x", ratio)
+	}
+}
+
+// A compute-light kernel that fits the slice's SMs is barely affected.
+func TestSmallKernelUnaffectedOnSlice(t *testing.T) {
+	run := func(spec Spec) sim.Time {
+		eng := sim.NewEngine()
+		dev, _ := NewDevice(eng, spec)
+		s := dev.CreateStream(0)
+		task := NewKernelTask(smallDesc(1, sim.Micros(100)), nil)
+		dev.Submit(s, task)
+		eng.Run()
+		return task.CompletedAt()
+	}
+	full := run(V100())
+	slice := run(migSlice())
+	// smallDesc: 30% compute / 20% membw on V100 -> 60%/40% on the slice:
+	// still under saturation, so no slowdown.
+	if slice != full {
+		t.Errorf("small kernel: slice %v vs full %v, want identical", slice, full)
+	}
+}
+
+func TestNegativeRefRejected(t *testing.T) {
+	s := V100()
+	s.RefNumSMs = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative RefNumSMs accepted")
+	}
+	s2 := V100()
+	s2.RefMemBandwidth = -1
+	if err := s2.Validate(); err == nil {
+		t.Fatal("negative RefMemBandwidth accepted")
+	}
+}
+
+// Demands are capped defensively even on tiny slices.
+func TestDemandCap(t *testing.T) {
+	s := V100()
+	s.NumSMs = 8 // 1/10th of reference: raw scale would be 10x
+	s.MemBandwidth = 90e9
+	eng := sim.NewEngine()
+	dev, err := NewDevice(eng, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dev.CreateStream(0)
+	task := NewKernelTask(bnDesc(1), nil)
+	if err := dev.Submit(st, task); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(sim.Micros(10)))
+	if task.membw > 4.0 {
+		t.Fatalf("membw demand %v, cap 4.0 not applied", task.membw)
+	}
+	eng.Run()
+}
+
+// Trace conservation: recorded segments tile the accounted window with no
+// gaps or overlaps, and their weighted average equals the report.
+func TestTraceConservation(t *testing.T) {
+	eng, dev := newV100(t)
+	dev.EnableTracing(0)
+	s1, s2 := dev.CreateStream(0), dev.CreateStream(1)
+	for i := 0; i < 6; i++ {
+		mustSubmit(t, dev, s1, NewKernelTask(bnDesc(i), nil))
+		mustSubmit(t, dev, s2, NewKernelTask(smallDesc(100+i, sim.Micros(40)), nil))
+	}
+	eng.Run()
+	rep := dev.Utilization()
+	var total sim.Duration
+	var weighted float64
+	var cursor sim.Time
+	for _, seg := range dev.Trace() {
+		if seg.Start != cursor {
+			t.Fatalf("segment starts at %v, previous ended at %v", seg.Start, cursor)
+		}
+		cursor = seg.Start.Add(seg.Duration)
+		total += seg.Duration
+		weighted += seg.MemBW * float64(seg.Duration)
+	}
+	if total != rep.Elapsed {
+		t.Fatalf("trace covers %v, report says %v", total, rep.Elapsed)
+	}
+	avg := weighted / float64(total)
+	if diff := avg - rep.MemBW; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("trace-weighted membw %.6f vs report %.6f", avg, rep.MemBW)
+	}
+}

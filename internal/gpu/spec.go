@@ -1,0 +1,151 @@
+// Package gpu implements a deterministic discrete-event model of a CUDA
+// GPU device: streaming multiprocessors with occupancy limits, streams with
+// priorities and in-order execution, a block dispatcher that never preempts,
+// a fluid contention model over compute throughput and memory bandwidth,
+// PCIe copy engines, CUDA-event semantics, and utilization accounting.
+//
+// The model reproduces the three hardware behaviours Orion's scheduling
+// decisions exploit (paper §2, §3.2):
+//
+//  1. kernels on one stream serialize; kernels on different streams overlap;
+//  2. concurrent kernels interfere through shared compute units and memory
+//     bandwidth, superlinearly when memory bandwidth is oversubscribed;
+//  3. a kernel's thread blocks occupy SMs until completion, so an
+//     SM-saturating kernel starves concurrent kernels (no preemption).
+package gpu
+
+import (
+	"fmt"
+
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+// Spec describes a GPU architecture. The two concrete specs mirror the
+// paper's evaluation testbeds (V100-16GB and A100-40GB).
+type Spec struct {
+	// Name identifies the architecture in output.
+	Name string
+	// NumSMs is the number of streaming multiprocessors.
+	NumSMs int
+	// SM gives the per-SM occupancy limits.
+	SM kernels.SMLimits
+	// MemoryBytes is the device memory capacity.
+	MemoryBytes int64
+	// MemBandwidth is peak device memory bandwidth in bytes/second.
+	MemBandwidth float64
+	// PCIeBandwidth is effective host-device bandwidth in bytes/second.
+	PCIeBandwidth float64
+	// CopyLatency is the fixed setup latency of a host-device copy.
+	CopyLatency sim.Duration
+	// DispatchLatency is the hardware latency from a kernel reaching the
+	// head of its work queue to its blocks starting execution.
+	DispatchLatency sim.Duration
+	// SyncOverhead is the cost of a device-synchronizing operation
+	// (cudaMalloc / cudaFree) once the device has drained.
+	SyncOverhead sim.Duration
+
+	// RefNumSMs and RefMemBandwidth anchor kernel descriptors' utilization
+	// fractions: profiles are collected on a reference device (the V100),
+	// so a kernel demanding 40% of reference bandwidth demands
+	// proportionally more of a smaller slice and less of a bigger part.
+	// Zero values default to the spec's own capacities.
+	RefNumSMs       int
+	RefMemBandwidth float64
+
+	// ComputeAlpha and MemoryAlpha are the contention exponents of the
+	// fluid interference model: concurrent kernels slow down by
+	// max(1, C^ComputeAlpha, M^MemoryAlpha) where C and M are total
+	// granted compute and memory-bandwidth demand. MemoryAlpha > 1
+	// captures the superlinear penalty of memory oversubscription
+	// (cache thrashing) observed in the paper's Table 2 toy experiment.
+	ComputeAlpha float64
+	MemoryAlpha  float64
+}
+
+// V100 returns the NVIDIA V100-16GB spec used by the paper's main testbed.
+func V100() Spec {
+	return Spec{
+		Name:   "V100-16GB",
+		NumSMs: 80,
+		SM: kernels.SMLimits{
+			MaxThreads: 2048,
+			MaxBlocks:  32,
+			Registers:  65536,
+			SharedMem:  96 * 1024,
+		},
+		MemoryBytes:     16 << 30,
+		MemBandwidth:    900e9,
+		PCIeBandwidth:   12e9,
+		CopyLatency:     sim.Micros(10),
+		DispatchLatency: sim.Micros(3),
+		SyncOverhead:    sim.Micros(10),
+		RefNumSMs:       80,
+		RefMemBandwidth: 900e9,
+		ComputeAlpha:    1.0,
+		MemoryAlpha:     1.35,
+	}
+}
+
+// A100 returns the NVIDIA A100-40GB spec used in the paper's §6.3
+// generalization experiment.
+func A100() Spec {
+	return Spec{
+		Name:   "A100-40GB",
+		NumSMs: 108,
+		SM: kernels.SMLimits{
+			MaxThreads: 2048,
+			MaxBlocks:  32,
+			Registers:  65536,
+			SharedMem:  164 * 1024,
+		},
+		MemoryBytes:     40 << 30,
+		MemBandwidth:    1555e9,
+		PCIeBandwidth:   24e9,
+		CopyLatency:     sim.Micros(8),
+		DispatchLatency: sim.Micros(2),
+		SyncOverhead:    sim.Micros(8),
+		// Workload profiles are expressed in V100 terms; the A100's
+		// larger capacity absorbs proportionally more demand.
+		RefNumSMs:       80,
+		RefMemBandwidth: 900e9,
+		ComputeAlpha:    1.0,
+		MemoryAlpha:     1.35,
+	}
+}
+
+// Validate checks the spec for internal consistency.
+func (s Spec) Validate() error {
+	if s.NumSMs <= 0 {
+		return fmt.Errorf("gpu: spec %q has %d SMs", s.Name, s.NumSMs)
+	}
+	if s.MemoryBytes <= 0 {
+		return fmt.Errorf("gpu: spec %q has no memory", s.Name)
+	}
+	if s.MemBandwidth <= 0 || s.PCIeBandwidth <= 0 {
+		return fmt.Errorf("gpu: spec %q has non-positive bandwidth", s.Name)
+	}
+	if s.ComputeAlpha < 1 || s.MemoryAlpha < 1 {
+		return fmt.Errorf("gpu: spec %q contention exponents must be >= 1", s.Name)
+	}
+	if s.SM.MaxThreads <= 0 || s.SM.MaxBlocks <= 0 {
+		return fmt.Errorf("gpu: spec %q has invalid SM limits", s.Name)
+	}
+	if s.RefNumSMs < 0 || s.RefMemBandwidth < 0 {
+		return fmt.Errorf("gpu: spec %q has negative reference capacities", s.Name)
+	}
+	return nil
+}
+
+// demandScales returns the factors converting reference-relative kernel
+// demand into this device's terms.
+func (s Spec) demandScales() (compute, membw float64) {
+	compute, membw = 1, 1
+	if s.RefNumSMs > 0 {
+		compute = float64(s.RefNumSMs) / float64(s.NumSMs)
+	}
+	if s.RefMemBandwidth > 0 {
+		membw = s.RefMemBandwidth / s.MemBandwidth
+	}
+	return compute, membw
+}

@@ -1,0 +1,177 @@
+package gpu
+
+import "orion/internal/sim"
+
+// UtilSample is one piecewise-constant segment of device utilization,
+// recorded between consecutive device state changes when tracing is on.
+type UtilSample struct {
+	// Start is when the segment began.
+	Start sim.Time
+	// Duration is the segment length.
+	Duration sim.Duration
+	// Compute is achieved compute-throughput utilization (0..1).
+	Compute float64
+	// MemBW is achieved memory-bandwidth utilization (0..1).
+	MemBW float64
+	// SMBusy is the fraction of SMs occupied (0..1).
+	SMBusy float64
+	// MemCapacity is the fraction of device memory allocated (0..1).
+	MemCapacity float64
+}
+
+// UtilReport summarizes time-averaged device utilization over a window.
+type UtilReport struct {
+	// Elapsed is the accounted wall time.
+	Elapsed sim.Duration
+	// Compute, MemBW, SMBusy, MemCapacity are time-weighted averages (0..1).
+	Compute     float64
+	MemBW       float64
+	SMBusy      float64
+	MemCapacity float64
+}
+
+// utilAccum integrates utilization over time and optionally records the
+// piecewise-constant trace for the figure-1/8/9 style plots.
+type utilAccum struct {
+	elapsed   float64
+	computeI  float64
+	membwI    float64
+	smI       float64
+	memCapI   float64
+	tracing   bool
+	traceCap  int
+	trace     []UtilSample
+	truncated bool
+}
+
+func (u *utilAccum) accumulate(start sim.Time, dt, compute, membw, sm, memcap float64) {
+	u.elapsed += dt
+	u.computeI += compute * dt
+	u.membwI += membw * dt
+	u.smI += sm * dt
+	u.memCapI += memcap * dt
+	if u.tracing {
+		if u.traceCap > 0 && len(u.trace) >= u.traceCap {
+			u.truncated = true
+			return
+		}
+		// Merge with the previous segment when nothing changed, keeping
+		// traces compact across no-op device updates.
+		if n := len(u.trace); n > 0 {
+			last := &u.trace[n-1]
+			if last.Compute == compute && last.MemBW == membw && last.SMBusy == sm &&
+				last.MemCapacity == memcap && last.Start.Add(last.Duration) == start {
+				last.Duration += sim.Duration(dt)
+				return
+			}
+		}
+		u.trace = append(u.trace, UtilSample{
+			Start:       start,
+			Duration:    sim.Duration(dt),
+			Compute:     compute,
+			MemBW:       membw,
+			SMBusy:      sm,
+			MemCapacity: memcap,
+		})
+	}
+}
+
+// EnableTracing turns on segment recording. cap bounds the number of
+// retained segments (0 means unlimited); traces beyond the cap are dropped
+// and flagged.
+func (d *Device) EnableTracing(cap int) {
+	d.util.tracing = true
+	d.util.traceCap = cap
+}
+
+// Trace returns the recorded utilization segments. The returned slice
+// aliases device state; callers must not mutate it.
+func (d *Device) Trace() []UtilSample { return d.util.trace }
+
+// TraceTruncated reports whether segments were dropped due to the cap.
+func (d *Device) TraceTruncated() bool { return d.util.truncated }
+
+// Utilization returns time-averaged utilization since the device started
+// (or since the last ResetUtilization). It first folds in the interval
+// since the last device event so the report is current.
+func (d *Device) Utilization() UtilReport {
+	d.integrate()
+	u := d.util
+	if u.elapsed == 0 {
+		return UtilReport{}
+	}
+	return UtilReport{
+		Elapsed:     sim.Duration(u.elapsed),
+		Compute:     u.computeI / u.elapsed,
+		MemBW:       u.membwI / u.elapsed,
+		SMBusy:      u.smI / u.elapsed,
+		MemCapacity: u.memCapI / u.elapsed,
+	}
+}
+
+// ResetUtilization clears the utilization integrals and trace, starting a
+// fresh measurement window at the current time. Useful for excluding
+// warm-up from reported averages.
+func (d *Device) ResetUtilization() {
+	d.integrate()
+	tracing, cap := d.util.tracing, d.util.traceCap
+	d.util = utilAccum{tracing: tracing, traceCap: cap}
+}
+
+// ResampleTrace converts the piecewise-constant trace into fixed-interval
+// samples (averaging within each bucket), the form the paper's utilization
+// figures plot. It returns one UtilSample per bucket covering [from, to).
+func ResampleTrace(trace []UtilSample, from, to sim.Time, bucket sim.Duration) []UtilSample {
+	if bucket <= 0 || to <= from {
+		return nil
+	}
+	n := int((to.Sub(from) + bucket - 1) / bucket)
+	out := make([]UtilSample, n)
+	for i := range out {
+		out[i].Start = from.Add(sim.Duration(i) * bucket)
+		out[i].Duration = bucket
+	}
+	for _, s := range trace {
+		segStart, segEnd := s.Start, s.Start.Add(s.Duration)
+		if segEnd <= from || segStart >= to {
+			continue
+		}
+		if segStart < from {
+			segStart = from
+		}
+		if segEnd > to {
+			segEnd = to
+		}
+		for b := int(segStart.Sub(from) / bucket); b < n; b++ {
+			bStart := from.Add(sim.Duration(b) * bucket)
+			bEnd := bStart.Add(bucket)
+			if bStart >= segEnd {
+				break
+			}
+			ovl := minTime(segEnd, bEnd).Sub(maxTime(segStart, bStart))
+			if ovl <= 0 {
+				continue
+			}
+			w := float64(ovl) / float64(bucket)
+			out[b].Compute += s.Compute * w
+			out[b].MemBW += s.MemBW * w
+			out[b].SMBusy += s.SMBusy * w
+			out[b].MemCapacity += s.MemCapacity * w
+		}
+	}
+	return out
+}
+
+func minTime(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,415 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"orion/internal/gpu"
+	"orion/internal/kernels"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/viz"
+	"orion/internal/workload"
+)
+
+// Experiment is a named, runnable reproduction of one of the paper's
+// tables or figures.
+type Experiment struct {
+	// ID is the experiment identifier (e.g. "fig6", "table4").
+	ID string
+	// Title describes what the paper artifact shows.
+	Title string
+	// Quick reduces horizons/model counts for fast smoke runs.
+	Run func(opt Options) (Rendered, error)
+}
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick shrinks horizons and sweeps for smoke testing; the full
+	// configuration reproduces the paper's setup.
+	Quick bool
+	// Seed randomizes arrivals deterministically.
+	Seed int64
+}
+
+// Rendered is a displayable experiment result.
+type Rendered interface {
+	// Render returns the paper-style rows/series as text.
+	Render() string
+}
+
+// Text is a plain pre-rendered result.
+type Text string
+
+// Render implements Rendered.
+func (t Text) Render() string { return string(t) }
+
+// horizons returns (horizon, warmup) for an experiment given Quick mode.
+func (o Options) horizons(full, quick sim.Duration) (sim.Duration, sim.Duration) {
+	h := full
+	if o.Quick {
+		h = quick
+	}
+	return h, h / 5
+}
+
+// Registry lists all experiments in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", "GPU utilization trace of a MobileNetV2 training iteration", Figure1},
+		{"table1", "Average GPU utilization for the ten DNN workloads", Table1},
+		{"fig2", "Throughput of existing collocation techniques vs Ideal", Figure2},
+		{"table2", "Toy kernel collocation: Conv2d/BN2d pairs", Table2},
+		{"fig4", "Compute- vs memory-intensive kernel mix per workload", Figure4},
+		{"fig6", "Inference-Training (Apollo trace): p99 latency and throughput", Figure6},
+		{"fig7", "Inference-Training (Poisson): p99 latency and throughput", Figure7},
+		{"fig8", "Compute-throughput utilization: inference alone vs collocated", Figure8},
+		{"fig9", "Memory-bandwidth utilization: inference alone vs collocated", Figure9},
+		{"fig10", "Training-Training: aggregate throughput per scheme", Figure10},
+		{"table4", "Cost savings of inf-train collocation with Orion", Table4},
+		{"fig11", "Inference-Inference (Apollo): p99 of the high-priority model", Figure11},
+		{"fig12", "Inference-Inference (Poisson): p99 of the high-priority model", Figure12},
+		{"fig13", "A100, 1 high-priority + 4 best-effort inference clients", Figure13},
+		{"fig14", "Policy ablation: which parts of Orion matter", Figure14},
+		{"makespan", "Job-set makespan: sequential vs MPS vs Orion (§6.2.2)", Makespan},
+		{"durthresh", "DUR_THRESHOLD sensitivity (§6.4)", DurThresholdSensitivity},
+		{"overhead", "Kernel-launch interception overhead (§6.5)", Overhead},
+	}
+}
+
+// FullRegistry lists the paper experiments plus the §7 extension
+// prototypes (LLM collocation, cluster placement).
+func FullRegistry() []Experiment {
+	out := append(Registry(), extensionRegistry()...)
+	return append(out, moreExtensions()...)
+}
+
+// ByIDExperiment finds an experiment by id, searching the paper set and
+// the §7 extensions.
+func ByIDExperiment(id string) (Experiment, error) {
+	for _, e := range FullRegistry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range FullRegistry() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// --- Figure 1: utilization trace -------------------------------------------
+
+// TraceResult is a resampled utilization time series.
+type TraceResult struct {
+	Label   string
+	Bucket  sim.Duration
+	Samples []gpu.UtilSample
+	AvgComp float64
+	AvgMem  float64
+}
+
+// Render prints a sparkline panel and the bucketized series.
+func (r *TraceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (bucket %v)\n", r.Label, r.Bucket)
+	comp := make([]float64, len(r.Samples))
+	mem := make([]float64, len(r.Samples))
+	for i, s := range r.Samples {
+		comp[i] = s.Compute * 100
+		mem[i] = s.MemBW * 100
+	}
+	panel := viz.TimeSeries{
+		Rows: []viz.TimeSeriesRow{
+			{Name: "compute%", Values: comp},
+			{Name: "membw%", Values: mem},
+		},
+	}
+	b.WriteString(panel.Render())
+	fmt.Fprintf(&b, "%-10s %-10s %-10s\n", "t(ms)", "compute%", "membw%")
+	for _, s := range r.Samples {
+		fmt.Fprintf(&b, "%-10.2f %-10.1f %-10.1f\n",
+			float64(s.Start)/1e6, s.Compute*100, s.MemBW*100)
+	}
+	fmt.Fprintf(&b, "avg compute %.1f%%  avg membw %.1f%%\n", r.AvgComp*100, r.AvgMem*100)
+	return b.String()
+}
+
+// Figure1 reproduces the bursty utilization trace of a MobileNetV2
+// training run on a dedicated GPU, at the paper's batch size 96 (the
+// recipe is calibrated at 64 and rescaled).
+func Figure1(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(3), sim.Seconds(1))
+	model, err := workload.MobileNetV2Training().WithBatch(96)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Run(RunConfig{
+		Scheme: Ideal,
+		Jobs: []JobSpec{{
+			Model: model, Priority: sched.HighPriority, Arrival: Closed,
+		}},
+		Horizon: horizon, Warmup: warmup, Seed: opt.Seed, Tracing: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bucket := sim.Millis(2)
+	from := sim.Time(warmup)
+	to := sim.Time(warmup + 160*sim.Millisecond) // ~2 iterations
+	samples := gpu.ResampleTrace(r.Trace, from, to, bucket)
+	return &TraceResult{
+		Label:   "MobileNetV2 training (batch 96), dedicated V100 (Figure 1)",
+		Bucket:  bucket,
+		Samples: samples,
+		AvgComp: r.Utilization.Compute,
+		AvgMem:  r.Utilization.MemBW,
+	}, nil
+}
+
+// --- Table 1: per-workload utilization -------------------------------------
+
+// Table1Row is one workload's measured utilization averages.
+type Table1Row struct {
+	Workload string
+	Batch    int
+	SMBusy   float64
+	Compute  float64
+	MemBW    float64
+	MemCap   float64
+}
+
+// Table1Result is the full utilization table.
+type Table1Result struct{ Rows []Table1Row }
+
+// Render prints the Table 1 layout.
+func (t *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-6s %-10s %-12s %-10s %-10s\n",
+		"workload", "batch", "SMbusy%", "compute%", "membw%", "memcap%")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-20s %-6d %-10.0f %-12.0f %-10.0f %-10.0f\n",
+			r.Workload, r.Batch, r.SMBusy*100, r.Compute*100, r.MemBW*100, r.MemCap*100)
+	}
+	return b.String()
+}
+
+// Table1 measures average utilization of each workload running without
+// stalls on a dedicated V100.
+func Table1(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(4), sim.Seconds(1))
+	models := workload.Catalog()
+	if opt.Quick {
+		models = []*workload.Model{workload.ResNet50Inference(), workload.ResNet50Training()}
+	}
+	var out Table1Result
+	for _, m := range models {
+		arrival := Closed
+		r, err := Run(RunConfig{
+			Scheme:  Ideal,
+			Jobs:    []JobSpec{{Model: m, Priority: sched.HighPriority, Arrival: arrival}},
+			Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		u := r.Utilization
+		out.Rows = append(out.Rows, Table1Row{
+			Workload: m.ID(), Batch: m.Batch,
+			SMBusy: u.SMBusy, Compute: u.Compute, MemBW: u.MemBW, MemCap: u.MemCapacity,
+		})
+	}
+	return &out, nil
+}
+
+// --- Table 2: toy kernel collocation ----------------------------------------
+
+// Table2Row is one kernel-pair measurement.
+type Table2Row struct {
+	Pair       string
+	Sequential sim.Duration
+	Collocated sim.Duration
+	Speedup    float64
+}
+
+// Table2Result is the toy experiment table.
+type Table2Result struct{ Rows []Table2Row }
+
+// Render prints the Table 2 layout.
+func (t *Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-12s %-12s %-8s\n", "kernel pair", "sequential", "collocated", "speedup")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-16s %-12.2f %-12.2f %.2fx\n",
+			r.Pair, r.Sequential.Millis(), r.Collocated.Millis(), r.Speedup)
+	}
+	return b.String()
+}
+
+// toyConv is the paper's Conv2d toy kernel: 1.35 ms, saturates the SMs,
+// 89% compute / 20% memory-bandwidth utilization.
+func toyConv(id int) *kernels.Descriptor {
+	return &kernels.Descriptor{
+		ID: id, Name: "conv2d", Op: kernels.OpKernel,
+		Launch:   kernels.LaunchConfig{Blocks: 2560, ThreadsPerBlock: 256, RegsPerThread: 64},
+		Duration: sim.Millis(1.35), ComputeUtil: 0.89, MemBWUtil: 0.20,
+	}
+}
+
+// toyBN is the paper's BN2d toy kernel: 0.93 ms, 40% of SMs, 14% compute /
+// 80% memory bandwidth.
+func toyBN(id int) *kernels.Descriptor {
+	return &kernels.Descriptor{
+		ID: id, Name: "bn2d", Op: kernels.OpKernel,
+		Launch:   kernels.LaunchConfig{Blocks: 128, ThreadsPerBlock: 512, RegsPerThread: 32},
+		Duration: sim.Millis(0.93), ComputeUtil: 0.14, MemBWUtil: 0.80,
+	}
+}
+
+// Table2 measures sequential vs collocated execution of the Conv2d/BN2d
+// kernel pairs on the device model.
+func Table2(Options) (Rendered, error) {
+	pairs := []struct {
+		name string
+		a, b *kernels.Descriptor
+	}{
+		{"Conv2d-Conv2d", toyConv(0), toyConv(1)},
+		{"BN2d-BN2d", toyBN(0), toyBN(1)},
+		{"Conv2d-BN2d", toyConv(0), toyBN(1)},
+	}
+	var out Table2Result
+	for _, p := range pairs {
+		seq, err := runToy(p.a, p.b, false)
+		if err != nil {
+			return nil, err
+		}
+		col, err := runToy(p.a, p.b, true)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table2Row{
+			Pair: p.name, Sequential: seq, Collocated: col,
+			Speedup: float64(seq) / float64(col),
+		})
+	}
+	return &out, nil
+}
+
+// ToyPairTime runs two toy kernels ("conv" or "bn") on a device of the
+// given spec, sequentially or collocated, returning the makespan — the
+// Table 2 measurement exposed for the interference-model ablation benches.
+func ToyPairTime(spec gpu.Spec, a, b string, collocate bool) (sim.Duration, error) {
+	pick := func(name string, id int) (*kernels.Descriptor, error) {
+		switch name {
+		case "conv":
+			return toyConv(id), nil
+		case "bn":
+			return toyBN(id), nil
+		default:
+			return nil, fmt.Errorf("harness: unknown toy kernel %q", name)
+		}
+	}
+	ka, err := pick(a, 0)
+	if err != nil {
+		return 0, err
+	}
+	kb, err := pick(b, 1)
+	if err != nil {
+		return 0, err
+	}
+	return runToyOn(spec, ka, kb, collocate)
+}
+
+func runToy(a, b *kernels.Descriptor, collocate bool) (sim.Duration, error) {
+	return runToyOn(gpu.V100(), a, b, collocate)
+}
+
+func runToyOn(spec gpu.Spec, a, b *kernels.Descriptor, collocate bool) (sim.Duration, error) {
+	eng := sim.NewEngine()
+	dev, err := gpu.NewDevice(eng, spec)
+	if err != nil {
+		return 0, err
+	}
+	s1 := dev.CreateStream(0)
+	s2 := s1
+	if collocate {
+		s2 = dev.CreateStream(0)
+	}
+	var last sim.Time
+	done := func(at sim.Time) {
+		if at > last {
+			last = at
+		}
+	}
+	if err := dev.Submit(s1, gpu.NewKernelTask(a, done)); err != nil {
+		return 0, err
+	}
+	if err := dev.Submit(s2, gpu.NewKernelTask(b, done)); err != nil {
+		return 0, err
+	}
+	eng.Run()
+	return sim.Duration(last), nil
+}
+
+// --- Figure 4: kernel classification ----------------------------------------
+
+// Fig4Row is one workload's kernel-profile census.
+type Fig4Row struct {
+	Workload string
+	Compute  int
+	Memory   int
+	Unknown  int
+	MinDur   sim.Duration
+	MaxDur   sim.Duration
+}
+
+// Fig4Result is the kernel classification census.
+type Fig4Result struct{ Rows []Fig4Row }
+
+// Render prints per-workload kernel class counts and duration ranges.
+func (f *Fig4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-9s %-8s %-9s %-12s %-12s\n",
+		"workload", "compute", "memory", "unknown", "min(us)", "max(us)")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-20s %-9d %-8d %-9d %-12.0f %-12.0f\n",
+			r.Workload, r.Compute, r.Memory, r.Unknown, r.MinDur.Micros(), r.MaxDur.Micros())
+	}
+	return b.String()
+}
+
+// Figure4 classifies every workload's kernels by roofline profile.
+func Figure4(opt Options) (Rendered, error) {
+	var out Fig4Result
+	for _, m := range workload.Catalog() {
+		p, err := ProfileFor(m, gpu.V100())
+		if err != nil {
+			return nil, err
+		}
+		row := Fig4Row{Workload: m.ID(), MinDur: 1 << 62}
+		for _, k := range p.Kernels {
+			if k.Duration == 0 {
+				continue
+			}
+			switch k.Class {
+			case kernels.ProfileCompute:
+				row.Compute++
+			case kernels.ProfileMemory:
+				row.Memory++
+			default:
+				row.Unknown++
+			}
+			if k.Duration < row.MinDur {
+				row.MinDur = k.Duration
+			}
+			if k.Duration > row.MaxDur {
+				row.MaxDur = k.Duration
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].Workload < out.Rows[j].Workload })
+	return &out, nil
+}

@@ -1,0 +1,762 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"orion/internal/core"
+	"orion/internal/gpu"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/trace"
+	"orion/internal/viz"
+	"orion/internal/workload"
+)
+
+// CollocationCell aggregates one (high-priority model, scheme) point,
+// averaged over the best-effort partner models.
+type CollocationCell struct {
+	HPp50        sim.Duration
+	HPp95        sim.Duration
+	HPp99        sim.Duration
+	HPThroughput float64
+	BEThroughput float64
+	Samples      int
+}
+
+// CollocationFigure is a p99/throughput matrix over (HP model x scheme) —
+// the shape of Figures 2, 6, 7, 10, 11, 12 and 13.
+type CollocationFigure struct {
+	Title   string
+	Schemes []Scheme
+	HPs     []string
+	Cells   map[string]map[Scheme]*CollocationCell
+}
+
+// Cell returns the aggregated cell for an HP model and scheme.
+func (f *CollocationFigure) Cell(hp string, s Scheme) *CollocationCell {
+	if f.Cells[hp] == nil {
+		return nil
+	}
+	return f.Cells[hp][s]
+}
+
+// Render prints one block per HP model: p99 and throughputs per scheme,
+// with the p99 ratio to Ideal and a bar chart of the tails.
+func (f *CollocationFigure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	for _, hp := range f.HPs {
+		fmt.Fprintf(&b, "\nhigh-priority %s:\n", hp)
+		fmt.Fprintf(&b, "  %-10s %-10s %-10s %-10s %-10s %-10s\n",
+			"scheme", "p50(ms)", "p99(ms)", "p99/ideal", "hp(thr)", "be(thr)")
+		ideal := f.Cell(hp, Ideal)
+		var bars []viz.Bar
+		for _, s := range f.Schemes {
+			c := f.Cell(hp, s)
+			if c == nil {
+				continue
+			}
+			ratio := 0.0
+			if ideal != nil && ideal.HPp99 > 0 {
+				ratio = float64(c.HPp99) / float64(ideal.HPp99)
+			}
+			fmt.Fprintf(&b, "  %-10s %-10.2f %-10.2f %-10.2f %-10.2f %-10.2f\n",
+				s, c.HPp50.Millis(), c.HPp99.Millis(), ratio, c.HPThroughput, c.BEThroughput)
+			bars = append(bars, viz.Bar{
+				Label: string(s), Value: c.HPp99.Millis(),
+				Annotation: fmt.Sprintf("%.2fx ideal", ratio),
+			})
+		}
+		b.WriteString(indent(viz.BarChart("p99 latency", "ms", 36, bars), "  "))
+	}
+	return b.String()
+}
+
+// indent prefixes every non-empty line.
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// collocationSweep runs every (HP, BE partner, scheme) combination and
+// averages cells over partners.
+func collocationSweep(title string, hps []JobSpec, partnersFor func(hp JobSpec) []JobSpec,
+	schemes []Scheme, device gpu.Spec, horizon, warmup sim.Duration, seed int64,
+	custom func(cfg *RunConfig)) (*CollocationFigure, error) {
+
+	fig := &CollocationFigure{
+		Title:   title,
+		Schemes: schemes,
+		Cells:   map[string]map[Scheme]*CollocationCell{},
+	}
+	for _, hp := range hps {
+		hpID := hp.Model.ID()
+		fig.HPs = append(fig.HPs, hpID)
+		fig.Cells[hpID] = map[Scheme]*CollocationCell{}
+		for _, s := range schemes {
+			agg := &CollocationCell{}
+			var p50, p95, p99 sim.Duration
+			for _, be := range partnersFor(hp) {
+				cfg := RunConfig{
+					Scheme: s, Device: device,
+					Jobs:    []JobSpec{hp, be},
+					Horizon: horizon, Warmup: warmup,
+					Seed: seed + int64(len(hpID)) + int64(len(be.Model.ID()))*131,
+				}
+				if custom != nil {
+					custom(&cfg)
+				}
+				r, err := Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s vs %s: %w", s, hpID, be.Model.ID(), err)
+				}
+				h := r.HP()
+				p50 += h.Stats.Latency.P50()
+				p95 += h.Stats.Latency.P95()
+				p99 += h.Stats.Latency.P99()
+				agg.HPThroughput += h.Stats.Throughput()
+				for _, bj := range r.BestEffort() {
+					agg.BEThroughput += bj.Stats.Throughput()
+				}
+				agg.Samples++
+			}
+			n := sim.Duration(agg.Samples)
+			if n > 0 {
+				agg.HPp50 = p50 / n
+				agg.HPp95 = p95 / n
+				agg.HPp99 = p99 / n
+				agg.HPThroughput /= float64(agg.Samples)
+				agg.BEThroughput /= float64(agg.Samples)
+			}
+			fig.Cells[hpID][s] = agg
+		}
+	}
+	return fig, nil
+}
+
+// trainPartnersExcept returns the training workloads other than the HP
+// model, as closed-loop best-effort jobs.
+func trainPartnersExcept(name string) []JobSpec {
+	var out []JobSpec
+	for _, m := range workload.TrainingModels() {
+		if m.Name == name {
+			continue
+		}
+		out = append(out, JobSpec{Model: m, Priority: sched.BestEffort, Arrival: Closed})
+	}
+	return out
+}
+
+// allTrainPartners returns every training workload as a closed-loop
+// best-effort job.
+func allTrainPartners() []JobSpec {
+	var out []JobSpec
+	for _, m := range workload.TrainingModels() {
+		out = append(out, JobSpec{Model: m, Priority: sched.BestEffort, Arrival: Closed})
+	}
+	return out
+}
+
+// --- Figure 2: motivation ----------------------------------------------------
+
+// Figure2 reproduces the motivational comparison: three job pairs, each
+// job in a closed loop, across all techniques.
+func Figure2(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(10), sim.Seconds(3))
+	pairs := []struct{ hp, be *workload.Model }{
+		{workload.ResNet50Inference(), workload.MobileNetV2Training()},
+		{workload.TransformerInference(), workload.ResNet50Training()},
+		{workload.ResNet101Training(), workload.MobileNetV2Training()},
+	}
+	if opt.Quick {
+		pairs = pairs[:1]
+	}
+	schemes := []Scheme{Ideal, Temporal, Streams, MPSScheme, Reef, Orion}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: closed-loop job pairs, throughput per scheme (req or it /s)\n")
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "\npair: %s (hp) + %s (be)\n", p.hp.ID(), p.be.ID())
+		fmt.Fprintf(&b, "  %-10s %-10s %-10s %-12s\n", "scheme", "hp(thr)", "be(thr)", "aggregate")
+		for _, s := range schemes {
+			r, err := Run(RunConfig{
+				Scheme: s,
+				Jobs: []JobSpec{
+					{Model: p.hp, Priority: sched.HighPriority, Arrival: Closed},
+					{Model: p.be, Priority: sched.BestEffort, Arrival: Closed},
+				},
+				Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&b, "  %-10s %-10.2f %-10.2f %-12.2f\n",
+				s, r.HP().Stats.Throughput(), r.BestEffort()[0].Stats.Throughput(),
+				r.AggregateThroughput())
+		}
+	}
+	return Text(b.String()), nil
+}
+
+// --- Figures 6 and 7: inference-training -------------------------------------
+
+func infTrainFigure(opt Options, arrival ArrivalKind, label string) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(12), sim.Seconds(4))
+	models := workload.InferenceModels()
+	schemes := []Scheme{Ideal, Temporal, Streams, MPSScheme, Reef, Orion}
+	partners := func(hp JobSpec) []JobSpec { return allTrainPartners() }
+	if opt.Quick {
+		models = models[:2]
+		schemes = []Scheme{Ideal, Reef, Orion}
+		partners = func(hp JobSpec) []JobSpec { return allTrainPartners()[:1] }
+	}
+	var hps []JobSpec
+	for _, m := range models {
+		rps, err := trace.RPS(m.Name, trace.InfTrainPoisson)
+		if err != nil {
+			return nil, err
+		}
+		hps = append(hps, JobSpec{Model: m, Priority: sched.HighPriority, Arrival: arrival, RPS: rps})
+	}
+	return collocationSweep(label, hps, partners, schemes, gpu.V100(), horizon, warmup, opt.Seed, nil)
+}
+
+// Figure6 is inference-training with Apollo-trace arrivals.
+func Figure6(opt Options) (Rendered, error) {
+	return infTrainFigure(opt, Apollo,
+		"Figure 6: inf-train (Apollo trace), p99 and throughput averaged over training partners")
+}
+
+// Figure7 is inference-training with Poisson arrivals at Table 3 rates.
+func Figure7(opt Options) (Rendered, error) {
+	return infTrainFigure(opt, Poisson,
+		"Figure 7: inf-train (Poisson), p99 and throughput averaged over training partners")
+}
+
+// --- Figures 8 and 9: utilization traces --------------------------------------
+
+func utilizationTraces(opt Options) (alone, collocated *Result, err error) {
+	horizon, warmup := opt.horizons(sim.Seconds(4), sim.Seconds(1))
+	hp := JobSpec{Model: workload.ResNet50Inference(), Priority: sched.HighPriority, Arrival: Uniform, RPS: 100}
+	alone, err = Run(RunConfig{
+		Scheme: Ideal, Jobs: []JobSpec{hp},
+		Horizon: horizon, Warmup: warmup, Seed: opt.Seed, Tracing: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	collocated, err = Run(RunConfig{
+		Scheme: Orion,
+		Jobs: []JobSpec{hp,
+			{Model: workload.ResNet50Training(), Priority: sched.BestEffort, Arrival: Closed}},
+		Horizon: horizon, Warmup: warmup, Seed: opt.Seed, Tracing: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return alone, collocated, nil
+}
+
+// UtilCompareResult is the alone-vs-collocated utilization comparison of
+// Figures 8 and 9.
+type UtilCompareResult struct {
+	Metric         string
+	AloneAvg       float64
+	CollocatedAvg  float64
+	AloneTrace     []gpu.UtilSample
+	CollocatedTrac []gpu.UtilSample
+}
+
+// Render prints the averages, a sparkline panel, and the series.
+func (u *UtilCompareResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s utilization: alone %.1f%% -> collocated with Orion %.1f%%\n\n",
+		u.Metric, u.AloneAvg*100, u.CollocatedAvg*100)
+	pick := func(s gpu.UtilSample) float64 {
+		if u.Metric == "membw" {
+			return s.MemBW
+		}
+		return s.Compute
+	}
+	series := func(tr []gpu.UtilSample) []float64 {
+		out := make([]float64, len(tr))
+		for i, s := range tr {
+			out[i] = pick(s) * 100
+		}
+		return out
+	}
+	panel := viz.TimeSeries{
+		Title:  fmt.Sprintf("%s utilization over time (%%)", u.Metric),
+		XLabel: "5ms buckets",
+		Rows: []viz.TimeSeriesRow{
+			{Name: "alone", Values: series(u.AloneTrace)},
+			{Name: "collocated", Values: series(u.CollocatedTrac)},
+		},
+	}
+	b.WriteString(panel.Render())
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-10s %-10s %-12s\n", "t(ms)", "alone%", "collocated%")
+	n := len(u.AloneTrace)
+	if len(u.CollocatedTrac) < n {
+		n = len(u.CollocatedTrac)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%-10.1f %-10.1f %-12.1f\n",
+			float64(u.AloneTrace[i].Start)/1e6, pick(u.AloneTrace[i])*100, pick(u.CollocatedTrac[i])*100)
+	}
+	return b.String()
+}
+
+func figure89(opt Options, metric string) (Rendered, error) {
+	alone, col, err := utilizationTraces(opt)
+	if err != nil {
+		return nil, err
+	}
+	_, warmup := opt.horizons(sim.Seconds(4), sim.Seconds(1))
+	from := sim.Time(warmup)
+	to := from.Add(sim.Millis(200))
+	bucket := sim.Millis(5)
+	res := &UtilCompareResult{
+		Metric:         metric,
+		AloneTrace:     gpu.ResampleTrace(alone.Trace, from, to, bucket),
+		CollocatedTrac: gpu.ResampleTrace(col.Trace, from, to, bucket),
+	}
+	if metric == "membw" {
+		res.AloneAvg = alone.Utilization.MemBW
+		res.CollocatedAvg = col.Utilization.MemBW
+	} else {
+		res.AloneAvg = alone.Utilization.Compute
+		res.CollocatedAvg = col.Utilization.Compute
+	}
+	return res, nil
+}
+
+// Figure8 compares compute-throughput utilization of ResNet50 inference
+// alone vs collocated with ResNet50 training under Orion.
+func Figure8(opt Options) (Rendered, error) { return figure89(opt, "compute") }
+
+// Figure9 compares memory-bandwidth utilization for the same setup.
+func Figure9(opt Options) (Rendered, error) { return figure89(opt, "membw") }
+
+// --- Figure 10: training-training ---------------------------------------------
+
+// Figure10 collocates high-priority and best-effort training jobs across
+// schemes, reporting both jobs' throughput.
+func Figure10(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(12), sim.Seconds(4))
+	models := workload.TrainingModels()
+	schemes := []Scheme{Ideal, Streams, MPSScheme, Reef, TickTock, Orion}
+	partners := func(hp JobSpec) []JobSpec { return trainPartnersExcept(hp.Model.Name) }
+	if opt.Quick {
+		models = models[:2]
+		schemes = []Scheme{Ideal, Reef, TickTock, Orion}
+		partners = func(hp JobSpec) []JobSpec { return trainPartnersExcept(hp.Model.Name)[:1] }
+	}
+	var hps []JobSpec
+	for _, m := range models {
+		hps = append(hps, JobSpec{Model: m, Priority: sched.HighPriority, Arrival: Closed})
+	}
+	return collocationSweep(
+		"Figure 10: train-train, high-priority and best-effort throughput averaged over partners",
+		hps, partners, schemes, gpu.V100(), horizon, warmup, opt.Seed, nil)
+}
+
+// --- Table 4: cost savings ----------------------------------------------------
+
+// Table4Row is one training model's dedicated vs collocated throughput.
+type Table4Row struct {
+	Model       string
+	Dedicated   float64
+	Collocated  float64
+	CostSavings float64
+}
+
+// Table4Result is the cost-savings table.
+type Table4Result struct{ Rows []Table4Row }
+
+// Render prints the Table 4 layout.
+func (t *Table4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-16s %-16s %-12s\n",
+		"training model", "dedicated it/s", "collocated it/s", "cost savings")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-20s %-16.2f %-16.2f %.2fx\n",
+			r.Model, r.Dedicated, r.Collocated, r.CostSavings)
+	}
+	return b.String()
+}
+
+// Table4 measures each training model's throughput dedicated vs collocated
+// (as best-effort under Orion) with Poisson inference jobs, and the
+// resulting cost savings (2 * collocated / dedicated).
+func Table4(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(12), sim.Seconds(4))
+	trainModels := workload.TrainingModels()
+	infModels := workload.InferenceModels()
+	if opt.Quick {
+		trainModels = trainModels[:2]
+		infModels = infModels[:1]
+	}
+	var out Table4Result
+	for _, tm := range trainModels {
+		be := JobSpec{Model: tm, Priority: sched.BestEffort, Arrival: Closed}
+		ded, err := DedicatedThroughput(be, gpu.V100(), horizon, warmup, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var col float64
+		var n int
+		for _, im := range infModels {
+			rps, err := trace.RPS(im.Name, trace.InfTrainPoisson)
+			if err != nil {
+				return nil, err
+			}
+			r, err := Run(RunConfig{
+				Scheme: Orion,
+				Jobs: []JobSpec{
+					{Model: im, Priority: sched.HighPriority, Arrival: Poisson, RPS: rps},
+					be,
+				},
+				Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			col += r.BestEffort()[0].Stats.Throughput()
+			n++
+		}
+		col /= float64(n)
+		out.Rows = append(out.Rows, Table4Row{
+			Model: tm.ID(), Dedicated: ded, Collocated: col,
+			CostSavings: 2 * col / ded,
+		})
+	}
+	return &out, nil
+}
+
+// --- Figures 11 and 12: inference-inference ------------------------------------
+
+func infInfFigure(opt Options, hpArrival, beArrival ArrivalKind, hpScenario, beScenario trace.Scenario, hpModels []*workload.Model, label string) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(12), sim.Seconds(4))
+	schemes := []Scheme{Ideal, Streams, MPSScheme, Reef, Orion}
+	if opt.Quick {
+		hpModels = hpModels[:1]
+		schemes = []Scheme{Ideal, Reef, Orion}
+	}
+	var hps []JobSpec
+	for _, m := range hpModels {
+		rps, err := trace.RPS(m.Name, hpScenario)
+		if err != nil {
+			return nil, err
+		}
+		hps = append(hps, JobSpec{Model: m, Priority: sched.HighPriority, Arrival: hpArrival, RPS: rps})
+	}
+	partners := func(hp JobSpec) []JobSpec {
+		var out []JobSpec
+		for _, m := range workload.InferenceModels() {
+			if m.Name == hp.Model.Name {
+				continue
+			}
+			rps, err := trace.RPS(m.Name, beScenario)
+			if err != nil {
+				continue
+			}
+			out = append(out, JobSpec{Model: m, Priority: sched.BestEffort, Arrival: beArrival, RPS: rps})
+		}
+		if opt.Quick {
+			out = out[:1]
+		}
+		return out
+	}
+	return collocationSweep(label, hps, partners, schemes, gpu.V100(), horizon, warmup, opt.Seed, nil)
+}
+
+// Figure11 is inf-inf with the Apollo trace driving the high-priority
+// vision model and uniform best-effort arrivals.
+func Figure11(opt Options) (Rendered, error) {
+	return infInfFigure(opt, Apollo, Uniform, trace.InfInfPoisson, trace.InfInfUniform,
+		workload.VisionInference(),
+		"Figure 11: inf-inf (Apollo hp, uniform be), p99 averaged over partners")
+}
+
+// Figure12 is inf-inf with Poisson arrivals for both jobs.
+func Figure12(opt Options) (Rendered, error) {
+	return infInfFigure(opt, Poisson, Poisson, trace.InfInfPoisson, trace.InfInfPoisson,
+		workload.InferenceModels(),
+		"Figure 12: inf-inf (Poisson both), p99 averaged over partners")
+}
+
+// --- Figure 13: A100, five clients ---------------------------------------------
+
+// Figure13 runs one high-priority inference client against four
+// best-effort inference clients on an A100, across MPS, REEF and Orion.
+func Figure13(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(12), sim.Seconds(4))
+	models := workload.InferenceModels()
+	schemes := []Scheme{Ideal, MPSScheme, Reef, Orion}
+	if opt.Quick {
+		models = models[:2]
+		schemes = []Scheme{Ideal, Orion}
+	}
+	fig := &CollocationFigure{
+		Title:   "Figure 13: A100, 1 high-priority + 4 best-effort inference clients (Poisson)",
+		Schemes: schemes,
+		Cells:   map[string]map[Scheme]*CollocationCell{},
+	}
+	for _, hpM := range models {
+		hpID := hpM.ID()
+		fig.HPs = append(fig.HPs, hpID)
+		fig.Cells[hpID] = map[Scheme]*CollocationCell{}
+		rps, err := trace.RPS(hpM.Name, trace.InfInfPoisson)
+		if err != nil {
+			return nil, err
+		}
+		jobs := []JobSpec{{Model: hpM, Priority: sched.HighPriority, Arrival: Poisson, RPS: rps}}
+		for _, beM := range workload.InferenceModels() {
+			if beM.Name == hpM.Name {
+				continue
+			}
+			beRPS, err := trace.RPS(beM.Name, trace.InfInfPoisson)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, JobSpec{Model: beM, Priority: sched.BestEffort, Arrival: Poisson, RPS: beRPS})
+		}
+		for _, s := range schemes {
+			r, err := Run(RunConfig{
+				Scheme: s, Device: gpu.A100(), Jobs: jobs,
+				Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			h := r.HP()
+			cell := &CollocationCell{
+				HPp50: h.Stats.Latency.P50(), HPp95: h.Stats.Latency.P95(),
+				HPp99: h.Stats.Latency.P99(), HPThroughput: h.Stats.Throughput(),
+				Samples: 1,
+			}
+			for _, bj := range r.BestEffort() {
+				cell.BEThroughput += bj.Stats.Throughput()
+			}
+			fig.Cells[hpID][s] = cell
+		}
+	}
+	return fig, nil
+}
+
+// --- Figure 14: policy ablation -------------------------------------------------
+
+// AblationRow is one policy variant's aggregate tail latency.
+type AblationRow struct {
+	Variant string
+	P95     sim.Duration
+	P99     sim.Duration
+}
+
+// AblationResult is the Figure 14 breakdown.
+type AblationResult struct{ Rows []AblationRow }
+
+// Render prints variants in cumulative order with p95 reduction vs the
+// first row.
+func (a *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-10s %-10s %-12s\n", "variant", "p95(ms)", "p99(ms)", "p95 vs base")
+	base := float64(a.Rows[0].P95)
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-28s %-10.2f %-10.2f %-12.2f\n",
+			r.Variant, r.P95.Millis(), r.P99.Millis(), float64(r.P95)/base)
+	}
+	return b.String()
+}
+
+// Figure14 decomposes Orion's policy: plain GPU Streams, stream
+// priorities, compute/memory profile gating, SM-size gating (full Orion),
+// and full Orion without stream priorities.
+func Figure14(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(12), sim.Seconds(4))
+	hpModels := []*workload.Model{
+		workload.ResNet50Inference(), workload.ResNet101Inference(), workload.MobileNetV2Inference(),
+	}
+	beModels := []*workload.Model{workload.ResNet50Training(), workload.MobileNetV2Training()}
+	if opt.Quick {
+		hpModels = hpModels[:1]
+		beModels = beModels[:1]
+	}
+
+	type variant struct {
+		name   string
+		scheme Scheme
+		custom func(cfg *RunConfig)
+	}
+	variants := []variant{
+		{"GPU Streams", Streams, func(cfg *RunConfig) { cfg.streamsNoPriorities = true }},
+		{"+ Stream Priorities", Streams, nil},
+		{"+ Compute/Mem profiles", Orion, func(cfg *RunConfig) {
+			cfg.OrionConfig = &core.Config{DisableSMCheck: true}
+		}},
+		{"+ SM size (full Orion)", Orion, nil},
+		{"Orion w/o priorities", Orion, func(cfg *RunConfig) {
+			cfg.OrionConfig = &core.Config{DisableStreamPriorities: true}
+		}},
+	}
+
+	var out AblationResult
+	for _, v := range variants {
+		var p95, p99 sim.Duration
+		var n int
+		for _, hpM := range hpModels {
+			rps, err := trace.RPS(hpM.Name, trace.InfTrainPoisson)
+			if err != nil {
+				return nil, err
+			}
+			for _, beM := range beModels {
+				cfg := RunConfig{
+					Scheme: v.scheme,
+					Jobs: []JobSpec{
+						{Model: hpM, Priority: sched.HighPriority, Arrival: Poisson, RPS: rps},
+						{Model: beM, Priority: sched.BestEffort, Arrival: Closed},
+					},
+					Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+				}
+				if v.custom != nil {
+					v.custom(&cfg)
+				}
+				r, err := Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				p95 += r.HP().Stats.Latency.P95()
+				p99 += r.HP().Stats.Latency.P99()
+				n++
+			}
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Variant: v.name,
+			P95:     p95 / sim.Duration(n),
+			P99:     p99 / sim.Duration(n),
+		})
+	}
+	return &out, nil
+}
+
+// --- §6.4: DUR_THRESHOLD sensitivity ---------------------------------------------
+
+// DurThreshRow is one sweep point.
+type DurThreshRow struct {
+	Threshold    float64
+	HPp99        sim.Duration
+	BEThroughput float64
+}
+
+// DurThreshResult is the sensitivity sweep.
+type DurThreshResult struct{ Rows []DurThreshRow }
+
+// Render prints the sweep.
+func (d *DurThreshResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-12s %-14s\n", "DUR_THRESHOLD", "hp p99(ms)", "be it/s")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-14.1f%% %-12.2f %-14.2f\n", r.Threshold*100, r.HPp99.Millis(), r.BEThroughput)
+	}
+	return b.String()
+}
+
+// DurThresholdSensitivity sweeps DUR_THRESHOLD for ResNet101 inference
+// collocated with best-effort training (§6.4): larger thresholds trade
+// high-priority latency for best-effort throughput.
+func DurThresholdSensitivity(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(12), sim.Seconds(4))
+	sweep := []float64{0.01, 0.025, 0.05, 0.10, 0.15, 0.20}
+	if opt.Quick {
+		sweep = []float64{0.025, 0.20}
+	}
+	hpM := workload.ResNet101Inference()
+	beM := workload.MobileNetV2Training()
+	rps, err := trace.RPS(hpM.Name, trace.InfTrainPoisson)
+	if err != nil {
+		return nil, err
+	}
+	var out DurThreshResult
+	for _, th := range sweep {
+		r, err := Run(RunConfig{
+			Scheme: Orion,
+			Jobs: []JobSpec{
+				{Model: hpM, Priority: sched.HighPriority, Arrival: Poisson, RPS: rps},
+				{Model: beM, Priority: sched.BestEffort, Arrival: Closed},
+			},
+			Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+			OrionConfig: &core.Config{DurThreshold: th},
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, DurThreshRow{
+			Threshold: th, HPp99: r.HP().Stats.Latency.P99(),
+			BEThroughput: r.BestEffort()[0].Stats.Throughput(),
+		})
+	}
+	return &out, nil
+}
+
+// --- §6.5: interception overhead ----------------------------------------------
+
+// OverheadRow is one workload's native-vs-intercepted latency.
+type OverheadRow struct {
+	Workload string
+	Native   sim.Duration
+	Orion    sim.Duration
+	Overhead float64
+}
+
+// OverheadResult is the interception-overhead table.
+type OverheadResult struct{ Rows []OverheadRow }
+
+// Render prints the overhead table.
+func (o *OverheadResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-12s %-12s %-10s\n", "workload", "native(ms)", "orion(ms)", "overhead")
+	for _, r := range o.Rows {
+		fmt.Fprintf(&b, "%-20s %-12.3f %-12.3f %.2f%%\n",
+			r.Workload, r.Native.Millis(), r.Orion.Millis(), r.Overhead*100)
+	}
+	return b.String()
+}
+
+// Overhead measures Orion's kernel-launch interception cost on dedicated
+// jobs (§6.5: under 1%).
+func Overhead(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(6), sim.Seconds(2))
+	models := []*workload.Model{
+		workload.ResNet50Inference(), workload.BERTInference(), workload.ResNet50Training(),
+	}
+	if opt.Quick {
+		models = models[:1]
+	}
+	var out OverheadResult
+	for _, m := range models {
+		job := JobSpec{Model: m, Priority: sched.HighPriority, Arrival: Closed}
+		native, err := Run(RunConfig{Scheme: Ideal, Jobs: []JobSpec{job},
+			Horizon: horizon, Warmup: warmup, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		orion, err := Run(RunConfig{Scheme: Orion, Jobs: []JobSpec{job},
+			Horizon: horizon, Warmup: warmup, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		nm := native.Jobs[0].Stats.Latency.Mean()
+		om := orion.Jobs[0].Stats.Latency.Mean()
+		out.Rows = append(out.Rows, OverheadRow{
+			Workload: m.ID(), Native: nm, Orion: om,
+			Overhead: float64(om-nm) / float64(nm),
+		})
+	}
+	return &out, nil
+}

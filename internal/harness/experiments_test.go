@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"orion/internal/sim"
+)
+
+// Every registered experiment (paper set + §7 extensions) must run in
+// Quick mode and render output.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range FullRegistry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run(Options{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := r.Render()
+			if len(out) == 0 {
+				t.Fatalf("%s rendered nothing", e.ID)
+			}
+		})
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range FullRegistry() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s missing title or runner", e.ID)
+		}
+	}
+	if len(Registry()) != 18 {
+		t.Errorf("paper registry has %d experiments, want 18", len(Registry()))
+	}
+	if len(seen) != 24 {
+		t.Errorf("full registry has %d experiments, want 24", len(seen))
+	}
+}
+
+func TestByIDExperiment(t *testing.T) {
+	e, err := ByIDExperiment("table2")
+	if err != nil || e.ID != "table2" {
+		t.Fatalf("ByIDExperiment: %v %v", e.ID, err)
+	}
+	if _, err := ByIDExperiment("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// Table 2 full-fidelity shape check against the paper's measurements:
+// Conv+Conv ~1x, BN+BN marginal, Conv+BN substantial speedup.
+func TestTable2Shape(t *testing.T) {
+	r, err := Table2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.(*Table2Result)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	byPair := map[string]Table2Row{}
+	for _, row := range tbl.Rows {
+		byPair[row.Pair] = row
+	}
+	if s := byPair["Conv2d-Conv2d"].Speedup; s < 0.90 || s > 1.10 {
+		t.Errorf("Conv2d-Conv2d speedup %.2f, paper: 0.98", s)
+	}
+	if s := byPair["BN2d-BN2d"].Speedup; s < 0.95 || s > 1.25 {
+		t.Errorf("BN2d-BN2d speedup %.2f, paper: 1.08", s)
+	}
+	if s := byPair["Conv2d-BN2d"].Speedup; s < 1.20 || s > 1.60 {
+		t.Errorf("Conv2d-BN2d speedup %.2f, paper: 1.41", s)
+	}
+}
+
+// Figure 1's trace must be bursty: both near-idle and busy buckets.
+func TestFigure1Bursty(t *testing.T) {
+	r, err := Figure1(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := r.(*TraceResult)
+	if len(tr.Samples) < 20 {
+		t.Fatalf("only %d samples", len(tr.Samples))
+	}
+	var lo, hi float64 = 2, -1
+	for _, s := range tr.Samples {
+		if s.Compute < lo {
+			lo = s.Compute
+		}
+		if s.Compute > hi {
+			hi = s.Compute
+		}
+	}
+	if hi-lo < 0.3 {
+		t.Errorf("compute utilization range %.2f..%.2f not bursty", lo, hi)
+	}
+	// Table 1: MobileNetV2 training averages ~34% compute, ~49% membw.
+	if tr.AvgComp < 0.25 || tr.AvgComp > 0.45 {
+		t.Errorf("avg compute %.2f, Table 1 says 0.34", tr.AvgComp)
+	}
+	if tr.AvgMem < 0.38 || tr.AvgMem > 0.60 {
+		t.Errorf("avg membw %.2f, Table 1 says 0.49", tr.AvgMem)
+	}
+}
+
+// Figures 8/9: Orion collocation must lift utilization substantially, as
+// in the paper (compute 7%->36%, membw 10%->47%).
+func TestFigure89UtilizationLift(t *testing.T) {
+	r8, err := Figure8(Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u8 := r8.(*UtilCompareResult)
+	if u8.CollocatedAvg < u8.AloneAvg*2 {
+		t.Errorf("compute: alone %.2f collocated %.2f, want >=2x lift", u8.AloneAvg, u8.CollocatedAvg)
+	}
+	r9, err := Figure9(Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u9 := r9.(*UtilCompareResult)
+	if u9.CollocatedAvg < u9.AloneAvg*2 {
+		t.Errorf("membw: alone %.2f collocated %.2f, want >=2x lift", u9.AloneAvg, u9.CollocatedAvg)
+	}
+	if !strings.Contains(r9.Render(), "membw") {
+		t.Error("figure 9 render missing metric label")
+	}
+}
+
+// The DUR_THRESHOLD sweep must show the paper's monotone trade-off:
+// best-effort throughput grows with the threshold.
+func TestDurThresholdTradeoffQuick(t *testing.T) {
+	r, err := DurThresholdSensitivity(Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := r.(*DurThreshResult).Rows
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1].BEThroughput < rows[0].BEThroughput {
+		t.Errorf("BE throughput fell from %.2f to %.2f as threshold grew",
+			rows[0].BEThroughput, rows[1].BEThroughput)
+	}
+}
+
+// Interception overhead stays under the paper's 1% bound.
+func TestOverheadUnder1Percent(t *testing.T) {
+	r, err := Overhead(Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.(*OverheadResult).Rows {
+		if row.Overhead > 0.01 {
+			t.Errorf("%s: overhead %.2f%%, paper: <1%%", row.Workload, row.Overhead*100)
+		}
+	}
+}
+
+// Sanity on the rendered collocation figure structure.
+func TestCollocationFigureRender(t *testing.T) {
+	fig := &CollocationFigure{
+		Title:   "t",
+		Schemes: []Scheme{Ideal, Orion},
+		HPs:     []string{"m"},
+		Cells: map[string]map[Scheme]*CollocationCell{
+			"m": {
+				Ideal: {HPp50: sim.Millis(1), HPp99: sim.Millis(2), HPThroughput: 10, Samples: 1},
+				Orion: {HPp50: sim.Millis(1), HPp99: sim.Millis(3), HPThroughput: 10, BEThroughput: 5, Samples: 1},
+			},
+		},
+	}
+	out := fig.Render()
+	if !strings.Contains(out, "orion") || !strings.Contains(out, "1.50") {
+		t.Errorf("render missing scheme or ratio:\n%s", out)
+	}
+	if fig.Cell("m", Ideal) == nil || fig.Cell("x", Ideal) != nil {
+		t.Error("Cell lookup wrong")
+	}
+}

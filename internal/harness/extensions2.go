@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"orion/internal/gpu"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/trace"
+	"orion/internal/workload"
+)
+
+// moreExtensions lists the remaining prototype experiments: MIG
+// comparison, scheduling-granularity ablation, and layer swapping.
+func moreExtensions() []Experiment {
+	return []Experiment{
+		{"mig", "Static MIG partitioning vs fine-grained sharing (§4)", MIGComparison},
+		{"graphs", "Scheduling granularity: per-kernel vs CUDA-graph interception (§7)", GraphGranularity},
+		{"swapping", "Layer-by-layer swapping for an oversubscribed best-effort job (§5.1.3)", Swapping},
+		{"serving", "Oversubscribed serving: state swap vs layer window (§3, §4)", Serving},
+	}
+}
+
+// --- MIG ----------------------------------------------------------------------
+
+// MIGComparison pits static GPU partitioning against fine-grained sharing
+// on an inf-inf pair: MIG isolates perfectly but halves every job's
+// hardware, so the high-priority job's latency floor rises; Orion keeps
+// the full device available to whoever needs it.
+func MIGComparison(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(10), sim.Seconds(3))
+	hpM := workload.ResNet50Inference()
+	beM := workload.MobileNetV2Inference()
+	hpRPS, err := trace.RPS(hpM.Name, trace.InfInfPoisson)
+	if err != nil {
+		return nil, err
+	}
+	beRPS, err := trace.RPS(beM.Name, trace.InfInfUniform)
+	if err != nil {
+		return nil, err
+	}
+	jobs := []JobSpec{
+		{Model: hpM, Priority: sched.HighPriority, Arrival: Poisson, RPS: hpRPS},
+		{Model: beM, Priority: sched.BestEffort, Arrival: Uniform, RPS: beRPS},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (hp, %g rps poisson) + %s (be, %g rps uniform)\n\n", hpM.ID(), hpRPS, beM.ID(), beRPS)
+	fmt.Fprintf(&b, "%-8s %-9s %-10s %-10s %-12s %-6s\n", "scheme", "hp p50", "hp p99", "be p99", "aggregate", "gpus")
+	for _, s := range []Scheme{Ideal, MIG, Orion} {
+		r, err := Run(RunConfig{
+			Scheme: s, Jobs: jobs,
+			Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gpus := 1
+		if s == Ideal {
+			gpus = 2
+		}
+		hp := r.HP()
+		be := r.BestEffort()[0]
+		fmt.Fprintf(&b, "%-8s %-9.2f %-10.2f %-10.2f %-12.1f %-6d\n",
+			s, hp.Stats.Latency.P50().Millis(), hp.Stats.Latency.P99().Millis(),
+			be.Stats.Latency.P99().Millis(), r.AggregateThroughput(), gpus)
+	}
+	b.WriteString("\nMIG slices isolate the jobs but halve each one's SMs and bandwidth;\n")
+	b.WriteString("Orion shares the whole device and still protects the high-priority tail.\n")
+	return Text(b.String()), nil
+}
+
+// --- scheduling granularity -----------------------------------------------------
+
+// GraphGranularity quantifies why Orion intercepts at kernel granularity:
+// the same best-effort training job is collocated under Orion, first
+// submitting individual kernels (Orion can gate each one), then submitting
+// whole iterations as fused CUDA-graph-style units (Orion sees one
+// non-preemptible block of work). Coarse granularity destroys the
+// high-priority job's tail latency, as §7 argues when discussing CUDA
+// graphs.
+func GraphGranularity(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(10), sim.Seconds(3))
+	hpM := workload.ResNet50Inference()
+	beM := workload.ResNet50Training()
+	rps, err := trace.RPS(hpM.Name, trace.InfTrainPoisson)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "hp %s (%g rps poisson) + be %s under Orion\n\n", hpM.ID(), rps, beM.ID())
+	fmt.Fprintf(&b, "%-24s %-10s %-10s %-10s\n", "be granularity", "hp p50", "hp p99", "be it/s")
+	for _, graph := range []bool{false, true} {
+		label := "per-kernel (Orion)"
+		if graph {
+			label = "per-iteration (graph)"
+		}
+		r, err := Run(RunConfig{
+			Scheme: Orion,
+			Jobs: []JobSpec{
+				{Model: hpM, Priority: sched.HighPriority, Arrival: Poisson, RPS: rps},
+				{Model: beM, Priority: sched.BestEffort, Arrival: Closed, GraphMode: graph},
+			},
+			Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hp := r.HP()
+		fmt.Fprintf(&b, "%-24s %-10.2f %-10.2f %-10.2f\n",
+			label, hp.Stats.Latency.P50().Millis(), hp.Stats.Latency.P99().Millis(),
+			r.BestEffort()[0].Stats.Throughput())
+	}
+	return Text(b.String()), nil
+}
+
+// --- swapping -----------------------------------------------------------------
+
+// Swapping reproduces the §5.1.3 plan: a best-effort job whose weights do
+// not fit next to the high-priority job (LLM, 12 GB, beside a 5.1 GB
+// trainer on a 16 GB card) runs anyway behind the layer-swapping manager,
+// while the high-priority job keeps its throughput.
+func Swapping(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(10), sim.Seconds(3))
+	hpM := workload.ResNet50Training()
+	beM := workload.LLMInference()
+	window := gpu.V100().MemoryBytes - hpM.WeightsBytes - (1 << 30)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "hp %s (%.1f GB) + be %s (%.1f GB) on a 16 GB V100: %.1f GB over capacity\n",
+		hpM.ID(), gbf(hpM.WeightsBytes), beM.ID(), gbf(beM.WeightsBytes),
+		gbf(hpM.WeightsBytes+beM.WeightsBytes-gpu.V100().MemoryBytes))
+
+	// Without swapping: the collocation is rejected.
+	_, err := Run(RunConfig{
+		Scheme: Orion,
+		Jobs: []JobSpec{
+			{Model: hpM, Priority: sched.HighPriority, Arrival: Closed},
+			{Model: beM, Priority: sched.BestEffort, Arrival: Poisson, RPS: 2},
+		},
+		Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+	})
+	if err == nil {
+		return nil, fmt.Errorf("swapping: oversubscribed collocation unexpectedly admitted")
+	}
+	fmt.Fprintf(&b, "without swapping: collocation rejected (%v)\n\n", err)
+
+	hpAlone, err := DedicatedThroughput(
+		JobSpec{Model: hpM, Priority: sched.HighPriority, Arrival: Closed},
+		gpu.V100(), horizon, warmup, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Run(RunConfig{
+		Scheme: Orion,
+		Jobs: []JobSpec{
+			{Model: hpM, Priority: sched.HighPriority, Arrival: Closed},
+			{Model: beM, Priority: sched.BestEffort, Arrival: Poisson, RPS: 2, SwapWindow: window},
+		},
+		Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "with a %.1f GB swap window:\n", gbf(window))
+	fmt.Fprintf(&b, "  hp training: %.2f it/s (dedicated %.2f)\n", r.HP().Stats.Throughput(), hpAlone)
+	fmt.Fprintf(&b, "  be llm:      %.2f generations/s (PCIe-bound: each request streams its layers in)\n",
+		r.BestEffort()[0].Stats.Throughput())
+	return Text(b.String()), nil
+}
+
+func gbf(b int64) float64 { return float64(b) / (1 << 30) }

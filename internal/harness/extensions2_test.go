@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// MIG slices must show the capacity cost of static partitioning: the
+// high-priority job's median rises above both the full-GPU Ideal and
+// Orion's shared-device run.
+func TestMIGShowsCapacityCost(t *testing.T) {
+	hp := JobSpec{Model: workload.ResNet50Inference(), Priority: sched.HighPriority, Arrival: Poisson, RPS: 50}
+	be := JobSpec{Model: workload.MobileNetV2Inference(), Priority: sched.BestEffort, Arrival: Uniform, RPS: 100}
+	run := func(s Scheme) *Result {
+		r, err := Run(RunConfig{
+			Scheme: s, Jobs: []JobSpec{hp, be},
+			Horizon: sim.Seconds(5), Warmup: sim.Seconds(1), Seed: 11,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		return r
+	}
+	ideal := run(Ideal).HP().Stats.Latency.P50()
+	mig := run(MIG).HP().Stats.Latency.P50()
+	orion := run(Orion).HP().Stats.Latency.P50()
+	if mig <= ideal {
+		t.Errorf("MIG p50 %.2fms <= ideal %.2fms: half-slice cost missing", mig.Millis(), ideal.Millis())
+	}
+	if orion >= mig {
+		t.Errorf("orion p50 %.2fms >= MIG %.2fms: fine-grained sharing should beat static slices", orion.Millis(), mig.Millis())
+	}
+}
+
+// Graph-granularity best-effort submission must hurt the high-priority
+// tail relative to per-kernel interception.
+func TestGraphGranularityHurtsTail(t *testing.T) {
+	run := func(graph bool) sim.Duration {
+		r, err := Run(RunConfig{
+			Scheme: Orion,
+			Jobs: []JobSpec{
+				{Model: workload.ResNet50Inference(), Priority: sched.HighPriority, Arrival: Poisson, RPS: 15},
+				{Model: workload.ResNet50Training(), Priority: sched.BestEffort, Arrival: Closed, GraphMode: graph},
+			},
+			Horizon: sim.Seconds(6), Warmup: sim.Seconds(1), Seed: 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.HP().Stats.Latency.P99()
+	}
+	kernelP99 := run(false)
+	graphP99 := run(true)
+	if graphP99 <= kernelP99 {
+		t.Errorf("graph-mode p99 %.2fms <= kernel-mode %.2fms; coarse granularity should cost tail latency",
+			graphP99.Millis(), kernelP99.Millis())
+	}
+}
+
+// The swapping experiment: oversubscribed collocation rejected without a
+// window, admitted with one, high-priority job keeps most throughput.
+func TestSwapWindowAdmitsOversubscribedJob(t *testing.T) {
+	hp := JobSpec{Model: workload.ResNet50Training(), Priority: sched.HighPriority, Arrival: Closed}
+	be := JobSpec{Model: workload.LLMInference(), Priority: sched.BestEffort, Arrival: Poisson, RPS: 2}
+	cfg := RunConfig{
+		Scheme: Orion, Jobs: []JobSpec{hp, be},
+		Horizon: sim.Seconds(5), Warmup: sim.Seconds(1), Seed: 17,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("oversubscribed collocation admitted without swapping")
+	}
+	cfg.Jobs[1].SwapWindow = 8 << 30
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HP().Stats.Throughput() < 0.7*10.3 {
+		t.Errorf("hp training %.2f it/s under swapped partner", r.HP().Stats.Throughput())
+	}
+	if r.BestEffort()[0].Stats.Completed == 0 {
+		t.Error("swapped job made no measured progress")
+	}
+}
+
+// Determinism must hold for every scheme, not only Orion.
+func TestAllSchemesDeterministic(t *testing.T) {
+	jobs := []JobSpec{
+		{Model: workload.ResNet50Inference(), Priority: sched.HighPriority, Arrival: Apollo, RPS: 30},
+		{Model: workload.MobileNetV2Inference(), Priority: sched.BestEffort, Arrival: Uniform, RPS: 60},
+	}
+	for _, s := range []Scheme{Ideal, Temporal, Streams, MPSScheme, Reef, Orion, MIG} {
+		run := func() (sim.Duration, float64) {
+			r, err := Run(RunConfig{
+				Scheme: s, Jobs: jobs,
+				Horizon: sim.Seconds(3), Warmup: sim.Seconds(1), Seed: 23,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", s, err)
+			}
+			return r.HP().Stats.Latency.P99(), r.AggregateThroughput()
+		}
+		p1, t1 := run()
+		p2, t2 := run()
+		if p1 != p2 || t1 != t2 {
+			t.Errorf("%s: nondeterministic (p99 %v vs %v, thr %v vs %v)", s, p1, p2, t1, t2)
+		}
+	}
+}
+
+// The rendered extension outputs carry their headline fields.
+func TestExtensionRenders(t *testing.T) {
+	for id, want := range map[string]string{
+		"mig":      "gpus",
+		"graphs":   "granularity",
+		"swapping": "swap window",
+	} {
+		e, err := ByIDExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run(Options{Quick: true, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(r.Render(), want) {
+			t.Errorf("%s render missing %q:\n%s", id, want, r.Render())
+		}
+	}
+}
+
+// §6.2.2: Orion's makespan savings beat MPS's, both beat sequential.
+func TestMakespanOrdering(t *testing.T) {
+	r, err := Makespan(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.(*MakespanResult)
+	if m.Orion >= m.Sequential {
+		t.Errorf("orion makespan %.1fs >= sequential %.1fs", m.Orion, m.Sequential)
+	}
+	if m.Orion > m.MPS {
+		t.Errorf("orion makespan %.1fs worse than MPS %.1fs (paper: 1.29x vs 1.14x savings)", m.Orion, m.MPS)
+	}
+	savings := m.Sequential / m.Orion
+	if savings < 1.1 || savings > 1.6 {
+		t.Errorf("orion savings %.2fx, paper: 1.29x", savings)
+	}
+}
+
+// The fleet runner executes several GPUs concurrently in one simulation.
+func TestRunFleet(t *testing.T) {
+	gpus := [][]JobSpec{
+		{
+			{Model: workload.ResNet50Inference(), Priority: sched.HighPriority, Arrival: Poisson, RPS: 30},
+			{Model: workload.MobileNetV2Training(), Priority: sched.BestEffort, Arrival: Closed},
+		},
+		{
+			{Model: workload.BERTInference(), Priority: sched.HighPriority, Arrival: Poisson, RPS: 4},
+			{Model: workload.TransformerTraining(), Priority: sched.BestEffort, Arrival: Closed},
+		},
+	}
+	r, err := RunFleet(FleetConfig{
+		Scheme: Orion, GPUs: gpus,
+		Horizon: sim.Seconds(5), Warmup: sim.Seconds(1), Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerGPU) != 2 {
+		t.Fatalf("%d GPUs, want 2", len(r.PerGPU))
+	}
+	for g := range r.PerGPU {
+		for _, j := range r.PerGPU[g].Jobs {
+			if j.Stats.Completed == 0 {
+				t.Errorf("GPU %d job %s made no progress", g, j.Name)
+			}
+		}
+		if r.PerGPU[g].Utilization.Compute <= 0 {
+			t.Errorf("GPU %d reported no utilization", g)
+		}
+	}
+	if len(r.FleetStats()) != 4 {
+		t.Fatalf("FleetStats returned %d jobs, want 4", len(r.FleetStats()))
+	}
+	if r.AggregateThroughput() <= 0 {
+		t.Fatal("no aggregate throughput")
+	}
+}
+
+func TestRunFleetValidation(t *testing.T) {
+	if _, err := RunFleet(FleetConfig{Scheme: Orion, Horizon: sim.Seconds(1)}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := RunFleet(FleetConfig{Scheme: Ideal, Horizon: sim.Seconds(1),
+		GPUs: [][]JobSpec{{{Model: workload.ResNet50Inference()}}}}); err == nil {
+		t.Error("ideal scheme accepted for fleet")
+	}
+	if _, err := RunFleet(FleetConfig{Scheme: Orion, Horizon: sim.Seconds(1),
+		GPUs: [][]JobSpec{{}}}); err == nil {
+		t.Error("jobless GPU accepted")
+	}
+	if _, err := RunFleet(FleetConfig{Scheme: Orion, Horizon: 0,
+		GPUs: [][]JobSpec{{{Model: workload.ResNet50Inference()}}}}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLLMCollocationShape(t *testing.T) {
+	r, err := LLMCollocation(Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*LLMResult)
+	var ideal, orion *LLMRow
+	for i := range res.Rows {
+		switch res.Rows[i].Scheme {
+		case Ideal:
+			ideal = &res.Rows[i]
+		case Orion:
+			orion = &res.Rows[i]
+		}
+	}
+	if ideal == nil || orion == nil {
+		t.Fatal("missing rows")
+	}
+	// Orion holds the LLM's p99 near dedicated while the compute job runs.
+	if float64(orion.LLMp99) > 1.5*float64(ideal.LLMp99) {
+		t.Errorf("LLM p99 %.1fms vs ideal %.1fms: decode latency not protected",
+			orion.LLMp99.Millis(), ideal.LLMp99.Millis())
+	}
+	if orion.BEThroughput < 1 {
+		t.Errorf("compute partner at %.2f req/s, not harvesting idle compute", orion.BEThroughput)
+	}
+	// Collocation lifts compute utilization above the LLM-alone level.
+	if orion.Compute < 1.5*idealComputeOf(res) {
+		t.Errorf("compute util %.2f did not rise over LLM-alone %.2f", orion.Compute, idealComputeOf(res))
+	}
+	if !strings.Contains(r.Render(), "llm p99") {
+		t.Error("render missing header")
+	}
+}
+
+func idealComputeOf(res *LLMResult) float64 {
+	for _, row := range res.Rows {
+		if row.Scheme == Ideal {
+			return row.Compute
+		}
+	}
+	return 0
+}
+
+func TestClusterPlacementBeatsNaive(t *testing.T) {
+	r, err := ClusterPlacement(Options{Seed: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*ClusterResult)
+	if res.GreedyThr < res.NaiveThr {
+		t.Errorf("complementarity-aware placement %.2f req/s worse than naive %.2f",
+			res.GreedyThr, res.NaiveThr)
+	}
+	if len(res.NaivePairs) != 2 || len(res.GreedyPair) != 2 {
+		t.Fatalf("pair counts %d/%d, want 2/2", len(res.NaivePairs), len(res.GreedyPair))
+	}
+}

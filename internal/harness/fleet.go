@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/metrics"
+	"orion/internal/profiler"
+	"orion/internal/sched"
+	"orion/internal/sim"
+)
+
+// FleetConfig runs several GPUs inside one simulation: each GPU hosts its
+// own scheduler instance over its own job set — how Orion deploys in a
+// cluster (one scheduler per device, §5) under a cluster manager that
+// decided the placement (§7).
+type FleetConfig struct {
+	// Scheme is the per-GPU scheduling backend (Ideal is meaningless
+	// here; each GPU is already dedicated to its job set).
+	Scheme Scheme
+	// Device is the per-GPU spec (zero value: V100).
+	Device gpu.Spec
+	// GPUs holds one job set per device.
+	GPUs    [][]JobSpec
+	Horizon sim.Duration
+	Warmup  sim.Duration
+	Seed    int64
+}
+
+// FleetResult aggregates per-GPU outcomes.
+type FleetResult struct {
+	// PerGPU holds each device's job results and utilization.
+	PerGPU []Result
+}
+
+// AggregateThroughput sums throughput across the fleet.
+func (f *FleetResult) AggregateThroughput() float64 {
+	var t float64
+	for i := range f.PerGPU {
+		t += f.PerGPU[i].AggregateThroughput()
+	}
+	return t
+}
+
+// RunFleet executes every GPU's job set concurrently on one engine.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	if len(cfg.GPUs) == 0 {
+		return nil, fmt.Errorf("harness: fleet needs at least one GPU")
+	}
+	if cfg.Horizon <= 0 || cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
+		return nil, fmt.Errorf("harness: bad fleet horizon/warmup %v/%v", cfg.Horizon, cfg.Warmup)
+	}
+	if cfg.Device.Name == "" {
+		cfg.Device = gpu.V100()
+	}
+	if cfg.Scheme == Ideal || cfg.Scheme == MIG {
+		return nil, fmt.Errorf("harness: fleet scheme must be a sharing backend, got %q", cfg.Scheme)
+	}
+
+	eng := sim.NewEngine()
+	eng.MaxEvents = 4_000_000_000
+	master := sim.NewRand(cfg.Seed + 31)
+
+	out := &FleetResult{}
+	var devices []*gpu.Device
+	var drivers [][]*sched.Driver
+	for g, jobs := range cfg.GPUs {
+		if len(jobs) == 0 {
+			return nil, fmt.Errorf("harness: GPU %d has no jobs", g)
+		}
+		dev, err := gpu.NewDevice(eng, cfg.Device)
+		if err != nil {
+			return nil, err
+		}
+		devices = append(devices, dev)
+		ctx := cudart.NewContext(dev)
+
+		profiles := map[string]*profiler.Profile{}
+		runCfg := RunConfig{Scheme: cfg.Scheme, Device: cfg.Device}
+		for _, j := range jobs {
+			if j.Model == nil {
+				return nil, fmt.Errorf("harness: GPU %d job without model", g)
+			}
+			p, err := ProfileFor(j.Model, cfg.Device)
+			if err != nil {
+				return nil, err
+			}
+			profiles[j.Model.ID()] = p
+		}
+		backend, err := makeBackend(runCfg, eng, ctx, profiles)
+		if err != nil {
+			return nil, err
+		}
+
+		var gpuDrivers []*sched.Driver
+		res := Result{Scheme: cfg.Scheme}
+		for ji, j := range jobs {
+			cl, err := backend.Register(sched.ClientConfig{
+				Name: j.Model.ID(), Priority: j.Priority, Model: j.Model,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("harness: GPU %d: %w", g, err)
+			}
+			arr, err := arrivalsFor(j, master.Split(fmt.Sprintf("gpu%d-job%d", g, ji)))
+			if err != nil {
+				return nil, err
+			}
+			d, err := sched.NewDriver(sched.DriverConfig{
+				Engine: eng, Client: cl, Model: j.Model, Arrivals: arr,
+				Horizon: sim.Time(cfg.Horizon), Warmup: cfg.Warmup,
+			})
+			if err != nil {
+				return nil, err
+			}
+			gpuDrivers = append(gpuDrivers, d)
+			res.Jobs = append(res.Jobs, JobResult{
+				Name:             j.Model.ID(),
+				Priority:         j.Priority,
+				DedicatedLatency: profiles[j.Model.ID()].RequestLatency,
+			})
+		}
+		backend.Start()
+		drivers = append(drivers, gpuDrivers)
+		out.PerGPU = append(out.PerGPU, res)
+	}
+
+	for _, gpuDrivers := range drivers {
+		for _, d := range gpuDrivers {
+			if err := d.Start(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	eng.At(sim.Time(cfg.Warmup), func() {
+		for _, d := range devices {
+			d.ResetUtilization()
+		}
+	})
+	eng.RunUntil(sim.Time(cfg.Horizon))
+
+	for g := range out.PerGPU {
+		for ji := range out.PerGPU[g].Jobs {
+			out.PerGPU[g].Jobs[ji].Stats = drivers[g][ji].Stats()
+		}
+		out.PerGPU[g].Utilization = devices[g].Utilization()
+	}
+	return out, nil
+}
+
+// FleetStats flattens every job's stats across the fleet.
+func (f *FleetResult) FleetStats() []*metrics.JobStats {
+	var out []*metrics.JobStats
+	for i := range f.PerGPU {
+		for j := range f.PerGPU[i].Jobs {
+			out = append(out, f.PerGPU[i].Jobs[j].Stats)
+		}
+	}
+	return out
+}

@@ -1,0 +1,467 @@
+// Package harness assembles collocation experiments: it wires workloads,
+// arrival processes, scheduling backends and the simulated device together,
+// runs them, and produces the rows of the paper's tables and the series of
+// its figures. Every evaluation artifact of the paper (Figures 1-14,
+// Tables 1-4) has a runner here; cmd/orion-bench and the repository's
+// bench_test.go are thin wrappers over this package.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"orion/internal/baselines"
+	"orion/internal/core"
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/metrics"
+	"orion/internal/profiler"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/swap"
+	"orion/internal/trace"
+	"orion/internal/workload"
+)
+
+// Scheme identifies a GPU-sharing technique.
+type Scheme string
+
+// The schemes the paper evaluates.
+const (
+	// Ideal runs every job on its own dedicated GPU: the latency lower
+	// bound and throughput upper bound.
+	Ideal Scheme = "ideal"
+	// Temporal time-slices the GPU one request at a time.
+	Temporal Scheme = "temporal"
+	// Streams shares via CUDA streams from one process (GIL-contended).
+	Streams Scheme = "streams"
+	// MPSScheme shares via NVIDIA MPS processes.
+	MPSScheme Scheme = "mps"
+	// Reef is the REEF-N bypass + size-based policy.
+	Reef Scheme = "reef"
+	// TickTock offsets forward/backward passes of two trainers.
+	TickTock Scheme = "ticktock"
+	// Orion is the paper's scheduler.
+	Orion Scheme = "orion"
+	// MIG statically partitions the GPU into one fixed slice per job —
+	// the coarse-grained spatial sharing of §4: perfect isolation, no
+	// opportunistic harvesting of a neighbour's idle resources.
+	MIG Scheme = "mig"
+)
+
+// AllSchemes lists every scheme in canonical presentation order.
+func AllSchemes() []Scheme {
+	return []Scheme{Ideal, Temporal, Streams, MPSScheme, Reef, TickTock, Orion}
+}
+
+// ArrivalKind selects a job's request arrival process.
+type ArrivalKind int
+
+const (
+	// Closed runs back-to-back requests (training jobs, offline inference).
+	Closed ArrivalKind = iota
+	// Poisson arrivals at JobSpec.RPS.
+	Poisson
+	// Uniform arrivals at JobSpec.RPS.
+	Uniform
+	// Apollo replays the synthetic bursty autonomous-driving trace with
+	// long-run mean JobSpec.RPS.
+	Apollo
+)
+
+func (a ArrivalKind) String() string {
+	switch a {
+	case Poisson:
+		return "poisson"
+	case Uniform:
+		return "uniform"
+	case Apollo:
+		return "apollo"
+	default:
+		return "closed"
+	}
+}
+
+// JobSpec is one client in a collocation experiment.
+type JobSpec struct {
+	Model    *workload.Model
+	Priority sched.Priority
+	Arrival  ArrivalKind
+	RPS      float64
+	// GraphMode submits each request as one fused CUDA-graph-style unit
+	// instead of individual kernels (the §7 granularity ablation).
+	GraphMode bool
+	// SwapWindow, when positive, runs the job behind the layer-swapping
+	// manager with this resident-weight budget (§5.1.3 extension).
+	SwapWindow int64
+}
+
+// RunConfig describes one collocation run.
+type RunConfig struct {
+	Scheme  Scheme
+	Device  gpu.Spec
+	Jobs    []JobSpec
+	Horizon sim.Duration
+	Warmup  sim.Duration
+	Seed    int64
+	// OrionConfig overrides Orion's policy knobs (ablation); Profiles is
+	// filled in by the harness.
+	OrionConfig *core.Config
+	// ReefQueueDepth overrides REEF's software queue depth (0 = default).
+	ReefQueueDepth int
+	// TemporalSwapStates enables Gandiva/Salus-style state swapping in
+	// the temporal backend, admitting job sets that exceed device memory.
+	TemporalSwapStates bool
+	// Tracing records device utilization segments.
+	Tracing bool
+	// streamsNoPriorities runs the Streams scheme without mapping the
+	// high-priority client onto a high-priority stream — the plain "GPU
+	// Streams" point of the Figure 14 ablation.
+	streamsNoPriorities bool
+}
+
+// JobResult is one client's outcome.
+type JobResult struct {
+	Name     string
+	Priority sched.Priority
+	Stats    *metrics.JobStats
+	// DedicatedLatency is the job's offline-profiled dedicated-GPU
+	// request latency (the latency component of the Ideal reference).
+	DedicatedLatency sim.Duration
+}
+
+// Result is one collocation run's outcome.
+type Result struct {
+	Scheme      Scheme
+	Jobs        []JobResult
+	Utilization gpu.UtilReport
+	// Trace holds utilization segments when RunConfig.Tracing was set
+	// (one trace per device; index 0 is the shared device, or the first
+	// job's device under Ideal).
+	Trace []gpu.UtilSample
+	// Verdicts tallies the Orion scheduler's admission decisions by
+	// reason (empty for other schemes).
+	Verdicts map[string]uint64
+}
+
+// HP returns the high-priority job's result, or nil.
+func (r *Result) HP() *JobResult {
+	for i := range r.Jobs {
+		if r.Jobs[i].Priority == sched.HighPriority {
+			return &r.Jobs[i]
+		}
+	}
+	return nil
+}
+
+// BestEffort returns the best-effort jobs' results.
+func (r *Result) BestEffort() []*JobResult {
+	var out []*JobResult
+	for i := range r.Jobs {
+		if r.Jobs[i].Priority == sched.BestEffort {
+			out = append(out, &r.Jobs[i])
+		}
+	}
+	return out
+}
+
+// AggregateThroughput sums all jobs' throughput (requests or iterations
+// per second).
+func (r *Result) AggregateThroughput() float64 {
+	var t float64
+	for i := range r.Jobs {
+		t += r.Jobs[i].Stats.Throughput()
+	}
+	return t
+}
+
+// --- profile cache ----------------------------------------------------------
+
+var profCache sync.Map // "model@device" -> *profiler.Profile
+
+// ProfileFor returns the (cached) offline profile of a workload on a
+// device spec. Profiling is deterministic, so the cache is safe across
+// experiments.
+func ProfileFor(m *workload.Model, spec gpu.Spec) (*profiler.Profile, error) {
+	key := fmt.Sprintf("%s@bs%d@%s", m.ID(), m.Batch, spec.Name)
+	if v, ok := profCache.Load(key); ok {
+		return v.(*profiler.Profile), nil
+	}
+	p, err := profiler.Collect(m, spec)
+	if err != nil {
+		return nil, err
+	}
+	profCache.Store(key, p)
+	return p, nil
+}
+
+// --- run --------------------------------------------------------------------
+
+// Run executes one collocation experiment.
+func Run(cfg RunConfig) (*Result, error) {
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("harness: no jobs")
+	}
+	if cfg.Horizon <= 0 || cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
+		return nil, fmt.Errorf("harness: bad horizon/warmup %v/%v", cfg.Horizon, cfg.Warmup)
+	}
+	if cfg.Device.Name == "" {
+		cfg.Device = gpu.V100()
+	}
+
+	profiles := map[string]*profiler.Profile{}
+	batches := map[string]int{}
+	for _, j := range cfg.Jobs {
+		if j.Model == nil {
+			return nil, fmt.Errorf("harness: job without model")
+		}
+		// Backends key their profile tables by workload ID; two variants
+		// of the same workload at different batch sizes would collide.
+		if prev, ok := batches[j.Model.ID()]; ok && prev != j.Model.Batch {
+			return nil, fmt.Errorf("harness: %s collocated at two batch sizes (%d and %d)",
+				j.Model.ID(), prev, j.Model.Batch)
+		}
+		batches[j.Model.ID()] = j.Model.Batch
+		p, err := ProfileFor(j.Model, cfg.Device)
+		if err != nil {
+			return nil, err
+		}
+		profiles[j.Model.ID()] = p
+	}
+
+	eng := sim.NewEngine()
+	eng.MaxEvents = 2_000_000_000
+	master := sim.NewRand(cfg.Seed + 7)
+
+	// Devices: one shared device, or one per job under Ideal.
+	var devices []*gpu.Device
+	newDevice := func() (*gpu.Device, error) {
+		d, err := gpu.NewDevice(eng, cfg.Device)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Tracing {
+			d.EnableTracing(4_000_000)
+		}
+		devices = append(devices, d)
+		return d, nil
+	}
+
+	var backendFor func(i int) (sched.Backend, error)
+	switch cfg.Scheme {
+	case Ideal:
+		backendFor = func(int) (sched.Backend, error) {
+			d, err := newDevice()
+			if err != nil {
+				return nil, err
+			}
+			return sched.NewDirect(cudart.NewContext(d)), nil
+		}
+	case MIG:
+		// One fixed slice per job: SMs, memory bandwidth and capacity
+		// divide evenly; the PCIe link is shared (and here dedicated per
+		// slice, favouring MIG slightly).
+		slice := cfg.Device
+		n := len(cfg.Jobs)
+		slice.Name = fmt.Sprintf("%s/mig-1of%d", cfg.Device.Name, n)
+		slice.NumSMs = cfg.Device.NumSMs / n
+		if slice.NumSMs < 1 {
+			slice.NumSMs = 1
+		}
+		slice.MemBandwidth = cfg.Device.MemBandwidth / float64(n)
+		slice.MemoryBytes = cfg.Device.MemoryBytes / int64(n)
+		backendFor = func(int) (sched.Backend, error) {
+			d, err := gpu.NewDevice(eng, slice)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Tracing {
+				d.EnableTracing(4_000_000)
+			}
+			devices = append(devices, d)
+			return sched.NewDirect(cudart.NewContext(d)), nil
+		}
+	default:
+		dev, err := newDevice()
+		if err != nil {
+			return nil, err
+		}
+		ctx := cudart.NewContext(dev)
+		shared, err := makeBackend(cfg, eng, ctx, profiles)
+		if err != nil {
+			return nil, err
+		}
+		backendFor = func(int) (sched.Backend, error) { return shared, nil }
+	}
+
+	res := &Result{Scheme: cfg.Scheme}
+	var drivers []*sched.Driver
+	var backends []sched.Backend
+	for i, j := range cfg.Jobs {
+		backend, err := backendFor(i)
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, backend)
+		cl, err := backend.Register(sched.ClientConfig{
+			Name: j.Model.ID(), Priority: j.Priority, Model: j.Model,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if j.GraphMode {
+			cl, err = sched.NewGraphClient(cl)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if j.SwapWindow > 0 {
+			cl, err = swap.Wrap(cl, j.Model, devices[len(devices)-1], j.SwapWindow)
+			if err != nil {
+				return nil, err
+			}
+		}
+		arr, err := arrivalsFor(j, master.Split(fmt.Sprintf("job-%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		d, err := sched.NewDriver(sched.DriverConfig{
+			Engine: eng, Client: cl, Model: j.Model, Arrivals: arr,
+			Horizon: sim.Time(cfg.Horizon), Warmup: cfg.Warmup,
+		})
+		if err != nil {
+			return nil, err
+		}
+		drivers = append(drivers, d)
+	}
+	for _, b := range dedupBackends(backends) {
+		b.Start()
+	}
+	for _, d := range drivers {
+		if err := d.Start(); err != nil {
+			return nil, err
+		}
+	}
+	// Reset utilization accounting at the warmup boundary.
+	eng.At(sim.Time(cfg.Warmup), func() {
+		for _, d := range devices {
+			d.ResetUtilization()
+		}
+	})
+	eng.RunUntil(sim.Time(cfg.Horizon))
+
+	for i, d := range drivers {
+		j := cfg.Jobs[i]
+		res.Jobs = append(res.Jobs, JobResult{
+			Name:             j.Model.ID(),
+			Priority:         j.Priority,
+			Stats:            d.Stats(),
+			DedicatedLatency: profiles[j.Model.ID()].RequestLatency,
+		})
+	}
+	res.Utilization = devices[0].Utilization()
+	if cfg.Tracing {
+		res.Trace = devices[0].Trace()
+	}
+	for _, b := range dedupBackends(backends) {
+		if o, ok := b.(*core.Orion); ok {
+			res.Verdicts = map[string]uint64{}
+			for v, n := range o.VerdictCounts() {
+				res.Verdicts[v.String()] = n
+			}
+		}
+	}
+	return res, nil
+}
+
+func dedupBackends(in []sched.Backend) []sched.Backend {
+	seen := map[sched.Backend]bool{}
+	var out []sched.Backend
+	for _, b := range in {
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func arrivalsFor(j JobSpec, r *sim.Rand) (trace.Process, error) {
+	switch j.Arrival {
+	case Closed:
+		return nil, nil
+	case Poisson:
+		return trace.NewPoisson(j.RPS, r)
+	case Uniform:
+		return trace.NewUniform(j.RPS, r)
+	case Apollo:
+		return trace.NewApollo(j.RPS, r)
+	default:
+		return nil, fmt.Errorf("harness: unknown arrival kind %d", int(j.Arrival))
+	}
+}
+
+func makeBackend(cfg RunConfig, eng *sim.Engine, ctx *cudart.Context,
+	profiles map[string]*profiler.Profile) (sched.Backend, error) {
+	switch cfg.Scheme {
+	case Temporal:
+		b := baselines.NewTemporal(eng, ctx)
+		b.SwapStates = cfg.TemporalSwapStates
+		return b, nil
+	case Streams:
+		b := baselines.NewStreams(ctx)
+		if cfg.streamsNoPriorities {
+			b.UsePriorities = false
+		}
+		return b, nil
+	case MPSScheme:
+		return baselines.NewMPS(ctx), nil
+	case Reef:
+		r := baselines.NewReef(eng, ctx, profiles)
+		if cfg.ReefQueueDepth > 0 {
+			r.QueueDepth = cfg.ReefQueueDepth
+		}
+		return r, nil
+	case TickTock:
+		return baselines.NewTickTock(eng, ctx), nil
+	case Orion:
+		oc := core.Config{}
+		if cfg.OrionConfig != nil {
+			oc = *cfg.OrionConfig
+		}
+		oc.Profiles = profiles
+		return core.New(eng, ctx, oc)
+	default:
+		return nil, fmt.Errorf("harness: unknown scheme %q", cfg.Scheme)
+	}
+}
+
+// DedicatedThroughput measures a job's throughput alone on a dedicated
+// device with the same arrival process — the per-job component of the
+// Ideal reference.
+func DedicatedThroughput(j JobSpec, device gpu.Spec, horizon, warmup sim.Duration, seed int64) (float64, error) {
+	r, err := Run(RunConfig{
+		Scheme: Ideal, Device: device, Jobs: []JobSpec{j},
+		Horizon: horizon, Warmup: warmup, Seed: seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.Jobs[0].Stats.Throughput(), nil
+}
+
+// SortSchemes orders a scheme->value map's keys canonically for stable
+// rendering.
+func SortSchemes(m map[Scheme]float64) []Scheme {
+	order := map[Scheme]int{}
+	for i, s := range AllSchemes() {
+		order[s] = i
+	}
+	keys := make([]Scheme, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return order[keys[i]] < order[keys[j]] })
+	return keys
+}

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"testing"
+
+	"orion/internal/gpu"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+func infTrainJobs() []JobSpec {
+	return []JobSpec{
+		{Model: workload.ResNet50Inference(), Priority: sched.HighPriority, Arrival: Poisson, RPS: 15},
+		{Model: workload.ResNet50Training(), Priority: sched.BestEffort, Arrival: Closed},
+	}
+}
+
+func runScheme(t *testing.T, s Scheme) *Result {
+	t.Helper()
+	r, err := Run(RunConfig{
+		Scheme: s, Jobs: infTrainJobs(),
+		Horizon: sim.Seconds(6), Warmup: sim.Seconds(1), Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", s, err)
+	}
+	return r
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(RunConfig{Jobs: infTrainJobs()}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Run(RunConfig{Jobs: infTrainJobs(), Horizon: 100, Warmup: 200}); err == nil {
+		t.Error("warmup >= horizon accepted")
+	}
+	if _, err := Run(RunConfig{Scheme: "nope", Jobs: infTrainJobs(), Horizon: sim.Seconds(1)}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := Run(RunConfig{Scheme: Ideal, Jobs: []JobSpec{{}}, Horizon: sim.Seconds(1)}); err == nil {
+		t.Error("job without model accepted")
+	}
+}
+
+func TestIdealGivesDedicatedPerformance(t *testing.T) {
+	r := runScheme(t, Ideal)
+	hp := r.HP()
+	if hp == nil {
+		t.Fatal("no high-priority job in result")
+	}
+	// Dedicated GPU at Poisson 15rps: p99 includes light queueing (an
+	// arrival colliding with one in-flight request), so up to ~2x the
+	// service time but no more.
+	if hp.Stats.Latency.P99() > hp.DedicatedLatency*5/2 {
+		t.Errorf("ideal p99 %.2fms vs dedicated %.2fms",
+			hp.Stats.Latency.P99().Millis(), hp.DedicatedLatency.Millis())
+	}
+	be := r.BestEffort()
+	if len(be) != 1 {
+		t.Fatalf("%d best-effort jobs", len(be))
+	}
+	if thr := be[0].Stats.Throughput(); thr < 9 || thr > 11.5 {
+		t.Errorf("ideal training throughput %.2f, want ~10.3", thr)
+	}
+}
+
+// The headline shape: Orion keeps HP p99 near ideal while temporal sharing
+// suffers head-of-line blocking; Orion's best-effort job outruns REEF's.
+func TestSchemeOrderingShape(t *testing.T) {
+	ideal := runScheme(t, Ideal)
+	orion := runScheme(t, Orion)
+	temporal := runScheme(t, Temporal)
+	reef := runScheme(t, Reef)
+
+	idealP99 := ideal.HP().Stats.Latency.P99()
+	orionP99 := orion.HP().Stats.Latency.P99()
+	temporalP99 := temporal.HP().Stats.Latency.P99()
+
+	if orionP99 > idealP99*2 {
+		t.Errorf("orion p99 %.2fms > 2x ideal %.2fms", orionP99.Millis(), idealP99.Millis())
+	}
+	if temporalP99 < orionP99*2 {
+		t.Errorf("temporal p99 %.2fms should be far above orion %.2fms",
+			temporalP99.Millis(), orionP99.Millis())
+	}
+	// REEF lacks interference awareness: its HP tail must sit above
+	// Orion's (paper Fig 7: REEF ~2.5x ideal, Orion within 14%).
+	reefP99 := reef.HP().Stats.Latency.P99()
+	if reefP99 <= orionP99 {
+		t.Errorf("reef p99 %.2fms <= orion %.2fms; REEF should interfere more",
+			reefP99.Millis(), orionP99.Millis())
+	}
+	orionBE := orion.BestEffort()[0].Stats.Throughput()
+	if orionBE < 1 {
+		t.Errorf("orion best-effort %.2f it/s, starving", orionBE)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a := runScheme(t, Orion)
+	b := runScheme(t, Orion)
+	if a.HP().Stats.Latency.P99() != b.HP().Stats.Latency.P99() {
+		t.Fatal("same seed produced different p99")
+	}
+	if a.AggregateThroughput() != b.AggregateThroughput() {
+		t.Fatal("same seed produced different throughput")
+	}
+}
+
+func TestTracingCapturesSegments(t *testing.T) {
+	r, err := Run(RunConfig{
+		Scheme:  Ideal,
+		Jobs:    []JobSpec{{Model: workload.MobileNetV2Training(), Priority: sched.HighPriority, Arrival: Closed}},
+		Horizon: sim.Seconds(2), Warmup: sim.Seconds(0.5), Seed: 3, Tracing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trace) == 0 {
+		t.Fatal("tracing produced no segments")
+	}
+	if r.Utilization.Compute <= 0 {
+		t.Fatal("no utilization recorded")
+	}
+}
+
+func TestProfileForCaches(t *testing.T) {
+	m := workload.BERTInference()
+	p1, err := ProfileFor(m, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ProfileFor(workload.BERTInference(), gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("profile not cached")
+	}
+}
+
+func TestDedicatedThroughput(t *testing.T) {
+	thr, err := DedicatedThroughput(
+		JobSpec{Model: workload.MobileNetV2Training(), Priority: sched.HighPriority, Arrival: Closed},
+		gpu.V100(), sim.Seconds(4), sim.Seconds(1), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr < 11 || thr > 14 {
+		t.Errorf("dedicated MobileNetV2 training %.2f it/s, want ~12.5 (Table 4)", thr)
+	}
+}
+
+func TestSortSchemes(t *testing.T) {
+	m := map[Scheme]float64{Orion: 1, Ideal: 2, Reef: 3}
+	got := SortSchemes(m)
+	want := []Scheme{Ideal, Reef, Orion}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArrivalKindString(t *testing.T) {
+	if Closed.String() != "closed" || Poisson.String() != "poisson" ||
+		Uniform.String() != "uniform" || Apollo.String() != "apollo" {
+		t.Fatal("ArrivalKind.String mismatch")
+	}
+}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"orion/internal/gpu"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// MakespanResult is the §6.2.2 job-set completion study: the GPU time
+// needed to finish a fixed set of training jobs under sequential
+// execution vs collocation.
+type MakespanResult struct {
+	// Iterations per job (same set in every plan).
+	Iterations map[string]float64
+	// Seconds of GPU time per plan.
+	Sequential float64
+	MPS        float64
+	Orion      float64
+}
+
+// Render prints the §6.2.2 comparison.
+func (m *MakespanResult) Render() string {
+	var b strings.Builder
+	b.WriteString("job set: ")
+	first := true
+	for id, it := range m.Iterations {
+		if !first {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s x%.0f", id, it)
+		first = false
+	}
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "%-28s %-12s %-10s\n", "plan", "GPU seconds", "savings")
+	fmt.Fprintf(&b, "%-28s %-12.1f %-10s\n", "sequential (one at a time)", m.Sequential, "1.00x")
+	fmt.Fprintf(&b, "%-28s %-12.1f %.2fx\n", "MPS pairs", m.MPS, m.Sequential/m.MPS)
+	fmt.Fprintf(&b, "%-28s %-12.1f %.2fx (paper: 1.29x; MPS: 1.14x)\n",
+		"Orion collocation", m.Orion, m.Sequential/m.Orion)
+	return b.String()
+}
+
+// Makespan reproduces the §6.2.2 cost study: train all five models on one
+// GPU. ResNet50, ResNet101 and BERT run as high-priority jobs;
+// MobileNetV2 and Transformer as best-effort partners harvesting spare
+// capacity. Orion reduces the makespan (and thus cost) versus running the
+// jobs sequentially; MPS helps less and hurts the high-priority jobs'
+// completion times.
+func Makespan(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(10), sim.Seconds(3))
+
+	hpJobs := []struct {
+		model *workload.Model
+		iters float64
+	}{
+		{workload.ResNet50Training(), 200},
+		{workload.ResNet101Training(), 120},
+		{workload.BERTTraining(), 100},
+	}
+	beJobs := []struct {
+		model *workload.Model
+		iters float64
+	}{
+		{workload.MobileNetV2Training(), 240},
+		{workload.TransformerTraining(), 120},
+	}
+	if opt.Quick {
+		hpJobs = hpJobs[:1]
+		beJobs = beJobs[:1]
+	}
+
+	res := &MakespanResult{Iterations: map[string]float64{}}
+	dedicated := map[string]float64{}
+	for _, j := range hpJobs {
+		res.Iterations[j.model.ID()] = j.iters
+	}
+	for _, j := range beJobs {
+		res.Iterations[j.model.ID()] += j.iters
+	}
+	for id := range res.Iterations {
+		m, err := workload.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		thr, err := DedicatedThroughput(
+			JobSpec{Model: m, Priority: sched.HighPriority, Arrival: Closed},
+			gpu.V100(), horizon, warmup, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		dedicated[id] = thr
+		res.Sequential += res.Iterations[id] / thr
+	}
+
+	// Collocation plans: pair each high-priority job with a best-effort
+	// partner round-robin; leftovers finish dedicated.
+	plan := func(scheme Scheme) (float64, error) {
+		remaining := map[string]float64{}
+		for _, b := range beJobs {
+			remaining[b.model.ID()] = b.iters
+		}
+		var total float64
+		for i, h := range hpJobs {
+			partner := beJobs[i%len(beJobs)]
+			r, err := Run(RunConfig{
+				Scheme: scheme,
+				Jobs: []JobSpec{
+					{Model: h.model, Priority: sched.HighPriority, Arrival: Closed},
+					{Model: partner.model, Priority: sched.BestEffort, Arrival: Closed},
+				},
+				Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			hpRate := r.HP().Stats.Throughput()
+			if hpRate <= 0 {
+				return 0, fmt.Errorf("makespan: %s starved under %s", h.model.ID(), scheme)
+			}
+			span := h.iters / hpRate
+			harvested := r.BestEffort()[0].Stats.Throughput() * span
+			if left := remaining[partner.model.ID()]; harvested > left {
+				harvested = left
+			}
+			remaining[partner.model.ID()] -= harvested
+			total += span
+		}
+		for id, left := range remaining {
+			if left > 0 {
+				total += left / dedicated[id]
+			}
+		}
+		return total, nil
+	}
+
+	var err error
+	if res.MPS, err = plan(MPSScheme); err != nil {
+		return nil, err
+	}
+	if res.Orion, err = plan(Orion); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

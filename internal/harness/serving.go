@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"orion/internal/gpu"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// Serving synthesizes the two memory-pressure mechanisms: a
+// high-priority trainer must share one 16 GB V100 with an LLM scorer
+// whose weights push the set ~1.1 GB past device memory (§3's
+// limited-sharing regime). Three deployments are compared:
+//
+//   - temporal sharing with Gandiva/Salus-style state swapping: the set
+//     fits by swapping whole models on context switches, but every switch
+//     moves ~17 GB over PCIe, stretching the trainer's iterations;
+//   - Orion with the layer-swapping window (§5.1.3) on the LLM: the
+//     trainer's state stays resident, the LLM streams its layers through
+//     the leftover window, and the fine-grained policy keeps the trainer
+//     near its dedicated throughput;
+//   - the dedicated reference (two GPUs).
+func Serving(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(12), sim.Seconds(3))
+	trn := workload.ResNet50Training() // 5.1 GB, throughput-critical
+	llm := workload.LLMInference()     // 12 GB, offline scoring
+
+	hp := JobSpec{Model: trn, Priority: sched.HighPriority, Arrival: Closed}
+	be := JobSpec{Model: llm, Priority: sched.BestEffort, Arrival: Poisson, RPS: 2}
+
+	over := trn.WeightsBytes + llm.WeightsBytes - gpu.V100().MemoryBytes
+	var b strings.Builder
+	fmt.Fprintf(&b, "trainer %s + %s scorer: %.1f GB over a 16 GB V100\n\n",
+		trn.ID(), llm.ID(), float64(over)/(1<<30))
+	fmt.Fprintf(&b, "%-26s %-12s %-14s %-12s %-6s\n",
+		"deployment", "train it/s", "iter p99(ms)", "llm gen/s", "gpus")
+
+	type row struct {
+		name string
+		cfg  RunConfig
+		gpus int
+	}
+	window := gpu.V100().MemoryBytes - trn.WeightsBytes - (1 << 30)
+	beSwapped := be
+	beSwapped.SwapWindow = window
+	rows := []row{
+		{"dedicated (2 GPUs)", RunConfig{Scheme: Ideal, Jobs: []JobSpec{hp, be},
+			Horizon: horizon, Warmup: warmup, Seed: opt.Seed}, 2},
+		{"temporal + state swap", RunConfig{Scheme: Temporal, Jobs: []JobSpec{hp, be},
+			Horizon: horizon, Warmup: warmup, Seed: opt.Seed, TemporalSwapStates: true}, 1},
+		{"orion + layer window", RunConfig{Scheme: Orion, Jobs: []JobSpec{hp, beSwapped},
+			Horizon: horizon, Warmup: warmup, Seed: opt.Seed}, 1},
+	}
+	if opt.Quick {
+		rows = rows[1:]
+	}
+	for _, r := range rows {
+		res, err := Run(r.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("serving/%s: %w", r.name, err)
+		}
+		h := res.HP()
+		fmt.Fprintf(&b, "%-26s %-12.2f %-14.0f %-12.2f %-6d\n",
+			r.name, h.Stats.Throughput(), h.Stats.Latency.P99().Millis(),
+			res.BestEffort()[0].Stats.Throughput(), r.gpus)
+	}
+	b.WriteString("\nTemporal sharing admits the set via state swapping but, granting the\n")
+	b.WriteString("closed-loop trainer strictly first, never runs the scorer — and each\n")
+	b.WriteString("grant it did make would move ~17 GB over PCIe. The layer window keeps\n")
+	b.WriteString("the trainer resident and streams only the scorer's layers.\n")
+	return Text(b.String()), nil
+}

@@ -1,0 +1,175 @@
+package kernels
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"orion/internal/sim"
+)
+
+// Op distinguishes the kinds of GPU operations a client can submit.
+// Orion intercepts all of them; only OpKernel participates in the
+// interference-aware scheduling policy — memory operations go straight
+// to the device (§5.1.3).
+type Op int
+
+const (
+	// OpKernel is a compute kernel launch.
+	OpKernel Op = iota
+	// OpMemcpyH2D is a host-to-device copy (consumes PCIe bandwidth and
+	// stalls kernel dispatch while in flight).
+	OpMemcpyH2D
+	// OpMemcpyD2H is a device-to-host copy.
+	OpMemcpyD2H
+	// OpMemcpyD2D is an on-device copy (consumes memory bandwidth).
+	OpMemcpyD2D
+	// OpMemset is a device memory fill.
+	OpMemset
+	// OpMalloc allocates device memory; it device-synchronizes.
+	OpMalloc
+	// OpFree releases device memory; it device-synchronizes.
+	OpFree
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpKernel:
+		return "kernel"
+	case OpMemcpyH2D:
+		return "memcpyH2D"
+	case OpMemcpyD2H:
+		return "memcpyD2H"
+	case OpMemcpyD2D:
+		return "memcpyD2D"
+	case OpMemset:
+		return "memset"
+	case OpMalloc:
+		return "malloc"
+	case OpFree:
+		return "free"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// MarshalJSON encodes the op as its string name, keeping serialized
+// workloads human-authorable.
+func (o Op) MarshalJSON() ([]byte, error) {
+	return json.Marshal(o.String())
+}
+
+// UnmarshalJSON accepts the string names produced by MarshalJSON (and
+// bare integers, for backward compatibility).
+func (o *Op) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		for _, cand := range []Op{OpKernel, OpMemcpyH2D, OpMemcpyD2H, OpMemcpyD2D, OpMemset, OpMalloc, OpFree} {
+			if cand.String() == s {
+				*o = cand
+				return nil
+			}
+		}
+		return fmt.Errorf("kernels: unknown op %q", s)
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("kernels: op must be a name or integer")
+	}
+	*o = Op(n)
+	return nil
+}
+
+// IsMemcpy reports whether the op is any flavour of memory copy.
+func (o Op) IsMemcpy() bool {
+	return o == OpMemcpyH2D || o == OpMemcpyD2H || o == OpMemcpyD2D
+}
+
+// Blocking reports whether the op blocks the submitting client until it
+// completes on the device (synchronous CUDA semantics).
+func (o Op) Blocking() bool {
+	return o == OpMalloc || o == OpFree
+}
+
+// Descriptor is the complete offline-profiled description of one GPU
+// operation within a workload — the row Orion's lookup table stores per
+// unique kernel ID (§5.2).
+type Descriptor struct {
+	// ID uniquely identifies the kernel within its workload trace.
+	ID int `json:"id"`
+	// Name is the kernel's human-readable name (e.g. "conv2d_128x56x56").
+	Name string `json:"name"`
+	// Op is the operation kind.
+	Op Op `json:"op"`
+
+	// Launch is the CUDA launch configuration (kernels only).
+	Launch LaunchConfig `json:"launch"`
+
+	// Duration is the dedicated-GPU execution time with a full SM grant
+	// and no contention.
+	Duration sim.Duration `json:"duration_ns"`
+
+	// ComputeUtil is the fraction of device compute throughput the kernel
+	// consumes while running alone (0..1, may slightly exceed 1 for
+	// tensor-core-saturating kernels — clamped by the device model).
+	ComputeUtil float64 `json:"compute_util"`
+	// MemBWUtil is the fraction of device memory bandwidth consumed
+	// while running alone (0..1).
+	MemBWUtil float64 `json:"membw_util"`
+
+	// Bytes is the payload size for memory operations.
+	Bytes int64 `json:"bytes,omitempty"`
+
+	// Sync marks a memory copy with synchronous cudaMemcpy semantics:
+	// the submitting client blocks and device kernel dispatch stalls
+	// while the transfer is in flight.
+	Sync bool `json:"sync,omitempty"`
+}
+
+// Profile classifies the descriptor with the 60% roofline rule.
+func (d *Descriptor) Profile() Profile {
+	if d.Op != OpKernel {
+		return ProfileUnknown
+	}
+	return Classify(d.ComputeUtil, d.MemBWUtil)
+}
+
+// Validate checks internal consistency of the descriptor.
+func (d *Descriptor) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("kernels: descriptor %d has empty name", d.ID)
+	}
+	switch d.Op {
+	case OpKernel:
+		if err := d.Launch.Validate(); err != nil {
+			return fmt.Errorf("kernel %q: %w", d.Name, err)
+		}
+		if d.Duration <= 0 {
+			return fmt.Errorf("kernel %q: non-positive duration %v", d.Name, d.Duration)
+		}
+		if d.ComputeUtil < 0 || d.ComputeUtil > 1.5 {
+			return fmt.Errorf("kernel %q: compute util %.2f outside [0,1.5]", d.Name, d.ComputeUtil)
+		}
+		if d.MemBWUtil < 0 || d.MemBWUtil > 1.5 {
+			return fmt.Errorf("kernel %q: membw util %.2f outside [0,1.5]", d.Name, d.MemBWUtil)
+		}
+	case OpMemcpyH2D, OpMemcpyD2H, OpMemcpyD2D, OpMemset:
+		if d.Bytes <= 0 {
+			return fmt.Errorf("%v %q: non-positive byte count %d", d.Op, d.Name, d.Bytes)
+		}
+	case OpMalloc, OpFree:
+		if d.Bytes < 0 {
+			return fmt.Errorf("%v %q: negative byte count %d", d.Op, d.Name, d.Bytes)
+		}
+	default:
+		return fmt.Errorf("descriptor %q: unknown op %d", d.Name, int(d.Op))
+	}
+	return nil
+}
+
+func (d *Descriptor) String() string {
+	if d.Op == OpKernel {
+		return fmt.Sprintf("%s[%s %v C=%.0f%% M=%.0f%%]",
+			d.Name, d.Profile(), d.Duration, d.ComputeUtil*100, d.MemBWUtil*100)
+	}
+	return fmt.Sprintf("%s[%v %dB]", d.Name, d.Op, d.Bytes)
+}

@@ -1,0 +1,191 @@
+// Package kernels defines GPU kernel descriptors and the occupancy math
+// used throughout the reproduction.
+//
+// A Kernel is the unit Orion schedules: a named GPU computation with a
+// launch configuration (grid/block/registers/shared memory), a dedicated-GPU
+// duration, and a resource profile (fraction of device compute throughput
+// and memory bandwidth it consumes while running). These attributes mirror
+// what the paper extracts offline with Nsight Compute / Nsight Systems.
+package kernels
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Profile classifies a kernel by its bottleneck resource, following the
+// paper's 60% roofline rule (§5.2): compute-bound if compute throughput
+// utilization exceeds 60%, memory-bound if memory bandwidth utilization
+// exceeds 60%, otherwise unknown.
+type Profile int
+
+const (
+	// ProfileUnknown marks kernels whose utilization is below both
+	// thresholds (typically tiny optimizer-update kernels). Orion
+	// optimistically collocates these with anything.
+	ProfileUnknown Profile = iota
+	// ProfileCompute marks compute-throughput-bound kernels.
+	ProfileCompute
+	// ProfileMemory marks memory-bandwidth-bound kernels.
+	ProfileMemory
+)
+
+func (p Profile) String() string {
+	switch p {
+	case ProfileCompute:
+		return "compute"
+	case ProfileMemory:
+		return "memory"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON encodes the profile class as its string name.
+func (p Profile) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON accepts string names and bare integers.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		switch s {
+		case "compute":
+			*p = ProfileCompute
+		case "memory":
+			*p = ProfileMemory
+		case "unknown":
+			*p = ProfileUnknown
+		default:
+			return fmt.Errorf("kernels: unknown profile %q", s)
+		}
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("kernels: profile must be a name or integer")
+	}
+	*p = Profile(n)
+	return nil
+}
+
+// RooflineThreshold is the utilization fraction above which a kernel is
+// classified as bound by that resource, per the Nsight Compute guidance
+// the paper follows.
+const RooflineThreshold = 0.60
+
+// Classify applies the 60% rule to a kernel's measured utilizations.
+// When both exceed the threshold, the larger one wins (a kernel saturating
+// both is labelled by its dominant resource).
+func Classify(computeUtil, memBWUtil float64) Profile {
+	switch {
+	case computeUtil >= RooflineThreshold && computeUtil >= memBWUtil:
+		return ProfileCompute
+	case memBWUtil >= RooflineThreshold:
+		return ProfileMemory
+	default:
+		return ProfileUnknown
+	}
+}
+
+// Opposite reports whether two profiles have opposite resource intensity —
+// the condition under which Orion collocates a best-effort kernel with a
+// running high-priority kernel. Unknown pairs with anything (§5.2: unknown
+// kernels are tiny and introduce negligible interference).
+func Opposite(a, b Profile) bool {
+	if a == ProfileUnknown || b == ProfileUnknown {
+		return true
+	}
+	return a != b
+}
+
+// LaunchConfig is the CUDA launch configuration of a kernel, the inputs to
+// the occupancy calculation.
+type LaunchConfig struct {
+	// Blocks is the total number of thread blocks in the grid.
+	Blocks int
+	// ThreadsPerBlock is the block dimension product (<= 1024 on the
+	// architectures we model).
+	ThreadsPerBlock int
+	// RegsPerThread is the number of registers each thread uses.
+	RegsPerThread int
+	// SharedMemPerBlock is the static+dynamic shared memory per block,
+	// in bytes.
+	SharedMemPerBlock int
+}
+
+// Validate checks the launch configuration against hard architectural
+// limits common to the GPUs we model.
+func (c LaunchConfig) Validate() error {
+	if c.Blocks <= 0 {
+		return fmt.Errorf("kernels: grid has %d blocks, need > 0", c.Blocks)
+	}
+	if c.ThreadsPerBlock <= 0 || c.ThreadsPerBlock > 1024 {
+		return fmt.Errorf("kernels: %d threads per block, need 1..1024", c.ThreadsPerBlock)
+	}
+	if c.RegsPerThread < 0 || c.RegsPerThread > 255 {
+		return fmt.Errorf("kernels: %d registers per thread, need 0..255", c.RegsPerThread)
+	}
+	if c.SharedMemPerBlock < 0 {
+		return fmt.Errorf("kernels: negative shared memory %d", c.SharedMemPerBlock)
+	}
+	return nil
+}
+
+// SMLimits describes the per-SM resources of a GPU architecture that bound
+// how many thread blocks of a kernel one SM can host concurrently.
+type SMLimits struct {
+	// MaxThreads is the maximum resident threads per SM.
+	MaxThreads int
+	// MaxBlocks is the maximum resident blocks per SM.
+	MaxBlocks int
+	// Registers is the register file size per SM (32-bit registers).
+	Registers int
+	// SharedMem is the shared memory per SM, in bytes.
+	SharedMem int
+}
+
+// ErrDoesNotFit reports a kernel whose single block exceeds an SM's
+// resources — it can never be scheduled on this architecture.
+var ErrDoesNotFit = errors.New("kernels: one block exceeds per-SM resources")
+
+// BlocksPerSM computes how many blocks of the kernel one SM can host,
+// limited by threads, block slots, registers, and shared memory — the
+// blocks_per_sm_k quantity in §5.2 of the paper.
+func BlocksPerSM(c LaunchConfig, sm SMLimits) (int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	per := sm.MaxBlocks
+	if byThreads := sm.MaxThreads / c.ThreadsPerBlock; byThreads < per {
+		per = byThreads
+	}
+	if c.RegsPerThread > 0 {
+		regsPerBlock := c.RegsPerThread * c.ThreadsPerBlock
+		if byRegs := sm.Registers / regsPerBlock; byRegs < per {
+			per = byRegs
+		}
+	}
+	if c.SharedMemPerBlock > 0 {
+		if bySmem := sm.SharedMem / c.SharedMemPerBlock; bySmem < per {
+			per = bySmem
+		}
+	}
+	if per <= 0 {
+		return 0, ErrDoesNotFit
+	}
+	return per, nil
+}
+
+// SMsNeeded computes sm_needed_k = ceil(num_blocks / blocks_per_sm): the
+// number of SMs the kernel requires to have all blocks resident at once.
+// This is the size signal in Orion's SM_THRESHOLD policy check.
+func SMsNeeded(c LaunchConfig, sm SMLimits) (int, error) {
+	per, err := BlocksPerSM(c, sm)
+	if err != nil {
+		return 0, err
+	}
+	return (c.Blocks + per - 1) / per, nil
+}

@@ -1,0 +1,321 @@
+package kernels
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"orion/internal/sim"
+)
+
+// v100SM mirrors the per-SM limits of the V100 device spec.
+var v100SM = SMLimits{MaxThreads: 2048, MaxBlocks: 32, Registers: 65536, SharedMem: 96 * 1024}
+
+func TestClassifyComputeBound(t *testing.T) {
+	if p := Classify(0.89, 0.20); p != ProfileCompute {
+		t.Fatalf("Conv2d-like kernel classified %v, want compute", p)
+	}
+}
+
+func TestClassifyMemoryBound(t *testing.T) {
+	if p := Classify(0.14, 0.80); p != ProfileMemory {
+		t.Fatalf("BN2d-like kernel classified %v, want memory", p)
+	}
+}
+
+func TestClassifyUnknownBelowThresholds(t *testing.T) {
+	if p := Classify(0.30, 0.40); p != ProfileUnknown {
+		t.Fatalf("low-util kernel classified %v, want unknown", p)
+	}
+}
+
+func TestClassifyExactThreshold(t *testing.T) {
+	if p := Classify(0.60, 0.10); p != ProfileCompute {
+		t.Fatalf("60%% compute classified %v, want compute (inclusive)", p)
+	}
+	if p := Classify(0.10, 0.60); p != ProfileMemory {
+		t.Fatalf("60%% membw classified %v, want memory (inclusive)", p)
+	}
+}
+
+func TestClassifyBothHighUsesDominant(t *testing.T) {
+	if p := Classify(0.90, 0.70); p != ProfileCompute {
+		t.Fatalf("90C/70M classified %v, want compute", p)
+	}
+	if p := Classify(0.70, 0.90); p != ProfileMemory {
+		t.Fatalf("70C/90M classified %v, want memory", p)
+	}
+}
+
+func TestOpposite(t *testing.T) {
+	cases := []struct {
+		a, b Profile
+		want bool
+	}{
+		{ProfileCompute, ProfileMemory, true},
+		{ProfileMemory, ProfileCompute, true},
+		{ProfileCompute, ProfileCompute, false},
+		{ProfileMemory, ProfileMemory, false},
+		{ProfileUnknown, ProfileCompute, true},
+		{ProfileUnknown, ProfileMemory, true},
+		{ProfileUnknown, ProfileUnknown, true},
+		{ProfileCompute, ProfileUnknown, true},
+	}
+	for _, c := range cases {
+		if got := Opposite(c.a, c.b); got != c.want {
+			t.Errorf("Opposite(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOppositeIsSymmetric(t *testing.T) {
+	f := func(a, b uint8) bool {
+		pa, pb := Profile(a%3), Profile(b%3)
+		return Opposite(pa, pb) == Opposite(pb, pa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	if ProfileCompute.String() != "compute" || ProfileMemory.String() != "memory" || ProfileUnknown.String() != "unknown" {
+		t.Fatal("Profile.String mismatch")
+	}
+}
+
+func TestBlocksPerSMThreadLimited(t *testing.T) {
+	// 1024 threads/block on a 2048-thread SM -> 2 blocks.
+	c := LaunchConfig{Blocks: 10, ThreadsPerBlock: 1024, RegsPerThread: 16}
+	per, err := BlocksPerSM(c, v100SM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per != 2 {
+		t.Fatalf("BlocksPerSM = %d, want 2 (thread-limited)", per)
+	}
+}
+
+func TestBlocksPerSMRegisterLimited(t *testing.T) {
+	// 255 regs * 256 threads = 65280 regs/block; 65536/65280 -> 1 block.
+	c := LaunchConfig{Blocks: 4, ThreadsPerBlock: 256, RegsPerThread: 255}
+	per, err := BlocksPerSM(c, v100SM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per != 1 {
+		t.Fatalf("BlocksPerSM = %d, want 1 (register-limited)", per)
+	}
+}
+
+func TestBlocksPerSMSharedMemLimited(t *testing.T) {
+	// 48KB smem/block on a 96KB SM -> 2 blocks.
+	c := LaunchConfig{Blocks: 8, ThreadsPerBlock: 128, RegsPerThread: 32, SharedMemPerBlock: 48 * 1024}
+	per, err := BlocksPerSM(c, v100SM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per != 2 {
+		t.Fatalf("BlocksPerSM = %d, want 2 (smem-limited)", per)
+	}
+}
+
+func TestBlocksPerSMBlockSlotLimited(t *testing.T) {
+	// Tiny blocks: limit is the 32-block slot cap.
+	c := LaunchConfig{Blocks: 100, ThreadsPerBlock: 32, RegsPerThread: 8}
+	per, err := BlocksPerSM(c, v100SM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per != 32 {
+		t.Fatalf("BlocksPerSM = %d, want 32 (slot-limited)", per)
+	}
+}
+
+func TestBlocksPerSMDoesNotFit(t *testing.T) {
+	c := LaunchConfig{Blocks: 1, ThreadsPerBlock: 256, RegsPerThread: 32, SharedMemPerBlock: 200 * 1024}
+	_, err := BlocksPerSM(c, v100SM)
+	if !errors.Is(err, ErrDoesNotFit) {
+		t.Fatalf("err = %v, want ErrDoesNotFit", err)
+	}
+}
+
+func TestSMsNeededCeiling(t *testing.T) {
+	// 5 blocks, 2 blocks/SM -> 3 SMs.
+	c := LaunchConfig{Blocks: 5, ThreadsPerBlock: 1024, RegsPerThread: 16}
+	n, err := SMsNeeded(c, v100SM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("SMsNeeded = %d, want 3", n)
+	}
+}
+
+func TestSMsNeededExactDivision(t *testing.T) {
+	c := LaunchConfig{Blocks: 4, ThreadsPerBlock: 1024, RegsPerThread: 16}
+	n, err := SMsNeeded(c, v100SM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("SMsNeeded = %d, want 2", n)
+	}
+}
+
+func TestSMsNeededPropagatesError(t *testing.T) {
+	c := LaunchConfig{Blocks: 0, ThreadsPerBlock: 128}
+	if _, err := SMsNeeded(c, v100SM); err == nil {
+		t.Fatal("expected error for zero blocks")
+	}
+}
+
+// Property: SMsNeeded is monotone in the number of blocks and never
+// exceeds the block count.
+func TestSMsNeededMonotoneProperty(t *testing.T) {
+	f := func(blocks uint8, threads uint16) bool {
+		b := int(blocks%200) + 1
+		th := int(threads%1024) + 1
+		c := LaunchConfig{Blocks: b, ThreadsPerBlock: th, RegsPerThread: 32}
+		n1, err1 := SMsNeeded(c, v100SM)
+		c2 := c
+		c2.Blocks = b + 1
+		n2, err2 := SMsNeeded(c2, v100SM)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil // errors must be consistent
+		}
+		return n2 >= n1 && n1 <= b && n1 >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchConfigValidate(t *testing.T) {
+	bad := []LaunchConfig{
+		{Blocks: 0, ThreadsPerBlock: 128},
+		{Blocks: -1, ThreadsPerBlock: 128},
+		{Blocks: 1, ThreadsPerBlock: 0},
+		{Blocks: 1, ThreadsPerBlock: 2000},
+		{Blocks: 1, ThreadsPerBlock: 128, RegsPerThread: 300},
+		{Blocks: 1, ThreadsPerBlock: 128, RegsPerThread: -1},
+		{Blocks: 1, ThreadsPerBlock: 128, SharedMemPerBlock: -5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config %+v", i, c)
+		}
+	}
+	good := LaunchConfig{Blocks: 80, ThreadsPerBlock: 256, RegsPerThread: 64, SharedMemPerBlock: 1024}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected valid config: %v", err)
+	}
+}
+
+func TestDescriptorProfile(t *testing.T) {
+	d := Descriptor{Name: "conv", Op: OpKernel, ComputeUtil: 0.89, MemBWUtil: 0.20}
+	if d.Profile() != ProfileCompute {
+		t.Fatal("conv descriptor should be compute-bound")
+	}
+	m := Descriptor{Name: "memcpy", Op: OpMemcpyH2D, Bytes: 1024}
+	if m.Profile() != ProfileUnknown {
+		t.Fatal("memcpy descriptor profile should be unknown")
+	}
+}
+
+func TestDescriptorValidate(t *testing.T) {
+	valid := Descriptor{
+		ID: 1, Name: "k", Op: OpKernel,
+		Launch:   LaunchConfig{Blocks: 10, ThreadsPerBlock: 256, RegsPerThread: 32},
+		Duration: sim.Micros(100), ComputeUtil: 0.5, MemBWUtil: 0.3,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid descriptor rejected: %v", err)
+	}
+
+	cases := []struct {
+		mutate func(*Descriptor)
+		substr string
+	}{
+		{func(d *Descriptor) { d.Name = "" }, "empty name"},
+		{func(d *Descriptor) { d.Duration = 0 }, "duration"},
+		{func(d *Descriptor) { d.ComputeUtil = -0.1 }, "compute util"},
+		{func(d *Descriptor) { d.MemBWUtil = 2.0 }, "membw util"},
+		{func(d *Descriptor) { d.Launch.Blocks = 0 }, "blocks"},
+	}
+	for i, c := range cases {
+		d := valid
+		c.mutate(&d)
+		err := d.Validate()
+		if err == nil {
+			t.Errorf("case %d: invalid descriptor accepted", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("case %d: error %q does not mention %q", i, err, c.substr)
+		}
+	}
+}
+
+func TestDescriptorValidateMemOps(t *testing.T) {
+	cp := Descriptor{ID: 2, Name: "h2d", Op: OpMemcpyH2D, Bytes: 4096}
+	if err := cp.Validate(); err != nil {
+		t.Fatalf("valid memcpy rejected: %v", err)
+	}
+	cp.Bytes = 0
+	if err := cp.Validate(); err == nil {
+		t.Fatal("zero-byte memcpy accepted")
+	}
+	al := Descriptor{ID: 3, Name: "malloc", Op: OpMalloc, Bytes: 1 << 20}
+	if err := al.Validate(); err != nil {
+		t.Fatalf("valid malloc rejected: %v", err)
+	}
+	al.Bytes = -1
+	if err := al.Validate(); err == nil {
+		t.Fatal("negative malloc accepted")
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpMemcpyH2D.IsMemcpy() || !OpMemcpyD2H.IsMemcpy() || !OpMemcpyD2D.IsMemcpy() {
+		t.Fatal("memcpy ops not recognized")
+	}
+	if OpKernel.IsMemcpy() || OpMemset.IsMemcpy() {
+		t.Fatal("non-memcpy op recognized as memcpy")
+	}
+	if !OpMalloc.Blocking() || !OpFree.Blocking() {
+		t.Fatal("malloc/free must be blocking")
+	}
+	if OpKernel.Blocking() || OpMemcpyH2D.Blocking() {
+		t.Fatal("kernel/async ops must not be blocking")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := map[Op]string{
+		OpKernel: "kernel", OpMemcpyH2D: "memcpyH2D", OpMemcpyD2H: "memcpyD2H",
+		OpMemcpyD2D: "memcpyD2D", OpMemset: "memset", OpMalloc: "malloc", OpFree: "free",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+	if s := Op(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown op string %q should embed the value", s)
+	}
+}
+
+func TestDescriptorString(t *testing.T) {
+	d := Descriptor{Name: "conv", Op: OpKernel, ComputeUtil: 0.89, MemBWUtil: 0.20, Duration: sim.Millis(1.35),
+		Launch: LaunchConfig{Blocks: 80, ThreadsPerBlock: 256, RegsPerThread: 64}}
+	s := d.String()
+	if !strings.Contains(s, "conv") || !strings.Contains(s, "compute") {
+		t.Errorf("String() = %q, want name and profile", s)
+	}
+	m := Descriptor{Name: "cp", Op: OpMemcpyH2D, Bytes: 42}
+	if !strings.Contains(m.String(), "memcpyH2D") {
+		t.Errorf("memcpy String() = %q", m.String())
+	}
+}

@@ -1,0 +1,118 @@
+// Package metrics collects the latency and throughput statistics the
+// paper's evaluation reports: p50/p95/p99 request latencies, request and
+// iteration throughput, and the cost-savings formula of §6.2.1.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"orion/internal/sim"
+)
+
+// LatencyRecorder accumulates request latencies.
+type LatencyRecorder struct {
+	samples []sim.Duration
+	sorted  bool
+}
+
+// Record adds one request latency.
+func (l *LatencyRecorder) Record(d sim.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// Count reports the number of recorded samples.
+func (l *LatencyRecorder) Count() int { return len(l.samples) }
+
+// Percentile returns the p-th percentile latency (p in [0,100]) using
+// nearest-rank on the sorted samples. It returns 0 with no samples.
+func (l *LatencyRecorder) Percentile(p float64) sim.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	if p <= 0 {
+		return l.samples[0]
+	}
+	if p >= 100 {
+		return l.samples[len(l.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(l.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return l.samples[rank-1]
+}
+
+// P50 returns the median latency.
+func (l *LatencyRecorder) P50() sim.Duration { return l.Percentile(50) }
+
+// P95 returns the 95th-percentile latency.
+func (l *LatencyRecorder) P95() sim.Duration { return l.Percentile(95) }
+
+// P99 returns the 99th-percentile latency.
+func (l *LatencyRecorder) P99() sim.Duration { return l.Percentile(99) }
+
+// Mean returns the average latency.
+func (l *LatencyRecorder) Mean() sim.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / sim.Duration(len(l.samples))
+}
+
+// Max returns the largest latency.
+func (l *LatencyRecorder) Max() sim.Duration { return l.Percentile(100) }
+
+// Throughput converts a completion count over a window into requests (or
+// iterations) per second.
+func Throughput(completed int, window sim.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(completed) / window.Seconds()
+}
+
+// CostSavings implements the paper's §6.2.1 formula for collocating two
+// jobs on one GPU instead of giving each a dedicated GPU:
+//
+//	cost savings = 2 * Throughput_collocated / Throughput_dedicated
+//
+// applied to the job whose completion time dominates (the best-effort
+// job's slowdown determines how much longer the single GPU is held).
+func CostSavings(dedicatedThroughput, collocatedThroughput float64) float64 {
+	if dedicatedThroughput <= 0 {
+		return 0
+	}
+	return 2 * collocatedThroughput / dedicatedThroughput
+}
+
+// JobStats summarizes one client's run.
+type JobStats struct {
+	// Name identifies the client (workload id).
+	Name string
+	// Completed counts finished requests/iterations.
+	Completed int
+	// Window is the measurement window.
+	Window sim.Duration
+	// Latency holds per-request latency samples.
+	Latency LatencyRecorder
+}
+
+// Throughput reports the job's completions per second.
+func (j *JobStats) Throughput() float64 { return Throughput(j.Completed, j.Window) }
+
+func (j *JobStats) String() string {
+	return fmt.Sprintf("%s: %d reqs, %.2f req/s, p50=%.2fms p95=%.2fms p99=%.2fms",
+		j.Name, j.Completed, j.Throughput(),
+		j.Latency.P50().Millis(), j.Latency.P95().Millis(), j.Latency.P99().Millis())
+}

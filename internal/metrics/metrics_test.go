@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"orion/internal/sim"
+)
+
+func TestPercentilesKnownDistribution(t *testing.T) {
+	var l LatencyRecorder
+	for i := 1; i <= 100; i++ {
+		l.Record(sim.Duration(i))
+	}
+	if got := l.P50(); got != 50 {
+		t.Errorf("P50 = %v, want 50", got)
+	}
+	if got := l.P95(); got != 95 {
+		t.Errorf("P95 = %v, want 95", got)
+	}
+	if got := l.P99(); got != 99 {
+		t.Errorf("P99 = %v, want 99", got)
+	}
+	if got := l.Max(); got != 100 {
+		t.Errorf("Max = %v, want 100", got)
+	}
+	if got := l.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	var l LatencyRecorder
+	for _, v := range []sim.Duration{50, 10, 90, 30, 70} {
+		l.Record(v)
+	}
+	if got := l.P50(); got != 50 {
+		t.Errorf("P50 = %v, want 50", got)
+	}
+	// Recording after a percentile query must re-sort.
+	l.Record(5)
+	if got := l.Percentile(0); got != 5 {
+		t.Errorf("P0 after insert = %v, want 5", got)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var l LatencyRecorder
+	if l.P99() != 0 || l.Mean() != 0 || l.Count() != 0 {
+		t.Fatal("empty recorder should report zeroes")
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	var l LatencyRecorder
+	l.Record(42)
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got := l.Percentile(p); got != 42 {
+			t.Errorf("P%v = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	var l LatencyRecorder
+	l.Record(10)
+	l.Record(20)
+	l.Record(30)
+	if got := l.Mean(); got != 20 {
+		t.Errorf("Mean = %v, want 20", got)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var l LatencyRecorder
+		var mn, mx sim.Duration = 1 << 62, 0
+		for _, v := range raw {
+			d := sim.Duration(v)
+			l.Record(d)
+			if d < mn {
+				mn = d
+			}
+			if d > mx {
+				mx = d
+			}
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := l.Percentile(pa), l.Percentile(pb)
+		return va <= vb && va >= mn && vb <= mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nearest-rank percentile matches a reference implementation.
+func TestPercentileAgainstReference(t *testing.T) {
+	f := func(raw []uint16, pp uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := float64(pp % 101)
+		var l LatencyRecorder
+		ref := make([]sim.Duration, len(raw))
+		for i, v := range raw {
+			d := sim.Duration(v)
+			l.Record(d)
+			ref[i] = d
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		var want sim.Duration
+		if p <= 0 {
+			want = ref[0]
+		} else {
+			rank := int(math.Ceil(p / 100 * float64(len(ref))))
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > len(ref) {
+				rank = len(ref)
+			}
+			want = ref[rank-1]
+		}
+		return l.Percentile(p) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(100, sim.Seconds(10)); got != 10 {
+		t.Errorf("Throughput = %v, want 10", got)
+	}
+	if got := Throughput(5, 0); got != 0 {
+		t.Errorf("zero-window throughput = %v, want 0", got)
+	}
+}
+
+func TestCostSavings(t *testing.T) {
+	// Paper Table 4, ResNet101: dedicated 6.3 it/s, collocated 4.7 ->
+	// savings 1.49x.
+	got := CostSavings(6.3, 4.7)
+	if math.Abs(got-1.49) > 0.01 {
+		t.Errorf("CostSavings = %.3f, want 1.49 (Table 4)", got)
+	}
+	if CostSavings(0, 5) != 0 {
+		t.Error("zero dedicated throughput should yield 0")
+	}
+}
+
+func TestJobStatsString(t *testing.T) {
+	js := JobStats{Name: "resnet50-inf", Completed: 10, Window: sim.Seconds(5)}
+	js.Latency.Record(sim.Millis(7))
+	s := js.String()
+	if !strings.Contains(s, "resnet50-inf") || !strings.Contains(s, "2.00 req/s") {
+		t.Errorf("String() = %q", s)
+	}
+	if js.Throughput() != 2 {
+		t.Errorf("Throughput = %v, want 2", js.Throughput())
+	}
+}

@@ -1,0 +1,193 @@
+// Package profiler implements Orion's offline workload profiling phase
+// (§5.2): before a workload may be scheduled, each of its kernels is
+// characterized — duration, compute-throughput and memory-bandwidth
+// utilization, SM requirements, and a roofline class — and the workload's
+// dedicated-GPU request latency is measured. The scheduler loads the
+// result as an in-memory lookup table indexed by kernel ID.
+//
+// Where the paper drives Nsight Compute / Nsight Systems over the first
+// ten requests of the real job, this profiler replays the workload's
+// operation stream on a dedicated simulated device.
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/kernels"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// KernelProfile is one row of the profile lookup table.
+type KernelProfile struct {
+	// ID is the kernel's position in the workload's op stream.
+	ID int `json:"id"`
+	// Name is the kernel name.
+	Name string `json:"name"`
+	// Duration is the dedicated-GPU execution time.
+	Duration sim.Duration `json:"duration_ns"`
+	// ComputeUtil and MemBWUtil are dedicated-run utilizations (0..1).
+	ComputeUtil float64 `json:"compute_util"`
+	MemBWUtil   float64 `json:"membw_util"`
+	// SMsNeeded is sm_needed_k = ceil(blocks / blocks_per_sm), capped at
+	// the device size.
+	SMsNeeded int `json:"sms_needed"`
+	// Class is the roofline classification (compute / memory / unknown).
+	Class kernels.Profile `json:"class"`
+}
+
+// Profile is the offline profile of one workload on one device.
+type Profile struct {
+	// Workload is the profiled workload's ID.
+	Workload string `json:"workload"`
+	// Device is the profiled device's name.
+	Device string `json:"device"`
+	// RequestLatency is the measured dedicated-GPU latency of one
+	// request (inference) or iteration (training), averaged over the
+	// profiled requests. Orion's DUR_THRESHOLD throttle is a percentage
+	// of this value.
+	RequestLatency sim.Duration `json:"request_latency_ns"`
+	// Kernels holds one entry per operation in the workload's stream
+	// (memory operations get zero-valued kernel fields but keep their
+	// slot so the table stays indexed by op ID).
+	Kernels []KernelProfile `json:"kernels"`
+}
+
+// ProfiledRequests is how many dedicated requests the latency measurement
+// averages over, mirroring the paper's "first 10 mini-batches or requests".
+const ProfiledRequests = 10
+
+// Collect profiles a workload on a dedicated device of the given spec.
+func Collect(m *workload.Model, spec gpu.Spec) (*Profile, error) {
+	if m == nil {
+		return nil, fmt.Errorf("profiler: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Profile{Workload: m.ID(), Device: spec.Name}
+
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		kp := KernelProfile{ID: op.ID, Name: op.Name}
+		if op.Op == kernels.OpKernel {
+			need, err := kernels.SMsNeeded(op.Launch, spec.SM)
+			if err != nil {
+				return nil, fmt.Errorf("profiler: %s kernel %q: %w", m.ID(), op.Name, err)
+			}
+			if need > spec.NumSMs {
+				need = spec.NumSMs
+			}
+			kp.Duration = op.Duration
+			kp.ComputeUtil = op.ComputeUtil
+			kp.MemBWUtil = op.MemBWUtil
+			kp.SMsNeeded = need
+			kp.Class = kernels.Classify(op.ComputeUtil, op.MemBWUtil)
+		}
+		p.Kernels = append(p.Kernels, kp)
+	}
+
+	lat, err := measureLatency(m, spec)
+	if err != nil {
+		return nil, err
+	}
+	p.RequestLatency = lat
+	return p, nil
+}
+
+// measureLatency runs the workload closed-loop on a fresh dedicated device
+// and averages the latency of ProfiledRequests requests after a one-request
+// warmup.
+func measureLatency(m *workload.Model, spec gpu.Spec) (sim.Duration, error) {
+	eng := sim.NewEngine()
+	eng.MaxEvents = 500_000_000
+	dev, err := gpu.NewDevice(eng, spec)
+	if err != nil {
+		return 0, err
+	}
+	ctx := cudart.NewContext(dev)
+	backend := sched.NewDirect(ctx)
+	client, err := backend.Register(sched.ClientConfig{
+		Name: m.ID(), Priority: sched.HighPriority, Model: m,
+	})
+	if err != nil {
+		return 0, err
+	}
+	backend.Start()
+	// Budget generously: (ProfiledRequests + warmup + slack) requests.
+	est := sim.Duration(float64(m.TargetDuration)*1.5) + sim.Millis(20)
+	horizon := sim.Time(est * (ProfiledRequests + 4))
+	driver, err := sched.NewDriver(sched.DriverConfig{
+		Engine: eng, Client: client, Model: m,
+		Horizon: horizon, Warmup: est, // skip the first request & malloc
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := driver.Start(); err != nil {
+		return 0, err
+	}
+	eng.Run()
+	st := driver.Stats()
+	if st.Latency.Count() == 0 {
+		return 0, fmt.Errorf("profiler: %s completed no requests in %v", m.ID(), horizon)
+	}
+	return st.Latency.Mean(), nil
+}
+
+// Derive characterizes a kernel from its descriptor alone — the fallback
+// for operations that were not part of the offline profiling pass, such
+// as synthetic fused graphs or dynamically generated kernels. The result
+// carries the same fields an offline row would.
+func Derive(op *kernels.Descriptor, spec gpu.Spec) (*KernelProfile, error) {
+	if op == nil || op.Op != kernels.OpKernel {
+		return nil, fmt.Errorf("profiler: derive needs a kernel descriptor")
+	}
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	need, err := kernels.SMsNeeded(op.Launch, spec.SM)
+	if err != nil {
+		return nil, err
+	}
+	if need > spec.NumSMs {
+		need = spec.NumSMs
+	}
+	return &KernelProfile{
+		ID: op.ID, Name: op.Name,
+		Duration: op.Duration, ComputeUtil: op.ComputeUtil, MemBWUtil: op.MemBWUtil,
+		SMsNeeded: need, Class: kernels.Classify(op.ComputeUtil, op.MemBWUtil),
+	}, nil
+}
+
+// Kernel returns the profile row for an op ID.
+func (p *Profile) Kernel(id int) (*KernelProfile, bool) {
+	if id < 0 || id >= len(p.Kernels) {
+		return nil, false
+	}
+	return &p.Kernels[id], true
+}
+
+// WriteJSON serializes the profile.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadJSON deserializes a profile written by WriteJSON.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("profiler: decode: %w", err)
+	}
+	if p.Workload == "" || len(p.Kernels) == 0 {
+		return nil, fmt.Errorf("profiler: profile missing workload or kernels")
+	}
+	return &p, nil
+}

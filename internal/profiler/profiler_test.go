@@ -1,0 +1,158 @@
+package profiler
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"orion/internal/gpu"
+	"orion/internal/kernels"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+func TestCollectResNet50Inference(t *testing.T) {
+	m := workload.ResNet50Inference()
+	p, err := Collect(m, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workload != "resnet50-inf" || p.Device != "V100-16GB" {
+		t.Fatalf("header: %s on %s", p.Workload, p.Device)
+	}
+	if len(p.Kernels) != len(m.Ops) {
+		t.Fatalf("profile has %d rows, model has %d ops", len(p.Kernels), len(m.Ops))
+	}
+	// Dedicated latency: ~2ms kernels + input copy + launch overheads.
+	if p.RequestLatency < sim.Millis(2) || p.RequestLatency > sim.Millis(3.5) {
+		t.Errorf("request latency %v, want ~2.6ms", p.RequestLatency)
+	}
+}
+
+func TestCollectClassifiesKernels(t *testing.T) {
+	p, err := Collect(workload.ResNet50Training(), gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[kernels.Profile]int{}
+	for _, k := range p.Kernels {
+		if k.Duration > 0 {
+			counts[k.Class]++
+		}
+	}
+	if counts[kernels.ProfileCompute] == 0 || counts[kernels.ProfileMemory] == 0 || counts[kernels.ProfileUnknown] == 0 {
+		t.Fatalf("class mix %v, want all three roofline classes", counts)
+	}
+}
+
+func TestCollectSMRequirements(t *testing.T) {
+	m := workload.BERTInference()
+	p, err := Collect(m, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range p.Kernels {
+		if k.Duration == 0 {
+			continue
+		}
+		if k.SMsNeeded < 1 || k.SMsNeeded > 80 {
+			t.Fatalf("kernel %s: SMsNeeded = %d, want 1..80", k.Name, k.SMsNeeded)
+		}
+	}
+}
+
+func TestTrainingIterationLatencyMatchesTable4(t *testing.T) {
+	// Table 4: dedicated training iterations/sec. The simulated dedicated
+	// latency must land near 1/rate.
+	cases := []struct {
+		model *workload.Model
+		rate  float64
+	}{
+		{workload.ResNet50Training(), 10.3},
+		{workload.MobileNetV2Training(), 12.5},
+		{workload.ResNet101Training(), 6.3},
+		{workload.BERTTraining(), 4.91},
+		{workload.TransformerTraining(), 6.0},
+	}
+	for _, c := range cases {
+		p, err := Collect(c.model, gpu.V100())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / c.rate
+		got := p.RequestLatency.Seconds()
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("%s: dedicated iteration %.1fms, Table 4 implies %.1fms",
+				c.model.ID(), got*1000, want*1000)
+		}
+	}
+}
+
+func TestKernelLookup(t *testing.T) {
+	p, err := Collect(workload.MobileNetV2Inference(), gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := p.Kernel(1)
+	if !ok || k.ID != 1 {
+		t.Fatalf("Kernel(1) = %+v, %v", k, ok)
+	}
+	if _, ok := p.Kernel(-1); ok {
+		t.Fatal("negative id found")
+	}
+	if _, ok := p.Kernel(len(p.Kernels)); ok {
+		t.Fatal("out-of-range id found")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p, err := Collect(workload.TransformerInference(), gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Workload != p.Workload || q.RequestLatency != p.RequestLatency || len(q.Kernels) != len(p.Kernels) {
+		t.Fatal("round trip mismatch")
+	}
+	for i := range p.Kernels {
+		if p.Kernels[i] != q.Kernels[i] {
+			t.Fatalf("kernel %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("{}")); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestCollectNilModel(t *testing.T) {
+	if _, err := Collect(nil, gpu.V100()); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestCollectOnA100(t *testing.T) {
+	p, err := Collect(workload.ResNet50Inference(), gpu.A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Device != "A100-40GB" {
+		t.Fatalf("device = %s", p.Device)
+	}
+	if p.RequestLatency <= 0 {
+		t.Fatal("no latency measured on A100")
+	}
+}

@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"fmt"
+
+	"orion/internal/kernels"
+	"orion/internal/metrics"
+	"orion/internal/sim"
+	"orion/internal/trace"
+	"orion/internal/workload"
+)
+
+// DefaultFrameworkOverhead is the client-side CPU cost per operation in
+// native PyTorch (kernel launch through the framework and CUDA runtime).
+const DefaultFrameworkOverhead = 3 * sim.Microsecond
+
+// DriverConfig configures a client driver.
+type DriverConfig struct {
+	// Engine is the simulation engine everything runs on.
+	Engine *sim.Engine
+	// Client is the backend handle the driver submits through.
+	Client Client
+	// Model is the workload to replay.
+	Model *workload.Model
+	// Arrivals produces request inter-arrival gaps. Nil means closed
+	// loop: a new iteration starts as soon as the previous completes
+	// (how training jobs behave, §6.1).
+	Arrivals trace.Process
+	// FrameworkOverhead is the per-op client CPU cost before any
+	// backend-added interception overhead. Zero selects
+	// DefaultFrameworkOverhead.
+	FrameworkOverhead sim.Duration
+	// Horizon is the simulation time after which no new requests start.
+	Horizon sim.Time
+	// Warmup excludes early requests from statistics: only requests
+	// completing in (Warmup, Horizon] are recorded.
+	Warmup sim.Duration
+	// SkipWeightAlloc skips the initial weights allocation (used when a
+	// caller manages memory itself).
+	SkipWeightAlloc bool
+}
+
+// Driver replays a workload through a backend client: it generates request
+// arrivals, walks each request's operation stream with realistic CPU
+// submission gaps, honours blocking semantics, and records latency and
+// throughput statistics.
+type Driver struct {
+	cfg   DriverConfig
+	stats metrics.JobStats
+
+	queue   []sim.Time // arrival times of requests waiting to start
+	busy    bool
+	stopped bool
+	started bool
+
+	// Requests completed in total (including warmup).
+	totalCompleted int
+}
+
+// NewDriver validates the configuration and builds a driver.
+func NewDriver(cfg DriverConfig) (*Driver, error) {
+	if cfg.Engine == nil || cfg.Client == nil || cfg.Model == nil {
+		return nil, fmt.Errorf("sched: driver needs engine, client and model")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sched: driver needs a positive horizon")
+	}
+	if sim.Duration(cfg.Horizon) <= cfg.Warmup {
+		return nil, fmt.Errorf("sched: warmup %v >= horizon %v", cfg.Warmup, cfg.Horizon)
+	}
+	if cfg.FrameworkOverhead == 0 {
+		cfg.FrameworkOverhead = DefaultFrameworkOverhead
+	}
+	d := &Driver{cfg: cfg}
+	d.stats.Name = cfg.Model.ID()
+	d.stats.Window = sim.Duration(cfg.Horizon) - cfg.Warmup
+	return d, nil
+}
+
+// Stats returns the driver's accumulated statistics. Valid once the
+// simulation has run.
+func (d *Driver) Stats() *metrics.JobStats { return &d.stats }
+
+// Stop makes the driver abandon its workload: no new requests are
+// admitted or started; the in-flight request (if any) drains normally.
+// Models a client crashing or being descheduled mid-run — the scheduler
+// underneath must absorb the churn.
+func (d *Driver) Stop() {
+	d.stopped = true
+	d.queue = nil
+}
+
+// Stopped reports whether the driver has been stopped (explicitly or by
+// reaching the horizon).
+func (d *Driver) Stopped() bool { return d.stopped }
+
+// TotalCompleted reports all completed requests including warmup.
+func (d *Driver) TotalCompleted() int { return d.totalCompleted }
+
+// Start arms the driver: it allocates the model's weights and then begins
+// generating requests. Call before running the engine.
+func (d *Driver) Start() error {
+	if d.started {
+		return fmt.Errorf("sched: driver started twice")
+	}
+	d.started = true
+	begin := func() {
+		if d.cfg.Arrivals == nil {
+			// Closed loop: first iteration starts immediately.
+			d.enqueue(d.cfg.Engine.Now())
+		} else {
+			d.scheduleArrival()
+		}
+	}
+	if d.cfg.SkipWeightAlloc {
+		begin()
+		return nil
+	}
+	alloc := &kernels.Descriptor{
+		Name: "weights_malloc", Op: kernels.OpMalloc, Bytes: d.cfg.Model.WeightsBytes,
+	}
+	d.cfg.Client.BeginRequest()
+	if err := d.cfg.Client.Submit(alloc, nil); err != nil {
+		return fmt.Errorf("sched: weight allocation for %s: %w", d.cfg.Model.ID(), err)
+	}
+	return d.cfg.Client.EndRequest(func(sim.Time) { begin() })
+}
+
+// scheduleArrival arms the next open-loop arrival event.
+func (d *Driver) scheduleArrival() {
+	gap, ok := d.cfg.Arrivals.Next()
+	if !ok {
+		return
+	}
+	at := d.cfg.Engine.Now().Add(gap)
+	if at >= d.cfg.Horizon {
+		return
+	}
+	d.cfg.Engine.At(at, func() {
+		d.enqueue(at)
+		d.scheduleArrival()
+	})
+}
+
+// enqueue admits a request that arrived at the given time.
+func (d *Driver) enqueue(arrival sim.Time) {
+	d.queue = append(d.queue, arrival)
+	if !d.busy {
+		d.startNext()
+	}
+}
+
+// startNext pops the oldest queued request and replays its op stream.
+func (d *Driver) startNext() {
+	if len(d.queue) == 0 || d.stopped {
+		return
+	}
+	arrival := d.queue[0]
+	d.queue = d.queue[:copy(d.queue, d.queue[1:])]
+	d.busy = true
+	d.cfg.Client.BeginRequest()
+	d.submitFrom(0, arrival)
+}
+
+// CaptureReplayer is implemented by clients that replay pre-captured
+// request graphs (CUDA-graph style): per-operation framework overhead is
+// skipped, since operations feed a capture buffer rather than the GPU.
+type CaptureReplayer interface {
+	ReplaysCapture() bool
+}
+
+// opGap is the CPU-side spacing between consecutive submissions.
+func (d *Driver) opGap() sim.Duration {
+	if cr, ok := d.cfg.Client.(CaptureReplayer); ok && cr.ReplaysCapture() {
+		return d.cfg.Client.LaunchOverhead()
+	}
+	return d.cfg.FrameworkOverhead + d.cfg.Client.LaunchOverhead()
+}
+
+// submitFrom submits ops[i:] with CPU gaps, honouring blocking semantics,
+// then completes the request.
+func (d *Driver) submitFrom(i int, arrival sim.Time) {
+	eng := d.cfg.Engine
+	model := d.cfg.Model
+	if i >= len(model.Ops) {
+		err := d.cfg.Client.EndRequest(func(at sim.Time) { d.finishRequest(arrival, at) })
+		if err != nil {
+			panic(fmt.Sprintf("sched: end request: %v", err))
+		}
+		return
+	}
+	op := &model.Ops[i]
+	blocking := op.Op.Blocking() || (op.Op.IsMemcpy() && op.Sync)
+	next := func() { d.submitFrom(i+1, arrival) }
+	var done func(sim.Time)
+	if blocking {
+		// The client CPU blocks until the op completes, then pays the
+		// next submission gap.
+		done = func(sim.Time) { eng.After(d.opGap(), next) }
+	}
+	if err := d.cfg.Client.Submit(op, done); err != nil {
+		panic(fmt.Sprintf("sched: submit %s op %d: %v", model.ID(), i, err))
+	}
+	if !blocking {
+		eng.After(d.opGap(), next)
+	}
+}
+
+// finishRequest records stats and starts the next request.
+func (d *Driver) finishRequest(arrival, completed sim.Time) {
+	d.totalCompleted++
+	if completed > sim.Time(d.cfg.Warmup) && completed <= d.cfg.Horizon {
+		d.stats.Completed++
+		d.stats.Latency.Record(completed.Sub(arrival))
+	}
+	d.busy = false
+	if completed >= d.cfg.Horizon {
+		d.stopped = true
+		return
+	}
+	if d.cfg.Arrivals == nil {
+		// Closed loop: immediately begin the next iteration.
+		d.enqueue(completed)
+		return
+	}
+	d.startNext()
+}

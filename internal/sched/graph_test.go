@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"testing"
+
+	"orion/internal/kernels"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+func TestGraphClientValidation(t *testing.T) {
+	if _, err := NewGraphClient(nil); err == nil {
+		t.Fatal("nil inner accepted")
+	}
+}
+
+// A graph client fuses the request's kernels into one launch: the device
+// sees one kernel per request.
+func TestGraphClientFusesKernels(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewDirect(ctx)
+	model := workload.ResNet50Inference()
+	inner, err := backend.Register(ClientConfig{Name: "g", Priority: HighPriority, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend.Start()
+	gc, err := NewGraphClient(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(DriverConfig{
+		Engine: eng, Client: gc, Model: model,
+		Horizon: sim.Time(sim.Seconds(1)), SkipWeightAlloc: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	eng.Run()
+	if d.TotalCompleted() < 2 {
+		t.Fatalf("only %d requests completed in graph mode", d.TotalCompleted())
+	}
+	if got := gc.GraphsLaunched(); got != uint64(d.TotalCompleted()) {
+		t.Errorf("%d graphs for %d requests", got, d.TotalCompleted())
+	}
+	// One fused kernel per request instead of ~130.
+	if got := ctx.Device().KernelsCompleted(); got != gc.GraphsLaunched() {
+		t.Errorf("device ran %d kernels for %d graphs", got, gc.GraphsLaunched())
+	}
+}
+
+// The fused graph preserves total work: request latency in graph mode is
+// close to (and not less than the kernel-time of) the unfused run, minus
+// the per-kernel launch gaps graphs exist to eliminate.
+func TestGraphModeEliminatesLaunchGaps(t *testing.T) {
+	model := workload.ResNet50Inference()
+	run := func(graph bool) sim.Duration {
+		eng, ctx := newRig(t)
+		backend := NewDirect(ctx)
+		inner, _ := backend.Register(ClientConfig{Name: "g", Priority: HighPriority, Model: model})
+		backend.Start()
+		var cl Client = inner
+		if graph {
+			cl, _ = NewGraphClient(inner)
+		}
+		d, _ := NewDriver(DriverConfig{
+			Engine: eng, Client: cl, Model: model,
+			Horizon: sim.Time(sim.Seconds(2)), Warmup: sim.Seconds(0.3),
+		})
+		d.Start()
+		eng.Run()
+		return d.Stats().Latency.P50()
+	}
+	fused, unfused := run(true), run(false)
+	if fused >= unfused {
+		t.Errorf("graph p50 %.3fms >= kernel-mode %.3fms; launch gaps not eliminated",
+			fused.Millis(), unfused.Millis())
+	}
+	if fused < model.TotalKernelTime() {
+		t.Errorf("graph p50 %.3fms below the %.3fms of kernel work it contains",
+			fused.Millis(), model.TotalKernelTime().Millis())
+	}
+}
+
+// Graph capture keeps memory operations eager and ordered before the
+// fused launch.
+func TestGraphClientPassesMemOpsThrough(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewDirect(ctx)
+	model := workload.ResNet50Inference()
+	inner, _ := backend.Register(ClientConfig{Name: "g", Priority: HighPriority, Model: model})
+	backend.Start()
+	gc, _ := NewGraphClient(inner)
+	gc.BeginRequest()
+	var copyDone, kernelDone sim.Time
+	cp := kernels.Descriptor{ID: 0, Name: "h2d", Op: kernels.OpMemcpyH2D, Bytes: 1 << 20}
+	if err := gc.Submit(&cp, func(at sim.Time) { copyDone = at }); err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.Descriptor{ID: 1, Name: "k", Op: kernels.OpKernel,
+		Launch:   kernels.LaunchConfig{Blocks: 16, ThreadsPerBlock: 256, RegsPerThread: 32},
+		Duration: sim.Micros(100), ComputeUtil: 0.4, MemBWUtil: 0.2}
+	gc.Submit(&k, func(at sim.Time) { kernelDone = at })
+	gc.EndRequest(nil)
+	eng.Run()
+	if copyDone == 0 || kernelDone == 0 {
+		t.Fatal("captured ops never completed")
+	}
+	if kernelDone < copyDone {
+		t.Errorf("fused kernel at %v finished before the copy at %v", kernelDone, copyDone)
+	}
+	if err := gc.Submit(nil, nil); err == nil {
+		t.Fatal("nil op accepted")
+	}
+}
+
+// An empty request (no kernels captured) still synchronizes.
+func TestGraphClientEmptyRequest(t *testing.T) {
+	eng, ctx := newRig(t)
+	backend := NewDirect(ctx)
+	model := workload.ResNet50Inference()
+	inner, _ := backend.Register(ClientConfig{Name: "g", Model: model})
+	backend.Start()
+	gc, _ := NewGraphClient(inner)
+	gc.BeginRequest()
+	fired := false
+	gc.EndRequest(func(sim.Time) { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("empty graph request never completed")
+	}
+}

@@ -1,0 +1,77 @@
+// Package sched defines the interface between DNN clients and GPU
+// scheduling backends, and provides the client driver that replays a
+// workload's operation stream through any backend.
+//
+// A Backend is one GPU-sharing technique (Orion, temporal sharing, GPU
+// Streams, MPS, REEF-N, Tick-Tock, or direct dedicated execution). Clients
+// register with a priority; the backend decides how and when each client's
+// intercepted operations reach the device.
+package sched
+
+import (
+	"orion/internal/kernels"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// Priority partitions clients the way the paper does: one high-priority
+// latency- or throughput-critical job, and any number of best-effort jobs
+// harvesting spare capacity.
+type Priority int
+
+const (
+	// BestEffort jobs harvest spare GPU capacity.
+	BestEffort Priority = iota
+	// HighPriority marks the latency/throughput-critical job.
+	HighPriority
+)
+
+func (p Priority) String() string {
+	if p == HighPriority {
+		return "high-priority"
+	}
+	return "best-effort"
+}
+
+// ClientConfig describes a client registering with a backend.
+type ClientConfig struct {
+	// Name identifies the client in output (typically the workload ID).
+	Name string
+	// Priority is HighPriority or BestEffort.
+	Priority Priority
+	// Model is the client's workload; backends that need offline profile
+	// information (Orion, REEF) read the descriptors' profiled attributes,
+	// mirroring the paper's profile lookup table.
+	Model *workload.Model
+}
+
+// Client is a registered client's handle for submitting intercepted
+// operations.
+type Client interface {
+	// BeginRequest marks the start of one inference request or training
+	// iteration — the granularity at which temporal sharing time-slices.
+	BeginRequest()
+	// Submit forwards one operation. done, if non-nil, fires when the
+	// operation completes on the device.
+	Submit(op *kernels.Descriptor, done func(sim.Time)) error
+	// EndRequest marks the request complete once every operation
+	// submitted since BeginRequest has finished on the device; cb fires
+	// at that point.
+	EndRequest(cb func(sim.Time)) error
+	// LaunchOverhead is the client-side CPU cost this backend adds to
+	// every submitted operation (interception, queue insertion, lock
+	// contention). The driver spaces submissions by this plus its own
+	// framework overhead.
+	LaunchOverhead() sim.Duration
+}
+
+// Backend is one GPU-sharing technique.
+type Backend interface {
+	// Name identifies the technique in output.
+	Name() string
+	// Register adds a client. All clients register before Start.
+	Register(cfg ClientConfig) (Client, error)
+	// Start begins backend activity (scheduler polling loops). Called
+	// once after registration.
+	Start()
+}

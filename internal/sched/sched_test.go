@@ -1,0 +1,334 @@
+package sched
+
+import (
+	"testing"
+
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/kernels"
+	"orion/internal/sim"
+	"orion/internal/trace"
+	"orion/internal/workload"
+)
+
+func newRig(t *testing.T) (*sim.Engine, *cudart.Context) {
+	t.Helper()
+	eng := sim.NewEngine()
+	eng.MaxEvents = 200_000_000
+	dev, err := gpu.NewDevice(eng, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, cudart.NewContext(dev)
+}
+
+func TestDriverClosedLoopTraining(t *testing.T) {
+	eng, ctx := newRig(t)
+	be := NewDirect(ctx)
+	cl, err := be.Register(ClientConfig{Name: "rn50", Priority: HighPriority, Model: workload.ResNet50Training()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be.Start()
+	d, err := NewDriver(DriverConfig{
+		Engine: eng, Client: cl, Model: workload.ResNet50Training(),
+		Horizon: sim.Time(sim.Seconds(3)), Warmup: sim.Seconds(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	thr := d.Stats().Throughput()
+	// Paper Table 4: dedicated ResNet50 training runs 10.3 iterations/sec.
+	if thr < 9.0 || thr > 11.0 {
+		t.Errorf("dedicated ResNet50 training = %.2f it/s, want ~10 (Table 4: 10.3)", thr)
+	}
+	if d.Stats().Latency.Count() == 0 {
+		t.Fatal("no latencies recorded")
+	}
+}
+
+func TestDriverOpenLoopInference(t *testing.T) {
+	eng, ctx := newRig(t)
+	be := NewDirect(ctx)
+	model := workload.ResNet50Inference()
+	cl, _ := be.Register(ClientConfig{Name: "rn50i", Priority: HighPriority, Model: model})
+	be.Start()
+	arr, _ := trace.NewPoisson(50, sim.NewRand(7))
+	d, err := NewDriver(DriverConfig{
+		Engine: eng, Client: cl, Model: model, Arrivals: arr,
+		Horizon: sim.Time(sim.Seconds(3)), Warmup: sim.Seconds(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	thr := d.Stats().Throughput()
+	if thr < 40 || thr > 60 {
+		t.Errorf("throughput %.1f req/s, want ~50 (Poisson open loop)", thr)
+	}
+	// Dedicated latency: ~2ms of kernels + copies + overheads, light queueing.
+	p50 := d.Stats().Latency.P50()
+	if p50 < sim.Millis(2) || p50 > sim.Millis(4) {
+		t.Errorf("dedicated p50 = %.2fms, want ~2.6ms", p50.Millis())
+	}
+}
+
+func TestDriverWeightsAllocated(t *testing.T) {
+	eng, ctx := newRig(t)
+	be := NewDirect(ctx)
+	model := workload.BERTInference()
+	cl, _ := be.Register(ClientConfig{Name: "bert", Priority: HighPriority, Model: model})
+	be.Start()
+	d, _ := NewDriver(DriverConfig{
+		Engine: eng, Client: cl, Model: model,
+		Horizon: sim.Time(sim.Seconds(1)), Warmup: 0,
+	})
+	d.Start()
+	eng.Run()
+	if got := ctx.Device().AllocatedBytes(); got != model.WeightsBytes {
+		t.Errorf("allocated %d bytes, want %d (weights)", got, model.WeightsBytes)
+	}
+}
+
+func TestDriverSkipWeightAlloc(t *testing.T) {
+	eng, ctx := newRig(t)
+	be := NewDirect(ctx)
+	model := workload.MobileNetV2Inference()
+	cl, _ := be.Register(ClientConfig{Name: "m", Priority: BestEffort, Model: model})
+	arr, _ := trace.NewUniform(100, sim.NewRand(1))
+	d, _ := NewDriver(DriverConfig{
+		Engine: eng, Client: cl, Model: model, Arrivals: arr,
+		Horizon: sim.Time(sim.Seconds(1)), SkipWeightAlloc: true,
+	})
+	d.Start()
+	eng.Run()
+	if ctx.Device().AllocatedBytes() != 0 {
+		t.Error("weights allocated despite SkipWeightAlloc")
+	}
+	if d.TotalCompleted() == 0 {
+		t.Error("no requests completed")
+	}
+}
+
+func TestDriverStopsAtHorizon(t *testing.T) {
+	eng, ctx := newRig(t)
+	be := NewDirect(ctx)
+	model := workload.MobileNetV2Inference()
+	cl, _ := be.Register(ClientConfig{Name: "m", Priority: BestEffort, Model: model})
+	arr, _ := trace.NewUniform(100, sim.NewRand(2))
+	horizon := sim.Time(sim.Seconds(1))
+	d, _ := NewDriver(DriverConfig{Engine: eng, Client: cl, Model: model, Arrivals: arr, Horizon: horizon})
+	d.Start()
+	eng.Run()
+	// ~100 rps for 1s: roughly 100 arrivals, all served (4ms each).
+	if d.TotalCompleted() < 80 || d.TotalCompleted() > 110 {
+		t.Errorf("completed %d requests, want ~95", d.TotalCompleted())
+	}
+	// No request should complete after roughly horizon + one request time.
+	if eng.Now() > horizon.Add(sim.Millis(50)) {
+		t.Errorf("engine ran to %v, far past horizon", eng.Now())
+	}
+}
+
+func TestDriverQueueingUnderOverload(t *testing.T) {
+	eng, ctx := newRig(t)
+	be := NewDirect(ctx)
+	model := workload.ResNet101Inference() // ~4.5ms per request
+	cl, _ := be.Register(ClientConfig{Name: "r101", Priority: HighPriority, Model: model})
+	arr, _ := trace.NewUniform(400, sim.NewRand(3)) // far beyond capacity
+	d, _ := NewDriver(DriverConfig{
+		Engine: eng, Client: cl, Model: model, Arrivals: arr,
+		Horizon: sim.Time(sim.Seconds(2)), Warmup: sim.Seconds(0.5),
+	})
+	d.Start()
+	eng.Run()
+	// Overloaded: p99 must reflect queueing, far above service time.
+	if d.Stats().Latency.P99() < sim.Millis(100) {
+		t.Errorf("p99 = %v under 200rps overload, expected heavy queueing", d.Stats().Latency.P99())
+	}
+}
+
+func TestDriverConfigValidation(t *testing.T) {
+	eng, ctx := newRig(t)
+	be := NewDirect(ctx)
+	model := workload.ResNet50Inference()
+	cl, _ := be.Register(ClientConfig{Name: "x", Model: model})
+	cases := []DriverConfig{
+		{Engine: nil, Client: cl, Model: model, Horizon: 1000},
+		{Engine: eng, Client: nil, Model: model, Horizon: 1000},
+		{Engine: eng, Client: cl, Model: nil, Horizon: 1000},
+		{Engine: eng, Client: cl, Model: model, Horizon: 0},
+		{Engine: eng, Client: cl, Model: model, Horizon: 1000, Warmup: 2000},
+	}
+	for i, cfg := range cases {
+		if _, err := NewDriver(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDriverDoubleStart(t *testing.T) {
+	eng, ctx := newRig(t)
+	be := NewDirect(ctx)
+	model := workload.ResNet50Inference()
+	cl, _ := be.Register(ClientConfig{Name: "x", Model: model})
+	d, _ := NewDriver(DriverConfig{Engine: eng, Client: cl, Model: model, Horizon: sim.Time(sim.Millis(100))})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+}
+
+func TestRegisterRequiresModel(t *testing.T) {
+	_, ctx := newRig(t)
+	be := NewDirect(ctx)
+	if _, err := be.Register(ClientConfig{Name: "x"}); err == nil {
+		t.Fatal("client without model accepted")
+	}
+}
+
+func TestDirectPriorityMapping(t *testing.T) {
+	_, ctx := newRig(t)
+	be := NewDirect(ctx)
+	hp, _ := be.Register(ClientConfig{Name: "hp", Priority: HighPriority, Model: workload.ResNet50Inference()})
+	beC, _ := be.Register(ClientConfig{Name: "be", Priority: BestEffort, Model: workload.ResNet50Training()})
+	if hp.(*directClient).stream.Priority() <= beC.(*directClient).stream.Priority() {
+		t.Error("high-priority client did not get a higher-priority stream")
+	}
+	noPrio := NewDirect(ctx)
+	noPrio.UsePriorities = false
+	hp2, _ := noPrio.Register(ClientConfig{Name: "hp2", Priority: HighPriority, Model: workload.ResNet50Inference()})
+	if hp2.(*directClient).stream.Priority() != 0 {
+		t.Error("UsePriorities=false still mapped priority")
+	}
+}
+
+func TestSubmitToAllOpKinds(t *testing.T) {
+	eng, ctx := newRig(t)
+	s := ctx.StreamCreate()
+	ops := []*kernels.Descriptor{
+		{ID: 0, Name: "m", Op: kernels.OpMalloc, Bytes: 1 << 20},
+		{ID: 1, Name: "h2d", Op: kernels.OpMemcpyH2D, Bytes: 1 << 20, Sync: true},
+		{ID: 2, Name: "k", Op: kernels.OpKernel,
+			Launch:   kernels.LaunchConfig{Blocks: 8, ThreadsPerBlock: 128, RegsPerThread: 32},
+			Duration: sim.Micros(50), ComputeUtil: 0.5, MemBWUtil: 0.2},
+		{ID: 3, Name: "set", Op: kernels.OpMemset, Bytes: 4096},
+		{ID: 4, Name: "d2d", Op: kernels.OpMemcpyD2D, Bytes: 4096},
+		{ID: 5, Name: "d2h", Op: kernels.OpMemcpyD2H, Bytes: 4096},
+		{ID: 6, Name: "f", Op: kernels.OpFree, Bytes: 1 << 20},
+	}
+	completed := 0
+	for _, op := range ops {
+		if err := SubmitTo(ctx, s, op, func(sim.Time) { completed++ }); err != nil {
+			t.Fatalf("%s: %v", op.Name, err)
+		}
+	}
+	eng.Run()
+	if completed != len(ops) {
+		t.Fatalf("completed %d of %d ops", completed, len(ops))
+	}
+	if ctx.Device().AllocatedBytes() != 0 {
+		t.Fatalf("leaked %d bytes", ctx.Device().AllocatedBytes())
+	}
+}
+
+func TestTrackerSyncFiresWhenDrained(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracker(eng)
+	tr.OnSubmit()
+	tr.OnSubmit()
+	fired := false
+	tr.Sync(func(sim.Time) { fired = true })
+	tr.OnComplete(10)
+	if fired {
+		t.Fatal("sync fired with work outstanding")
+	}
+	tr.OnComplete(20)
+	if !fired {
+		t.Fatal("sync never fired")
+	}
+}
+
+func TestTrackerSyncImmediateWhenIdle(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracker(eng)
+	fired := false
+	tr.Sync(func(sim.Time) { fired = true })
+	if !fired {
+		t.Fatal("idle sync not immediate")
+	}
+	tr.Sync(nil) // must not panic
+}
+
+func TestTrackerSyncOnlyWaitsForPriorOps(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracker(eng)
+	tr.OnSubmit()
+	fired := false
+	tr.Sync(func(sim.Time) { fired = true })
+	tr.OnSubmit() // submitted after the sync point
+	tr.OnComplete(5)
+	if !fired {
+		t.Fatal("sync waited for an op submitted after the sync point")
+	}
+	if tr.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1", tr.Outstanding())
+	}
+}
+
+func TestTrackerMultipleWaiters(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracker(eng)
+	var order []int
+	tr.OnSubmit()
+	tr.Sync(func(sim.Time) { order = append(order, 1) })
+	tr.OnSubmit()
+	tr.Sync(func(sim.Time) { order = append(order, 2) })
+	tr.OnComplete(1)
+	tr.OnComplete(2)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("waiter order %v, want [1 2]", order)
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	if HighPriority.String() != "high-priority" || BestEffort.String() != "best-effort" {
+		t.Fatal("Priority.String mismatch")
+	}
+}
+
+// Stopping a driver mid-run abandons queued work; in-flight work drains
+// and the engine still quiesces.
+func TestDriverStopMidRun(t *testing.T) {
+	eng, ctx := newRig(t)
+	be := NewDirect(ctx)
+	model := workload.ResNet50Training()
+	cl, _ := be.Register(ClientConfig{Name: "t", Priority: HighPriority, Model: model})
+	be.Start()
+	d, _ := NewDriver(DriverConfig{
+		Engine: eng, Client: cl, Model: model,
+		Horizon: sim.Time(sim.Seconds(10)), Warmup: 0,
+	})
+	d.Start()
+	eng.At(sim.Time(sim.Millis(350)), d.Stop)
+	eng.Run()
+	if !d.Stopped() {
+		t.Fatal("driver not stopped")
+	}
+	// ~3 iterations in 350ms, plus the in-flight one draining.
+	if n := d.TotalCompleted(); n < 3 || n > 5 {
+		t.Fatalf("completed %d iterations, want ~4 then stop", n)
+	}
+	if eng.Now() > sim.Time(sim.Millis(600)) {
+		t.Fatalf("engine ran to %v after the stop", eng.Now())
+	}
+}

@@ -1,0 +1,56 @@
+package sched
+
+import "orion/internal/sim"
+
+// Tracker counts a client's submitted and completed operations and fires
+// synchronization callbacks once everything submitted up to the sync point
+// has completed on the device. Queue-based backends (Orion, REEF-N,
+// temporal sharing) use it to implement EndRequest, since their clients'
+// operations do not map one-to-one onto a single CUDA stream they could
+// stream-synchronize.
+type Tracker struct {
+	eng       *sim.Engine
+	submitted uint64
+	completed uint64
+	waiters   []trackWaiter
+}
+
+type trackWaiter struct {
+	threshold uint64
+	cb        func(sim.Time)
+}
+
+// NewTracker builds a tracker on the engine.
+func NewTracker(eng *sim.Engine) *Tracker {
+	return &Tracker{eng: eng}
+}
+
+// OnSubmit records one submitted operation.
+func (t *Tracker) OnSubmit() { t.submitted++ }
+
+// OnComplete records one completed operation and fires any satisfied
+// waiters, in registration order.
+func (t *Tracker) OnComplete(at sim.Time) {
+	t.completed++
+	for len(t.waiters) > 0 && t.waiters[0].threshold <= t.completed {
+		cb := t.waiters[0].cb
+		t.waiters = t.waiters[:copy(t.waiters, t.waiters[1:])]
+		cb(at)
+	}
+}
+
+// Outstanding reports operations submitted but not yet completed.
+func (t *Tracker) Outstanding() uint64 { return t.submitted - t.completed }
+
+// Sync registers cb to fire once every operation submitted so far has
+// completed. If nothing is outstanding it fires immediately.
+func (t *Tracker) Sync(cb func(sim.Time)) {
+	if cb == nil {
+		return
+	}
+	if t.completed >= t.submitted {
+		cb(t.eng.Now())
+		return
+	}
+	t.waiters = append(t.waiters, trackWaiter{threshold: t.submitted, cb: cb})
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created by Engine.At / After
+// and may be cancelled before they fire.
+type Event struct {
+	time      Time
+	seq       uint64 // tie-break for deterministic ordering
+	fn        func()
+	index     int // heap index; -1 when not queued
+	cancelled bool
+	// weak events (periodic monitors, tuners) do not keep the simulation
+	// alive: Run returns once only weak events remain queued.
+	weak bool
+}
+
+// Time reports when the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.time }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. All simulated
+// components (devices, schedulers, clients) are driven by callbacks that
+// execute inside Run; none of them may block.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	strong  int // queued non-weak events
+	stopped bool
+	// processed counts events executed, for diagnostics and runaway guards.
+	processed uint64
+	// MaxEvents, when non-zero, aborts Run with a panic after that many
+	// events; it is a backstop against accidental infinite self-scheduling.
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it always indicates a modelling bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.strong++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// AtWeak schedules a weak event: it fires like a normal event, but Run
+// treats a queue holding only weak events as drained. Periodic monitors
+// (e.g. the SM_THRESHOLD tuner) use weak events so they never keep a
+// finished simulation spinning.
+func (e *Engine) AtWeak(t Time, fn func()) *Event {
+	ev := e.At(t, fn)
+	ev.weak = true
+	e.strong--
+	return ev
+}
+
+// AfterWeak schedules a weak event d after the current time.
+func (e *Engine) AfterWeak(d Duration, fn func()) *Event {
+	ev := e.After(d, fn)
+	ev.weak = true
+	e.strong--
+	return ev
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired
+// or was already cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		if ev != nil {
+			ev.cancelled = true
+		}
+		return
+	}
+	ev.cancelled = true
+	if !ev.weak {
+		e.strong--
+	}
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event and advances the clock
+// to its timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if !ev.weak {
+		e.strong--
+	}
+	e.now = ev.time
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until only weak events remain, the queue drains, or
+// Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped {
+		if e.MaxEvents > 0 && e.processed >= e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at %v", e.MaxEvents, e.now))
+		}
+		if e.strong == 0 {
+			return
+		}
+		if !e.Step() {
+			return
+		}
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if e.MaxEvents > 0 && e.processed >= e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at %v", e.MaxEvents, e.now))
+		}
+		if len(e.queue) == 0 || e.queue[0].time > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,460 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("FIFO tie-break violated: order = %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(1234, func() { at = e.Now() })
+	e.Run()
+	if at != 1234 {
+		t.Fatalf("clock at event = %v, want 1234", at)
+	}
+	if e.Now() != 1234 {
+		t.Fatalf("final clock = %v, want 1234", e.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.At(100, func() {
+		e.After(50, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 1 || times[0] != 150 {
+		t.Fatalf("times = %v, want [150]", times)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	e.At(10, nil)
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(10, func() {})
+	e.Cancel(ev)
+	e.Cancel(ev) // must not panic
+	e.Cancel(nil)
+	e.Run()
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(10, func() {})
+	e.Run()
+	e.Cancel(ev) // must not panic
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	evs := make([]*Event, 0, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, e.At(Time(i*10), func() { order = append(order, i) }))
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	if len(order) != 8 {
+		t.Fatalf("got %d events, want 8: %v", len(order), order)
+	}
+	for _, v := range order {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, tt := range []Time{10, 20, 30, 40} {
+		tt := tt
+		e.At(tt, func() { fired = append(fired, tt) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10,20 only", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %v, want 25 (advanced to deadline)", e.Now())
+	}
+	// Remaining events still run afterwards.
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run, fired = %v, want all 4", fired)
+	}
+}
+
+func TestRunUntilInclusiveAtDeadline(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(25, func() { fired = true })
+	e.RunUntil(25)
+	if !fired {
+		t.Fatal("event at deadline did not fire")
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 100
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.After(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway loop did not trip MaxEvents")
+		}
+	}()
+	e.Run()
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			e.After(10, recurse)
+		}
+	}
+	e.At(0, recurse)
+	e.Run()
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if e.Now() != 40 {
+		t.Fatalf("Now() = %v, want 40", e.Now())
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 7 {
+		t.Fatalf("Processed() = %d, want 7", e.Processed())
+	}
+}
+
+// Property: for any set of non-negative event offsets, events fire in
+// non-decreasing time order and the final clock equals the max offset.
+func TestEventOrderingProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []Time
+		var maxT Time
+		for _, o := range offsets {
+			tt := Time(o)
+			if tt > maxT {
+				maxT = tt
+			}
+			e.At(tt, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Now() == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if Millisecond != Duration(time.Millisecond) {
+		t.Fatal("Millisecond mismatch with time package")
+	}
+	if d := Micros(2.5); d != 2500 {
+		t.Fatalf("Micros(2.5) = %d, want 2500", d)
+	}
+	if d := Millis(1.5); d != 1500000 {
+		t.Fatalf("Millis(1.5) = %d, want 1500000", d)
+	}
+	if d := Seconds(0.001); d != Millisecond {
+		t.Fatalf("Seconds(0.001) = %d, want 1ms", d)
+	}
+	if got := (3 * Millisecond).Millis(); got != 3 {
+		t.Fatalf("Millis() = %v, want 3", got)
+	}
+	if got := (1500 * Nanosecond).Micros(); got != 1.5 {
+		t.Fatalf("Micros() = %v, want 1.5", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Fatalf("Seconds() = %v, want 2", got)
+	}
+	if got := Time(5000).Sub(Time(2000)); got != 3000 {
+		t.Fatalf("Sub = %v, want 3000", got)
+	}
+	if got := Time(2000).Add(500); got != 2500 {
+		t.Fatalf("Add = %v, want 2500", got)
+	}
+	if FromStd(time.Microsecond) != Microsecond {
+		t.Fatal("FromStd mismatch")
+	}
+	if Microsecond.Std() != time.Microsecond {
+		t.Fatal("Std mismatch")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a2 := NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandSplitIndependence(t *testing.T) {
+	// Children with different labels should differ; same construction
+	// should be reproducible.
+	p1 := NewRand(7)
+	p2 := NewRand(7)
+	c1 := p1.Split("arrivals")
+	c2 := p2.Split("arrivals")
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("Split not reproducible")
+		}
+	}
+	d1 := NewRand(7).Split("arrivals")
+	d2 := NewRand(7).Split("jitter")
+	diff := false
+	for i := 0; i < 20; i++ {
+		if d1.Float64() != d2.Float64() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different labels produced identical streams")
+	}
+}
+
+func TestExpDurationNonNegativeAndMean(t *testing.T) {
+	r := NewRand(1)
+	var sum Duration
+	const n = 20000
+	mean := 10 * Millisecond
+	for i := 0; i < n; i++ {
+		d := r.ExpDuration(mean)
+		if d < 0 {
+			t.Fatal("negative exponential duration")
+		}
+		sum += d
+	}
+	got := float64(sum) / n
+	if got < 0.9*float64(mean) || got > 1.1*float64(mean) {
+		t.Fatalf("empirical mean %.0f, want ~%d", got, mean)
+	}
+}
+
+func TestUniformDurationBounds(t *testing.T) {
+	r := NewRand(2)
+	lo, hi := 5*Microsecond, 10*Microsecond
+	for i := 0; i < 1000; i++ {
+		d := r.UniformDuration(lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("uniform draw %v outside [%v,%v]", d, lo, hi)
+		}
+	}
+	if d := r.UniformDuration(hi, lo); d != hi {
+		t.Fatalf("degenerate range should return lo, got %v", d)
+	}
+}
+
+func TestNormDurationClampsAtZero(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 10000; i++ {
+		if d := r.NormDuration(Microsecond, 100*Microsecond); d < 0 {
+			t.Fatal("normal draw went negative")
+		}
+	}
+}
+
+func TestWeakEventsDoNotKeepRunAlive(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		e.AfterWeak(100, tick) // self-rearming monitor
+	}
+	e.AfterWeak(100, tick)
+	e.At(250, func() {}) // real work ends at 250
+	e.Run()
+	// The monitor fired at 100 and 200; with no strong work left, Run
+	// returned instead of spinning on the weak chain.
+	if ticks != 2 {
+		t.Fatalf("weak monitor fired %d times, want 2", ticks)
+	}
+	if e.Now() != 250 {
+		t.Fatalf("Now() = %v, want 250", e.Now())
+	}
+}
+
+func TestWeakOnlyQueueRunsNothing(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.AtWeak(10, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("weak event fired with no strong work at all")
+	}
+}
+
+func TestWeakEventsFireUnderRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.AtWeak(10, func() { fired++ })
+	e.AtWeak(20, func() { fired++ })
+	e.RunUntil(15)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (RunUntil drives weak events by time)", fired)
+	}
+}
+
+func TestCancelWeakEvent(t *testing.T) {
+	e := NewEngine()
+	ev := e.AtWeak(10, func() {})
+	e.Cancel(ev)
+	e.At(20, func() {})
+	e.Run() // must not panic or miscount strong events
+	if e.Now() != 20 {
+		t.Fatalf("Now() = %v, want 20", e.Now())
+	}
+}

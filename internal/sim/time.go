@@ -1,0 +1,65 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the GPU device model, the Orion scheduler, the baseline schedulers
+// and the workload clients run inside a single sim.Engine. Virtual time is
+// an int64 nanosecond counter; events are callbacks ordered by (time, seq)
+// so that runs are bit-for-bit reproducible.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is deliberately distinct from time.Time: simulated clocks
+// never consult the wall clock.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts freely
+// to and from time.Duration, which uses the same representation.
+type Duration int64
+
+// Convenient duration units, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Std converts a virtual duration to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// FromStd converts a time.Duration to a virtual Duration.
+func FromStd(d time.Duration) Duration { return Duration(d) }
+
+// Micros reports the duration as fractional microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Millis reports the duration as fractional milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds reports the duration as fractional seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros constructs a Duration from fractional microseconds.
+func Micros(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+// Millis constructs a Duration from fractional milliseconds.
+func Millis(ms float64) Duration { return Duration(ms * float64(Millisecond)) }
+
+// Seconds constructs a Duration from fractional seconds.
+func Seconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("t=%.3fms", float64(t)/float64(Millisecond))
+}
+
+func (d Duration) String() string { return d.Std().String() }

@@ -1,0 +1,179 @@
+// Package swap implements the layer-by-layer offloading extension the
+// paper plans in §5.1.3 (after vDNN [83] / PipeSwitch): when a best-effort
+// job's weights do not fit in the GPU memory left over by the
+// high-priority task, only a sliding window of its layers stays resident.
+// Before a layer's kernels run, its weights are prefetched host-to-device
+// on the client's own stream (so the copies order correctly with the
+// kernels); least-recently-used layers are evicted to make room.
+//
+// The manager wraps any sched.Client, so swapping composes with every
+// scheduling backend — under Orion, the injected prefetch copies flow
+// through the same interception path as all other memory operations.
+package swap
+
+import (
+	"fmt"
+
+	"orion/internal/gpu"
+	"orion/internal/kernels"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// Client wraps a backend client with a resident-layer window. It
+// implements sched.Client.
+type Client struct {
+	inner  sched.Client
+	model  *workload.Model
+	window int64 // resident weight budget in bytes
+
+	resident map[int]bool
+	lru      []int // least-recently-used order, oldest first
+	used     int64
+
+	opIndex   int // position within the current request's op stream
+	prefetchN uint64
+	evictN    uint64
+}
+
+// Wrap builds a swapping client over inner for the given device. window
+// is the resident weight budget; it must hold at least two layers (one
+// executing, one prefetching) and be below the model's full weights
+// (otherwise swapping is pointless — use the plain client).
+func Wrap(inner sched.Client, model *workload.Model, dev *gpu.Device, window int64) (*Client, error) {
+	if inner == nil || model == nil || dev == nil {
+		return nil, fmt.Errorf("swap: nil client, model or device")
+	}
+	if model.Kind != workload.Inference {
+		return nil, fmt.Errorf("swap: %s is a training job; layer swapping requires read-only weights (no write-back path)", model.ID())
+	}
+	lb := model.LayerBytes()
+	if lb <= 0 || model.Layers < 2 {
+		return nil, fmt.Errorf("swap: %s has no layer structure", model.ID())
+	}
+	if window < 2*lb {
+		return nil, fmt.Errorf("swap: window %d below two layers (%d)", window, 2*lb)
+	}
+	if window >= model.WeightsBytes {
+		return nil, fmt.Errorf("swap: window %d covers the whole model; swapping is unnecessary", window)
+	}
+	return &Client{
+		inner:    inner,
+		model:    model,
+		window:   window,
+		resident: map[int]bool{},
+	}, nil
+}
+
+// Stats reports how many layer prefetches and evictions happened.
+func (c *Client) Stats() (prefetches, evictions uint64) { return c.prefetchN, c.evictN }
+
+// ResidentBytes reports the weight bytes currently resident.
+func (c *Client) ResidentBytes() int64 { return c.used }
+
+// BeginRequest implements sched.Client.
+func (c *Client) BeginRequest() {
+	c.opIndex = 0
+	c.inner.BeginRequest()
+}
+
+// LaunchOverhead implements sched.Client.
+func (c *Client) LaunchOverhead() sim.Duration { return c.inner.LaunchOverhead() }
+
+// Submit implements sched.Client: weight allocations are replaced by the
+// window reservation, and kernels are preceded by their layer's prefetch
+// when it is not resident.
+func (c *Client) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
+	if op == nil {
+		return fmt.Errorf("swap: nil op")
+	}
+	// The driver's one-time weights allocation: allocate only the window;
+	// layers rotate through it.
+	if op.Op == kernels.OpMalloc && op.Bytes == c.model.WeightsBytes {
+		shrunk := *op
+		shrunk.Bytes = c.window
+		return c.inner.Submit(&shrunk, done)
+	}
+
+	if op.Op == kernels.OpKernel {
+		layer := c.model.LayerOf(c.indexOf(op))
+		if err := c.ensureResident(layer); err != nil {
+			return err
+		}
+	}
+	c.opIndex++
+	return c.inner.Submit(op, done)
+}
+
+// indexOf locates the op in the model stream; ops arrive in order, so the
+// running cursor is authoritative, but defensive lookup by ID keeps
+// replayed descriptors (which carry their op index as ID) correct.
+func (c *Client) indexOf(op *kernels.Descriptor) int {
+	if op.ID >= 0 && op.ID < len(c.model.Ops) {
+		return op.ID
+	}
+	return c.opIndex
+}
+
+// ensureResident prefetches the layer (and the next one, pipelining the
+// PCIe transfer behind the current layer's kernels) if absent, evicting
+// LRU layers as needed.
+func (c *Client) ensureResident(layer int) error {
+	for _, l := range []int{layer, (layer + 1) % c.model.Layers} {
+		if c.resident[l] {
+			c.touch(l)
+			continue
+		}
+		if err := c.fetch(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) fetch(layer int) error {
+	lb := c.model.LayerBytes()
+	for c.used+lb > c.window {
+		if len(c.lru) == 0 {
+			return fmt.Errorf("swap: window too small for layer %d", layer)
+		}
+		victim := c.lru[0]
+		c.lru = c.lru[:copy(c.lru, c.lru[1:])]
+		delete(c.resident, victim)
+		c.used -= lb
+		c.evictN++
+		// Weights are read-only: eviction frees the slot with no
+		// write-back transfer.
+	}
+	c.used += lb
+	c.resident[layer] = true
+	c.lru = append(c.lru, layer)
+	c.prefetchN++
+	// The prefetch flows through the wrapped client on the same stream,
+	// so the layer's kernels, submitted right after, order behind it.
+	desc := &kernels.Descriptor{
+		ID:   -1,
+		Name: fmt.Sprintf("swapin_layer%d", layer),
+		Op:   kernels.OpMemcpyH2D,
+		// Async copy: prefetches overlap compute, as in PipeSwitch.
+		Bytes: lb,
+	}
+	return c.inner.Submit(desc, nil)
+}
+
+// touch marks a layer most-recently-used.
+func (c *Client) touch(layer int) {
+	for i, l := range c.lru {
+		if l == layer {
+			copy(c.lru[i:], c.lru[i+1:])
+			c.lru[len(c.lru)-1] = layer
+			return
+		}
+	}
+}
+
+// EndRequest implements sched.Client.
+func (c *Client) EndRequest(cb func(sim.Time)) error {
+	return c.inner.EndRequest(cb)
+}

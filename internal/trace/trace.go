@@ -1,0 +1,188 @@
+// Package trace provides the request arrival processes used in the paper's
+// evaluation (§6.1): uniform and Poisson inter-arrival distributions at the
+// Azure-Functions-derived rates of Table 3, a synthetic bursty trace
+// standing in for the Apollo autonomous-driving inference trace from the
+// DISB benchmark, and replayable recorded traces.
+//
+// Training jobs submit requests in a closed loop; that behaviour lives in
+// the client driver, not here.
+package trace
+
+import (
+	"fmt"
+
+	"orion/internal/sim"
+)
+
+// Process produces successive inter-arrival gaps. Next reports ok=false
+// when a finite trace is exhausted.
+type Process interface {
+	Next() (gap sim.Duration, ok bool)
+}
+
+// poisson draws exponential inter-arrival times.
+type poisson struct {
+	mean sim.Duration
+	r    *sim.Rand
+}
+
+// NewPoisson returns a Poisson arrival process at the given requests per
+// second, representative of event-driven real-time DNN applications.
+func NewPoisson(rps float64, r *sim.Rand) (Process, error) {
+	if rps <= 0 {
+		return nil, fmt.Errorf("trace: non-positive rate %v", rps)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("trace: nil rand")
+	}
+	return &poisson{mean: sim.Seconds(1 / rps), r: r}, nil
+}
+
+func (p *poisson) Next() (sim.Duration, bool) {
+	return p.r.ExpDuration(p.mean), true
+}
+
+// uniform produces fixed-rate arrivals with a small jitter, representative
+// of sensor-driven applications (cameras in autonomous driving).
+type uniform struct {
+	period sim.Duration
+	jitter sim.Duration
+	r      *sim.Rand
+}
+
+// NewUniform returns a uniform arrival process at the given requests per
+// second. Inter-arrival times are uniform in [0.9, 1.1] periods.
+func NewUniform(rps float64, r *sim.Rand) (Process, error) {
+	if rps <= 0 {
+		return nil, fmt.Errorf("trace: non-positive rate %v", rps)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("trace: nil rand")
+	}
+	period := sim.Seconds(1 / rps)
+	return &uniform{period: period, jitter: period / 10, r: r}, nil
+}
+
+func (u *uniform) Next() (sim.Duration, bool) {
+	return u.r.UniformDuration(u.period-u.jitter, u.period+u.jitter), true
+}
+
+// apollo is a synthetic stand-in for the DISB Apollo object-detection
+// trace: alternating burst episodes (obstacle-dense scenes, ~2.5x the base
+// rate) and calm episodes (~0.4x), with uniform arrivals within each
+// episode. The long-run mean rate approximates the base rate.
+type apollo struct {
+	base      sim.Duration // base period
+	r         *sim.Rand
+	inBurst   bool
+	phaseLeft sim.Duration
+}
+
+// NewApollo returns the synthetic Apollo-like bursty process with the
+// given long-run mean requests per second.
+func NewApollo(meanRPS float64, r *sim.Rand) (Process, error) {
+	if meanRPS <= 0 {
+		return nil, fmt.Errorf("trace: non-positive rate %v", meanRPS)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("trace: nil rand")
+	}
+	return &apollo{base: sim.Seconds(1 / meanRPS), r: r}, nil
+}
+
+const (
+	apolloBurstFactor = 2.5
+	apolloCalmFactor  = 0.4
+)
+
+func (a *apollo) Next() (sim.Duration, bool) {
+	if a.phaseLeft <= 0 {
+		a.inBurst = !a.inBurst
+		if a.inBurst {
+			a.phaseLeft = a.r.UniformDuration(sim.Millis(400), sim.Millis(1200))
+		} else {
+			a.phaseLeft = a.r.UniformDuration(sim.Millis(700), sim.Millis(2100))
+		}
+	}
+	period := a.base
+	if a.inBurst {
+		period = sim.Duration(float64(a.base) / apolloBurstFactor)
+	} else {
+		period = sim.Duration(float64(a.base) / apolloCalmFactor)
+	}
+	gap := a.r.UniformDuration(period*9/10, period*11/10)
+	a.phaseLeft -= gap
+	return gap, true
+}
+
+// replay replays a recorded gap sequence once.
+type replay struct {
+	gaps []sim.Duration
+	i    int
+}
+
+// NewReplay returns a process that replays the given inter-arrival gaps
+// and then reports exhaustion.
+func NewReplay(gaps []sim.Duration) Process {
+	cp := make([]sim.Duration, len(gaps))
+	copy(cp, gaps)
+	return &replay{gaps: cp}
+}
+
+func (t *replay) Next() (sim.Duration, bool) {
+	if t.i >= len(t.gaps) {
+		return 0, false
+	}
+	g := t.gaps[t.i]
+	t.i++
+	return g, true
+}
+
+// Record materializes the first n gaps of a process, e.g. to replay the
+// same Apollo trace across baselines.
+func Record(p Process, n int) []sim.Duration {
+	out := make([]sim.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		g, ok := p.Next()
+		if !ok {
+			break
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Scenario selects a column of the paper's Table 3 rate table.
+type Scenario int
+
+const (
+	// InfInfUniform is the inf-inf best-effort uniform arrival column.
+	InfInfUniform Scenario = iota
+	// InfInfPoisson is the inf-inf Poisson arrival column.
+	InfInfPoisson
+	// InfTrainPoisson is the inf-train Poisson arrival column.
+	InfTrainPoisson
+)
+
+// table3 holds requests-per-second by model name, matching the paper's
+// Table 3 (rates derived from the Azure Functions trace's top-20
+// functions).
+var table3 = map[string][3]float64{
+	"resnet50":    {80, 50, 15},
+	"mobilenetv2": {100, 65, 40},
+	"resnet101":   {40, 25, 9},
+	"bert":        {8, 5, 4},
+	"transformer": {20, 12, 8},
+}
+
+// RPS returns the Table 3 request rate for a model under a scenario.
+func RPS(model string, s Scenario) (float64, error) {
+	row, ok := table3[model]
+	if !ok {
+		return 0, fmt.Errorf("trace: no Table 3 row for model %q", model)
+	}
+	if s < InfInfUniform || s > InfTrainPoisson {
+		return 0, fmt.Errorf("trace: unknown scenario %d", int(s))
+	}
+	return row[s], nil
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"orion/internal/sim"
+)
+
+func meanRate(t *testing.T, p Process, n int) float64 {
+	t.Helper()
+	var total sim.Duration
+	for i := 0; i < n; i++ {
+		g, ok := p.Next()
+		if !ok {
+			t.Fatalf("process exhausted at %d", i)
+		}
+		total += g
+	}
+	return float64(n) / total.Seconds()
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	p, err := NewPoisson(50, sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := meanRate(t, p, 20000)
+	if math.Abs(rate-50) > 2.5 {
+		t.Fatalf("Poisson empirical rate %.1f, want ~50", rate)
+	}
+}
+
+func TestPoissonVariability(t *testing.T) {
+	p, _ := NewPoisson(100, sim.NewRand(2))
+	var gaps []sim.Duration
+	for i := 0; i < 5000; i++ {
+		g, _ := p.Next()
+		gaps = append(gaps, g)
+	}
+	// Exponential: stddev ~= mean.
+	var sum, sum2 float64
+	for _, g := range gaps {
+		sum += float64(g)
+		sum2 += float64(g) * float64(g)
+	}
+	mean := sum / float64(len(gaps))
+	std := math.Sqrt(sum2/float64(len(gaps)) - mean*mean)
+	if std < 0.8*mean || std > 1.2*mean {
+		t.Fatalf("Poisson cv = %.2f, want ~1", std/mean)
+	}
+}
+
+func TestUniformMeanRateAndBounds(t *testing.T) {
+	p, err := NewUniform(80, sim.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := sim.Seconds(1.0 / 80)
+	for i := 0; i < 2000; i++ {
+		g, _ := p.Next()
+		if g < period*9/10 || g > period*11/10 {
+			t.Fatalf("uniform gap %v outside +-10%% of period %v", g, period)
+		}
+	}
+}
+
+func TestApolloMeanRateAndBurstiness(t *testing.T) {
+	p, err := NewApollo(30, sim.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := meanRate(t, p, 30000)
+	// Long-run mean should be in the vicinity of the base (burst/calm
+	// averaging is approximate by design).
+	if rate < 15 || rate > 60 {
+		t.Fatalf("Apollo empirical rate %.1f, want near 30", rate)
+	}
+	// Burstiness: the gap distribution must be strongly bimodal — the
+	// widest gaps at least 3x the narrowest.
+	p2, _ := NewApollo(30, sim.NewRand(4))
+	var lo, hi sim.Duration = 1 << 62, 0
+	for i := 0; i < 5000; i++ {
+		g, _ := p2.Next()
+		if g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	if float64(hi)/float64(lo) < 3 {
+		t.Fatalf("Apollo gaps not bursty: min %v max %v", lo, hi)
+	}
+}
+
+func TestApolloAlternatesPhases(t *testing.T) {
+	p, _ := NewApollo(30, sim.NewRand(5))
+	a := p.(*apollo)
+	sawBurst, sawCalm := false, false
+	for i := 0; i < 2000; i++ {
+		p.Next()
+		if a.inBurst {
+			sawBurst = true
+		} else {
+			sawCalm = true
+		}
+	}
+	if !sawBurst || !sawCalm {
+		t.Fatalf("phases not alternating: burst=%v calm=%v", sawBurst, sawCalm)
+	}
+}
+
+func TestReplayExhausts(t *testing.T) {
+	gaps := []sim.Duration{10, 20, 30}
+	p := NewReplay(gaps)
+	for i, want := range gaps {
+		g, ok := p.Next()
+		if !ok || g != want {
+			t.Fatalf("replay[%d] = %v,%v want %v,true", i, g, ok, want)
+		}
+	}
+	if _, ok := p.Next(); ok {
+		t.Fatal("exhausted replay still producing")
+	}
+}
+
+func TestReplayCopiesInput(t *testing.T) {
+	gaps := []sim.Duration{10, 20}
+	p := NewReplay(gaps)
+	gaps[0] = 999
+	g, _ := p.Next()
+	if g != 10 {
+		t.Fatal("replay aliases caller slice")
+	}
+}
+
+func TestRecordAndReplayIdentical(t *testing.T) {
+	p, _ := NewApollo(30, sim.NewRand(6))
+	rec := Record(p, 500)
+	if len(rec) != 500 {
+		t.Fatalf("recorded %d gaps", len(rec))
+	}
+	q, _ := NewApollo(30, sim.NewRand(6))
+	rep := NewReplay(Record(q, 500))
+	p2, _ := NewApollo(30, sim.NewRand(6))
+	for i := 0; i < 500; i++ {
+		a, _ := rep.Next()
+		b, _ := p2.Next()
+		if a != b {
+			t.Fatalf("replay diverges at %d", i)
+		}
+	}
+}
+
+func TestRecordStopsAtExhaustion(t *testing.T) {
+	p := NewReplay([]sim.Duration{1, 2})
+	rec := Record(p, 10)
+	if len(rec) != 2 {
+		t.Fatalf("Record returned %d gaps, want 2", len(rec))
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewPoisson(0, sim.NewRand(1)); err == nil {
+		t.Error("zero-rate Poisson accepted")
+	}
+	if _, err := NewPoisson(10, nil); err == nil {
+		t.Error("nil rand accepted")
+	}
+	if _, err := NewUniform(-5, sim.NewRand(1)); err == nil {
+		t.Error("negative-rate uniform accepted")
+	}
+	if _, err := NewUniform(5, nil); err == nil {
+		t.Error("nil rand accepted")
+	}
+	if _, err := NewApollo(0, sim.NewRand(1)); err == nil {
+		t.Error("zero-rate Apollo accepted")
+	}
+	if _, err := NewApollo(5, nil); err == nil {
+		t.Error("nil rand accepted")
+	}
+}
+
+func TestTable3Rates(t *testing.T) {
+	cases := []struct {
+		model string
+		s     Scenario
+		want  float64
+	}{
+		{"resnet50", InfInfUniform, 80},
+		{"resnet50", InfInfPoisson, 50},
+		{"resnet50", InfTrainPoisson, 15},
+		{"mobilenetv2", InfInfUniform, 100},
+		{"mobilenetv2", InfTrainPoisson, 40},
+		{"resnet101", InfInfPoisson, 25},
+		{"bert", InfInfUniform, 8},
+		{"bert", InfTrainPoisson, 4},
+		{"transformer", InfInfPoisson, 12},
+		{"transformer", InfTrainPoisson, 8},
+	}
+	for _, c := range cases {
+		got, err := RPS(c.model, c.s)
+		if err != nil {
+			t.Errorf("%s/%d: %v", c.model, c.s, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("RPS(%s,%d) = %v, want %v (Table 3)", c.model, c.s, got, c.want)
+		}
+	}
+	if _, err := RPS("nope", InfInfUniform); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := RPS("resnet50", Scenario(9)); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

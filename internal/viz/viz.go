@@ -1,0 +1,161 @@
+// Package viz renders experiment results as terminal charts: horizontal
+// bar charts for the paper's figure comparisons and braille-free block
+// sparklines for utilization time series. Pure text, deterministic,
+// suitable for golden tests.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one row of a horizontal bar chart.
+type Bar struct {
+	// Label names the row (scheme, variant, model).
+	Label string
+	// Value is the bar magnitude.
+	Value float64
+	// Annotation is printed after the value (e.g. "1.33x ideal").
+	Annotation string
+}
+
+// BarChart renders labelled horizontal bars scaled to width characters.
+// Negative values are clamped at zero. A nil or empty input renders an
+// empty string.
+func BarChart(title, unit string, width int, bars []Bar) string {
+	if len(bars) == 0 {
+		return ""
+	}
+	if width < 8 {
+		width = 8
+	}
+	maxV := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var out strings.Builder
+	if title != "" {
+		fmt.Fprintf(&out, "%s\n", title)
+	}
+	for _, b := range bars {
+		v := b.Value
+		if v < 0 {
+			v = 0
+		}
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		bar := strings.Repeat("#", n)
+		ann := b.Annotation
+		if ann != "" {
+			ann = "  " + ann
+		}
+		fmt.Fprintf(&out, "%-*s %-*s %.2f%s%s\n", labelW, b.Label, width, bar, b.Value, unit, ann)
+	}
+	return out.String()
+}
+
+// sparkLevels are the eighth-block characters used by Sparkline.
+var sparkLevels = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a one-line block graph scaled to
+// [0, max]. max <= 0 autoscales to the series maximum.
+func Sparkline(series []float64, max float64) string {
+	if len(series) == 0 {
+		return ""
+	}
+	if max <= 0 {
+		for _, v := range series {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	var out strings.Builder
+	for _, v := range series {
+		if v < 0 {
+			v = 0
+		}
+		idx := int(math.Round(v / max * float64(len(sparkLevels)-1)))
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		out.WriteRune(sparkLevels[idx])
+	}
+	return out.String()
+}
+
+// TimeSeries renders a labelled multi-row sparkline panel: one row per
+// series, sharing the scale, with min/max annotations — the shape of the
+// paper's utilization-over-time figures.
+type TimeSeries struct {
+	// Title heads the panel.
+	Title string
+	// XLabel describes the time axis (e.g. "2ms buckets over 160ms").
+	XLabel string
+	// Rows holds (name, series) pairs sharing one scale.
+	Rows []TimeSeriesRow
+	// Max fixes the scale top; <= 0 autoscales over all rows.
+	Max float64
+}
+
+// TimeSeriesRow is one named series.
+type TimeSeriesRow struct {
+	Name   string
+	Values []float64
+}
+
+// Render draws the panel.
+func (t *TimeSeries) Render() string {
+	if len(t.Rows) == 0 {
+		return ""
+	}
+	max := t.Max
+	if max <= 0 {
+		for _, r := range t.Rows {
+			for _, v := range r.Values {
+				if v > max {
+					max = v
+				}
+			}
+		}
+	}
+	nameW := 0
+	for _, r := range t.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	var out strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&out, "%s\n", t.Title)
+	}
+	for _, r := range t.Rows {
+		var avg float64
+		for _, v := range r.Values {
+			avg += v
+		}
+		if len(r.Values) > 0 {
+			avg /= float64(len(r.Values))
+		}
+		fmt.Fprintf(&out, "%-*s |%s| avg %.1f\n", nameW, r.Name, Sparkline(r.Values, max), avg)
+	}
+	if t.XLabel != "" {
+		fmt.Fprintf(&out, "%-*s  %s (scale 0..%.1f)\n", nameW, "", t.XLabel, max)
+	}
+	return out.String()
+}

@@ -1,0 +1,128 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	out := BarChart("latency", "ms", 20, []Bar{
+		{Label: "ideal", Value: 2.0},
+		{Label: "orion", Value: 3.0, Annotation: "1.5x"},
+		{Label: "temporal", Value: 20.0},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want title + 3 bars:\n%s", len(lines), out)
+	}
+	if lines[0] != "latency" {
+		t.Errorf("title line %q", lines[0])
+	}
+	// The max bar fills the width; smaller bars scale down.
+	if !strings.Contains(lines[3], strings.Repeat("#", 20)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if strings.Count(lines[1], "#") >= strings.Count(lines[3], "#") {
+		t.Errorf("smaller value drew a bigger bar:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "1.5x") {
+		t.Errorf("annotation missing:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "2.00ms") {
+		t.Errorf("value+unit missing:\n%s", out)
+	}
+}
+
+func TestBarChartEmptyAndClamps(t *testing.T) {
+	if BarChart("t", "", 10, nil) != "" {
+		t.Error("empty chart should render nothing")
+	}
+	out := BarChart("", "", 10, []Bar{{Label: "neg", Value: -5}, {Label: "pos", Value: 5}})
+	if strings.Contains(strings.Split(out, "\n")[0], "#") {
+		t.Errorf("negative bar drew:\n%s", out)
+	}
+	// Tiny positive values still show one mark.
+	out = BarChart("", "", 10, []Bar{{Label: "tiny", Value: 0.001}, {Label: "big", Value: 100}})
+	if !strings.Contains(strings.Split(out, "\n")[0], "#") {
+		t.Errorf("tiny positive bar invisible:\n%s", out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	out := BarChart("", "", 10, []Bar{{Label: "a", Value: 0}, {Label: "b", Value: 0}})
+	if strings.Contains(out, "#") {
+		t.Errorf("all-zero chart drew bars:\n%s", out)
+	}
+}
+
+func TestSparklineShape(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1.0}, 1.0)
+	if utf8.RuneCountInString(s) != 3 {
+		t.Fatalf("sparkline %q has wrong length", s)
+	}
+	runes := []rune(s)
+	if runes[0] != ' ' || runes[2] != '█' {
+		t.Errorf("sparkline endpoints wrong: %q", s)
+	}
+}
+
+func TestSparklineAutoscale(t *testing.T) {
+	s := Sparkline([]float64{10, 20, 40}, 0)
+	runes := []rune(s)
+	if runes[2] != '█' {
+		t.Errorf("autoscaled max should hit the top block: %q", s)
+	}
+	if Sparkline(nil, 0) != "" {
+		t.Error("empty series should render nothing")
+	}
+	if s := Sparkline([]float64{0, 0}, 0); utf8.RuneCountInString(s) != 2 {
+		t.Errorf("all-zero series mis-rendered: %q", s)
+	}
+}
+
+// Property: sparkline glyphs are monotone in the value.
+func TestSparklineMonotoneProperty(t *testing.T) {
+	rank := map[rune]int{}
+	for i, r := range sparkLevels {
+		rank[r] = i
+	}
+	f := func(a, b uint8) bool {
+		x, y := float64(a), float64(b)
+		s := []rune(Sparkline([]float64{x, y}, 255))
+		if x <= y {
+			return rank[s[0]] <= rank[s[1]]
+		}
+		return rank[s[0]] >= rank[s[1]]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeriesPanel(t *testing.T) {
+	p := TimeSeries{
+		Title:  "compute utilization",
+		XLabel: "5ms buckets",
+		Rows: []TimeSeriesRow{
+			{Name: "alone", Values: []float64{0.1, 0.0, 0.1}},
+			{Name: "collocated", Values: []float64{0.4, 0.4, 0.4}},
+		},
+	}
+	out := p.Render()
+	if !strings.Contains(out, "compute utilization") ||
+		!strings.Contains(out, "alone") || !strings.Contains(out, "collocated") {
+		t.Fatalf("panel missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "avg 0.4") {
+		t.Errorf("average missing:\n%s", out)
+	}
+	if !strings.Contains(out, "scale 0..0.4") {
+		t.Errorf("scale annotation missing:\n%s", out)
+	}
+	empty := TimeSeries{}
+	if empty.Render() != "" {
+		t.Error("empty panel should render nothing")
+	}
+}

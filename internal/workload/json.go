@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+// The JSON form lets users bring their own kernel traces: profile a real
+// application (e.g. with Nsight Systems + Nsight Compute, the paper's
+// §5.2 flow), convert the per-kernel rows into this schema, and schedule
+// the workload with any backend in this repository.
+
+// jsonModel is the serialized form of a Model.
+type jsonModel struct {
+	Name           string               `json:"name"`
+	Kind           string               `json:"kind"` // "inf" or "train"
+	Batch          int                  `json:"batch"`
+	WeightsBytes   int64                `json:"weights_bytes"`
+	TargetDuration sim.Duration         `json:"target_duration_ns"`
+	PhaseBoundary  int                  `json:"phase_boundary,omitempty"`
+	Layers         int                  `json:"layers,omitempty"`
+	Ops            []kernels.Descriptor `json:"ops"`
+}
+
+// WriteJSON serializes the model.
+func (m *Model) WriteJSON(w io.Writer) error {
+	out := jsonModel{
+		Name:           m.Name,
+		Kind:           m.Kind.String(),
+		Batch:          m.Batch,
+		WeightsBytes:   m.WeightsBytes,
+		TargetDuration: m.TargetDuration,
+		PhaseBoundary:  m.PhaseBoundary,
+		Layers:         m.Layers,
+	}
+	out.Ops = m.Ops
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// ReadJSON loads and validates a model written by WriteJSON (or authored
+// by hand from an external profile).
+func ReadJSON(r io.Reader) (*Model, error) {
+	var in jsonModel
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	m := &Model{
+		Name:           in.Name,
+		Batch:          in.Batch,
+		WeightsBytes:   in.WeightsBytes,
+		TargetDuration: in.TargetDuration,
+		PhaseBoundary:  in.PhaseBoundary,
+		Layers:         in.Layers,
+	}
+	switch in.Kind {
+	case "inf", "":
+		m.Kind = Inference
+	case "train":
+		m.Kind = Training
+	default:
+		return nil, fmt.Errorf("workload: unknown kind %q", in.Kind)
+	}
+	if m.Name == "" {
+		return nil, fmt.Errorf("workload: model without name")
+	}
+	m.Ops = in.Ops
+	// Normalize op IDs to stream positions, which the schedulers key
+	// profiles by.
+	for i := range m.Ops {
+		m.Ops[i].ID = i
+	}
+	if m.Layers == 0 {
+		m.Layers = len(m.Ops) / 12
+		if m.Layers < 1 {
+			m.Layers = 1
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"orion/internal/kernels"
+)
+
+func TestJSONRoundTripModel(t *testing.T) {
+	m := ResNet50Training()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != m.ID() || got.Batch != m.Batch || got.WeightsBytes != m.WeightsBytes {
+		t.Fatalf("header mismatch: %s/%d/%d", got.ID(), got.Batch, got.WeightsBytes)
+	}
+	if got.PhaseBoundary != m.PhaseBoundary || got.Layers != m.Layers {
+		t.Fatalf("structure mismatch: %d/%d vs %d/%d",
+			got.PhaseBoundary, got.Layers, m.PhaseBoundary, m.Layers)
+	}
+	if len(got.Ops) != len(m.Ops) {
+		t.Fatalf("%d ops, want %d", len(got.Ops), len(m.Ops))
+	}
+	for i := range m.Ops {
+		if got.Ops[i] != m.Ops[i] {
+			t.Fatalf("op %d mismatch:\n%+v\n%+v", i, got.Ops[i], m.Ops[i])
+		}
+	}
+}
+
+func TestJSONOpsAreStrings(t *testing.T) {
+	m := ResNet50Inference()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"op": "kernel"`) || !strings.Contains(s, `"op": "memcpyH2D"`) {
+		t.Error("ops not serialized as readable names")
+	}
+	if !strings.Contains(s, `"kind": "inf"`) {
+		t.Error("kind not serialized as name")
+	}
+}
+
+func TestReadJSONHandAuthored(t *testing.T) {
+	src := `{
+	  "name": "custom", "kind": "inf", "batch": 1,
+	  "weights_bytes": 1048576, "target_duration_ns": 300000,
+	  "ops": [
+	    {"name": "in", "op": "memcpyH2D", "bytes": 4096, "sync": true},
+	    {"name": "gemm", "op": "kernel",
+	     "launch": {"Blocks": 64, "ThreadsPerBlock": 256, "RegsPerThread": 64},
+	     "duration_ns": 250000, "compute_util": 0.8, "membw_util": 0.2},
+	    {"name": "out", "op": "memcpyD2H", "bytes": 128}
+	  ]
+	}`
+	m, err := ReadJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID() != "custom-inf" || len(m.Ops) != 3 {
+		t.Fatalf("loaded %s with %d ops", m.ID(), len(m.Ops))
+	}
+	// IDs normalized to stream positions; layers defaulted.
+	for i := range m.Ops {
+		if m.Ops[i].ID != i {
+			t.Fatalf("op %d has ID %d", i, m.Ops[i].ID)
+		}
+	}
+	if m.Layers < 1 {
+		t.Fatal("layers not defaulted")
+	}
+	if m.Ops[1].Profile() != kernels.ProfileCompute {
+		t.Fatal("hand-authored kernel misclassified")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name": "", "batch": 1, "weights_bytes": 1, "ops": [{"name":"k","op":"kernel","launch":{"Blocks":1,"ThreadsPerBlock":1},"duration_ns":1}]}`,
+		`{"name": "x", "kind": "nope", "batch": 1, "weights_bytes": 1, "ops": []}`,
+		`{"name": "x", "batch": 1, "weights_bytes": 1, "ops": []}`,
+		`{"name": "x", "batch": 1, "weights_bytes": 1, "ops": [{"name":"bad","op":"teleport"}]}`,
+		`{"name": "x", "batch": 1, "weights_bytes": 1, "ops": [{"name":"k","op":"kernel","launch":{"Blocks":0,"ThreadsPerBlock":1},"duration_ns":1}]}`,
+	}
+	for i, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestProfileJSONNames(t *testing.T) {
+	var p kernels.Profile
+	if err := p.UnmarshalJSON([]byte(`"memory"`)); err != nil || p != kernels.ProfileMemory {
+		t.Fatalf("profile name decode: %v %v", p, err)
+	}
+	if err := p.UnmarshalJSON([]byte(`2`)); err != nil || p != kernels.ProfileMemory {
+		t.Fatalf("profile int decode: %v %v", p, err)
+	}
+	if err := p.UnmarshalJSON([]byte(`"hot"`)); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+}

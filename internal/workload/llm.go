@@ -1,0 +1,35 @@
+package workload
+
+import "orion/internal/sim"
+
+// LLMInference returns a large-language-model inference workload — the §7
+// extension of the paper. One request is a generation: a compute-bound
+// prefill phase (prompt processing, large GEMMs saturating the device)
+// followed by a sequential, memory-bandwidth-bound token-generation phase
+// (per-token GEMVs streaming the full weight matrix, underutilizing
+// compute throughput and SMs — the property prior work [55, 60] observes
+// and the paper proposes exploiting by collocating LLM inference with
+// computationally intensive workloads).
+//
+// The model is sized like a ~6B-parameter fp16 model on a V100-16GB:
+// weights plus KV cache occupy ~75% of device memory, leaving room only
+// for small collocation partners — the limited-sharing regime §3 notes.
+func LLMInference() *Model {
+	return recipe{
+		name: "llm", kind: Inference, batch: 1,
+		// Prefill ~30ms + 8 tokens x ~14ms of bandwidth-bound decode.
+		total:   sim.Millis(140.0),
+		weights: memFrac(0.75),
+		inputB:  2048 * 4, // prompt token ids
+		outputB: 8 * 4,    // generated token ids
+		classes: []class{
+			// Prompt prefill: device-filling multi-wave GEMMs.
+			{"prefill_gemm", 0.20, 0.85, 0.30, 80, 3, sim.Micros(350)},
+			// Token generation: weight-streaming GEMVs, memory-bound,
+			// leaving compute units and SMs idle.
+			{"decode_gemv", 0.70, 0.12, 0.78, 44, 1, sim.Micros(110)},
+			// Sampling, layernorm, KV-cache bookkeeping.
+			{"decode_misc", 0.10, 0.06, 0.18, 8, 1, sim.Micros(30)},
+		},
+	}.build()
+}

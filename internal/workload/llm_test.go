@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+func TestLLMInferenceValidates(t *testing.T) {
+	m := LLMInference()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ID() != "llm-inf" {
+		t.Fatalf("ID = %s", m.ID())
+	}
+}
+
+func TestLLMIsMemoryHeavy(t *testing.T) {
+	m := LLMInference()
+	// ~75% of a 16GB device: the large-weights regime of §3/§7.
+	frac := float64(m.WeightsBytes) / float64(16<<30)
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("weights fraction %.2f, want ~0.75", frac)
+	}
+}
+
+func TestLLMDecodePhaseIsMemoryBound(t *testing.T) {
+	m := LLMInference()
+	var total, mem sim.Duration
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		if op.Op != kernels.OpKernel {
+			continue
+		}
+		total += op.Duration
+		if op.Profile() == kernels.ProfileMemory {
+			mem += op.Duration
+		}
+	}
+	// The token-generation phase dominates and is memory-bound.
+	if float64(mem)/float64(total) < 0.6 {
+		t.Fatalf("memory-bound kernel time fraction %.2f, want > 0.6", float64(mem)/float64(total))
+	}
+}
+
+func TestLLMComputeUnderutilized(t *testing.T) {
+	m := LLMInference()
+	var total, c float64
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		if op.Op != kernels.OpKernel {
+			continue
+		}
+		d := float64(op.Duration)
+		total += d
+		c += op.ComputeUtil * d
+	}
+	// Average compute throughput well below 50%: the collocation
+	// opportunity §7 identifies.
+	if c/total > 0.40 {
+		t.Fatalf("avg compute %.2f, want < 0.40 (decode underutilizes compute)", c/total)
+	}
+}
+
+func TestLLMHasPrefillComputePhase(t *testing.T) {
+	m := LLMInference()
+	compute := 0
+	for i := range m.Ops {
+		if m.Ops[i].Op == kernels.OpKernel && m.Ops[i].Profile() == kernels.ProfileCompute {
+			compute++
+		}
+	}
+	if compute == 0 {
+		t.Fatal("no compute-bound prefill kernels")
+	}
+}
+
+func TestLLMDoesNotFitWithTrainingJobs(t *testing.T) {
+	// The §7 observation: LLM weights leave no room for a training
+	// partner on a 16GB device — collocation partners must be small.
+	llm := LLMInference()
+	train := ResNet50Training()
+	if llm.WeightsBytes+train.WeightsBytes <= 16<<30 {
+		t.Fatal("LLM + training unexpectedly fit; the memory-pressure scenario is gone")
+	}
+	inf := BERTInference()
+	if llm.WeightsBytes+inf.WeightsBytes > 16<<30 {
+		t.Fatal("LLM + BERT inference should fit")
+	}
+}

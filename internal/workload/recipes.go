@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"orion/internal/sim"
+)
+
+// The recipes below are calibrated against the paper's measurements:
+//
+//   - dedicated request latency / iteration time: Table 4 (training
+//     iterations/sec) and the sustainable rates implied by Table 3;
+//   - time-weighted average utilization: Table 1 (SM busy, compute
+//     throughput, memory bandwidth, memory capacity on a V100-16GB);
+//   - kernel count and duration ranges: §3.1/Figure 4 (inference kernels
+//     run 10s-100s of µs, training kernels 100s-1000s of µs; vision models
+//     mix compute-bound convolutions with memory-bound normalization and
+//     elementwise kernels; NLP models are GEMM-dominated; optimizer-update
+//     kernels are tiny with "unknown" roofline profiles).
+//
+// Class shares are chosen so that sum(share*compute) ≈ Table 1 compute
+// throughput, sum(share*membw) ≈ memory bandwidth, and
+// sum(share*sms)/80 ≈ SM-busy — see the calibration test.
+
+const gb = int64(1) << 30
+
+// memFrac converts a Table 1 memory-capacity fraction into bytes on the
+// paper's 16 GB V100.
+func memFrac(frac float64) int64 {
+	return int64(frac * 16 * float64(gb))
+}
+
+// ResNet50Inference returns the ResNet50 inference workload (batch 4).
+func ResNet50Inference() *Model {
+	return recipe{
+		name: "resnet50", kind: Inference, batch: 4,
+		total:   sim.Millis(2.0),
+		weights: memFrac(0.09),
+		inputB:  4 * 3 * 224 * 224 * 4,
+		outputB: 4 * 1000 * 4,
+		classes: []class{
+			{"conv2d", 0.42, 0.62, 0.18, 28, 1, sim.Micros(25)},
+			{"bn2d", 0.22, 0.10, 0.62, 18, 1, sim.Micros(18)},
+			{"elemwise", 0.36, 0.05, 0.08, 4, 1, sim.Micros(10)},
+		},
+	}.build()
+}
+
+// MobileNetV2Inference returns the MobileNetV2 inference workload (batch 4).
+func MobileNetV2Inference() *Model {
+	return recipe{
+		name: "mobilenetv2", kind: Inference, batch: 4,
+		total:   sim.Millis(1.2),
+		weights: memFrac(0.07),
+		inputB:  4 * 3 * 224 * 224 * 4,
+		outputB: 4 * 1000 * 4,
+		classes: []class{
+			{"conv_pw", 0.22, 0.62, 0.20, 8, 1, sim.Micros(12)},
+			{"conv_dw", 0.21, 0.10, 0.65, 5, 1, sim.Micros(9)},
+			{"elemwise", 0.57, 0.04, 0.08, 2, 1, sim.Micros(6)},
+		},
+	}.build()
+}
+
+// ResNet101Inference returns the ResNet101 inference workload (batch 4).
+func ResNet101Inference() *Model {
+	return recipe{
+		name: "resnet101", kind: Inference, batch: 4,
+		total:   sim.Millis(3.5),
+		weights: memFrac(0.09),
+		inputB:  4 * 3 * 224 * 224 * 4,
+		outputB: 4 * 1000 * 4,
+		classes: []class{
+			{"conv2d", 0.28, 0.62, 0.22, 30, 1, sim.Micros(28)},
+			{"bn2d", 0.43, 0.12, 0.68, 22, 1, sim.Micros(18)},
+			{"elemwise", 0.29, 0.05, 0.10, 5, 1, sim.Micros(10)},
+		},
+	}.build()
+}
+
+// BERTInference returns the BERT-large inference workload (batch 2).
+func BERTInference() *Model {
+	return recipe{
+		name: "bert", kind: Inference, batch: 2,
+		total:   sim.Millis(28.0),
+		weights: memFrac(0.14),
+		inputB:  2 * 384 * 4,
+		outputB: 2 * 384 * 4,
+		classes: []class{
+			{"gemm", 0.78, 0.88, 0.26, 80, 3, sim.Micros(200)},
+			{"softmax_ln", 0.08, 0.25, 0.68, 76, 1, sim.Micros(130)},
+			{"elemwise", 0.14, 0.10, 0.20, 60, 1, sim.Micros(70)},
+		},
+	}.build()
+}
+
+// TransformerInference returns the Transformer-XL inference workload
+// (batch 4).
+func TransformerInference() *Model {
+	return recipe{
+		name: "transformer", kind: Inference, batch: 4,
+		total:   sim.Millis(9.0),
+		weights: memFrac(0.10),
+		inputB:  4 * 512 * 4,
+		outputB: 4 * 512 * 4,
+		classes: []class{
+			{"gemm", 0.60, 0.80, 0.25, 56, 1, sim.Micros(90)},
+			{"softmax_ln", 0.21, 0.15, 0.65, 44, 1, sim.Micros(60)},
+			{"elemwise", 0.19, 0.05, 0.15, 10, 1, sim.Micros(30)},
+		},
+	}.build()
+}
+
+// ResNet50Training returns the ResNet50 training workload (batch 32).
+func ResNet50Training() *Model {
+	return recipe{
+		name: "resnet50", kind: Training, batch: 32,
+		total:   sim.Millis(97.0), // 10.3 iterations/sec dedicated (Table 4)
+		weights: memFrac(0.32),
+		inputB:  32 * 3 * 224 * 224 * 4,
+		classes: []class{
+			{"conv_fwd_bwd", 0.56, 0.72, 0.40, 80, 6, sim.Micros(450)},
+			{"bn_elemwise", 0.34, 0.12, 0.64, 56, 1, sim.Micros(90)},
+			{"update", 0.10, 0.08, 0.28, 12, 1, sim.Micros(40)},
+		},
+	}.build()
+}
+
+// MobileNetV2Training returns the MobileNetV2 training workload (batch 64).
+func MobileNetV2Training() *Model {
+	return recipe{
+		name: "mobilenetv2", kind: Training, batch: 64,
+		total:   sim.Millis(80.0), // 12.5 iterations/sec dedicated
+		weights: memFrac(0.43),
+		inputB:  64 * 3 * 224 * 224 * 4,
+		classes: []class{
+			{"conv_fwd_bwd", 0.42, 0.62, 0.42, 80, 4, sim.Micros(300)},
+			{"bn_elemwise", 0.46, 0.14, 0.66, 56, 1, sim.Micros(80)},
+			{"update", 0.12, 0.06, 0.25, 10, 1, sim.Micros(35)},
+		},
+	}.build()
+}
+
+// ResNet101Training returns the ResNet101 training workload (batch 32).
+func ResNet101Training() *Model {
+	return recipe{
+		name: "resnet101", kind: Training, batch: 32,
+		total:   sim.Millis(159.0), // 6.3 iterations/sec dedicated
+		weights: memFrac(0.39),
+		inputB:  32 * 3 * 224 * 224 * 4,
+		classes: []class{
+			{"conv_fwd_bwd", 0.60, 0.72, 0.38, 80, 7, sim.Micros(500)},
+			{"bn_elemwise", 0.31, 0.12, 0.62, 56, 1, sim.Micros(90)},
+			{"update", 0.09, 0.08, 0.28, 14, 1, sim.Micros(45)},
+		},
+	}.build()
+}
+
+// BERTTraining returns the BERT-basic training workload (batch 8).
+func BERTTraining() *Model {
+	return recipe{
+		name: "bert", kind: Training, batch: 8,
+		total:   sim.Millis(204.0), // 4.91 iterations/sec dedicated
+		weights: memFrac(0.38),
+		inputB:  8 * 384 * 4,
+		classes: []class{
+			{"gemm_fwd_bwd", 0.60, 0.66, 0.20, 64, 1, sim.Micros(130)},
+			{"softmax_ln", 0.06, 0.12, 0.62, 40, 1, sim.Micros(90)},
+			{"update", 0.34, 0.08, 0.15, 20, 1, sim.Micros(150)},
+		},
+	}.build()
+}
+
+// TransformerTraining returns the Transformer training workload (batch 8).
+func TransformerTraining() *Model {
+	return recipe{
+		name: "transformer", kind: Training, batch: 8,
+		total:   sim.Millis(167.0), // 6 iterations/sec dedicated
+		weights: memFrac(0.53),
+		inputB:  8 * 512 * 4,
+		classes: []class{
+			{"gemm_fwd_bwd", 0.45, 0.60, 0.26, 52, 1, sim.Micros(130)},
+			{"softmax_ln", 0.18, 0.12, 0.64, 36, 1, sim.Micros(90)},
+			{"update", 0.37, 0.06, 0.18, 24, 1, sim.Micros(150)},
+		},
+	}.build()
+}
+
+// Catalog lists every workload variant the paper evaluates.
+func Catalog() []*Model {
+	return []*Model{
+		ResNet50Inference(), MobileNetV2Inference(), ResNet101Inference(),
+		BERTInference(), TransformerInference(),
+		ResNet50Training(), MobileNetV2Training(), ResNet101Training(),
+		BERTTraining(), TransformerTraining(),
+	}
+}
+
+// VisionInference lists the three vision inference workloads used in the
+// inf-inf experiments (Figures 11-12).
+func VisionInference() []*Model {
+	return []*Model{ResNet50Inference(), MobileNetV2Inference(), ResNet101Inference()}
+}
+
+// InferenceModels lists all five inference workloads.
+func InferenceModels() []*Model {
+	return []*Model{
+		ResNet50Inference(), MobileNetV2Inference(), ResNet101Inference(),
+		BERTInference(), TransformerInference(),
+	}
+}
+
+// TrainingModels lists all five training workloads.
+func TrainingModels() []*Model {
+	return []*Model{
+		ResNet50Training(), MobileNetV2Training(), ResNet101Training(),
+		BERTTraining(), TransformerTraining(),
+	}
+}
+
+// Extensions lists workloads beyond the paper's Table 1 set (the §7
+// large-language-model scenario).
+func Extensions() []*Model {
+	return []*Model{LLMInference()}
+}
+
+// ByID returns the workload with the given "<name>-<kind>" identifier,
+// searching the Table 1 catalog and the extension set.
+func ByID(id string) (*Model, error) {
+	all := append(Catalog(), Extensions()...)
+	for _, m := range all {
+		if m.ID() == id {
+			return m, nil
+		}
+	}
+	ids := make([]string, 0, len(all))
+	for _, m := range all {
+		ids = append(ids, m.ID())
+	}
+	sort.Strings(ids)
+	return nil, fmt.Errorf("workload: unknown id %q (have %v)", id, ids)
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+// Batch-scaling exponents. Durations grow sublinearly with batch size
+// (larger batches improve parallel efficiency until the device saturates);
+// roughly half of a job's footprint is activations, which scale with the
+// batch, while weights do not.
+const (
+	durationBatchExponent = 0.9
+	activationShare       = 0.5
+)
+
+// WithBatch returns a copy of the model rescaled to a new batch size:
+//
+//   - kernel durations scale by (new/old)^0.9;
+//   - grid sizes (and so SM footprints) scale linearly, re-quantized to
+//     whole blocks;
+//   - input/output transfer sizes scale linearly;
+//   - resident memory scales on its activation share only.
+//
+// The result carries the same kernel IDs and layer structure, so offline
+// profiles must be re-collected for the new batch (as the paper's
+// profiling phase would).
+func (m *Model) WithBatch(batch int) (*Model, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("workload: batch %d", batch)
+	}
+	if m.Batch <= 0 {
+		return nil, fmt.Errorf("workload %s: model has no base batch", m.ID())
+	}
+	if batch == m.Batch {
+		cp := *m
+		cp.Ops = append([]kernels.Descriptor(nil), m.Ops...)
+		return &cp, nil
+	}
+	ratio := float64(batch) / float64(m.Batch)
+	durScale := math.Pow(ratio, durationBatchExponent)
+
+	out := *m
+	out.Batch = batch
+	out.WeightsBytes = int64(float64(m.WeightsBytes) * ((1 - activationShare) + activationShare*ratio))
+	out.TargetDuration = sim.Duration(float64(m.TargetDuration) * durScale)
+	out.Ops = make([]kernels.Descriptor, len(m.Ops))
+	for i, op := range m.Ops {
+		switch op.Op {
+		case kernels.OpKernel:
+			op.Duration = sim.Duration(float64(op.Duration) * durScale)
+			if op.Duration < sim.Microsecond {
+				op.Duration = sim.Microsecond
+			}
+			blocks := int(math.Ceil(float64(op.Launch.Blocks) * ratio))
+			if blocks < 1 {
+				blocks = 1
+			}
+			op.Launch.Blocks = blocks
+		case kernels.OpMemcpyH2D, kernels.OpMemcpyD2H, kernels.OpMemcpyD2D, kernels.OpMemset:
+			b := int64(float64(op.Bytes) * ratio)
+			if b < 1 {
+				b = 1
+			}
+			op.Bytes = b
+		}
+		out.Ops[i] = op
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: scaling %s to batch %d: %w", m.ID(), batch, err)
+	}
+	return &out, nil
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"orion/internal/kernels"
+)
+
+func TestWithBatchValidation(t *testing.T) {
+	m := MobileNetV2Training()
+	if _, err := m.WithBatch(0); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := m.WithBatch(-4); err == nil {
+		t.Error("negative batch accepted")
+	}
+	noBase := &Model{Name: "x", Ops: m.Ops, WeightsBytes: 1}
+	if _, err := noBase.WithBatch(8); err == nil {
+		t.Error("model without base batch accepted")
+	}
+}
+
+func TestWithBatchSameBatchIsCopy(t *testing.T) {
+	m := ResNet50Inference()
+	cp, err := m.WithBatch(m.Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == m {
+		t.Fatal("same pointer returned")
+	}
+	cp.Ops[0].Bytes = 42
+	if m.Ops[0].Bytes == 42 {
+		t.Fatal("ops aliased")
+	}
+}
+
+// The paper's Figure 1 runs MobileNetV2 training at batch 96; our recipe
+// is calibrated at 64.
+func TestWithBatch96MobileNet(t *testing.T) {
+	base := MobileNetV2Training()
+	scaled, err := base.WithBatch(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Batch != 96 {
+		t.Fatalf("batch = %d", scaled.Batch)
+	}
+	ratio := 96.0 / 64.0
+	wantDur := float64(base.TotalKernelTime()) * math.Pow(ratio, durationBatchExponent)
+	got := float64(scaled.TotalKernelTime())
+	if math.Abs(got-wantDur)/wantDur > 0.02 {
+		t.Errorf("scaled kernel time %.1fms, want %.1fms", got/1e6, wantDur/1e6)
+	}
+	// Memory grows on the activation share only.
+	if scaled.WeightsBytes <= base.WeightsBytes {
+		t.Error("memory did not grow")
+	}
+	if scaled.WeightsBytes >= int64(float64(base.WeightsBytes)*ratio) {
+		t.Error("memory grew fully linearly; weights should not scale")
+	}
+	if err := scaled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithBatchShrinks(t *testing.T) {
+	base := ResNet50Training() // batch 32
+	small, err := base.WithBatch(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.TotalKernelTime() >= base.TotalKernelTime() {
+		t.Error("smaller batch not faster")
+	}
+	for i := range small.Ops {
+		if small.Ops[i].Op == kernels.OpKernel && small.Ops[i].Launch.Blocks < 1 {
+			t.Fatal("kernel lost all blocks")
+		}
+	}
+}
+
+func TestWithBatchScalesTransfers(t *testing.T) {
+	base := ResNet50Inference() // batch 4
+	big, err := base.WithBatch(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Ops[0].Op != kernels.OpMemcpyH2D {
+		t.Fatal("first op not the input copy")
+	}
+	if big.Ops[0].Bytes != base.Ops[0].Bytes*2 {
+		t.Errorf("input bytes %d, want %d", big.Ops[0].Bytes, base.Ops[0].Bytes*2)
+	}
+}
+
+// Property: scaling preserves op count, kind sequence and IDs; durations
+// and block counts are monotone in the batch.
+func TestWithBatchMonotoneProperty(t *testing.T) {
+	base := TransformerInference()
+	f := func(b1, b2 uint8) bool {
+		n1, n2 := int(b1%32)+1, int(b2%32)+1
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		s1, err1 := base.WithBatch(n1)
+		s2, err2 := base.WithBatch(n2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(s1.Ops) != len(base.Ops) || len(s2.Ops) != len(base.Ops) {
+			return false
+		}
+		for i := range base.Ops {
+			if s1.Ops[i].Op != base.Ops[i].Op || s1.Ops[i].ID != base.Ops[i].ID {
+				return false
+			}
+			if base.Ops[i].Op == kernels.OpKernel {
+				if n1 != n2 && s1.Ops[i].Duration > s2.Ops[i].Duration {
+					return false
+				}
+				if s1.Ops[i].Launch.Blocks > s2.Ops[i].Launch.Blocks {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

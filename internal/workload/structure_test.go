@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayerStructure(t *testing.T) {
+	for _, m := range append(Catalog(), Extensions()...) {
+		if m.Layers < 8 || m.Layers > 48 {
+			t.Errorf("%s: %d layers, want 8..48", m.ID(), m.Layers)
+		}
+		if m.LayerBytes() <= 0 {
+			t.Errorf("%s: non-positive layer bytes", m.ID())
+		}
+		if m.LayerBytes()*int64(m.Layers) > m.WeightsBytes {
+			t.Errorf("%s: layers exceed total weights", m.ID())
+		}
+	}
+}
+
+func TestLayerOfMonotoneAndBounded(t *testing.T) {
+	m := ResNet50Training()
+	prev := 0
+	seen := map[int]bool{}
+	for i := range m.Ops {
+		l := m.LayerOf(i)
+		if l < 0 || l >= m.Layers {
+			t.Fatalf("op %d: layer %d out of range", i, l)
+		}
+		if l < prev {
+			t.Fatalf("op %d: layer %d < previous %d (must walk forward)", i, l, prev)
+		}
+		prev = l
+		seen[l] = true
+	}
+	if len(seen) != m.Layers {
+		t.Fatalf("only %d of %d layers referenced", len(seen), m.Layers)
+	}
+}
+
+func TestLayerOfEdgeCases(t *testing.T) {
+	m := ResNet50Inference()
+	if m.LayerOf(-5) != 0 {
+		t.Error("negative index should map to layer 0")
+	}
+	if got := m.LayerOf(len(m.Ops) + 100); got != m.Layers-1 {
+		t.Errorf("overflow index maps to %d, want last layer %d", got, m.Layers-1)
+	}
+	empty := &Model{Layers: 0, WeightsBytes: 100}
+	if empty.LayerOf(3) != 0 {
+		t.Error("layerless model should map to 0")
+	}
+	if empty.LayerBytes() != 100 {
+		t.Error("layerless model LayerBytes should be the whole footprint")
+	}
+}
+
+func TestLayerOfProperty(t *testing.T) {
+	m := BERTTraining()
+	f := func(a, b uint16) bool {
+		i, j := int(a)%len(m.Ops), int(b)%len(m.Ops)
+		if i > j {
+			i, j = j, i
+		}
+		return m.LayerOf(i) <= m.LayerOf(j)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseBoundaryOnTraining(t *testing.T) {
+	for _, m := range TrainingModels() {
+		if m.PhaseBoundary <= 0 || m.PhaseBoundary >= len(m.Ops) {
+			t.Errorf("%s: phase boundary %d outside (0,%d)", m.ID(), m.PhaseBoundary, len(m.Ops))
+			continue
+		}
+		// The forward pass holds roughly 38% of kernel time.
+		var fwd, total float64
+		for i := range m.Ops {
+			d := float64(m.Ops[i].Duration)
+			total += d
+			if i < m.PhaseBoundary {
+				fwd += d
+			}
+		}
+		frac := fwd / total
+		if frac < 0.30 || frac > 0.46 {
+			t.Errorf("%s: forward share %.2f, want ~0.38", m.ID(), frac)
+		}
+	}
+}
+
+func TestPhaseBoundaryZeroForInference(t *testing.T) {
+	for _, m := range InferenceModels() {
+		if m.PhaseBoundary != 0 {
+			t.Errorf("%s: inference model has phase boundary %d", m.ID(), m.PhaseBoundary)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+func TestCatalogHasTenWorkloads(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 10 {
+		t.Fatalf("catalog has %d workloads, want 10 (paper Table 1)", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, m := range cat {
+		if seen[m.ID()] {
+			t.Errorf("duplicate workload id %s", m.ID())
+		}
+		seen[m.ID()] = true
+	}
+}
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, m := range Catalog() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.ID(), err)
+		}
+	}
+}
+
+func TestModelsAreDeterministic(t *testing.T) {
+	a, b := ResNet50Inference(), ResNet50Inference()
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatalf("op counts differ: %d vs %d", len(a.Ops), len(b.Ops))
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs between builds: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
+	}
+}
+
+func TestKernelTimeMatchesTarget(t *testing.T) {
+	for _, m := range Catalog() {
+		total := m.TotalKernelTime()
+		ratio := float64(total) / float64(m.TargetDuration)
+		if ratio < 0.97 || ratio > 1.03 {
+			t.Errorf("%s: kernel time %v vs target %v (ratio %.3f)", m.ID(), total, m.TargetDuration, ratio)
+		}
+	}
+}
+
+// Calibration against the paper's Table 1: the time-weighted average
+// compute-throughput, memory-bandwidth, and SM-busy of each workload's
+// kernel mix must sit near the measured V100 values.
+func TestTable1Calibration(t *testing.T) {
+	targets := map[string]struct{ sm, compute, membw float64 }{
+		"resnet50-inf":      {0.24, 0.30, 0.22},
+		"mobilenetv2-inf":   {0.06, 0.18, 0.21},
+		"resnet101-inf":     {0.29, 0.24, 0.37},
+		"bert-inf":          {0.95, 0.72, 0.28},
+		"transformer-inf":   {0.61, 0.52, 0.29},
+		"resnet50-train":    {0.81, 0.48, 0.45},
+		"mobilenetv2-train": {0.71, 0.34, 0.49},
+		"resnet101-train":   {0.85, 0.50, 0.43},
+		"bert-train":        {0.61, 0.44, 0.21},
+		"transformer-train": {0.495, 0.29, 0.30},
+	}
+	sm := kernels.SMLimits{MaxThreads: 2048, MaxBlocks: 32, Registers: 65536, SharedMem: 96 * 1024}
+	for _, m := range Catalog() {
+		want, ok := targets[m.ID()]
+		if !ok {
+			t.Fatalf("no Table 1 target for %s", m.ID())
+		}
+		var total, c, mb, smw float64
+		for i := range m.Ops {
+			op := &m.Ops[i]
+			if op.Op != kernels.OpKernel {
+				continue
+			}
+			d := float64(op.Duration)
+			total += d
+			c += op.ComputeUtil * d
+			mb += op.MemBWUtil * d
+			need, err := kernels.SMsNeeded(op.Launch, sm)
+			if err != nil {
+				t.Fatalf("%s %s: %v", m.ID(), op.Name, err)
+			}
+			if need > 80 {
+				need = 80
+			}
+			smw += float64(need) / 80 * d
+		}
+		c /= total
+		mb /= total
+		smw /= total
+		if math.Abs(c-want.compute) > 0.05 {
+			t.Errorf("%s: compute %.3f, Table 1 says %.2f", m.ID(), c, want.compute)
+		}
+		if math.Abs(mb-want.membw) > 0.06 {
+			t.Errorf("%s: membw %.3f, Table 1 says %.2f", m.ID(), mb, want.membw)
+		}
+		if math.Abs(smw-want.sm) > 0.09 {
+			t.Errorf("%s: SM busy %.3f, Table 1 says %.2f", m.ID(), smw, want.sm)
+		}
+	}
+}
+
+// Memory capacity calibration against Table 1's memory-capacity column.
+func TestMemoryFootprintCalibration(t *testing.T) {
+	targets := map[string]float64{
+		"resnet50-inf": 0.09, "mobilenetv2-inf": 0.07, "resnet101-inf": 0.09,
+		"bert-inf": 0.14, "transformer-inf": 0.10,
+		"resnet50-train": 0.32, "mobilenetv2-train": 0.43, "resnet101-train": 0.39,
+		"bert-train": 0.38, "transformer-train": 0.53,
+	}
+	for _, m := range Catalog() {
+		frac := float64(m.WeightsBytes) / float64(16<<30)
+		if math.Abs(frac-targets[m.ID()]) > 0.02 {
+			t.Errorf("%s: memory fraction %.3f, Table 1 says %.2f", m.ID(), frac, targets[m.ID()])
+		}
+	}
+}
+
+// Figure 4: kernel durations — inference kernels run 10s-100s of us,
+// training kernels 100s-1000s of us.
+func TestKernelDurationRanges(t *testing.T) {
+	for _, m := range Catalog() {
+		var lo, hi sim.Duration = 1 << 62, 0
+		for i := range m.Ops {
+			if m.Ops[i].Op != kernels.OpKernel {
+				continue
+			}
+			d := m.Ops[i].Duration
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		if lo < sim.Micros(1) {
+			t.Errorf("%s: kernel as short as %v", m.ID(), lo)
+		}
+		maxAllowed := sim.Millis(1)
+		if m.Kind == Training {
+			maxAllowed = sim.Millis(2)
+		}
+		if hi > maxAllowed {
+			t.Errorf("%s: kernel as long as %v, exceeds Fig 4 range", m.ID(), hi)
+		}
+	}
+}
+
+// Figure 4: every workload mixes compute-bound and memory-bound kernels,
+// and training workloads contain unknown-profile update kernels.
+func TestKernelProfileMix(t *testing.T) {
+	for _, m := range Catalog() {
+		counts := map[kernels.Profile]int{}
+		for i := range m.Ops {
+			if m.Ops[i].Op == kernels.OpKernel {
+				counts[m.Ops[i].Profile()]++
+			}
+		}
+		if counts[kernels.ProfileCompute] == 0 {
+			t.Errorf("%s: no compute-bound kernels", m.ID())
+		}
+		if counts[kernels.ProfileMemory] == 0 {
+			t.Errorf("%s: no memory-bound kernels", m.ID())
+		}
+		if m.Kind == Training && counts[kernels.ProfileUnknown] == 0 {
+			t.Errorf("%s: training workload without unknown-profile update kernels", m.ID())
+		}
+	}
+}
+
+func TestInferenceModelsHaveIOCopies(t *testing.T) {
+	for _, m := range InferenceModels() {
+		if m.Ops[0].Op != kernels.OpMemcpyH2D {
+			t.Errorf("%s: first op is %v, want input H2D copy", m.ID(), m.Ops[0].Op)
+		}
+		last := m.Ops[len(m.Ops)-1]
+		if last.Op != kernels.OpMemcpyD2H {
+			t.Errorf("%s: last op is %v, want output D2H copy", m.ID(), last.Op)
+		}
+		if !m.InputSync() {
+			t.Errorf("%s: inference ingest should be a synchronous copy", m.ID())
+		}
+	}
+	for _, m := range TrainingModels() {
+		if m.Ops[0].Op != kernels.OpMemcpyH2D {
+			t.Errorf("%s: first op is %v, want input H2D copy", m.ID(), m.Ops[0].Op)
+		}
+		if m.InputSync() {
+			t.Errorf("%s: training prefetch should be asynchronous", m.ID())
+		}
+	}
+}
+
+func TestKernelIDsAreSequentialAndUnique(t *testing.T) {
+	for _, m := range Catalog() {
+		for i := range m.Ops {
+			if m.Ops[i].ID != i {
+				t.Fatalf("%s: op %d has ID %d", m.ID(), i, m.Ops[i].ID)
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	m, err := ByID("resnet50-train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "resnet50" || m.Kind != Training {
+		t.Fatalf("ByID returned %s", m.ID())
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestKernelCountsPlausible(t *testing.T) {
+	// Per §3.1, real DNN requests launch tens to hundreds of kernels.
+	for _, m := range Catalog() {
+		n := m.KernelCount()
+		if n < 50 || n > 1800 {
+			t.Errorf("%s: %d kernels per request, implausible", m.ID(), n)
+		}
+	}
+	// Deeper model has more kernels.
+	if ResNet101Inference().KernelCount() <= ResNet50Inference().KernelCount() {
+		t.Error("ResNet101 should launch more kernels than ResNet50")
+	}
+}
+
+func TestTrainingSlowerThanInference(t *testing.T) {
+	pairs := [][2]*Model{
+		{ResNet50Inference(), ResNet50Training()},
+		{MobileNetV2Inference(), MobileNetV2Training()},
+		{ResNet101Inference(), ResNet101Training()},
+		{BERTInference(), BERTTraining()},
+		{TransformerInference(), TransformerTraining()},
+	}
+	for _, p := range pairs {
+		if p[1].TotalKernelTime() <= p[0].TotalKernelTime() {
+			t.Errorf("%s: training iteration not slower than inference request", p[0].Name)
+		}
+	}
+}
+
+func TestListsConsistent(t *testing.T) {
+	if len(InferenceModels()) != 5 || len(TrainingModels()) != 5 {
+		t.Fatal("want 5 inference and 5 training workloads")
+	}
+	if len(VisionInference()) != 3 {
+		t.Fatal("want 3 vision inference workloads")
+	}
+	for _, m := range InferenceModels() {
+		if m.Kind != Inference {
+			t.Errorf("%s in InferenceModels", m.ID())
+		}
+	}
+	for _, m := range TrainingModels() {
+		if m.Kind != Training {
+			t.Errorf("%s in TrainingModels", m.ID())
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Inference.String() != "inf" || Training.String() != "train" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+func TestBlocksForClamps(t *testing.T) {
+	c := blocksFor(0, 0)
+	if c.Blocks != 4 {
+		t.Fatalf("blocksFor(0,0).Blocks = %d, want 4", c.Blocks)
+	}
+}
+
+func TestValidateRejectsEmpty(t *testing.T) {
+	m := &Model{Name: "x"}
+	if err := m.Validate(); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	m2 := &Model{Name: "x", Ops: ResNet50Inference().Ops}
+	if err := m2.Validate(); err == nil {
+		t.Fatal("model without memory footprint accepted")
+	}
+}
