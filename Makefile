@@ -1,0 +1,21 @@
+# Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, and
+# the full test suite under the race detector.
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+bench:
+	go test -bench . -benchmem -benchtime=1x ./...

@@ -34,6 +34,8 @@ func main() {
 	horizon := flag.Float64("horizon", 10, "simulated seconds")
 	warmup := flag.Float64("warmup", 2, "warmup seconds excluded from stats")
 	seed := flag.Int64("seed", 42, "arrival seed")
+	faults := flag.Bool("faults", false, "inject faults: best-effort crashes + transient launch/alloc failures")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same seed, same fault schedule)")
 	flag.Parse()
 
 	if *hp == "" && *hpFile == "" {
@@ -97,10 +99,14 @@ func main() {
 		}
 	}
 
-	res, err := harness.Run(harness.RunConfig{
+	runCfg := harness.RunConfig{
 		Scheme: harness.Scheme(*scheme), Device: spec, Jobs: jobs,
 		Horizon: sim.Seconds(*horizon), Warmup: sim.Seconds(*warmup), Seed: *seed,
-	})
+	}
+	if *faults {
+		runCfg.Faults = harness.DefaultFaultConfig(*faultSeed)
+	}
+	res, err := harness.Run(runCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -113,6 +119,10 @@ func main() {
 		fmt.Printf("  latency    p50 %.2fms  p95 %.2fms  p99 %.2fms  (dedicated %.2fms)\n",
 			j.Stats.Latency.P50().Millis(), j.Stats.Latency.P95().Millis(),
 			j.Stats.Latency.P99().Millis(), j.DedicatedLatency.Millis())
+		if j.Stats.Failed > 0 || j.Stats.TimedOut > 0 || j.Stats.Retried > 0 {
+			fmt.Printf("  robustness failed %d  timed-out %d  retried %d\n",
+				j.Stats.Failed, j.Stats.TimedOut, j.Stats.Retried)
+		}
 	}
 	u := res.Utilization
 	fmt.Printf("\ndevice utilization: SM busy %.0f%%  compute %.0f%%  membw %.0f%%  memcap %.0f%%\n",
@@ -127,6 +137,18 @@ func main() {
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Printf("  %-28s %d\n", k, res.Verdicts[k])
+		}
+	}
+
+	if rb := res.Robustness; rb != nil {
+		fmt.Printf("\nfault injection (seed %d):\n", *faultSeed)
+		fmt.Printf("  denied launches %d  denied allocs %d\n", rb.DeniedLaunches, rb.DeniedAllocs)
+		if rb.Evictions > 0 || rb.PurgedOps > 0 || rb.SchedulerRetries > 0 {
+			fmt.Printf("  orion: evictions %d  purged ops %d  scheduler retries %d\n",
+				rb.Evictions, rb.PurgedOps, rb.SchedulerRetries)
+		}
+		for _, e := range rb.Events {
+			fmt.Printf("  %s\n", e)
 		}
 	}
 }

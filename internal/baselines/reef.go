@@ -44,6 +44,7 @@ type Reef struct {
 
 	inSchedule bool
 	again      bool
+	retryArmed bool
 	started    bool
 }
 
@@ -89,6 +90,43 @@ func (r *Reef) Register(cfg sched.ClientConfig) (sched.Client, error) {
 	return c, nil
 }
 
+// Deregister implements sched.Backend: the crashed client's queued work
+// is purged without firing completion callbacks; kernels it already has
+// on the device drain normally (their done closures keep the outstanding
+// counters consistent).
+func (r *Reef) Deregister(c sched.Client) error {
+	rc, ok := c.(*reefClient)
+	if !ok || rc.backend != r {
+		return fmt.Errorf("reef: deregister of foreign client")
+	}
+	if rc.gone {
+		return nil
+	}
+	rc.gone = true
+	rc.queue = nil
+	if rc == r.hp {
+		r.hp = nil
+	} else {
+		for i, have := range r.be {
+			if have != rc {
+				continue
+			}
+			r.be = append(r.be[:i], r.be[i+1:]...)
+			if r.rrNext > i {
+				r.rrNext--
+			}
+			if len(r.be) > 0 {
+				r.rrNext %= len(r.be)
+			} else {
+				r.rrNext = 0
+			}
+			break
+		}
+	}
+	r.schedule()
+	return nil
+}
+
 type reefClient struct {
 	backend *Reef
 	cfg     sched.ClientConfig
@@ -96,6 +134,7 @@ type reefClient struct {
 	stream  *cudart.Stream
 	tracker *sched.Tracker
 	queue   []reefOp
+	gone    bool
 }
 
 type reefOp struct {
@@ -112,6 +151,9 @@ func (c *reefClient) LaunchOverhead() sim.Duration { return 300 * sim.Nanosecond
 func (c *reefClient) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
 	if op == nil {
 		return fmt.Errorf("reef: nil op")
+	}
+	if c.gone {
+		return fmt.Errorf("reef: submit on deregistered client %s", c.cfg.Name)
 	}
 	if err := sched.CheckCapacity(c.backend.ctx, op); err != nil {
 		return err
@@ -172,12 +214,14 @@ func (r *Reef) drainHP() bool {
 	progress := false
 	for len(c.queue) > 0 {
 		q := c.queue[0]
+		if !r.trySubmit(c, q, true) {
+			break // transient failure: op stays queued, retried later
+		}
 		c.queue = c.queue[:copy(c.queue, c.queue[1:])]
 		if q.op.Op == kernels.OpKernel {
 			r.hpSMs = append(r.hpSMs, q.prof.SMsNeeded)
 		}
 		r.hpOut++
-		r.submit(c, q, true)
 		progress = true
 	}
 	return progress
@@ -212,8 +256,10 @@ func (r *Reef) serveBE() bool {
 		}
 		q := c.queue[0]
 		if q.op.Op != kernels.OpKernel {
+			if !r.trySubmit(c, q, false) {
+				continue // transient failure: retried later
+			}
 			c.queue = c.queue[:copy(c.queue, c.queue[1:])]
-			r.submit(c, q, false)
 			progress = true
 			continue
 		}
@@ -223,9 +269,11 @@ func (r *Reef) serveBE() bool {
 		if r.hpActive() && q.prof.SMsNeeded > r.freeSMsEstimate() {
 			continue
 		}
+		if !r.trySubmit(c, q, false) {
+			continue // transient failure: retried later
+		}
 		c.queue = c.queue[:copy(c.queue, c.queue[1:])]
 		r.beOutstanding++
-		r.submit(c, q, false)
 		progress = true
 	}
 	if n > 0 {
@@ -234,7 +282,10 @@ func (r *Reef) serveBE() bool {
 	return progress
 }
 
-func (r *Reef) submit(c *reefClient, q reefOp, hp bool) {
+// trySubmit lowers the op onto the client's stream, reporting whether it
+// reached the device. A transient failure re-arms the scheduler one retry
+// interval out and leaves the op with the caller; other errors panic.
+func (r *Reef) trySubmit(c *reefClient, q reefOp, hp bool) bool {
 	done := func(at sim.Time) {
 		if hp {
 			r.hpOut--
@@ -250,7 +301,28 @@ func (r *Reef) submit(c *reefClient, q reefOp, hp bool) {
 		}
 		r.schedule()
 	}
-	if err := sched.SubmitTo(r.ctx, c.stream, q.op, done); err != nil {
-		panic(fmt.Sprintf("reef: submit %s: %v", q.op.Name, err))
+	err := sched.SubmitTo(r.ctx, c.stream, q.op, done)
+	if err == nil {
+		return true
 	}
+	if cudart.IsTransient(err) {
+		r.armRetry()
+		return false
+	}
+	panic(fmt.Sprintf("reef: submit %s: %v", q.op.Name, err))
+}
+
+// armRetry schedules one retry pass a retry interval out. Arms coalesce
+// so a pass with several failing submissions pends a single retry, not
+// one per failure — per-failure arms compound geometrically while a
+// failure window is open.
+func (r *Reef) armRetry() {
+	if r.retryArmed {
+		return
+	}
+	r.retryArmed = true
+	r.eng.After(transientRetryInterval, func() {
+		r.retryArmed = false
+		r.schedule()
+	})
 }

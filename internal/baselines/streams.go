@@ -24,6 +24,12 @@ const GILOverheadPerPeer = 1500 * sim.Nanosecond
 // stream priorities are unavailable in MPS mode (§6.4).
 const MPSOverhead = 400 * sim.Nanosecond
 
+// transientRetryInterval is how long a queue-based baseline waits before
+// re-attempting a submission that failed with a transient device error
+// (an injected launch or allocation fault) — the same order as a
+// scheduler poll interval.
+const transientRetryInterval = 20 * sim.Microsecond
+
 // Streams is the GPU Streams baseline: every client submits directly to
 // its own CUDA stream from a thread of a shared process. The high-priority
 // client gets a high-priority stream; all clients pay GIL contention that
@@ -59,6 +65,7 @@ func (s *Streams) Register(cfg sched.ClientConfig) (sched.Client, error) {
 	}
 	c := &passClient{
 		ctx:    s.ctx,
+		owner:  s,
 		stream: s.ctx.StreamCreateWithPriority(prio),
 		overhead: func() sim.Duration {
 			// GIL contention scales with the number of peer threads.
@@ -67,6 +74,21 @@ func (s *Streams) Register(cfg sched.ClientConfig) (sched.Client, error) {
 	}
 	s.clients = append(s.clients, c)
 	return c, nil
+}
+
+// Deregister implements sched.Backend: the dead thread stops contending
+// for the GIL, so the surviving clients' per-op overhead drops.
+func (s *Streams) Deregister(c sched.Client) error {
+	pc, ok := c.(*passClient)
+	if !ok || pc.owner != s {
+		return fmt.Errorf("streams: deregister of foreign client")
+	}
+	if pc.gone {
+		return nil
+	}
+	pc.gone = true
+	s.clients = removePass(s.clients, pc)
+	return nil
 }
 
 // MPS is the NVIDIA Multi-Process Service baseline: clients run as
@@ -94,7 +116,8 @@ func (m *MPS) Register(cfg sched.ClientConfig) (sched.Client, error) {
 		return nil, fmt.Errorf("mps: client %q has no model", cfg.Name)
 	}
 	c := &passClient{
-		ctx: m.ctx,
+		ctx:   m.ctx,
+		owner: m,
 		// Stream priorities are not honoured under MPS.
 		stream:   m.ctx.StreamCreateWithPriority(0),
 		overhead: func() sim.Duration { return MPSOverhead },
@@ -103,11 +126,37 @@ func (m *MPS) Register(cfg sched.ClientConfig) (sched.Client, error) {
 	return c, nil
 }
 
+// Deregister implements sched.Backend: the dead process detaches from the
+// MPS server; its in-flight stream work drains on the device.
+func (m *MPS) Deregister(c sched.Client) error {
+	pc, ok := c.(*passClient)
+	if !ok || pc.owner != m {
+		return fmt.Errorf("mps: deregister of foreign client")
+	}
+	if pc.gone {
+		return nil
+	}
+	pc.gone = true
+	m.clients = removePass(m.clients, pc)
+	return nil
+}
+
+func removePass(clients []*passClient, pc *passClient) []*passClient {
+	for i, have := range clients {
+		if have == pc {
+			return append(clients[:i], clients[i+1:]...)
+		}
+	}
+	return clients
+}
+
 // passClient is the shared pass-through client used by Streams and MPS.
 type passClient struct {
 	ctx      *cudart.Context
+	owner    sched.Backend
 	stream   *cudart.Stream
 	overhead func() sim.Duration
+	gone     bool
 }
 
 func (c *passClient) BeginRequest() {}
@@ -115,6 +164,12 @@ func (c *passClient) BeginRequest() {}
 func (c *passClient) LaunchOverhead() sim.Duration { return c.overhead() }
 
 func (c *passClient) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
+	if c.gone {
+		return fmt.Errorf("baselines: submit on deregistered client")
+	}
+	// Pass-through backends surface errors — including transient injected
+	// faults — synchronously to the submitting client; the driver's
+	// retry-with-backoff handles them.
 	return sched.SubmitTo(c.ctx, c.stream, op, done)
 }
 

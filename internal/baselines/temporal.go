@@ -72,6 +72,10 @@ type temporalClient struct {
 	// sealed before being granted).
 	endPending bool
 	endCb      func(sim.Time)
+	// sealed marks a granted request whose release marker is on the
+	// stream; gone marks a client removed via Deregister.
+	sealed bool
+	gone   bool
 }
 
 type bufferedOp struct {
@@ -87,6 +91,9 @@ func (c *temporalClient) Submit(op *kernels.Descriptor, done func(sim.Time)) err
 	if op == nil {
 		return fmt.Errorf("temporal: nil op")
 	}
+	if c.gone {
+		return fmt.Errorf("temporal: submit on deregistered client %s", c.cfg.Name)
+	}
 	if handled, err := c.interceptWeightsMalloc(op, done); handled || err != nil {
 		return err
 	}
@@ -94,7 +101,24 @@ func (c *temporalClient) Submit(op *kernels.Descriptor, done func(sim.Time)) err
 		return err
 	}
 	if c.granted {
-		return sched.SubmitTo(c.backend.ctx, c.stream, op, done)
+		if len(c.buffered) > 0 {
+			// A transient failure left earlier ops re-buffered; queue
+			// behind them so submission order is preserved.
+			c.buffered = append(c.buffered, bufferedOp{op, done})
+			return nil
+		}
+		err := sched.SubmitTo(c.backend.ctx, c.stream, op, done)
+		if err == nil || !cudart.IsTransient(err) {
+			return err
+		}
+		// Transient device failure: buffer the op and retry shortly.
+		c.buffered = append(c.buffered, bufferedOp{op, done})
+		c.backend.eng.After(transientRetryInterval, func() {
+			if c.granted {
+				c.backend.flushGranted(c)
+			}
+		})
+		return nil
 	}
 	c.buffered = append(c.buffered, bufferedOp{op, done})
 	if !c.wantsGPU {
@@ -106,7 +130,13 @@ func (c *temporalClient) Submit(op *kernels.Descriptor, done func(sim.Time)) err
 
 func (c *temporalClient) EndRequest(cb func(sim.Time)) error {
 	if c.granted {
-		return c.finish(cb)
+		if len(c.buffered) == 0 {
+			return c.finish(cb)
+		}
+		// Re-buffered ops are still being retried; seal once they drain.
+		c.endPending = true
+		c.endCb = cb
+		return nil
 	}
 	if !c.wantsGPU {
 		// Empty request (no ops buffered): complete immediately.
@@ -123,9 +153,13 @@ func (c *temporalClient) EndRequest(cb func(sim.Time)) error {
 // finish seals the granted request: a marker on the stream releases the
 // GPU when everything has drained.
 func (c *temporalClient) finish(cb func(sim.Time)) error {
+	c.sealed = true
 	return c.backend.ctx.StreamSynchronize(c.stream, func(at sim.Time) {
 		c.granted = false
-		c.backend.current = nil
+		c.sealed = false
+		if c.backend.current == c {
+			c.backend.current = nil
+		}
 		if cb != nil {
 			cb(at)
 		}
@@ -174,19 +208,94 @@ func (t *Temporal) grantNext() {
 			panic(fmt.Sprintf("temporal: swap-in: %v", err))
 		}
 	}
-	buf := pick.buffered
-	pick.buffered = nil
-	for _, b := range buf {
-		if err := sched.SubmitTo(t.ctx, pick.stream, b.op, b.done); err != nil {
+	t.flushGranted(pick)
+}
+
+// flushGranted submits the granted client's buffered operations in order.
+// A transient device failure keeps the remaining ops buffered and retries
+// shortly, preserving submission order; once the buffer drains, the
+// request is sealed if its EndRequest already arrived.
+func (t *Temporal) flushGranted(c *temporalClient) {
+	for len(c.buffered) > 0 {
+		b := c.buffered[0]
+		if err := sched.SubmitTo(t.ctx, c.stream, b.op, b.done); err != nil {
+			if cudart.IsTransient(err) {
+				t.eng.After(transientRetryInterval, func() {
+					if c.granted {
+						t.flushGranted(c)
+					}
+				})
+				return
+			}
 			panic(fmt.Sprintf("temporal: flush: %v", err))
 		}
+		c.buffered = c.buffered[:copy(c.buffered, c.buffered[1:])]
 	}
-	if pick.endPending {
-		pick.endPending = false
-		cb := pick.endCb
-		pick.endCb = nil
-		if err := pick.finish(cb); err != nil {
+	if c.endPending {
+		c.endPending = false
+		cb := c.endCb
+		c.endCb = nil
+		if err := c.finish(cb); err != nil {
 			panic(fmt.Sprintf("temporal: finish: %v", err))
 		}
 	}
+}
+
+// Deregister implements sched.Backend: the dead client's buffered request
+// is dropped; if it held the GPU mid-request with no seal coming, the
+// grant is released once its in-flight operations drain, so the surviving
+// clients are not blocked behind a corpse.
+func (t *Temporal) Deregister(c sched.Client) error {
+	tc, ok := c.(*temporalClient)
+	if !ok || tc.backend != t {
+		return fmt.Errorf("temporal: deregister of foreign client")
+	}
+	if tc.gone {
+		return nil
+	}
+	tc.gone = true
+	tc.buffered = nil
+	tc.wantsGPU = false
+	tc.endPending = false
+	tc.endCb = nil
+	for i, have := range t.clients {
+		if have == tc {
+			t.clients = append(t.clients[:i], t.clients[i+1:]...)
+			if t.rrNext > i {
+				t.rrNext--
+			}
+			if len(t.clients) > 0 {
+				t.rrNext %= len(t.clients)
+			} else {
+				t.rrNext = 0
+			}
+			break
+		}
+	}
+	for i, have := range t.lru {
+		if have == tc {
+			t.lru = append(t.lru[:i], t.lru[i+1:]...)
+			break
+		}
+	}
+	if t.SwapStates && tc.resident {
+		// Reclaim the dead client's swapped-in model state.
+		tc.resident = false
+		t.ctx.Device().Release(tc.cfg.Model.WeightsBytes)
+	}
+	if t.current == tc && !tc.sealed {
+		// Crashed while holding the GPU, before sealing its request:
+		// release the grant once whatever it submitted drains.
+		err := t.ctx.StreamSynchronize(tc.stream, func(sim.Time) {
+			tc.granted = false
+			if t.current == tc {
+				t.current = nil
+			}
+			t.grantNext()
+		})
+		if err != nil {
+			return fmt.Errorf("temporal: releasing crashed client's grant: %w", err)
+		}
+	}
+	return nil
 }

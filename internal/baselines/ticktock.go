@@ -76,6 +76,7 @@ type ttClient struct {
 
 	buffering []bufferedOp
 	phases    []phase
+	gone      bool
 }
 
 func (c *ttClient) BeginRequest() {}
@@ -85,6 +86,9 @@ func (c *ttClient) LaunchOverhead() sim.Duration { return 0 }
 func (c *ttClient) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
 	if op == nil {
 		return fmt.Errorf("ticktock: nil op")
+	}
+	if c.gone {
+		return fmt.Errorf("ticktock: submit on deregistered client %s", c.cfg.Name)
 	}
 	if err := sched.CheckCapacity(c.backend.ctx, op); err != nil {
 		return err
@@ -153,12 +157,54 @@ func (c *ttClient) runPhase(p phase) {
 		finish(t.eng.Now())
 		return
 	}
-	for _, b := range p.ops {
+	c.submitPhase(p, 0, finish)
+}
+
+// submitPhase submits p.ops[i:] in order, then arms the phase barrier. A
+// transient device failure pauses at the failed op and retries shortly,
+// preserving the phase's submission order; the barrier fires only once
+// every op reached the device and drained, so a slot never leaks.
+func (c *ttClient) submitPhase(p phase, i int, finish func(sim.Time)) {
+	t := c.backend
+	for ; i < len(p.ops); i++ {
+		b := p.ops[i]
 		if err := sched.SubmitTo(t.ctx, c.stream, b.op, b.done); err != nil {
+			if cudart.IsTransient(err) {
+				next := i
+				t.eng.After(transientRetryInterval, func() { c.submitPhase(p, next, finish) })
+				return
+			}
 			panic(fmt.Sprintf("ticktock: submit: %v", err))
 		}
 	}
 	if err := t.ctx.StreamSynchronize(c.stream, finish); err != nil {
 		panic(fmt.Sprintf("ticktock: sync: %v", err))
 	}
+}
+
+// Deregister implements sched.Backend: the dead client's buffered and
+// queued phases are dropped (their completion callbacks never fire), a
+// phase it has mid-slot drains and releases the barrier normally, and the
+// surviving job stops waiting at phase boundaries for a corpse.
+func (t *TickTock) Deregister(c sched.Client) error {
+	tc, ok := c.(*ttClient)
+	if !ok || tc.backend != t {
+		return fmt.Errorf("ticktock: deregister of foreign client")
+	}
+	if tc.gone {
+		return nil
+	}
+	tc.gone = true
+	tc.buffering = nil
+	tc.phases = nil
+	for i, have := range t.clients {
+		if have == tc {
+			t.clients = append(t.clients[:i], t.clients[i+1:]...)
+			break
+		}
+	}
+	// The survivor may have phases queued that were waiting on the dead
+	// client's next phase to form a slot.
+	t.schedule()
+	return nil
 }

@@ -44,6 +44,9 @@ const (
 	// DeferredPCIe: a best-effort memory copy waited out an in-flight
 	// high-priority transfer (ScheduleMemcpys extension).
 	DeferredPCIe
+	// DeferredSLOGuard: the SLO guard had suspended best-effort admission
+	// because too many recent high-priority requests missed their SLO.
+	DeferredSLOGuard
 )
 
 // Admitted reports whether the verdict allowed submission.
@@ -63,6 +66,8 @@ func (v Verdict) String() string {
 		return "deferred:same-profile"
 	case DeferredPCIe:
 		return "deferred:pcie-busy"
+	case DeferredSLOGuard:
+		return "deferred:slo-guard"
 	default:
 		return fmt.Sprintf("verdict(%d)", int(v))
 	}

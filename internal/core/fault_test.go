@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/kernels"
+	"orion/internal/profiler"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/trace"
+	"orion/internal/workload"
+)
+
+// Deregister of a best-effort client must purge its queue, keep the
+// round-robin cursor on the client it pointed at, and leave the survivors
+// schedulable — with the dead client's outstanding throttle events still
+// in flight on the device.
+func TestDeregisterPurgesQueueAndRebalancesCursor(t *testing.T) {
+	hp := mkModel("hp", workload.Inference, mkKernel(0, "hpconv", sim.Millis(5), 0.9, 0.2, 40))
+	mkBE := func(name string) *workload.Model {
+		return mkModel(name, workload.Training,
+			mkKernel(0, name+"0", sim.Micros(100), 0.9, 0.2, 20),
+			mkKernel(1, name+"1", sim.Micros(100), 0.9, 0.2, 20),
+			mkKernel(2, name+"2", sim.Micros(100), 0.9, 0.2, 20))
+	}
+	beA, beB, beC := mkBE("beA"), mkBE("beB"), mkBE("beC")
+	r := newRig(t, Config{}, hp, beA, beB, beC)
+	hpc := register(t, r.o, hp, sched.HighPriority)
+	ca := register(t, r.o, beA, sched.BestEffort)
+	cb := register(t, r.o, beB, sched.BestEffort)
+	cc := register(t, r.o, beC, sched.BestEffort)
+	r.o.Start()
+
+	// A long high-priority kernel occupies the device, so the same-profile
+	// best-effort queues pile up behind the admission policy.
+	hpc.Submit(&hp.Ops[0], nil)
+	for i := 0; i < 3; i++ {
+		ca.Submit(&beA.Ops[i], nil)
+		cb.Submit(&beB.Ops[i], nil)
+		cc.Submit(&beC.Ops[i], nil)
+	}
+	r.eng.RunUntil(sim.Time(sim.Millis(1)))
+
+	queuedB := len(cb.(*client).queue)
+	if queuedB == 0 {
+		t.Fatal("beB queue empty; test needs deferred work to purge")
+	}
+	r.o.rrNext = 2 // cursor past beB
+	if err := r.o.Deregister(cb); err != nil {
+		t.Fatal(err)
+	}
+	evictions, purged, _ := r.o.FaultStats()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	if purged != uint64(queuedB) {
+		t.Errorf("purged %d ops, want %d", purged, queuedB)
+	}
+	if len(r.o.be) != 2 {
+		t.Fatalf("%d best-effort clients left, want 2", len(r.o.be))
+	}
+	// The cursor pointed at beC (index 2); with beB (index 1) gone the
+	// eviction shifts it to beC's new index 1, and the scheduling pass
+	// Deregister runs advances it one step — to a valid index either way.
+	// An unadjusted cursor would sit at 2 == len(be) and index out of
+	// range on the next pass.
+	if r.o.rrNext < 0 || r.o.rrNext >= len(r.o.be) {
+		t.Errorf("round-robin cursor out of range after eviction: rrNext=%d with %d clients",
+			r.o.rrNext, len(r.o.be))
+	}
+
+	// Deregister is idempotent, rejects foreigners, and the dead client's
+	// submissions bounce.
+	if err := r.o.Deregister(cb); err != nil {
+		t.Errorf("second deregister: %v", err)
+	}
+	if evictions, _, _ := r.o.FaultStats(); evictions != 1 {
+		t.Errorf("idempotent deregister bumped evictions to %d", evictions)
+	}
+	if err := r.o.Deregister(nil); err == nil {
+		t.Error("nil client deregistered")
+	}
+	if err := cb.Submit(&beB.Ops[0], nil); err == nil {
+		t.Error("submit on deregistered client accepted")
+	}
+
+	// The survivors drain once the high-priority kernel finishes; the dead
+	// client's queue stays purged.
+	r.eng.Run()
+	_, beSubmitted, _, _ := r.o.Stats()
+	if want := uint64(6); beSubmitted != want {
+		t.Errorf("beSubmitted = %d, want %d (survivors' ops only)", beSubmitted, want)
+	}
+	if cb.(*client).queue != nil {
+		t.Error("deregistered client's queue repopulated")
+	}
+}
+
+// Evicting the high-priority client mid-request lifts the duration
+// throttle (the budget becomes unbounded) and frees best-effort work.
+func TestDeregisterHPUnpinsBudget(t *testing.T) {
+	hp := mkModel("hp", workload.Inference, mkKernel(0, "hpconv", sim.Millis(10), 0.9, 0.2, 40))
+	be := mkModel("be", workload.Training,
+		mkKernel(0, "be0", sim.Millis(1), 0.9, 0.2, 20),
+		mkKernel(1, "be1", sim.Millis(1), 0.9, 0.2, 20))
+	r := newRig(t, Config{}, hp, be)
+	hpc := register(t, r.o, hp, sched.HighPriority)
+	bec := register(t, r.o, be, sched.BestEffort)
+	r.o.Start()
+
+	hpc.Submit(&hp.Ops[0], nil)
+	bec.Submit(&be.Ops[0], nil)
+	bec.Submit(&be.Ops[1], nil)
+	r.eng.RunUntil(sim.Time(sim.Millis(1)))
+	if _, beSubmitted, _, _ := r.o.Stats(); beSubmitted != 0 {
+		t.Fatalf("best-effort admitted under a same-profile high-priority kernel")
+	}
+
+	if err := r.o.Deregister(hpc); err != nil {
+		t.Fatal(err)
+	}
+	if r.o.hp != nil {
+		t.Fatal("high-priority slot still occupied")
+	}
+	if got := r.o.durBudget(); got != 1<<62 {
+		t.Errorf("durBudget = %v with no high-priority client, want unbounded", got)
+	}
+	r.eng.Run()
+	if _, beSubmitted, _, _ := r.o.Stats(); beSubmitted != 2 {
+		t.Errorf("beSubmitted = %d after high-priority eviction, want 2", beSubmitted)
+	}
+}
+
+// End-to-end eviction under load: a best-effort trainer with outstanding
+// throttle events dies mid-run; the high-priority tail returns to its
+// dedicated level, the surviving trainer keeps making progress, and the
+// throttle budget drains rather than staying pinned by the dead client.
+func TestEvictionRecoveryUnderLoad(t *testing.T) {
+	hpM := workload.ResNet50Inference()
+	beM := workload.MobileNetV2Training()
+	beM2 := workload.ResNet50Training()
+	hpProf, err := profiler.Collect(hpM, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	beProf, err := profiler.Collect(beM, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	beProf2, err := profiler.Collect(beM2, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := sim.NewEngine()
+	eng.MaxEvents = 500_000_000
+	dev, _ := gpu.NewDevice(eng, gpu.V100())
+	ctx := cudart.NewContext(dev)
+	o, err := New(eng, ctx, Config{Profiles: map[string]*profiler.Profile{
+		hpM.ID(): hpProf, beM.ID(): beProf, beM2.ID(): beProf2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpc, _ := o.Register(sched.ClientConfig{Name: "hp", Priority: sched.HighPriority, Model: hpM})
+	bec, _ := o.Register(sched.ClientConfig{Name: "be", Priority: sched.BestEffort, Model: beM})
+	bec2, _ := o.Register(sched.ClientConfig{Name: "be2", Priority: sched.BestEffort, Model: beM2})
+	o.Start()
+
+	horizon := sim.Time(sim.Seconds(8))
+	arr, _ := trace.NewPoisson(30, sim.NewRand(11))
+	hpd, _ := sched.NewDriver(sched.DriverConfig{
+		Engine: eng, Client: hpc, Model: hpM, Arrivals: arr,
+		Horizon: horizon, Warmup: sim.Seconds(4), // measure after the crash
+	})
+	bed, _ := sched.NewDriver(sched.DriverConfig{Engine: eng, Client: bec, Model: beM, Horizon: horizon})
+	bed2, _ := sched.NewDriver(sched.DriverConfig{
+		Engine: eng, Client: bec2, Model: beM2,
+		Horizon: horizon, Warmup: sim.Seconds(4),
+	})
+	hpd.Start()
+	bed.Start()
+	bed2.Start()
+
+	// The first trainer's process dies at t=3s with work queued and its
+	// last-submission event still outstanding on the device.
+	eng.At(sim.Time(sim.Seconds(3)), func() {
+		bed.Crash()
+		if err := o.Deregister(bec); err != nil {
+			t.Errorf("deregister at crash: %v", err)
+		}
+	})
+	eng.RunUntil(horizon)
+
+	evictions, purged, _ := o.FaultStats()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	if purged == 0 {
+		t.Error("crash purged no queued ops; trainer should have had work queued")
+	}
+	// No leak: the dead client holds no queued ops, and the throttle
+	// budget drained (it would pin best-effort admission forever if the
+	// dead client's outstanding durations never reset).
+	if n := len(bec.(*client).queue); n != 0 {
+		t.Errorf("dead client still holds %d queued ops", n)
+	}
+	if bed2.Stats().Completed == 0 {
+		t.Fatal("surviving trainer made no measured progress after the crash")
+	}
+	// Post-crash, the high-priority tail should sit near its dedicated
+	// latency: the evicted trainer must not keep costing interference.
+	p50 := hpd.Stats().Latency.P50()
+	if p50 > hpProf.RequestLatency*12/10 {
+		t.Errorf("post-crash p50 %.2fms vs dedicated %.2fms; scheduler did not recover",
+			p50.Millis(), hpProf.RequestLatency.Millis())
+	}
+}
+
+// Transient launch failures inside an injection window are retried by the
+// scheduler without losing or reordering operations.
+func TestTransientLaunchFailuresRetried(t *testing.T) {
+	hp := mkModel("hp", workload.Inference, mkKernel(0, "hpconv", sim.Micros(500), 0.9, 0.2, 40))
+	be := mkModel("be", workload.Training,
+		mkKernel(0, "be0", sim.Micros(100), 0.1, 0.8, 10),
+		mkKernel(1, "be1", sim.Micros(100), 0.1, 0.8, 10))
+	r := newRig(t, Config{}, hp, be)
+	hpc := register(t, r.o, hp, sched.HighPriority)
+	bec := register(t, r.o, be, sched.BestEffort)
+	r.o.Start()
+
+	// Fail every launch for the first 200us.
+	failUntil := sim.Time(sim.Micros(200))
+	var denials int
+	r.ctx.SetFaultHook(func(p cudart.InjectPoint, desc *kernels.Descriptor) error {
+		if p == cudart.InjectLaunch && r.eng.Now() < failUntil {
+			denials++
+			return fmt.Errorf("test: %w (%w)", cudart.ErrLaunchFailed, cudart.ErrTransient)
+		}
+		return nil
+	})
+
+	var order []string
+	track := func(name string) func(sim.Time) {
+		return func(sim.Time) { order = append(order, name) }
+	}
+	hpc.Submit(&hp.Ops[0], track("hp0"))
+	bec.Submit(&be.Ops[0], track("be0"))
+	bec.Submit(&be.Ops[1], track("be1"))
+	r.eng.Run()
+
+	if denials == 0 {
+		t.Fatal("fault hook never denied a launch")
+	}
+	_, _, retries := r.o.FaultStats()
+	if retries == 0 {
+		t.Fatal("no scheduler-side transient retries recorded")
+	}
+	if len(order) != 3 {
+		t.Fatalf("completions %v, want all three ops", order)
+	}
+	// Per-client submission order survives the retries: be0 before be1.
+	i0, i1 := -1, -1
+	for i, name := range order {
+		switch name {
+		case "be0":
+			i0 = i
+		case "be1":
+			i1 = i
+		}
+	}
+	if i0 < 0 || i1 < 0 || i0 > i1 {
+		t.Errorf("per-client op order broken: %v", order)
+	}
+}

@@ -93,6 +93,28 @@ type Config struct {
 	// bandwidth. Off by default, matching the paper's current design.
 	ScheduleMemcpys bool
 
+	// SLOGuard enables the degradation path: the scheduler watches a
+	// sliding window of recent high-priority request latencies and, when
+	// too many violate the SLO, suspends best-effort admission entirely
+	// (HP-only mode) until the window recovers. The guard has hysteresis:
+	// it trips at SLOTripFraction violations and resumes only at
+	// SLOResumeFraction.
+	SLOGuard bool
+	// SLOFactor defines the SLO: a high-priority request violates it when
+	// its latency exceeds SLOFactor times the profiled dedicated request
+	// latency. Zero selects DefaultSLOFactor.
+	SLOFactor float64
+	// SLOWindow is the sliding-window length in requests. Zero selects
+	// DefaultSLOWindow.
+	SLOWindow int
+	// SLOTripFraction is the violation fraction that trips the guard.
+	// Zero selects DefaultSLOTripFraction.
+	SLOTripFraction float64
+	// SLOResumeFraction is the violation fraction at which a tripped
+	// guard resumes best-effort admission. Zero selects
+	// DefaultSLOResumeFraction. Must stay below SLOTripFraction.
+	SLOResumeFraction float64
+
 	// AutoTuneSM selects the dynamic SM_THRESHOLD tuning mode (§5.1.1).
 	// The default enables the binary-search tuner exactly when the
 	// high-priority client is a training job.
@@ -131,14 +153,21 @@ type Orion struct {
 
 	inSchedule bool
 	again      bool
+	retryArmed bool
 	tuner      *tuner
 	decisions  *decisionLog
+	slo        *sloGuard
 
 	// stats
 	beDeferred   uint64 // policy said "not now" for a best-effort kernel
 	beSubmitted  uint64
 	hpSubmitted  uint64
 	throttleHits uint64
+
+	// robustness counters
+	evictions        uint64 // clients removed via Deregister
+	purgedOps        uint64 // queued ops dropped at eviction
+	transientRetries uint64 // scheduler-side retries of transient submit failures
 }
 
 type client struct {
@@ -154,6 +183,12 @@ type client struct {
 	// requests counts completed requests (EndRequest firings), the
 	// throughput signal the SM_THRESHOLD tuner watches.
 	requests uint64
+	// begin is when the in-flight request started (BeginRequest), the
+	// latency origin the SLO guard measures from.
+	begin sim.Time
+	// gone marks a client removed via Deregister: its queue has been
+	// purged and further submissions are rejected.
+	gone bool
 }
 
 type queuedOp struct {
@@ -187,6 +222,29 @@ func New(eng *sim.Engine, ctx *cudart.Context, cfg Config) (*Orion, error) {
 	}
 	if cfg.PollInterval < 0 {
 		return nil, fmt.Errorf("orion: negative PollInterval")
+	}
+	if cfg.SLOFactor == 0 {
+		cfg.SLOFactor = DefaultSLOFactor
+	}
+	if cfg.SLOFactor < 1 {
+		return nil, fmt.Errorf("orion: SLOFactor %v below 1", cfg.SLOFactor)
+	}
+	if cfg.SLOWindow == 0 {
+		cfg.SLOWindow = DefaultSLOWindow
+	}
+	if cfg.SLOWindow < 1 {
+		return nil, fmt.Errorf("orion: SLOWindow %d below 1", cfg.SLOWindow)
+	}
+	if cfg.SLOTripFraction == 0 {
+		cfg.SLOTripFraction = DefaultSLOTripFraction
+	}
+	if cfg.SLOResumeFraction == 0 {
+		cfg.SLOResumeFraction = DefaultSLOResumeFraction
+	}
+	if cfg.SLOTripFraction <= 0 || cfg.SLOTripFraction > 1 ||
+		cfg.SLOResumeFraction < 0 || cfg.SLOResumeFraction >= cfg.SLOTripFraction {
+		return nil, fmt.Errorf("orion: SLO fractions need 0 <= resume (%v) < trip (%v) <= 1",
+			cfg.SLOResumeFraction, cfg.SLOTripFraction)
 	}
 	return &Orion{
 		eng: eng, ctx: ctx, cfg: cfg,
@@ -239,7 +297,67 @@ func (o *Orion) Register(cc sched.ClientConfig) (sched.Client, error) {
 // Start implements sched.Backend.
 func (o *Orion) Start() {
 	o.started = true
+	if o.cfg.SLOGuard && o.hp != nil {
+		limit := sim.Duration(float64(o.hp.profile.RequestLatency) * o.cfg.SLOFactor)
+		o.slo = newSLOGuard(limit, o.cfg.SLOWindow, o.cfg.SLOTripFraction, o.cfg.SLOResumeFraction)
+	}
 	o.startTuner()
+}
+
+// Deregister implements sched.Backend: it evicts a crashed client. The
+// client's queued operations are purged without running their completion
+// callbacks, its scheduler state is released — for a best-effort client
+// that unpins the DUR_THRESHOLD budget (its CUDA event no longer holds
+// the throttle) and rebalances the round-robin cursor; for the
+// high-priority client it lifts the duration budget entirely — and
+// operations it already has on the device drain normally.
+func (o *Orion) Deregister(sc sched.Client) error {
+	c, ok := sc.(*client)
+	if !ok || c.o != o {
+		return fmt.Errorf("orion: deregister of foreign client")
+	}
+	if c.gone {
+		return nil
+	}
+	c.gone = true
+	o.purgedOps += uint64(len(c.queue))
+	c.queue = nil
+	if c == o.hp {
+		// Outstanding high-priority counters drain through the completion
+		// closures already armed on the device; with no high-priority
+		// client the duration budget becomes unbounded.
+		o.hp = nil
+	} else {
+		for i, have := range o.be {
+			if have != c {
+				continue
+			}
+			o.be = append(o.be[:i], o.be[i+1:]...)
+			// Keep the round-robin cursor on the client it pointed at so
+			// the surviving clients' service order is undisturbed.
+			if o.rrNext > i {
+				o.rrNext--
+			}
+			if len(o.be) > 0 {
+				o.rrNext %= len(o.be)
+			} else {
+				o.rrNext = 0
+			}
+			break
+		}
+	}
+	o.evictions++
+	// The eviction may have unblocked deferred work (throttle budget,
+	// HP-idle): run a scheduling pass.
+	o.schedule()
+	return nil
+}
+
+// FaultStats reports robustness counters: clients evicted via
+// Deregister, queued operations purged at eviction, and transient submit
+// failures retried inside scheduler passes.
+func (o *Orion) FaultStats() (evictions, purgedOps, transientRetries uint64) {
+	return o.evictions, o.purgedOps, o.transientRetries
 }
 
 // SetSMThreshold adjusts the SM threshold at runtime (used by the dynamic
@@ -262,7 +380,7 @@ func (o *Orion) Stats() (hpSubmitted, beSubmitted, beDeferred, throttleHits uint
 
 // --- sched.Client implementation -----------------------------------------
 
-func (c *client) BeginRequest() {}
+func (c *client) BeginRequest() { c.begin = c.o.eng.Now() }
 
 func (c *client) LaunchOverhead() sim.Duration { return c.o.cfg.InterceptOverhead }
 
@@ -271,6 +389,9 @@ func (c *client) LaunchOverhead() sim.Duration { return c.o.cfg.InterceptOverhea
 func (c *client) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
 	if op == nil {
 		return fmt.Errorf("orion: nil op")
+	}
+	if c.gone {
+		return fmt.Errorf("orion: submit on deregistered client %s", c.cfg.Name)
 	}
 	if err := sched.CheckCapacity(c.o.ctx, op); err != nil {
 		return err
@@ -300,6 +421,12 @@ func (c *client) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
 func (c *client) EndRequest(cb func(sim.Time)) error {
 	c.tracker.Sync(func(at sim.Time) {
 		c.requests++
+		if c.o.slo != nil && c == c.o.hp {
+			if c.o.slo.observe(at.Sub(c.begin)) {
+				// Guard resumed: deferred best-effort work may flow again.
+				c.o.schedule()
+			}
+		}
 		if cb != nil {
 			cb(at)
 		}
@@ -344,6 +471,11 @@ func (o *Orion) drainHP() bool {
 	progress := false
 	for len(c.queue) > 0 {
 		q := c.queue[0]
+		if !o.trySubmit(c, q, true) {
+			// Transient device failure: the op stays at the head of the
+			// queue and is retried at the next scheduling pass.
+			break
+		}
 		c.queue = c.queue[:copy(c.queue, c.queue[1:])]
 		if q.op.Op == kernels.OpKernel {
 			o.hpProfiles = append(o.hpProfiles, q.prof.Class)
@@ -353,7 +485,6 @@ func (o *Orion) drainHP() bool {
 		}
 		o.hpOut++
 		o.hpSubmitted++
-		o.submit(c, q, true)
 		progress = true
 	}
 	return progress
@@ -413,8 +544,11 @@ func (o *Orion) serveBE() bool {
 				})
 				continue
 			}
+			if !o.trySubmit(c, q, false) {
+				// Transient failure: keep the op queued, retry later.
+				continue
+			}
 			c.queue = c.queue[:copy(c.queue, c.queue[1:])]
-			o.submit(c, q, false)
 			progress = true
 			continue
 		}
@@ -427,10 +561,14 @@ func (o *Orion) serveBE() bool {
 			o.beDeferred++
 			continue
 		}
+		if !o.trySubmit(c, q, false) {
+			// Transient failure after admission: keep the op queued; the
+			// admission verdict is re-evaluated when it is retried.
+			continue
+		}
 		c.queue = c.queue[:copy(c.queue, c.queue[1:])]
 		o.beOutstanding += q.prof.Duration
 		o.beSubmitted++
-		o.submit(c, q, false)
 		// Record the submission in a CUDA event (be_submitted.record).
 		if err := o.ctx.EventRecord(c.event, c.stream); err != nil {
 			panic(fmt.Sprintf("orion: event record: %v", err))
@@ -450,6 +588,12 @@ func (o *Orion) serveBE() bool {
 // admitBE is schedule_be plus the duration throttle of Listing 1,
 // returning the reason for its verdict.
 func (o *Orion) admitBE(q *queuedOp) Verdict {
+	// Degradation path: while the SLO guard is tripped the scheduler runs
+	// HP-only and admits no best-effort kernels at all.
+	if o.slo != nil && o.slo.tripped {
+		return DeferredSLOGuard
+	}
+
 	// Duration throttle (lines 12-16): outstanding best-effort work must
 	// stay under the budget; it resets only when the last submitted
 	// best-effort kernels have finished (cudaEventQuery, non-blocking).
@@ -487,9 +631,13 @@ func (o *Orion) allBEEventsFinished() bool {
 	return true
 }
 
-// submit lowers an operation onto the client's stream and hooks completion
-// back into the scheduler.
-func (o *Orion) submit(c *client, q *queuedOp, hp bool) {
+// trySubmit lowers an operation onto the client's stream and hooks
+// completion back into the scheduler. It reports whether the submission
+// reached the device: a transient failure (an injected launch or
+// allocation fault) leaves the op with the caller to retry — the
+// scheduler is re-armed one poll interval out — while any other error
+// remains a modelling bug and panics.
+func (o *Orion) trySubmit(c *client, q *queuedOp, hp bool) bool {
 	done := func(at sim.Time) {
 		if hp {
 			o.hpOut--
@@ -506,7 +654,30 @@ func (o *Orion) submit(c *client, q *queuedOp, hp bool) {
 		}
 		o.schedule()
 	}
-	if err := sched.SubmitTo(o.ctx, c.stream, q.op, done); err != nil {
-		panic(fmt.Sprintf("orion: submit %s: %v", q.op.Name, err))
+	err := sched.SubmitTo(o.ctx, c.stream, q.op, done)
+	if err == nil {
+		return true
 	}
+	if cudart.IsTransient(err) {
+		o.transientRetries++
+		o.armRetry()
+		return false
+	}
+	panic(fmt.Sprintf("orion: submit %s: %v", q.op.Name, err))
+}
+
+// armRetry schedules one retry pass a poll interval out. Arms coalesce:
+// however many submissions fail while a failure window is open, at most
+// one retry poll is pending — without this, every failed attempt in a
+// pass would arm its own pass and the event count would grow
+// geometrically for as long as the window stayed open.
+func (o *Orion) armRetry() {
+	if o.retryArmed {
+		return
+	}
+	o.retryArmed = true
+	o.eng.After(o.cfg.PollInterval, func() {
+		o.retryArmed = false
+		o.schedule()
+	})
 }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"orion/internal/sim"
+)
+
+// DefaultSLOFactor is the SLO multiplier the guard watches: a
+// high-priority request violates its SLO when its latency exceeds
+// SLOFactor times the profiled dedicated request latency.
+const DefaultSLOFactor = 1.5
+
+// DefaultSLOWindow is the number of recent high-priority requests the
+// guard's sliding window covers.
+const DefaultSLOWindow = 32
+
+// DefaultSLOTripFraction is the violation fraction at which the guard
+// trips into HP-only mode.
+const DefaultSLOTripFraction = 0.5
+
+// DefaultSLOResumeFraction is the violation fraction at or below which a
+// tripped guard resumes best-effort admission. Keeping it well under the
+// trip fraction gives the guard hysteresis: it will not flap between
+// modes on a borderline window.
+const DefaultSLOResumeFraction = 0.125
+
+// sloGuard is the degradation path: a sliding window of recent
+// high-priority request latencies, judged against the SLO. When too many
+// recent requests violate the SLO — under fault injection, a device
+// slowdown, or plain overload — the guard trips and the scheduler stops
+// admitting best-effort kernels entirely (HP-only mode) until the window
+// recovers.
+type sloGuard struct {
+	// limit is the SLO expressed in time: SLOFactor × the high-priority
+	// job's profiled dedicated request latency.
+	limit sim.Duration
+
+	// window is a ring of violation flags for the most recent requests.
+	window     []bool
+	next       int
+	filled     int
+	violations int
+
+	trip    float64 // violation fraction that trips the guard
+	resume  float64 // violation fraction at which it resumes
+	tripped bool
+
+	trips   uint64
+	resumes uint64
+}
+
+func newSLOGuard(limit sim.Duration, window int, trip, resume float64) *sloGuard {
+	return &sloGuard{
+		limit:  limit,
+		window: make([]bool, window),
+		trip:   trip,
+		resume: resume,
+	}
+}
+
+// observe records one completed high-priority request latency and
+// updates the guard state. It reports whether the guard just resumed
+// best-effort admission, in which case the caller should poke the
+// scheduler so deferred work flows again.
+func (g *sloGuard) observe(latency sim.Duration) (resumed bool) {
+	v := latency > g.limit
+	if g.filled == len(g.window) {
+		if g.window[g.next] {
+			g.violations--
+		}
+	} else {
+		g.filled++
+	}
+	g.window[g.next] = v
+	if v {
+		g.violations++
+	}
+	g.next = (g.next + 1) % len(g.window)
+
+	frac := float64(g.violations) / float64(g.filled)
+	if !g.tripped {
+		// Trip only on a full window so a couple of early warmup
+		// outliers cannot shut best-effort work down.
+		if g.filled == len(g.window) && frac >= g.trip {
+			g.tripped = true
+			g.trips++
+		}
+		return false
+	}
+	if frac <= g.resume {
+		g.tripped = false
+		g.resumes++
+		return true
+	}
+	return false
+}
+
+// SLOGuardState reports the guard's status: whether it is configured,
+// whether best-effort admission is currently suspended, and how many
+// times it has tripped and resumed.
+func (o *Orion) SLOGuardState() (active, suspended bool, trips, resumes uint64) {
+	if o.slo == nil {
+		return false, false, 0, 0
+	}
+	return true, o.slo.tripped, o.slo.trips, o.slo.resumes
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/profiler"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// The guard trips only on a full window, resumes with hysteresis, and
+// counts both transitions.
+func (g *sloGuard) feed(lat sim.Duration, n int) (resumed bool) {
+	for i := 0; i < n; i++ {
+		if g.observe(lat) {
+			resumed = true
+		}
+	}
+	return resumed
+}
+
+func TestSLOGuardTripAndResume(t *testing.T) {
+	g := &sloGuard{
+		limit: sim.Millis(10), window: make([]bool, 8),
+		trip: 0.5, resume: 0.125,
+	}
+	// Seven violations: window not yet full, must not trip.
+	g.feed(sim.Millis(20), 7)
+	if g.tripped {
+		t.Fatal("guard tripped before the window filled")
+	}
+	// Eighth fills the window at 8/8 violations >= 50%.
+	g.feed(sim.Millis(20), 1)
+	if !g.tripped {
+		t.Fatal("guard did not trip on a full violating window")
+	}
+	if g.trips != 1 {
+		t.Errorf("trips = %d, want 1", g.trips)
+	}
+	// Healthy latencies wash violations out; at 1/8 = 12.5% <= resume the
+	// guard re-opens and reports the transition exactly once.
+	if g.feed(sim.Millis(1), 6) {
+		t.Error("guard resumed above the resume fraction")
+	}
+	if !g.feed(sim.Millis(1), 1) {
+		t.Error("guard did not resume at the resume fraction")
+	}
+	if g.tripped {
+		t.Error("guard still tripped after resuming")
+	}
+	if g.resumes != 1 {
+		t.Errorf("resumes = %d, want 1", g.resumes)
+	}
+	// Observing at exactly the limit is not a violation.
+	g.feed(sim.Millis(10), 8)
+	if g.tripped {
+		t.Error("at-limit latencies tripped the guard")
+	}
+}
+
+func TestSLOGuardConfigValidation(t *testing.T) {
+	hp := mkModel("hp", workload.Inference, mkKernel(0, "k", sim.Micros(100), 0.9, 0.2, 40))
+	bad := []Config{
+		{SLOGuard: true, SLOFactor: 0.5},
+		{SLOGuard: true, SLOWindow: -1},
+		{SLOGuard: true, SLOTripFraction: 1.5},
+		{SLOGuard: true, SLOTripFraction: 0.25, SLOResumeFraction: 0.5},
+	}
+	for i, cfg := range bad {
+		eng := sim.NewEngine()
+		dev, err := gpu.NewDevice(eng, gpu.V100())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Profiles = map[string]*profiler.Profile{
+			hp.ID(): mkProfile(hp, sim.Millis(1), gpu.V100()),
+		}
+		if _, err := New(eng, cudart.NewContext(dev), cfg); err == nil {
+			t.Errorf("bad SLO config %d accepted", i)
+		}
+	}
+}
+
+// A tripped guard suspends best-effort admission entirely (HP-only mode)
+// and records DeferredSLOGuard verdicts.
+func TestSLOGuardSuspendsBestEffort(t *testing.T) {
+	hp := mkModel("hp", workload.Inference, mkKernel(0, "hpconv", sim.Millis(1), 0.9, 0.2, 40))
+	be := mkModel("be", workload.Training, mkKernel(0, "bebn", sim.Micros(100), 0.1, 0.8, 10))
+	r := newRig(t, Config{SLOGuard: true, SLOWindow: 4, SLOTripFraction: 0.5}, hp, be)
+	hpc := register(t, r.o, hp, sched.HighPriority)
+	bec := register(t, r.o, be, sched.BestEffort)
+	r.o.Start()
+
+	active, suspended, _, _ := r.o.SLOGuardState()
+	if !active || suspended {
+		t.Fatalf("guard state active=%v suspended=%v, want active and open", active, suspended)
+	}
+
+	// Trip the guard directly: the integration path (EndRequest feeding
+	// observe) is covered by the harness tests.
+	for i := 0; i < 4; i++ {
+		r.o.slo.observe(r.o.slo.limit * 2)
+	}
+	_, suspended, trips, _ := r.o.SLOGuardState()
+	if !suspended || trips != 1 {
+		t.Fatalf("guard suspended=%v trips=%d after violating window", suspended, trips)
+	}
+
+	hpc.Submit(&hp.Ops[0], nil)
+	bec.Submit(&be.Ops[0], nil)
+	r.eng.Run()
+	hpSub, beSub, _, _ := r.o.Stats()
+	if hpSub != 1 {
+		t.Errorf("hpSubmitted = %d, want 1 (HP-only mode still serves HP)", hpSub)
+	}
+	if beSub != 0 {
+		t.Errorf("beSubmitted = %d, want 0 while the guard is tripped", beSub)
+	}
+	found := false
+	for _, d := range r.o.RecentDecisions(16) {
+		if d.Verdict == DeferredSLOGuard {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no DeferredSLOGuard verdict recorded")
+	}
+
+	// Resume: healthy observations re-open admission and the deferred
+	// best-effort kernel runs.
+	for i := 0; i < 4; i++ {
+		if r.o.slo.observe(0) {
+			r.o.schedule()
+		}
+	}
+	r.eng.Run()
+	if _, beSub, _, _ := r.o.Stats(); beSub != 1 {
+		t.Errorf("beSubmitted = %d after resume, want 1", beSub)
+	}
+}

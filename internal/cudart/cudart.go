@@ -22,6 +22,9 @@ import (
 type Context struct {
 	dev     *gpu.Device
 	streams []*Stream
+	// fault, when non-nil, may fail launches and allocations before they
+	// reach the device (the fault-injection seam).
+	fault FaultHook
 }
 
 // NewContext creates a context on the device.
@@ -62,7 +65,12 @@ func (s *Stream) Idle() bool { return s.gs.Idle() }
 // if non-nil, fires when the kernel finishes on the device.
 func (c *Context) LaunchKernel(desc *kernels.Descriptor, s *Stream, onComplete func(sim.Time)) error {
 	if s == nil || s.ctx != c {
-		return fmt.Errorf("cudart: launch on foreign or nil stream")
+		return fmt.Errorf("cudart: launch: %w", ErrForeignStream)
+	}
+	if c.fault != nil {
+		if err := c.fault(InjectLaunch, desc); err != nil {
+			return err
+		}
 	}
 	return c.dev.Submit(s.gs, gpu.NewKernelTask(desc, onComplete))
 }
@@ -81,10 +89,10 @@ func (c *Context) MemcpyAsync(desc *kernels.Descriptor, s *Stream, onComplete fu
 
 func (c *Context) memcpy(desc *kernels.Descriptor, s *Stream, sync bool, onComplete func(sim.Time)) error {
 	if s == nil || s.ctx != c {
-		return fmt.Errorf("cudart: memcpy on foreign or nil stream")
+		return fmt.Errorf("cudart: memcpy: %w", ErrForeignStream)
 	}
 	if desc == nil || !desc.Op.IsMemcpy() {
-		return fmt.Errorf("cudart: memcpy with non-memcpy descriptor")
+		return fmt.Errorf("cudart: memcpy with non-memcpy descriptor: %w", ErrInvalidValue)
 	}
 	return c.dev.Submit(s.gs, gpu.NewCopyTask(desc, sync, onComplete))
 }
@@ -92,10 +100,10 @@ func (c *Context) memcpy(desc *kernels.Descriptor, s *Stream, sync bool, onCompl
 // Memset submits a device-memory fill (cudaMemsetAsync semantics).
 func (c *Context) Memset(desc *kernels.Descriptor, s *Stream, onComplete func(sim.Time)) error {
 	if s == nil || s.ctx != c {
-		return fmt.Errorf("cudart: memset on foreign or nil stream")
+		return fmt.Errorf("cudart: memset: %w", ErrForeignStream)
 	}
 	if desc == nil || desc.Op != kernels.OpMemset {
-		return fmt.Errorf("cudart: memset with wrong descriptor op %v", descOp(desc))
+		return fmt.Errorf("cudart: memset with wrong descriptor op %v: %w", descOp(desc), ErrInvalidValue)
 	}
 	return c.dev.Submit(s.gs, gpu.NewCopyTask(desc, false, onComplete))
 }
@@ -122,13 +130,18 @@ func (a *Allocation) Bytes() int64 { return a.bytes }
 // by a sync-op task, and onComplete fires when it finishes.
 func (c *Context) Malloc(bytes int64, s *Stream, onComplete func(sim.Time)) (*Allocation, error) {
 	if s == nil || s.ctx != c {
-		return nil, fmt.Errorf("cudart: malloc on foreign or nil stream")
+		return nil, fmt.Errorf("cudart: malloc: %w", ErrForeignStream)
 	}
 	if bytes <= 0 {
-		return nil, fmt.Errorf("cudart: malloc of %d bytes", bytes)
+		return nil, fmt.Errorf("cudart: malloc of %d bytes: %w", bytes, ErrInvalidValue)
+	}
+	if c.fault != nil {
+		if err := c.fault(InjectAlloc, &kernels.Descriptor{Name: "cudaMalloc", Op: kernels.OpMalloc, Bytes: bytes}); err != nil {
+			return nil, err
+		}
 	}
 	if err := c.dev.Reserve(bytes); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cudart: malloc of %d bytes: %v: %w", bytes, err, ErrOOM)
 	}
 	a := &Allocation{ctx: c, bytes: bytes}
 	desc := &kernels.Descriptor{Name: "cudaMalloc", Op: kernels.OpMalloc, Bytes: bytes}
@@ -142,13 +155,13 @@ func (c *Context) Malloc(bytes int64, s *Stream, onComplete func(sim.Time)) (*Al
 // Free releases an allocation (cudaFree); it also device-synchronizes.
 func (c *Context) Free(a *Allocation, s *Stream, onComplete func(sim.Time)) error {
 	if s == nil || s.ctx != c {
-		return fmt.Errorf("cudart: free on foreign or nil stream")
+		return fmt.Errorf("cudart: free: %w", ErrForeignStream)
 	}
 	if a == nil || a.ctx != c {
-		return fmt.Errorf("cudart: free of foreign or nil allocation")
+		return fmt.Errorf("cudart: free: %w", ErrForeignAllocation)
 	}
 	if a.freed {
-		return fmt.Errorf("cudart: double free")
+		return fmt.Errorf("cudart: free of %d bytes: %w", a.bytes, ErrDoubleFree)
 	}
 	a.freed = true
 	desc := &kernels.Descriptor{Name: "cudaFree", Op: kernels.OpFree, Bytes: a.bytes}
@@ -167,10 +180,11 @@ func (c *Context) Free(a *Allocation, s *Stream, onComplete func(sim.Time)) erro
 // device-synchronizes before completing.
 func (c *Context) FreeBytes(bytes int64, s *Stream, onComplete func(sim.Time)) error {
 	if s == nil || s.ctx != c {
-		return fmt.Errorf("cudart: free on foreign or nil stream")
+		return fmt.Errorf("cudart: free: %w", ErrForeignStream)
 	}
 	if bytes < 0 || bytes > c.dev.AllocatedBytes() {
-		return fmt.Errorf("cudart: freeing %d of %d allocated bytes", bytes, c.dev.AllocatedBytes())
+		return fmt.Errorf("cudart: freeing %d of %d allocated bytes: %w",
+			bytes, c.dev.AllocatedBytes(), ErrInvalidValue)
 	}
 	desc := &kernels.Descriptor{Name: "cudaFree", Op: kernels.OpFree, Bytes: bytes}
 	return c.dev.Submit(s.gs, gpu.NewSyncOpTask(desc, func(at sim.Time) {
@@ -203,10 +217,10 @@ func (c *Context) EventCreate() *Event { return &Event{} }
 // Re-recording a completed event resets it.
 func (c *Context) EventRecord(e *Event, s *Stream) error {
 	if s == nil || s.ctx != c {
-		return fmt.Errorf("cudart: record on foreign or nil stream")
+		return fmt.Errorf("cudart: record: %w", ErrForeignStream)
 	}
 	if e == nil {
-		return fmt.Errorf("cudart: nil event")
+		return fmt.Errorf("cudart: record of nil event: %w", ErrInvalidValue)
 	}
 	e.recorded = true
 	e.done = false
@@ -253,7 +267,7 @@ func (e *Event) OnComplete(cb func(sim.Time)) {
 // the stream has completed (cudaStreamSynchronize).
 func (c *Context) StreamSynchronize(s *Stream, cb func(sim.Time)) error {
 	if s == nil || s.ctx != c {
-		return fmt.Errorf("cudart: synchronize on foreign or nil stream")
+		return fmt.Errorf("cudart: synchronize: %w", ErrForeignStream)
 	}
 	return c.dev.Submit(s.gs, gpu.NewMarkerTask(cb))
 }

@@ -1,0 +1,72 @@
+package cudart
+
+import (
+	"errors"
+
+	"orion/internal/kernels"
+)
+
+// The typed error taxonomy of the CUDA-runtime shim. Every error the shim
+// returns wraps one of these sentinels, so callers branch with errors.Is
+// instead of string matching — the contract schedulers and the fault
+// injector build their recovery paths on.
+var (
+	// ErrForeignStream: the stream handle is nil or belongs to another
+	// context (cudaErrorInvalidResourceHandle).
+	ErrForeignStream = errors.New("foreign or nil stream")
+	// ErrForeignAllocation: the allocation handle is nil or belongs to
+	// another context.
+	ErrForeignAllocation = errors.New("foreign or nil allocation")
+	// ErrOOM: device memory is exhausted (cudaErrorMemoryAllocation).
+	ErrOOM = errors.New("out of device memory")
+	// ErrDoubleFree: the allocation was already freed.
+	ErrDoubleFree = errors.New("double free")
+	// ErrLaunchFailed: the kernel launch failed (cudaErrorLaunchFailure).
+	ErrLaunchFailed = errors.New("kernel launch failed")
+	// ErrInvalidValue: a descriptor argument is malformed for the call
+	// (cudaErrorInvalidValue).
+	ErrInvalidValue = errors.New("invalid value")
+
+	// ErrTransient marks an error as retryable: the condition is expected
+	// to clear on its own (an injected fault window, a momentary driver
+	// hiccup). Injected failures wrap both their taxonomy sentinel and
+	// ErrTransient; a genuine capacity OOM wraps only ErrOOM.
+	ErrTransient = errors.New("transient condition")
+)
+
+// IsTransient reports whether the error is worth retrying after a backoff
+// — the predicate drivers and schedulers use to separate recoverable
+// faults from programming errors.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// InjectPoint identifies an interception site where a fault hook may fail
+// a call.
+type InjectPoint int
+
+const (
+	// InjectLaunch gates kernel launches (cudaLaunchKernel).
+	InjectLaunch InjectPoint = iota
+	// InjectAlloc gates device memory allocations (cudaMalloc).
+	InjectAlloc
+)
+
+func (p InjectPoint) String() string {
+	switch p {
+	case InjectLaunch:
+		return "launch"
+	case InjectAlloc:
+		return "alloc"
+	default:
+		return "inject-point(?)"
+	}
+}
+
+// FaultHook decides whether a runtime call fails before it reaches the
+// device. A nil return lets the call proceed; a non-nil return is handed
+// to the caller verbatim, so hooks must wrap the matching taxonomy
+// sentinel (ErrLaunchFailed for InjectLaunch, ErrOOM for InjectAlloc) and
+// ErrTransient when the failure is retryable.
+type FaultHook func(p InjectPoint, desc *kernels.Descriptor) error
+
+// SetFaultHook installs (or, with nil, removes) the context's fault hook.
+func (c *Context) SetFaultHook(h FaultHook) { c.fault = h }

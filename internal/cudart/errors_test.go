@@ -1,0 +1,121 @@
+package cudart
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+// Every shim error must expose its taxonomy sentinel through errors.Is —
+// the contract recovery paths are built on.
+func TestTypedErrorTaxonomy(t *testing.T) {
+	eng, ctx := newCtx(t)
+	_, other := newCtx(t)
+	s := ctx.StreamCreate()
+
+	if err := ctx.LaunchKernel(kdesc(1, sim.Micros(10)), other.StreamCreate(), nil); !errors.Is(err, ErrForeignStream) {
+		t.Errorf("foreign-stream launch: %v, want ErrForeignStream", err)
+	}
+	if err := ctx.Memcpy(kdesc(1, 10), s, nil); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("memcpy with kernel descriptor: %v, want ErrInvalidValue", err)
+	}
+	if _, err := ctx.Malloc(0, s, nil); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("zero-byte malloc: %v, want ErrInvalidValue", err)
+	}
+
+	// A genuine capacity OOM is NOT transient: there is no point retrying
+	// until someone frees memory.
+	_, err := ctx.Malloc(20<<30, s, nil)
+	if !errors.Is(err, ErrOOM) {
+		t.Errorf("over-capacity malloc: %v, want ErrOOM", err)
+	}
+	if IsTransient(err) {
+		t.Errorf("capacity OOM classified transient: %v", err)
+	}
+
+	a, err := ctx.Malloc(1<<20, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Free(a, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Free(a, s, nil); !errors.Is(err, ErrDoubleFree) {
+		t.Errorf("double free: %v, want ErrDoubleFree", err)
+	}
+	if err := ctx.Free(nil, s, nil); !errors.Is(err, ErrForeignAllocation) {
+		t.Errorf("nil free: %v, want ErrForeignAllocation", err)
+	}
+
+	// An allocation from another context is foreign here.
+	b, err := other.Malloc(1<<20, other.StreamCreate(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Free(b, s, nil); !errors.Is(err, ErrForeignAllocation) {
+		t.Errorf("foreign-allocation free: %v, want ErrForeignAllocation", err)
+	}
+	eng.Run()
+}
+
+// The fault hook gates launches and allocations: its error is returned
+// verbatim, so an injected transient failure classifies as both its
+// taxonomy sentinel and ErrTransient.
+func TestFaultHookGatesLaunchAndAlloc(t *testing.T) {
+	eng, ctx := newCtx(t)
+	s := ctx.StreamCreate()
+	var launches, allocs int
+	ctx.SetFaultHook(func(p InjectPoint, desc *kernels.Descriptor) error {
+		switch p {
+		case InjectLaunch:
+			launches++
+			return fmt.Errorf("test: %w (%w)", ErrLaunchFailed, ErrTransient)
+		case InjectAlloc:
+			allocs++
+			return fmt.Errorf("test: %w (%w)", ErrOOM, ErrTransient)
+		}
+		return nil
+	})
+
+	err := ctx.LaunchKernel(kdesc(1, sim.Micros(10)), s, nil)
+	if !errors.Is(err, ErrLaunchFailed) || !IsTransient(err) {
+		t.Errorf("hooked launch: %v, want ErrLaunchFailed + transient", err)
+	}
+	_, err = ctx.Malloc(1<<20, s, nil)
+	if !errors.Is(err, ErrOOM) || !IsTransient(err) {
+		t.Errorf("hooked malloc: %v, want ErrOOM + transient", err)
+	}
+	if launches != 1 || allocs != 1 {
+		t.Errorf("hook consulted launches=%d allocs=%d, want 1/1", launches, allocs)
+	}
+
+	// Removing the hook restores normal operation.
+	ctx.SetFaultHook(nil)
+	if err := ctx.LaunchKernel(kdesc(2, sim.Micros(10)), s, nil); err != nil {
+		t.Errorf("launch after hook removal: %v", err)
+	}
+	if _, err := ctx.Malloc(1<<20, s, nil); err != nil {
+		t.Errorf("malloc after hook removal: %v", err)
+	}
+	eng.Run()
+}
+
+// The hook must not intercept validation failures: a foreign stream is
+// rejected before the hook runs.
+func TestFaultHookAfterValidation(t *testing.T) {
+	_, ctx := newCtx(t)
+	called := false
+	ctx.SetFaultHook(func(InjectPoint, *kernels.Descriptor) error {
+		called = true
+		return nil
+	})
+	if err := ctx.LaunchKernel(kdesc(1, sim.Micros(10)), nil, nil); !errors.Is(err, ErrForeignStream) {
+		t.Fatalf("nil stream: %v", err)
+	}
+	if called {
+		t.Error("fault hook consulted for an invalid launch")
+	}
+}

@@ -1,0 +1,328 @@
+// Package fault injects failures into a simulated Orion deployment: client
+// process crashes, transient CUDA launch and allocation failures, and
+// degraded-device slowdown windows. The injector is driven entirely by the
+// discrete-event engine and seeded RNG streams, so a given seed produces a
+// bit-identical fault schedule — the property the robustness experiments
+// and the determinism regression test rely on.
+//
+// Transient failures are modelled as Poisson-arriving windows: while a
+// window is open, every kernel launch (or allocation) fails with an error
+// that wraps both the matching cudart taxonomy sentinel and
+// cudart.ErrTransient, so schedulers and drivers can classify it with
+// errors.Is and retry. Crashes are one-shot: each registered target draws
+// an exponential time-to-crash and, if it lands inside the horizon, the
+// target's kill function runs at that instant.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+// Kind enumerates injected fault classes.
+type Kind int
+
+const (
+	// KindCrash is a best-effort client process crash.
+	KindCrash Kind = iota
+	// KindLaunchWindow opens a transient kernel-launch failure window.
+	KindLaunchWindow
+	// KindAllocWindow opens a transient allocation (OOM) failure window.
+	KindAllocWindow
+	// KindSlowdown opens a degraded-device window.
+	KindSlowdown
+	// KindSlowdownEnd closes a degraded-device window.
+	KindSlowdownEnd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindLaunchWindow:
+		return "launch-fail-window"
+	case KindAllocWindow:
+		return "alloc-fail-window"
+	case KindSlowdown:
+		return "slowdown"
+	case KindSlowdownEnd:
+		return "slowdown-end"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one entry in the fault log.
+type Event struct {
+	// At is when the fault fired.
+	At sim.Time
+	// Kind classifies the fault.
+	Kind Kind
+	// Target names what was hit: a client for crashes, the device for
+	// windows.
+	Target string
+	// Until is the window's closing time (windows only).
+	Until sim.Time
+}
+
+func (e Event) String() string {
+	if e.Until > e.At {
+		return fmt.Sprintf("%.3fms %s %s until %.3fms",
+			float64(e.At)/1e6, e.Kind, e.Target, float64(e.Until)/1e6)
+	}
+	return fmt.Sprintf("%.3fms %s %s", float64(e.At)/1e6, e.Kind, e.Target)
+}
+
+// Config tunes the injector. Zero-valued rates disable the corresponding
+// fault class.
+type Config struct {
+	// Engine is the simulation engine faults are scheduled on.
+	Engine *sim.Engine
+	// Seed feeds the injector's RNG streams. Runs with equal seeds and
+	// configurations produce identical fault schedules.
+	Seed int64
+	// Horizon bounds fault scheduling: no fault fires at or after it.
+	Horizon sim.Time
+
+	// CrashMTBF is each registered crash target's mean time to failure
+	// (exponential). Zero disables crashes.
+	CrashMTBF sim.Duration
+
+	// LaunchFailMTBF is the mean gap between transient kernel-launch
+	// failure windows; LaunchFailDuration is each window's length. A zero
+	// MTBF disables launch faults.
+	LaunchFailMTBF     sim.Duration
+	LaunchFailDuration sim.Duration
+
+	// AllocFailMTBF / AllocFailDuration: same, for transient allocation
+	// (OOM) failures.
+	AllocFailMTBF     sim.Duration
+	AllocFailDuration sim.Duration
+
+	// SlowdownMTBF / SlowdownDuration open degraded-device windows during
+	// which the attached device runs at SlowdownFactor of nominal speed
+	// (thermal throttling, ECC scrubbing). A zero MTBF disables them;
+	// SlowdownFactor defaults to DefaultSlowdownFactor.
+	SlowdownMTBF     sim.Duration
+	SlowdownDuration sim.Duration
+	SlowdownFactor   float64
+}
+
+// DefaultSlowdownFactor is the degraded-device execution speed used when
+// Config.SlowdownFactor is zero.
+const DefaultSlowdownFactor = 0.5
+
+// Injector schedules and applies faults.
+type Injector struct {
+	eng *sim.Engine
+	cfg Config
+
+	// Independent RNG streams, split once in a fixed order so adding one
+	// fault class never perturbs another's schedule.
+	crashRng  *sim.Rand
+	launchRng *sim.Rand
+	allocRng  *sim.Rand
+	slowRng   *sim.Rand
+
+	devs []*gpu.Device
+
+	launchFailUntil sim.Time
+	allocFailUntil  sim.Time
+
+	log            []Event
+	deniedLaunches uint64
+	deniedAllocs   uint64
+
+	targets []crashTarget
+	started bool
+}
+
+type crashTarget struct {
+	name string
+	kill func()
+}
+
+// New validates the configuration and builds an injector.
+func New(cfg Config) (*Injector, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("fault: nil engine")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("fault: injector needs a positive horizon")
+	}
+	if cfg.CrashMTBF < 0 || cfg.LaunchFailMTBF < 0 || cfg.AllocFailMTBF < 0 || cfg.SlowdownMTBF < 0 {
+		return nil, fmt.Errorf("fault: negative MTBF")
+	}
+	if cfg.LaunchFailMTBF > 0 && cfg.LaunchFailDuration <= 0 {
+		return nil, fmt.Errorf("fault: launch failures need a positive window duration")
+	}
+	if cfg.AllocFailMTBF > 0 && cfg.AllocFailDuration <= 0 {
+		return nil, fmt.Errorf("fault: alloc failures need a positive window duration")
+	}
+	if cfg.SlowdownMTBF > 0 && cfg.SlowdownDuration <= 0 {
+		return nil, fmt.Errorf("fault: slowdowns need a positive window duration")
+	}
+	if cfg.SlowdownFactor == 0 {
+		cfg.SlowdownFactor = DefaultSlowdownFactor
+	}
+	if cfg.SlowdownFactor <= 0 || cfg.SlowdownFactor >= 1 {
+		return nil, fmt.Errorf("fault: SlowdownFactor %v outside (0,1)", cfg.SlowdownFactor)
+	}
+	base := sim.NewRand(cfg.Seed)
+	return &Injector{
+		eng:       cfg.Engine,
+		cfg:       cfg,
+		crashRng:  base.Split("crash"),
+		launchRng: base.Split("launch"),
+		allocRng:  base.Split("alloc"),
+		slowRng:   base.Split("slowdown"),
+	}, nil
+}
+
+// InstallHook wires the injector into a cudart context so launches and
+// allocations consult the failure windows. Install on every context whose
+// device the injector should disturb.
+func (in *Injector) InstallHook(ctx *cudart.Context) {
+	ctx.SetFaultHook(in.hook)
+}
+
+// AttachDevice gives the injector a device to slow down during
+// degraded-device windows. Slowdown windows affect every attached device
+// so schemes using dedicated per-job devices degrade comparably.
+func (in *Injector) AttachDevice(dev *gpu.Device) { in.devs = append(in.devs, dev) }
+
+// RegisterCrashTarget adds a client the injector may crash. kill runs at
+// the crash instant and must tear the client down (stop its driver,
+// deregister it from its backend). Targets must be registered in a
+// deterministic order before Start: each registration consumes a draw
+// from the crash RNG stream.
+func (in *Injector) RegisterCrashTarget(name string, kill func()) {
+	in.targets = append(in.targets, crashTarget{name: name, kill: kill})
+}
+
+// Start schedules every configured fault. Call once, after all crash
+// targets are registered and before the engine runs.
+func (in *Injector) Start() error {
+	if in.started {
+		return fmt.Errorf("fault: injector started twice")
+	}
+	in.started = true
+	if in.cfg.CrashMTBF > 0 {
+		for _, t := range in.targets {
+			t := t
+			at := in.eng.Now().Add(in.crashRng.Split(t.name).ExpDuration(in.cfg.CrashMTBF))
+			if at >= in.cfg.Horizon {
+				continue
+			}
+			in.eng.At(at, func() {
+				in.record(Event{At: at, Kind: KindCrash, Target: t.name})
+				t.kill()
+			})
+		}
+	}
+	if in.cfg.LaunchFailMTBF > 0 {
+		in.scheduleWindows(in.launchRng, in.cfg.LaunchFailMTBF, in.cfg.LaunchFailDuration,
+			KindLaunchWindow, func(until sim.Time) { in.launchFailUntil = until })
+	}
+	if in.cfg.AllocFailMTBF > 0 {
+		in.scheduleWindows(in.allocRng, in.cfg.AllocFailMTBF, in.cfg.AllocFailDuration,
+			KindAllocWindow, func(until sim.Time) { in.allocFailUntil = until })
+	}
+	if in.cfg.SlowdownMTBF > 0 && len(in.devs) > 0 {
+		in.scheduleWindows(in.slowRng, in.cfg.SlowdownMTBF, in.cfg.SlowdownDuration,
+			KindSlowdown, func(until sim.Time) {
+				for _, d := range in.devs {
+					d.SetSpeedFactor(in.cfg.SlowdownFactor)
+				}
+				in.eng.At(until, func() {
+					in.record(Event{At: until, Kind: KindSlowdownEnd, Target: "device"})
+					for _, d := range in.devs {
+						d.SetSpeedFactor(1)
+					}
+				})
+			})
+	}
+	return nil
+}
+
+// scheduleWindows arms a Poisson sequence of failure windows: each window
+// opens an exponential gap after the previous one closed.
+func (in *Injector) scheduleWindows(rng *sim.Rand, mtbf, dur sim.Duration,
+	kind Kind, open func(until sim.Time)) {
+	var arm func(from sim.Time)
+	arm = func(from sim.Time) {
+		at := from.Add(rng.ExpDuration(mtbf))
+		if at >= in.cfg.Horizon {
+			return
+		}
+		until := at.Add(dur)
+		in.eng.At(at, func() {
+			in.record(Event{At: at, Kind: kind, Target: "device", Until: until})
+			open(until)
+		})
+		arm(until)
+	}
+	arm(in.eng.Now())
+}
+
+// hook is the cudart fault seam: it fails launches and allocations that
+// land inside an open failure window with transient typed errors.
+func (in *Injector) hook(p cudart.InjectPoint, desc *kernels.Descriptor) error {
+	now := in.eng.Now()
+	switch p {
+	case cudart.InjectLaunch:
+		if now < in.launchFailUntil {
+			in.deniedLaunches++
+			return fmt.Errorf("fault: injected launch failure of %s: %w (%w)",
+				descName(desc), cudart.ErrLaunchFailed, cudart.ErrTransient)
+		}
+	case cudart.InjectAlloc:
+		if now < in.allocFailUntil {
+			in.deniedAllocs++
+			return fmt.Errorf("fault: injected allocation failure of %d bytes: %w (%w)",
+				descBytes(desc), cudart.ErrOOM, cudart.ErrTransient)
+		}
+	}
+	return nil
+}
+
+func descName(d *kernels.Descriptor) string {
+	if d == nil {
+		return "<nil>"
+	}
+	return d.Name
+}
+
+func descBytes(d *kernels.Descriptor) int64 {
+	if d == nil {
+		return 0
+	}
+	return d.Bytes
+}
+
+func (in *Injector) record(e Event) { in.log = append(in.log, e) }
+
+// Log returns the chronological fault log.
+func (in *Injector) Log() []Event { return in.log }
+
+// Denied reports how many launches and allocations the open windows
+// failed (every retry of the same operation counts).
+func (in *Injector) Denied() (launches, allocs uint64) {
+	return in.deniedLaunches, in.deniedAllocs
+}
+
+// FormatLog renders the fault log one event per line — a stable, seeded
+// fingerprint of the run's fault schedule.
+func FormatLog(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

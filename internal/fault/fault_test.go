@@ -1,0 +1,240 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"orion/internal/cudart"
+	"orion/internal/gpu"
+	"orion/internal/kernels"
+	"orion/internal/sim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	bad := []Config{
+		{},            // nil engine
+		{Engine: eng}, // no horizon
+		{Engine: eng, Horizon: 1, CrashMTBF: -1},
+		{Engine: eng, Horizon: 1, LaunchFailMTBF: sim.Second}, // no window duration
+		{Engine: eng, Horizon: 1, AllocFailMTBF: sim.Second},
+		{Engine: eng, Horizon: 1, SlowdownMTBF: sim.Second},
+		{Engine: eng, Horizon: 1, SlowdownMTBF: sim.Second, SlowdownDuration: sim.Second, SlowdownFactor: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	in, err := New(Config{Engine: eng, Horizon: sim.Time(sim.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Start(); err == nil {
+		t.Error("double Start accepted")
+	}
+}
+
+// scheduleFor runs an injector over the given config on a fresh engine
+// and returns the formatted fault log.
+func scheduleFor(t *testing.T, seed int64) string {
+	t.Helper()
+	eng := sim.NewEngine()
+	horizon := sim.Time(10 * sim.Second)
+	in, err := New(Config{
+		Engine: eng, Seed: seed, Horizon: horizon,
+		CrashMTBF:          4 * sim.Second,
+		LaunchFailMTBF:     2 * sim.Second,
+		LaunchFailDuration: 5 * sim.Millisecond,
+		AllocFailMTBF:      3 * sim.Second,
+		AllocFailDuration:  5 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.RegisterCrashTarget("be#1", func() {})
+	in.RegisterCrashTarget("be#2", func() {})
+	if err := in.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(horizon)
+	return FormatLog(in.Log())
+}
+
+// The whole point of the seeded injector: equal seeds give bit-identical
+// fault schedules, different seeds give different ones.
+func TestScheduleDeterminism(t *testing.T) {
+	a := scheduleFor(t, 7)
+	b := scheduleFor(t, 7)
+	if a != b {
+		t.Errorf("same seed, different schedules:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty fault schedule; rates too low for the horizon?")
+	}
+	c := scheduleFor(t, 8)
+	if a == c {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// Crashes fire each target's kill exactly once, at the logged instant,
+// inside the horizon.
+func TestCrashScheduling(t *testing.T) {
+	eng := sim.NewEngine()
+	horizon := sim.Time(60 * sim.Second)
+	in, err := New(Config{
+		Engine: eng, Seed: 3, Horizon: horizon, CrashMTBF: 5 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := map[string]sim.Time{}
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		in.RegisterCrashTarget(name, func() {
+			if _, dup := killed[name]; dup {
+				t.Errorf("target %s killed twice", name)
+			}
+			killed[name] = eng.Now()
+		})
+	}
+	if err := in.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(horizon)
+
+	// With a 5s MTBF and a 60s horizon each target crashes with
+	// probability 1-e^-12; all three missing would mean broken scheduling.
+	if len(killed) == 0 {
+		t.Fatal("no crash fired in 12 MTBFs")
+	}
+	crashes := 0
+	for _, e := range in.Log() {
+		if e.Kind != KindCrash {
+			continue
+		}
+		crashes++
+		at, ok := killed[e.Target]
+		if !ok {
+			t.Errorf("logged crash of %s never killed it", e.Target)
+			continue
+		}
+		if at != e.At {
+			t.Errorf("%s killed at %v, logged at %v", e.Target, at, e.At)
+		}
+		if e.At >= horizon {
+			t.Errorf("crash of %s at %v, beyond horizon", e.Target, e.At)
+		}
+	}
+	if crashes != len(killed) {
+		t.Errorf("%d crashes logged, %d targets killed", crashes, len(killed))
+	}
+}
+
+// The hook fails calls inside an open window with errors wrapping both
+// the taxonomy sentinel and ErrTransient, and passes them otherwise.
+func TestHookWindowSemantics(t *testing.T) {
+	eng := sim.NewEngine()
+	in, err := New(Config{Engine: eng, Seed: 1, Horizon: sim.Time(sim.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := &kernels.Descriptor{Name: "conv", Op: kernels.OpKernel}
+
+	if err := in.hook(cudart.InjectLaunch, desc); err != nil {
+		t.Errorf("launch outside window failed: %v", err)
+	}
+	in.launchFailUntil = sim.Time(sim.Millisecond)
+	err = in.hook(cudart.InjectLaunch, desc)
+	if !errors.Is(err, cudart.ErrLaunchFailed) || !cudart.IsTransient(err) {
+		t.Errorf("launch inside window: %v, want ErrLaunchFailed + transient", err)
+	}
+
+	if err := in.hook(cudart.InjectAlloc, nil); err != nil {
+		t.Errorf("alloc outside window failed: %v", err)
+	}
+	in.allocFailUntil = sim.Time(sim.Millisecond)
+	err = in.hook(cudart.InjectAlloc, nil)
+	if !errors.Is(err, cudart.ErrOOM) || !cudart.IsTransient(err) {
+		t.Errorf("alloc inside window: %v, want ErrOOM + transient", err)
+	}
+
+	launches, allocs := in.Denied()
+	if launches != 1 || allocs != 1 {
+		t.Errorf("Denied() = %d, %d, want 1, 1", launches, allocs)
+	}
+}
+
+// Slowdown windows degrade every attached device and restore full speed
+// when they close.
+func TestSlowdownWindows(t *testing.T) {
+	eng := sim.NewEngine()
+	d1, err := gpu.NewDevice(eng, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := gpu.NewDevice(eng, gpu.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := sim.Time(10 * sim.Second)
+	in, err := New(Config{
+		Engine: eng, Seed: 5, Horizon: horizon,
+		SlowdownMTBF: 2 * sim.Second, SlowdownDuration: 100 * sim.Millisecond,
+		SlowdownFactor: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.AttachDevice(d1)
+	in.AttachDevice(d2)
+	if err := in.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sample the speed factor while the engine runs.
+	var sawSlow bool
+	var sample func()
+	sample = func() {
+		if d1.SpeedFactor() == 0.25 && d2.SpeedFactor() == 0.25 {
+			sawSlow = true
+		}
+		if eng.Now() < horizon {
+			eng.After(sim.Millisecond, sample)
+		}
+	}
+	sample()
+	// Run to exhaustion rather than to the horizon: a window opening just
+	// before the horizon closes just after it.
+	eng.Run()
+
+	if !sawSlow {
+		t.Error("devices never observed at the degraded speed")
+	}
+	if d1.SpeedFactor() != 1 || d2.SpeedFactor() != 1 {
+		t.Errorf("speeds %v/%v after the run, want full speed restored",
+			d1.SpeedFactor(), d2.SpeedFactor())
+	}
+	var opens, closes int
+	for _, e := range in.Log() {
+		switch e.Kind {
+		case KindSlowdown:
+			opens++
+			if e.Until <= e.At {
+				t.Errorf("slowdown window %v with no extent", e)
+			}
+		case KindSlowdownEnd:
+			closes++
+		}
+	}
+	if opens == 0 {
+		t.Fatal("no slowdown window in 5 MTBFs")
+	}
+	if opens != closes {
+		t.Errorf("%d windows opened, %d closed", opens, closes)
+	}
+}

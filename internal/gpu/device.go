@@ -165,6 +165,11 @@ type Device struct {
 	dirty       bool
 	kernelsDone uint64
 
+	// speed scales every resident kernel's progress rate; 1 is nominal.
+	// Values below 1 model degraded-device windows (thermal throttling,
+	// ECC scrubbing) driven by fault injection.
+	speed float64
+
 	util utilAccum
 }
 
@@ -177,8 +182,28 @@ func NewDevice(eng *sim.Engine, spec Spec) (*Device, error) {
 		eng:     eng,
 		spec:    spec,
 		freeSMs: spec.NumSMs,
+		speed:   1,
 	}, nil
 }
+
+// SetSpeedFactor scales kernel execution speed: 1 is nominal, values in
+// (0,1) slow every resident and future kernel down proportionally — the
+// degraded-device model fault injection uses for slowdown windows.
+// Progress already made is preserved (the fluid model integrates at the
+// old rates first). Non-positive factors are clamped to nominal.
+func (d *Device) SetSpeedFactor(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	if f == d.speed {
+		return
+	}
+	d.speed = f
+	d.update()
+}
+
+// SpeedFactor reports the current execution-speed scale.
+func (d *Device) SpeedFactor() float64 { return d.speed }
 
 // Spec returns the device's architecture description.
 func (d *Device) Spec() Spec { return d.spec }
@@ -775,7 +800,7 @@ func (d *Device) computeRates() {
 	c, m := d.demand()
 	slow := d.slowdown(c, m)
 	for _, k := range d.resident {
-		k.rate = k.share() / slow
+		k.rate = k.share() / slow * d.speed
 	}
 }
 

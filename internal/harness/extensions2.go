@@ -19,6 +19,7 @@ func moreExtensions() []Experiment {
 		{"graphs", "Scheduling granularity: per-kernel vs CUDA-graph interception (§7)", GraphGranularity},
 		{"swapping", "Layer-by-layer swapping for an oversubscribed best-effort job (§5.1.3)", Swapping},
 		{"serving", "Oversubscribed serving: state swap vs layer window (§3, §4)", Serving},
+		{"faults", "Fault injection: BE crashes + transient CUDA errors, SLO-guarded degradation", Faults},
 	}
 }
 

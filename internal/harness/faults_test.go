@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"testing"
+
+	"orion/internal/core"
+	"orion/internal/fault"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// faultedRunConfig is the shared scenario of the robustness regression
+// tests: the faults experiment's topology at a shorter horizon.
+func faultedRunConfig(arrivalSeed, faultSeed int64) RunConfig {
+	return RunConfig{
+		Scheme: Orion,
+		Jobs: []JobSpec{
+			{Model: workload.ResNet50Inference(), Priority: sched.HighPriority,
+				Arrival: Poisson, RPS: 15, Deadline: sim.Millis(8)},
+			{Model: workload.MobileNetV2Training(), Priority: sched.BestEffort, Arrival: Closed},
+			{Model: workload.ResNet50Training(), Priority: sched.BestEffort, Arrival: Closed},
+		},
+		Horizon: sim.Seconds(6), Warmup: sim.Seconds(1),
+		Seed:        arrivalSeed,
+		OrionConfig: &core.Config{SLOGuard: true},
+		Faults: &fault.Config{
+			Seed:               faultSeed,
+			CrashMTBF:          4 * sim.Second,
+			LaunchFailMTBF:     sim.Second,
+			LaunchFailDuration: 5 * sim.Millisecond,
+			AllocFailMTBF:      2 * sim.Second,
+			AllocFailDuration:  5 * sim.Millisecond,
+		},
+	}
+}
+
+// Seeded fault runs are bit-identical: same seeds give the same fault
+// log, the same scheduler decision log, and the same latency percentiles;
+// a different fault seed changes the fault log.
+func TestFaultedRunDeterminism(t *testing.T) {
+	a, err := Run(faultedRunConfig(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(faultedRunConfig(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	logA := fault.FormatLog(a.Robustness.Events)
+	logB := fault.FormatLog(b.Robustness.Events)
+	if logA == "" {
+		t.Fatal("no faults fired; rates too low for the horizon")
+	}
+	if logA != logB {
+		t.Errorf("same seeds, different fault logs:\n--- run 1\n%s--- run 2\n%s", logA, logB)
+	}
+	if len(a.Decisions) == 0 || len(a.Decisions) != len(b.Decisions) {
+		t.Fatalf("decision logs sized %d vs %d", len(a.Decisions), len(b.Decisions))
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i] != b.Decisions[i] {
+			t.Errorf("decision %d differs: %+v vs %+v", i, a.Decisions[i], b.Decisions[i])
+			break
+		}
+	}
+	for _, q := range []struct {
+		name string
+		a, b sim.Duration
+	}{
+		{"hp p50", a.HP().Stats.Latency.P50(), b.HP().Stats.Latency.P50()},
+		{"hp p99", a.HP().Stats.Latency.P99(), b.HP().Stats.Latency.P99()},
+	} {
+		if q.a != q.b {
+			t.Errorf("%s differs: %v vs %v", q.name, q.a, q.b)
+		}
+	}
+	if a.Robustness.DeniedLaunches != b.Robustness.DeniedLaunches ||
+		a.Robustness.DeniedAllocs != b.Robustness.DeniedAllocs ||
+		a.Robustness.Evictions != b.Robustness.Evictions ||
+		a.Robustness.PurgedOps != b.Robustness.PurgedOps ||
+		a.Robustness.SchedulerRetries != b.Robustness.SchedulerRetries {
+		t.Errorf("robustness counters differ: %+v vs %+v", a.Robustness, b.Robustness)
+	}
+
+	c, err := Run(faultedRunConfig(3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logC := fault.FormatLog(c.Robustness.Events); logC == logA {
+		t.Error("different fault seeds produced identical fault logs")
+	}
+}
+
+// Acceptance: under the default fault mix Orion's high-priority p99 stays
+// within 1.2x of the fault-free run, and the crashes leak nothing — every
+// queued op of an evicted client is accounted purged, and the evicted
+// clients stop costing scheduler work.
+func TestOrionP99UnderInjectionWithin1_2x(t *testing.T) {
+	cfg := faultedRunConfig(3, 5)
+	faults := cfg.Faults
+	cfg.Faults = nil
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = faults
+	faulted, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cleanP99 := clean.HP().Stats.Latency.P99()
+	fltP99 := faulted.HP().Stats.Latency.P99()
+	if cleanP99 == 0 || faulted.HP().Stats.Completed == 0 {
+		t.Fatal("runs recorded no high-priority latencies")
+	}
+	if ratio := float64(fltP99) / float64(cleanP99); ratio > 1.2 {
+		t.Errorf("hp p99 %.2fms under faults vs %.2fms clean: %.2fx > 1.2x budget",
+			fltP99.Millis(), cleanP99.Millis(), ratio)
+	}
+
+	rb := faulted.Robustness
+	var crashes int
+	for _, e := range rb.Events {
+		if e.Kind == fault.KindCrash {
+			crashes++
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("fault mix produced no crash; the leak assertions need one")
+	}
+	if rb.Evictions != uint64(crashes) {
+		t.Errorf("%d crashes but %d evictions; a crash must deregister its client", crashes, rb.Evictions)
+	}
+	if rb.PurgedOps == 0 {
+		t.Error("crashes purged no queued ops; trainers always have work queued")
+	}
+	if rb.DeniedLaunches == 0 {
+		t.Error("no launches denied despite launch-failure windows")
+	}
+	if rb.SchedulerRetries == 0 {
+		t.Error("scheduler recorded no transient retries")
+	}
+}

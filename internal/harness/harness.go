@@ -14,6 +14,7 @@ import (
 	"orion/internal/baselines"
 	"orion/internal/core"
 	"orion/internal/cudart"
+	"orion/internal/fault"
 	"orion/internal/gpu"
 	"orion/internal/metrics"
 	"orion/internal/profiler"
@@ -95,6 +96,10 @@ type JobSpec struct {
 	// SwapWindow, when positive, runs the job behind the layer-swapping
 	// manager with this resident-weight budget (§5.1.3 extension).
 	SwapWindow int64
+	// Deadline, when positive, is the job's per-request latency SLO:
+	// completions later than arrival+Deadline count into
+	// JobStats.TimedOut.
+	Deadline sim.Duration
 }
 
 // RunConfig describes one collocation run.
@@ -115,6 +120,13 @@ type RunConfig struct {
 	TemporalSwapStates bool
 	// Tracing records device utilization segments.
 	Tracing bool
+	// Faults, when non-nil, runs the experiment under fault injection:
+	// the harness fills in the injector's Engine and (if zero) Horizon,
+	// installs its hook on every CUDA context, attaches every device for
+	// slowdown windows, and registers each best-effort job as a crash
+	// target (crash = driver killed + client deregistered from the
+	// backend).
+	Faults *fault.Config
 	// streamsNoPriorities runs the Streams scheme without mapping the
 	// high-priority client onto a high-priority stream — the plain "GPU
 	// Streams" point of the Figure 14 ablation.
@@ -143,6 +155,27 @@ type Result struct {
 	// Verdicts tallies the Orion scheduler's admission decisions by
 	// reason (empty for other schemes).
 	Verdicts map[string]uint64
+	// Decisions is the tail of the Orion scheduler's decision log (empty
+	// for other schemes).
+	Decisions []core.Decision
+	// Robustness aggregates fault-injection outcomes (set only when
+	// RunConfig.Faults was non-nil).
+	Robustness *RobustnessReport
+}
+
+// RobustnessReport aggregates what fault injection did to one run.
+type RobustnessReport struct {
+	// Events is the injector's chronological fault log.
+	Events []fault.Event
+	// DeniedLaunches / DeniedAllocs count operations failed inside open
+	// transient-failure windows (retries of the same op count).
+	DeniedLaunches uint64
+	DeniedAllocs   uint64
+	// Evictions, PurgedOps and SchedulerRetries are the Orion scheduler's
+	// robustness counters (zero for other schemes).
+	Evictions        uint64
+	PurgedOps        uint64
+	SchedulerRetries uint64
 }
 
 // HP returns the high-priority job's result, or nil.
@@ -236,6 +269,12 @@ func Run(cfg RunConfig) (*Result, error) {
 
 	// Devices: one shared device, or one per job under Ideal.
 	var devices []*gpu.Device
+	var contexts []*cudart.Context
+	newContext := func(d *gpu.Device) *cudart.Context {
+		ctx := cudart.NewContext(d)
+		contexts = append(contexts, ctx)
+		return ctx
+	}
 	newDevice := func() (*gpu.Device, error) {
 		d, err := gpu.NewDevice(eng, cfg.Device)
 		if err != nil {
@@ -256,7 +295,7 @@ func Run(cfg RunConfig) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			return sched.NewDirect(cudart.NewContext(d)), nil
+			return sched.NewDirect(newContext(d)), nil
 		}
 	case MIG:
 		// One fixed slice per job: SMs, memory bandwidth and capacity
@@ -280,14 +319,14 @@ func Run(cfg RunConfig) (*Result, error) {
 				d.EnableTracing(4_000_000)
 			}
 			devices = append(devices, d)
-			return sched.NewDirect(cudart.NewContext(d)), nil
+			return sched.NewDirect(newContext(d)), nil
 		}
 	default:
 		dev, err := newDevice()
 		if err != nil {
 			return nil, err
 		}
-		ctx := cudart.NewContext(dev)
+		ctx := newContext(dev)
 		shared, err := makeBackend(cfg, eng, ctx, profiles)
 		if err != nil {
 			return nil, err
@@ -298,6 +337,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	res := &Result{Scheme: cfg.Scheme}
 	var drivers []*sched.Driver
 	var backends []sched.Backend
+	// rawClients keeps each job's un-wrapped backend handle — the one
+	// Backend.Deregister expects when a crash tears the client down.
+	var rawClients []sched.Client
 	for i, j := range cfg.Jobs {
 		backend, err := backendFor(i)
 		if err != nil {
@@ -310,6 +352,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		rawClients = append(rawClients, cl)
 		if j.GraphMode {
 			cl, err = sched.NewGraphClient(cl)
 			if err != nil {
@@ -329,11 +372,47 @@ func Run(cfg RunConfig) (*Result, error) {
 		d, err := sched.NewDriver(sched.DriverConfig{
 			Engine: eng, Client: cl, Model: j.Model, Arrivals: arr,
 			Horizon: sim.Time(cfg.Horizon), Warmup: cfg.Warmup,
+			Deadline: j.Deadline,
 		})
 		if err != nil {
 			return nil, err
 		}
 		drivers = append(drivers, d)
+	}
+	var injector *fault.Injector
+	if cfg.Faults != nil {
+		fc := *cfg.Faults
+		fc.Engine = eng
+		if fc.Horizon == 0 {
+			fc.Horizon = sim.Time(cfg.Horizon)
+		}
+		inj, err := fault.New(fc)
+		if err != nil {
+			return nil, err
+		}
+		for _, ctx := range contexts {
+			inj.InstallHook(ctx)
+		}
+		for _, d := range devices {
+			inj.AttachDevice(d)
+		}
+		for i, j := range cfg.Jobs {
+			if j.Priority != sched.BestEffort {
+				continue
+			}
+			i := i
+			name := fmt.Sprintf("%s#%d", j.Model.ID(), i)
+			inj.RegisterCrashTarget(name, func() {
+				drivers[i].Crash()
+				if err := backends[i].Deregister(rawClients[i]); err != nil {
+					panic(fmt.Sprintf("harness: deregister %s: %v", name, err))
+				}
+			})
+		}
+		if err := inj.Start(); err != nil {
+			return nil, err
+		}
+		injector = inj
 	}
 	for _, b := range dedupBackends(backends) {
 		b.Start()
@@ -364,11 +443,20 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Tracing {
 		res.Trace = devices[0].Trace()
 	}
+	if injector != nil {
+		rep := &RobustnessReport{Events: injector.Log()}
+		rep.DeniedLaunches, rep.DeniedAllocs = injector.Denied()
+		res.Robustness = rep
+	}
 	for _, b := range dedupBackends(backends) {
 		if o, ok := b.(*core.Orion); ok {
 			res.Verdicts = map[string]uint64{}
 			for v, n := range o.VerdictCounts() {
 				res.Verdicts[v.String()] = n
+			}
+			res.Decisions = o.RecentDecisions(core.DefaultDecisionLogSize)
+			if res.Robustness != nil {
+				res.Robustness.Evictions, res.Robustness.PurgedOps, res.Robustness.SchedulerRetries = o.FaultStats()
 			}
 		}
 	}

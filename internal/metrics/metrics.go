@@ -106,13 +106,24 @@ type JobStats struct {
 	Window sim.Duration
 	// Latency holds per-request latency samples.
 	Latency LatencyRecorder
+	// Failed counts requests abandoned after an operation exhausted its
+	// transient-failure retries.
+	Failed int
+	// TimedOut counts completed requests that missed their deadline.
+	TimedOut int
+	// Retried counts individual transient-failure submit retries.
+	Retried int
 }
 
 // Throughput reports the job's completions per second.
 func (j *JobStats) Throughput() float64 { return Throughput(j.Completed, j.Window) }
 
 func (j *JobStats) String() string {
-	return fmt.Sprintf("%s: %d reqs, %.2f req/s, p50=%.2fms p95=%.2fms p99=%.2fms",
+	s := fmt.Sprintf("%s: %d reqs, %.2f req/s, p50=%.2fms p95=%.2fms p99=%.2fms",
 		j.Name, j.Completed, j.Throughput(),
 		j.Latency.P50().Millis(), j.Latency.P95().Millis(), j.Latency.P99().Millis())
+	if j.Failed > 0 || j.TimedOut > 0 || j.Retried > 0 {
+		s += fmt.Sprintf(" (failed=%d timedout=%d retried=%d)", j.Failed, j.TimedOut, j.Retried)
+	}
+	return s
 }

@@ -53,6 +53,23 @@ func (d *Direct) Register(cfg ClientConfig) (Client, error) {
 	return c, nil
 }
 
+// Deregister implements Backend. Direct clients have no scheduler state
+// beyond their stream, so removal only stops tracking them; in-flight
+// stream work drains on the device.
+func (d *Direct) Deregister(c Client) error {
+	dc, ok := c.(*directClient)
+	if !ok || dc.backend != d {
+		return fmt.Errorf("sched: deregister of foreign client")
+	}
+	for i, have := range d.clients {
+		if have == dc {
+			d.clients = append(d.clients[:i], d.clients[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
 type directClient struct {
 	backend *Direct
 	stream  *cudart.Stream
@@ -72,8 +89,8 @@ func CheckCapacity(ctx *cudart.Context, op *kernels.Descriptor) error {
 	}
 	dev := ctx.Device()
 	if dev.AllocatedBytes()+op.Bytes > dev.Spec().MemoryBytes {
-		return fmt.Errorf("sched: malloc of %d bytes exceeds device memory (%d of %d in use)",
-			op.Bytes, dev.AllocatedBytes(), dev.Spec().MemoryBytes)
+		return fmt.Errorf("sched: malloc of %d bytes exceeds device memory (%d of %d in use): %w",
+			op.Bytes, dev.AllocatedBytes(), dev.Spec().MemoryBytes, cudart.ErrOOM)
 	}
 	return nil
 }
@@ -97,9 +114,12 @@ func SubmitTo(ctx *cudart.Context, s *cudart.Stream, op *kernels.Descriptor, don
 		return err
 	case kernels.OpFree:
 		// Workload streams carry free sizes, not allocation handles.
-		return ctx.FreeBytes(op.Bytes, s, done)
+		if err := ctx.FreeBytes(op.Bytes, s, done); err != nil {
+			return fmt.Errorf("sched: free: %w", err)
+		}
+		return nil
 	default:
-		return fmt.Errorf("sched: unsupported op %v", op.Op)
+		return fmt.Errorf("sched: unsupported op %v: %w", op.Op, cudart.ErrInvalidValue)
 	}
 }
 

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"orion/internal/cudart"
 	"orion/internal/kernels"
 	"orion/internal/metrics"
 	"orion/internal/sim"
@@ -13,6 +14,16 @@ import (
 // DefaultFrameworkOverhead is the client-side CPU cost per operation in
 // native PyTorch (kernel launch through the framework and CUDA runtime).
 const DefaultFrameworkOverhead = 3 * sim.Microsecond
+
+// DefaultRetryBackoff is the initial virtual-time backoff after a
+// transient submit failure; it doubles on every retry of the same
+// operation.
+const DefaultRetryBackoff = 50 * sim.Microsecond
+
+// DefaultMaxRetries bounds how often one operation is retried after
+// transient failures before its request is abandoned and counted in
+// JobStats.Failed.
+const DefaultMaxRetries = 6
 
 // DriverConfig configures a client driver.
 type DriverConfig struct {
@@ -38,6 +49,17 @@ type DriverConfig struct {
 	// SkipWeightAlloc skips the initial weights allocation (used when a
 	// caller manages memory itself).
 	SkipWeightAlloc bool
+	// Deadline, when positive, is the per-request latency SLO: a request
+	// completing later than arrival+Deadline is counted in
+	// JobStats.TimedOut (it still completes and is recorded).
+	Deadline sim.Duration
+	// RetryBackoff is the initial backoff after a transient submit
+	// failure (doubles per retry). Zero selects DefaultRetryBackoff.
+	RetryBackoff sim.Duration
+	// MaxRetries bounds per-operation retries of transient submit
+	// failures. Zero selects DefaultMaxRetries; negative disables
+	// retrying entirely.
+	MaxRetries int
 }
 
 // Driver replays a workload through a backend client: it generates request
@@ -51,6 +73,7 @@ type Driver struct {
 	queue   []sim.Time // arrival times of requests waiting to start
 	busy    bool
 	stopped bool
+	crashed bool
 	started bool
 
 	// Requests completed in total (including warmup).
@@ -71,6 +94,18 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 	if cfg.FrameworkOverhead == 0 {
 		cfg.FrameworkOverhead = DefaultFrameworkOverhead
 	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("sched: negative retry backoff %v", cfg.RetryBackoff)
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
 	d := &Driver{cfg: cfg}
 	d.stats.Name = cfg.Model.ID()
 	d.stats.Window = sim.Duration(cfg.Horizon) - cfg.Warmup
@@ -90,9 +125,23 @@ func (d *Driver) Stop() {
 	d.queue = nil
 }
 
+// Crash models the client process dying: the driver abandons its
+// workload immediately — queued requests are dropped and the in-flight
+// request, if any, is orphaned (its completion callbacks are ignored and
+// its latency is never recorded). The backend must be told separately via
+// Backend.Deregister so it releases the client's scheduler state.
+func (d *Driver) Crash() {
+	d.stopped = true
+	d.crashed = true
+	d.queue = nil
+}
+
 // Stopped reports whether the driver has been stopped (explicitly or by
 // reaching the horizon).
 func (d *Driver) Stopped() bool { return d.stopped }
+
+// Crashed reports whether the driver was killed with Crash.
+func (d *Driver) Crashed() bool { return d.crashed }
 
 // TotalCompleted reports all completed requests including warmup.
 func (d *Driver) TotalCompleted() int { return d.totalCompleted }
@@ -180,6 +229,19 @@ func (d *Driver) opGap() sim.Duration {
 // submitFrom submits ops[i:] with CPU gaps, honouring blocking semantics,
 // then completes the request.
 func (d *Driver) submitFrom(i int, arrival sim.Time) {
+	d.trySubmit(i, 0, arrival)
+}
+
+// trySubmit submits op i (attempt counts prior transient failures of this
+// op), then continues the request. Transient submit failures — injected
+// launch failures, momentary OOM — are retried with exponential backoff
+// in virtual time; an op that exhausts its retries abandons the request,
+// which is drained and counted in JobStats.Failed. Non-transient errors
+// remain modelling bugs and panic.
+func (d *Driver) trySubmit(i, attempt int, arrival sim.Time) {
+	if d.crashed {
+		return
+	}
 	eng := d.cfg.Engine
 	model := d.cfg.Model
 	if i >= len(model.Ops) {
@@ -199,19 +261,61 @@ func (d *Driver) submitFrom(i int, arrival sim.Time) {
 		done = func(sim.Time) { eng.After(d.opGap(), next) }
 	}
 	if err := d.cfg.Client.Submit(op, done); err != nil {
-		panic(fmt.Sprintf("sched: submit %s op %d: %v", model.ID(), i, err))
+		if !cudart.IsTransient(err) {
+			panic(fmt.Sprintf("sched: submit %s op %d: %v", model.ID(), i, err))
+		}
+		if attempt >= d.cfg.MaxRetries {
+			d.failRequest()
+			return
+		}
+		d.stats.Retried++
+		eng.After(d.cfg.RetryBackoff<<attempt, func() { d.trySubmit(i, attempt+1, arrival) })
+		return
 	}
 	if !blocking {
 		eng.After(d.opGap(), next)
 	}
 }
 
+// failRequest abandons the in-flight request after an op exhausted its
+// retries: whatever was already submitted drains, the failure is counted,
+// and the driver moves on to the next request one backoff later. The
+// pause guarantees forward progress in virtual time — a closed-loop
+// client whose first op fails instantly (for example with retrying
+// disabled) would otherwise re-enter the loop at the same instant
+// forever.
+func (d *Driver) failRequest() {
+	d.stats.Failed++
+	err := d.cfg.Client.EndRequest(func(sim.Time) {
+		d.cfg.Engine.After(d.cfg.RetryBackoff, func() {
+			d.afterRequest(d.cfg.Engine.Now())
+		})
+	})
+	if err != nil {
+		panic(fmt.Sprintf("sched: end failed request: %v", err))
+	}
+}
+
 // finishRequest records stats and starts the next request.
 func (d *Driver) finishRequest(arrival, completed sim.Time) {
+	if d.crashed {
+		return
+	}
 	d.totalCompleted++
 	if completed > sim.Time(d.cfg.Warmup) && completed <= d.cfg.Horizon {
 		d.stats.Completed++
 		d.stats.Latency.Record(completed.Sub(arrival))
+		if d.cfg.Deadline > 0 && completed.Sub(arrival) > d.cfg.Deadline {
+			d.stats.TimedOut++
+		}
+	}
+	d.afterRequest(completed)
+}
+
+// afterRequest is the request epilogue shared by completion and failure.
+func (d *Driver) afterRequest(completed sim.Time) {
+	if d.crashed {
+		return
 	}
 	d.busy = false
 	if completed >= d.cfg.Horizon {

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"orion/internal/cudart"
+	"orion/internal/kernels"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// tinyModel is a three-kernel request used by the retry tests.
+func tinyModel(kernelDur sim.Duration) *workload.Model {
+	mk := func(id int) kernels.Descriptor {
+		return kernels.Descriptor{
+			ID: id, Name: fmt.Sprintf("k%d", id), Op: kernels.OpKernel,
+			Launch:   kernels.LaunchConfig{Blocks: 40, ThreadsPerBlock: 256, RegsPerThread: 32},
+			Duration: kernelDur, ComputeUtil: 0.5, MemBWUtil: 0.3,
+		}
+	}
+	return &workload.Model{
+		Name: "tiny", Kind: workload.Inference, Batch: 1,
+		Ops:          []kernels.Descriptor{mk(0), mk(1), mk(2)},
+		WeightsBytes: 1 << 20, TargetDuration: 3 * kernelDur,
+	}
+}
+
+// launchFailer fails every kernel launch until the cutoff time with a
+// transient typed error.
+func launchFailer(eng *sim.Engine, until sim.Time) cudart.FaultHook {
+	return func(p cudart.InjectPoint, desc *kernels.Descriptor) error {
+		if p == cudart.InjectLaunch && eng.Now() < until {
+			return fmt.Errorf("test: %w (%w)", cudart.ErrLaunchFailed, cudart.ErrTransient)
+		}
+		return nil
+	}
+}
+
+func startDriver(t *testing.T, cfg DriverConfig) *Driver {
+	t.Helper()
+	d, err := NewDriver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// Transient launch failures are retried with backoff and the request
+// still completes; nothing is abandoned.
+func TestDriverRetriesTransientFailures(t *testing.T) {
+	eng, ctx := newRig(t)
+	ctx.SetFaultHook(launchFailer(eng, sim.Time(sim.Micros(300))))
+	be := NewDirect(ctx)
+	m := tinyModel(sim.Micros(100))
+	cl, err := be.Register(ClientConfig{Name: "tiny", Priority: HighPriority, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be.Start()
+	d := startDriver(t, DriverConfig{
+		Engine: eng, Client: cl, Model: m, Horizon: sim.Time(sim.Millis(50)),
+	})
+	eng.Run()
+
+	s := d.Stats()
+	if s.Retried == 0 {
+		t.Error("no retries recorded though launches failed for 300us")
+	}
+	if s.Failed != 0 {
+		t.Errorf("Failed = %d; transient window shorter than the retry budget must not abandon requests", s.Failed)
+	}
+	if s.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+// An op that fails past MaxRetries abandons its request, counts it, and
+// the driver moves on to the next one.
+func TestDriverAbandonsAfterMaxRetries(t *testing.T) {
+	eng, ctx := newRig(t)
+	ctx.SetFaultHook(launchFailer(eng, sim.Time(sim.Seconds(1000)))) // never heals
+	be := NewDirect(ctx)
+	m := tinyModel(sim.Micros(100))
+	cl, _ := be.Register(ClientConfig{Name: "tiny", Priority: HighPriority, Model: m})
+	be.Start()
+	d := startDriver(t, DriverConfig{
+		Engine: eng, Client: cl, Model: m, Horizon: sim.Time(sim.Millis(100)),
+	})
+	eng.Run()
+
+	s := d.Stats()
+	if s.Completed != 0 {
+		t.Errorf("Completed = %d with every launch failing", s.Completed)
+	}
+	if s.Failed == 0 {
+		t.Fatal("no failures counted")
+	}
+	// Each failed request burned the full retry budget.
+	if want := s.Failed * DefaultMaxRetries; s.Retried != want {
+		t.Errorf("Retried = %d, want %d (%d failures x %d retries)",
+			s.Retried, want, s.Failed, DefaultMaxRetries)
+	}
+}
+
+// MaxRetries < 0 disables retrying: the first transient failure abandons
+// the request.
+func TestDriverNegativeMaxRetriesDisablesRetry(t *testing.T) {
+	eng, ctx := newRig(t)
+	ctx.SetFaultHook(launchFailer(eng, sim.Time(sim.Seconds(1000))))
+	be := NewDirect(ctx)
+	m := tinyModel(sim.Micros(100))
+	cl, _ := be.Register(ClientConfig{Name: "tiny", Priority: HighPriority, Model: m})
+	be.Start()
+	d := startDriver(t, DriverConfig{
+		Engine: eng, Client: cl, Model: m, Horizon: sim.Time(sim.Millis(10)),
+		MaxRetries: -1,
+	})
+	eng.Run()
+
+	s := d.Stats()
+	if s.Retried != 0 {
+		t.Errorf("Retried = %d with retrying disabled", s.Retried)
+	}
+	if s.Failed == 0 {
+		t.Error("no failures counted with retrying disabled")
+	}
+}
+
+// Requests completing past the deadline are counted in TimedOut but still
+// complete and record latency.
+func TestDriverDeadline(t *testing.T) {
+	eng, ctx := newRig(t)
+	be := NewDirect(ctx)
+	m := tinyModel(sim.Millis(1)) // ~3ms per request
+	cl, _ := be.Register(ClientConfig{Name: "tiny", Priority: HighPriority, Model: m})
+	be.Start()
+	d := startDriver(t, DriverConfig{
+		Engine: eng, Client: cl, Model: m, Horizon: sim.Time(sim.Millis(50)),
+		Deadline: sim.Millis(1),
+	})
+	eng.Run()
+
+	s := d.Stats()
+	if s.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if s.TimedOut != s.Completed {
+		t.Errorf("TimedOut = %d of %d completed; every 3ms request misses a 1ms deadline",
+			s.TimedOut, s.Completed)
+	}
+
+	// And with a generous deadline nothing times out.
+	eng2, ctx2 := newRig(t)
+	be2 := NewDirect(ctx2)
+	cl2, _ := be2.Register(ClientConfig{Name: "tiny", Priority: HighPriority, Model: m})
+	be2.Start()
+	d2 := startDriver(t, DriverConfig{
+		Engine: eng2, Client: cl2, Model: m, Horizon: sim.Time(sim.Millis(50)),
+		Deadline: sim.Millis(100),
+	})
+	eng2.Run()
+	if s2 := d2.Stats(); s2.TimedOut != 0 {
+		t.Errorf("TimedOut = %d with a generous deadline", s2.TimedOut)
+	}
+}
+
+// Crash drops the workload instantly: the in-flight request is orphaned
+// (never recorded) and no further requests start.
+func TestDriverCrashOrphansInFlight(t *testing.T) {
+	eng, ctx := newRig(t)
+	be := NewDirect(ctx)
+	m := tinyModel(sim.Millis(1))
+	cl, _ := be.Register(ClientConfig{Name: "tiny", Priority: HighPriority, Model: m})
+	be.Start()
+	d := startDriver(t, DriverConfig{
+		Engine: eng, Client: cl, Model: m, Horizon: sim.Time(sim.Millis(100)),
+	})
+	// Crash mid-request: 10.5ms is inside the 4th request's ~3ms span.
+	eng.At(sim.Time(sim.Micros(10_500)), d.Crash)
+	eng.Run()
+
+	if !d.Crashed() || !d.Stopped() {
+		t.Fatalf("Crashed=%v Stopped=%v after Crash", d.Crashed(), d.Stopped())
+	}
+	done := d.TotalCompleted()
+	if done == 0 {
+		t.Fatal("no requests completed before the crash")
+	}
+	// ~3 requests fit before 10.5ms; anything close to the horizon's ~33
+	// means the driver kept running.
+	if done > 4 {
+		t.Errorf("TotalCompleted = %d, want the pre-crash handful", done)
+	}
+	if got := d.Stats().Latency.Count(); got > done {
+		t.Errorf("recorded %d latencies after completing %d requests", got, done)
+	}
+}

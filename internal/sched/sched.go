@@ -74,4 +74,12 @@ type Backend interface {
 	// Start begins backend activity (scheduler polling loops). Called
 	// once after registration.
 	Start()
+	// Deregister removes a client whose process has died: the backend
+	// drops the client's queued work without running its completion
+	// callbacks, releases any scheduler state pinned on the client's
+	// behalf (CUDA events, duration budgets, round-robin cursors), and
+	// stops serving it. Operations the client already has on the device
+	// drain normally. Deregistering a client the backend does not own is
+	// an error; deregistering the same client twice is a no-op.
+	Deregister(c Client) error
 }
