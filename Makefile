@@ -1,6 +1,6 @@
 # Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, and
 # the full test suite under the race detector.
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test bench bench-json
 
 check: fmt vet build test
 
@@ -19,3 +19,9 @@ test:
 
 bench:
 	go test -bench . -benchmem -benchtime=1x ./...
+
+# Regenerate the committed benchmark baseline (quick -short sweeps, so it
+# finishes in CI time). Later PRs diff their own run against this file
+# for a performance trajectory.
+bench-json:
+	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > BENCH_PR2.json

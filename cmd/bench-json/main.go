@@ -1,0 +1,113 @@
+// Command bench-json converts `go test -bench` text output on stdin into
+// a machine-readable JSON baseline on stdout. The repository commits the
+// result (BENCH_PR2.json, via `make bench-json`) so successive PRs have a
+// performance trajectory to diff against.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -benchtime=1x -short -run '^$' . | bench-json > BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark's name with the -cpus suffix kept, e.g.
+	// "Figure7_InfTrainPoisson-8".
+	Name string `json:"name"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every "<value> <unit>" pair on the
+	// line: ns/op, B/op, allocs/op, and custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the committed JSON document.
+type Baseline struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkX-8  N  v unit  v unit..." line. It
+// returns ok=false for lines that are not benchmark results.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+		Iterations: n,
+		Metrics:    map[string]float64{},
+	}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, true
+}
+
+// parse consumes go-test bench output and builds the baseline document.
+func parse(r io.Reader) (Baseline, error) {
+	var out Baseline
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if b, ok := parseLine(line); ok {
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	base, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(base.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench-json: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

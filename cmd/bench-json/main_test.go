@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: orion
+cpu: Intel
+BenchmarkFigure7_InfTrainPoisson-8   	       1	1234567890 ns/op	        12.34 hp_p99_ms	     456 B/op	       7 allocs/op
+BenchmarkTable1_WorkloadUtilization-8	       2	  98765432 ns/op
+PASS
+ok  	orion	12.345s
+`
+	base, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Goos != "linux" || base.Goarch != "amd64" || base.Pkg != "orion" || base.CPU != "Intel" {
+		t.Errorf("header = %+v", base)
+	}
+	if len(base.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(base.Benchmarks))
+	}
+	b := base.Benchmarks[0]
+	if b.Name != "Figure7_InfTrainPoisson-8" || b.Iterations != 1 {
+		t.Errorf("bench 0 = %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 1234567890, "hp_p99_ms": 12.34, "B/op": 456, "allocs/op": 7,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+	if got := base.Benchmarks[1].Metrics["ns/op"]; got != 98765432 {
+		t.Errorf("bench 1 ns/op = %v", got)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	orion	12.345s",
+		"--- BENCH: BenchmarkX",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkOdd-8 1 5 ns/op trailing",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

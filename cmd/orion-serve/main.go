@@ -1,0 +1,81 @@
+// Command orion-serve runs the scheduler-as-a-service control plane: a
+// long-running daemon that accepts collocation experiments over a JSON
+// API, runs them on a bounded worker pool, and exposes Prometheus
+// metrics, health/readiness probes and pprof.
+//
+// Usage:
+//
+//	orion-serve -addr :8080 -workers 4 -queue 32
+//
+//	curl -s localhost:8080/v1/experiments -d '{
+//	  "scheme": "orion",
+//	  "jobs": [
+//	    {"workload": "resnet50-inf", "priority": "hp", "arrival": "poisson", "rps": 40},
+//	    {"workload": "mobilenetv2-train", "priority": "be"}
+//	  ]
+//	}'
+//	curl -s localhost:8080/v1/experiments/exp-000001
+//
+// SIGINT/SIGTERM trigger a graceful drain: readiness fails immediately,
+// queued jobs are canceled, in-flight experiments finish under
+// -drain-timeout, and only then does the listener close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"orion/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent experiment runners")
+	queue := flag.Int("queue", 16, "admission queue depth (full queue => 429)")
+	maxJobs := flag.Int("max-jobs", 1024, "retained job records (memory bound)")
+	drain := flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown drain deadline")
+	retry := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		MaxJobs:    *maxJobs,
+		RetryAfter: *retry,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("orion-serve listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain order matters: fail readiness and finish in-flight jobs
+	// while the listener still answers result polls, then close it.
+	log.Printf("draining (deadline %s)...", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	log.Print("orion-serve stopped")
+}

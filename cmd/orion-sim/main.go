@@ -14,12 +14,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
-	"orion/internal/gpu"
 	"orion/internal/harness"
-	"orion/internal/sched"
-	"orion/internal/sim"
 	"orion/internal/workload"
 )
 
@@ -42,69 +38,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need -hp workload id or -hp-file trace (try: orion-profile -list)")
 		os.Exit(2)
 	}
-	spec := gpu.V100()
-	if *device == "a100" {
-		spec = gpu.A100()
+	flags := harness.SimFlags{
+		Scheme: *scheme, HP: *hp, HPArrival: *hpArr, HPRPS: *hpRPS,
+		BE: *be, Device: *device, Horizon: *horizon, Warmup: *warmup,
+		Seed: *seed, Faults: *faults, FaultSeed: *faultSeed,
 	}
-
-	var hpModel *workload.Model
-	var err error
 	if *hpFile != "" {
-		f, ferr := os.Open(*hpFile)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
+		f, err := os.Open(*hpFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		hpModel, err = workload.ReadJSON(f)
+		m, err := workload.ReadJSON(f)
 		f.Close()
-	} else {
-		hpModel, err = workload.ByID(*hp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		flags.HP, flags.HPModel = "", m
 	}
+
+	// The same pure path orion-serve uses for JSON submissions:
+	// flags → wire Config → RunConfig.
+	runCfg, err := harness.ConfigFromSimFlags(flags).Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
-	}
-	var arrival harness.ArrivalKind
-	switch *hpArr {
-	case "closed":
-		arrival = harness.Closed
-	case "poisson":
-		arrival = harness.Poisson
-	case "uniform":
-		arrival = harness.Uniform
-	case "apollo":
-		arrival = harness.Apollo
-	default:
-		fmt.Fprintf(os.Stderr, "unknown arrival %q\n", *hpArr)
-		os.Exit(2)
-	}
-	if arrival != harness.Closed && *hpRPS <= 0 {
-		fmt.Fprintln(os.Stderr, "open-loop arrivals need -hp-rps")
-		os.Exit(2)
-	}
-
-	jobs := []harness.JobSpec{{
-		Model: hpModel, Priority: sched.HighPriority, Arrival: arrival, RPS: *hpRPS,
-	}}
-	if *be != "" {
-		for _, id := range strings.Split(*be, ",") {
-			m, err := workload.ByID(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			jobs = append(jobs, harness.JobSpec{
-				Model: m, Priority: sched.BestEffort, Arrival: harness.Closed,
-			})
-		}
-	}
-
-	runCfg := harness.RunConfig{
-		Scheme: harness.Scheme(*scheme), Device: spec, Jobs: jobs,
-		Horizon: sim.Seconds(*horizon), Warmup: sim.Seconds(*warmup), Seed: *seed,
-	}
-	if *faults {
-		runCfg.Faults = harness.DefaultFaultConfig(*faultSeed)
 	}
 	res, err := harness.Run(runCfg)
 	if err != nil {
@@ -112,7 +71,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("scheme=%s device=%s horizon=%.1fs warmup=%.1fs\n\n", *scheme, spec.Name, *horizon, *warmup)
+	fmt.Printf("scheme=%s device=%s horizon=%.1fs warmup=%.1fs\n\n",
+		*scheme, runCfg.Device.Name, *horizon, *warmup)
 	for _, j := range res.Jobs {
 		fmt.Printf("%-22s [%s]\n", j.Name, j.Priority)
 		fmt.Printf("  requests   %d (%.2f/s)\n", j.Stats.Completed, j.Stats.Throughput())

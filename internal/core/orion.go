@@ -51,47 +51,50 @@ const DefaultPollInterval = 20 * sim.Microsecond
 // Config tunes the Orion scheduler. The zero value plus a profile table
 // gives the paper's defaults; the ablation flags reproduce the Figure 14
 // policy breakdown when selectively disabled.
+// Config is wire-serializable apart from Profiles (runtime wiring the
+// harness fills in): every policy knob carries a JSON tag so ablation
+// settings can travel inside an orion-serve experiment submission.
 type Config struct {
 	// Profiles maps workload ID to its offline profile. Every client
 	// registered must have an entry (run profiler.Collect first).
-	Profiles map[string]*profiler.Profile
+	Profiles map[string]*profiler.Profile `json:"-"`
 
 	// SMThreshold is the size cap for collocating a best-effort kernel
 	// alongside a running high-priority kernel. Zero selects the paper's
 	// default: the total number of SMs on the device.
-	SMThreshold int
+	SMThreshold int `json:"sm_threshold,omitempty"`
 
 	// DurThreshold is the outstanding best-effort duration cap as a
 	// fraction of high-priority request latency. Zero selects
 	// DefaultDurThreshold (2.5%).
-	DurThreshold float64
+	DurThreshold float64 `json:"dur_threshold,omitempty"`
 
 	// DisableStreamPriorities runs all streams at the same priority
 	// (Figure 14: Orion works even where priorities are unavailable,
 	// e.g. under MPS).
-	DisableStreamPriorities bool
+	DisableStreamPriorities bool `json:"disable_stream_priorities,omitempty"`
 	// DisableProfileCheck drops the compute/memory opposite-profile
 	// condition (Figure 14 "Stream Priorities" / "+SM size" ablations).
-	DisableProfileCheck bool
+	DisableProfileCheck bool `json:"disable_profile_check,omitempty"`
 	// DisableSMCheck drops the sm_needed < SM_THRESHOLD condition.
-	DisableSMCheck bool
+	DisableSMCheck bool `json:"disable_sm_check,omitempty"`
 	// DisableDurThrottle drops the outstanding-duration throttle.
-	DisableDurThrottle bool
+	DisableDurThrottle bool `json:"disable_dur_throttle,omitempty"`
 
 	// InterceptOverhead is the per-op client-side interception cost.
 	// Zero selects DefaultInterceptOverhead.
-	InterceptOverhead sim.Duration
+	InterceptOverhead sim.Duration `json:"intercept_overhead,omitempty"`
 
 	// PollInterval is the scheduler's wakeup delay after a best-effort
 	// completion event. Zero selects DefaultPollInterval.
-	PollInterval sim.Duration
+	PollInterval sim.Duration `json:"poll_interval,omitempty"`
 
 	// ScheduleMemcpys enables the §5.1.3 extension: instead of passing
 	// best-effort memory copies straight through, Orion defers them while
 	// any high-priority transfer is in flight, so best-effort H2D/D2H
 	// traffic never contends with the high-priority job for PCIe
 	// bandwidth. Off by default, matching the paper's current design.
-	ScheduleMemcpys bool
+	ScheduleMemcpys bool `json:"schedule_memcpys,omitempty"`
 
 	// SLOGuard enables the degradation path: the scheduler watches a
 	// sliding window of recent high-priority request latencies and, when
@@ -99,31 +102,31 @@ type Config struct {
 	// (HP-only mode) until the window recovers. The guard has hysteresis:
 	// it trips at SLOTripFraction violations and resumes only at
 	// SLOResumeFraction.
-	SLOGuard bool
+	SLOGuard bool `json:"slo_guard,omitempty"`
 	// SLOFactor defines the SLO: a high-priority request violates it when
 	// its latency exceeds SLOFactor times the profiled dedicated request
 	// latency. Zero selects DefaultSLOFactor.
-	SLOFactor float64
+	SLOFactor float64 `json:"slo_factor,omitempty"`
 	// SLOWindow is the sliding-window length in requests. Zero selects
 	// DefaultSLOWindow.
-	SLOWindow int
+	SLOWindow int `json:"slo_window,omitempty"`
 	// SLOTripFraction is the violation fraction that trips the guard.
 	// Zero selects DefaultSLOTripFraction.
-	SLOTripFraction float64
+	SLOTripFraction float64 `json:"slo_trip_fraction,omitempty"`
 	// SLOResumeFraction is the violation fraction at which a tripped
 	// guard resumes best-effort admission. Zero selects
 	// DefaultSLOResumeFraction. Must stay below SLOTripFraction.
-	SLOResumeFraction float64
+	SLOResumeFraction float64 `json:"slo_resume_fraction,omitempty"`
 
 	// AutoTuneSM selects the dynamic SM_THRESHOLD tuning mode (§5.1.1).
 	// The default enables the binary-search tuner exactly when the
 	// high-priority client is a training job.
-	AutoTuneSM AutoTuneMode
+	AutoTuneSM AutoTuneMode `json:"auto_tune_sm,omitempty"`
 	// TuneInterval is the tuner's sampling period (default 500 ms).
-	TuneInterval sim.Duration
+	TuneInterval sim.Duration `json:"tune_interval,omitempty"`
 	// TuneTolerance is the accepted high-priority throughput loss while
 	// raising the threshold (default 0.15).
-	TuneTolerance float64
+	TuneTolerance float64 `json:"tune_tolerance,omitempty"`
 }
 
 // Orion is the scheduler backend.

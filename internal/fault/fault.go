@@ -80,37 +80,43 @@ func (e Event) String() string {
 
 // Config tunes the injector. Zero-valued rates disable the corresponding
 // fault class.
+//
+// Config is wire-serializable: every tunable carries a JSON tag so fault
+// options can travel inside an orion-serve experiment submission. Duration
+// fields accept either nanosecond integers or Go duration strings ("5ms",
+// "8s"); the Engine and Horizon fields are runtime wiring filled in by the
+// harness and never cross the wire.
 type Config struct {
 	// Engine is the simulation engine faults are scheduled on.
-	Engine *sim.Engine
+	Engine *sim.Engine `json:"-"`
 	// Seed feeds the injector's RNG streams. Runs with equal seeds and
 	// configurations produce identical fault schedules.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// Horizon bounds fault scheduling: no fault fires at or after it.
-	Horizon sim.Time
+	Horizon sim.Time `json:"-"`
 
 	// CrashMTBF is each registered crash target's mean time to failure
 	// (exponential). Zero disables crashes.
-	CrashMTBF sim.Duration
+	CrashMTBF sim.Duration `json:"crash_mtbf,omitempty"`
 
 	// LaunchFailMTBF is the mean gap between transient kernel-launch
 	// failure windows; LaunchFailDuration is each window's length. A zero
 	// MTBF disables launch faults.
-	LaunchFailMTBF     sim.Duration
-	LaunchFailDuration sim.Duration
+	LaunchFailMTBF     sim.Duration `json:"launch_fail_mtbf,omitempty"`
+	LaunchFailDuration sim.Duration `json:"launch_fail_duration,omitempty"`
 
 	// AllocFailMTBF / AllocFailDuration: same, for transient allocation
 	// (OOM) failures.
-	AllocFailMTBF     sim.Duration
-	AllocFailDuration sim.Duration
+	AllocFailMTBF     sim.Duration `json:"alloc_fail_mtbf,omitempty"`
+	AllocFailDuration sim.Duration `json:"alloc_fail_duration,omitempty"`
 
 	// SlowdownMTBF / SlowdownDuration open degraded-device windows during
 	// which the attached device runs at SlowdownFactor of nominal speed
 	// (thermal throttling, ECC scrubbing). A zero MTBF disables them;
 	// SlowdownFactor defaults to DefaultSlowdownFactor.
-	SlowdownMTBF     sim.Duration
-	SlowdownDuration sim.Duration
-	SlowdownFactor   float64
+	SlowdownMTBF     sim.Duration `json:"slowdown_mtbf,omitempty"`
+	SlowdownDuration sim.Duration `json:"slowdown_duration,omitempty"`
+	SlowdownFactor   float64      `json:"slowdown_factor,omitempty"`
 }
 
 // DefaultSlowdownFactor is the degraded-device execution speed used when

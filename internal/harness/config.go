@@ -1,0 +1,383 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"orion/internal/core"
+	"orion/internal/fault"
+	"orion/internal/gpu"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// Defaults applied by Config.Build when the corresponding field is zero.
+const (
+	DefaultHorizon   = 10 * sim.Second
+	DefaultWarmup    = 2 * sim.Second
+	DefaultSeed      = 42
+	DefaultFaultSeed = 1
+)
+
+// JobConfig is the wire-level description of one client in a collocation
+// run: a JSON-friendly mirror of JobSpec that names the workload by
+// catalog ID instead of holding a built model.
+type JobConfig struct {
+	// Workload is the workload catalog ID ("resnet50-inf"; see
+	// workload.ByID / orion-profile -list).
+	Workload string `json:"workload"`
+	// Priority is "hp" (aliases "high", "high-priority") or "be"
+	// (aliases "best-effort", and the default when empty).
+	Priority string `json:"priority,omitempty"`
+	// Arrival is "closed" (default), "poisson", "uniform" or "apollo".
+	Arrival string `json:"arrival,omitempty"`
+	// RPS is the open-loop request rate; required for non-closed arrivals.
+	RPS float64 `json:"rps,omitempty"`
+	// Deadline is the per-request latency SLO ("5ms"-style strings or
+	// nanosecond integers on the wire); zero disables deadline tracking.
+	Deadline sim.Duration `json:"deadline,omitempty"`
+	// GraphMode submits each request as one fused CUDA-graph-style unit.
+	GraphMode bool `json:"graph_mode,omitempty"`
+	// SwapWindow, when positive, runs the job behind the layer-swapping
+	// manager with this resident-weight byte budget.
+	SwapWindow int64 `json:"swap_window,omitempty"`
+	// Model, when non-nil, overrides Workload with an already-built model
+	// (the -hp-file path of cmd/orion-sim). Never crosses the wire.
+	Model *workload.Model `json:"-"`
+}
+
+// Config is the wire-level description of one collocation run: what a
+// client POSTs to orion-serve and what cmd/orion-sim builds from its
+// flags. Config carries only serializable data — workload IDs, device
+// names, policy knobs — and Build resolves it into a runnable RunConfig.
+type Config struct {
+	// Scheme selects the sharing technique (see AllSchemes, plus "mig").
+	Scheme Scheme `json:"scheme"`
+	// Device is "v100" (default) or "a100".
+	Device string `json:"device,omitempty"`
+	// Jobs lists the collocated clients.
+	Jobs []JobConfig `json:"jobs"`
+	// Horizon and Warmup bound the simulation ("10s"-style strings or
+	// nanosecond integers); zero selects DefaultHorizon / DefaultWarmup.
+	Horizon sim.Duration `json:"horizon,omitempty"`
+	Warmup  sim.Duration `json:"warmup,omitempty"`
+	// Seed drives the arrival processes; zero selects DefaultSeed.
+	Seed int64 `json:"seed,omitempty"`
+	// Orion overrides the Orion scheduler's policy knobs (ablations).
+	Orion *core.Config `json:"orion,omitempty"`
+	// ReefQueueDepth overrides REEF's software queue depth.
+	ReefQueueDepth int `json:"reef_queue_depth,omitempty"`
+	// TemporalSwapStates enables state swapping in the temporal backend.
+	TemporalSwapStates bool `json:"temporal_swap_states,omitempty"`
+	// Faults runs the experiment under explicit fault-injection options.
+	Faults *fault.Config `json:"faults,omitempty"`
+	// DefaultFaults enables the standard robustness fault mix
+	// (DefaultFaultConfig) seeded by FaultSeed; ignored when Faults is
+	// set explicitly.
+	DefaultFaults bool `json:"default_faults,omitempty"`
+	// FaultSeed seeds DefaultFaults; zero selects DefaultFaultSeed.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+}
+
+// ParseConfig strictly decodes a wire Config from JSON: unknown fields
+// are rejected so that a typoed knob fails loudly instead of silently
+// running the default experiment.
+func ParseConfig(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("harness: decode config: %w", err)
+	}
+	return c, nil
+}
+
+// ParsePriority maps a wire priority string to sched.Priority.
+func ParsePriority(s string) (sched.Priority, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "be", "best-effort", "besteffort", "low":
+		return sched.BestEffort, nil
+	case "hp", "high", "high-priority", "highpriority":
+		return sched.HighPriority, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown priority %q (want hp or be)", s)
+	}
+}
+
+// ParseArrival maps a wire arrival string to an ArrivalKind.
+func ParseArrival(s string) (ArrivalKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "closed":
+		return Closed, nil
+	case "poisson":
+		return Poisson, nil
+	case "uniform":
+		return Uniform, nil
+	case "apollo":
+		return Apollo, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown arrival %q (want closed, poisson, uniform or apollo)", s)
+	}
+}
+
+// ParseDevice maps a wire device name to its spec.
+func ParseDevice(s string) (gpu.Spec, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "v100":
+		return gpu.V100(), nil
+	case "a100":
+		return gpu.A100(), nil
+	default:
+		return gpu.Spec{}, fmt.Errorf("harness: unknown device %q (want v100 or a100)", s)
+	}
+}
+
+// validScheme reports whether s names a scheme Build can construct.
+func validScheme(s Scheme) bool {
+	switch s {
+	case Ideal, Temporal, Streams, MPSScheme, Reef, TickTock, Orion, MIG:
+		return true
+	}
+	return false
+}
+
+// Build resolves a wire Config into a runnable RunConfig: workload IDs
+// are looked up in the catalog, the device and arrival names are parsed,
+// and defaults are applied. The resulting RunConfig runs through the
+// exact same Run path as a hand-built one, so an orion-serve submission
+// and a direct library call with equal seeds produce bit-identical
+// results.
+func (c Config) Build() (RunConfig, error) {
+	if !validScheme(c.Scheme) {
+		return RunConfig{}, fmt.Errorf("harness: unknown scheme %q", c.Scheme)
+	}
+	if len(c.Jobs) == 0 {
+		return RunConfig{}, fmt.Errorf("harness: config has no jobs")
+	}
+	spec, err := ParseDevice(c.Device)
+	if err != nil {
+		return RunConfig{}, err
+	}
+	rc := RunConfig{
+		Scheme:             c.Scheme,
+		Device:             spec,
+		Horizon:            c.Horizon,
+		Warmup:             c.Warmup,
+		Seed:               c.Seed,
+		OrionConfig:        c.Orion,
+		ReefQueueDepth:     c.ReefQueueDepth,
+		TemporalSwapStates: c.TemporalSwapStates,
+	}
+	if rc.Horizon == 0 {
+		rc.Horizon = DefaultHorizon
+	}
+	if rc.Warmup == 0 {
+		rc.Warmup = DefaultWarmup
+	}
+	if rc.Seed == 0 {
+		rc.Seed = DefaultSeed
+	}
+	for i, jc := range c.Jobs {
+		m := jc.Model
+		if m == nil {
+			if jc.Workload == "" {
+				return RunConfig{}, fmt.Errorf("harness: job %d has no workload", i)
+			}
+			m, err = workload.ByID(jc.Workload)
+			if err != nil {
+				return RunConfig{}, err
+			}
+		}
+		prio, err := ParsePriority(jc.Priority)
+		if err != nil {
+			return RunConfig{}, fmt.Errorf("job %d: %w", i, err)
+		}
+		arr, err := ParseArrival(jc.Arrival)
+		if err != nil {
+			return RunConfig{}, fmt.Errorf("job %d: %w", i, err)
+		}
+		if arr != Closed && jc.RPS <= 0 {
+			return RunConfig{}, fmt.Errorf("harness: job %d: open-loop arrival %q needs rps > 0", i, jc.Arrival)
+		}
+		if jc.Deadline < 0 {
+			return RunConfig{}, fmt.Errorf("harness: job %d: negative deadline", i)
+		}
+		rc.Jobs = append(rc.Jobs, JobSpec{
+			Model:      m,
+			Priority:   prio,
+			Arrival:    arr,
+			RPS:        jc.RPS,
+			GraphMode:  jc.GraphMode,
+			SwapWindow: jc.SwapWindow,
+			Deadline:   jc.Deadline,
+		})
+	}
+	switch {
+	case c.Faults != nil:
+		fc := *c.Faults // copy: Run mutates Engine/Horizon
+		rc.Faults = &fc
+	case c.DefaultFaults:
+		seed := c.FaultSeed
+		if seed == 0 {
+			seed = DefaultFaultSeed
+		}
+		rc.Faults = DefaultFaultConfig(seed)
+	}
+	return rc, nil
+}
+
+// RunWire builds and runs a wire Config in one call.
+func RunWire(c Config) (*Result, error) {
+	rc, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	return Run(rc)
+}
+
+// --- cmd/orion-sim flag mapping --------------------------------------------
+
+// SimFlags holds cmd/orion-sim's parsed flag values, decoupled from the
+// flag package so the flags→Config mapping is a pure, testable function.
+type SimFlags struct {
+	Scheme    string
+	HP        string // high-priority workload ID ("" when HPModel is set)
+	HPArrival string
+	HPRPS     float64
+	BE        string // comma-separated best-effort workload IDs
+	Device    string
+	Horizon   float64 // simulated seconds
+	Warmup    float64
+	Seed      int64
+	Faults    bool
+	FaultSeed int64
+	// HPModel overrides HP with a pre-loaded trace model (-hp-file).
+	HPModel *workload.Model
+}
+
+// ConfigFromSimFlags maps orion-sim flag values onto a wire Config. It is
+// pure — no file or catalog I/O — so every flag combination is testable;
+// semantic validation (unknown scheme, missing rps, bad workload ID)
+// happens in Config.Build, shared with the JSON path.
+func ConfigFromSimFlags(f SimFlags) Config {
+	c := Config{
+		Scheme:        Scheme(f.Scheme),
+		Device:        f.Device,
+		Horizon:       sim.Seconds(f.Horizon),
+		Warmup:        sim.Seconds(f.Warmup),
+		Seed:          f.Seed,
+		DefaultFaults: f.Faults,
+		FaultSeed:     f.FaultSeed,
+	}
+	c.Jobs = append(c.Jobs, JobConfig{
+		Workload: f.HP,
+		Model:    f.HPModel,
+		Priority: "hp",
+		Arrival:  f.HPArrival,
+		RPS:      f.HPRPS,
+	})
+	for _, id := range strings.Split(f.BE, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		c.Jobs = append(c.Jobs, JobConfig{Workload: id, Priority: "be", Arrival: "closed"})
+	}
+	return c
+}
+
+// --- result summaries -------------------------------------------------------
+
+// JobSummary is the wire-level rendering of one JobResult.
+type JobSummary struct {
+	Name          string  `json:"name"`
+	Priority      string  `json:"priority"`
+	Completed     int     `json:"completed"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	DedicatedMs   float64 `json:"dedicated_ms"`
+	Failed        int     `json:"failed,omitempty"`
+	TimedOut      int     `json:"timed_out,omitempty"`
+	Retried       int     `json:"retried,omitempty"`
+}
+
+// UtilSummary is the wire-level rendering of the device utilization report.
+type UtilSummary struct {
+	SMBusy      float64 `json:"sm_busy"`
+	Compute     float64 `json:"compute"`
+	MemBW       float64 `json:"mem_bw"`
+	MemCapacity float64 `json:"mem_capacity"`
+}
+
+// RobustnessSummary is the wire-level rendering of a RobustnessReport.
+type RobustnessSummary struct {
+	Events           []string `json:"events,omitempty"`
+	DeniedLaunches   uint64   `json:"denied_launches"`
+	DeniedAllocs     uint64   `json:"denied_allocs"`
+	Evictions        uint64   `json:"evictions,omitempty"`
+	PurgedOps        uint64   `json:"purged_ops,omitempty"`
+	SchedulerRetries uint64   `json:"scheduler_retries,omitempty"`
+}
+
+// Summary is the wire-level rendering of a Result: everything a serving
+// client needs (percentiles, throughput, utilization, verdicts,
+// robustness counters) with latencies flattened to milliseconds, since
+// raw per-request samples stay server-side.
+type Summary struct {
+	Scheme      Scheme             `json:"scheme"`
+	Jobs        []JobSummary       `json:"jobs"`
+	Utilization UtilSummary        `json:"utilization"`
+	Verdicts    map[string]uint64  `json:"verdicts,omitempty"`
+	Robustness  *RobustnessSummary `json:"robustness,omitempty"`
+}
+
+// Summarize flattens a Result for the wire.
+func Summarize(r *Result) *Summary {
+	s := &Summary{
+		Scheme: r.Scheme,
+		Utilization: UtilSummary{
+			SMBusy:      r.Utilization.SMBusy,
+			Compute:     r.Utilization.Compute,
+			MemBW:       r.Utilization.MemBW,
+			MemCapacity: r.Utilization.MemCapacity,
+		},
+		Verdicts: r.Verdicts,
+	}
+	for i := range r.Jobs {
+		j := &r.Jobs[i]
+		s.Jobs = append(s.Jobs, JobSummary{
+			Name:          j.Name,
+			Priority:      j.Priority.String(),
+			Completed:     j.Stats.Completed,
+			ThroughputRPS: j.Stats.Throughput(),
+			P50Ms:         j.Stats.Latency.P50().Millis(),
+			P95Ms:         j.Stats.Latency.P95().Millis(),
+			P99Ms:         j.Stats.Latency.P99().Millis(),
+			MeanMs:        j.Stats.Latency.Mean().Millis(),
+			DedicatedMs:   j.DedicatedLatency.Millis(),
+			Failed:        j.Stats.Failed,
+			TimedOut:      j.Stats.TimedOut,
+			Retried:       j.Stats.Retried,
+		})
+	}
+	if rb := r.Robustness; rb != nil {
+		rs := &RobustnessSummary{
+			DeniedLaunches:   rb.DeniedLaunches,
+			DeniedAllocs:     rb.DeniedAllocs,
+			Evictions:        rb.Evictions,
+			PurgedOps:        rb.PurgedOps,
+			SchedulerRetries: rb.SchedulerRetries,
+		}
+		for _, e := range rb.Events {
+			rs.Events = append(rs.Events, e.String())
+		}
+		s.Robustness = rs
+	}
+	return s
+}

@@ -1,0 +1,302 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+func TestConfigFromSimFlags(t *testing.T) {
+	cases := []struct {
+		name  string
+		flags SimFlags
+		check func(t *testing.T, c Config)
+	}{
+		{
+			name: "basic orion hp+be",
+			flags: SimFlags{
+				Scheme: "orion", HP: "resnet50-inf", HPArrival: "poisson", HPRPS: 15,
+				BE: "resnet50-train", Device: "v100", Horizon: 10, Warmup: 2, Seed: 42,
+			},
+			check: func(t *testing.T, c Config) {
+				if c.Scheme != Orion {
+					t.Errorf("scheme = %q", c.Scheme)
+				}
+				if len(c.Jobs) != 2 {
+					t.Fatalf("jobs = %d, want 2", len(c.Jobs))
+				}
+				if c.Jobs[0].Workload != "resnet50-inf" || c.Jobs[0].Priority != "hp" ||
+					c.Jobs[0].Arrival != "poisson" || c.Jobs[0].RPS != 15 {
+					t.Errorf("hp job = %+v", c.Jobs[0])
+				}
+				if c.Jobs[1].Workload != "resnet50-train" || c.Jobs[1].Priority != "be" ||
+					c.Jobs[1].Arrival != "closed" {
+					t.Errorf("be job = %+v", c.Jobs[1])
+				}
+				if c.Horizon != 10*sim.Second || c.Warmup != 2*sim.Second || c.Seed != 42 {
+					t.Errorf("horizon/warmup/seed = %v/%v/%d", c.Horizon, c.Warmup, c.Seed)
+				}
+			},
+		},
+		{
+			name: "be list parsing trims and skips empties",
+			flags: SimFlags{
+				Scheme: "reef", HP: "resnet101-inf",
+				BE: " mobilenetv2-train , ,bert-train ",
+			},
+			check: func(t *testing.T, c Config) {
+				if len(c.Jobs) != 3 {
+					t.Fatalf("jobs = %d, want 3", len(c.Jobs))
+				}
+				if c.Jobs[1].Workload != "mobilenetv2-train" || c.Jobs[2].Workload != "bert-train" {
+					t.Errorf("be jobs = %+v %+v", c.Jobs[1], c.Jobs[2])
+				}
+			},
+		},
+		{
+			name: "faults flag maps to default fault mix",
+			flags: SimFlags{
+				Scheme: "orion", HP: "resnet50-inf", Faults: true, FaultSeed: 7,
+			},
+			check: func(t *testing.T, c Config) {
+				if !c.DefaultFaults || c.FaultSeed != 7 {
+					t.Errorf("faults = %v seed %d", c.DefaultFaults, c.FaultSeed)
+				}
+			},
+		},
+		{
+			name: "preloaded hp model survives",
+			flags: SimFlags{
+				Scheme: "ideal", HPModel: workload.ResNet50Inference(),
+			},
+			check: func(t *testing.T, c Config) {
+				if c.Jobs[0].Model == nil || c.Jobs[0].Workload != "" {
+					t.Errorf("hp job = %+v", c.Jobs[0])
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { c.check(t, ConfigFromSimFlags(c.flags)) })
+	}
+}
+
+func TestConfigBuild(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string
+		check   func(t *testing.T, rc RunConfig)
+	}{
+		{
+			name: "defaults applied",
+			cfg: Config{
+				Scheme: Orion,
+				Jobs:   []JobConfig{{Workload: "resnet50-inf", Priority: "hp"}},
+			},
+			check: func(t *testing.T, rc RunConfig) {
+				if rc.Horizon != DefaultHorizon || rc.Warmup != DefaultWarmup || rc.Seed != DefaultSeed {
+					t.Errorf("defaults: horizon=%v warmup=%v seed=%d", rc.Horizon, rc.Warmup, rc.Seed)
+				}
+				if rc.Device.Name != "V100" && !strings.Contains(strings.ToLower(rc.Device.Name), "v100") {
+					t.Errorf("device = %q, want a V100", rc.Device.Name)
+				}
+				if rc.Jobs[0].Priority != sched.HighPriority {
+					t.Errorf("priority = %v", rc.Jobs[0].Priority)
+				}
+			},
+		},
+		{
+			name: "default faults filled in",
+			cfg: Config{
+				Scheme:        Reef,
+				Jobs:          []JobConfig{{Workload: "resnet50-inf", Priority: "hp"}},
+				DefaultFaults: true,
+			},
+			check: func(t *testing.T, rc RunConfig) {
+				if rc.Faults == nil {
+					t.Fatal("faults not filled in")
+				}
+				if rc.Faults.Seed != DefaultFaultSeed {
+					t.Errorf("fault seed = %d", rc.Faults.Seed)
+				}
+				want := DefaultFaultConfig(DefaultFaultSeed)
+				if *rc.Faults != *want {
+					t.Errorf("faults = %+v, want default mix %+v", rc.Faults, want)
+				}
+			},
+		},
+		{
+			name:    "unknown scheme",
+			cfg:     Config{Scheme: "fifo", Jobs: []JobConfig{{Workload: "resnet50-inf"}}},
+			wantErr: "unknown scheme",
+		},
+		{
+			name:    "no jobs",
+			cfg:     Config{Scheme: Orion},
+			wantErr: "no jobs",
+		},
+		{
+			name: "unknown workload",
+			cfg: Config{
+				Scheme: Orion,
+				Jobs:   []JobConfig{{Workload: "gpt5-inf"}},
+			},
+			wantErr: "unknown id",
+		},
+		{
+			name: "unknown arrival",
+			cfg: Config{
+				Scheme: Orion,
+				Jobs:   []JobConfig{{Workload: "resnet50-inf", Arrival: "bursty"}},
+			},
+			wantErr: "unknown arrival",
+		},
+		{
+			name: "open loop needs rps",
+			cfg: Config{
+				Scheme: Orion,
+				Jobs:   []JobConfig{{Workload: "resnet50-inf", Arrival: "poisson"}},
+			},
+			wantErr: "needs rps",
+		},
+		{
+			name: "unknown device",
+			cfg: Config{
+				Scheme: Orion,
+				Device: "h100",
+				Jobs:   []JobConfig{{Workload: "resnet50-inf"}},
+			},
+			wantErr: "unknown device",
+		},
+		{
+			name: "unknown priority",
+			cfg: Config{
+				Scheme: Orion,
+				Jobs:   []JobConfig{{Workload: "resnet50-inf", Priority: "urgent"}},
+			},
+			wantErr: "unknown priority",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rc, err := c.cfg.Build()
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.check != nil {
+				c.check(t, rc)
+			}
+		})
+	}
+
+	t.Run("explicit faults win over default flag", func(t *testing.T) {
+		explicit := DefaultFaultConfig(99)
+		rc, err := (Config{
+			Scheme:        Orion,
+			Jobs:          []JobConfig{{Workload: "resnet50-inf", Priority: "hp"}},
+			DefaultFaults: true,
+			FaultSeed:     3,
+			Faults:        explicit,
+		}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc.Faults.Seed != 99 {
+			t.Errorf("fault seed = %d, want explicit 99", rc.Faults.Seed)
+		}
+		if rc.Faults == explicit {
+			t.Error("Build must copy the fault config, not alias the caller's")
+		}
+	})
+}
+
+func TestParseConfigRejectsUnknownFields(t *testing.T) {
+	_, err := ParseConfig(strings.NewReader(`{"scheme":"orion","jobz":[]}`))
+	if err == nil {
+		t.Fatal("want error for unknown field")
+	}
+}
+
+func TestParseConfigDurationStrings(t *testing.T) {
+	c, err := ParseConfig(strings.NewReader(`{
+		"scheme": "orion",
+		"horizon": "4s",
+		"warmup": "1s",
+		"jobs": [{"workload": "resnet50-inf", "priority": "hp", "deadline": "5ms"}],
+		"faults": {"seed": 2, "crash_mtbf": "8s", "launch_fail_mtbf": "2s", "launch_fail_duration": "5ms"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Horizon != 4*sim.Second || c.Warmup != 1*sim.Second {
+		t.Errorf("horizon/warmup = %v/%v", c.Horizon, c.Warmup)
+	}
+	if c.Jobs[0].Deadline != 5*sim.Millisecond {
+		t.Errorf("deadline = %v", c.Jobs[0].Deadline)
+	}
+	if c.Faults == nil || c.Faults.CrashMTBF != 8*sim.Second || c.Faults.LaunchFailDuration != 5*sim.Millisecond {
+		t.Errorf("faults = %+v", c.Faults)
+	}
+}
+
+// TestWireMatchesDirect is the determinism contract the serving layer
+// relies on: building a RunConfig from the wire and running it produces
+// bit-identical results to a hand-built RunConfig with the same seeds.
+func TestWireMatchesDirect(t *testing.T) {
+	wire := Config{
+		Scheme:  Orion,
+		Horizon: 2 * sim.Second,
+		Warmup:  500 * sim.Millisecond,
+		Seed:    7,
+		Jobs: []JobConfig{
+			{Workload: "resnet50-inf", Priority: "hp", Arrival: "poisson", RPS: 40},
+			{Workload: "mobilenetv2-train", Priority: "be"},
+		},
+	}
+	viaWire, err := RunWire(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hp, err := workload.ByID("resnet50-inf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := workload.ByID("mobilenetv2-train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Run(RunConfig{
+		Scheme: Orion, Horizon: 2 * sim.Second, Warmup: 500 * sim.Millisecond, Seed: 7,
+		Jobs: []JobSpec{
+			{Model: hp, Priority: sched.HighPriority, Arrival: Poisson, RPS: 40},
+			{Model: be, Priority: sched.BestEffort, Arrival: Closed},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := Summarize(viaWire), Summarize(direct)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Errorf("job %d differs:\nwire:   %+v\ndirect: %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+	if a.Utilization != b.Utilization {
+		t.Errorf("utilization differs: %+v vs %+v", a.Utilization, b.Utilization)
+	}
+}

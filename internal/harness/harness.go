@@ -131,6 +131,18 @@ type RunConfig struct {
 	// high-priority client onto a high-priority stream — the plain "GPU
 	// Streams" point of the Figure 14 ablation.
 	streamsNoPriorities bool
+	// Progress, when non-nil, receives coarse stage notifications as the
+	// run advances ("profile <id>", "simulate", "collect") — the hook
+	// orion-serve's event stream is fed from. Calls happen synchronously
+	// on the running goroutine.
+	Progress func(stage string)
+}
+
+// progress invokes the Progress hook if one is installed.
+func (c *RunConfig) progress(stage string) {
+	if c.Progress != nil {
+		c.Progress(stage)
+	}
 }
 
 // JobResult is one client's outcome.
@@ -256,6 +268,7 @@ func Run(cfg RunConfig) (*Result, error) {
 				j.Model.ID(), prev, j.Model.Batch)
 		}
 		batches[j.Model.ID()] = j.Model.Batch
+		cfg.progress("profile " + j.Model.ID())
 		p, err := ProfileFor(j.Model, cfg.Device)
 		if err != nil {
 			return nil, err
@@ -428,8 +441,10 @@ func Run(cfg RunConfig) (*Result, error) {
 			d.ResetUtilization()
 		}
 	})
+	cfg.progress("simulate")
 	eng.RunUntil(sim.Time(cfg.Horizon))
 
+	cfg.progress("collect")
 	for i, d := range drivers {
 		j := cfg.Jobs[i]
 		res.Jobs = append(res.Jobs, JobResult{

@@ -1,0 +1,357 @@
+package metrics
+
+// Prometheus-text exposition (version 0.0.4) for the serving layer:
+// counters, gauges and histograms registered in a Registry render through
+// Expose in the format Prometheus and its ecosystem scrape. Only the
+// stdlib is used — the encoder covers the subset of the format the
+// orion-serve control plane needs (HELP/TYPE lines, label sets, histogram
+// _bucket/_sum/_count series) rather than wrapping the official client.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labels is one metric's label set.
+type Labels map[string]string
+
+// labelKey renders a label set canonically (sorted by name) both for
+// identity inside a family and for exposition.
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(l))
+	for k := range l {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d, which must be non-negative.
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("metrics: counter decrease")
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Value reports the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the value by d (negative d decreases).
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending, +Inf implicit
+	counts []uint64  // per-bound (non-cumulative) counts; last is +Inf
+	sum    float64
+	total  uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum reports the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// DefBuckets mirrors the Prometheus client's default latency buckets
+// (seconds).
+func DefBuckets() []float64 {
+	return []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+}
+
+// metricKind tags a family's type line.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one labeled child inside a family.
+type series struct {
+	labels string // canonical label key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histogram families only
+	order  []string
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) familyFor(name, help string, kind metricKind, bounds []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// Counter returns (registering on first use) the counter with the given
+// name and labels. Registering the same name with a different type panics.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindCounter, nil)
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, c: &Counter{}}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s.c
+}
+
+// Gauge returns (registering on first use) the gauge with the given name
+// and labels.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindGauge, nil)
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, g: &Gauge{}}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s.g
+}
+
+// Histogram returns (registering on first use) the histogram with the
+// given name, labels and bucket upper bounds (ascending; +Inf implied).
+// Buckets are fixed by the first registration of the family.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets()
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s buckets not ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindHistogram, buckets)
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, h: &Histogram{
+			bounds: f.bounds,
+			counts: make([]uint64, len(f.bounds)+1),
+		}}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s.h
+}
+
+// formatValue renders a sample value the way Prometheus text expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	// Minimal digits ("17", not "17.000000"), matching the reference
+	// client's rendering closely enough for scrapers.
+	return fmt.Sprintf("%g", v)
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+	return err
+}
+
+// joinLabels appends extra to a canonical label key.
+func joinLabels(key, extra string) string {
+	if key == "" {
+		return extra
+	}
+	return key + "," + extra
+}
+
+// Expose renders every family in registration order as Prometheus text
+// exposition format 0.0.4.
+func (r *Registry) Expose(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, key := range f.order {
+			s := f.series[key]
+			switch f.kind {
+			case kindCounter:
+				if err := writeSample(w, f.name, s.labels, s.c.Value()); err != nil {
+					return err
+				}
+			case kindGauge:
+				if err := writeSample(w, f.name, s.labels, s.g.Value()); err != nil {
+					return err
+				}
+			case kindHistogram:
+				if err := writeHistogram(w, f.name, s); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s *series) error {
+	h := s.h
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		le := fmt.Sprintf("le=%q", formatValue(b))
+		if err := writeSample(w, name+"_bucket", joinLabels(s.labels, le), float64(cum)); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(bounds)]
+	if err := writeSample(w, name+"_bucket", joinLabels(s.labels, `le="+Inf"`), float64(cum)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name+"_sum", s.labels, sum); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", s.labels, float64(total))
+}
+
+// Handler serves the registry over HTTP with the exposition content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the header are connection-level; nothing to do.
+		_ = r.Expose(w)
+	})
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs by terminal state.", Labels{"state": "done"}).Add(3)
+	r.Counter("jobs_total", "Jobs by terminal state.", Labels{"state": "failed"}).Inc()
+	r.Gauge("queue_depth", "Queued jobs.", nil).Set(2)
+	h := r.Histogram("sim_seconds", "Simulated horizon per run.", []float64{1, 10}, Labels{"scheme": "orion"})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := strings.Join([]string{
+		`# HELP jobs_total Jobs by terminal state.`,
+		`# TYPE jobs_total counter`,
+		`jobs_total{state="done"} 3`,
+		`jobs_total{state="failed"} 1`,
+		`# HELP queue_depth Queued jobs.`,
+		`# TYPE queue_depth gauge`,
+		`queue_depth 2`,
+		`# HELP sim_seconds Simulated horizon per run.`,
+		`# TYPE sim_seconds histogram`,
+		`sim_seconds_bucket{scheme="orion",le="1"} 1`,
+		`sim_seconds_bucket{scheme="orion",le="10"} 2`,
+		`sim_seconds_bucket{scheme="orion",le="+Inf"} 3`,
+		`sim_seconds_sum{scheme="orion"} 105.5`,
+		`sim_seconds_count{scheme="orion"} 3`,
+	}, "\n") + "\n"
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	// Same label set in different insertion order must be one series.
+	r.Counter("x", "", Labels{"b": "2", "a": "1"}).Inc()
+	r.Counter("x", "", Labels{"a": "1", "b": "2"}).Inc()
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `x{a="1",b="2"} 2`) {
+		t.Errorf("labels not canonical/merged:\n%s", b.String())
+	}
+}
+
+func TestPrometheusHistogramBoundInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1}, nil)
+	h.Observe(1) // le="1" is inclusive
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `lat_bucket{le="1"} 1`) {
+		t.Errorf("v == bound must land in that bucket:\n%s", b.String())
+	}
+}
+
+func TestPrometheusTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on type conflict")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", "", nil).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestPrometheusConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", "", Labels{"w": "x"}).Inc()
+				r.Gauge("g", "", nil).Add(1)
+				r.Histogram("h", "", []float64{1, 2}, nil).Observe(float64(j % 3))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", "", Labels{"w": "x"}).Value(); got != 8000 {
+		t.Errorf("counter = %v, want 8000", got)
+	}
+	if got := r.Histogram("h", "", []float64{1, 2}, nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %v, want 8000", got)
+	}
+}

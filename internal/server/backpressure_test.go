@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// pinServer builds a server whose single worker parks on unblock, fills
+// the worker with one job and the queue with QueueDepth more, and
+// returns everything a backpressure/drain test needs.
+func pinServer(t *testing.T, queueDepth, maxJobs int) (*Server, *httptest.Server, chan struct{}, []string) {
+	t.Helper()
+	unblock := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: queueDepth, MaxJobs: maxJobs, RetryAfter: 2 * time.Second})
+	s.testBlock = unblock
+	ts := httptest.NewServer(s.Handler())
+
+	var ids []string
+	st, resp := submit(t, ts, quickConfig("orion"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	ids = append(ids, st.ID)
+	// Wait until the worker owns the first job so queue occupancy below
+	// is exact.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		running := s.jobs[st.ID].state == StateRunning
+		s.mu.Unlock()
+		if running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < queueDepth; i++ {
+		st, resp := submit(t, ts, quickConfig("orion"))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill submit %d: %d", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+	}
+	return s, ts, unblock, ids
+}
+
+// TestBackpressure is the acceptance test: with a full queue submissions
+// get 429 + Retry-After, the job table stays bounded no matter how many
+// submissions arrive, and admission recovers once capacity frees up.
+func TestBackpressure(t *testing.T) {
+	const queueDepth, maxJobs = 2, 8
+	s, ts, unblock, ids := pinServer(t, queueDepth, maxJobs)
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	// Queue is now full: every further submission must bounce with 429
+	// and a Retry-After hint, and must not grow the job table.
+	for i := 0; i < 50; i++ {
+		_, resp := submit(t, ts, quickConfig("orion"))
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("overload submit %d: code = %d, want 429", i, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "2" {
+			t.Fatalf("Retry-After = %q, want \"2\"", ra)
+		}
+	}
+	s.mu.Lock()
+	records := len(s.jobs)
+	s.mu.Unlock()
+	if want := 1 + queueDepth; records != want {
+		t.Errorf("job table holds %d records after 50 rejected submissions, want %d", records, want)
+	}
+	if got := s.cRejected.Value(); got != 50 {
+		t.Errorf("rejections counter = %v, want 50", got)
+	}
+
+	// Unblock the worker: everything drains and admission recovers.
+	close(unblock)
+	for _, id := range ids {
+		if st := pollDone(t, ts, id); st.State != StateDone {
+			t.Errorf("job %s: state %q (%s)", id, st.State, st.Error)
+		}
+	}
+	st, resp := submit(t, ts, quickConfig("orion"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-drain submit: %d", resp.StatusCode)
+	}
+	if got := pollDone(t, ts, st.ID); got.State != StateDone {
+		t.Errorf("post-drain job: %q", got.State)
+	}
+}
+
+// TestRetentionBound: finished records are evicted oldest-first once
+// MaxJobs is hit, so long-running servers hold a bounded history.
+func TestRetentionBound(t *testing.T) {
+	const maxJobs = 4
+	s := New(Config{Workers: 1, QueueDepth: 2, MaxJobs: maxJobs})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3*maxJobs; i++ {
+		st, resp := submit(t, ts, quickConfig("orion"))
+		if resp.StatusCode != http.StatusAccepted {
+			// Full queue under a slow CI machine: wait for space.
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		ids = append(ids, st.ID)
+		pollDone(t, ts, st.ID)
+		s.mu.Lock()
+		n := len(s.jobs)
+		s.mu.Unlock()
+		if n > maxJobs {
+			t.Fatalf("job table grew to %d > MaxJobs %d", n, maxJobs)
+		}
+	}
+	if len(ids) < maxJobs+1 {
+		t.Fatalf("too few accepted jobs to exercise eviction: %d", len(ids))
+	}
+	// The oldest record must be gone, the newest still present.
+	resp, err := http.Get(ts.URL + "/v1/experiments/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest job still retained: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/experiments/" + ids[len(ids)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("newest job missing: %d", resp.StatusCode)
+	}
+}
+
+// TestGracefulShutdown is the acceptance test's drain half: shutdown
+// fails readiness and rejects submissions immediately, lets the in-flight
+// job finish, cancels queued jobs, and keeps results pollable until the
+// listener closes (which the caller does only after Shutdown returns).
+func TestGracefulShutdown(t *testing.T) {
+	const queueDepth = 2
+	s, ts, unblock, ids := pinServer(t, queueDepth, 8)
+	defer ts.Close()
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Readiness must fail as soon as draining begins, while the listener
+	// is still up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never failed during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("/healthz = %d during drain, want 200", resp.StatusCode)
+		}
+	}
+	_, resp := submit(t, ts, quickConfig("orion"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain: %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("drain rejection missing Retry-After")
+	}
+
+	// Let the in-flight job complete; Shutdown must then return cleanly.
+	close(unblock)
+	select {
+	case err := <-shutdownErr:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("shutdown never returned")
+	}
+
+	// In-flight job drained to completion; queued jobs were canceled;
+	// both remain pollable before the listener closes.
+	if st := pollDone(t, ts, ids[0]); st.State != StateDone || st.Result == nil {
+		t.Errorf("in-flight job after drain: %q (result %v)", st.State, st.Result != nil)
+	}
+	for _, id := range ids[1:] {
+		st := pollDone(t, ts, id)
+		if st.State != StateCanceled {
+			t.Errorf("queued job %s after drain: %q, want canceled", id, st.State)
+		}
+	}
+}
+
+// TestShutdownDeadline: a worker that cannot finish inside the drain
+// deadline surfaces the context error instead of hanging forever.
+func TestShutdownDeadline(t *testing.T) {
+	unblock := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	s.testBlock = unblock
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer close(unblock)
+
+	st, resp := submit(t, ts, quickConfig("orion"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	_ = st
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("shutdown must report an incomplete drain")
+	}
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"orion/internal/harness"
+	"orion/internal/metrics"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle: Queued → Running → Done | Failed. Canceled marks jobs
+// that were still queued when the server began draining.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one progress notification on a job's event stream.
+type Event struct {
+	// Seq orders events within a job, starting at 1.
+	Seq int `json:"seq"`
+	// Time is the wall-clock emission time (the serving layer lives in
+	// real time; only the experiment inside runs on virtual time).
+	Time time.Time `json:"time"`
+	// Stage describes the transition: "queued", "running",
+	// "profile <workload>", "simulate", "collect", and finally one of
+	// the terminal states.
+	Stage string `json:"stage"`
+}
+
+// job is one submitted experiment. Mutable fields are guarded by the
+// owning Server's mu.
+type job struct {
+	id        string
+	state     State
+	cfg       harness.Config
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	summary   *harness.Summary
+	errMsg    string
+	events    []Event
+	subs      map[chan Event]bool
+}
+
+// JobStatus is the wire-level view of a job.
+type JobStatus struct {
+	ID          string           `json:"id"`
+	State       State            `json:"state"`
+	Scheme      harness.Scheme   `json:"scheme"`
+	SubmittedAt time.Time        `json:"submitted_at"`
+	StartedAt   *time.Time       `json:"started_at,omitempty"`
+	FinishedAt  *time.Time       `json:"finished_at,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	Result      *harness.Summary `json:"result,omitempty"`
+}
+
+func (j *job) status() JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Scheme:      j.cfg.Scheme,
+		SubmittedAt: j.submitted,
+		Error:       j.errMsg,
+		Result:      j.summary,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// emit appends a progress event and fans it out to subscribers. Callers
+// hold s.mu. Slow subscribers lose events rather than stall the worker.
+func (s *Server) emit(j *job, stage string) {
+	e := Event{Seq: len(j.events) + 1, Time: time.Now(), Stage: stage}
+	j.events = append(j.events, e)
+	for ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// subscribe registers a live event channel and returns the job's event
+// history so the caller can replay it before streaming.
+func (s *Server) subscribe(j *job) (chan Event, []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan Event, 64)
+	j.subs[ch] = true
+	past := append([]Event(nil), j.events...)
+	return ch, past
+}
+
+func (s *Server) unsubscribe(j *job, ch chan Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(j.subs, ch)
+}
+
+// worker pulls queued jobs and runs them until the server starts
+// draining. In-flight jobs always run to completion; jobs still queued
+// at drain time are canceled by Shutdown, not here.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Bias toward quit: without this, the two-way select below may
+		// keep picking up queued work while draining.
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one experiment on the calling worker goroutine.
+func (s *Server) runJob(j *job) {
+	s.gQueueDepth.Dec()
+	s.gWorkersBusy.Inc()
+	defer s.gWorkersBusy.Dec()
+
+	s.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	s.emit(j, "running")
+	progress := func(stage string) {
+		s.mu.Lock()
+		s.emit(j, stage)
+		s.mu.Unlock()
+	}
+	cfg := j.cfg
+	s.mu.Unlock()
+
+	if s.testBlock != nil {
+		<-s.testBlock
+	}
+
+	rc, err := cfg.Build()
+	var res *harness.Result
+	if err == nil {
+		rc.Progress = progress
+		res, err = harness.Run(rc)
+	}
+	wall := time.Since(j.started).Seconds()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.cJobs(StateFailed).Inc()
+		s.emit(j, string(StateFailed))
+		return
+	}
+	j.state = StateDone
+	j.summary = harness.Summarize(res)
+	s.cJobs(StateDone).Inc()
+	scheme := string(cfg.Scheme)
+	s.simSeconds(scheme).Observe(rc.Horizon.Seconds())
+	s.wallSeconds(scheme).Observe(wall)
+	s.emit(j, string(StateDone))
+}
+
+// cJobs returns the terminal-state counter for one state.
+func (s *Server) cJobs(st State) *metrics.Counter {
+	return s.reg.Counter("orion_serve_jobs_total",
+		"Experiments finished, by terminal state.", metrics.Labels{"state": string(st)})
+}
+
+// simSeconds returns the per-scheme simulated-horizon histogram.
+func (s *Server) simSeconds(scheme string) *metrics.Histogram {
+	return s.reg.Histogram("orion_serve_sim_seconds",
+		"Simulated seconds per completed experiment, by scheme.",
+		[]float64{0.5, 1, 2, 5, 10, 30, 60, 120}, metrics.Labels{"scheme": scheme})
+}
+
+// wallSeconds returns the per-scheme wall-clock run-time histogram.
+func (s *Server) wallSeconds(scheme string) *metrics.Histogram {
+	return s.reg.Histogram("orion_serve_run_wall_seconds",
+		"Wall-clock seconds per completed experiment, by scheme.",
+		metrics.DefBuckets(), metrics.Labels{"scheme": scheme})
+}
+
+// admissionError is an admission-control rejection with its HTTP status.
+type admissionError struct {
+	code int
+	msg  string
+}
+
+func (e *admissionError) Error() string { return e.msg }
+
+// admit performs the whole admission step — draining check, bounded
+// retention, record creation and enqueue — under one lock acquisition,
+// so a job can never land in the queue after Shutdown's cancel sweep
+// (Shutdown flips draining under the same lock). Retention evicts the
+// oldest finished record when the cap is hit and rejects when every
+// retained record is still live: the bound that keeps server memory
+// finite no matter how many submissions arrive.
+func (s *Server) admit(cfg harness.Config) (*job, *admissionError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return nil, &admissionError{http.StatusServiceUnavailable, "server is draining"}
+	}
+	if len(s.order) >= s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			if j := s.jobs[id]; j.state.terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return nil, &admissionError{http.StatusTooManyRequests,
+				fmt.Sprintf("job table full (%d live jobs)", s.cfg.MaxJobs)}
+		}
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("exp-%06d", s.seq),
+		state:     StateQueued,
+		cfg:       cfg,
+		submitted: time.Now(),
+		subs:      map[chan Event]bool{},
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return nil, &admissionError{http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (%d waiting)", s.cfg.QueueDepth)}
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.gQueueDepth.Inc()
+	s.cSubmitted.Inc()
+	s.emit(j, string(StateQueued))
+	return j, nil
+}

@@ -1,0 +1,333 @@
+// Package server is the orion-serve control plane: a multi-tenant
+// scheduler-as-a-service facade over the simulation harness. Clients POST
+// wire-level harness configs to /v1/experiments; jobs run asynchronously
+// on a bounded worker pool with admission control (a full queue answers
+// 429 with Retry-After), results are polled from /v1/experiments/{id},
+// progress streams from /v1/experiments/{id}/events as server-sent
+// events, and /metrics exposes Prometheus-text counters, gauges and
+// histograms. Graceful shutdown fails readiness first, cancels queued
+// jobs, and drains in-flight experiments under a deadline.
+//
+// This is the deployment shape of the paper's §5 daemon (and of KubeShare
+// / Tally-style serving layers): a long-running per-node service that
+// concurrent tenants submit work to online, rather than a batch CLI.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orion/internal/harness"
+	"orion/internal/metrics"
+)
+
+// Config tunes the control plane.
+type Config struct {
+	// Workers is the number of concurrent experiment runners (default 2).
+	// Each worker runs one simulation at a time; the pool bounds CPU use.
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running (default 16).
+	// Submissions beyond it are rejected with 429 + Retry-After.
+	QueueDepth int
+	// MaxJobs bounds retained job records, finished ones included
+	// (default 1024). Oldest finished records are evicted first; if every
+	// record is live the submission is rejected, keeping memory bounded.
+	MaxJobs int
+	// RetryAfter is the hint returned with 429/503 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxJobs < c.QueueDepth+c.Workers {
+		c.MaxJobs = c.QueueDepth + c.Workers
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is one orion-serve instance.
+type Server struct {
+	cfg Config
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // insertion order, for bounded retention
+	seq   uint64
+
+	queue    chan *job
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	reg          *metrics.Registry
+	cSubmitted   *metrics.Counter
+	cRejected    *metrics.Counter
+	gQueueDepth  *metrics.Gauge
+	gWorkersBusy *metrics.Gauge
+
+	// testBlock, when non-nil, parks every worker after it marks its job
+	// running until the channel closes — lets tests pin the pool in a
+	// known state without timing games. Never set outside tests.
+	testBlock chan struct{}
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := metrics.NewRegistry()
+	s := &Server{
+		cfg:   cfg,
+		jobs:  map[string]*job{},
+		queue: make(chan *job, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		reg:   reg,
+		cSubmitted: reg.Counter("orion_serve_submissions_total",
+			"Experiment submissions accepted.", nil),
+		cRejected: reg.Counter("orion_serve_rejections_total",
+			"Experiment submissions rejected by admission control.", nil),
+		gQueueDepth: reg.Gauge("orion_serve_queue_depth",
+			"Jobs admitted but not yet running.", nil),
+		gWorkersBusy: reg.Gauge("orion_serve_workers_busy",
+			"Workers currently running an experiment.", nil),
+	}
+	reg.Gauge("orion_serve_workers", "Worker pool size.", nil).Set(float64(cfg.Workers))
+	// Pre-register terminal-state counters so /metrics shows zeros from
+	// the first scrape instead of series appearing over time.
+	for _, st := range []State{StateDone, StateFailed, StateCanceled} {
+		s.cJobs(st)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the server's metrics registry (for embedding extra
+// collectors or tests).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the control plane's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	mux.HandleFunc("GET /v1/experiments", s.handleList)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// maxBodyBytes caps submission bodies; a harness config is tiny.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.retryAfterHeader(w)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{"server is draining"})
+		return
+	}
+	cfg, err := harness.ParseConfig(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	// Validate up front so the queue only ever holds runnable work and
+	// the client learns about a bad config synchronously.
+	if _, err := cfg.Build(); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
+		return
+	}
+	j, aerr := s.admit(cfg)
+	if aerr != nil {
+		s.cRejected.Inc()
+		s.retryAfterHeader(w)
+		writeJSON(w, aerr.code, errorBody{aerr.msg})
+		return
+	}
+	s.mu.Lock()
+	st := j.status()
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/experiments/"+j.id)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) lookup(r *http.Request) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[r.PathValue("id")]
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{"no such experiment"})
+		return
+	}
+	s.mu.Lock()
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		st := s.jobs[id].status()
+		st.Result = nil // keep the listing light; poll the job for results
+		out = append(out, st)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleEvents streams a job's progress as server-sent events: the
+// history replays first, then live events until a terminal stage.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{"no such experiment"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{"streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, past := s.subscribe(j)
+	defer s.unsubscribe(j, ch)
+	writeEvent := func(e Event) bool {
+		b, _ := json.Marshal(e)
+		fmt.Fprintf(w, "data: %s\n\n", b)
+		flusher.Flush()
+		return State(e.Stage).terminal()
+	}
+	lastSeq := 0
+	for _, e := range past {
+		lastSeq = e.Seq
+		if writeEvent(e) {
+			return
+		}
+	}
+	// Every job is guaranteed a terminal event (done, failed, or
+	// canceled at shutdown), so this loop always ends unless the client
+	// hangs up first.
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e := <-ch:
+			if e.Seq <= lastSeq {
+				continue // raced with the history replay
+			}
+			if writeEvent(e) {
+				return
+			}
+		}
+	}
+}
+
+// Shutdown drains the server: readiness fails and new submissions are
+// rejected immediately, queued-but-unstarted jobs are canceled, and
+// in-flight experiments run to completion unless ctx expires first.
+// Close the HTTP listener only after Shutdown returns, so late polls for
+// results still succeed during the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// Flip draining under the admission lock: once this returns, no new
+	// job can enter the queue, so the cancel sweep below sees them all.
+	s.mu.Lock()
+	first := s.draining.CompareAndSwap(false, true)
+	s.mu.Unlock()
+	if !first {
+		return nil
+	}
+	close(s.quit)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: drain incomplete: %w", ctx.Err())
+	}
+	// Cancel whatever never started. This runs after the workers have
+	// stopped (or the deadline expired), so nothing else receives from
+	// the queue and every leftover job gets its terminal event.
+	for {
+		select {
+		case j := <-s.queue:
+			s.gQueueDepth.Dec()
+			s.mu.Lock()
+			j.state = StateCanceled
+			j.finished = time.Now()
+			j.errMsg = "server shut down before the job started"
+			s.cJobs(StateCanceled).Inc()
+			s.emit(j, string(StateCanceled))
+			s.mu.Unlock()
+		default:
+			return err
+		}
+	}
+}

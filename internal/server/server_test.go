@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"orion/internal/harness"
+	"orion/internal/sim"
+)
+
+// quickConfig is a short faulted serving experiment that still exercises
+// arrivals, deadlines and the fault injector.
+func quickConfig(scheme harness.Scheme) harness.Config {
+	return harness.Config{
+		Scheme:  scheme,
+		Horizon: 2 * sim.Second,
+		Warmup:  500 * sim.Millisecond,
+		Seed:    7,
+		Jobs: []harness.JobConfig{
+			{Workload: "resnet50-inf", Priority: "hp", Arrival: "poisson", RPS: 40, Deadline: 20 * sim.Millisecond},
+			{Workload: "mobilenetv2-train", Priority: "be"},
+		},
+		DefaultFaults: true,
+		FaultSeed:     3,
+	}
+}
+
+func submit(t *testing.T, ts *httptest.Server, cfg harness.Config) (JobStatus, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp
+}
+
+func pollDone(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/experiments/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.terminal() {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}
+
+// TestEndToEnd is the acceptance test: a faulted Orion serving experiment
+// submitted over HTTP must return exactly what a direct harness
+// invocation with the same seeds produces — and the same must hold for
+// the REEF and Streams baselines.
+func TestEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, scheme := range []harness.Scheme{harness.Orion, harness.Reef, harness.Streams} {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			cfg := quickConfig(scheme)
+			st, resp := submit(t, ts, cfg)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit: %d", resp.StatusCode)
+			}
+			if st.State != StateQueued && st.State != StateRunning {
+				t.Fatalf("fresh job state = %q", st.State)
+			}
+			got := pollDone(t, ts, st.ID)
+			if got.State != StateDone {
+				t.Fatalf("job failed: %q (%s)", got.State, got.Error)
+			}
+
+			direct, err := harness.RunWire(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := harness.Summarize(direct)
+
+			if len(got.Result.Jobs) != len(want.Jobs) {
+				t.Fatalf("job count %d != %d", len(got.Result.Jobs), len(want.Jobs))
+			}
+			for i := range want.Jobs {
+				if got.Result.Jobs[i] != want.Jobs[i] {
+					t.Errorf("job %d differs bit-for-bit:\nserved: %+v\ndirect: %+v",
+						i, got.Result.Jobs[i], want.Jobs[i])
+				}
+			}
+			if got.Result.Jobs[0].P99Ms != want.Jobs[0].P99Ms {
+				t.Errorf("hp p99: served %v != direct %v", got.Result.Jobs[0].P99Ms, want.Jobs[0].P99Ms)
+			}
+			if got.Result.Jobs[0].ThroughputRPS != want.Jobs[0].ThroughputRPS {
+				t.Errorf("hp throughput: served %v != direct %v",
+					got.Result.Jobs[0].ThroughputRPS, want.Jobs[0].ThroughputRPS)
+			}
+			if got.Result.Utilization != want.Utilization {
+				t.Errorf("utilization differs: %+v vs %+v", got.Result.Utilization, want.Utilization)
+			}
+			if got.Result.Robustness == nil || want.Robustness == nil {
+				t.Fatal("faulted run must carry a robustness report")
+			}
+			if got.Result.Robustness.DeniedLaunches != want.Robustness.DeniedLaunches ||
+				got.Result.Robustness.DeniedAllocs != want.Robustness.DeniedAllocs {
+				t.Errorf("robustness counters differ: %+v vs %+v",
+					got.Result.Robustness, want.Robustness)
+			}
+		})
+	}
+}
+
+func TestEventsStream(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, resp := submit(t, ts, quickConfig(harness.Orion))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	res, err := http.Get(ts.URL + "/v1/experiments/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var stages []string
+	sc := bufio.NewScanner(res.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatal(err)
+		}
+		stages = append(stages, e.Stage)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(stages, ",")
+	for _, want := range []string{"queued", "running", "profile resnet50-inf", "simulate", "collect", "done"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("stream missing stage %q: %v", want, stages)
+		}
+	}
+	if last := stages[len(stages)-1]; last != string(StateDone) {
+		t.Errorf("stream must end with the terminal stage, got %q", last)
+	}
+	// Seqs must be strictly increasing (history replay must not duplicate
+	// live events).
+	seen := map[string]bool{}
+	for _, st := range stages {
+		if seen[st] && st != "collect" {
+			t.Errorf("duplicated stage %q in %v", st, stages)
+		}
+		seen[st] = true
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{not json`, http.StatusBadRequest},
+		{`{"scheme":"orion","jobz":[]}`, http.StatusBadRequest},                                    // unknown field
+		{`{"scheme":"fifo","jobs":[{"workload":"resnet50-inf"}]}`, http.StatusUnprocessableEntity}, // unknown scheme
+		{`{"scheme":"orion","jobs":[{"workload":"nope-inf"}]}`, http.StatusUnprocessableEntity},
+		{`{"scheme":"orion","jobs":[{"workload":"resnet50-inf","arrival":"poisson"}]}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.code {
+			t.Errorf("body %q: code = %d, want %d", c.body, resp.StatusCode, c.code)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/experiments/exp-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: code = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthAndMetricsEndpoints(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	body := buf.String()
+	for _, want := range []string{
+		"orion_serve_jobs_total{state=\"done\"}",
+		"orion_serve_queue_depth",
+		"orion_serve_workers_busy",
+		"orion_serve_submissions_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// UnmarshalJSON accepts either a bare integer (nanoseconds, the type's
+// native representation and what MarshalJSON emits) or a Go duration
+// string such as "5ms" or "8s". The string form is what wire configs
+// (orion-serve requests, fault options) are expected to use; the numeric
+// form keeps marshal/unmarshal round trips exact.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		std, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("sim: bad duration %q: %w", s, err)
+		}
+		*d = FromStd(std)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("sim: duration must be nanoseconds or a duration string: %w", err)
+	}
+	*d = Duration(ns)
+	return nil
+}

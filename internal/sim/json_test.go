@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDurationUnmarshalJSON(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Duration
+		wantErr bool
+	}{
+		{`5000000`, 5 * Millisecond, false},
+		{`"5ms"`, 5 * Millisecond, false},
+		{`"8s"`, 8 * Second, false},
+		{`"1.5ms"`, 1500 * Microsecond, false},
+		{`"bogus"`, 0, true},
+		{`{}`, 0, true},
+	}
+	for _, c := range cases {
+		var d Duration
+		err := json.Unmarshal([]byte(c.in), &d)
+		if (err != nil) != c.wantErr {
+			t.Errorf("unmarshal %s: err=%v, wantErr=%v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && d != c.want {
+			t.Errorf("unmarshal %s = %v, want %v", c.in, d, c.want)
+		}
+	}
+}
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	orig := 1500 * Microsecond
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Duration
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatalf("round trip: %v != %v", back, orig)
+	}
+}
