@@ -1,6 +1,6 @@
 # Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, and
 # the full test suite under the race detector.
-.PHONY: check fmt vet build test bench bench-json
+.PHONY: check fmt vet build test bench bench-json chaos
 
 check: fmt vet build test
 
@@ -16,6 +16,13 @@ build:
 
 test:
 	go test -race ./...
+
+# Crash drill: SIGKILLs a real orion-serve under load and asserts the
+# journal recovers every job to the exact deterministic answer. Build-
+# tagged out of `make test` because it kills processes and takes ~1 min.
+# Set CHAOS_ARTIFACT_DIR to keep the journal + daemon log on failure.
+chaos:
+	go test -race -tags chaos -run TestChaosCrashRecovery -v -timeout 600s .
 
 bench:
 	go test -bench . -benchmem -benchtime=1x ./...

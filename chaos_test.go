@@ -1,0 +1,282 @@
+//go:build chaos
+
+package orion_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"orion/internal/client"
+	"orion/internal/harness"
+	"orion/internal/server"
+	"orion/internal/sim"
+)
+
+// TestChaosCrashRecovery is the end-to-end crash drill against a real
+// orion-serve process: submit a fleet of experiments, SIGKILL the daemon
+// at randomized points, restart it against the same journal directory,
+// and repeat. The invariants checked at the end:
+//
+//   - no acknowledged job is lost across any number of kills;
+//   - idempotent resubmission never creates a duplicate (exactly one job
+//     per key, no job runs twice to a different answer);
+//   - every recovered summary is bit-identical to the summary an
+//     uninterrupted in-process run of the same config produces.
+//
+// Build-tagged `chaos` (run via `make chaos`): it SIGKILLs real
+// processes and takes tens of seconds, so it stays out of `make test`.
+// On failure the journal directory is copied to $CHAOS_ARTIFACT_DIR (if
+// set) for postmortem.
+func TestChaosCrashRecovery(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	work := t.TempDir()
+	journalDir := filepath.Join(work, "journal")
+	logPath := filepath.Join(work, "orion-serve.log")
+	defer func() {
+		if t.Failed() {
+			saveArtifacts(t, journalDir, logPath)
+		}
+	}()
+
+	bin := filepath.Join(work, "orion-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/orion-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build orion-serve: %v\n%s", err, out)
+	}
+
+	// The victim fleet: every scheme, distinct seeds, short horizons so
+	// several jobs complete (and several are mid-flight) at kill time.
+	var cfgs []harness.Config
+	for i, scheme := range []harness.Scheme{
+		harness.Orion, harness.Reef, harness.Streams,
+		harness.Orion, harness.Reef, harness.Streams,
+	} {
+		cfgs = append(cfgs, harness.Config{
+			Scheme:  scheme,
+			Horizon: 2 * sim.Second,
+			Warmup:  500 * sim.Millisecond,
+			Seed:    int64(100 + i),
+			Jobs: []harness.JobConfig{
+				{Workload: "resnet50-inf", Priority: "hp", Arrival: "poisson", RPS: 40},
+				{Workload: "mobilenetv2-train", Priority: "be"},
+			},
+			DefaultFaults: true,
+			FaultSeed:     int64(7 + i),
+		})
+	}
+
+	// Control answers: uninterrupted in-process runs of the same configs.
+	controls := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := harness.RunWire(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("control run %d: %v", i, err)
+		}
+		b, err := json.Marshal(harness.Summarize(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		controls[i] = string(b)
+	}
+
+	addr := freeAddr(t)
+	base := "http://" + addr
+	c := client.New(base, client.Options{
+		Timeout:     5 * time.Second,
+		MaxAttempts: 8,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+	})
+	rng := rand.New(rand.NewSource(1)) // fixed seed: reproducible kill schedule
+
+	start := func() *exec.Cmd {
+		logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin,
+			"-addr", addr,
+			"-journal-dir", journalDir,
+			"-workers", "2",
+			"-queue", "32",
+			"-drain-timeout", "60s",
+		)
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start orion-serve: %v", err)
+		}
+		logf.Close() // the child holds its own descriptor
+		waitReady(t, base)
+		return cmd
+	}
+
+	// submitAll (re)submits every config under its stable idempotency
+	// key. Rounds after a kill re-send everything: acknowledged jobs
+	// deduplicate, unacknowledged ones get their one real admission.
+	submitAll := func() {
+		for i, cfg := range cfgs {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_, err := c.Submit(ctx, cfg, fmt.Sprintf("chaos-%d", i))
+			cancel()
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+		}
+	}
+
+	const kills = 4
+	cmd := start()
+	for round := 0; round < kills; round++ {
+		submitAll()
+		// Let the daemon make some progress — sometimes none (kill while
+		// everything is queued), sometimes plenty (kill after several
+		// completions).
+		time.Sleep(time.Duration(30+rng.Intn(400)) * time.Millisecond)
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatalf("round %d: SIGKILL: %v", round, err)
+		}
+		_ = cmd.Wait()
+		cmd = start()
+	}
+
+	// Final incarnation: resubmit (idempotent), then wait everything out.
+	submitAll()
+	for i := range cfgs {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		st, err := c.Submit(ctx, cfgs[i], fmt.Sprintf("chaos-%d", i))
+		if err != nil {
+			cancel()
+			t.Fatalf("final lookup %d: %v", i, err)
+		}
+		final, err := c.Await(ctx, st.ID, 100*time.Millisecond)
+		cancel()
+		if err != nil {
+			t.Fatalf("await %d (%s): %v", i, st.ID, err)
+		}
+		if final.State != server.StateDone {
+			t.Fatalf("job %d (%s): state %q (%s)", i, st.ID, final.State, final.Error)
+		}
+		got, err := json.Marshal(final.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != controls[i] {
+			t.Errorf("job %d (%s, recovered=%v restarts=%d): summary diverged after crashes:\n got %s\nwant %s",
+				i, st.ID, final.Recovered, final.RestartCount, got, controls[i])
+		}
+	}
+
+	// Exactly one job per key: kills and resubmissions created no
+	// duplicates and lost no acknowledged work.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	jobs, err := c.List(ctx)
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(cfgs) {
+		b, _ := json.Marshal(jobs)
+		t.Errorf("job table holds %d jobs after %d kills, want %d: %s", len(jobs), kills, len(cfgs), b)
+	}
+
+	// Graceful exit for the last incarnation.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	waitExit(t, cmd, 60*time.Second)
+}
+
+// freeAddr grabs an ephemeral localhost port and releases it for the
+// daemon to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("orion-serve never became ready")
+}
+
+func waitExit(t *testing.T, cmd *exec.Cmd, timeout time.Duration) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		t.Fatal("orion-serve did not exit after SIGTERM")
+	}
+}
+
+// saveArtifacts copies the journal directory and daemon log into
+// $CHAOS_ARTIFACT_DIR so CI can upload them on failure.
+func saveArtifacts(t *testing.T, journalDir, logPath string) {
+	dst := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dst == "" {
+		return
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	copyFile := func(src, name string) {
+		in, err := os.Open(src)
+		if err != nil {
+			t.Logf("artifacts: %v", err)
+			return
+		}
+		defer in.Close()
+		out, err := os.Create(filepath.Join(dst, name))
+		if err != nil {
+			t.Logf("artifacts: %v", err)
+			return
+		}
+		defer out.Close()
+		if _, err := io.Copy(out, in); err != nil {
+			t.Logf("artifacts: %v", err)
+		}
+	}
+	copyFile(logPath, filepath.Base(logPath))
+	entries, err := os.ReadDir(journalDir)
+	if err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	for _, e := range entries {
+		copyFile(filepath.Join(journalDir, e.Name()), e.Name())
+	}
+	t.Logf("chaos artifacts saved to %s", dst)
+}

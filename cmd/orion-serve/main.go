@@ -19,6 +19,17 @@
 // SIGINT/SIGTERM trigger a graceful drain: readiness fails immediately,
 // queued jobs are canceled, in-flight experiments finish under
 // -drain-timeout, and only then does the listener close.
+//
+// With -journal-dir the daemon is crash-safe: every acknowledged
+// submission and state transition is fsynced to a write-ahead journal
+// before it is visible, and a restart against the same directory
+// replays it — finished jobs keep their results, queued jobs re-enqueue,
+// and jobs that were mid-flight re-execute deterministically:
+//
+//	orion-serve -addr :8080 -journal-dir /var/lib/orion-serve
+//
+// -job-deadline bounds each experiment's wall-clock run time so one
+// runaway config cannot pin a worker forever.
 package main
 
 import (
@@ -42,14 +53,21 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 1024, "retained job records (memory bound)")
 	drain := flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown drain deadline")
 	retry := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503")
+	journalDir := flag.String("journal-dir", "", "crash-safety journal directory (empty = in-memory only)")
+	jobDeadline := flag.Duration("job-deadline", 0, "per-experiment wall-clock limit (0 = unlimited)")
 	flag.Parse()
 
-	s := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		MaxJobs:    *maxJobs,
-		RetryAfter: *retry,
+	s, err := server.New(server.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxJobs:     *maxJobs,
+		RetryAfter:  *retry,
+		JournalDir:  *journalDir,
+		JobDeadline: *jobDeadline,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	errc := make(chan error, 1)

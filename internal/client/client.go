@@ -1,0 +1,268 @@
+// Package client is a resilient Go client for the orion-serve control
+// plane. It wraps the HTTP API with per-request timeouts, exponential
+// backoff with jitter that honors Retry-After hints, and idempotent
+// resubmission: Submit attaches a client-supplied Idempotency-Key, so a
+// retry after an ambiguous failure (timeout, crashed daemon, dropped
+// response) lands on the already-accepted job instead of double-running
+// it — the server journals the key, so this holds across daemon
+// restarts too.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"orion/internal/harness"
+	"orion/internal/server"
+)
+
+// Options tunes a Client.
+type Options struct {
+	// Timeout bounds each individual HTTP attempt (default 10s).
+	Timeout time.Duration
+	// MaxAttempts bounds retries per call, first try included (default 6).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms); attempt n
+	// waits BaseDelay<<n, capped at MaxDelay, jittered to [d/2, d), and
+	// overridden upward by a server Retry-After hint.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 5s).
+	MaxDelay time.Duration
+	// HTTPClient overrides the transport (tests). Its Timeout is left
+	// alone; per-attempt deadlines come from the request context.
+	HTTPClient *http.Client
+	// rng seeds the jitter deterministically in tests.
+	rng *rand.Rand
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 6
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 100 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 5 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
+	}
+	return o
+}
+
+// APIError is a non-retryable server rejection (4xx other than 429).
+type APIError struct {
+	Code int
+	Msg  string
+}
+
+func (e *APIError) Error() string { return fmt.Sprintf("orion-serve: %d: %s", e.Code, e.Msg) }
+
+// Client talks to one orion-serve base URL ("http://host:port").
+type Client struct {
+	base string
+	opts Options
+}
+
+// New builds a client for the given base URL.
+func New(base string, opts Options) *Client {
+	return &Client{base: base, opts: opts.withDefaults()}
+}
+
+// retryable reports whether a status code is worth another attempt:
+// overload (429), drain (503), and transient server faults.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// backoff computes the wait before the next attempt, honoring a
+// Retry-After hint when it is longer than the exponential schedule.
+func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
+	d := c.opts.BaseDelay << attempt
+	if d > c.opts.MaxDelay || d <= 0 {
+		d = c.opts.MaxDelay
+	}
+	// Full jitter on the upper half keeps retry storms decorrelated
+	// without ever going below half the schedule.
+	if c.opts.rng != nil {
+		d = d/2 + time.Duration(c.opts.rng.Int63n(int64(d/2)+1))
+	} else {
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	}
+	if secs, err := strconv.Atoi(retryAfter); err == nil {
+		if ra := time.Duration(secs) * time.Second; ra > d {
+			d = ra
+		}
+	}
+	return d
+}
+
+// do runs one request with retries. build must return a fresh request
+// each attempt (bodies are consumed). A nil error means resp has a
+// 2xx status and its body is fully read into the returned bytes.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (int, http.Header, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			ra := ""
+			if lastErr != nil {
+				if re, ok := lastErr.(*retryError); ok {
+					ra = re.retryAfter
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return 0, nil, nil, fmt.Errorf("client: %w (last: %v)", ctx.Err(), lastErr)
+			case <-time.After(c.backoff(attempt-1, ra)):
+			}
+		}
+		req, err := build()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		actx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+		req = req.WithContext(actx)
+		resp, err := c.opts.HTTPClient.Do(req)
+		if err != nil {
+			cancel()
+			lastErr = err // network-level failure: retry
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode < 300:
+			return resp.StatusCode, resp.Header, body, nil
+		case retryable(resp.StatusCode):
+			lastErr = &retryError{
+				code:       resp.StatusCode,
+				msg:        errorMessage(body),
+				retryAfter: resp.Header.Get("Retry-After"),
+			}
+			continue
+		default:
+			return 0, nil, nil, &APIError{Code: resp.StatusCode, Msg: errorMessage(body)}
+		}
+	}
+	return 0, nil, nil, fmt.Errorf("client: giving up after %d attempts: %w", c.opts.MaxAttempts, lastErr)
+}
+
+// retryError carries a retryable HTTP rejection between attempts.
+type retryError struct {
+	code       int
+	msg        string
+	retryAfter string
+}
+
+func (e *retryError) Error() string { return fmt.Sprintf("orion-serve: %d: %s", e.code, e.msg) }
+
+// errorMessage extracts the server's {"error": ...} body, falling back
+// to the raw bytes.
+func errorMessage(body []byte) string {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return string(bytes.TrimSpace(body))
+}
+
+// Submit sends an experiment, keyed by idemKey when non-empty. Safe to
+// call again with the same key after any failure: the server (and its
+// journal, across crashes) deduplicates, so at most one job runs.
+func (c *Client) Submit(ctx context.Context, cfg harness.Config, idemKey string) (server.JobStatus, error) {
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.base+"/v1/experiments", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if idemKey != "" {
+			req.Header.Set("Idempotency-Key", idemKey)
+		}
+		return req, nil
+	})
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		return server.JobStatus{}, fmt.Errorf("client: decode submit response: %w", err)
+	}
+	return st, nil
+}
+
+// Status fetches one job.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+"/v1/experiments/"+id, nil)
+	})
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		return server.JobStatus{}, fmt.Errorf("client: decode status: %w", err)
+	}
+	return st, nil
+}
+
+// List fetches every retained job (results elided by the server).
+func (c *Client) List(ctx context.Context) ([]server.JobStatus, error) {
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+"/v1/experiments", nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sts []server.JobStatus
+	if err := json.Unmarshal(out, &sts); err != nil {
+		return nil, fmt.Errorf("client: decode list: %w", err)
+	}
+	return sts, nil
+}
+
+// Await polls a job until it reaches a terminal state or ctx expires.
+// Transient polling failures (daemon restarting mid-poll, say) retry
+// inside Status; Await itself only fails on a non-retryable error or
+// context expiry.
+func (c *Client) Await(ctx context.Context, id string, poll time.Duration) (server.JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return server.JobStatus{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("client: await %s: %w", id, ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"orion/internal/harness"
+	"orion/internal/server"
+	"orion/internal/sim"
+)
+
+func testConfig() harness.Config {
+	return harness.Config{
+		Scheme:  harness.Orion,
+		Horizon: 2 * sim.Second,
+		Warmup:  500 * sim.Millisecond,
+		Seed:    7,
+		Jobs: []harness.JobConfig{
+			{Workload: "resnet50-inf", Priority: "hp", Arrival: "poisson", RPS: 40},
+			{Workload: "mobilenetv2-train", Priority: "be"},
+		},
+	}
+}
+
+// fastOpts keeps retries snappy and the jitter deterministic.
+func fastOpts() Options {
+	return Options{
+		Timeout:     2 * time.Second,
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+		rng:         rand.New(rand.NewSource(1)),
+	}
+}
+
+// flakyHandler fails the first n requests with code, then delegates.
+type flakyHandler struct {
+	mu       sync.Mutex
+	failures int
+	code     int
+	header   http.Header
+	attempts int
+	inner    http.Handler
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.attempts++
+	fail := f.attempts <= f.failures
+	f.mu.Unlock()
+	if fail {
+		for k, vs := range f.header {
+			for _, v := range vs {
+				w.Header().Set(k, v)
+			}
+		}
+		http.Error(w, `{"error":"induced failure"}`, f.code)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func (f *flakyHandler) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts
+}
+
+// TestRetriesTransientFailures: 429 and 5xx responses retry with
+// backoff until the server recovers; the call succeeds transparently.
+func TestRetriesTransientFailures(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInternalServerError} {
+		s, err := server.New(server.Config{Workers: 1, QueueDepth: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fh := &flakyHandler{failures: 3, code: code, inner: s.Handler()}
+		ts := httptest.NewServer(fh)
+
+		c := New(ts.URL, fastOpts())
+		st, err := c.Submit(context.Background(), testConfig(), "retry-"+http.StatusText(code))
+		if err != nil {
+			t.Fatalf("code %d: submit failed despite retries: %v", code, err)
+		}
+		if got := fh.count(); got != 4 {
+			t.Errorf("code %d: %d attempts, want 4 (3 failures + 1 success)", code, got)
+		}
+		final, err := c.Await(context.Background(), st.ID, 10*time.Millisecond)
+		if err != nil {
+			t.Fatalf("code %d: await: %v", code, err)
+		}
+		if final.State != server.StateDone {
+			t.Errorf("code %d: job state %q (%s)", code, final.State, final.Error)
+		}
+		ts.Close()
+		s.Shutdown(context.Background())
+	}
+}
+
+// TestHonorsRetryAfter: a Retry-After hint longer than the backoff
+// schedule stretches the wait.
+func TestHonorsRetryAfter(t *testing.T) {
+	s, err := server.New(server.Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	h := http.Header{}
+	h.Set("Retry-After", "1")
+	fh := &flakyHandler{failures: 1, code: http.StatusTooManyRequests, header: h, inner: s.Handler()}
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	start := time.Now()
+	if _, err := c.Submit(context.Background(), testConfig(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if wait := time.Since(start); wait < time.Second {
+		t.Errorf("retried after %v, Retry-After demanded >= 1s", wait)
+	}
+}
+
+// TestGivesUpAfterMaxAttempts: a persistently failing server eventually
+// surfaces the last error instead of retrying forever.
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	fh := &flakyHandler{failures: 1 << 30, code: http.StatusServiceUnavailable,
+		inner: http.NotFoundHandler()}
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+
+	opts := fastOpts()
+	opts.MaxAttempts = 3
+	c := New(ts.URL, opts)
+	_, err := c.Submit(context.Background(), testConfig(), "")
+	if err == nil {
+		t.Fatal("submit must fail once attempts are exhausted")
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Errorf("error = %v", err)
+	}
+	if got := fh.count(); got != 3 {
+		t.Errorf("%d attempts, want 3", got)
+	}
+}
+
+// TestNonRetryableErrors: a 4xx rejection (bad config) fails
+// immediately with an APIError — no pointless retries.
+func TestNonRetryableErrors(t *testing.T) {
+	s, err := server.New(server.Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	fh := &flakyHandler{inner: s.Handler()}
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+
+	cfg := testConfig()
+	cfg.Scheme = "no-such-scheme"
+	c := New(ts.URL, fastOpts())
+	_, err = c.Submit(context.Background(), cfg, "")
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error = %v (%T), want *APIError", err, err)
+	}
+	if apiErr.Code != http.StatusUnprocessableEntity {
+		t.Errorf("code = %d, want 422", apiErr.Code)
+	}
+	if got := fh.count(); got != 1 {
+		t.Errorf("%d attempts for a non-retryable error, want 1", got)
+	}
+}
+
+// TestIdempotentResubmission: retrying a submit with the same key —
+// even when the client never saw the first acknowledgement — lands on
+// one job, not two.
+func TestIdempotentResubmission(t *testing.T) {
+	s, err := server.New(server.Config{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	// ackEater swallows the first successful response after passing the
+	// request through, simulating an ack lost on the wire.
+	first := true
+	var mu sync.Mutex
+	inner := s.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		eat := first && r.Method == http.MethodPost
+		first = false
+		mu.Unlock()
+		if eat {
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r) // server accepts and journals the job
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("hijacking unsupported")
+				return
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close() // client sees a dropped connection
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	st, err := c.Submit(context.Background(), testConfig(), "lost-ack")
+	if err != nil {
+		t.Fatalf("submit with eaten ack: %v", err)
+	}
+	final, err := c.Await(context.Background(), st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("job: %q (%s)", final.State, final.Error)
+	}
+	jobs, err := c.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		b, _ := json.Marshal(jobs)
+		t.Errorf("lost ack + retry produced %d jobs, want 1: %s", len(jobs), b)
+	}
+}
+
+// TestAwaitRespectsContext: Await returns promptly when its context
+// expires while the job is still queued.
+func TestAwaitRespectsContext(t *testing.T) {
+	unblocked := make(chan struct{})
+	defer close(unblocked)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Always "queued": the job never finishes.
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "exp-000001", State: server.StateQueued})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := c.Await(ctx, "exp-000001", 10*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("await error = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -229,13 +230,15 @@ func (c Config) Build() (RunConfig, error) {
 	return rc, nil
 }
 
-// RunWire builds and runs a wire Config in one call.
-func RunWire(c Config) (*Result, error) {
+// RunWire builds and runs a wire Config in one call. The context cancels
+// the run mid-simulation (see RunContext); pass context.Background() for
+// an unbounded run.
+func RunWire(ctx context.Context, c Config) (*Result, error) {
 	rc, err := c.Build()
 	if err != nil {
 		return nil, err
 	}
-	return Run(rc)
+	return RunContext(ctx, rc)
 }
 
 // --- cmd/orion-sim flag mapping --------------------------------------------

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -263,7 +264,7 @@ func TestWireMatchesDirect(t *testing.T) {
 			{Workload: "mobilenetv2-train", Priority: "be"},
 		},
 	}
-	viaWire, err := RunWire(wire)
+	viaWire, err := RunWire(context.Background(), wire)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"orion/internal/sim"
+)
+
+func cancelConfig() Config {
+	return Config{
+		Scheme:  Orion,
+		Horizon: 5 * sim.Second,
+		Warmup:  500 * sim.Millisecond,
+		Seed:    7,
+		Jobs: []JobConfig{
+			{Workload: "resnet50-inf", Priority: "hp", Arrival: "poisson", RPS: 40},
+			{Workload: "mobilenetv2-train", Priority: "be"},
+		},
+	}
+}
+
+// TestRunContextPreCanceled: an already-expired context fails before any
+// simulation work happens.
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunWire(ctx, cancelConfig())
+	if err == nil {
+		t.Fatal("canceled context must fail the run")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+}
+
+// TestRunContextDeadlineMidSimulation: a deadline that lands while the
+// engine is stepping stops the run instead of letting it complete.
+func TestRunContextDeadlineMidSimulation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	// A long horizon keeps the engine busy well past the 10ms wall
+	// deadline on any machine.
+	cfg := cancelConfig()
+	cfg.Horizon = 600 * sim.Second
+	_, err := RunWire(ctx, cfg)
+	if err == nil {
+		t.Fatal("deadline must cancel a long run")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap DeadlineExceeded: %v", err)
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+}
+
+// TestRunContextBackgroundUnchanged: a background context changes
+// nothing — Run and RunContext produce bit-identical results.
+func TestRunContextBackgroundUnchanged(t *testing.T) {
+	cfg := cancelConfig()
+	cfg.Horizon = 2 * sim.Second
+	a, err := RunWire(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := Summarize(a), Summarize(b)
+	if len(sa.Jobs) != len(sb.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(sa.Jobs), len(sb.Jobs))
+	}
+	for i := range sa.Jobs {
+		if sa.Jobs[i] != sb.Jobs[i] {
+			t.Errorf("job %d differs: %+v vs %+v", i, sa.Jobs[i], sb.Jobs[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -245,6 +246,19 @@ func ProfileFor(m *workload.Model, spec gpu.Spec) (*profiler.Profile, error) {
 
 // Run executes one collocation experiment.
 func Run(cfg RunConfig) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one collocation experiment under a context: when
+// ctx is canceled or its deadline passes, the simulation loop stops
+// (via the engine's Interrupt hook, so even a cascade of same-timestamp
+// events cannot outrun it) and RunContext returns the context's error.
+// The serving layer's per-job deadlines cancel runaway experiments
+// through this path.
+func RunContext(ctx context.Context, cfg RunConfig) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(cfg.Jobs) == 0 {
 		return nil, fmt.Errorf("harness: no jobs")
 	}
@@ -268,6 +282,12 @@ func Run(cfg RunConfig) (*Result, error) {
 				j.Model.ID(), prev, j.Model.Batch)
 		}
 		batches[j.Model.ID()] = j.Model.Batch
+		// Profiling happens before the engine exists, so the deadline has
+		// to be checked explicitly between (cached but potentially slow)
+		// collections.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("harness: run canceled: %w", err)
+		}
 		cfg.progress("profile " + j.Model.ID())
 		p, err := ProfileFor(j.Model, cfg.Device)
 		if err != nil {
@@ -442,7 +462,13 @@ func Run(cfg RunConfig) (*Result, error) {
 		}
 	})
 	cfg.progress("simulate")
+	if ctx.Done() != nil {
+		eng.Interrupt = func() bool { return ctx.Err() != nil }
+	}
 	eng.RunUntil(sim.Time(cfg.Horizon))
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: run canceled at t=%v: %w", eng.Now(), err)
+	}
 
 	cfg.progress("collect")
 	for i, d := range drivers {

@@ -1,0 +1,557 @@
+// Package journal is orion-serve's durability layer: an append-only,
+// fsync-batched, checksummed write-ahead journal of job lifecycle
+// records. The control plane appends a record before acknowledging a
+// submission and after every state transition; on restart it replays the
+// journal to rebuild the job table, so a daemon crash (power cut,
+// SIGKILL, OOM kill) loses no acknowledged work. Because the simulation
+// harness is bit-deterministic for equal seeds, re-executing a job that
+// was mid-flight at crash time reproduces the exact answer the
+// uninterrupted run would have given — replay is exact recovery, not
+// best-effort.
+//
+// On-disk format: a journal directory holds numbered segment files
+// ("seg-00000042.wal"). Each record is one line,
+//
+//	<len:8 hex> <crc32:8 hex> <payload JSON>\n
+//
+// where the CRC (IEEE) covers the payload bytes. Appends go to the
+// highest-numbered segment and rotate to a fresh one past a size
+// threshold. Replay walks segments in order and stops at the first
+// frame that is torn (short) or corrupt (CRC or JSON mismatch): the bad
+// tail is truncated and any later segments are discarded, never treated
+// as fatal. Compaction rewrites the live job images into a fresh
+// segment and deletes the older ones; replay is idempotent, so a crash
+// mid-compaction at worst replays a record twice.
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op tags a record's kind.
+type Op string
+
+const (
+	// OpSubmit records an accepted submission: the full wire config, the
+	// client's idempotency key, and the submission time. Written (and
+	// fsynced) before the server acknowledges with 202.
+	OpSubmit Op = "submit"
+	// OpState records a state transition; terminal transitions carry the
+	// error or the result summary.
+	OpState Op = "state"
+)
+
+// Record is one journal entry. Config and Summary stay raw JSON so the
+// journal does not depend on the harness packages (and so replayed
+// bytes round-trip exactly).
+type Record struct {
+	Op       Op              `json:"op"`
+	ID       string          `json:"id"`
+	Time     time.Time       `json:"time"`
+	State    string          `json:"state,omitempty"`
+	Config   json.RawMessage `json:"config,omitempty"`
+	IdemKey  string          `json:"idem_key,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Summary  json.RawMessage `json:"summary,omitempty"`
+	Restarts int             `json:"restarts,omitempty"`
+}
+
+// Options tunes a Journal.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 1 MiB).
+	SegmentBytes int64
+	// NoSync skips fsync entirely (tests only; crash durability is gone).
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	return o
+}
+
+// ErrClosed is returned by Append on a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+type segment struct {
+	seq  uint64
+	size int64
+}
+
+// Journal is one open journal directory. Appends are durable when they
+// return: concurrent appends share one fsync (group commit), so the
+// per-record cost amortizes under load.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu   sync.Mutex // guards f, segs, sizes
+	f    *os.File   // active segment
+	segs []segment  // in seq order; last is active
+	size atomic.Int64
+
+	// Group commit: appends bump writeSeq and wait until syncSeq catches
+	// up; a dedicated syncer goroutine fsyncs the active segment once per
+	// batch and broadcasts.
+	smu      sync.Mutex
+	cond     *sync.Cond
+	writeSeq uint64
+	syncSeq  uint64
+	syncErr  error
+	closed   bool
+	done     chan struct{}
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("seg-%08d.wal", seq) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"), 10, 64)
+	return n, err == nil
+}
+
+// syncDir fsyncs the directory entry so segment creations and removals
+// survive a crash.
+func syncDir(dir string, noSync bool) error {
+	if noSync {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Open replays the journal in dir (creating it if needed), truncates any
+// corrupt tail, discards segments past a corruption point, and returns
+// the surviving records in append order alongside a Journal appending to
+// a fresh segment. A fresh segment per Open means a crashed process's
+// stale file handle can never interleave with the new incarnation's
+// writes.
+func Open(dir string, opts Options) (*Journal, []Record, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSegName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	j := &Journal{dir: dir, opts: opts, done: make(chan struct{})}
+	j.cond = sync.NewCond(&j.smu)
+
+	var recs []Record
+	corrupt := false
+	var maxSeq uint64
+	for _, seq := range seqs {
+		maxSeq = seq
+		path := filepath.Join(dir, segName(seq))
+		if corrupt {
+			// Everything after a corruption point is unreachable history:
+			// remove it so it cannot resurface on a later replay.
+			_ = os.Remove(path)
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+		rs, valid, ok := decodeFrames(data)
+		recs = append(recs, rs...)
+		size := int64(len(data))
+		if !ok {
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, nil, fmt.Errorf("journal: truncate corrupt tail: %w", err)
+			}
+			size = valid
+			corrupt = true
+		}
+		j.segs = append(j.segs, segment{seq: seq, size: size})
+		j.size.Add(size)
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, segName(maxSeq+1)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := syncDir(dir, opts.NoSync); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	j.segs = append(j.segs, segment{seq: maxSeq + 1})
+	if opts.NoSync {
+		close(j.done)
+	} else {
+		go j.syncer()
+	}
+	return j, recs, nil
+}
+
+const frameHeaderLen = 18 // "%08x %08x " before the payload
+
+// encodeFrame renders one record in the length/checksum framing.
+func encodeFrame(payload []byte) []byte {
+	out := make([]byte, 0, frameHeaderLen+len(payload)+1)
+	out = append(out, fmt.Sprintf("%08x %08x ", len(payload), crc32.ChecksumIEEE(payload))...)
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// decodeFrames parses records until the data ends or a frame fails to
+// verify. It returns the records decoded, the byte offset up to which
+// the data was valid, and whether the whole buffer parsed cleanly.
+func decodeFrames(data []byte) (recs []Record, valid int64, ok bool) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen+1 || rest[8] != ' ' || rest[17] != ' ' {
+			return recs, int64(off), false
+		}
+		n, err1 := strconv.ParseUint(string(rest[:8]), 16, 32)
+		crc, err2 := strconv.ParseUint(string(rest[9:17]), 16, 32)
+		if err1 != nil || err2 != nil {
+			return recs, int64(off), false
+		}
+		end := frameHeaderLen + int(n) + 1
+		if end > len(rest) || rest[end-1] != '\n' {
+			return recs, int64(off), false
+		}
+		payload := rest[frameHeaderLen : end-1]
+		if crc32.ChecksumIEEE(payload) != uint32(crc) {
+			return recs, int64(off), false
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, int64(off), false
+		}
+		recs = append(recs, rec)
+		off += end
+	}
+	return recs, int64(off), true
+}
+
+// Append writes one record and returns once it is durable (fsynced,
+// shared with any concurrently appending goroutines).
+func (j *Journal) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	frame := encodeFrame(payload)
+
+	j.mu.Lock()
+	if j.f == nil {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	active := &j.segs[len(j.segs)-1]
+	if active.size > 0 && active.size+int64(len(frame)) > j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			j.mu.Unlock()
+			return err
+		}
+		active = &j.segs[len(j.segs)-1]
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	active.size += int64(len(frame))
+	j.size.Add(int64(len(frame)))
+	j.mu.Unlock()
+
+	if j.opts.NoSync {
+		return nil
+	}
+	// Group commit: wait for the syncer to cover this write.
+	j.smu.Lock()
+	defer j.smu.Unlock()
+	j.writeSeq++
+	w := j.writeSeq
+	j.cond.Broadcast()
+	for j.syncSeq < w && j.syncErr == nil && !j.closed {
+		j.cond.Wait()
+	}
+	if j.syncErr != nil {
+		return j.syncErr
+	}
+	if j.syncSeq < w {
+		return ErrClosed
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens the
+// next one. Callers hold j.mu.
+func (j *Journal) rotateLocked() error {
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: rotate sync: %w", err)
+		}
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: rotate close: %w", err)
+	}
+	seq := j.segs[len(j.segs)-1].seq + 1
+	f, err := os.OpenFile(filepath.Join(j.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	if err := syncDir(j.dir, j.opts.NoSync); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	j.f = f
+	j.segs = append(j.segs, segment{seq: seq})
+	return nil
+}
+
+// syncer is the group-commit loop: one fsync per batch of appends.
+func (j *Journal) syncer() {
+	defer close(j.done)
+	for {
+		j.smu.Lock()
+		for j.writeSeq == j.syncSeq && !j.closed {
+			j.cond.Wait()
+		}
+		if j.closed && j.writeSeq == j.syncSeq {
+			j.smu.Unlock()
+			return
+		}
+		w := j.writeSeq
+		j.smu.Unlock()
+
+		j.mu.Lock()
+		f := j.f
+		j.mu.Unlock()
+		var err error
+		if f != nil {
+			err = f.Sync()
+			// A rotation or Close raced us and sealed (synced) the file
+			// before closing it; the data this batch covers is durable.
+			if errors.Is(err, os.ErrClosed) {
+				err = nil
+			}
+		}
+
+		j.smu.Lock()
+		if err != nil && j.syncErr == nil {
+			j.syncErr = err
+		}
+		if w > j.syncSeq {
+			j.syncSeq = w
+		}
+		j.cond.Broadcast()
+		closed := j.closed && j.writeSeq == j.syncSeq
+		j.smu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// Compact rewrites the journal to exactly recs — the caller's snapshot
+// of live job state (see SnapshotRecords) — in a fresh segment, then
+// deletes every older segment. Replay after a crash mid-compaction sees
+// old records followed by the snapshot, which Reduce resolves to the
+// same state.
+func (j *Journal) Compact(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return ErrClosed
+	}
+	if err := j.rotateLocked(); err != nil {
+		return err
+	}
+	active := &j.segs[len(j.segs)-1]
+	var n int64
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("journal: compact marshal: %w", err)
+		}
+		frame := encodeFrame(payload)
+		if _, err := j.f.Write(frame); err != nil {
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+		n += int64(len(frame))
+	}
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: compact sync: %w", err)
+		}
+	}
+	active.size += n
+	j.size.Add(n)
+	// Snapshot is durable: older segments are dead weight.
+	for _, seg := range j.segs[:len(j.segs)-1] {
+		if err := os.Remove(filepath.Join(j.dir, segName(seg.seq))); err != nil {
+			return fmt.Errorf("journal: compact remove: %w", err)
+		}
+		j.size.Add(-seg.size)
+	}
+	j.segs = j.segs[len(j.segs)-1:]
+	return syncDir(j.dir, j.opts.NoSync)
+}
+
+// SizeBytes reports the journal's on-disk size across all segments.
+func (j *Journal) SizeBytes() int64 { return j.size.Load() }
+
+// Segments reports how many segment files the journal currently holds.
+func (j *Journal) Segments() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.segs)
+}
+
+// Close seals the journal: pending appends settle, the active segment is
+// fsynced and closed. Further Appends return ErrClosed.
+func (j *Journal) Close() error {
+	j.smu.Lock()
+	if j.closed {
+		j.smu.Unlock()
+		<-j.done
+		return nil
+	}
+	j.closed = true
+	j.cond.Broadcast()
+	j.smu.Unlock()
+	<-j.done
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	var err error
+	if !j.opts.NoSync {
+		err = j.f.Sync()
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// --- replay reduction -------------------------------------------------------
+
+// JobImage is one job's state as reduced from the journal.
+type JobImage struct {
+	ID        string
+	Config    json.RawMessage
+	IdemKey   string
+	State     string
+	Error     string
+	Summary   json.RawMessage
+	Restarts  int
+	Submitted time.Time
+	Finished  time.Time
+}
+
+// terminalState mirrors the server's terminal job states.
+func terminalState(s string) bool {
+	return s == "done" || s == "failed" || s == "canceled"
+}
+
+// Reduce folds a replayed record stream into per-job images, in first-
+// appearance order. It is idempotent and tolerant: duplicate submits
+// (possible after a crash mid-compaction) keep the first config, and a
+// state record whose submit was compacted away still creates the job so
+// a later snapshot record can fill the config in.
+func Reduce(recs []Record) []*JobImage {
+	byID := map[string]*JobImage{}
+	var order []*JobImage
+	get := func(id string) *JobImage {
+		im, ok := byID[id]
+		if !ok {
+			im = &JobImage{ID: id, State: "queued"}
+			byID[id] = im
+			order = append(order, im)
+		}
+		return im
+	}
+	for _, r := range recs {
+		if r.ID == "" {
+			continue
+		}
+		im := get(r.ID)
+		switch r.Op {
+		case OpSubmit:
+			if im.Config == nil {
+				im.Config = r.Config
+			}
+			if im.IdemKey == "" {
+				im.IdemKey = r.IdemKey
+			}
+			if im.Submitted.IsZero() {
+				im.Submitted = r.Time
+			}
+		case OpState:
+			im.State = r.State
+			if r.Error != "" {
+				im.Error = r.Error
+			}
+			if r.Summary != nil {
+				im.Summary = r.Summary
+			}
+			if r.Restarts > im.Restarts {
+				im.Restarts = r.Restarts
+			}
+			if terminalState(r.State) {
+				im.Finished = r.Time
+			} else {
+				im.Finished = time.Time{}
+			}
+		}
+	}
+	return order
+}
+
+// SnapshotRecords renders job images back into the minimal record set a
+// compacted journal needs: one submit per job, plus one state record
+// when the job has left the queued state.
+func SnapshotRecords(images []*JobImage) []Record {
+	var recs []Record
+	for _, im := range images {
+		recs = append(recs, Record{
+			Op: OpSubmit, ID: im.ID, Time: im.Submitted,
+			Config: im.Config, IdemKey: im.IdemKey,
+		})
+		if im.State != "queued" || im.Restarts > 0 {
+			recs = append(recs, Record{
+				Op: OpState, ID: im.ID, Time: im.Finished,
+				State: im.State, Error: im.Error,
+				Summary: im.Summary, Restarts: im.Restarts,
+			})
+		}
+	}
+	return recs
+}

@@ -1,0 +1,401 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, recs
+}
+
+func appendN(t *testing.T, j *Journal, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("exp-%06d", i+1)
+		if err := j.Append(Record{Op: OpSubmit, ID: id, Config: json.RawMessage(`{"seed":7}`), IdemKey: "k-" + id}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Op: OpState, ID: id, State: "running"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Op: OpState, ID: id, State: "done", Summary: json.RawMessage(`{"p99":1.5}`)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// lastSegment returns the path of the highest-numbered segment holding
+// data (the previous incarnation's active segment after Close).
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseSegName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for i := len(names) - 1; i >= 0; i-- {
+		fi, err := os.Stat(filepath.Join(dir, names[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() > 0 {
+			return filepath.Join(dir, names[i])
+		}
+	}
+	t.Fatal("no non-empty segment")
+	return ""
+}
+
+func TestRoundtripAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, recs := mustOpen(t, dir, Options{SegmentBytes: 256})
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	appendN(t, j, 10)
+	if j.Segments() < 3 {
+		t.Errorf("expected rotation with 256-byte segments, got %d segments", j.Segments())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := mustOpen(t, dir, Options{SegmentBytes: 256})
+	defer j2.Close()
+	if want := 30; len(recs) != want {
+		t.Fatalf("replayed %d records, want %d", len(recs), want)
+	}
+	images := Reduce(recs)
+	if len(images) != 10 {
+		t.Fatalf("reduced to %d jobs, want 10", len(images))
+	}
+	for _, im := range images {
+		if im.State != "done" || im.Summary == nil || im.IdemKey != "k-"+im.ID {
+			t.Errorf("job %s: state=%q summary=%s idem=%q", im.ID, im.State, im.Summary, im.IdemKey)
+		}
+	}
+}
+
+func TestTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	appendN(t, j, 3)
+	j.Close()
+
+	// Simulate a torn write: the tail of the last record is missing.
+	path := lastSegment(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if want := 8; len(recs) != want { // 9 written, tail record torn
+		t.Fatalf("replayed %d records after torn tail, want %d", len(recs), want)
+	}
+	// The torn bytes must be gone from disk, so the next replay is clean.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() >= int64(len(data)) {
+		t.Errorf("torn tail not truncated: %d bytes", fi.Size())
+	}
+}
+
+func TestBitFlipMidFile(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	appendN(t, j, 4) // 12 records in one segment
+	j.Close()
+
+	path := lastSegment(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit roughly mid-file (inside some record's JSON).
+	pos := len(data) / 2
+	for data[pos] == '\n' {
+		pos++
+	}
+	data[pos] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(recs) == 0 || len(recs) >= 12 {
+		t.Fatalf("bit flip mid-file: replayed %d records, want a strict prefix", len(recs))
+	}
+	// Appending must still work after recovery.
+	if err := j2.Append(Record{Op: OpSubmit, ID: "exp-000099"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptionDropsLaterSegments: a corrupt record in an early segment
+// must not let records from later segments replay out from under it.
+func TestCorruptionDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{SegmentBytes: 256})
+	appendN(t, j, 8)
+	if j.Segments() < 3 {
+		t.Fatalf("need multiple segments, got %d", j.Segments())
+	}
+	j.Close()
+
+	// Corrupt the first non-empty segment's first record payload.
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseSegName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	first := filepath.Join(dir, names[0])
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeaderLen+2] ^= 0xff
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := mustOpen(t, dir, Options{SegmentBytes: 256})
+	defer j2.Close()
+	if len(recs) != 0 {
+		t.Fatalf("corrupt first record must drop everything, replayed %d", len(recs))
+	}
+}
+
+func TestEmptySegment(t *testing.T) {
+	dir := t.TempDir()
+	// A crash immediately after Open leaves an empty active segment.
+	j, _ := mustOpen(t, dir, Options{})
+	j.Close()
+	j, _ = mustOpen(t, dir, Options{})
+	j.Close()
+
+	j3, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("empty segments replayed %d records", len(recs))
+	}
+	if err := j3.Append(Record{Op: OpSubmit, ID: "exp-000001"}); err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	j4, recs := mustOpen(t, dir, Options{})
+	defer j4.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+}
+
+func TestCompactionAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{SegmentBytes: 256})
+	appendN(t, j, 12)
+	segsBefore, sizeBefore := j.Segments(), j.SizeBytes()
+	if segsBefore < 4 {
+		t.Fatalf("need several segments before compaction, got %d", segsBefore)
+	}
+
+	// Compact down to only the last 2 jobs (the rest "evicted").
+	if err := j.Compact(SnapshotRecords(Reduce(liveRecords(t, 12)[30:]))); err != nil {
+		t.Fatal(err)
+	}
+	if j.Segments() != 1 {
+		t.Errorf("segments after compaction = %d, want 1", j.Segments())
+	}
+	if j.SizeBytes() >= sizeBefore {
+		t.Errorf("compaction did not shrink the journal: %d -> %d", sizeBefore, j.SizeBytes())
+	}
+	// Appends continue into the compacted segment.
+	if err := j.Append(Record{Op: OpSubmit, ID: "exp-000099"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, replayed := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	images := Reduce(replayed)
+	if len(images) != 3 {
+		t.Fatalf("post-compaction replay has %d jobs, want 3", len(images))
+	}
+	for _, im := range images[:2] {
+		if im.State != "done" || im.Summary == nil {
+			t.Errorf("compacted job %s lost state: %q %s", im.ID, im.State, im.Summary)
+		}
+	}
+}
+
+// liveRecords regenerates the record stream appendN writes, for building
+// compaction snapshots in tests.
+func liveRecords(t *testing.T, n int) []Record {
+	t.Helper()
+	var recs []Record
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("exp-%06d", i+1)
+		recs = append(recs,
+			Record{Op: OpSubmit, ID: id, Config: json.RawMessage(`{"seed":7}`), IdemKey: "k-" + id},
+			Record{Op: OpState, ID: id, State: "running"},
+			Record{Op: OpState, ID: id, State: "done", Summary: json.RawMessage(`{"p99":1.5}`)})
+	}
+	return recs
+}
+
+// TestReduceOrderings drives Reduce through every state-transition
+// ordering the server can journal, including the recovery and
+// mid-compaction shapes.
+func TestReduceOrderings(t *testing.T) {
+	sub := func(id string) Record {
+		return Record{Op: OpSubmit, ID: id, Config: json.RawMessage(`{}`), IdemKey: "k" + id, Time: time.Unix(1, 0)}
+	}
+	st := func(id, state string, restarts int) Record {
+		r := Record{Op: OpState, ID: id, State: state, Restarts: restarts, Time: time.Unix(2, 0)}
+		if state == "failed" {
+			r.Error = "boom"
+		}
+		if state == "done" {
+			r.Summary = json.RawMessage(`{"ok":true}`)
+		}
+		return r
+	}
+	cases := []struct {
+		name     string
+		recs     []Record
+		state    string
+		restarts int
+		err      string
+		summary  bool
+	}{
+		{"submitted only", []Record{sub("a")}, "queued", 0, "", false},
+		{"queued->running", []Record{sub("a"), st("a", "running", 0)}, "running", 0, "", false},
+		{"running->done", []Record{sub("a"), st("a", "running", 0), st("a", "done", 0)}, "done", 0, "", true},
+		{"running->failed", []Record{sub("a"), st("a", "running", 0), st("a", "failed", 0)}, "failed", 0, "boom", false},
+		{"queued->canceled", []Record{sub("a"), st("a", "canceled", 0)}, "canceled", 0, "", false},
+		{"crash recovery requeue", []Record{sub("a"), st("a", "running", 0), st("a", "queued", 1)}, "queued", 1, "", false},
+		{"recovered rerun done", []Record{sub("a"), st("a", "running", 0), st("a", "queued", 1), st("a", "running", 1), st("a", "done", 1)}, "done", 1, "", true},
+		{"double crash", []Record{sub("a"), st("a", "running", 0), st("a", "queued", 1), st("a", "running", 1), st("a", "queued", 2)}, "queued", 2, "", false},
+		{"duplicate submit after compaction", []Record{sub("a"), st("a", "done", 0), sub("a"), st("a", "done", 0)}, "done", 0, "", true},
+		{"state before submit (compacted prefix)", []Record{st("a", "running", 0), sub("a")}, "running", 0, "", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			images := Reduce(c.recs)
+			if len(images) != 1 {
+				t.Fatalf("reduced to %d jobs, want 1", len(images))
+			}
+			im := images[0]
+			if im.State != c.state || im.Restarts != c.restarts || im.Error != c.err {
+				t.Errorf("got state=%q restarts=%d err=%q, want %q/%d/%q",
+					im.State, im.Restarts, im.Error, c.state, c.restarts, c.err)
+			}
+			if (im.Summary != nil) != c.summary {
+				t.Errorf("summary presence = %v, want %v", im.Summary != nil, c.summary)
+			}
+			if im.Config == nil {
+				t.Error("config lost in reduction")
+			}
+			// Snapshot + re-reduce must be a fixed point.
+			again := Reduce(SnapshotRecords(images))
+			if len(again) != 1 || again[0].State != im.State || again[0].Restarts != im.Restarts {
+				t.Errorf("snapshot not a fixed point: %+v vs %+v", again[0], im)
+			}
+		})
+	}
+}
+
+// TestGroupCommitConcurrentAppends hammers Append from many goroutines;
+// everything must replay, in a consistent per-job order.
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{SegmentBytes: 4096})
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := fmt.Sprintf("exp-%02d-%03d", w, i)
+				if err := j.Append(Record{Op: OpSubmit, ID: id}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := j.Append(Record{Op: OpState, ID: id, State: "done"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.Close()
+
+	j2, recs := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if want := workers * per * 2; len(recs) != want {
+		t.Fatalf("replayed %d records, want %d", len(recs), want)
+	}
+	for _, im := range Reduce(recs) {
+		if im.State != "done" {
+			t.Errorf("job %s: %q", im.ID, im.State)
+		}
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	j.Close()
+	if err := j.Append(Record{Op: OpSubmit, ID: "x"}); err == nil {
+		t.Fatal("append after close must fail")
+	}
+	if err := j.Close(); err != nil { // double close is fine
+		t.Fatal(err)
+	}
+}
+
+func TestFrameEncoding(t *testing.T) {
+	payload := []byte(`{"op":"submit","id":"exp-000001"}`)
+	frame := encodeFrame(payload)
+	recs, valid, ok := decodeFrames(frame)
+	if !ok || len(recs) != 1 || valid != int64(len(frame)) {
+		t.Fatalf("roundtrip failed: ok=%v n=%d valid=%d", ok, len(recs), valid)
+	}
+	if !bytes.HasSuffix(frame, []byte("\n")) {
+		t.Error("frame must end in newline")
+	}
+	// Garbage header is corrupt at offset 0.
+	if _, valid, ok := decodeFrames([]byte("zzzz")); ok || valid != 0 {
+		t.Errorf("garbage decoded: ok=%v valid=%d", ok, valid)
+	}
+}

@@ -14,7 +14,7 @@ import (
 func pinServer(t *testing.T, queueDepth, maxJobs int) (*Server, *httptest.Server, chan struct{}, []string) {
 	t.Helper()
 	unblock := make(chan struct{})
-	s := New(Config{Workers: 1, QueueDepth: queueDepth, MaxJobs: maxJobs, RetryAfter: 2 * time.Second})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: queueDepth, MaxJobs: maxJobs, RetryAfter: 2 * time.Second})
 	s.testBlock = unblock
 	ts := httptest.NewServer(s.Handler())
 
@@ -99,7 +99,7 @@ func TestBackpressure(t *testing.T) {
 // MaxJobs is hit, so long-running servers hold a bounded history.
 func TestRetentionBound(t *testing.T) {
 	const maxJobs = 4
-	s := New(Config{Workers: 1, QueueDepth: 2, MaxJobs: maxJobs})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 2, MaxJobs: maxJobs})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -220,7 +220,7 @@ func TestGracefulShutdown(t *testing.T) {
 // deadline surfaces the context error instead of hanging forever.
 func TestShutdownDeadline(t *testing.T) {
 	unblock := make(chan struct{})
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1})
 	s.testBlock = unblock
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

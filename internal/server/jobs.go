@@ -1,8 +1,11 @@
 package server
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"orion/internal/harness"
@@ -13,7 +16,8 @@ import (
 type State string
 
 // Job lifecycle: Queued → Running → Done | Failed. Canceled marks jobs
-// that were still queued when the server began draining.
+// that were still queued when the server began draining. After a crash,
+// a job that was Running re-enters Queued with its restart count bumped.
 const (
 	StateQueued   State = "queued"
 	StateRunning  State = "running"
@@ -26,6 +30,10 @@ func (s State) terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
+// Terminal reports whether the state is final (done, failed or
+// canceled). Exported for clients polling JobStatus.
+func (s State) Terminal() bool { return s.terminal() }
+
 // Event is one progress notification on a job's event stream.
 type Event struct {
 	// Seq orders events within a job, starting at 1.
@@ -34,8 +42,8 @@ type Event struct {
 	// real time; only the experiment inside runs on virtual time).
 	Time time.Time `json:"time"`
 	// Stage describes the transition: "queued", "running",
-	// "profile <workload>", "simulate", "collect", and finally one of
-	// the terminal states.
+	// "profile <workload>", "simulate", "collect", "recovered" (after a
+	// crash replay), and finally one of the terminal states.
 	Stage string `json:"stage"`
 }
 
@@ -45,6 +53,10 @@ type job struct {
 	id        string
 	state     State
 	cfg       harness.Config
+	cfgJSON   json.RawMessage // canonical config bytes, as journaled
+	idemKey   string
+	recovered bool // re-executed after a crash interrupted it
+	restarts  int  // how many times a crash forced re-execution
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -64,16 +76,23 @@ type JobStatus struct {
 	FinishedAt  *time.Time       `json:"finished_at,omitempty"`
 	Error       string           `json:"error,omitempty"`
 	Result      *harness.Summary `json:"result,omitempty"`
+	// Recovered marks a job re-executed because a crash interrupted it;
+	// RestartCount says how many times. The result is still bit-identical
+	// to an uninterrupted run (the harness is deterministic per seed).
+	Recovered    bool `json:"recovered,omitempty"`
+	RestartCount int  `json:"restart_count,omitempty"`
 }
 
 func (j *job) status() JobStatus {
 	st := JobStatus{
-		ID:          j.id,
-		State:       j.state,
-		Scheme:      j.cfg.Scheme,
-		SubmittedAt: j.submitted,
-		Error:       j.errMsg,
-		Result:      j.summary,
+		ID:           j.id,
+		State:        j.state,
+		Scheme:       j.cfg.Scheme,
+		SubmittedAt:  j.submitted,
+		Error:        j.errMsg,
+		Result:       j.summary,
+		Recovered:    j.recovered,
+		RestartCount: j.restarts,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -110,10 +129,16 @@ func (s *Server) subscribe(j *job) (chan Event, []Event) {
 	return ch, past
 }
 
+// unsubscribe drops and closes the subscriber channel. Closing under mu
+// is safe — emit only sends under the same lock — and frees the channel
+// immediately instead of waiting for the job to finish.
 func (s *Server) unsubscribe(j *job, ch chan Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(j.subs, ch)
+	if j.subs[ch] {
+		delete(j.subs, ch)
+		close(ch)
+	}
 }
 
 // worker pulls queued jobs and runs them until the server starts
@@ -138,11 +163,54 @@ func (s *Server) worker() {
 	}
 }
 
+// execute runs one experiment with the crash bulkheads in place: a
+// panicking harness run is caught here (the job fails with the stack in
+// its error; the daemon keeps serving), and the configured per-job
+// deadline cancels runaway simulations through the harness's context
+// plumbing.
+func (s *Server) execute(cfg harness.Config, progress func(string)) (res *harness.Result, horizon time.Duration, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.cPanics.Inc()
+			res = nil
+			err = fmt.Errorf("experiment panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	if s.testRun != nil {
+		res, err = s.testRun(cfg)
+		return res, 0, err
+	}
+	rc, err := cfg.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	rc.Progress = progress
+	ctx := context.Background()
+	if s.cfg.JobDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobDeadline)
+		defer cancel()
+	}
+	res, err = harness.RunContext(ctx, rc)
+	return res, rc.Horizon.Std(), err
+}
+
 // runJob executes one experiment on the calling worker goroutine.
 func (s *Server) runJob(j *job) {
-	s.gQueueDepth.Dec()
 	s.gWorkersBusy.Inc()
 	defer s.gWorkersBusy.Dec()
+
+	s.mu.Lock()
+	s.queued--
+	s.gQueueDepth.Dec()
+	cfg := j.cfg
+	restarts := j.restarts
+	s.mu.Unlock()
+
+	// Journal the transition before making it visible, mirroring the
+	// journal-before-ack rule on submit: once anyone can observe the job
+	// running, a crash is guaranteed to replay it.
+	s.journalState(j.id, StateRunning, "", nil, restarts)
 
 	s.mu.Lock()
 	j.state = StateRunning
@@ -153,38 +221,39 @@ func (s *Server) runJob(j *job) {
 		s.emit(j, stage)
 		s.mu.Unlock()
 	}
-	cfg := j.cfg
 	s.mu.Unlock()
 
 	if s.testBlock != nil {
 		<-s.testBlock
 	}
 
-	rc, err := cfg.Build()
-	var res *harness.Result
-	if err == nil {
-		rc.Progress = progress
-		res, err = harness.Run(rc)
-	}
+	res, horizon, err := s.execute(cfg, progress)
 	wall := time.Since(j.started).Seconds()
 
+	var summary *harness.Summary
+	if err == nil {
+		summary = harness.Summarize(res)
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j.finished = time.Now()
 	if err != nil {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		s.cJobs(StateFailed).Inc()
 		s.emit(j, string(StateFailed))
-		return
+	} else {
+		j.state = StateDone
+		j.summary = summary
+		s.cJobs(StateDone).Inc()
+		scheme := string(cfg.Scheme)
+		s.simSeconds(scheme).Observe(horizon.Seconds())
+		s.wallSeconds(scheme).Observe(wall)
+		s.emit(j, string(StateDone))
 	}
-	j.state = StateDone
-	j.summary = harness.Summarize(res)
-	s.cJobs(StateDone).Inc()
-	scheme := string(cfg.Scheme)
-	s.simSeconds(scheme).Observe(rc.Horizon.Seconds())
-	s.wallSeconds(scheme).Observe(wall)
-	s.emit(j, string(StateDone))
+	state, errMsg := j.state, j.errMsg
+	s.mu.Unlock()
+	s.journalState(j.id, state, errMsg, summary, restarts)
+	s.maybeCompact()
 }
 
 // cJobs returns the terminal-state counter for one state.
@@ -215,31 +284,57 @@ type admissionError struct {
 
 func (e *admissionError) Error() string { return e.msg }
 
-// admit performs the whole admission step — draining check, bounded
-// retention, record creation and enqueue — under one lock acquisition,
-// so a job can never land in the queue after Shutdown's cancel sweep
-// (Shutdown flips draining under the same lock). Retention evicts the
-// oldest finished record when the cap is hit and rejects when every
-// retained record is still live: the bound that keeps server memory
-// finite no matter how many submissions arrive.
-func (s *Server) admit(cfg harness.Config) (*job, *admissionError) {
+// admit performs the admission step: draining check, idempotency lookup,
+// bounded retention, record creation, durable journaling, and enqueue.
+// The job becomes visible (and the queue slot is reserved) under one
+// lock acquisition; the journal append happens outside the lock so a
+// slow fsync never blocks the job table, and the enqueue re-checks
+// draining afterwards so a job can never land in the queue behind
+// Shutdown's cancel sweep. The returned bool is false when an
+// Idempotency-Key matched an existing job (nothing new was admitted).
+func (s *Server) admit(cfg harness.Config, idemKey string) (*job, bool, *admissionError) {
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, false, &admissionError{http.StatusInternalServerError, err.Error()}
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining.Load() {
-		return nil, &admissionError{http.StatusServiceUnavailable, "server is draining"}
+		s.mu.Unlock()
+		return nil, false, &admissionError{http.StatusServiceUnavailable, "server is draining"}
+	}
+	if idemKey != "" {
+		if id, ok := s.idem[idemKey]; ok {
+			j := s.jobs[id]
+			// A canceled job never produced a result; let the client's
+			// resubmission run it for real this time.
+			if j != nil && j.state != StateCanceled {
+				s.mu.Unlock()
+				return j, false, nil
+			}
+		}
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		n := s.queued
+		s.mu.Unlock()
+		return nil, false, &admissionError{http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (%d waiting)", n)}
 	}
 	if len(s.order) >= s.cfg.MaxJobs {
 		evicted := false
 		for i, id := range s.order {
 			if j := s.jobs[id]; j.state.terminal() {
 				delete(s.jobs, id)
+				if j.idemKey != "" && s.idem[j.idemKey] == id {
+					delete(s.idem, j.idemKey)
+				}
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				evicted = true
 				break
 			}
 		}
 		if !evicted {
-			return nil, &admissionError{http.StatusTooManyRequests,
+			s.mu.Unlock()
+			return nil, false, &admissionError{http.StatusTooManyRequests,
 				fmt.Sprintf("job table full (%d live jobs)", s.cfg.MaxJobs)}
 		}
 	}
@@ -248,19 +343,54 @@ func (s *Server) admit(cfg harness.Config) (*job, *admissionError) {
 		id:        fmt.Sprintf("exp-%06d", s.seq),
 		state:     StateQueued,
 		cfg:       cfg,
+		cfgJSON:   cfgJSON,
+		idemKey:   idemKey,
 		submitted: time.Now(),
 		subs:      map[chan Event]bool{},
 	}
-	select {
-	case s.queue <- j:
-	default:
-		return nil, &admissionError{http.StatusTooManyRequests,
-			fmt.Sprintf("queue full (%d waiting)", s.cfg.QueueDepth)}
-	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	if idemKey != "" {
+		s.idem[idemKey] = j.id
+	}
+	s.queued++
 	s.gQueueDepth.Inc()
 	s.cSubmitted.Inc()
 	s.emit(j, string(StateQueued))
-	return j, nil
+	s.mu.Unlock()
+
+	// Make the submission durable before acknowledging or running it: a
+	// crash after this point re-creates the job from the journal.
+	if err := s.journalSubmit(j); err != nil {
+		s.mu.Lock()
+		s.queued--
+		s.gQueueDepth.Dec()
+		j.state = StateFailed
+		j.finished = time.Now()
+		j.errMsg = "journal append failed: " + err.Error()
+		s.cJobs(StateFailed).Inc()
+		s.emit(j, string(StateFailed))
+		s.mu.Unlock()
+		return nil, false, &admissionError{http.StatusInternalServerError,
+			"journal append failed: " + err.Error()}
+	}
+
+	s.mu.Lock()
+	if s.draining.Load() {
+		// Shutdown won the race while we were journaling; its sweep has
+		// already run, so cancel here instead of enqueueing into nowhere.
+		s.queued--
+		s.gQueueDepth.Dec()
+		j.state = StateCanceled
+		j.finished = time.Now()
+		j.errMsg = "server shut down before the job started"
+		s.cJobs(StateCanceled).Inc()
+		s.emit(j, string(StateCanceled))
+		s.mu.Unlock()
+		s.journalState(j.id, StateCanceled, j.errMsg, nil, 0)
+		return nil, false, &admissionError{http.StatusServiceUnavailable, "server is draining"}
+	}
+	s.queue <- j // capacity reserved by s.queued above; never blocks
+	s.mu.Unlock()
+	return j, true, nil
 }

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"orion/internal/harness"
+	"orion/internal/journal"
+)
+
+// openJournal opens (or creates) the configured journal directory,
+// replays it, and rebuilds the job table. It returns the jobs that need
+// (re-)execution: jobs journaled as queued, plus jobs that were running
+// when the previous incarnation died — those re-enter the queue with
+// their restart count bumped and the recovered flag set. Terminal jobs
+// restore in place with their summaries. Called from New before the
+// worker pool starts, so no locking is needed.
+func (s *Server) openJournal() ([]*job, error) {
+	jn, recs, err := journal.Open(s.cfg.JournalDir, journal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.jn = jn
+	images := journal.Reduce(recs)
+
+	// Bounded retention applies across restarts too: when the journal
+	// holds more jobs than the table may keep, drop the oldest terminal
+	// ones (live jobs are never dropped — they represent acknowledged,
+	// unfinished work).
+	if over := len(images) - s.cfg.MaxJobs; over > 0 {
+		kept := images[:0]
+		for _, im := range images {
+			if over > 0 && journalTerminal(im.State) {
+				over--
+				continue
+			}
+			kept = append(kept, im)
+		}
+		images = kept
+	}
+
+	var runnable []*job
+	for _, im := range images {
+		var cfg harness.Config
+		if err := json.Unmarshal(im.Config, &cfg); err != nil {
+			// A CRC-valid record with an unreadable config should be
+			// impossible (we wrote it); dropping the job beats refusing to
+			// start the daemon.
+			continue
+		}
+		j := &job{
+			id:        im.ID,
+			state:     State(im.State),
+			cfg:       cfg,
+			cfgJSON:   im.Config,
+			idemKey:   im.IdemKey,
+			restarts:  im.Restarts,
+			recovered: im.Restarts > 0,
+			submitted: im.Submitted,
+			subs:      map[chan Event]bool{},
+		}
+		s.emit(j, string(StateQueued))
+		switch {
+		case j.state.terminal():
+			j.finished = im.Finished
+			j.errMsg = im.Error
+			if im.Summary != nil {
+				var sum harness.Summary
+				if err := json.Unmarshal(im.Summary, &sum); err == nil {
+					j.summary = &sum
+				}
+			}
+			s.emit(j, string(j.state))
+		case j.state == StateRunning:
+			// Interrupted mid-flight: re-execute from the recorded config.
+			// The harness is deterministic per seed, so the re-run's answer
+			// is exactly what the lost run would have produced.
+			j.state = StateQueued
+			j.restarts++
+			j.recovered = true
+			im.State = string(StateQueued)
+			im.Restarts = j.restarts
+			s.cRecovered.Inc()
+			s.emit(j, "recovered")
+			runnable = append(runnable, j)
+		default: // queued
+			if j.recovered {
+				s.emit(j, "recovered")
+			}
+			runnable = append(runnable, j)
+		}
+		if n := jobSeq(im.ID); n > s.seq {
+			s.seq = n
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		// Canceled jobs are excluded from idempotency dedup: they never
+		// produced a result, so a client retrying the same key after a
+		// drain should get a fresh run, not the tombstone.
+		if j.idemKey != "" && j.state != StateCanceled {
+			s.idem[j.idemKey] = j.id
+		}
+	}
+
+	// Compact on open: the replayed history (including the restart bumps
+	// applied above) collapses to one snapshot, so journal size stays
+	// proportional to the job table, not to uptime.
+	if err := jn.Compact(journal.SnapshotRecords(images)); err != nil {
+		return nil, err
+	}
+	s.gJournalBytes.Set(float64(jn.SizeBytes()))
+	return runnable, nil
+}
+
+// journalTerminal mirrors State.terminal for raw journal state strings.
+func journalTerminal(st string) bool { return State(st).terminal() }
+
+// jobSeq extracts the numeric suffix of an "exp-%06d" id (0 if the id
+// does not match).
+func jobSeq(id string) uint64 {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "exp-%06d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// journalSubmit makes a submission durable. Unlike state transitions
+// this error is surfaced: the server must not acknowledge work it could
+// lose.
+func (s *Server) journalSubmit(j *job) error {
+	if s.jn == nil {
+		return nil
+	}
+	err := s.jn.Append(journal.Record{
+		Op:      journal.OpSubmit,
+		ID:      j.id,
+		Time:    j.submitted,
+		Config:  j.cfgJSON,
+		IdemKey: j.idemKey,
+	})
+	s.gJournalBytes.Set(float64(s.jn.SizeBytes()))
+	return err
+}
+
+// journalState records a state transition, best-effort: a failed append
+// at worst means the transition replays after a crash, and replay is
+// idempotent (re-execution is deterministic, cancellation re-applies).
+func (s *Server) journalState(id string, st State, errMsg string, summary *harness.Summary, restarts int) {
+	if s.jn == nil {
+		return
+	}
+	var sum json.RawMessage
+	if summary != nil {
+		sum, _ = json.Marshal(summary)
+	}
+	_ = s.jn.Append(journal.Record{
+		Op:       journal.OpState,
+		ID:       id,
+		Time:     time.Now(),
+		State:    string(st),
+		Error:    errMsg,
+		Summary:  sum,
+		Restarts: restarts,
+	})
+	s.gJournalBytes.Set(float64(s.jn.SizeBytes()))
+}
+
+// maybeCompact compacts the journal once it outgrows the threshold. The
+// snapshot is taken from the live job table (always at least as current
+// as the journal), so records appended between the snapshot and the
+// rewrite are at worst replayed as a re-execution of a deterministic
+// job — never as lost acknowledged work.
+func (s *Server) maybeCompact() {
+	if s.jn == nil || s.jn.SizeBytes() <= journalCompactBytes {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.compacting.Store(false)
+
+	s.mu.Lock()
+	images := make([]*journal.JobImage, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		var sum json.RawMessage
+		if j.summary != nil {
+			sum, _ = json.Marshal(j.summary)
+		}
+		images = append(images, &journal.JobImage{
+			ID:        j.id,
+			Config:    j.cfgJSON,
+			IdemKey:   j.idemKey,
+			State:     string(j.state),
+			Error:     j.errMsg,
+			Summary:   sum,
+			Restarts:  j.restarts,
+			Submitted: j.submitted,
+			Finished:  j.finished,
+		})
+	}
+	s.mu.Unlock()
+
+	_ = s.jn.Compact(journal.SnapshotRecords(images))
+	s.gJournalBytes.Set(float64(s.jn.SizeBytes()))
+}

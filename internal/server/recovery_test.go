@@ -1,0 +1,418 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"orion/internal/harness"
+	"orion/internal/sim"
+)
+
+// submitKey is submit with a client-supplied Idempotency-Key.
+func submitKey(t *testing.T, ts *httptest.Server, cfg harness.Config, key string) (JobStatus, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/experiments", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp
+}
+
+// waitRunning blocks until the job is observably running — which, with
+// journaling on, also means its "running" record is durable (the server
+// journals the transition before making it visible).
+func waitRunning(t *testing.T, s *Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		j := s.jobs[id]
+		running := j != nil && j.state == StateRunning
+		s.mu.Unlock()
+		if running {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never started running", id)
+}
+
+func summaryJSON(t *testing.T, s *harness.Summary) string {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCrashRecovery is the tentpole acceptance test: a daemon that dies
+// with one job mid-flight and more queued loses nothing. The next
+// incarnation re-enqueues the queued jobs as-is and re-executes the
+// interrupted one with the recovered flag and a bumped restart count —
+// and because the harness is deterministic per seed, the recovered
+// job's summary is bit-identical to an uninterrupted run's.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	unblock := make(chan struct{})
+	a := mustNew(t, Config{Workers: 1, QueueDepth: 8, JournalDir: dir, testBlock: unblock})
+	tsA := httptest.NewServer(a.Handler())
+
+	cfgs := []harness.Config{
+		quickConfig(harness.Orion),
+		quickConfig(harness.Reef),
+		quickConfig(harness.Streams),
+	}
+	var ids []string
+	for i, cfg := range cfgs {
+		st, resp := submit(t, tsA, cfg)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+	}
+	// The single pinned worker owns ids[0] (journaled running, then
+	// parked); ids[1] and ids[2] sit in the queue.
+	waitRunning(t, a, ids[0])
+
+	// Crash: abandon incarnation A without any shutdown. Its worker stays
+	// parked forever; its journal handle goes stale, exactly like a
+	// SIGKILLed process's.
+	tsA.Close()
+
+	b := mustNew(t, Config{Workers: 2, QueueDepth: 8, JournalDir: dir})
+	defer b.Shutdown(context.Background())
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+
+	for i, id := range ids {
+		got := pollDone(t, tsB, id)
+		if got.State != StateDone {
+			t.Fatalf("job %s after recovery: %q (%s)", id, got.State, got.Error)
+		}
+		wantRecovered := i == 0
+		if got.Recovered != wantRecovered || got.RestartCount != b2i(wantRecovered) {
+			t.Errorf("job %s: recovered=%v restarts=%d, want recovered=%v restarts=%d",
+				id, got.Recovered, got.RestartCount, wantRecovered, b2i(wantRecovered))
+		}
+		direct, err := harness.RunWire(context.Background(), cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := summaryJSON(t, harness.Summarize(direct))
+		if got := summaryJSON(t, got.Result); got != want {
+			t.Errorf("job %s: recovered summary not bit-identical:\n got %s\nwant %s", id, got, want)
+		}
+	}
+	if got := b.cRecovered.Value(); got != 1 {
+		t.Errorf("recovered counter = %v, want 1", got)
+	}
+
+	var buf bytes.Buffer
+	resp, err := http.Get(tsB.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "orion_serve_recovered_jobs_total 1") {
+		t.Error("/metrics missing orion_serve_recovered_jobs_total 1")
+	}
+	if !strings.Contains(buf.String(), "orion_serve_journal_bytes") {
+		t.Error("/metrics missing orion_serve_journal_bytes")
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestDoubleCrashRecovery: a job interrupted twice carries restart count
+// 2 and still lands on the exact deterministic answer.
+func TestDoubleCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickConfig(harness.Orion)
+
+	a := mustNew(t, Config{Workers: 1, QueueDepth: 4, JournalDir: dir, testBlock: make(chan struct{})})
+	tsA := httptest.NewServer(a.Handler())
+	st, resp := submit(t, tsA, cfg)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitRunning(t, a, st.ID)
+	tsA.Close() // crash 1
+
+	b := mustNew(t, Config{Workers: 1, QueueDepth: 4, JournalDir: dir, testBlock: make(chan struct{})})
+	waitRunning(t, b, st.ID) // recovered, running again, parked
+	// crash 2: abandon b too
+
+	c := mustNew(t, Config{Workers: 1, QueueDepth: 4, JournalDir: dir})
+	defer c.Shutdown(context.Background())
+	tsC := httptest.NewServer(c.Handler())
+	defer tsC.Close()
+
+	got := pollDone(t, tsC, st.ID)
+	if got.State != StateDone || !got.Recovered || got.RestartCount != 2 {
+		t.Fatalf("after two crashes: state=%q recovered=%v restarts=%d (%s)",
+			got.State, got.Recovered, got.RestartCount, got.Error)
+	}
+	direct, err := harness.RunWire(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := summaryJSON(t, harness.Summarize(direct)); summaryJSON(t, got.Result) != want {
+		t.Error("twice-recovered summary not bit-identical to direct run")
+	}
+}
+
+// TestRestartRestoresTerminalJobs: a clean restart restores finished
+// jobs with their summaries, keeps idempotency keys deduplicating, and
+// lets a canceled job's key run for real on resubmission.
+func TestRestartRestoresTerminalJobs(t *testing.T) {
+	dir := t.TempDir()
+	unblock := make(chan struct{})
+	a := mustNew(t, Config{Workers: 1, QueueDepth: 4, JournalDir: dir})
+	a.testBlock = unblock
+	tsA := httptest.NewServer(a.Handler())
+
+	cfg := quickConfig(harness.Orion)
+	stX, resp := submitKey(t, tsA, cfg, "key-done")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit X: %d", resp.StatusCode)
+	}
+	waitRunning(t, a, stX.ID)
+	stY, resp := submitKey(t, tsA, cfg, "key-canceled")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit Y: %d", resp.StatusCode)
+	}
+	// Replaying the same key against the live server must not create a
+	// second job.
+	dup, resp := submitKey(t, tsA, cfg, "key-canceled")
+	if resp.StatusCode != http.StatusOK || dup.ID != stY.ID {
+		t.Fatalf("idempotent replay: code=%d id=%s want 200/%s", resp.StatusCode, dup.ID, stY.ID)
+	}
+
+	// Graceful drain: X (in flight) completes, Y (queued) cancels.
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		shutdownErr <- a.Shutdown(ctx)
+	}()
+	for !a.draining.Load() {
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(unblock)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	doneX := pollDone(t, tsA, stX.ID)
+	if doneX.State != StateDone {
+		t.Fatalf("X after drain: %q", doneX.State)
+	}
+	tsA.Close()
+
+	b := mustNew(t, Config{Workers: 1, QueueDepth: 4, JournalDir: dir})
+	defer b.Shutdown(context.Background())
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+
+	// X restored done, summary intact, still deduplicating.
+	gotX := pollDone(t, tsB, stX.ID)
+	if gotX.State != StateDone || gotX.Recovered {
+		t.Fatalf("restored X: state=%q recovered=%v", gotX.State, gotX.Recovered)
+	}
+	if summaryJSON(t, gotX.Result) != summaryJSON(t, doneX.Result) {
+		t.Error("restored summary differs from pre-restart summary")
+	}
+	replay, resp := submitKey(t, tsB, cfg, "key-done")
+	if resp.StatusCode != http.StatusOK || replay.ID != stX.ID {
+		t.Errorf("idempotent replay across restart: code=%d id=%s want 200/%s",
+			resp.StatusCode, replay.ID, stX.ID)
+	}
+
+	// Y restored canceled; its key is free again, so resubmitting runs a
+	// fresh job instead of returning the tombstone.
+	gotY := pollDone(t, tsB, stY.ID)
+	if gotY.State != StateCanceled {
+		t.Fatalf("restored Y: %q, want canceled", gotY.State)
+	}
+	fresh, resp := submitKey(t, tsB, cfg, "key-canceled")
+	if resp.StatusCode != http.StatusAccepted || fresh.ID == stY.ID {
+		t.Fatalf("canceled key resubmit: code=%d id=%s (old %s)", resp.StatusCode, fresh.ID, stY.ID)
+	}
+	if got := pollDone(t, tsB, fresh.ID); got.State != StateDone {
+		t.Errorf("fresh job for canceled key: %q (%s)", got.State, got.Error)
+	}
+}
+
+// TestWorkerPanicIsolated: a panicking experiment fails its own job —
+// with the stack in the error — and the daemon keeps serving.
+func TestWorkerPanicIsolated(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+	calls := 0
+	s.testRun = func(cfg harness.Config) (*harness.Result, error) {
+		calls++
+		if calls == 1 {
+			panic("injected kernel fault")
+		}
+		rc, err := cfg.Build()
+		if err != nil {
+			return nil, err
+		}
+		return harness.Run(rc)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, resp := submit(t, ts, quickConfig(harness.Orion))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	got := pollDone(t, ts, st.ID)
+	if got.State != StateFailed {
+		t.Fatalf("panicking job: %q, want failed", got.State)
+	}
+	if !strings.Contains(got.Error, "injected kernel fault") || !strings.Contains(got.Error, "goroutine") {
+		t.Errorf("panic error lacks message or stack: %q", got.Error)
+	}
+	if got := s.cPanics.Value(); got != 1 {
+		t.Errorf("panic counter = %v, want 1", got)
+	}
+	// The daemon survived: the next submission runs normally.
+	st2, resp := submit(t, ts, quickConfig(harness.Orion))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-panic submit: %d", resp.StatusCode)
+	}
+	if got := pollDone(t, ts, st2.ID); got.State != StateDone {
+		t.Errorf("post-panic job: %q (%s)", got.State, got.Error)
+	}
+}
+
+// TestJobDeadlineCancelsRunaway: a per-job deadline fails an experiment
+// that would otherwise run (effectively) forever.
+func TestJobDeadlineCancelsRunaway(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 4, JobDeadline: 30 * time.Millisecond})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := quickConfig(harness.Orion)
+	cfg.Horizon = 3600 * sim.Second // hours of virtual time: cannot finish in 30ms wall
+	st, resp := submit(t, ts, cfg)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	got := pollDone(t, ts, st.ID)
+	if got.State != StateFailed {
+		t.Fatalf("runaway job: %q, want failed", got.State)
+	}
+	if !strings.Contains(got.Error, "deadline") {
+		t.Errorf("deadline failure error = %q", got.Error)
+	}
+}
+
+// TestEventStreamHeartbeatAndDisconnect: idle streams carry heartbeat
+// comments, and a client that hangs up is unsubscribed promptly instead
+// of leaking its channel until the job ends.
+func TestEventStreamHeartbeatAndDisconnect(t *testing.T) {
+	unblock := make(chan struct{})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 4, Heartbeat: 25 * time.Millisecond})
+	s.testBlock = unblock
+	defer s.Shutdown(context.Background())
+	defer close(unblock) // unpark the worker before Shutdown waits on it
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, resp := submit(t, ts, quickConfig(harness.Orion))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitRunning(t, s, st.ID)
+
+	res, err := http.Get(ts.URL + "/v1/experiments/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(res.Body)
+	heartbeats := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for heartbeats < 2 && sc.Scan() {
+		if strings.HasPrefix(sc.Text(), ": heartbeat") {
+			heartbeats++
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	if heartbeats < 2 {
+		t.Fatalf("saw %d heartbeats on an idle stream, want >= 2 (scan err %v)", heartbeats, sc.Err())
+	}
+	res.Body.Close() // client disconnect
+
+	// The server must notice (canceled request context or failed
+	// heartbeat write) and drop the subscription while the job is still
+	// running.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.jobs[st.ID].subs)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscription not torn down after disconnect: %d subscribers", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJournalDisabledUnchanged: without a journal dir the server behaves
+// exactly as before — no files, no recovery, no journal metrics motion.
+func TestJournalDisabledUnchanged(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	st, resp := submit(t, ts, quickConfig(harness.Orion))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if got := pollDone(t, ts, st.ID); got.State != StateDone || got.Recovered || got.RestartCount != 0 {
+		t.Fatalf("journal-less job: state=%q recovered=%v restarts=%d", got.State, got.Recovered, got.RestartCount)
+	}
+	if got := s.gJournalBytes.Value(); got != 0 {
+		t.Errorf("journal bytes gauge = %v without a journal", got)
+	}
+}

@@ -8,6 +8,18 @@
 // histograms. Graceful shutdown fails readiness first, cancels queued
 // jobs, and drains in-flight experiments under a deadline.
 //
+// With Config.JournalDir set the control plane is crash-safe: every
+// accepted submission and state transition is appended (and fsynced,
+// group-committed) to a write-ahead journal before it is acknowledged.
+// On restart the journal replays — finished jobs restore with their
+// summaries, queued jobs re-enqueue, and jobs that were running at crash
+// time re-execute from their recorded config and seed. The harness is
+// bit-deterministic for equal seeds, so re-execution is exact recovery:
+// a recovered job's summary is byte-identical to what the uninterrupted
+// run would have produced. Client-supplied Idempotency-Key headers are
+// journaled too, so resubmission after a crash deduplicates instead of
+// double-running.
+//
 // This is the deployment shape of the paper's §5 daemon (and of KubeShare
 // / Tally-style serving layers): a long-running per-node service that
 // concurrent tenants submit work to online, rather than a batch CLI.
@@ -25,6 +37,7 @@ import (
 	"time"
 
 	"orion/internal/harness"
+	"orion/internal/journal"
 	"orion/internal/metrics"
 )
 
@@ -42,6 +55,23 @@ type Config struct {
 	MaxJobs int
 	// RetryAfter is the hint returned with 429/503 responses (default 1s).
 	RetryAfter time.Duration
+	// JournalDir, when non-empty, enables the crash-safety journal in
+	// that directory (created if needed). Empty keeps all state in
+	// memory, as before.
+	JournalDir string
+	// JobDeadline, when positive, bounds each experiment's wall-clock
+	// run time; a job that exceeds it is canceled mid-simulation and
+	// marked failed.
+	JobDeadline time.Duration
+	// Heartbeat is the SSE keep-alive comment interval (default 15s):
+	// idle event streams emit ": heartbeat" so dead client connections
+	// are detected and their subscriptions torn down promptly.
+	Heartbeat time.Duration
+
+	// testBlock mirrors Server.testBlock but is installed before the
+	// worker pool starts — the only race-free way to pin workers on a
+	// server that recovers runnable jobs at startup. Tests only.
+	testBlock chan struct{}
 }
 
 func (c Config) withDefaults() Config {
@@ -60,53 +90,84 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 15 * time.Second
+	}
 	return c
 }
+
+// journalCompactBytes triggers a compaction pass once the journal grows
+// past this size; terminal-job records collapse to one snapshot each.
+const journalCompactBytes = 4 << 20
 
 // Server is one orion-serve instance.
 type Server struct {
 	cfg Config
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string // insertion order, for bounded retention
-	seq   uint64
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // insertion order, for bounded retention
+	seq    uint64
+	idem   map[string]string // Idempotency-Key -> job id
+	queued int               // jobs admitted but not yet picked up by a worker
 
 	queue    chan *job
 	quit     chan struct{}
 	wg       sync.WaitGroup
 	draining atomic.Bool
 
-	reg          *metrics.Registry
-	cSubmitted   *metrics.Counter
-	cRejected    *metrics.Counter
-	gQueueDepth  *metrics.Gauge
-	gWorkersBusy *metrics.Gauge
+	// jn is nil when journaling is disabled. Appends happen outside mu
+	// (the journal has its own locking and group commit), so a slow fsync
+	// never blocks reads of the job table.
+	jn *journal.Journal
+	// compacting serializes compaction passes; overlapping passes would
+	// rotate over each other's snapshots.
+	compacting atomic.Bool
+
+	reg           *metrics.Registry
+	cSubmitted    *metrics.Counter
+	cRejected     *metrics.Counter
+	cRecovered    *metrics.Counter
+	cPanics       *metrics.Counter
+	gQueueDepth   *metrics.Gauge
+	gWorkersBusy  *metrics.Gauge
+	gJournalBytes *metrics.Gauge
 
 	// testBlock, when non-nil, parks every worker after it marks its job
 	// running until the channel closes — lets tests pin the pool in a
 	// known state without timing games. Never set outside tests.
 	testBlock chan struct{}
+	// testRun, when non-nil, replaces the experiment execution (tests
+	// exercise the panic-isolation path with it). Never set outside tests.
+	testRun func(cfg harness.Config) (*harness.Result, error)
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, replays its journal (when configured), and starts
+// the worker pool.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := metrics.NewRegistry()
 	s := &Server{
-		cfg:   cfg,
-		jobs:  map[string]*job{},
-		queue: make(chan *job, cfg.QueueDepth),
-		quit:  make(chan struct{}),
-		reg:   reg,
+		cfg:  cfg,
+		jobs: map[string]*job{},
+		idem: map[string]string{},
+		quit: make(chan struct{}),
+		reg:  reg,
 		cSubmitted: reg.Counter("orion_serve_submissions_total",
 			"Experiment submissions accepted.", nil),
 		cRejected: reg.Counter("orion_serve_rejections_total",
 			"Experiment submissions rejected by admission control.", nil),
+		cRecovered: reg.Counter("orion_serve_recovered_jobs_total",
+			"Jobs re-executed after a crash because the journal showed them running.", nil),
+		cPanics: reg.Counter("orion_serve_worker_panics_total",
+			"Experiment panics caught by the worker pool (job failed, daemon kept serving).", nil),
 		gQueueDepth: reg.Gauge("orion_serve_queue_depth",
 			"Jobs admitted but not yet running.", nil),
 		gWorkersBusy: reg.Gauge("orion_serve_workers_busy",
 			"Workers currently running an experiment.", nil),
+		gJournalBytes: reg.Gauge("orion_serve_journal_bytes",
+			"On-disk size of the job journal (0 when journaling is off).", nil),
+		testBlock: cfg.testBlock,
 	}
 	reg.Gauge("orion_serve_workers", "Worker pool size.", nil).Set(float64(cfg.Workers))
 	// Pre-register terminal-state counters so /metrics shows zeros from
@@ -114,11 +175,30 @@ func New(cfg Config) *Server {
 	for _, st := range []State{StateDone, StateFailed, StateCanceled} {
 		s.cJobs(st)
 	}
+
+	var runnable []*job
+	if cfg.JournalDir != "" {
+		var err error
+		runnable, err = s.openJournal()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The channel must fit every recovered job on top of the normal
+	// admission bound; s.queued enforces the QueueDepth limit for new
+	// submissions, so occupancy never exceeds this capacity.
+	s.queue = make(chan *job, cfg.QueueDepth+len(runnable))
+	for _, j := range runnable {
+		s.queue <- j
+	}
+	s.queued = len(runnable)
+	s.gQueueDepth.Set(float64(len(runnable)))
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Registry exposes the server's metrics registry (for embedding extra
@@ -163,6 +243,15 @@ func (s *Server) retryAfterHeader(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
+// rejectUnavailable is the shared 429/503 path: both overload and drain
+// rejections carry the same Retry-After hint so clients back off
+// identically.
+func (s *Server) rejectUnavailable(w http.ResponseWriter, code int, msg string) {
+	s.cRejected.Inc()
+	s.retryAfterHeader(w)
+	writeJSON(w, code, errorBody{msg})
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -177,8 +266,7 @@ type errorBody struct {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.retryAfterHeader(w)
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{"server is draining"})
+		s.rejectUnavailable(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	cfg, err := harness.ParseConfig(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -192,18 +280,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
 		return
 	}
-	j, aerr := s.admit(cfg)
+	j, created, aerr := s.admit(cfg, r.Header.Get("Idempotency-Key"))
 	if aerr != nil {
-		s.cRejected.Inc()
-		s.retryAfterHeader(w)
-		writeJSON(w, aerr.code, errorBody{aerr.msg})
+		if aerr.code == http.StatusTooManyRequests || aerr.code == http.StatusServiceUnavailable {
+			s.rejectUnavailable(w, aerr.code, aerr.msg)
+		} else {
+			writeJSON(w, aerr.code, errorBody{aerr.msg})
+		}
 		return
 	}
 	s.mu.Lock()
 	st := j.status()
 	s.mu.Unlock()
 	w.Header().Set("Location", "/v1/experiments/"+j.id)
-	writeJSON(w, http.StatusAccepted, st)
+	code := http.StatusAccepted
+	if !created {
+		// Idempotent replay of an earlier submission: report the existing
+		// job rather than creating a duplicate.
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
 }
 
 func (s *Server) lookup(r *http.Request) *job {
@@ -237,7 +333,10 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleEvents streams a job's progress as server-sent events: the
-// history replays first, then live events until a terminal stage.
+// history replays first, then live events until a terminal stage. Idle
+// streams carry periodic heartbeat comments so a dead client connection
+// is noticed and unsubscribed instead of leaking its channel until the
+// job finishes.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r)
 	if j == nil {
@@ -255,31 +354,45 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	ch, past := s.subscribe(j)
 	defer s.unsubscribe(j, ch)
-	writeEvent := func(e Event) bool {
+	writeEvent := func(e Event) (terminal bool, err error) {
 		b, _ := json.Marshal(e)
-		fmt.Fprintf(w, "data: %s\n\n", b)
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			return false, err
+		}
 		flusher.Flush()
-		return State(e.Stage).terminal()
+		return State(e.Stage).terminal(), nil
 	}
 	lastSeq := 0
 	for _, e := range past {
 		lastSeq = e.Seq
-		if writeEvent(e) {
+		term, err := writeEvent(e)
+		if term || err != nil {
 			return
 		}
 	}
 	// Every job is guaranteed a terminal event (done, failed, or
 	// canceled at shutdown), so this loop always ends unless the client
-	// hangs up first.
+	// hangs up first — which the context or a failed heartbeat notices.
+	hb := time.NewTicker(s.cfg.Heartbeat)
+	defer hb.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case e := <-ch:
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
 			if e.Seq <= lastSeq {
 				continue // raced with the history replay
 			}
-			if writeEvent(e) {
+			term, err := writeEvent(e)
+			if term || err != nil {
 				return
 			}
 		}
@@ -290,7 +403,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // rejected immediately, queued-but-unstarted jobs are canceled, and
 // in-flight experiments run to completion unless ctx expires first.
 // Close the HTTP listener only after Shutdown returns, so late polls for
-// results still succeed during the drain.
+// results still succeed during the drain. When journaling is enabled the
+// cancellations are journaled and the journal is sealed, so the next
+// incarnation re-enqueues nothing that was already resolved.
 func (s *Server) Shutdown(ctx context.Context) error {
 	// Flip draining under the admission lock: once this returns, no new
 	// job can enter the queue, so the cancel sweep below sees them all.
@@ -315,19 +430,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// Cancel whatever never started. This runs after the workers have
 	// stopped (or the deadline expired), so nothing else receives from
 	// the queue and every leftover job gets its terminal event.
+sweep:
 	for {
 		select {
 		case j := <-s.queue:
-			s.gQueueDepth.Dec()
 			s.mu.Lock()
+			s.queued--
+			s.gQueueDepth.Dec()
 			j.state = StateCanceled
 			j.finished = time.Now()
 			j.errMsg = "server shut down before the job started"
 			s.cJobs(StateCanceled).Inc()
 			s.emit(j, string(StateCanceled))
+			id, restarts := j.id, j.restarts
 			s.mu.Unlock()
+			s.journalState(id, StateCanceled, "server shut down before the job started", nil, restarts)
 		default:
-			return err
+			break sweep
 		}
 	}
+	if s.jn != nil && err == nil {
+		// Seal the journal only on a complete drain; with stragglers still
+		// running past the deadline, keep it open so their terminal
+		// records can land.
+		if cerr := s.jn.Close(); cerr != nil {
+			err = cerr
+		}
+	}
+	return err
 }

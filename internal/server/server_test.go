@@ -15,6 +15,17 @@ import (
 	"orion/internal/sim"
 )
 
+// mustNew builds a server or fails the test (New only errors on journal
+// problems, which these configs do not have).
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // quickConfig is a short faulted serving experiment that still exercises
 // arrivals, deadlines and the fault injector.
 func quickConfig(scheme harness.Scheme) harness.Config {
@@ -80,7 +91,7 @@ func pollDone(t *testing.T, ts *httptest.Server, id string) JobStatus {
 // invocation with the same seeds produces — and the same must hold for
 // the REEF and Streams baselines.
 func TestEndToEnd(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 8})
+	s := mustNew(t, Config{Workers: 2, QueueDepth: 8})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -101,7 +112,7 @@ func TestEndToEnd(t *testing.T) {
 				t.Fatalf("job failed: %q (%s)", got.State, got.Error)
 			}
 
-			direct, err := harness.RunWire(cfg)
+			direct, err := harness.RunWire(context.Background(), cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -139,7 +150,7 @@ func TestEndToEnd(t *testing.T) {
 }
 
 func TestEventsStream(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 8})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 8})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -193,7 +204,7 @@ func TestEventsStream(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -230,7 +241,7 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestHealthAndMetricsEndpoints(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -258,6 +269,9 @@ func TestHealthAndMetricsEndpoints(t *testing.T) {
 		"orion_serve_queue_depth",
 		"orion_serve_workers_busy",
 		"orion_serve_submissions_total",
+		"orion_serve_recovered_jobs_total",
+		"orion_serve_journal_bytes",
+		"orion_serve_worker_panics_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -67,6 +67,22 @@ type Engine struct {
 	// MaxEvents, when non-zero, aborts Run with a panic after that many
 	// events; it is a backstop against accidental infinite self-scheduling.
 	MaxEvents uint64
+	// Interrupt, when non-nil, is polled every interruptStride events by
+	// Run/RunUntil; returning true stops the loop like Stop. It lets a
+	// caller cancel a runaway simulation from outside virtual time (the
+	// serving layer's per-job deadline) without relying on any event
+	// actually firing — cascades of same-timestamp events are caught too.
+	Interrupt func() bool
+}
+
+// interruptStride bounds how many events run between Interrupt polls;
+// cheap enough to leave the hot loop unmeasurable, tight enough that
+// cancellation lands within microseconds of wall time.
+const interruptStride = 1024
+
+// interrupted polls the Interrupt hook at the stride boundary.
+func (e *Engine) interrupted() bool {
+	return e.Interrupt != nil && e.processed%interruptStride == 0 && e.Interrupt()
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -169,6 +185,9 @@ func (e *Engine) Run() {
 		if e.MaxEvents > 0 && e.processed >= e.MaxEvents {
 			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at %v", e.MaxEvents, e.now))
 		}
+		if e.interrupted() {
+			return
+		}
 		if e.strong == 0 {
 			return
 		}
@@ -185,6 +204,9 @@ func (e *Engine) RunUntil(deadline Time) {
 	for !e.stopped {
 		if e.MaxEvents > 0 && e.processed >= e.MaxEvents {
 			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at %v", e.MaxEvents, e.now))
+		}
+		if e.interrupted() {
+			return
 		}
 		if len(e.queue) == 0 || e.queue[0].time > deadline {
 			break

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -456,5 +457,42 @@ func TestCancelWeakEvent(t *testing.T) {
 	e.Run() // must not panic or miscount strong events
 	if e.Now() != 20 {
 		t.Fatalf("Now() = %v, want 20", e.Now())
+	}
+}
+
+// TestInterruptStopsRunawayCascade: a self-rescheduling event chain that
+// never drains (and never advances past the deadline) must still stop
+// once the Interrupt hook trips — the seam the serving layer's per-job
+// deadlines cancel runaway experiments through.
+func TestInterruptStopsRunawayCascade(t *testing.T) {
+	e := NewEngine()
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.At(0, reschedule)
+
+	var stop atomic.Bool
+	e.Interrupt = stop.Load
+	done := make(chan struct{})
+	go func() {
+		e.RunUntil(1 << 40)
+		close(done)
+	}()
+	stop.Store(true)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunUntil never observed the interrupt")
+	}
+
+	// Run must honor the hook too.
+	e2 := NewEngine()
+	var cascade func()
+	cascade = func() { e2.After(1, cascade) }
+	e2.At(0, cascade)
+	n := uint64(0)
+	e2.Interrupt = func() bool { n++; return n > 3 }
+	e2.Run()
+	if e2.Processed() == 0 {
+		t.Fatal("engine stopped before doing any work")
 	}
 }
