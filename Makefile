@@ -1,6 +1,6 @@
 # Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, and
 # the full test suite under the race detector.
-.PHONY: check fmt vet build test bench bench-json chaos
+.PHONY: check fmt vet build test bench bench-json bench-compare chaos
 
 check: fmt vet build test
 
@@ -29,6 +29,15 @@ bench:
 
 # Regenerate the committed benchmark baseline (quick -short sweeps, so it
 # finishes in CI time). Later PRs diff their own run against this file
-# for a performance trajectory.
+# for a performance trajectory. BENCH_PR2.json is the pre-optimization
+# snapshot and stays committed for the before/after record.
 bench-json:
-	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > BENCH_PR2.json
+	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > BENCH_PR4.json
+
+# Regression gate: rerun the bench sweep and diff it against the committed
+# baseline. B/op and allocs/op are deterministic and gate at 10%; ns/op is
+# noisy on shared machines (single-shot runs wobble by tens of percent)
+# and only fails past a 2× slowdown.
+bench-compare:
+	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > /tmp/bench-new.json
+	go run ./cmd/bench-json -compare BENCH_PR4.json /tmp/bench-new.json

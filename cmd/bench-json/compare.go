@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// compareMetrics are the units the regression gate inspects; other
+// metrics (custom b.ReportMetric units) are informational only.
+var compareMetrics = []string{"ns/op", "B/op", "allocs/op"}
+
+// regression is one metric that degraded past its threshold.
+type regression struct {
+	bench, metric    string
+	old, new, change float64 // change is the fractional increase
+}
+
+// loadBaseline reads a committed bench-json document.
+func loadBaseline(path string) (Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	defer f.Close()
+	var b Baseline
+	if err := json.NewDecoder(f).Decode(&b); err != nil {
+		return Baseline{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return Baseline{}, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return b, nil
+}
+
+// byName indexes a baseline's benchmarks.
+func byName(b Baseline) map[string]Benchmark {
+	m := make(map[string]Benchmark, len(b.Benchmarks))
+	for _, bm := range b.Benchmarks {
+		m[bm.Name] = bm
+	}
+	return m
+}
+
+// threshold picks the allowed fractional increase for one metric:
+// wall-clock time gets its own (usually looser) bound, since ns/op is
+// noisy on shared CI machines while B/op and allocs/op are deterministic.
+func threshold(metric string, def, ns float64) float64 {
+	if metric == "ns/op" {
+		return ns
+	}
+	return def
+}
+
+// compare diffs two baselines benchmark by benchmark and writes a
+// human-readable table to w. It returns the regressions that exceed the
+// thresholds. Benchmarks present on only one side are reported but never
+// fail the gate (the bench set may legitimately grow or shrink).
+func compare(w io.Writer, oldB, newB Baseline, defThresh, nsThresh float64) []regression {
+	oldByName := byName(oldB)
+	newByName := byName(newB)
+
+	names := make([]string, 0, len(newByName))
+	for name := range newByName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regs []regression
+	for _, name := range names {
+		nb := newByName[name]
+		ob, ok := oldByName[name]
+		if !ok {
+			fmt.Fprintf(w, "%s: new benchmark (no baseline)\n", name)
+			continue
+		}
+		for _, metric := range compareMetrics {
+			ov, okO := ob.Metrics[metric]
+			nv, okN := nb.Metrics[metric]
+			if !okO || !okN || ov == 0 {
+				continue
+			}
+			change := nv/ov - 1
+			fmt.Fprintf(w, "%-40s %-10s %14.0f -> %14.0f  %+6.1f%%\n",
+				name, metric, ov, nv, change*100)
+			if change > threshold(metric, defThresh, nsThresh) {
+				regs = append(regs, regression{bench: name, metric: metric, old: ov, new: nv, change: change})
+			}
+		}
+	}
+	for _, name := range sortedMissing(oldByName, newByName) {
+		fmt.Fprintf(w, "%s: removed (present only in baseline)\n", name)
+	}
+	return regs
+}
+
+// sortedMissing lists baseline benchmarks absent from the new run.
+func sortedMissing(oldByName, newByName map[string]Benchmark) []string {
+	var missing []string
+	for name := range oldByName {
+		if _, ok := newByName[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// runCompare implements the -compare mode: exit 0 when no inspected
+// metric regressed past its threshold, 1 otherwise.
+func runCompare(w io.Writer, oldPath, newPath string, defThresh, nsThresh float64) int {
+	oldB, err := loadBaseline(oldPath)
+	if err != nil {
+		fmt.Fprintln(w, "bench-json:", err)
+		return 2
+	}
+	newB, err := loadBaseline(newPath)
+	if err != nil {
+		fmt.Fprintln(w, "bench-json:", err)
+		return 2
+	}
+	regs := compare(w, oldB, newB, defThresh, nsThresh)
+	if len(regs) == 0 {
+		fmt.Fprintln(w, "bench-json: no regressions past threshold")
+		return 0
+	}
+	fmt.Fprintf(w, "bench-json: %d regression(s) past threshold:\n", len(regs))
+	for _, r := range regs {
+		fmt.Fprintf(w, "  %s %s: %.0f -> %.0f (%+.1f%%, threshold %+.0f%%)\n",
+			r.bench, r.metric, r.old, r.new, r.change*100,
+			threshold(r.metric, defThresh, nsThresh)*100)
+	}
+	return 1
+}

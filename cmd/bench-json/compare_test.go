@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bl(benches ...Benchmark) Baseline { return Baseline{Benchmarks: benches} }
+
+func bench(name string, ns, b, allocs float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: map[string]float64{
+		"ns/op": ns, "B/op": b, "allocs/op": allocs,
+	}}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	var buf bytes.Buffer
+	regs := compare(&buf,
+		bl(bench("Fig2-8", 1000, 500, 50)),
+		bl(bench("Fig2-8", 900, 400, 10)), // everything improved
+		0.10, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("improvements flagged as regressions: %+v", regs)
+	}
+	if !strings.Contains(buf.String(), "Fig2-8") {
+		t.Fatalf("table missing benchmark row:\n%s", buf.String())
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	var buf bytes.Buffer
+	regs := compare(&buf,
+		bl(bench("Fig2-8", 1000, 500, 50)),
+		bl(bench("Fig2-8", 1100, 600, 50)), // ns +10% (ok at 25%), B/op +20% (fails at 10%)
+		0.10, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the B/op one", regs)
+	}
+	if regs[0].metric != "B/op" {
+		t.Fatalf("flagged metric = %s, want B/op", regs[0].metric)
+	}
+}
+
+func TestCompareSeparateNsThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	regs := compare(&buf,
+		bl(bench("Fig2-8", 1000, 500, 50)),
+		bl(bench("Fig2-8", 1300, 500, 50)), // ns +30% fails the 25% bound
+		0.10, 0.25)
+	if len(regs) != 1 || regs[0].metric != "ns/op" {
+		t.Fatalf("regressions = %+v, want the ns/op one", regs)
+	}
+}
+
+func TestCompareAddedAndRemovedBenchesDoNotFail(t *testing.T) {
+	var buf bytes.Buffer
+	regs := compare(&buf,
+		bl(bench("Gone-8", 1, 1, 1)),
+		bl(bench("New-8", 1, 1, 1)),
+		0.10, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("set difference flagged as regression: %+v", regs)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "New-8: new benchmark") || !strings.Contains(out, "Gone-8: removed") {
+		t.Fatalf("set difference not reported:\n%s", out)
+	}
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, b Baseline) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", bl(bench("Fig2-8", 1000, 500, 50)))
+	goodPath := write("good.json", bl(bench("Fig2-8", 1000, 500, 50)))
+	badPath := write("bad.json", bl(bench("Fig2-8", 1000, 900, 50)))
+
+	var buf bytes.Buffer
+	if code := runCompare(&buf, oldPath, goodPath, 0.10, 0.25); code != 0 {
+		t.Fatalf("clean compare exit = %d, want 0\n%s", code, buf.String())
+	}
+	buf.Reset()
+	if code := runCompare(&buf, oldPath, badPath, 0.10, 0.25); code != 1 {
+		t.Fatalf("regressed compare exit = %d, want 1\n%s", code, buf.String())
+	}
+	buf.Reset()
+	if code := runCompare(&buf, filepath.Join(dir, "missing.json"), goodPath, 0.10, 0.25); code != 2 {
+		t.Fatalf("missing baseline exit = %d, want 2\n%s", code, buf.String())
+	}
+}

@@ -1,16 +1,29 @@
 // Command bench-json converts `go test -bench` text output on stdin into
 // a machine-readable JSON baseline on stdout. The repository commits the
-// result (BENCH_PR2.json, via `make bench-json`) so successive PRs have a
+// result (BENCH_PR4.json, via `make bench-json`) so successive PRs have a
 // performance trajectory to diff against.
 //
 // Usage:
 //
-//	go test -bench . -benchmem -benchtime=1x -short -run '^$' . | bench-json > BENCH_PR2.json
+//	go test -bench . -benchmem -benchtime=1x -short -run '^$' . | bench-json > BENCH_PR4.json
+//
+// The -compare mode diffs two baselines and acts as a CI regression gate:
+//
+//	bench-json -compare old.json new.json
+//
+// It prints a per-benchmark table of ns/op, B/op and allocs/op deltas and
+// exits non-zero when any of them grew past the threshold (-threshold,
+// default 10%). ns/op gets its own much looser -ns-threshold (default
+// 100%, i.e. only a 2× slowdown fails): single-shot wall-clock runs on
+// shared CI machines routinely wobble by tens of percent, while B/op and
+// allocs/op are deterministic, so the memory metrics carry the tight gate
+// and the time bound only catches egregious regressions.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -95,6 +108,22 @@ func parse(r io.Reader) (Baseline, error) {
 }
 
 func main() {
+	compareMode := flag.Bool("compare", false,
+		"compare two baseline files (old.json new.json) instead of parsing stdin")
+	defThresh := flag.Float64("threshold", 0.10,
+		"allowed fractional increase for B/op and allocs/op in -compare mode")
+	nsThresh := flag.Float64("ns-threshold", 1.0,
+		"allowed fractional increase for ns/op in -compare mode")
+	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bench-json -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *defThresh, *nsThresh))
+	}
+
 	base, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -46,6 +46,10 @@ type Reef struct {
 	again      bool
 	retryArmed bool
 	started    bool
+
+	// flightFree recycles in-flight op records so the steady-state submit
+	// path allocates neither the record nor its completion closure.
+	flightFree []*reefInflight
 }
 
 // NewReef creates the REEF-N backend.
@@ -282,29 +286,69 @@ func (r *Reef) serveBE() bool {
 	return progress
 }
 
+// reefInflight is one op lowered onto the device, pooled on the backend.
+// doneFn is built once per object and survives recycling, so steady-state
+// submission is allocation-free.
+type reefInflight struct {
+	r      *Reef
+	c      *reefClient
+	op     *kernels.Descriptor
+	hp     bool
+	done   func(sim.Time)
+	doneFn func(sim.Time)
+}
+
+func (r *Reef) allocInflight() *reefInflight {
+	if n := len(r.flightFree); n > 0 {
+		f := r.flightFree[n-1]
+		r.flightFree[n-1] = nil
+		r.flightFree = r.flightFree[:n-1]
+		return f
+	}
+	f := &reefInflight{}
+	f.doneFn = func(at sim.Time) { f.complete(at) }
+	return f
+}
+
+func (r *Reef) releaseInflight(f *reefInflight) {
+	f.r, f.c, f.op, f.done = nil, nil, nil, nil
+	f.hp = false
+	r.flightFree = append(r.flightFree, f)
+}
+
+// complete unwinds the outstanding counters when the device finishes the
+// op; the record is recycled before the caller's callback runs since the
+// callback may submit again and reuse it.
+func (f *reefInflight) complete(at sim.Time) {
+	r := f.r
+	if f.hp {
+		r.hpOut--
+		if f.op.Op == kernels.OpKernel && len(r.hpSMs) > 0 {
+			r.hpSMs = r.hpSMs[:copy(r.hpSMs, r.hpSMs[1:])]
+		}
+	} else if f.op.Op == kernels.OpKernel {
+		r.beOutstanding--
+	}
+	f.c.tracker.OnComplete(at)
+	done := f.done
+	r.releaseInflight(f)
+	if done != nil {
+		done(at)
+	}
+	r.schedule()
+}
+
 // trySubmit lowers the op onto the client's stream, reporting whether it
 // reached the device. A transient failure re-arms the scheduler one retry
 // interval out and leaves the op with the caller; other errors panic.
 func (r *Reef) trySubmit(c *reefClient, q reefOp, hp bool) bool {
-	done := func(at sim.Time) {
-		if hp {
-			r.hpOut--
-			if q.op.Op == kernels.OpKernel && len(r.hpSMs) > 0 {
-				r.hpSMs = r.hpSMs[:copy(r.hpSMs, r.hpSMs[1:])]
-			}
-		} else if q.op.Op == kernels.OpKernel {
-			r.beOutstanding--
-		}
-		c.tracker.OnComplete(at)
-		if q.done != nil {
-			q.done(at)
-		}
-		r.schedule()
-	}
-	err := sched.SubmitTo(r.ctx, c.stream, q.op, done)
+	f := r.allocInflight()
+	f.r, f.c, f.op, f.hp, f.done = r, c, q.op, hp, q.done
+	err := sched.SubmitTo(r.ctx, c.stream, q.op, f.doneFn)
 	if err == nil {
 		return true
 	}
+	r.releaseInflight(f)
 	if cudart.IsTransient(err) {
 		r.armRetry()
 		return false

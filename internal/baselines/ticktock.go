@@ -24,11 +24,14 @@ type TickTock struct {
 	// slotActive counts phases still executing in the current slot.
 	slotActive int
 	started    bool
+	scheduleFn func() // t.schedule, bound once
 }
 
 // NewTickTock creates the Tick-Tock backend.
 func NewTickTock(eng *sim.Engine, ctx *cudart.Context) *TickTock {
-	return &TickTock{eng: eng, ctx: ctx}
+	t := &TickTock{eng: eng, ctx: ctx}
+	t.scheduleFn = t.schedule
+	return t
 }
 
 // Name implements sched.Backend.
@@ -151,7 +154,7 @@ func (c *ttClient) runPhase(p phase) {
 		}
 		t.slotActive--
 		// Let same-timestamp sealing land before the next slot forms.
-		t.eng.At(t.eng.Now(), t.schedule)
+		t.eng.At(t.eng.Now(), t.scheduleFn)
 	}
 	if p.skip {
 		finish(t.eng.Now())

@@ -161,6 +161,15 @@ type Orion struct {
 	decisions  *decisionLog
 	slo        *sloGuard
 
+	// opFree pools queuedOps: each carries its completion closure, built
+	// once per object, so the steady-state intercept path allocates
+	// neither the op nor a callback. The callbacks below are likewise
+	// built once in New and reused for every submission.
+	opFree      []*queuedOp
+	scheduleFn  func()
+	eventDoneFn func(sim.Time)
+	retryFn     func()
+
 	// stats
 	beDeferred   uint64 // policy said "not now" for a best-effort kernel
 	beSubmitted  uint64
@@ -198,6 +207,43 @@ type queuedOp struct {
 	op   *kernels.Descriptor
 	prof *profiler.KernelProfile
 	done func(sim.Time)
+	// Submission context for the pooled completion callback.
+	c  *client
+	hp bool
+	// doneFn is the completion callback handed to the device, a closure
+	// over this queuedOp built once when the object is first allocated and
+	// reused across pool recycles.
+	doneFn func(sim.Time)
+}
+
+// allocOp takes a queuedOp from the pool (or builds one, wiring its
+// completion closure) and fills the submission fields.
+func (o *Orion) allocOp(op *kernels.Descriptor, prof *profiler.KernelProfile, done func(sim.Time)) *queuedOp {
+	var q *queuedOp
+	if n := len(o.opFree); n > 0 {
+		q = o.opFree[n-1]
+		o.opFree[n-1] = nil
+		o.opFree = o.opFree[:n-1]
+	} else {
+		q = &queuedOp{}
+		q.doneFn = func(at sim.Time) { o.opComplete(q, at) }
+	}
+	q.op = op
+	q.prof = prof
+	q.done = done
+	return q
+}
+
+// releaseOp drops the op's references and returns it to the pool. Ops
+// purged at Deregister are simply dropped (never released): the pool
+// shrinks by that many objects, nothing dangles.
+func (o *Orion) releaseOp(q *queuedOp) {
+	q.op = nil
+	q.prof = nil
+	q.done = nil
+	q.c = nil
+	q.hp = false
+	o.opFree = append(o.opFree, q)
 }
 
 // New creates an Orion scheduler over the context.
@@ -249,10 +295,20 @@ func New(eng *sim.Engine, ctx *cudart.Context, cfg Config) (*Orion, error) {
 		return nil, fmt.Errorf("orion: SLO fractions need 0 <= resume (%v) < trip (%v) <= 1",
 			cfg.SLOResumeFraction, cfg.SLOTripFraction)
 	}
-	return &Orion{
+	o := &Orion{
 		eng: eng, ctx: ctx, cfg: cfg,
 		decisions: newDecisionLog(DefaultDecisionLogSize),
-	}, nil
+	}
+	o.scheduleFn = o.schedule
+	o.eventDoneFn = func(sim.Time) {
+		// The scheduler notices the completion at its next poll.
+		o.eng.After(o.cfg.PollInterval, o.scheduleFn)
+	}
+	o.retryFn = func() {
+		o.retryArmed = false
+		o.schedule()
+	}
+	return o, nil
 }
 
 // Name implements sched.Backend.
@@ -415,7 +471,7 @@ func (c *client) Submit(op *kernels.Descriptor, done func(sim.Time)) error {
 		prof = p
 	}
 	c.tracker.OnSubmit()
-	c.queue = append(c.queue, &queuedOp{op: op, prof: prof, done: done})
+	c.queue = append(c.queue, c.o.allocOp(op, prof, done))
 	c.o.schedule()
 	return nil
 }
@@ -576,10 +632,7 @@ func (o *Orion) serveBE() bool {
 		if err := o.ctx.EventRecord(c.event, c.stream); err != nil {
 			panic(fmt.Sprintf("orion: event record: %v", err))
 		}
-		c.event.OnComplete(func(sim.Time) {
-			// The scheduler notices the completion at its next poll.
-			o.eng.After(o.cfg.PollInterval, o.schedule)
-		})
+		c.event.OnComplete(o.eventDoneFn)
 		progress = true
 	}
 	if n > 0 {
@@ -641,23 +694,9 @@ func (o *Orion) allBEEventsFinished() bool {
 // scheduler is re-armed one poll interval out — while any other error
 // remains a modelling bug and panics.
 func (o *Orion) trySubmit(c *client, q *queuedOp, hp bool) bool {
-	done := func(at sim.Time) {
-		if hp {
-			o.hpOut--
-			if q.op.Op == kernels.OpKernel && len(o.hpProfiles) > 0 {
-				o.hpProfiles = o.hpProfiles[:copy(o.hpProfiles, o.hpProfiles[1:])]
-			}
-			if q.op.Op.IsMemcpy() {
-				o.hpCopiesOut--
-			}
-		}
-		c.tracker.OnComplete(at)
-		if q.done != nil {
-			q.done(at)
-		}
-		o.schedule()
-	}
-	err := sched.SubmitTo(o.ctx, c.stream, q.op, done)
+	q.c = c
+	q.hp = hp
+	err := sched.SubmitTo(o.ctx, c.stream, q.op, q.doneFn)
 	if err == nil {
 		return true
 	}
@@ -667,6 +706,27 @@ func (o *Orion) trySubmit(c *client, q *queuedOp, hp bool) bool {
 		return false
 	}
 	panic(fmt.Sprintf("orion: submit %s: %v", q.op.Name, err))
+}
+
+// opComplete is the device-side completion of a submitted op: it unwinds
+// the scheduler's outstanding counters, notifies the client, and runs a
+// scheduling pass. The queuedOp returns to the pool afterwards.
+func (o *Orion) opComplete(q *queuedOp, at sim.Time) {
+	if q.hp {
+		o.hpOut--
+		if q.op.Op == kernels.OpKernel && len(o.hpProfiles) > 0 {
+			o.hpProfiles = o.hpProfiles[:copy(o.hpProfiles, o.hpProfiles[1:])]
+		}
+		if q.op.Op.IsMemcpy() {
+			o.hpCopiesOut--
+		}
+	}
+	q.c.tracker.OnComplete(at)
+	if q.done != nil {
+		q.done(at)
+	}
+	o.releaseOp(q)
+	o.schedule()
 }
 
 // armRetry schedules one retry pass a poll interval out. Arms coalesce:
@@ -679,8 +739,5 @@ func (o *Orion) armRetry() {
 		return
 	}
 	o.retryArmed = true
-	o.eng.After(o.cfg.PollInterval, func() {
-		o.retryArmed = false
-		o.schedule()
-	})
+	o.eng.After(o.cfg.PollInterval, o.retryFn)
 }

@@ -42,6 +42,7 @@ type tuner struct {
 
 	lo, hi    int // search bounds on SM_THRESHOLD
 	reference float64
+	tickFn    func() // t.tick, bound once
 
 	// measurement window: the tuner only judges throughput once enough
 	// requests completed for the estimate to beat quantization noise.
@@ -99,10 +100,11 @@ func (o *Orion) startTuner() {
 	// Start optimistic: admit everything the search range allows, then
 	// back off if high-priority throughput degrades.
 	o.SetSMThreshold(t.hi)
+	t.tickFn = t.tick
 	t.windowStart = o.eng.Now()
 	t.windowCount = o.hp.requests
 	o.tuner = t
-	o.eng.AfterWeak(t.interval, t.tick)
+	o.eng.AfterWeak(t.interval, t.tickFn)
 }
 
 // tick measures high-priority request throughput over the accumulated
@@ -112,7 +114,7 @@ func (t *tuner) tick() {
 	o := t.o
 	completed := o.hp.requests - t.windowCount
 	if completed < tuneMinRequests {
-		o.eng.AfterWeak(t.interval, t.tick)
+		o.eng.AfterWeak(t.interval, t.tickFn)
 		return
 	}
 	elapsed := o.eng.Now().Sub(t.windowStart).Seconds()
@@ -134,5 +136,5 @@ func (t *tuner) tick() {
 	next := (t.lo + t.hi + 1) / 2
 	o.SetSMThreshold(next)
 	o.schedule()
-	o.eng.AfterWeak(t.interval, t.tick)
+	o.eng.AfterWeak(t.interval, t.tickFn)
 }

@@ -72,7 +72,7 @@ func (c *Context) LaunchKernel(desc *kernels.Descriptor, s *Stream, onComplete f
 			return err
 		}
 	}
-	return c.dev.Submit(s.gs, gpu.NewKernelTask(desc, onComplete))
+	return c.dev.SubmitKernel(s.gs, desc, onComplete)
 }
 
 // Memcpy submits a synchronous copy (cudaMemcpy): kernel dispatch stalls
@@ -94,7 +94,7 @@ func (c *Context) memcpy(desc *kernels.Descriptor, s *Stream, sync bool, onCompl
 	if desc == nil || !desc.Op.IsMemcpy() {
 		return fmt.Errorf("cudart: memcpy with non-memcpy descriptor: %w", ErrInvalidValue)
 	}
-	return c.dev.Submit(s.gs, gpu.NewCopyTask(desc, sync, onComplete))
+	return c.dev.SubmitCopy(s.gs, desc, sync, onComplete)
 }
 
 // Memset submits a device-memory fill (cudaMemsetAsync semantics).
@@ -105,7 +105,7 @@ func (c *Context) Memset(desc *kernels.Descriptor, s *Stream, onComplete func(si
 	if desc == nil || desc.Op != kernels.OpMemset {
 		return fmt.Errorf("cudart: memset with wrong descriptor op %v: %w", descOp(desc), ErrInvalidValue)
 	}
-	return c.dev.Submit(s.gs, gpu.NewCopyTask(desc, false, onComplete))
+	return c.dev.SubmitCopy(s.gs, desc, false, onComplete)
 }
 
 func descOp(d *kernels.Descriptor) kernels.Op {
@@ -145,7 +145,7 @@ func (c *Context) Malloc(bytes int64, s *Stream, onComplete func(sim.Time)) (*Al
 	}
 	a := &Allocation{ctx: c, bytes: bytes}
 	desc := &kernels.Descriptor{Name: "cudaMalloc", Op: kernels.OpMalloc, Bytes: bytes}
-	if err := c.dev.Submit(s.gs, gpu.NewSyncOpTask(desc, onComplete)); err != nil {
+	if err := c.dev.SubmitSyncOp(s.gs, desc, onComplete); err != nil {
 		c.dev.Release(bytes)
 		return nil, err
 	}
@@ -166,12 +166,12 @@ func (c *Context) Free(a *Allocation, s *Stream, onComplete func(sim.Time)) erro
 	a.freed = true
 	desc := &kernels.Descriptor{Name: "cudaFree", Op: kernels.OpFree, Bytes: a.bytes}
 	bytes := a.bytes
-	return c.dev.Submit(s.gs, gpu.NewSyncOpTask(desc, func(at sim.Time) {
+	return c.dev.SubmitSyncOp(s.gs, desc, func(at sim.Time) {
 		c.dev.Release(bytes)
 		if onComplete != nil {
 			onComplete(at)
 		}
-	}))
+	})
 }
 
 // FreeBytes releases device memory capacity by size rather than by
@@ -187,12 +187,12 @@ func (c *Context) FreeBytes(bytes int64, s *Stream, onComplete func(sim.Time)) e
 			bytes, c.dev.AllocatedBytes(), ErrInvalidValue)
 	}
 	desc := &kernels.Descriptor{Name: "cudaFree", Op: kernels.OpFree, Bytes: bytes}
-	return c.dev.Submit(s.gs, gpu.NewSyncOpTask(desc, func(at sim.Time) {
+	return c.dev.SubmitSyncOp(s.gs, desc, func(at sim.Time) {
 		c.dev.Release(bytes)
 		if onComplete != nil {
 			onComplete(at)
 		}
-	}))
+	})
 }
 
 // Event is a CUDA event: a marker recorded into a stream whose completion
@@ -226,7 +226,7 @@ func (c *Context) EventRecord(e *Event, s *Stream) error {
 	e.done = false
 	e.gen++
 	gen := e.gen
-	return c.dev.Submit(s.gs, gpu.NewMarkerTask(func(at sim.Time) {
+	return c.dev.SubmitMarker(s.gs, func(at sim.Time) {
 		if e.gen != gen {
 			return // superseded by a later EventRecord
 		}
@@ -237,7 +237,7 @@ func (c *Context) EventRecord(e *Event, s *Stream) error {
 		for _, w := range ws {
 			w(at)
 		}
-	}))
+	})
 }
 
 // Query reports whether the event has completed (cudaEventQuery). An event
@@ -269,7 +269,7 @@ func (c *Context) StreamSynchronize(s *Stream, cb func(sim.Time)) error {
 	if s == nil || s.ctx != c {
 		return fmt.Errorf("cudart: synchronize: %w", ErrForeignStream)
 	}
-	return c.dev.Submit(s.gs, gpu.NewMarkerTask(cb))
+	return c.dev.SubmitMarker(s.gs, cb)
 }
 
 // DeviceSynchronize invokes cb when all work submitted to all of the
@@ -288,7 +288,7 @@ func (c *Context) DeviceSynchronize(cb func(sim.Time)) error {
 	}
 	for _, s := range c.streams {
 		pending++
-		if err := c.dev.Submit(s.gs, gpu.NewMarkerTask(done)); err != nil {
+		if err := c.dev.SubmitMarker(s.gs, done); err != nil {
 			return err
 		}
 	}

@@ -3,7 +3,6 @@ package gpu
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"orion/internal/kernels"
 	"orion/internal/sim"
@@ -67,6 +66,12 @@ type Task struct {
 	state  taskState
 	stream *Stream
 	seq    uint64
+	// pooled marks tasks allocated from the device's task pool (the
+	// SubmitKernel/SubmitCopy/... fast paths); they are recycled after
+	// their completion callback has run. Tasks built with the New*Task
+	// constructors are never recycled, so callers may keep inspecting
+	// them after completion.
+	pooled bool
 
 	// kernel execution state
 	smNeeded  int     // effective SM demand, capped at device size
@@ -131,6 +136,68 @@ func NewMarkerTask(onComplete func(sim.Time)) *Task {
 	return &Task{OnComplete: onComplete, kind: taskMarker}
 }
 
+// allocTask takes a task from the device pool (or allocates one) and
+// stamps the submission-time fields. Everything else was zeroed by
+// releaseTask.
+func (d *Device) allocTask(kind taskKind, desc *kernels.Descriptor, onComplete func(sim.Time)) *Task {
+	var t *Task
+	if n := len(d.taskFree); n > 0 {
+		t = d.taskFree[n-1]
+		d.taskFree[n-1] = nil
+		d.taskFree = d.taskFree[:n-1]
+	} else {
+		t = &Task{}
+	}
+	t.kind = kind
+	t.Desc = desc
+	t.OnComplete = onComplete
+	t.pooled = true
+	return t
+}
+
+// releaseTask zeroes a completed pooled task and returns it to the pool.
+func (d *Device) releaseTask(t *Task) {
+	*t = Task{}
+	d.taskFree = append(d.taskFree, t)
+}
+
+// SubmitKernel enqueues a kernel launch built from a pooled task: the
+// steady-state launch path of the CUDA runtime layer, allocating nothing
+// once the pool has warmed up. The task is recycled after completion, so
+// no handle is returned.
+func (d *Device) SubmitKernel(s *Stream, desc *kernels.Descriptor, onComplete func(sim.Time)) error {
+	return d.submitPooled(s, d.allocTask(taskKernel, desc, onComplete))
+}
+
+// SubmitCopy enqueues a pooled memory-copy task (see SubmitKernel); sync
+// marks CUDA-synchronous copy semantics.
+func (d *Device) SubmitCopy(s *Stream, desc *kernels.Descriptor, sync bool, onComplete func(sim.Time)) error {
+	t := d.allocTask(taskCopy, desc, onComplete)
+	t.SyncCopy = sync
+	return d.submitPooled(s, t)
+}
+
+// SubmitSyncOp enqueues a pooled device-synchronizing malloc/free task
+// (see SubmitKernel).
+func (d *Device) SubmitSyncOp(s *Stream, desc *kernels.Descriptor, onComplete func(sim.Time)) error {
+	return d.submitPooled(s, d.allocTask(taskSyncOp, desc, onComplete))
+}
+
+// SubmitMarker enqueues a pooled completion sentinel (see SubmitKernel).
+func (d *Device) SubmitMarker(s *Stream, onComplete func(sim.Time)) error {
+	return d.submitPooled(s, d.allocTask(taskMarker, nil, onComplete))
+}
+
+// submitPooled submits a pool-allocated task, returning it to the pool on
+// rejection so a failed submission does not leak the object.
+func (d *Device) submitPooled(s *Stream, t *Task) error {
+	if err := d.Submit(s, t); err != nil {
+		d.releaseTask(t)
+		return err
+	}
+	return nil
+}
+
 // copyEngine serializes DMA transfers in one direction.
 type copyEngine struct {
 	freeAt sim.Time
@@ -164,6 +231,23 @@ type Device struct {
 	inUpdate    bool
 	dirty       bool
 	kernelsDone uint64
+
+	// candIndex is the persistent dispatch index: every armed
+	// head-of-stream kernel and every resident kernel, kept ordered by
+	// (stream priority desc, submission seq asc) — the exact order the
+	// SM allocator serves. It is updated incrementally when a kernel is
+	// armed (reaches its stream head) and when it retires, so a dispatch
+	// pass walks it with a filter instead of rebuilding and sorting a
+	// candidate slice per wave.
+	candIndex []*Task
+	// candScratch / grantScratch are reusable per-wave buffers for the SM
+	// allocator; they grow to the high-water mark once and are never
+	// reallocated in steady state.
+	candScratch  []*Task
+	grantScratch []int
+
+	// taskFree pools completed tasks for the pooled submit paths.
+	taskFree []*Task
 
 	// speed scales every resident kernel's progress rate; 1 is nominal.
 	// Values below 1 model degraded-device windows (thermal throttling,
@@ -299,8 +383,13 @@ func (d *Device) Submit(s *Stream, t *Task) error {
 	return nil
 }
 
+// deviceUpdateCB adapts Device.update to the engine's allocation-free
+// callback form: scheduling it creates no closure, only a pooled event.
+func deviceUpdateCB(a any) { a.(*Device).update() }
+
 // armHead starts the kernel-launch latency clock for a stream's new head
 // kernel: it becomes dispatchable DispatchLatency after reaching the head.
+// Arming also enters the kernel into the dispatch candidate index.
 func (d *Device) armHead(s *Stream) {
 	if len(s.queue) == 0 {
 		return
@@ -311,9 +400,52 @@ func (d *Device) armHead(s *Stream) {
 	}
 	t.armed = true
 	t.readyAt = d.eng.Now().Add(d.spec.DispatchLatency)
+	d.candAdd(t)
 	if t.readyAt > d.eng.Now() {
-		d.eng.At(t.readyAt, d.update)
+		d.eng.AtCall(t.readyAt, deviceUpdateCB, d)
 	}
+}
+
+// candBefore is the dispatch order: higher stream priority first, then
+// submission order.
+func candBefore(a, b *Task) bool {
+	if pa, pb := a.stream.priority, b.stream.priority; pa != pb {
+		return pa > pb
+	}
+	return a.seq < b.seq
+}
+
+// candSearch returns the index at which t sorts into candIndex.
+func (d *Device) candSearch(t *Task) int {
+	lo, hi := 0, len(d.candIndex)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if candBefore(d.candIndex[mid], t) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// candAdd inserts an armed kernel into the candidate index.
+func (d *Device) candAdd(t *Task) {
+	i := d.candSearch(t)
+	d.candIndex = append(d.candIndex, nil)
+	copy(d.candIndex[i+1:], d.candIndex[i:])
+	d.candIndex[i] = t
+}
+
+// candRemove deletes a retiring kernel from the candidate index.
+func (d *Device) candRemove(t *Task) {
+	i := d.candSearch(t)
+	if i >= len(d.candIndex) || d.candIndex[i] != t {
+		panic("gpu: retiring kernel missing from dispatch index")
+	}
+	copy(d.candIndex[i:], d.candIndex[i+1:])
+	d.candIndex[len(d.candIndex)-1] = nil
+	d.candIndex = d.candIndex[:len(d.candIndex)-1]
 }
 
 // prepare derives execution parameters from the task's descriptor.
@@ -507,11 +639,26 @@ func (d *Device) finishKernels() bool {
 	return progress
 }
 
+// taskCompleteCB fires a completed task's OnComplete callback from its
+// zero-delay deferral event; pooled tasks are recycled afterwards — the
+// callback is the last reader of the object.
+func taskCompleteCB(a any) {
+	t := a.(*Task)
+	d := t.stream.dev
+	t.OnComplete(t.doneAt)
+	if t.pooled {
+		d.releaseTask(t)
+	}
+}
+
 // completeTask marks a task done, pops it from its stream, and defers its
 // callback to a zero-delay event so clients observe a consistent device.
 func (d *Device) completeTask(t *Task) {
 	t.state = taskDone
 	t.doneAt = d.eng.Now()
+	if t.kind == taskKernel {
+		d.candRemove(t)
+	}
 	s := t.stream
 	if len(s.queue) == 0 || s.queue[0] != t {
 		panic("gpu: completing task that is not at stream head")
@@ -520,8 +667,10 @@ func (d *Device) completeTask(t *Task) {
 	s.queue[len(s.queue)-1] = nil
 	s.queue = s.queue[:len(s.queue)-1]
 	d.armHead(s)
-	if cb := t.OnComplete; cb != nil {
-		d.eng.At(d.eng.Now(), func() { cb(t.doneAt) })
+	if t.OnComplete != nil {
+		d.eng.AtCall(d.eng.Now(), taskCompleteCB, t)
+	} else if t.pooled {
+		d.releaseTask(t)
 	}
 }
 
@@ -567,16 +716,28 @@ func (d *Device) startSyncOp() bool {
 			return false
 		}
 	}
-	d.syncQueue = append(d.syncQueue[:oldest], d.syncQueue[oldest+1:]...)
+	// Swap-with-tail removal: the queue's order is irrelevant (admission
+	// always scans for the minimum seq, and barriers are re-established
+	// from submission order), so no O(n) middle splice is needed.
+	last := len(d.syncQueue) - 1
+	d.syncQueue[oldest] = d.syncQueue[last]
+	d.syncQueue[last] = nil
+	d.syncQueue = d.syncQueue[:last]
 	d.syncRunning = op
 	op.state = taskRunning
 	op.startedAt = d.eng.Now()
-	d.eng.After(d.spec.SyncOverhead, func() {
-		d.syncRunning = nil
-		d.completeTask(op)
-		d.update()
-	})
+	d.eng.AfterCall(d.spec.SyncOverhead, syncDoneCB, op)
 	return true
+}
+
+// syncDoneCB completes a device-synchronizing op when its overhead
+// elapses.
+func syncDoneCB(a any) {
+	op := a.(*Task)
+	d := op.stream.dev
+	d.syncRunning = nil
+	d.completeTask(op)
+	d.update()
 }
 
 // dispatch starts admissible head-of-stream operations and distributes
@@ -655,14 +816,19 @@ func (d *Device) startCopy(t *Task) {
 	if t.SyncCopy {
 		d.blockingCopies++
 	}
-	d.eng.At(end, func() {
-		d.copiesInFlight--
-		if t.SyncCopy {
-			d.blockingCopies--
-		}
-		d.completeTask(t)
-		d.update()
-	})
+	d.eng.AtCall(end, copyDoneCB, t)
+}
+
+// copyDoneCB retires a DMA transfer when it leaves its engine.
+func copyDoneCB(a any) {
+	t := a.(*Task)
+	d := t.stream.dev
+	d.copiesInFlight--
+	if t.SyncCopy {
+		d.blockingCopies--
+	}
+	d.completeTask(t)
+	d.update()
 }
 
 // shedWaves releases the SM grant of every resident kernel whose current
@@ -698,51 +864,44 @@ func (d *Device) shedWaves() bool {
 // least one SM (a partial wave); with zero free SMs it waits — which is
 // what serializes an SM-saturating kernel behind another.
 func (d *Device) allocateSMs(barrier uint64) bool {
-	type cand struct {
-		t       *Task
-		pending bool
-	}
-	var cands []cand
-	for _, k := range d.resident {
-		if k.granted < k.smNeeded {
-			cands = append(cands, cand{k, false})
+	// Filter the persistent index instead of collecting and sorting per
+	// wave: the index is already in (priority desc, seq asc) order — the
+	// exact order the old sort produced, since that comparator is a total
+	// order over unique seqs — so a single ordered walk suffices. The
+	// filtered view and the per-level grant plan live in scratch slices
+	// reused across waves.
+	now := d.eng.Now()
+	cands := d.candScratch[:0]
+	for _, t := range d.candIndex {
+		if t.state == taskRunning {
+			if t.granted < t.smNeeded {
+				cands = append(cands, t)
+			}
+		} else if t.state == taskQueued && t.readyAt <= now && t.seq < barrier {
+			// An armed, queued kernel is by construction its stream's head.
+			cands = append(cands, t)
 		}
 	}
-	for _, s := range d.streams {
-		if len(s.queue) == 0 {
-			continue
-		}
-		t := s.queue[0]
-		if t.kind == taskKernel && t.state == taskQueued && t.readyAt <= d.eng.Now() && t.seq < barrier {
-			cands = append(cands, cand{t, true})
-		}
-	}
+	d.candScratch = cands[:0]
 	if len(cands) == 0 {
 		return false
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		pi, pj := cands[i].t.stream.priority, cands[j].t.stream.priority
-		if pi != pj {
-			return pi > pj
-		}
-		return cands[i].t.seq < cands[j].t.seq
-	})
 	progress := false
 	for lo := 0; lo < len(cands) && d.freeSMs > 0; {
 		hi := lo
-		prio := cands[lo].t.stream.priority
+		prio := cands[lo].stream.priority
 		want := 0
-		for hi < len(cands) && cands[hi].t.stream.priority == prio {
-			want += cands[hi].t.smNeeded - cands[hi].t.granted
+		for hi < len(cands) && cands[hi].stream.priority == prio {
+			want += cands[hi].smNeeded - cands[hi].granted
 			hi++
 		}
 		group := cands[lo:hi]
 		pool := d.freeSMs
 		if want <= pool {
 			// Everyone in this priority level gets their full ask.
-			for _, c := range group {
-				if g := c.t.smNeeded - c.t.granted; g > 0 {
-					d.grant(c.t, g, c.pending)
+			for _, t := range group {
+				if g := t.smNeeded - t.granted; g > 0 {
+					d.grant(t, g)
 					progress = true
 				}
 			}
@@ -750,29 +909,30 @@ func (d *Device) allocateSMs(barrier uint64) bool {
 			// Oversubscribed level: split the pool proportionally to
 			// demand with floor rounding, then hand out the remainder in
 			// submission order — deterministic and starvation-free.
-			grants := make([]int, len(group))
+			grants := d.grantScratch[:0]
 			used := 0
-			for i, c := range group {
-				w := c.t.smNeeded - c.t.granted
+			for _, t := range group {
+				w := t.smNeeded - t.granted
 				g := w * pool / want
-				grants[i] = g
+				grants = append(grants, g)
 				used += g
 			}
 			for i := range group {
 				if used >= pool {
 					break
 				}
-				if grants[i] < group[i].t.smNeeded-group[i].t.granted {
+				if grants[i] < group[i].smNeeded-group[i].granted {
 					grants[i]++
 					used++
 				}
 			}
-			for i, c := range group {
+			for i, t := range group {
 				if grants[i] > 0 {
-					d.grant(c.t, grants[i], c.pending)
+					d.grant(t, grants[i])
 					progress = true
 				}
 			}
+			d.grantScratch = grants[:0]
 		}
 		lo = hi
 	}
@@ -781,13 +941,13 @@ func (d *Device) allocateSMs(barrier uint64) bool {
 
 // grant assigns SMs to a kernel, admitting it to the resident set if it
 // was pending.
-func (d *Device) grant(t *Task, sms int, pending bool) {
+func (d *Device) grant(t *Task, sms int) {
 	d.freeSMs -= sms
 	if d.freeSMs < 0 {
 		panic("gpu: granted more SMs than free")
 	}
 	t.granted += sms
-	if pending && t.state == taskQueued {
+	if t.state == taskQueued {
 		t.state = taskRunning
 		t.startedAt = d.eng.Now()
 		d.resident = append(d.resident, t)
@@ -830,5 +990,5 @@ func (d *Device) armCompletion() {
 	if delay < 0 {
 		delay = 0
 	}
-	d.completion = d.eng.After(delay, d.update)
+	d.completion = d.eng.AfterCall(delay, deviceUpdateCB, d)
 }

@@ -1,0 +1,29 @@
+package harness
+
+import "orion/internal/sim"
+
+// Arena is a reusable bundle of per-run scratch state. A worker that
+// executes many experiments back to back hands the same Arena to each
+// RunContext call: the simulation engine inside is Reset between runs, so
+// its event pool, queue capacity and free lists stay warm instead of being
+// reallocated and re-grown for every experiment. An Arena is not safe for
+// concurrent use — give each worker its own.
+//
+// Runs through an arena are bit-identical to runs on a fresh engine:
+// Engine.Reset restores the exact initial state (clock, sequence numbers,
+// counters), which the golden-hash determinism tests pin down.
+type Arena struct {
+	eng *sim.Engine
+}
+
+// NewArena returns an empty arena; the first run through it warms the
+// pools.
+func NewArena() *Arena {
+	return &Arena{eng: sim.NewEngine()}
+}
+
+// engine returns the arena's engine, reset and ready for a new run.
+func (a *Arena) engine() *sim.Engine {
+	a.eng.Reset()
+	return a.eng
+}

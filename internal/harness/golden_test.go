@@ -1,0 +1,140 @@
+package harness_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"orion/internal/harness"
+	"orion/internal/sim"
+)
+
+// goldenConfig is the standard determinism probe: an open-loop inference
+// client collocated with a closed-loop trainer, small enough to run twelve
+// times in a unit test but long enough to exercise arrivals, contention,
+// wave shedding, sync ops and the scheduler policy loops.
+func goldenConfig(scheme harness.Scheme, seed int64) harness.Config {
+	return harness.Config{
+		Scheme: scheme,
+		Jobs: []harness.JobConfig{
+			{Workload: "resnet50-inf", Priority: "hp", Arrival: "poisson", RPS: 20},
+			{Workload: "mobilenetv2-train", Priority: "be"},
+		},
+		Horizon: 2 * sim.Second,
+		Warmup:  500 * sim.Millisecond,
+		Seed:    seed,
+	}
+}
+
+// goldenHash runs one config and hashes its wire Summary. The Summary
+// carries every externally visible outcome (per-job counts, latency
+// percentiles, throughput, utilization integrals, verdict tallies), so two
+// runs with equal hashes produced bit-identical results.
+func goldenHash(t *testing.T, cfg harness.Config) string {
+	t.Helper()
+	res, err := harness.RunWire(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("%s/seed=%d: %v", cfg.Scheme, cfg.Seed, err)
+	}
+	b, err := json.Marshal(harness.Summarize(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// goldenSummaries pins the harness's end-to-end output for four schemes at
+// three seeds. The hashes were generated BEFORE the allocation-light fast
+// path landed (PR 4) and must never drift: the event pool, the 4-ary heap,
+// the indexed dispatcher and the engine arena are all required to produce
+// bit-identical summaries to the original implementation. Regenerate with
+//
+//	GOLDEN_PRINT=1 go test ./internal/harness -run TestGoldenSummaryHashes -v
+//
+// only when an intentional modelling change is being made, and say so in
+// the commit message.
+var goldenSummaries = map[string]string{
+	"orion/seed=1":    "2af494a616fff0721948f954d002b7fe35a0c87b16a9cc2cb6b1a8d7a4b0d65d",
+	"orion/seed=2":    "c09a5ed5649fa8f44226af4486be8e676817c129788f70e7e7490d4276a9f80b",
+	"orion/seed=3":    "b88bd3727f05be62e86389bc5ea57f3127fd7112feb7cc24ac981afc8a326789",
+	"reef/seed=1":     "afdd4ab621eb0d8e7cbdef70a3dcd22903f5d0dbfd128fbff1a860080a1ce7da",
+	"reef/seed=2":     "98bdf378977f87fbfb27332a5f5aa5fd1ef67591427f6d2d52828a4cdfcd5396",
+	"reef/seed=3":     "e2c0eda44fb654c8c5d9880e64e041e4ece12455b1630f6bf71f73ae37cd00e1",
+	"streams/seed=1":  "a18434b0eec8f154c0a3b4f027e19959e3dff0876fda479bbbb1653035d5489f",
+	"streams/seed=2":  "9d7fb100542a8a3efa589e73c0b19c64c57986cb420038babebbe7cf4adc4ebb",
+	"streams/seed=3":  "00102ff90387a5bb3ef482909972f58ddad7591acef0fd8cb00d36bb6fb845ea",
+	"temporal/seed=1": "1f19321356587c07f7ee2ccf4eabde359f0b4762354fe5aeb37c16dbdbb60419",
+	"temporal/seed=2": "5add148d134714cafe4187e5189e563bb7ff37188813b8b8724385b84135d406",
+	"temporal/seed=3": "97c8bc227548414677f2b71713490f593a6d48ff34f66814fb3643aa09ff47db",
+}
+
+func goldenKey(scheme harness.Scheme, seed int64) string {
+	return fmt.Sprintf("%s/seed=%d", scheme, seed)
+}
+
+// TestGoldenArenaReuse proves runs through a reused Arena are
+// bit-identical to runs on a fresh engine: the worker-side engine
+// recycling cannot perturb outcomes.
+func TestGoldenArenaReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("arena sweep runs 3 simulations")
+	}
+	cfg := goldenConfig(harness.Orion, 1)
+	fresh := goldenHash(t, cfg)
+
+	rc, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Arena = harness.NewArena()
+	for run := 1; run <= 2; run++ {
+		res, err := harness.RunContext(context.Background(), rc)
+		if err != nil {
+			t.Fatalf("arena run %d: %v", run, err)
+		}
+		b, err := json.Marshal(harness.Summarize(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.Sum256(b)
+		if got := hex.EncodeToString(h[:]); got != fresh {
+			t.Fatalf("arena run %d drifted from fresh engine:\n  got  %s\n  want %s", run, got, fresh)
+		}
+	}
+}
+
+func TestGoldenSummaryHashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep runs 12 simulations")
+	}
+	schemes := []harness.Scheme{harness.Orion, harness.Reef, harness.Streams, harness.Temporal}
+	seeds := []int64{1, 2, 3}
+	print := os.Getenv("GOLDEN_PRINT") != ""
+	for _, scheme := range schemes {
+		for _, seed := range seeds {
+			scheme, seed := scheme, seed
+			t.Run(goldenKey(scheme, seed), func(t *testing.T) {
+				t.Parallel()
+				got := goldenHash(t, goldenConfig(scheme, seed))
+				if print {
+					t.Logf("%q: %q,", goldenKey(scheme, seed), got)
+					return
+				}
+				want, ok := goldenSummaries[goldenKey(scheme, seed)]
+				if !ok {
+					t.Fatalf("no committed hash for %s", goldenKey(scheme, seed))
+				}
+				if got != want {
+					t.Fatalf("summary hash drifted:\n  got  %s\n  want %s\n"+
+						"the fast path must be bit-identical to the reference implementation",
+						got, want)
+				}
+			})
+		}
+	}
+}

@@ -137,6 +137,10 @@ type RunConfig struct {
 	// orion-serve's event stream is fed from. Calls happen synchronously
 	// on the running goroutine.
 	Progress func(stage string)
+	// Arena, when non-nil, supplies reusable per-run scratch state (the
+	// simulation engine with its warmed event pool). Results are
+	// bit-identical with or without an arena.
+	Arena *Arena
 }
 
 // progress invokes the Progress hook if one is installed.
@@ -296,7 +300,12 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Result, error) {
 		profiles[j.Model.ID()] = p
 	}
 
-	eng := sim.NewEngine()
+	var eng *sim.Engine
+	if cfg.Arena != nil {
+		eng = cfg.Arena.engine()
+	} else {
+		eng = sim.NewEngine()
+	}
 	eng.MaxEvents = 2_000_000_000
 	master := sim.NewRand(cfg.Seed + 7)
 

@@ -76,6 +76,19 @@ type Driver struct {
 	crashed bool
 	started bool
 
+	// The driver runs at most one request at a time (busy gates startNext),
+	// so the in-flight request's continuation state lives in fields and the
+	// continuation callbacks are built once in NewDriver — the per-op
+	// closures that used to dominate the driver's allocation profile are
+	// gone from the steady-state path.
+	curArrival  sim.Time          // arrival of the in-flight request
+	nextIdx     int               // next op index of the in-flight request
+	nextArrival sim.Time          // firing time of the pending arrival event
+	advance     func()            // submits op nextIdx of the current request
+	blockDone   func(sim.Time)    // blocking-op completion: gap, then advance
+	endDone     func(at sim.Time) // request completion epilogue
+	arrivalFn   func()            // open-loop arrival: enqueue + re-arm
+
 	// Requests completed in total (including warmup).
 	totalCompleted int
 }
@@ -109,6 +122,13 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 	d := &Driver{cfg: cfg}
 	d.stats.Name = cfg.Model.ID()
 	d.stats.Window = sim.Duration(cfg.Horizon) - cfg.Warmup
+	d.advance = func() { d.trySubmit(d.nextIdx, 0) }
+	d.blockDone = func(sim.Time) { d.cfg.Engine.After(d.opGap(), d.advance) }
+	d.endDone = func(at sim.Time) { d.finishRequest(d.curArrival, at) }
+	d.arrivalFn = func() {
+		d.enqueue(d.nextArrival)
+		d.scheduleArrival()
+	}
 	return d, nil
 }
 
@@ -185,10 +205,11 @@ func (d *Driver) scheduleArrival() {
 	if at >= d.cfg.Horizon {
 		return
 	}
-	d.cfg.Engine.At(at, func() {
-		d.enqueue(at)
-		d.scheduleArrival()
-	})
+	// At most one arrival event is pending per driver, so the firing time
+	// rides in a field and the prebuilt arrivalFn is reused for every
+	// arrival.
+	d.nextArrival = at
+	d.cfg.Engine.At(at, d.arrivalFn)
 }
 
 // enqueue admits a request that arrived at the given time.
@@ -207,8 +228,9 @@ func (d *Driver) startNext() {
 	arrival := d.queue[0]
 	d.queue = d.queue[:copy(d.queue, d.queue[1:])]
 	d.busy = true
+	d.curArrival = arrival
 	d.cfg.Client.BeginRequest()
-	d.submitFrom(0, arrival)
+	d.trySubmit(0, 0)
 }
 
 // CaptureReplayer is implemented by clients that replay pre-captured
@@ -226,39 +248,34 @@ func (d *Driver) opGap() sim.Duration {
 	return d.cfg.FrameworkOverhead + d.cfg.Client.LaunchOverhead()
 }
 
-// submitFrom submits ops[i:] with CPU gaps, honouring blocking semantics,
-// then completes the request.
-func (d *Driver) submitFrom(i int, arrival sim.Time) {
-	d.trySubmit(i, 0, arrival)
-}
-
-// trySubmit submits op i (attempt counts prior transient failures of this
-// op), then continues the request. Transient submit failures — injected
+// trySubmit submits op i of the in-flight request (attempt counts prior
+// transient failures of this op), then continues the request via the
+// prebuilt continuation slots. Transient submit failures — injected
 // launch failures, momentary OOM — are retried with exponential backoff
 // in virtual time; an op that exhausts its retries abandons the request,
 // which is drained and counted in JobStats.Failed. Non-transient errors
 // remain modelling bugs and panic.
-func (d *Driver) trySubmit(i, attempt int, arrival sim.Time) {
+func (d *Driver) trySubmit(i, attempt int) {
 	if d.crashed {
 		return
 	}
 	eng := d.cfg.Engine
 	model := d.cfg.Model
 	if i >= len(model.Ops) {
-		err := d.cfg.Client.EndRequest(func(at sim.Time) { d.finishRequest(arrival, at) })
-		if err != nil {
+		if err := d.cfg.Client.EndRequest(d.endDone); err != nil {
 			panic(fmt.Sprintf("sched: end request: %v", err))
 		}
 		return
 	}
 	op := &model.Ops[i]
 	blocking := op.Op.Blocking() || (op.Op.IsMemcpy() && op.Sync)
-	next := func() { d.submitFrom(i+1, arrival) }
+	// Set before Submit: a backend may fire the done callback inline.
+	d.nextIdx = i + 1
 	var done func(sim.Time)
 	if blocking {
 		// The client CPU blocks until the op completes, then pays the
 		// next submission gap.
-		done = func(sim.Time) { eng.After(d.opGap(), next) }
+		done = d.blockDone
 	}
 	if err := d.cfg.Client.Submit(op, done); err != nil {
 		if !cudart.IsTransient(err) {
@@ -269,11 +286,12 @@ func (d *Driver) trySubmit(i, attempt int, arrival sim.Time) {
 			return
 		}
 		d.stats.Retried++
-		eng.After(d.cfg.RetryBackoff<<attempt, func() { d.trySubmit(i, attempt+1, arrival) })
+		// Retries are rare; a per-retry closure is fine here.
+		eng.After(d.cfg.RetryBackoff<<attempt, func() { d.trySubmit(i, attempt+1) })
 		return
 	}
 	if !blocking {
-		eng.After(d.opGap(), next)
+		eng.After(d.opGap(), d.advance)
 	}
 }
 

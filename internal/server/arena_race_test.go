@@ -1,0 +1,97 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"orion/internal/harness"
+	"orion/internal/sim"
+)
+
+// TestConcurrentWorkersArenaReuse floods a multi-worker server with
+// experiments so several engines are constructed, run, reset, and reused
+// concurrently — the -race target for the per-worker arena. Each worker
+// owns its arena, so results must stay bit-identical run to run: every
+// repetition of the same config has to produce the same summary no matter
+// which (possibly warm) arena executed it.
+func TestConcurrentWorkersArenaReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 12 concurrent simulations")
+	}
+	s := mustNew(t, Config{Workers: 4, QueueDepth: 16})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := func(scheme harness.Scheme, seed int64) harness.Config {
+		return harness.Config{
+			Scheme:  scheme,
+			Horizon: sim.Second,
+			Warmup:  200 * sim.Millisecond,
+			Seed:    seed,
+			Jobs: []harness.JobConfig{
+				{Workload: "resnet50-inf", Priority: "hp", Arrival: "poisson", RPS: 30},
+				{Workload: "mobilenetv2-train", Priority: "be"},
+			},
+		}
+	}
+
+	// Each distinct config is submitted repeatedly; repetitions land on
+	// different workers with differently-warmed arenas.
+	const repeats = 3
+	schemes := []harness.Scheme{harness.Orion, harness.Reef, harness.Streams, harness.Temporal}
+	ids := make([][]string, len(schemes))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for si, scheme := range schemes {
+		ids[si] = make([]string, repeats)
+		for r := 0; r < repeats; r++ {
+			si, r, scheme := si, r, scheme
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				st, resp := submit(t, ts, cfg(scheme, 11))
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("%s rep %d: submit status %d", scheme, r, resp.StatusCode)
+					return
+				}
+				mu.Lock()
+				ids[si][r] = st.ID
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for si, scheme := range schemes {
+		var first *harness.Summary
+		for r := 0; r < repeats; r++ {
+			st := pollDone(t, ts, ids[si][r])
+			if st.State != StateDone {
+				t.Fatalf("%s rep %d: state %q (%s)", scheme, r, st.State, st.Error)
+			}
+			if first == nil {
+				first = st.Result
+				continue
+			}
+			if len(st.Result.Jobs) != len(first.Jobs) {
+				t.Fatalf("%s rep %d: job count drifted", scheme, r)
+			}
+			for i := range first.Jobs {
+				if st.Result.Jobs[i] != first.Jobs[i] {
+					t.Errorf("%s rep %d job %d differs across arenas:\n  %+v\n  %+v",
+						scheme, r, i, st.Result.Jobs[i], first.Jobs[i])
+				}
+			}
+			if st.Result.Utilization != first.Utilization {
+				t.Errorf("%s rep %d: utilization drifted across arenas", scheme, r)
+			}
+		}
+	}
+}

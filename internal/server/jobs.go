@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"orion/internal/harness"
@@ -143,9 +144,12 @@ func (s *Server) unsubscribe(j *job, ch chan Event) {
 
 // worker pulls queued jobs and runs them until the server starts
 // draining. In-flight jobs always run to completion; jobs still queued
-// at drain time are canceled by Shutdown, not here.
+// at drain time are canceled by Shutdown, not here. Each worker owns an
+// arena of per-run scratch state (the simulation engine with its warmed
+// event pool) reused across the jobs it executes.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	arena := harness.NewArena()
 	for {
 		// Bias toward quit: without this, the two-way select below may
 		// keep picking up queued work while draining.
@@ -158,7 +162,7 @@ func (s *Server) worker() {
 		case <-s.quit:
 			return
 		case j := <-s.queue:
-			s.runJob(j)
+			s.runJob(j, arena)
 		}
 	}
 }
@@ -168,7 +172,7 @@ func (s *Server) worker() {
 // its error; the daemon keeps serving), and the configured per-job
 // deadline cancels runaway simulations through the harness's context
 // plumbing.
-func (s *Server) execute(cfg harness.Config, progress func(string)) (res *harness.Result, horizon time.Duration, err error) {
+func (s *Server) execute(cfg harness.Config, progress func(string), arena *harness.Arena) (res *harness.Result, horizon time.Duration, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.cPanics.Inc()
@@ -185,18 +189,23 @@ func (s *Server) execute(cfg harness.Config, progress func(string)) (res *harnes
 		return nil, 0, err
 	}
 	rc.Progress = progress
+	rc.Arena = arena
 	ctx := context.Background()
 	if s.cfg.JobDeadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobDeadline)
 		defer cancel()
 	}
-	res, err = harness.RunContext(ctx, rc)
+	// Label the run so CPU profiles of the daemon attribute samples to the
+	// experiment kind being simulated.
+	pprof.Do(ctx, pprof.Labels("experiment", string(cfg.Scheme)), func(ctx context.Context) {
+		res, err = harness.RunContext(ctx, rc)
+	})
 	return res, rc.Horizon.Std(), err
 }
 
 // runJob executes one experiment on the calling worker goroutine.
-func (s *Server) runJob(j *job) {
+func (s *Server) runJob(j *job, arena *harness.Arena) {
 	s.gWorkersBusy.Inc()
 	defer s.gWorkersBusy.Dec()
 
@@ -227,7 +236,7 @@ func (s *Server) runJob(j *job) {
 		<-s.testBlock
 	}
 
-	res, horizon, err := s.execute(cfg, progress)
+	res, horizon, err := s.execute(cfg, progress, arena)
 	wall := time.Since(j.started).Seconds()
 
 	var summary *harness.Summary

@@ -1,0 +1,169 @@
+package sim
+
+import "testing"
+
+// TestPoolRecyclesFiredEvents checks that events return to the free list
+// after firing and are reused by later scheduling.
+func TestPoolRecyclesFiredEvents(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 4; i++ {
+		e.After(Duration(i+1)*Millisecond, func() {})
+	}
+	e.Run()
+	if got := e.PooledEvents(); got != 4 {
+		t.Fatalf("pooled events after run = %d, want 4", got)
+	}
+	// Rescheduling drains the pool instead of allocating.
+	ev := e.After(Millisecond, func() {})
+	if got := e.PooledEvents(); got != 3 {
+		t.Fatalf("pooled events after reschedule = %d, want 3", got)
+	}
+	if ev.Cancelled() {
+		t.Fatal("recycled event reported cancelled before Cancel")
+	}
+	e.Run()
+}
+
+// TestPoolCancelThenReuse checks the cancel path: a cancelled event goes
+// back to the pool, its dead handle still answers Cancelled, and the
+// recycled object comes back clean for the next scheduling call.
+func TestPoolCancelThenReuse(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(Millisecond, func() { fired = true })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Fatal("cancelled event does not report Cancelled")
+	}
+	if got := e.PooledEvents(); got != 1 {
+		t.Fatalf("pooled events after cancel = %d, want 1", got)
+	}
+
+	// Reuse: the same object is handed back, with the cancelled flag
+	// cleared, and fires normally.
+	ran := false
+	ev2 := e.After(2*Millisecond, func() { ran = true })
+	if ev2 != ev {
+		t.Fatal("cancel did not recycle the event object")
+	}
+	if ev2.Cancelled() {
+		t.Fatal("recycled event still marked cancelled")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled callback ran")
+	}
+	if !ran {
+		t.Fatal("recycled event did not fire")
+	}
+
+	// Double-cancel of the dead (already recycled and fired) handle is a
+	// safe no-op: it only marks the handle.
+	e.Cancel(ev)
+	if got := e.PooledEvents(); got != 1 {
+		t.Fatalf("pooled events after dead-handle cancel = %d, want 1 (no double release)", got)
+	}
+}
+
+// TestPoolWeakEventAccounting checks that weak events keep the
+// strong-event bookkeeping intact through the pool: recycled weak events
+// must not leak weakness into their next incarnation.
+func TestPoolWeakEventAccounting(t *testing.T) {
+	e := NewEngine()
+	weakFired := 0
+	e.AfterWeak(Millisecond, func() { weakFired++ })
+	e.Run() // weak-only queue: runs nothing
+	if weakFired != 0 {
+		t.Fatal("weak-only queue fired under Run")
+	}
+	ev := e.queue[0]
+	e.Cancel(ev) // recycle the weak event
+	if got := e.PooledEvents(); got != 1 {
+		t.Fatalf("pooled events after weak cancel = %d, want 1", got)
+	}
+
+	// The recycled object must come back strong.
+	ran := false
+	ev2 := e.After(Millisecond, func() { ran = true })
+	if ev2 != ev {
+		t.Fatal("weak cancel did not recycle the event object")
+	}
+	if ev2.weak {
+		t.Fatal("recycled event kept its weak flag")
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("recycled strong event did not fire")
+	}
+
+	// Cancelling a weak event must not disturb the strong counter: one
+	// strong event left means Run still executes it.
+	strongRan := false
+	e.After(Millisecond, func() { strongRan = true })
+	w := e.AfterWeak(Millisecond, func() {})
+	e.Cancel(w)
+	e.Run()
+	if !strongRan {
+		t.Fatal("strong event lost after weak cancel (strong counter corrupted)")
+	}
+}
+
+// TestSchedulingSteadyStateAllocs checks the tentpole property at the
+// engine level: once the pool is warm, the schedule→fire cycle performs
+// zero heap allocations for the Call variants and none for the event
+// object itself.
+func TestSchedulingSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	nop := func(any) {}
+	// Warm the pool.
+	e.AtCall(e.Now(), nop, nil)
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		e.AtCall(e.Now().Add(Microsecond), nop, e)
+		e.AfterCall(2*Microsecond, nop, e)
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state schedule/fire allocates %v objects per cycle, want 0", avg)
+	}
+}
+
+// TestResetRestoresInitialState checks that a Reset engine is
+// indistinguishable from a fresh one: clock, sequence numbering (event
+// ordering), counters — while queued events are recycled into the pool.
+func TestResetRestoresInitialState(t *testing.T) {
+	order := func(e *Engine) []int {
+		var got []int
+		for i := 0; i < 3; i++ {
+			i := i
+			e.At(Time(Millisecond), func() { got = append(got, i) })
+		}
+		e.Run()
+		return got
+	}
+
+	fresh := NewEngine()
+	want := order(fresh)
+
+	e2 := NewEngine()
+	e2.After(Millisecond, func() { t.Fatal("stale event fired after Reset") })
+	e2.AfterWeak(2*Millisecond, func() {})
+	e2.MaxEvents = 5
+	e2.Reset()
+	if e2.Now() != 0 || e2.Pending() != 0 || e2.Processed() != 0 || e2.MaxEvents != 0 {
+		t.Fatalf("Reset left state behind: now=%v pending=%d processed=%d maxEvents=%d",
+			e2.Now(), e2.Pending(), e2.Processed(), e2.MaxEvents)
+	}
+	if got := e2.PooledEvents(); got != 2 {
+		t.Fatalf("Reset recycled %d events, want 2", got)
+	}
+	if got := order(e2); len(got) != len(want) {
+		t.Fatalf("reset engine ran %d events, fresh ran %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("reset engine order %v differs from fresh %v", got, want)
+			}
+		}
+	}
+}
