@@ -1,6 +1,6 @@
 # Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, and
 # the full test suite under the race detector.
-.PHONY: check fmt vet build test bench bench-json bench-compare chaos
+.PHONY: check fmt vet build test bench bench-json bench-compare chaos chaos-resume
 
 check: fmt vet build test
 
@@ -23,6 +23,14 @@ test:
 # Set CHAOS_ARTIFACT_DIR to keep the journal + daemon log on failure.
 chaos:
 	go test -race -tags chaos -run TestChaosCrashRecovery -v -timeout 600s .
+
+# Kill/resume drill: SIGKILLs a checkpointing orion-serve after its first
+# checkpoint lands, restarts it, and asserts the resumed job skips the
+# replayed prefix (events_replayed_total < uninterrupted event count)
+# while producing the bit-identical summary. Checkpoint + journal
+# artifacts are copied to $CHAOS_ARTIFACT_DIR when set.
+chaos-resume:
+	go test -race -tags chaos -run TestChaosResume -v -timeout 600s .
 
 bench:
 	go test -bench . -benchmem -benchtime=1x ./...

@@ -1,0 +1,230 @@
+//go:build chaos
+
+package orion_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"orion/internal/client"
+	"orion/internal/harness"
+	"orion/internal/server"
+	"orion/internal/sim"
+)
+
+// TestChaosResume is the kill/resume drill against a real orion-serve
+// process: start the daemon with checkpointing on, submit one long
+// experiment, SIGKILL the daemon after its first checkpoint hits disk,
+// restart against the same journal directory, and let the job finish.
+// The invariants:
+//
+//   - the resumed run's summary is bit-identical to an uninterrupted
+//     in-process run of the same config (the checkpoint changed nothing);
+//   - events_replayed_total is positive but strictly below the total
+//     event count of the uninterrupted run — the resume actually skipped
+//     work instead of silently re-executing everything;
+//   - resumed_jobs_total counts the resume and the job reports exactly
+//     one restart.
+//
+// Build-tagged `chaos` (run via `make chaos-resume`). Checkpoint files
+// and the journal are copied to $CHAOS_ARTIFACT_DIR when set — always,
+// not only on failure, so CI can archive the actual resume artifacts.
+func TestChaosResume(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	work := t.TempDir()
+	journalDir := filepath.Join(work, "journal")
+	logPath := filepath.Join(work, "orion-serve.log")
+	defer func() {
+		if t.Failed() {
+			saveArtifacts(t, journalDir, logPath)
+		}
+	}()
+
+	bin := filepath.Join(work, "orion-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/orion-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build orion-serve: %v\n%s", err, out)
+	}
+
+	// One long experiment: ~30 simulated seconds keeps the daemon busy for
+	// a couple of wall seconds, so the kill lands mid-flight with several
+	// checkpoints already persisted.
+	cfg := harness.Config{
+		Scheme:  harness.Orion,
+		Horizon: 30 * sim.Second,
+		Warmup:  500 * sim.Millisecond,
+		Seed:    42,
+		Jobs: []harness.JobConfig{
+			{Workload: "resnet50-inf", Priority: "hp", Arrival: "poisson", RPS: 40},
+			{Workload: "mobilenetv2-train", Priority: "be"},
+		},
+		DefaultFaults: true,
+		FaultSeed:     9,
+	}
+
+	// Control: the uninterrupted answer and, crucially, the total event
+	// count the replay must stay below.
+	control, err := harness.RunWire(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("control run: %v", err)
+	}
+	controlSummary, err := json.Marshal(harness.Summarize(control))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if control.Events == 0 {
+		t.Fatal("control run processed no events")
+	}
+
+	addr := freeAddr(t)
+	base := "http://" + addr
+	c := client.New(base, client.Options{
+		Timeout:     5 * time.Second,
+		MaxAttempts: 8,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+	})
+
+	start := func() *exec.Cmd {
+		logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin,
+			"-addr", addr,
+			"-journal-dir", journalDir,
+			"-checkpoint-stride", strconv.FormatUint(sim.InterruptStride, 10),
+			"-workers", "1",
+			"-queue", "8",
+			"-drain-timeout", "120s",
+		)
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start orion-serve: %v", err)
+		}
+		logf.Close()
+		waitReady(t, base)
+		return cmd
+	}
+
+	cmd := start()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	st, err := c.Submit(ctx, cfg, "chaos-resume")
+	cancel()
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ckPath := filepath.Join(journalDir, "ckpt-"+st.ID+".ck")
+
+	// Kill only after the first checkpoint is durable — killing earlier
+	// just degenerates to the plain recovery drill.
+	deadline := time.Now().Add(60 * time.Second)
+	for !fileNonEmpty(ckPath) {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared before the kill deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = cmd.Wait()
+
+	// Archive the checkpoint that the next incarnation resumes from (the
+	// daemon deletes it once the job completes).
+	if dst := os.Getenv("CHAOS_ARTIFACT_DIR"); dst != "" {
+		if err := os.MkdirAll(dst, 0o755); err == nil {
+			if b, err := os.ReadFile(ckPath); err == nil {
+				_ = os.WriteFile(filepath.Join(dst, filepath.Base(ckPath)), b, 0o644)
+			}
+		}
+	}
+
+	cmd = start()
+	ctx, cancel = context.WithTimeout(context.Background(), 180*time.Second)
+	final, err := c.Await(ctx, st.ID, 100*time.Millisecond)
+	cancel()
+	if err != nil {
+		t.Fatalf("await %s: %v", st.ID, err)
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("job %s: state %q (%s)", st.ID, final.State, final.Error)
+	}
+	if !final.Recovered || final.RestartCount != 1 {
+		t.Errorf("job %s: recovered=%v restarts=%d, want recovered with 1 restart",
+			st.ID, final.Recovered, final.RestartCount)
+	}
+	got, err := json.Marshal(final.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(controlSummary) {
+		t.Errorf("summary diverged after kill+resume:\n got %s\nwant %s", got, controlSummary)
+	}
+
+	resumed := scrapeMetric(t, base, "orion_serve_resumed_jobs_total")
+	replayed := scrapeMetric(t, base, "orion_serve_events_replayed_total")
+	if resumed < 1 {
+		t.Errorf("resumed_jobs_total = %v, want >= 1 (job re-executed from scratch?)", resumed)
+	}
+	if replayed <= 0 || replayed >= float64(control.Events) {
+		t.Errorf("events_replayed_total = %v, want in (0, %d): resume must skip work",
+			replayed, control.Events)
+	}
+	if fileNonEmpty(ckPath) {
+		t.Errorf("checkpoint %s not cleaned up after the job finished", ckPath)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	waitExit(t, cmd, 120*time.Second)
+
+	// Archive the journal + daemon log too (always, for CI upload).
+	saveArtifacts(t, journalDir, logPath)
+}
+
+// fileNonEmpty reports whether path exists with at least one byte (the
+// checkpoint writer is atomic, so any visible file is complete).
+func fileNonEmpty(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.Size() > 0
+}
+
+// scrapeMetric fetches /metrics and returns the value of an unlabeled
+// series by exact name.
+func scrapeMetric(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+		if err != nil {
+			t.Fatalf("parse %s: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}

@@ -29,7 +29,15 @@
 //	orion-serve -addr :8080 -journal-dir /var/lib/orion-serve
 //
 // -job-deadline bounds each experiment's wall-clock run time so one
-// runaway config cannot pin a worker forever.
+// runaway config cannot pin a worker forever. With -checkpoint-stride
+// (and -journal-dir) set, running experiments additionally persist a
+// deterministic checkpoint every N simulation events: a restart resumes
+// mid-flight jobs from their last checkpoint instead of re-executing
+// from event zero, and a job that hits -job-deadline parks at its last
+// checkpoint instead of failing — POST /v1/experiments/{id}/resume
+// (optionally with {"deadline": "5m"}) continues it later:
+//
+//	orion-serve -journal-dir /var/lib/orion-serve -checkpoint-stride 65536
 package main
 
 import (
@@ -55,15 +63,17 @@ func main() {
 	retry := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503")
 	journalDir := flag.String("journal-dir", "", "crash-safety journal directory (empty = in-memory only)")
 	jobDeadline := flag.Duration("job-deadline", 0, "per-experiment wall-clock limit (0 = unlimited)")
+	ckptStride := flag.Uint64("checkpoint-stride", 0, "persist a resume checkpoint every N simulated events (0 = off; needs -journal-dir)")
 	flag.Parse()
 
 	s, err := server.New(server.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		MaxJobs:     *maxJobs,
-		RetryAfter:  *retry,
-		JournalDir:  *journalDir,
-		JobDeadline: *jobDeadline,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxJobs:          *maxJobs,
+		RetryAfter:       *retry,
+		JournalDir:       *journalDir,
+		JobDeadline:      *jobDeadline,
+		CheckpointStride: *ckptStride,
 	})
 	if err != nil {
 		log.Fatal(err)

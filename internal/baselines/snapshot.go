@@ -1,0 +1,118 @@
+package baselines
+
+import "orion/internal/checkpoint"
+
+// The baseline backends implement checkpoint.Snapshotter just like the
+// Orion core: each appends the logical scheduling state that a
+// deterministic replay must reproduce. Pools (flightFree) and prebuilt
+// callbacks are excluded throughout.
+
+// SnapshotTo implements checkpoint.Snapshotter.
+func (r *Reef) SnapshotTo(e *checkpoint.Encoder) {
+	e.Int(r.rrNext)
+	e.Int(r.hpOut)
+	e.Int(r.beOutstanding)
+	e.Bool(r.inSchedule)
+	e.Bool(r.again)
+	e.Bool(r.retryArmed)
+	e.Bool(r.started)
+	e.Int(len(r.hpSMs))
+	for _, sms := range r.hpSMs {
+		e.Int(sms)
+	}
+	e.Bool(r.hp != nil)
+	if r.hp != nil {
+		r.hp.snapshotTo(e)
+	}
+	e.Int(len(r.be))
+	for _, c := range r.be {
+		c.snapshotTo(e)
+	}
+}
+
+func (c *reefClient) snapshotTo(e *checkpoint.Encoder) {
+	e.Str(c.cfg.Name)
+	e.Bool(c.gone)
+	e.Int(len(c.queue))
+	for _, q := range c.queue {
+		e.Str(q.op.Name)
+	}
+	c.tracker.SnapshotTo(e)
+}
+
+// SnapshotTo implements checkpoint.Snapshotter.
+func (t *TickTock) SnapshotTo(e *checkpoint.Encoder) {
+	e.Int(t.slotActive)
+	e.Bool(t.started)
+	e.Int(len(t.clients))
+	for _, c := range t.clients {
+		e.Str(c.cfg.Name)
+		e.Bool(c.gone)
+		e.Int(len(c.buffering))
+		e.Int(len(c.phases))
+		for _, p := range c.phases {
+			e.Int(len(p.ops))
+			e.Bool(p.skip)
+		}
+	}
+}
+
+// SnapshotTo implements checkpoint.Snapshotter.
+func (t *Temporal) SnapshotTo(e *checkpoint.Encoder) {
+	e.Int(t.rrNext)
+	e.Bool(t.started)
+	e.Bool(t.SwapStates)
+	e.U64(t.swapIns)
+	// Identify the current holder and LRU entries by client index —
+	// stable, since clients register in a fixed order.
+	e.Int(t.clientIndex(t.current))
+	e.Int(len(t.lru))
+	for _, c := range t.lru {
+		e.Int(t.clientIndex(c))
+	}
+	e.Int(len(t.clients))
+	for _, c := range t.clients {
+		e.Str(c.cfg.Name)
+		e.Bool(c.resident)
+		e.Bool(c.wantsGPU)
+		e.Bool(c.granted)
+		e.Bool(c.endPending)
+		e.Bool(c.sealed)
+		e.Bool(c.gone)
+		e.Int(len(c.buffered))
+	}
+}
+
+// clientIndex maps a client pointer to its registration index (-1 for nil
+// or unknown).
+func (t *Temporal) clientIndex(tc *temporalClient) int {
+	if tc == nil {
+		return -1
+	}
+	for i, c := range t.clients {
+		if c == tc {
+			return i
+		}
+	}
+	return -1
+}
+
+// SnapshotTo implements checkpoint.Snapshotter. The pass-through
+// baselines hold almost no scheduler state; client count and liveness
+// pin what there is.
+func (s *Streams) SnapshotTo(e *checkpoint.Encoder) {
+	e.Bool(s.UsePriorities)
+	snapshotPassClients(e, s.clients)
+}
+
+// SnapshotTo implements checkpoint.Snapshotter.
+func (m *MPS) SnapshotTo(e *checkpoint.Encoder) {
+	snapshotPassClients(e, m.clients)
+}
+
+func snapshotPassClients(e *checkpoint.Encoder, clients []*passClient) {
+	e.Int(len(clients))
+	for _, c := range clients {
+		e.Bool(c.gone)
+	}
+}

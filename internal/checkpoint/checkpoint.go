@@ -1,0 +1,301 @@
+// Package checkpoint serializes the state of an in-flight simulation so
+// orion-serve can resume a killed job without re-executing it from event
+// zero. A checkpoint is NOT a process image: event callbacks are Go
+// closures and cannot cross a process boundary. Instead it is a replay
+// cursor plus a verifiable fingerprint:
+//
+//   - Meta pins the run's identity — the canonical wire config, the seed,
+//     the event cursor (events processed at capture, always a multiple of
+//     sim.InterruptStride) and the virtual clock;
+//   - Sections carry one deterministic binary snapshot per stateful
+//     component (engine, devices, drivers, scheduler policy), encoded
+//     with Encoder.
+//
+// Restore rebuilds the simulation from the config and deterministically
+// re-executes events up to the cursor — far cheaper than a full run for
+// long horizons killed near the end, and the only faithful way to rebuild
+// closure-holding state. The replayed components are then re-snapshotted
+// and byte-compared against the stored sections (Diff): any divergence
+// fails the restore instead of silently continuing from wrong state.
+//
+// On disk a checkpoint reuses internal/journal's length+CRC framing: one
+// frame of meta JSON followed by one frame per section. Files are written
+// to a temp name and renamed, so a torn checkpoint never appears under
+// the final path; Read treats any framing damage as fatal (a partial
+// checkpoint is useless, unlike a journal tail).
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"orion/internal/journal"
+)
+
+// FormatVersion guards against reading checkpoints written by an older
+// incompatible layout.
+const FormatVersion = 1
+
+// Meta identifies the run a checkpoint belongs to and where in the event
+// stream it was captured.
+type Meta struct {
+	FormatVersion int `json:"format_version"`
+	// Scheme and Seed are informational (they also live inside Config).
+	Scheme string `json:"scheme,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	// Cursor is Engine.Processed() at capture — the number of events a
+	// restore must replay. It is always a multiple of sim.InterruptStride.
+	Cursor uint64 `json:"cursor"`
+	// Clock is the virtual time at capture, in sim.Duration units.
+	Clock int64 `json:"clock"`
+	// Config is the canonical wire config the run was built from. A
+	// restore must rebuild from these exact bytes.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+// Section is one component's snapshot.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Checkpoint is a captured simulation state.
+type Checkpoint struct {
+	Meta     Meta
+	Sections []Section
+}
+
+// Section returns the named section's bytes.
+func (c *Checkpoint) Section(name string) ([]byte, bool) {
+	for _, s := range c.Sections {
+		if s.Name == name {
+			return s.Data, true
+		}
+	}
+	return nil, false
+}
+
+// SizeBytes reports the encoded size of the checkpoint (what Write will
+// produce), for the checkpoint_bytes metric.
+func (c *Checkpoint) SizeBytes() int {
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		return 0
+	}
+	return buf.Len()
+}
+
+// Diff compares a stored checkpoint against one captured after replaying
+// to the same cursor. It returns nil when they are byte-identical, and a
+// descriptive error naming the first divergent section otherwise — the
+// signal that determinism was broken (config drift, code change, cosmic
+// ray) and the checkpoint must be discarded.
+func Diff(stored, replayed *Checkpoint) error {
+	if stored.Meta.Cursor != replayed.Meta.Cursor {
+		return fmt.Errorf("checkpoint: cursor mismatch: stored %d, replayed %d",
+			stored.Meta.Cursor, replayed.Meta.Cursor)
+	}
+	if stored.Meta.Clock != replayed.Meta.Clock {
+		return fmt.Errorf("checkpoint: clock mismatch: stored %d, replayed %d",
+			stored.Meta.Clock, replayed.Meta.Clock)
+	}
+	if len(stored.Sections) != len(replayed.Sections) {
+		return fmt.Errorf("checkpoint: section count mismatch: stored %d, replayed %d",
+			len(stored.Sections), len(replayed.Sections))
+	}
+	for i, s := range stored.Sections {
+		r := replayed.Sections[i]
+		if s.Name != r.Name {
+			return fmt.Errorf("checkpoint: section %d name mismatch: stored %q, replayed %q", i, s.Name, r.Name)
+		}
+		if !bytes.Equal(s.Data, r.Data) {
+			return fmt.Errorf("checkpoint: section %q diverged after replay (%d vs %d bytes)",
+				s.Name, len(s.Data), len(r.Data))
+		}
+	}
+	return nil
+}
+
+// sectionWire is the JSON payload of one section frame; binary snapshot
+// bytes travel base64-encoded so every frame payload stays JSON, exactly
+// like journal records.
+type sectionWire struct {
+	Name string `json:"name"`
+	Data string `json:"data"`
+}
+
+// Write serializes the checkpoint: a meta frame followed by one frame per
+// section, all in journal framing.
+func Write(w io.Writer, c *Checkpoint) error {
+	meta := c.Meta
+	meta.FormatVersion = FormatVersion
+	payload, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal meta: %w", err)
+	}
+	if _, err := w.Write(journal.EncodeFrame(payload)); err != nil {
+		return fmt.Errorf("checkpoint: write meta: %w", err)
+	}
+	for _, s := range c.Sections {
+		payload, err := json.Marshal(sectionWire{
+			Name: s.Name,
+			Data: base64.StdEncoding.EncodeToString(s.Data),
+		})
+		if err != nil {
+			return fmt.Errorf("checkpoint: marshal section %q: %w", s.Name, err)
+		}
+		if _, err := w.Write(journal.EncodeFrame(payload)); err != nil {
+			return fmt.Errorf("checkpoint: write section %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Read parses a checkpoint. Unlike journal replay, any torn or corrupt
+// frame is fatal: a partial checkpoint cannot be restored from.
+func Read(r io.Reader) (*Checkpoint, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read: %w", err)
+	}
+	payload, n, ok := journal.DecodeFrame(data)
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: corrupt meta frame")
+	}
+	c := &Checkpoint{}
+	if err := json.Unmarshal(payload, &c.Meta); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode meta: %w", err)
+	}
+	if c.Meta.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("checkpoint: format version %d, want %d", c.Meta.FormatVersion, FormatVersion)
+	}
+	off := n
+	for off < len(data) {
+		payload, n, ok := journal.DecodeFrame(data[off:])
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: corrupt section frame at offset %d", off)
+		}
+		var sw sectionWire
+		if err := json.Unmarshal(payload, &sw); err != nil {
+			return nil, fmt.Errorf("checkpoint: decode section at offset %d: %w", off, err)
+		}
+		raw, err := base64.StdEncoding.DecodeString(sw.Data)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: decode section %q data: %w", sw.Name, err)
+		}
+		c.Sections = append(c.Sections, Section{Name: sw.Name, Data: raw})
+		off += n
+	}
+	return c, nil
+}
+
+// WriteFile atomically persists the checkpoint: write to a temp file in
+// the same directory, fsync, rename over the final path, fsync the
+// directory. A crash at any point leaves either the previous checkpoint
+// or the new one, never a torn file under the final name.
+func WriteFile(path string, c *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, c); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a checkpoint written by WriteFile.
+func ReadFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// --- deterministic binary encoding ------------------------------------------
+
+// Encoder builds a component snapshot: a flat, deterministic byte string.
+// Components append their logical state field by field in a fixed order;
+// equality of the resulting bytes across a replay is the verification
+// Restore relies on. Pool and capacity state (free lists, warm slices)
+// must never be encoded — arena reuse varies it without affecting
+// behaviour.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded snapshot.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U64 appends an unsigned 64-bit value.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends a signed 64-bit value.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Bool appends a boolean.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// F64 appends a float64 bit pattern.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Snapshotter is implemented by every stateful simulation component that
+// participates in checkpoint verification. SnapshotTo must append only
+// logical state that is a pure function of (config, events processed) —
+// deterministic across a replay — in a fixed field order. Section names
+// are assigned by the harness (components may be indexed, e.g. one
+// section per device).
+type Snapshotter interface {
+	// SnapshotTo appends the component's state to the encoder.
+	SnapshotTo(e *Encoder)
+}

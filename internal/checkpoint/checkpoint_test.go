@@ -1,0 +1,143 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orion/internal/journal"
+)
+
+func sample() *Checkpoint {
+	enc := NewEncoder()
+	enc.U64(42)
+	enc.I64(-7)
+	enc.Bool(true)
+	enc.F64(3.25)
+	enc.Str("stream-0")
+	return &Checkpoint{
+		Meta: Meta{
+			Scheme: "orion",
+			Seed:   3,
+			Cursor: 2048,
+			Clock:  1_500_000_000,
+			Config: json.RawMessage(`{"scheme":"orion","seed":3}`),
+		},
+		Sections: []Section{
+			{Name: "engine", Data: enc.Bytes()},
+			{Name: "device/0", Data: []byte{0x00, 0x0a, '\n', 0xff}}, // binary incl. newline
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Cursor != c.Meta.Cursor || got.Meta.Clock != c.Meta.Clock {
+		t.Fatalf("meta drifted: %+v", got.Meta)
+	}
+	if string(got.Meta.Config) != string(c.Meta.Config) {
+		t.Fatalf("config drifted: %s", got.Meta.Config)
+	}
+	if err := Diff(c, got); err != nil {
+		t.Fatalf("round-tripped checkpoint differs: %v", err)
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	c := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Torn tail: a checkpoint missing its last byte must not load.
+	if _, err := Read(bytes.NewReader(full[:len(full)-1])); err == nil {
+		t.Fatal("Read accepted a torn checkpoint")
+	}
+	// Bit flip inside the meta frame's payload: CRC must catch it.
+	flipped := append([]byte(nil), full...)
+	flipped[journal.FrameHeaderLen+3] ^= 0x01
+	if _, err := Read(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("Read accepted a bit-flipped checkpoint")
+	}
+	// Empty input.
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Read accepted empty input")
+	}
+}
+
+func TestDiffDetectsDivergence(t *testing.T) {
+	a, b := sample(), sample()
+	if err := Diff(a, b); err != nil {
+		t.Fatalf("identical checkpoints differ: %v", err)
+	}
+	b.Sections[1].Data[0] ^= 0x01
+	if err := Diff(a, b); err == nil {
+		t.Fatal("Diff missed a section byte flip")
+	}
+	b = sample()
+	b.Meta.Cursor++
+	if err := Diff(a, b); err == nil {
+		t.Fatal("Diff missed a cursor mismatch")
+	}
+	b = sample()
+	b.Sections = b.Sections[:1]
+	if err := Diff(a, b); err == nil {
+		t.Fatal("Diff missed a missing section")
+	}
+}
+
+func TestWriteFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt-exp-1.ck")
+	c := sample()
+	if err := WriteFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a later checkpoint; the file must stay loadable and
+	// reflect the newest state.
+	c.Meta.Cursor = 4096
+	if err := WriteFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Cursor != 4096 {
+		t.Fatalf("cursor = %d, want 4096", got.Meta.Cursor)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want 1 (no temp litter)", len(entries))
+	}
+}
+
+func TestEncoderDeterminism(t *testing.T) {
+	build := func() []byte {
+		e := NewEncoder()
+		e.U64(1)
+		e.Str("abc")
+		e.Bool(false)
+		e.F64(-0.5)
+		return e.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("encoder output not deterministic")
+	}
+}

@@ -40,6 +40,8 @@ type Options struct {
 	HTTPClient *http.Client
 	// rng seeds the jitter deterministically in tests.
 	rng *rand.Rand
+	// now overrides the clock for HTTP-date Retry-After parsing (tests).
+	now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +59,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HTTPClient == nil {
 		o.HTTPClient = &http.Client{}
+	}
+	if o.now == nil {
+		o.now = time.Now
 	}
 	return o
 }
@@ -100,12 +105,33 @@ func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
 	} else {
 		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 	}
-	if secs, err := strconv.Atoi(retryAfter); err == nil {
-		if ra := time.Duration(secs) * time.Second; ra > d {
-			d = ra
-		}
+	if ra := parseRetryAfter(retryAfter, c.opts.now()); ra > d {
+		d = ra
 	}
 	return d
+}
+
+// parseRetryAfter interprets a Retry-After header, which RFC 7231
+// permits as either delta-seconds or an HTTP-date. Both the 429
+// overload and the 503 drain rejection paths funnel through here, so a
+// draining daemon's hint stretches the backoff the same way an
+// overloaded one's does. Zero means no usable hint.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // do runs one request with retries. build must return a fresh request
@@ -209,6 +235,38 @@ func (c *Client) Submit(ctx context.Context, cfg harness.Config, idemKey string)
 	var st server.JobStatus
 	if err := json.Unmarshal(out, &st); err != nil {
 		return server.JobStatus{}, fmt.Errorf("client: decode submit response: %w", err)
+	}
+	return st, nil
+}
+
+// Resume re-queues a parked job — one whose wall-clock deadline expired
+// after a checkpoint was persisted — optionally with a larger deadline
+// for the resumed attempt (zero keeps the job's previous budget). The
+// run continues from the persisted checkpoint. A 503 from a draining
+// daemon retries with the server's Retry-After hint like any other
+// call; resuming a job that is not parked fails with a 409 APIError.
+func (c *Client) Resume(ctx context.Context, id string, deadline time.Duration) (server.JobStatus, error) {
+	var body []byte
+	if deadline > 0 {
+		var err error
+		if body, err = json.Marshal(map[string]string{"deadline": deadline.String()}); err != nil {
+			return server.JobStatus{}, err
+		}
+	}
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.base+"/v1/experiments/"+id+"/resume", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		return server.JobStatus{}, fmt.Errorf("client: decode resume response: %w", err)
 	}
 	return st, nil
 }

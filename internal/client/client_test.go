@@ -255,3 +255,119 @@ func TestAwaitRespectsContext(t *testing.T) {
 		t.Fatalf("await error = %v", err)
 	}
 }
+
+// TestParseRetryAfter: both RFC 7231 forms — delta-seconds and
+// HTTP-date — must yield a usable wait; garbage and stale dates must
+// not.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // stale date
+		{"soon", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestHonorsRetryAfterHTTPDate: an HTTP-date Retry-After stretches the
+// backoff exactly like the delta-seconds form.
+func TestHonorsRetryAfterHTTPDate(t *testing.T) {
+	s, err := server.New(server.Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	// Freeze the clock the parser sees so the date→duration conversion is
+	// deterministic; the actual sleep still happens in real time.
+	base := time.Now().Truncate(time.Second)
+	h := http.Header{}
+	h.Set("Retry-After", base.Add(time.Second).UTC().Format(http.TimeFormat))
+	fh := &flakyHandler{failures: 1, code: http.StatusServiceUnavailable, header: h, inner: s.Handler()}
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+
+	opts := fastOpts()
+	opts.now = func() time.Time { return base }
+	c := New(ts.URL, opts)
+	start := time.Now()
+	if _, err := c.Submit(context.Background(), testConfig(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if wait := time.Since(start); wait < time.Second {
+		t.Errorf("retried after %v, HTTP-date Retry-After demanded >= 1s", wait)
+	}
+}
+
+// TestDrainRejectionsBackOff: a genuinely draining orion-serve answers
+// 503 with its configured Retry-After hint; the client must stretch its
+// backoff to that hint between attempts — the drain path is exactly as
+// header-aware as the 429 overload path — and surface the drain message
+// once attempts are exhausted.
+func TestDrainRejectionsBackOff(t *testing.T) {
+	s, err := server.New(server.Config{Workers: 1, QueueDepth: 4, RetryAfter: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The handler outlives the drain: every request now gets 503 +
+	// Retry-After, the worst case a client can hit.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	opts := fastOpts()
+	opts.MaxAttempts = 2
+	c := New(ts.URL, opts)
+	start := time.Now()
+	_, err = c.Submit(context.Background(), testConfig(), "")
+	if err == nil {
+		t.Fatal("submit to a draining server must eventually fail")
+	}
+	if !strings.Contains(err.Error(), "draining") {
+		t.Errorf("error = %v, want the drain rejection surfaced", err)
+	}
+	if wait := time.Since(start); wait < time.Second {
+		t.Errorf("gave up after %v, Retry-After demanded >= 1s between attempts", wait)
+	}
+}
+
+// TestResumeEndpoint: Resume round-trips through the client — resuming
+// a job that is not parked is a 409 APIError, not a retry loop.
+func TestResumeEndpoint(t *testing.T) {
+	s, err := server.New(server.Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	st, err := c.Submit(context.Background(), testConfig(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Await(context.Background(), st.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Resume(context.Background(), st.ID, 30*time.Second)
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("resume of a done job: %v (%T), want *APIError", err, err)
+	}
+	if apiErr.Code != http.StatusConflict {
+		t.Errorf("code = %d, want 409", apiErr.Code)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import "orion/internal/checkpoint"
+
+// SnapshotTo implements checkpoint.Snapshotter: the scheduler's Listing 1
+// state — outstanding high-priority profiles, best-effort duration,
+// per-client queues — plus the tuner/SLO-guard state and policy counters.
+// The queuedOp pool (opFree) and the prebuilt callbacks are deliberately
+// excluded: arena reuse varies the pool without affecting behaviour, and
+// the closures are rebuilt by New on a restore.
+func (o *Orion) SnapshotTo(e *checkpoint.Encoder) {
+	// SMThreshold is the one config field mutated at runtime (by the
+	// tuner), so it is state, not config.
+	e.Int(o.cfg.SMThreshold)
+	e.Int(o.rrNext)
+	e.Bool(o.started)
+	e.Bool(o.inSchedule)
+	e.Bool(o.again)
+	e.Bool(o.retryArmed)
+	e.Int(o.hpOut)
+	e.Int(o.hpCopiesOut)
+	e.I64(int64(o.beOutstanding))
+	e.Int(len(o.hpProfiles))
+	for _, p := range o.hpProfiles {
+		e.Int(int(p))
+	}
+	e.U64(o.beDeferred)
+	e.U64(o.beSubmitted)
+	e.U64(o.hpSubmitted)
+	e.U64(o.throttleHits)
+	e.U64(o.evictions)
+	e.U64(o.purgedOps)
+	e.U64(o.transientRetries)
+
+	e.Bool(o.hp != nil)
+	if o.hp != nil {
+		o.hp.snapshotTo(e)
+	}
+	e.Int(len(o.be))
+	for _, c := range o.be {
+		c.snapshotTo(e)
+	}
+
+	e.Bool(o.slo != nil)
+	if o.slo != nil {
+		s := o.slo
+		e.Bool(s.tripped)
+		e.Int(s.next)
+		e.Int(s.filled)
+		e.Int(s.violations)
+		e.U64(s.trips)
+		e.U64(s.resumes)
+	}
+	e.Bool(o.tuner != nil)
+	if o.tuner != nil {
+		t := o.tuner
+		e.Int(t.lo)
+		e.Int(t.hi)
+		e.F64(t.reference)
+		e.I64(int64(t.windowStart))
+		e.U64(t.windowCount)
+	}
+	e.Bool(o.decisions != nil)
+	if o.decisions != nil {
+		// Count and ring cursor only: the per-verdict tally is a map and
+		// map iteration order is nondeterministic; the total pins it.
+		e.U64(o.decisions.count)
+		e.Int(o.decisions.next)
+	}
+}
+
+// snapshotTo appends one client's state: its pending queue, request
+// counters and trackers. Queued ops are identified by their descriptor
+// name and priority; their completion closures are rebuilt on replay.
+func (c *client) snapshotTo(e *checkpoint.Encoder) {
+	e.Str(c.cfg.Model.ID())
+	e.U64(c.requests)
+	e.I64(int64(c.begin))
+	e.Bool(c.gone)
+	e.Int(len(c.queue))
+	for _, q := range c.queue {
+		e.Str(q.op.Name)
+		e.Bool(q.hp)
+	}
+	c.tracker.SnapshotTo(e)
+}

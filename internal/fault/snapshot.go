@@ -1,0 +1,21 @@
+package fault
+
+import "orion/internal/checkpoint"
+
+// SnapshotTo implements checkpoint.Snapshotter: the injector's RNG stream
+// positions (one draw counter per fault class — the streams are split in
+// a fixed order, so (seed, draws) pins each), the active fail windows and
+// the event tally.
+func (inj *Injector) SnapshotTo(e *checkpoint.Encoder) {
+	e.Bool(inj.started)
+	e.U64(inj.crashRng.Draws())
+	e.U64(inj.launchRng.Draws())
+	e.U64(inj.allocRng.Draws())
+	e.U64(inj.slowRng.Draws())
+	e.I64(int64(inj.launchFailUntil))
+	e.I64(int64(inj.allocFailUntil))
+	e.Int(len(inj.log))
+	e.U64(inj.deniedLaunches)
+	e.U64(inj.deniedAllocs)
+	e.Int(len(inj.targets))
+}

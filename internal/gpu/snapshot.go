@@ -1,0 +1,92 @@
+package gpu
+
+import "orion/internal/checkpoint"
+
+// SnapshotTo implements checkpoint.Snapshotter: it appends the device's
+// logical state — SM occupancy, stream queues, copy engines, in-flight
+// waves, the fluid-model integrals — in a fixed order. Every field here
+// is a pure function of (config, events processed); pool state (taskFree,
+// scratch slices) and the derived candIndex are deliberately excluded
+// because warm arenas vary them without affecting behaviour.
+func (d *Device) SnapshotTo(e *checkpoint.Encoder) {
+	e.U64(d.seq)
+	e.Int(d.freeSMs)
+	e.I64(d.allocated)
+	e.Int(d.blockingCopies)
+	e.Int(d.copiesInFlight)
+	e.I64(int64(d.h2d.freeAt))
+	e.I64(int64(d.d2h.freeAt))
+	e.I64(int64(d.lastUpdate))
+	e.U64(d.kernelsDone)
+	e.F64(d.speed)
+
+	// The armed completion wakeup is engine state, but its target time is
+	// device-derived; capturing it here localizes diagnostics when the
+	// fluid model (not the queue) diverges.
+	e.Bool(d.completion != nil)
+	if d.completion != nil {
+		e.I64(int64(d.completion.Time()))
+	}
+
+	// Utilization integrals: floating-point accumulations, bit-identical
+	// across a deterministic replay.
+	e.F64(d.util.elapsed)
+	e.F64(d.util.computeI)
+	e.F64(d.util.membwI)
+	e.F64(d.util.smI)
+	e.F64(d.util.memCapI)
+	e.Int(len(d.util.trace))
+	e.Bool(d.util.truncated)
+
+	// Sync-op pipeline. The tasks themselves still sit in their stream
+	// queues (a sync op occupies its stream until it completes), so their
+	// full state is captured in the stream walk below; here only identity.
+	e.Bool(d.syncRunning != nil)
+	if d.syncRunning != nil {
+		e.U64(d.syncRunning.seq)
+	}
+	e.Int(len(d.syncQueue))
+	for _, t := range d.syncQueue {
+		e.U64(t.seq)
+	}
+
+	// Streams and their queued tasks, in creation order: the complete set
+	// of in-flight operations with their fluid execution state.
+	e.Int(len(d.streams))
+	for _, s := range d.streams {
+		e.Int(s.id)
+		e.Int(s.priority)
+		e.Int(len(s.queue))
+		for _, t := range s.queue {
+			snapshotTask(e, t)
+		}
+	}
+
+	// Resident set: identity only (state captured above). The order is the
+	// swap-remove order finishKernels left it in, which is itself a pure
+	// function of the event history.
+	e.Int(len(d.resident))
+	for _, t := range d.resident {
+		e.U64(t.seq)
+	}
+}
+
+// snapshotTask appends one in-flight task's logical state.
+func snapshotTask(e *checkpoint.Encoder, t *Task) {
+	e.U64(t.seq)
+	e.Int(int(t.kind))
+	e.Int(int(t.state))
+	e.Bool(t.SyncCopy)
+	e.Bool(t.armed)
+	e.Int(t.smNeeded)
+	e.Int(t.granted)
+	e.F64(t.remaining)
+	e.F64(t.rate)
+	e.F64(t.compute)
+	e.F64(t.membw)
+	e.F64(t.waveWork)
+	e.F64(t.nextShed)
+	e.I64(int64(t.readyAt))
+	e.I64(int64(t.startedAt))
+	e.I64(int64(t.doneAt))
+}

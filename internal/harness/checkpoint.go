@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"orion/internal/checkpoint"
+	"orion/internal/fault"
+	"orion/internal/gpu"
+	"orion/internal/sched"
+	"orion/internal/sim"
+)
+
+// DefaultCheckpointStride is the capture interval in processed events
+// when CheckpointConfig.Stride is zero: 64 Interrupt polls apart, so the
+// capture cost (which allocates) stays invisible next to the dispatch
+// work between boundaries.
+const DefaultCheckpointStride = 64 * sim.InterruptStride
+
+// CheckpointConfig makes a run resumable: the harness captures a
+// checkpoint of every stateful component at event-stride boundaries and
+// hands it to Sink; a later run with the identical config Resume-verifies
+// itself against the stored checkpoint once the replay reaches its
+// cursor. Capture piggybacks on the engine's Interrupt poll, so a run
+// without a CheckpointConfig pays nothing.
+type CheckpointConfig struct {
+	// Stride is the capture interval in processed events. It is rounded
+	// up to a multiple of sim.InterruptStride (captures can only happen
+	// at Interrupt polls); zero selects DefaultCheckpointStride.
+	Stride uint64
+	// Sink receives each captured checkpoint, newest last. A Sink error
+	// aborts the run: the simulation must not outrun its durability
+	// guarantee, and the golden resume suite uses exactly this to emulate
+	// a crash at a deterministic boundary.
+	Sink func(*checkpoint.Checkpoint) error
+	// Resume, when non-nil, is a checkpoint captured by an earlier run of
+	// the identical config. The run re-executes deterministically from
+	// event zero; when it reaches the checkpoint's cursor every component
+	// is re-snapshotted and byte-compared against the stored sections
+	// (checkpoint.Diff) — divergence aborts the run instead of silently
+	// continuing from state that no longer matches what was persisted.
+	Resume *checkpoint.Checkpoint
+	// Config, when non-nil, is the canonical wire config stamped into
+	// each captured checkpoint's meta so a restore can rebuild the run
+	// from the checkpoint file alone.
+	Config json.RawMessage
+}
+
+// checkpointer drives capture and resume verification from inside the
+// engine's Interrupt hook.
+type checkpointer struct {
+	cfg      *CheckpointConfig
+	stride   uint64
+	eng      *sim.Engine
+	devices  []*gpu.Device
+	drivers  []*sched.Driver
+	backends []sched.Backend // deduped
+	injector *fault.Injector
+
+	scheme string
+	seed   int64
+
+	lastCaptured uint64
+	resumeCursor uint64 // 0 when not resuming
+	verified     bool
+	err          error
+}
+
+func newCheckpointer(cfg RunConfig, eng *sim.Engine, devices []*gpu.Device,
+	drivers []*sched.Driver, backends []sched.Backend, injector *fault.Injector) (*checkpointer, error) {
+	cc := cfg.Checkpoint
+	stride := cc.Stride
+	if stride == 0 {
+		stride = DefaultCheckpointStride
+	}
+	// Captures can only happen when the engine polls Interrupt, i.e. at
+	// multiples of sim.InterruptStride.
+	if rem := stride % sim.InterruptStride; rem != 0 {
+		stride += sim.InterruptStride - rem
+	}
+	c := &checkpointer{
+		cfg: cc, stride: stride, eng: eng,
+		devices: devices, drivers: drivers, backends: backends, injector: injector,
+		scheme: string(cfg.Scheme), seed: cfg.Seed,
+	}
+	if r := cc.Resume; r != nil {
+		if r.Meta.Cursor == 0 {
+			return nil, fmt.Errorf("harness: resume checkpoint has zero cursor")
+		}
+		if r.Meta.Cursor%sim.InterruptStride != 0 {
+			return nil, fmt.Errorf("harness: resume cursor %d is not a multiple of the interrupt stride %d",
+				r.Meta.Cursor, sim.InterruptStride)
+		}
+		if r.Meta.Scheme != "" && r.Meta.Scheme != c.scheme {
+			return nil, fmt.Errorf("harness: resume checkpoint is for scheme %q, run is %q", r.Meta.Scheme, c.scheme)
+		}
+		if r.Meta.Seed != 0 && r.Meta.Seed != c.seed {
+			return nil, fmt.Errorf("harness: resume checkpoint seed %d, run seed %d", r.Meta.Seed, c.seed)
+		}
+		c.resumeCursor = r.Meta.Cursor
+	}
+	return c, nil
+}
+
+// poll runs at every Interrupt check. It returns true (stop the run) only
+// on a sink or verification failure, recorded in c.err.
+func (c *checkpointer) poll() bool {
+	p := c.eng.Processed()
+	if c.resumeCursor != 0 && !c.verified {
+		if p == c.resumeCursor {
+			if err := checkpoint.Diff(c.cfg.Resume, c.capture()); err != nil {
+				c.err = fmt.Errorf("harness: resume diverged from checkpoint: %w", err)
+				return true
+			}
+			c.verified = true
+		}
+		// Replay phase: the stored checkpoint already covers this prefix,
+		// so nothing is sunk until the run passes the cursor.
+		return false
+	}
+	if c.cfg.Sink != nil && p != 0 && p%c.stride == 0 && p != c.lastCaptured {
+		if err := c.cfg.Sink(c.capture()); err != nil {
+			c.err = fmt.Errorf("harness: checkpoint sink: %w", err)
+			return true
+		}
+		c.lastCaptured = p
+	}
+	return false
+}
+
+// finish validates end-of-run invariants and reports how many events were
+// replayed to reach the resume cursor.
+func (c *checkpointer) finish() (replayed uint64, err error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	if c.resumeCursor != 0 && !c.verified {
+		return 0, fmt.Errorf("harness: resume cursor %d never reached (run processed %d events — config mismatch?)",
+			c.resumeCursor, c.eng.Processed())
+	}
+	if c.resumeCursor != 0 {
+		return c.resumeCursor, nil
+	}
+	return 0, nil
+}
+
+// capture snapshots every stateful component. It allocates freely — it
+// only ever runs at stride boundaries, never on the per-event path.
+func (c *checkpointer) capture() *checkpoint.Checkpoint {
+	ck := &checkpoint.Checkpoint{
+		Meta: checkpoint.Meta{
+			Scheme: c.scheme,
+			Seed:   c.seed,
+			Cursor: c.eng.Processed(),
+			Clock:  int64(c.eng.Now()),
+			Config: c.cfg.Config,
+		},
+	}
+	add := func(name string, s checkpoint.Snapshotter) {
+		enc := checkpoint.NewEncoder()
+		s.SnapshotTo(enc)
+		ck.Sections = append(ck.Sections, checkpoint.Section{Name: name, Data: enc.Bytes()})
+	}
+	engEnc := checkpoint.NewEncoder()
+	encodeEngineState(engEnc, c.eng.Snapshot())
+	ck.Sections = append(ck.Sections, checkpoint.Section{Name: "engine", Data: engEnc.Bytes()})
+	for i, d := range c.devices {
+		add(fmt.Sprintf("device/%d", i), d)
+	}
+	for i, d := range c.drivers {
+		add(fmt.Sprintf("driver/%d", i), d)
+	}
+	for i, b := range c.backends {
+		if s, ok := b.(checkpoint.Snapshotter); ok {
+			add(fmt.Sprintf("backend/%d", i), s)
+		}
+	}
+	if c.injector != nil {
+		add("injector", c.injector)
+	}
+	return ck
+}
+
+// encodeEngineState flattens an engine fingerprint into checkpoint bytes.
+func encodeEngineState(e *checkpoint.Encoder, st sim.EngineState) {
+	e.I64(int64(st.Now))
+	e.U64(st.Seq)
+	e.Int(st.Strong)
+	e.U64(st.Processed)
+	e.Int(len(st.Events))
+	for _, ev := range st.Events {
+		e.I64(int64(ev.Time))
+		e.U64(ev.Seq)
+		e.Bool(ev.Weak)
+	}
+}

@@ -141,6 +141,11 @@ type RunConfig struct {
 	// simulation engine with its warmed event pool). Results are
 	// bit-identical with or without an arena.
 	Arena *Arena
+	// Checkpoint, when non-nil, makes the run resumable: checkpoints are
+	// captured at event-stride boundaries and handed to the config's
+	// Sink, and a Resume checkpoint is verified once the deterministic
+	// replay reaches its cursor. Nil costs nothing.
+	Checkpoint *CheckpointConfig
 }
 
 // progress invokes the Progress hook if one is installed.
@@ -178,6 +183,12 @@ type Result struct {
 	// Robustness aggregates fault-injection outcomes (set only when
 	// RunConfig.Faults was non-nil).
 	Robustness *RobustnessReport
+	// Events counts engine events processed over the whole run. Not part
+	// of Summary: it is an execution detail, not an experiment outcome.
+	Events uint64
+	// Replayed counts the events re-executed to reach a resume
+	// checkpoint's cursor (zero when the run was not resumed).
+	Replayed uint64
 }
 
 // RobustnessReport aggregates what fault injection did to one run.
@@ -471,12 +482,34 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Result, error) {
 		}
 	})
 	cfg.progress("simulate")
-	if ctx.Done() != nil {
-		eng.Interrupt = func() bool { return ctx.Err() != nil }
+	var ckp *checkpointer
+	if cfg.Checkpoint != nil {
+		c, err := newCheckpointer(cfg, eng, devices, drivers, dedupBackends(backends), injector)
+		if err != nil {
+			return nil, err
+		}
+		ckp = c
+	}
+	watchCtx := ctx.Done() != nil
+	if watchCtx || ckp != nil {
+		eng.Interrupt = func() bool {
+			if watchCtx && ctx.Err() != nil {
+				return true
+			}
+			return ckp != nil && ckp.poll()
+		}
 	}
 	eng.RunUntil(sim.Time(cfg.Horizon))
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("harness: run canceled at t=%v: %w", eng.Now(), err)
+	}
+	res.Events = eng.Processed()
+	if ckp != nil {
+		replayed, err := ckp.finish()
+		if err != nil {
+			return nil, err
+		}
+		res.Replayed = replayed
 	}
 
 	cfg.progress("collect")

@@ -1,0 +1,215 @@
+package harness_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"orion/internal/checkpoint"
+	"orion/internal/harness"
+	"orion/internal/sim"
+)
+
+// resumeStride keeps checkpoints frequent enough that a 2-second golden
+// run captures several of them.
+const resumeStride = sim.InterruptStride
+
+// errEmulatedCrash is what the kill-sink returns: the harness aborts the
+// run at exactly that capture boundary, deterministically emulating a
+// process killed mid-simulation.
+var errEmulatedCrash = errors.New("emulated crash")
+
+// summaryHash flattens a Result the same way the golden suite does.
+func summaryHash(t *testing.T, res *harness.Result) string {
+	t.Helper()
+	b, err := json.Marshal(harness.Summarize(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// TestGoldenResumeEquivalence is the tentpole proof: for four schemes at
+// three seeds, a run killed at a (seed-randomized) checkpoint boundary
+// and resumed from its last persisted checkpoint produces a summary hash
+// bit-identical to the uninterrupted run — and strictly fewer fresh
+// events, since the checkpoint pinned a verified prefix.
+func TestGoldenResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resume sweep runs 36 simulations")
+	}
+	schemes := []harness.Scheme{harness.Orion, harness.Reef, harness.Streams, harness.Temporal}
+	seeds := []int64{1, 2, 3}
+	for _, scheme := range schemes {
+		for _, seed := range seeds {
+			scheme, seed := scheme, seed
+			t.Run(goldenKey(scheme, seed), func(t *testing.T) {
+				t.Parallel()
+				cfg := goldenConfig(scheme, seed)
+				rc, err := cfg.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wire, err := json.Marshal(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Uninterrupted reference run, capturing at every stride so
+				// we know how many boundaries the run crosses.
+				var captured []*checkpoint.Checkpoint
+				rc.Checkpoint = &harness.CheckpointConfig{
+					Stride: resumeStride,
+					Config: wire,
+					Sink: func(ck *checkpoint.Checkpoint) error {
+						captured = append(captured, ck)
+						return nil
+					},
+				}
+				ref, err := harness.RunContext(context.Background(), rc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refHash := summaryHash(t, ref)
+				if len(captured) < 2 {
+					t.Fatalf("run crossed only %d checkpoint boundaries; stride too coarse for the test", len(captured))
+				}
+				if want, ok := goldenSummaries[goldenKey(scheme, seed)]; ok && refHash != want {
+					t.Fatalf("checkpoint capture perturbed the run: hash %s, golden %s", refHash, want)
+				}
+
+				// Kill at a seed-randomized boundary: the sink accepts the
+				// first kill captures and refuses the next one, aborting the
+				// run right at that stride.
+				kill := 1 + int(seed)%(len(captured)-1)
+				var last *checkpoint.Checkpoint
+				sunk := 0
+				rc.Checkpoint = &harness.CheckpointConfig{
+					Stride: resumeStride,
+					Config: wire,
+					Sink: func(ck *checkpoint.Checkpoint) error {
+						if sunk >= kill {
+							return errEmulatedCrash
+						}
+						sunk++
+						last = ck
+						return nil
+					},
+				}
+				_, err = harness.RunContext(context.Background(), rc)
+				if err == nil || !errors.Is(err, errEmulatedCrash) {
+					t.Fatalf("killed run: err = %v, want emulated crash", err)
+				}
+				if last == nil {
+					t.Fatal("no checkpoint survived the crash")
+				}
+
+				// The checkpoint file round-trips through the on-disk format.
+				var buf bytes.Buffer
+				if err := checkpoint.Write(&buf, last); err != nil {
+					t.Fatal(err)
+				}
+				restored, err := checkpoint.Read(&buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := checkpoint.Diff(last, restored); err != nil {
+					t.Fatalf("on-disk round trip drifted: %v", err)
+				}
+
+				// Resume from the restored checkpoint: replay to the cursor,
+				// verify, continue to the horizon.
+				rc.Checkpoint = &harness.CheckpointConfig{
+					Stride: resumeStride,
+					Config: wire,
+					Resume: restored,
+				}
+				res, err := harness.RunContext(context.Background(), rc)
+				if err != nil {
+					t.Fatalf("resume: %v", err)
+				}
+				if got := summaryHash(t, res); got != refHash {
+					t.Fatalf("resumed run diverged from uninterrupted run:\n  got  %s\n  want %s", got, refHash)
+				}
+				if res.Replayed != restored.Meta.Cursor {
+					t.Fatalf("Replayed = %d, want cursor %d", res.Replayed, restored.Meta.Cursor)
+				}
+				if res.Replayed == 0 || res.Replayed >= res.Events {
+					t.Fatalf("replayed %d of %d events — resume reused no verified prefix", res.Replayed, res.Events)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeDetectsDivergence proves the verification bites: resuming
+// under a different seed (a config that cannot reproduce the checkpoint's
+// prefix) must fail with a divergence error, not silently continue.
+func TestResumeDetectsDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 2 simulations")
+	}
+	cfg := goldenConfig(harness.Orion, 1)
+	rc, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *checkpoint.Checkpoint
+	rc.Checkpoint = &harness.CheckpointConfig{
+		Stride: resumeStride,
+		Sink:   func(ck *checkpoint.Checkpoint) error { last = ck; return nil },
+	}
+	if _, err := harness.RunContext(context.Background(), rc); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint captured")
+	}
+
+	// Same scheme, different seed: arrivals diverge before the cursor.
+	cfg2 := goldenConfig(harness.Orion, 2)
+	rc2, err := cfg2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last.Meta.Seed = 0 // defeat the cheap meta pre-check; force the Diff to catch it
+	rc2.Checkpoint = &harness.CheckpointConfig{Resume: last}
+	_, err = harness.RunContext(context.Background(), rc2)
+	if err == nil {
+		t.Fatal("resume under a different seed succeeded")
+	}
+	if !strings.Contains(err.Error(), "diverged") && !strings.Contains(err.Error(), "never reached") {
+		t.Fatalf("unexpected resume error: %v", err)
+	}
+}
+
+// TestResumeRejectsWrongScheme checks the cheap meta pre-checks.
+func TestResumeRejectsWrongScheme(t *testing.T) {
+	cfg := goldenConfig(harness.Reef, 1)
+	rc, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Checkpoint = &harness.CheckpointConfig{
+		Resume: &checkpoint.Checkpoint{Meta: checkpoint.Meta{
+			Scheme: "orion", Seed: 1, Cursor: sim.InterruptStride,
+		}},
+	}
+	if _, err := harness.RunContext(context.Background(), rc); err == nil || !strings.Contains(err.Error(), "scheme") {
+		t.Fatalf("err = %v, want scheme mismatch", err)
+	}
+	rc.Checkpoint = &harness.CheckpointConfig{
+		Resume: &checkpoint.Checkpoint{Meta: checkpoint.Meta{
+			Scheme: "reef", Seed: 1, Cursor: sim.InterruptStride + 1,
+		}},
+	}
+	if _, err := harness.RunContext(context.Background(), rc); err == nil || !strings.Contains(err.Error(), "stride") {
+		t.Fatalf("err = %v, want stride error", err)
+	}
+}

@@ -1,0 +1,88 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// chaosLikeRecords mirrors the record stream the chaos drill's journals
+// contain (submit + state transitions with config/summary payloads), so
+// the seed corpus exercises the same shapes the SIGKILL artifacts do.
+func chaosLikeRecords() []Record {
+	cfg := json.RawMessage(`{"scheme":"orion","seed":3,"horizon":"2s","jobs":[{"workload":"resnet50-inf","priority":"hp","arrival":"poisson","rps":20}]}`)
+	sum := json.RawMessage(`{"scheme":"orion","jobs":[{"name":"job-0","completed":37}]}`)
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	return []Record{
+		{Op: OpSubmit, ID: "exp-1", Time: t0, Config: cfg, IdemKey: "k-1"},
+		{Op: OpState, ID: "exp-1", Time: t0.Add(time.Second), State: "running"},
+		{Op: OpState, ID: "exp-1", Time: t0.Add(2 * time.Second), State: "running", Restarts: 1},
+		{Op: OpState, ID: "exp-1", Time: t0.Add(3 * time.Second), State: "done", Summary: sum},
+		{Op: OpState, ID: "exp-2", Time: t0, State: "failed", Error: "worker panic: boom"},
+	}
+}
+
+func encodeRecords(t testing.TB, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range recs {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(EncodeFrame(payload))
+	}
+	return buf.Bytes()
+}
+
+// FuzzJournalReplay hammers the frame parser with mutated journal
+// segments. Whatever the corruption — truncation, bit flips, hostile
+// lengths — replay must truncate-and-continue: no panic, no out-of-range
+// valid offset, and the surviving prefix must itself replay cleanly to
+// the same records (the invariant Open relies on when it truncates a
+// corrupt tail and keeps appending).
+func FuzzJournalReplay(f *testing.F) {
+	full := encodeRecords(f, chaosLikeRecords())
+	f.Add(full)
+	f.Add([]byte{})
+	f.Add([]byte("00000002 deadbeef {}\n"))
+	f.Add(full[:len(full)/2]) // torn tail mid-frame
+	flipped := append([]byte(nil), full...)
+	flipped[FrameHeaderLen+3] ^= 0x40 // payload bit flip: CRC must catch it
+	f.Add(flipped)
+	badLen := append([]byte(nil), full...)
+	copy(badLen, "ffffffff") // hostile length field
+	f.Add(badLen)
+	f.Add(bytes.Repeat([]byte{0x00}, 64))
+	f.Add([]byte("not a journal at all\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, ok := decodeFrames(data)
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid offset %d outside [0,%d]", valid, len(data))
+		}
+		if ok && valid != int64(len(data)) {
+			t.Fatalf("clean parse but valid=%d != len=%d", valid, len(data))
+		}
+		if !ok && valid == int64(len(data)) {
+			t.Fatal("corrupt parse consumed the whole buffer")
+		}
+		// Truncate-and-continue: the surviving prefix is a valid journal
+		// yielding exactly the records already decoded.
+		again, validAgain, okAgain := decodeFrames(data[:valid])
+		if !okAgain || validAgain != valid {
+			t.Fatalf("truncated prefix did not replay cleanly: ok=%v valid=%d want %d", okAgain, validAgain, valid)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("truncated prefix replayed %d records, first pass %d", len(again), len(recs))
+		}
+		for i := range recs {
+			a, _ := json.Marshal(recs[i])
+			b, _ := json.Marshal(again[i])
+			if !bytes.Equal(a, b) {
+				t.Fatalf("record %d drifted across replays:\n  %s\n  %s", i, a, b)
+			}
+		}
+	})
+}

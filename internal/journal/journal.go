@@ -213,14 +213,45 @@ func Open(dir string, opts Options) (*Journal, []Record, error) {
 	return j, recs, nil
 }
 
-const frameHeaderLen = 18 // "%08x %08x " before the payload
+// FrameHeaderLen is the fixed "<len:8 hex> <crc32:8 hex> " prefix every
+// frame carries before its payload.
+const FrameHeaderLen = 18
 
-// encodeFrame renders one record in the length/checksum framing.
-func encodeFrame(payload []byte) []byte {
-	out := make([]byte, 0, frameHeaderLen+len(payload)+1)
+// EncodeFrame wraps an arbitrary payload in the journal's length+CRC
+// framing: "<len:8 hex> <crc32:8 hex> <payload>\n" with an IEEE CRC over
+// the payload bytes. The checkpoint files written by the harness reuse
+// this framing so one verifier covers both formats.
+func EncodeFrame(payload []byte) []byte {
+	out := make([]byte, 0, FrameHeaderLen+len(payload)+1)
 	out = append(out, fmt.Sprintf("%08x %08x ", len(payload), crc32.ChecksumIEEE(payload))...)
 	out = append(out, payload...)
 	return append(out, '\n')
+}
+
+// DecodeFrame verifies and strips one frame from the front of data. It
+// returns the payload, the total bytes the frame occupies, and whether
+// the frame verified; a torn (short) or corrupt (malformed header, CRC
+// mismatch, missing terminator) frame returns ok=false and consumes
+// nothing. The payload aliases data — callers that retain it across
+// buffer reuse must copy.
+func DecodeFrame(data []byte) (payload []byte, n int, ok bool) {
+	if len(data) < FrameHeaderLen+1 || data[8] != ' ' || data[17] != ' ' {
+		return nil, 0, false
+	}
+	plen, err1 := strconv.ParseUint(string(data[:8]), 16, 32)
+	crc, err2 := strconv.ParseUint(string(data[9:17]), 16, 32)
+	if err1 != nil || err2 != nil {
+		return nil, 0, false
+	}
+	end := FrameHeaderLen + int(plen) + 1
+	if end > len(data) || end < FrameHeaderLen || data[end-1] != '\n' {
+		return nil, 0, false
+	}
+	payload = data[FrameHeaderLen : end-1]
+	if crc32.ChecksumIEEE(payload) != uint32(crc) {
+		return nil, 0, false
+	}
+	return payload, end, true
 }
 
 // decodeFrames parses records until the data ends or a frame fails to
@@ -229,21 +260,8 @@ func encodeFrame(payload []byte) []byte {
 func decodeFrames(data []byte) (recs []Record, valid int64, ok bool) {
 	off := 0
 	for off < len(data) {
-		rest := data[off:]
-		if len(rest) < frameHeaderLen+1 || rest[8] != ' ' || rest[17] != ' ' {
-			return recs, int64(off), false
-		}
-		n, err1 := strconv.ParseUint(string(rest[:8]), 16, 32)
-		crc, err2 := strconv.ParseUint(string(rest[9:17]), 16, 32)
-		if err1 != nil || err2 != nil {
-			return recs, int64(off), false
-		}
-		end := frameHeaderLen + int(n) + 1
-		if end > len(rest) || rest[end-1] != '\n' {
-			return recs, int64(off), false
-		}
-		payload := rest[frameHeaderLen : end-1]
-		if crc32.ChecksumIEEE(payload) != uint32(crc) {
+		payload, n, ok := DecodeFrame(data[off:])
+		if !ok {
 			return recs, int64(off), false
 		}
 		var rec Record
@@ -251,7 +269,7 @@ func decodeFrames(data []byte) (recs []Record, valid int64, ok bool) {
 			return recs, int64(off), false
 		}
 		recs = append(recs, rec)
-		off += end
+		off += n
 	}
 	return recs, int64(off), true
 }
@@ -263,7 +281,7 @@ func (j *Journal) Append(rec Record) error {
 	if err != nil {
 		return fmt.Errorf("journal: marshal: %w", err)
 	}
-	frame := encodeFrame(payload)
+	frame := EncodeFrame(payload)
 
 	j.mu.Lock()
 	if j.f == nil {
@@ -397,7 +415,7 @@ func (j *Journal) Compact(recs []Record) error {
 		if err != nil {
 			return fmt.Errorf("journal: compact marshal: %w", err)
 		}
-		frame := encodeFrame(payload)
+		frame := EncodeFrame(payload)
 		if _, err := j.f.Write(frame); err != nil {
 			return fmt.Errorf("journal: compact: %w", err)
 		}

@@ -183,7 +183,7 @@ func TestCorruptionDropsLaterSegments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[frameHeaderLen+2] ^= 0xff
+	data[FrameHeaderLen+2] ^= 0xff
 	if err := os.WriteFile(first, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +386,7 @@ func TestAppendAfterClose(t *testing.T) {
 
 func TestFrameEncoding(t *testing.T) {
 	payload := []byte(`{"op":"submit","id":"exp-000001"}`)
-	frame := encodeFrame(payload)
+	frame := EncodeFrame(payload)
 	recs, valid, ok := decodeFrames(frame)
 	if !ok || len(recs) != 1 || valid != int64(len(frame)) {
 		t.Fatalf("roundtrip failed: ok=%v n=%d valid=%d", ok, len(recs), valid)

@@ -1,0 +1,30 @@
+package metrics
+
+import "orion/internal/checkpoint"
+
+// SnapshotTo implements checkpoint.Snapshotter for the per-job statistics
+// a driver accumulates mid-run: the counters and every latency sample in
+// record order. Samples dominate checkpoint size for long runs (8 bytes
+// per completed request), which is acceptable — they ARE the result being
+// protected.
+func (j *JobStats) SnapshotTo(e *checkpoint.Encoder) {
+	e.Str(j.Name)
+	e.Int(j.Completed)
+	e.I64(int64(j.Window))
+	e.Int(j.Failed)
+	e.Int(j.TimedOut)
+	e.Int(j.Retried)
+	j.Latency.SnapshotTo(e)
+}
+
+// SnapshotTo appends the recorder's samples in their current order. The
+// order is deterministic across a replay: samples append in completion
+// order, and mid-run nothing sorts them (Percentile, which sorts in
+// place, only runs at collection time).
+func (l *LatencyRecorder) SnapshotTo(e *checkpoint.Encoder) {
+	e.Bool(l.sorted)
+	e.Int(len(l.samples))
+	for _, s := range l.samples {
+		e.I64(int64(s))
+	}
+}

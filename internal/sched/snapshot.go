@@ -1,0 +1,40 @@
+package sched
+
+import "orion/internal/checkpoint"
+
+// SnapshotTo implements checkpoint.Snapshotter: the driver's request
+// pipeline state — queued arrivals, the in-flight request's continuation
+// cursor, the pending open-loop arrival — plus accumulated statistics and
+// the arrival process's stream position. The prebuilt continuation
+// closures are rebuilt by NewDriver on a restore and carry no state of
+// their own.
+func (d *Driver) SnapshotTo(e *checkpoint.Encoder) {
+	e.Bool(d.busy)
+	e.Bool(d.stopped)
+	e.Bool(d.crashed)
+	e.Bool(d.started)
+	e.I64(int64(d.curArrival))
+	e.Int(d.nextIdx)
+	e.I64(int64(d.nextArrival))
+	e.Int(d.totalCompleted)
+	e.Int(len(d.queue))
+	for _, at := range d.queue {
+		e.I64(int64(at))
+	}
+	d.stats.SnapshotTo(e)
+	if s, ok := d.cfg.Arrivals.(checkpoint.Snapshotter); ok {
+		s.SnapshotTo(e)
+	}
+}
+
+// SnapshotTo implements checkpoint.Snapshotter: submission/completion
+// counters and the thresholds of pending waiters (their callbacks are
+// re-registered by the harness on a restore replay).
+func (t *Tracker) SnapshotTo(e *checkpoint.Encoder) {
+	e.U64(t.submitted)
+	e.U64(t.completed)
+	e.Int(len(t.waiters))
+	for _, w := range t.waiters {
+		e.U64(w.threshold)
+	}
+}

@@ -3,12 +3,16 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime/debug"
 	"runtime/pprof"
 	"time"
 
+	"orion/internal/checkpoint"
 	"orion/internal/harness"
 	"orion/internal/metrics"
 )
@@ -19,12 +23,17 @@ type State string
 // Job lifecycle: Queued → Running → Done | Failed. Canceled marks jobs
 // that were still queued when the server began draining. After a crash,
 // a job that was Running re-enters Queued with its restart count bumped.
+// Parked marks a job whose wall-clock deadline expired mid-run with a
+// persisted checkpoint to show for it: not terminal — POST
+// /v1/experiments/{id}/resume re-queues it (optionally with a larger
+// deadline) and the run continues from the verified checkpoint.
 const (
 	StateQueued   State = "queued"
 	StateRunning  State = "running"
 	StateDone     State = "done"
 	StateFailed   State = "failed"
 	StateCanceled State = "canceled"
+	StateParked   State = "parked"
 )
 
 func (s State) terminal() bool {
@@ -58,6 +67,12 @@ type job struct {
 	idemKey   string
 	recovered bool // re-executed after a crash interrupted it
 	restarts  int  // how many times a crash forced re-execution
+	// resume, when non-nil, is the persisted checkpoint the next
+	// execution continues from (set by recovery and by handleResume).
+	resume *checkpoint.Checkpoint
+	// deadline overrides the server-wide JobDeadline for this job (set
+	// by handleResume so a parked job can run with a larger budget).
+	deadline  time.Duration
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -167,12 +182,27 @@ func (s *Server) worker() {
 	}
 }
 
+// execOpts describes one experiment execution attempt.
+type execOpts struct {
+	cfg      harness.Config
+	cfgJSON  json.RawMessage
+	progress func(string)
+	arena    *harness.Arena
+	// deadline is the effective wall-clock budget (0 = unbounded).
+	deadline time.Duration
+	// ckptPath, when non-empty, persists checkpoints there as the run
+	// crosses stride boundaries.
+	ckptPath string
+	// resume, when non-nil, continues from this verified checkpoint.
+	resume *checkpoint.Checkpoint
+}
+
 // execute runs one experiment with the crash bulkheads in place: a
 // panicking harness run is caught here (the job fails with the stack in
-// its error; the daemon keeps serving), and the configured per-job
+// its error; the daemon keeps serving), and the effective per-job
 // deadline cancels runaway simulations through the harness's context
 // plumbing.
-func (s *Server) execute(cfg harness.Config, progress func(string), arena *harness.Arena) (res *harness.Result, horizon time.Duration, err error) {
+func (s *Server) execute(o execOpts) (res *harness.Result, horizon time.Duration, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.cPanics.Inc()
@@ -181,27 +211,64 @@ func (s *Server) execute(cfg harness.Config, progress func(string), arena *harne
 		}
 	}()
 	if s.testRun != nil {
-		res, err = s.testRun(cfg)
+		res, err = s.testRun(o.cfg)
 		return res, 0, err
 	}
-	rc, err := cfg.Build()
+	rc, err := o.cfg.Build()
 	if err != nil {
 		return nil, 0, err
 	}
-	rc.Progress = progress
-	rc.Arena = arena
+	rc.Progress = o.progress
+	rc.Arena = o.arena
+	if o.ckptPath != "" || o.resume != nil {
+		cc := &harness.CheckpointConfig{
+			Stride: s.cfg.CheckpointStride,
+			Config: o.cfgJSON,
+			Resume: o.resume,
+		}
+		if o.ckptPath != "" {
+			cc.Sink = s.checkpointSink(o.ckptPath)
+		}
+		rc.Checkpoint = cc
+	}
 	ctx := context.Background()
-	if s.cfg.JobDeadline > 0 {
+	if o.deadline > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobDeadline)
+		ctx, cancel = context.WithTimeout(ctx, o.deadline)
 		defer cancel()
 	}
 	// Label the run so CPU profiles of the daemon attribute samples to the
 	// experiment kind being simulated.
-	pprof.Do(ctx, pprof.Labels("experiment", string(cfg.Scheme)), func(ctx context.Context) {
+	pprof.Do(ctx, pprof.Labels("experiment", string(o.cfg.Scheme)), func(ctx context.Context) {
 		res, err = harness.RunContext(ctx, rc)
 	})
 	return res, rc.Horizon.Std(), err
+}
+
+// checkpointPath is where a job's latest checkpoint lives, next to the
+// journal segments.
+func (s *Server) checkpointPath(id string) string {
+	if s.cfg.JournalDir == "" || s.cfg.CheckpointStride == 0 {
+		return ""
+	}
+	return filepath.Join(s.cfg.JournalDir, "ckpt-"+id+".ck")
+}
+
+// checkpointSink persists each captured checkpoint atomically. Errors
+// are swallowed: a failed checkpoint write must not kill the experiment
+// — it only shrinks how much a later resume can skip. (Contrast the
+// golden resume tests, which return an error here exactly to emulate a
+// crash at a stride boundary.)
+func (s *Server) checkpointSink(path string) func(*checkpoint.Checkpoint) error {
+	return func(ck *checkpoint.Checkpoint) error {
+		start := time.Now()
+		if err := checkpoint.WriteFile(path, ck); err != nil {
+			return nil
+		}
+		s.gCkptBytes.Set(float64(ck.SizeBytes()))
+		s.hCkptWrite.Observe(time.Since(start).Seconds())
+		return nil
+	}
 }
 
 // runJob executes one experiment on the calling worker goroutine.
@@ -214,6 +281,11 @@ func (s *Server) runJob(j *job, arena *harness.Arena) {
 	s.gQueueDepth.Dec()
 	cfg := j.cfg
 	restarts := j.restarts
+	resume := j.resume
+	deadline := j.deadline
+	if deadline == 0 {
+		deadline = s.cfg.JobDeadline
+	}
 	s.mu.Unlock()
 
 	// Journal the transition before making it visible, mirroring the
@@ -236,33 +308,76 @@ func (s *Server) runJob(j *job, arena *harness.Arena) {
 		<-s.testBlock
 	}
 
-	res, horizon, err := s.execute(cfg, progress, arena)
+	opts := execOpts{
+		cfg: cfg, cfgJSON: j.cfgJSON, progress: progress, arena: arena,
+		deadline: deadline, ckptPath: s.checkpointPath(j.id), resume: resume,
+	}
+	res, horizon, err := s.execute(opts)
+	if err != nil && opts.resume != nil && !errors.Is(err, context.DeadlineExceeded) {
+		// The checkpoint could not be verified against the replay (config
+		// drift, code change, damaged file). Resuming is an optimization,
+		// not an obligation: fall back to full deterministic re-execution.
+		s.mu.Lock()
+		s.emit(j, "resume-fallback")
+		s.mu.Unlock()
+		opts.resume = nil
+		res, horizon, err = s.execute(opts)
+	}
 	wall := time.Since(j.started).Seconds()
 
 	var summary *harness.Summary
 	if err == nil {
 		summary = harness.Summarize(res)
 	}
+	// A deadline expiry parks the job instead of failing it when a
+	// checkpoint was persisted: the spent work survives and the client
+	// decides whether to grant a larger budget.
+	parked := err != nil && errors.Is(err, context.DeadlineExceeded) &&
+		opts.ckptPath != "" && fileExists(opts.ckptPath)
+
 	s.mu.Lock()
 	j.finished = time.Now()
-	if err != nil {
+	j.resume = nil
+	switch {
+	case parked:
+		j.state = StateParked
+		j.errMsg = fmt.Sprintf("job deadline (%v) exceeded; parked at last checkpoint — resume with POST /v1/experiments/%s/resume", deadline, j.id)
+		s.emit(j, string(StateParked))
+	case err != nil:
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		s.cJobs(StateFailed).Inc()
 		s.emit(j, string(StateFailed))
-	} else {
+	default:
 		j.state = StateDone
 		j.summary = summary
+		j.errMsg = ""
 		s.cJobs(StateDone).Inc()
 		scheme := string(cfg.Scheme)
 		s.simSeconds(scheme).Observe(horizon.Seconds())
 		s.wallSeconds(scheme).Observe(wall)
+		if opts.resume != nil {
+			s.cResumed.Inc()
+			s.cReplayed.Add(float64(res.Replayed))
+		}
 		s.emit(j, string(StateDone))
 	}
 	state, errMsg := j.state, j.errMsg
 	s.mu.Unlock()
 	s.journalState(j.id, state, errMsg, summary, restarts)
+	if state.terminal() {
+		// The checkpoint has served its purpose; parked jobs keep theirs.
+		if p := opts.ckptPath; p != "" {
+			_ = os.Remove(p)
+		}
+	}
 	s.maybeCompact()
+}
+
+// fileExists reports whether path names an existing file.
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // cJobs returns the terminal-state counter for one state.

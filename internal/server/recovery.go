@@ -3,8 +3,10 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"time"
 
+	"orion/internal/checkpoint"
 	"orion/internal/harness"
 	"orion/internal/journal"
 )
@@ -71,23 +73,39 @@ func (s *Server) openJournal() ([]*job, error) {
 					j.summary = &sum
 				}
 			}
+			// A terminal job needs no checkpoint; a leftover file means the
+			// previous incarnation died between journaling the terminal
+			// state and the cleanup.
+			if p := s.checkpointPath(j.id); p != "" {
+				_ = os.Remove(p)
+			}
 			s.emit(j, string(j.state))
+		case j.state == StateParked:
+			// Parked survives restarts as-is: the checkpoint file stays on
+			// disk and the job waits for a client's resume call.
+			j.finished = im.Finished
+			j.errMsg = im.Error
+			s.emit(j, string(StateParked))
 		case j.state == StateRunning:
 			// Interrupted mid-flight: re-execute from the recorded config.
 			// The harness is deterministic per seed, so the re-run's answer
-			// is exactly what the lost run would have produced.
+			// is exactly what the lost run would have produced. With a
+			// persisted checkpoint the replay additionally skips (and
+			// byte-verifies) the prefix the lost run already covered.
 			j.state = StateQueued
 			j.restarts++
 			j.recovered = true
 			im.State = string(StateQueued)
 			im.Restarts = j.restarts
 			s.cRecovered.Inc()
+			s.attachCheckpoint(j)
 			s.emit(j, "recovered")
 			runnable = append(runnable, j)
 		default: // queued
 			if j.recovered {
 				s.emit(j, "recovered")
 			}
+			s.attachCheckpoint(j)
 			runnable = append(runnable, j)
 		}
 		if n := jobSeq(im.ID); n > s.seq {
@@ -115,6 +133,19 @@ func (s *Server) openJournal() ([]*job, error) {
 
 // journalTerminal mirrors State.terminal for raw journal state strings.
 func journalTerminal(st string) bool { return State(st).terminal() }
+
+// attachCheckpoint loads a runnable job's persisted checkpoint, if any:
+// the job resumes from it instead of re-executing from event zero. An
+// unreadable file is simply ignored — resuming is an optimization.
+func (s *Server) attachCheckpoint(j *job) {
+	path := s.checkpointPath(j.id)
+	if path == "" {
+		return
+	}
+	if ck, err := checkpoint.ReadFile(path); err == nil {
+		j.resume = ck
+	}
+}
 
 // jobSeq extracts the numeric suffix of an "exp-%06d" id (0 if the id
 // does not match).

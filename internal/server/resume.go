@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"orion/internal/checkpoint"
+)
+
+// resumeRequest is the optional body of POST /v1/experiments/{id}/resume.
+type resumeRequest struct {
+	// Deadline is the wall-clock budget for the resumed attempt
+	// ("30s"-style); empty keeps the job's previous effective deadline.
+	Deadline string `json:"deadline,omitempty"`
+}
+
+// handleResume re-queues a parked job. The run continues from the job's
+// persisted checkpoint (verified byte-for-byte against the deterministic
+// replay before any new work happens); if the checkpoint file is gone or
+// unreadable the job simply re-executes from event zero. Resumption goes
+// through the same admission gates as a fresh submission — draining
+// servers and full queues reject it — so a parked job can never bypass
+// the queue bound the channel capacity was sized for.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{"no such experiment"})
+		return
+	}
+	var req resumeRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{"bad resume body: " + err.Error()})
+			return
+		}
+	}
+	var deadline time.Duration
+	if req.Deadline != "" {
+		d, err := time.ParseDuration(req.Deadline)
+		if err != nil || d < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad deadline %q", req.Deadline)})
+			return
+		}
+		deadline = d
+	}
+
+	// Load the checkpoint before taking the lock; it is a small file and
+	// the job cannot leave Parked behind our back (only this handler and
+	// the worker move it, and no worker owns a parked job).
+	var ck *checkpoint.Checkpoint
+	if path := s.checkpointPath(j.id); path != "" {
+		if loaded, err := checkpoint.ReadFile(path); err == nil {
+			ck = loaded
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		s.rejectUnavailable(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if j.state != StateParked {
+		st := j.state
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, errorBody{fmt.Sprintf("experiment is %s, only parked jobs can be resumed", st)})
+		return
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		n := s.queued
+		s.mu.Unlock()
+		s.rejectUnavailable(w, http.StatusTooManyRequests, fmt.Sprintf("queue full (%d waiting)", n))
+		return
+	}
+	j.state = StateQueued
+	j.resume = ck
+	if deadline > 0 {
+		j.deadline = deadline
+	}
+	j.errMsg = ""
+	j.finished = time.Time{}
+	s.queued++
+	s.gQueueDepth.Inc()
+	s.emit(j, "resume")
+	restarts := j.restarts
+	st := j.status()
+	s.mu.Unlock()
+
+	s.journalState(j.id, StateQueued, "", nil, restarts)
+
+	s.mu.Lock()
+	if s.draining.Load() {
+		// Shutdown won the race while we were journaling (same pattern as
+		// admit): cancel instead of enqueueing into nowhere.
+		s.queued--
+		s.gQueueDepth.Dec()
+		j.state = StateCanceled
+		j.finished = time.Now()
+		j.errMsg = "server shut down before the job started"
+		s.cJobs(StateCanceled).Inc()
+		s.emit(j, string(StateCanceled))
+		s.mu.Unlock()
+		s.journalState(j.id, StateCanceled, j.errMsg, nil, restarts)
+		s.rejectUnavailable(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.queue <- j // capacity reserved by s.queued above; never blocks
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, st)
+}

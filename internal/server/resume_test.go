@@ -1,0 +1,286 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"orion/internal/checkpoint"
+	"orion/internal/harness"
+	"orion/internal/sim"
+)
+
+// captureCheckpoint runs cfg just far enough to produce its first
+// checkpoint: the sink stores it and then aborts the run.
+func captureCheckpoint(t *testing.T, cfg harness.Config) *checkpoint.Checkpoint {
+	t.Helper()
+	rc, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *checkpoint.Checkpoint
+	rc.Checkpoint = &harness.CheckpointConfig{
+		Stride: sim.InterruptStride,
+		Sink: func(ck *checkpoint.Checkpoint) error {
+			first = ck
+			return errors.New("stop after first checkpoint")
+		},
+	}
+	if _, err := harness.RunContext(context.Background(), rc); err == nil {
+		t.Fatal("capture run was not aborted by the sink")
+	}
+	if first == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	return first
+}
+
+// pollState waits until the job reaches the wanted state.
+func pollState(t *testing.T, ts *httptest.Server, id string, want State) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/experiments/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() && !want.Terminal() {
+			t.Fatalf("job %s reached terminal %q while waiting for %q (%s)", id, st.State, want, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, want)
+	return JobStatus{}
+}
+
+// TestCheckpointResumeRecovery: a job that was running (with a persisted
+// checkpoint) when the daemon died resumes from that checkpoint in the
+// next incarnation — fewer events re-executed, byte-identical summary,
+// resume metrics bumped, checkpoint cleaned up after the terminal state.
+func TestCheckpointResumeRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickConfig(harness.Orion)
+	ck := captureCheckpoint(t, cfg)
+
+	// Incarnation A journals the job as running, then "dies" with its
+	// worker pinned — exactly the window a SIGKILL would hit.
+	a := mustNew(t, Config{
+		Workers: 1, QueueDepth: 4, JournalDir: dir,
+		CheckpointStride: sim.InterruptStride, testBlock: make(chan struct{}),
+	})
+	tsA := httptest.NewServer(a.Handler())
+	st, resp := submit(t, tsA, cfg)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitRunning(t, a, st.ID)
+	// The checkpoint the lost run would have persisted by now.
+	ckPath := filepath.Join(dir, "ckpt-"+st.ID+".ck")
+	if err := checkpoint.WriteFile(ckPath, ck); err != nil {
+		t.Fatal(err)
+	}
+	tsA.Close() // crash
+
+	b := mustNew(t, Config{
+		Workers: 1, QueueDepth: 4, JournalDir: dir,
+		CheckpointStride: sim.InterruptStride,
+	})
+	defer b.Shutdown(context.Background())
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+
+	got := pollDone(t, tsB, st.ID)
+	if got.State != StateDone || !got.Recovered || got.RestartCount != 1 {
+		t.Fatalf("recovered job: state=%q recovered=%v restarts=%d (%s)",
+			got.State, got.Recovered, got.RestartCount, got.Error)
+	}
+	direct, err := harness.RunWire(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := summaryJSON(t, harness.Summarize(direct)); summaryJSON(t, got.Result) != want {
+		t.Error("resumed summary not bit-identical to direct run")
+	}
+	if got := b.cResumed.Value(); got != 1 {
+		t.Errorf("resumed counter = %v, want 1", got)
+	}
+	if got := b.cReplayed.Value(); got != float64(ck.Meta.Cursor) {
+		t.Errorf("replayed counter = %v, want the checkpoint cursor %d", got, ck.Meta.Cursor)
+	}
+	if fileExists(ckPath) {
+		t.Error("checkpoint file not removed after the job finished")
+	}
+
+	var buf bytes.Buffer
+	mresp, err := http.Get(tsB.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"orion_serve_resumed_jobs_total 1",
+		"orion_serve_events_replayed_total",
+		"orion_serve_checkpoint_bytes",
+		"orion_serve_checkpoint_write_seconds",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestCorruptCheckpointFallsBack: a damaged checkpoint file must not
+// poison recovery — the job re-executes from event zero and still lands
+// on the deterministic answer.
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickConfig(harness.Reef)
+
+	a := mustNew(t, Config{
+		Workers: 1, QueueDepth: 4, JournalDir: dir,
+		CheckpointStride: sim.InterruptStride, testBlock: make(chan struct{}),
+	})
+	tsA := httptest.NewServer(a.Handler())
+	st, resp := submit(t, tsA, cfg)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitRunning(t, a, st.ID)
+	ckPath := filepath.Join(dir, "ckpt-"+st.ID+".ck")
+	if err := os.WriteFile(ckPath, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tsA.Close() // crash
+
+	b := mustNew(t, Config{
+		Workers: 1, QueueDepth: 4, JournalDir: dir,
+		CheckpointStride: sim.InterruptStride,
+	})
+	defer b.Shutdown(context.Background())
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+
+	got := pollDone(t, tsB, st.ID)
+	if got.State != StateDone || !got.Recovered {
+		t.Fatalf("recovered job: state=%q recovered=%v (%s)", got.State, got.Recovered, got.Error)
+	}
+	if got := b.cResumed.Value(); got != 0 {
+		t.Errorf("resumed counter = %v for a corrupt checkpoint, want 0", got)
+	}
+}
+
+// TestDeadlineParksAndResumes: a job whose wall-clock deadline expires
+// mid-run parks at its last checkpoint instead of failing; the parked
+// state survives a restart; POST resume with a larger deadline continues
+// the run to the exact deterministic answer.
+func TestDeadlineParksAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickConfig(harness.Orion)
+	cfg.Horizon = 10 * sim.Second // ~0.5s+ of wall time: cannot finish in 50ms
+
+	a := mustNew(t, Config{
+		Workers: 1, QueueDepth: 4, JournalDir: dir,
+		CheckpointStride: sim.InterruptStride, JobDeadline: 50 * time.Millisecond,
+	})
+	tsA := httptest.NewServer(a.Handler())
+	st, resp := submit(t, tsA, cfg)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	parked := pollState(t, tsA, st.ID, StateParked)
+	if !strings.Contains(parked.Error, "parked") {
+		t.Errorf("parked status error = %q", parked.Error)
+	}
+	ckPath := filepath.Join(dir, "ckpt-"+st.ID+".ck")
+	if !fileExists(ckPath) {
+		t.Fatal("parked job has no checkpoint file")
+	}
+	if code := postResume(t, tsA, "exp-999999", ""); code != http.StatusNotFound {
+		t.Errorf("resume of an unknown job: %d, want 404", code)
+	}
+
+	// Graceful restart: parked is neither queued nor running, so it rides
+	// through shutdown untouched and restores as parked.
+	if err := a.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tsA.Close()
+	b := mustNew(t, Config{
+		Workers: 1, QueueDepth: 4, JournalDir: dir,
+		CheckpointStride: sim.InterruptStride, JobDeadline: 50 * time.Millisecond,
+	})
+	defer b.Shutdown(context.Background())
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+	if got := pollState(t, tsB, st.ID, StateParked); got.State != StateParked {
+		t.Fatalf("after restart: %q", got.State)
+	}
+	if !fileExists(ckPath) {
+		t.Fatal("restart removed a parked job's checkpoint")
+	}
+
+	// Resume with a real budget: the run continues from the checkpoint.
+	if code := postResume(t, tsB, st.ID, `{"deadline":"120s"}`); code != http.StatusAccepted {
+		t.Fatalf("resume: %d", code)
+	}
+	got := pollDone(t, tsB, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("resumed job: %q (%s)", got.State, got.Error)
+	}
+	direct, err := harness.RunWire(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := summaryJSON(t, harness.Summarize(direct)); summaryJSON(t, got.Result) != want {
+		t.Error("parked-and-resumed summary not bit-identical to direct run")
+	}
+	if got := b.cResumed.Value(); got != 1 {
+		t.Errorf("resumed counter = %v, want 1", got)
+	}
+	if fileExists(ckPath) {
+		t.Error("checkpoint not cleaned up after the resumed job finished")
+	}
+	// Resuming a non-parked (here: done) job is a conflict, and bad resume
+	// bodies are rejected up front.
+	if code := postResume(t, tsB, st.ID, ""); code != http.StatusConflict {
+		t.Errorf("resume of a done job: %d, want 409", code)
+	}
+	if code := postResume(t, tsB, st.ID, `{"deadline":"yes please"}`); code != http.StatusBadRequest {
+		t.Errorf("bad deadline: %d, want 400", code)
+	}
+}
+
+// postResume POSTs to the resume endpoint and returns the status code.
+func postResume(t *testing.T, ts *httptest.Server, id, body string) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == "" {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader([]byte(body))
+	}
+	resp, err := http.Post(ts.URL+"/v1/experiments/"+id+"/resume", "application/json", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}

@@ -60,9 +60,18 @@ type Config struct {
 	// memory, as before.
 	JournalDir string
 	// JobDeadline, when positive, bounds each experiment's wall-clock
-	// run time; a job that exceeds it is canceled mid-simulation and
-	// marked failed.
+	// run time. A job that exceeds it is canceled mid-simulation; with
+	// checkpointing enabled it parks at its last persisted checkpoint
+	// (resumable with a larger deadline via POST
+	// /v1/experiments/{id}/resume), otherwise it is marked failed.
 	JobDeadline time.Duration
+	// CheckpointStride, when positive and JournalDir is set, persists a
+	// checkpoint of every running experiment each CheckpointStride
+	// simulation events (rounded up to the engine's interrupt stride),
+	// stored next to the journal as ckpt-<id>.ck. Recovery resumes an
+	// interrupted job from its checkpoint instead of replaying the whole
+	// run, and verifies the replayed state byte-for-byte first.
+	CheckpointStride uint64
 	// Heartbeat is the SSE keep-alive comment interval (default 15s):
 	// idle event streams emit ": heartbeat" so dead client connections
 	// are detected and their subscriptions torn down promptly.
@@ -129,9 +138,13 @@ type Server struct {
 	cRejected     *metrics.Counter
 	cRecovered    *metrics.Counter
 	cPanics       *metrics.Counter
+	cResumed      *metrics.Counter
+	cReplayed     *metrics.Counter
 	gQueueDepth   *metrics.Gauge
 	gWorkersBusy  *metrics.Gauge
 	gJournalBytes *metrics.Gauge
+	gCkptBytes    *metrics.Gauge
+	hCkptWrite    *metrics.Histogram
 
 	// testBlock, when non-nil, parks every worker after it marks its job
 	// running until the channel closes — lets tests pin the pool in a
@@ -161,12 +174,21 @@ func New(cfg Config) (*Server, error) {
 			"Jobs re-executed after a crash because the journal showed them running.", nil),
 		cPanics: reg.Counter("orion_serve_worker_panics_total",
 			"Experiment panics caught by the worker pool (job failed, daemon kept serving).", nil),
+		cResumed: reg.Counter("orion_serve_resumed_jobs_total",
+			"Jobs that continued from a verified checkpoint instead of re-executing from event zero.", nil),
+		cReplayed: reg.Counter("orion_serve_events_replayed_total",
+			"Simulation events re-executed to reach resume checkpoints (always less than a full re-run).", nil),
 		gQueueDepth: reg.Gauge("orion_serve_queue_depth",
 			"Jobs admitted but not yet running.", nil),
 		gWorkersBusy: reg.Gauge("orion_serve_workers_busy",
 			"Workers currently running an experiment.", nil),
 		gJournalBytes: reg.Gauge("orion_serve_journal_bytes",
 			"On-disk size of the job journal (0 when journaling is off).", nil),
+		gCkptBytes: reg.Gauge("orion_serve_checkpoint_bytes",
+			"Size of the most recently persisted experiment checkpoint.", nil),
+		hCkptWrite: reg.Histogram("orion_serve_checkpoint_write_seconds",
+			"Wall-clock cost of persisting one experiment checkpoint.",
+			[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1}, nil),
 		testBlock: cfg.testBlock,
 	}
 	reg.Gauge("orion_serve_workers", "Worker pool size.", nil).Set(float64(cfg.Workers))
@@ -212,6 +234,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleList)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/experiments/{id}/resume", s.handleResume)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)

@@ -61,14 +61,16 @@ type Engine struct {
 	Interrupt func() bool
 }
 
-// interruptStride bounds how many events run between Interrupt polls;
+// InterruptStride bounds how many events run between Interrupt polls;
 // cheap enough to leave the hot loop unmeasurable, tight enough that
-// cancellation lands within microseconds of wall time.
-const interruptStride = 1024
+// cancellation lands within microseconds of wall time. Checkpoint capture
+// piggybacks on the same poll, so checkpoint cursors are always a
+// multiple of this stride.
+const InterruptStride = 1024
 
 // interrupted polls the Interrupt hook at the stride boundary.
 func (e *Engine) interrupted() bool {
-	return e.Interrupt != nil && e.processed%interruptStride == 0 && e.Interrupt()
+	return e.Interrupt != nil && e.processed%InterruptStride == 0 && e.Interrupt()
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -295,6 +297,13 @@ func (e *Engine) RunUntil(deadline Time) {
 			break
 		}
 		e.Step()
+	}
+	// Drain-path poll: a cancellation that lands mid-stride during a
+	// same-timestamp cascade at the tail would otherwise be ignored here
+	// and the clock fast-forwarded to the deadline as if the run had
+	// completed — the caller could no longer tell it was interrupted.
+	if e.Interrupt != nil && e.Interrupt() {
+		return
 	}
 	if e.now < deadline {
 		e.now = deadline

@@ -495,4 +495,30 @@ func TestInterruptStopsRunawayCascade(t *testing.T) {
 	if e2.Processed() == 0 {
 		t.Fatal("engine stopped before doing any work")
 	}
+
+	// Drain path: a cancellation that lands inside a same-timestamp cascade
+	// at the TAIL of the run — after the last stride poll, before the queue
+	// drains — must still be observed. Without the drain-path poll, RunUntil
+	// would fast-forward the clock to the deadline as if the run completed.
+	e3 := NewEngine()
+	var tripped atomic.Bool
+	fires := 0
+	var tail func()
+	tail = func() {
+		fires++
+		if fires == 50 {
+			// Cancel mid-cascade; fewer than InterruptStride events ever
+			// run, so no stride-boundary poll after this can observe it.
+			tripped.Store(true)
+		}
+		if fires < 100 {
+			e3.At(e3.Now(), tail) // same-timestamp cascade, then drains
+		}
+	}
+	e3.At(5, tail)
+	e3.Interrupt = tripped.Load
+	e3.RunUntil(1 << 40)
+	if got := e3.Now(); got != 5 {
+		t.Fatalf("Now() = %v after tail-cascade interrupt, want 5 (clock must not overshoot to the deadline)", got)
+	}
 }

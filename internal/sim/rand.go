@@ -8,12 +8,21 @@ import "math/rand"
 // which keeps runs reproducible even when components are added or removed.
 type Rand struct {
 	r *rand.Rand
+	// draws counts values handed out. math/rand exposes no internal state,
+	// but the stream is a pure function of (seed, draws), so the counter is
+	// a complete fingerprint for checkpoint verification.
+	draws uint64
 }
 
 // NewRand returns a deterministic generator for the given seed.
 func NewRand(seed int64) *Rand {
 	return &Rand{r: rand.New(rand.NewSource(seed))}
 }
+
+// Draws reports how many values this generator has handed out. Together
+// with the construction seed it pins the generator's exact state: replaying
+// the same draw count from the same seed reproduces the stream.
+func (r *Rand) Draws() uint64 { return r.draws }
 
 // Split derives an independent child generator. The child's stream is a
 // pure function of the parent seed and the label, so reordering unrelated
@@ -24,18 +33,26 @@ func (r *Rand) Split(label string) *Rand {
 		h ^= int64(c)
 		h *= 1099511628211
 	}
+	r.draws++
 	return NewRand(h ^ r.r.Int63())
 }
 
 // Float64 returns a uniform value in [0,1).
-func (r *Rand) Float64() float64 { return r.r.Float64() }
+func (r *Rand) Float64() float64 {
+	r.draws++
+	return r.r.Float64()
+}
 
 // Intn returns a uniform int in [0,n).
-func (r *Rand) Intn(n int) int { return r.r.Intn(n) }
+func (r *Rand) Intn(n int) int {
+	r.draws++
+	return r.r.Intn(n)
+}
 
 // ExpDuration draws an exponentially distributed duration with the given
 // mean — the inter-arrival time of a Poisson process.
 func (r *Rand) ExpDuration(mean Duration) Duration {
+	r.draws++
 	d := Duration(r.r.ExpFloat64() * float64(mean))
 	if d < 0 {
 		d = 0
@@ -48,11 +65,13 @@ func (r *Rand) UniformDuration(lo, hi Duration) Duration {
 	if hi <= lo {
 		return lo
 	}
+	r.draws++
 	return lo + Duration(r.r.Int63n(int64(hi-lo)+1))
 }
 
 // NormDuration draws a normally distributed duration clamped at zero.
 func (r *Rand) NormDuration(mean, stddev Duration) Duration {
+	r.draws++
 	d := Duration(r.r.NormFloat64()*float64(stddev) + float64(mean))
 	if d < 0 {
 		d = 0

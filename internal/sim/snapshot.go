@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventState is the serializable fingerprint of one queued event. The
+// callback itself is a closure and cannot cross a process boundary; what
+// can is the event's position in virtual time and its deterministic
+// sequence number, which together identify it uniquely within a run.
+type EventState struct {
+	Time Time
+	Seq  uint64
+	Weak bool
+}
+
+// EngineState is a deterministic fingerprint of the engine: the clock,
+// the allocation counters, and every queued event in (time, seq) order.
+// Two engines that executed the same event sequence from the same inputs
+// produce byte-identical EngineStates; pool and capacity state (warm free
+// lists, slice capacities) is deliberately excluded because arena reuse
+// varies it without affecting behaviour.
+type EngineState struct {
+	Now       Time
+	Seq       uint64
+	Strong    int
+	Processed uint64
+	Events    []EventState
+}
+
+// Snapshot captures the engine's logical state. It allocates (the event
+// list is copied and sorted) and must only be called off the hot path —
+// in practice at Interrupt-stride boundaries, never per event.
+func (e *Engine) Snapshot() EngineState {
+	s := EngineState{
+		Now:       e.now,
+		Seq:       e.seq,
+		Strong:    e.strong,
+		Processed: e.processed,
+		Events:    make([]EventState, 0, len(e.queue)),
+	}
+	for _, ev := range e.queue {
+		s.Events = append(s.Events, EventState{Time: ev.time, Seq: ev.seq, Weak: ev.weak})
+	}
+	// Heap-array order is itself deterministic, but (time, seq) order makes
+	// the fingerprint independent of heap layout entirely, which keeps the
+	// determinism argument local to this function.
+	sort.Slice(s.Events, func(i, j int) bool {
+		if s.Events[i].Time != s.Events[j].Time {
+			return s.Events[i].Time < s.Events[j].Time
+		}
+		return s.Events[i].Seq < s.Events[j].Seq
+	})
+	return s
+}
+
+// Restore completes the checkpoint/restore contract. Event callbacks are
+// closures, so a checkpoint cannot rebuild the heap directly; instead the
+// caller reconstructs the simulation from its config and deterministically
+// re-executes events until Processed() reaches the checkpoint cursor, then
+// calls Restore with the checkpointed state. Restore verifies the replayed
+// engine is bit-identical to the checkpointed one — clock, counters, and
+// the full queued-event fingerprint — and returns a descriptive error on
+// any divergence, at which point the caller must discard the checkpoint
+// rather than continue from silently wrong state.
+func (e *Engine) Restore(want EngineState) error {
+	got := e.Snapshot()
+	if got.Now != want.Now {
+		return fmt.Errorf("sim: restore clock mismatch: replayed %v, checkpoint %v", got.Now, want.Now)
+	}
+	if got.Seq != want.Seq {
+		return fmt.Errorf("sim: restore seq mismatch: replayed %d, checkpoint %d", got.Seq, want.Seq)
+	}
+	if got.Strong != want.Strong {
+		return fmt.Errorf("sim: restore strong-count mismatch: replayed %d, checkpoint %d", got.Strong, want.Strong)
+	}
+	if got.Processed != want.Processed {
+		return fmt.Errorf("sim: restore cursor mismatch: replayed %d events, checkpoint %d", got.Processed, want.Processed)
+	}
+	if len(got.Events) != len(want.Events) {
+		return fmt.Errorf("sim: restore queue mismatch: replayed %d events queued, checkpoint %d", len(got.Events), len(want.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != want.Events[i] {
+			return fmt.Errorf("sim: restore queued event %d mismatch: replayed %+v, checkpoint %+v",
+				i, got.Events[i], want.Events[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// drive schedules a small deterministic workload: a few timers, a weak
+// monitor, a cancellation, and a cascade, then runs n events.
+func drive(e *Engine, n int) {
+	var tick func()
+	tick = func() { e.After(3, tick) }
+	e.At(0, tick)
+	e.After(1, func() {})
+	ev := e.After(100, func() {})
+	e.AfterWeak(2, func() {})
+	e.Cancel(ev)
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+func TestSnapshotDeterministicAcrossReplay(t *testing.T) {
+	a := NewEngine()
+	drive(a, 10)
+	sa := a.Snapshot()
+
+	// An independent engine executing the same schedule must fingerprint
+	// identically — the property checkpoint restore relies on.
+	b := NewEngine()
+	drive(b, 10)
+	if err := b.Restore(sa); err != nil {
+		t.Fatalf("replayed engine diverged from snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(sa, b.Snapshot()) {
+		t.Fatal("snapshots of identical replays differ")
+	}
+
+	// An engine reset from a warm arena (non-empty pool, sized queue) must
+	// also fingerprint identically: pool state is excluded by design.
+	b.Reset()
+	drive(b, 10)
+	if err := b.Restore(sa); err != nil {
+		t.Fatalf("arena-reset replay diverged from snapshot: %v", err)
+	}
+}
+
+func TestRestoreDetectsDivergence(t *testing.T) {
+	a := NewEngine()
+	drive(a, 10)
+	sa := a.Snapshot()
+
+	b := NewEngine()
+	drive(b, 10)
+	b.After(7, func() {}) // extra event: states must no longer match
+	if err := b.Restore(sa); err == nil {
+		t.Fatal("Restore accepted a diverged engine")
+	}
+
+	c := NewEngine()
+	drive(c, 9) // one event short of the cursor
+	if err := c.Restore(sa); err == nil {
+		t.Fatal("Restore accepted a short replay")
+	}
+}
+
+func TestRandDrawsFingerprint(t *testing.T) {
+	a := NewRand(42)
+	if a.Draws() != 0 {
+		t.Fatalf("fresh Rand has %d draws", a.Draws())
+	}
+	a.Float64()
+	a.Intn(10)
+	a.ExpDuration(Second)
+	child := a.Split("job-0")
+	if a.Draws() != 4 {
+		t.Fatalf("parent draws = %d, want 4 (Split consumes a value)", a.Draws())
+	}
+	if child.Draws() != 0 {
+		t.Fatalf("child draws = %d, want 0", child.Draws())
+	}
+
+	// Same seed + same draw count ⇒ same stream position.
+	b := NewRand(42)
+	b.Float64()
+	b.Intn(10)
+	b.ExpDuration(Second)
+	b.Split("job-0")
+	if a.Draws() != b.Draws() {
+		t.Fatalf("draw counts diverged: %d vs %d", a.Draws(), b.Draws())
+	}
+	if got, want := a.Float64(), b.Float64(); got != want {
+		t.Fatalf("streams diverged at equal draw counts: %v vs %v", got, want)
+	}
+}

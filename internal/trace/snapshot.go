@@ -1,0 +1,36 @@
+package trace
+
+import "orion/internal/checkpoint"
+
+// The arrival processes implement checkpoint.Snapshotter so a driver's
+// checkpoint pins the exact position of its arrival stream. math/rand
+// exposes no internal state, but each process owns its *sim.Rand, whose
+// stream is a pure function of (seed, draw count) — the draw counter plus
+// any episode bookkeeping is therefore a complete state fingerprint.
+
+// SnapshotTo implements checkpoint.Snapshotter.
+func (p *poisson) SnapshotTo(e *checkpoint.Encoder) {
+	e.I64(int64(p.mean))
+	e.U64(p.r.Draws())
+}
+
+// SnapshotTo implements checkpoint.Snapshotter.
+func (u *uniform) SnapshotTo(e *checkpoint.Encoder) {
+	e.I64(int64(u.period))
+	e.I64(int64(u.jitter))
+	e.U64(u.r.Draws())
+}
+
+// SnapshotTo implements checkpoint.Snapshotter.
+func (a *apollo) SnapshotTo(e *checkpoint.Encoder) {
+	e.I64(int64(a.base))
+	e.U64(a.r.Draws())
+	e.Bool(a.inBurst)
+	e.I64(int64(a.phaseLeft))
+}
+
+// SnapshotTo implements checkpoint.Snapshotter.
+func (t *replay) SnapshotTo(e *checkpoint.Encoder) {
+	e.Int(len(t.gaps))
+	e.Int(t.i)
+}
