@@ -1,6 +1,6 @@
 # Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, and
 # the full test suite under the race detector.
-.PHONY: check fmt vet build test bench bench-json bench-compare chaos chaos-resume
+.PHONY: check fmt vet build test bench bench-json bench-compare chaos chaos-resume torture
 
 check: fmt vet build test
 
@@ -31,6 +31,18 @@ chaos:
 # artifacts are copied to $CHAOS_ARTIFACT_DIR when set.
 chaos-resume:
 	go test -race -tags chaos -run TestChaosResume -v -timeout 600s .
+
+# Storage torture: the crashpoint matrix (every errfs fault site in the
+# journal and checkpoint paths: torn frames, failed fsyncs, ENOSPC,
+# corrupt reads — inject, recover, assert no acked record lost and
+# summaries bit-identical) plus the real-process ENOSPC drill (a daemon
+# whose journal disk fills mid-operation and later clears must degrade
+# to 503 + durability_degraded, keep in-flight jobs running, and recover
+# on its own). Set CHAOS_ARTIFACT_DIR to keep the journal + daemon log
+# on failure.
+torture:
+	go test -race -run 'Torture|Truncation|Quarantine|Degraded' -v -timeout 600s ./internal/...
+	go test -race -tags torture -run TestTortureENOSPCDrill -v -timeout 600s .
 
 bench:
 	go test -bench . -benchmem -benchtime=1x ./...

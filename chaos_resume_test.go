@@ -3,15 +3,12 @@
 package orion_test
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
-	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
-	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -204,27 +201,5 @@ func fileNonEmpty(path string) bool {
 	return err == nil && fi.Size() > 0
 }
 
-// scrapeMetric fetches /metrics and returns the value of an unlabeled
-// series by exact name.
-func scrapeMetric(t *testing.T, base, name string) float64 {
-	t.Helper()
-	resp, err := http.Get(base + "/metrics")
-	if err != nil {
-		t.Fatalf("scrape: %v", err)
-	}
-	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, name+" ") {
-			continue
-		}
-		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
-		if err != nil {
-			t.Fatalf("parse %s: %v", line, err)
-		}
-		return v
-	}
-	t.Fatalf("metric %s not found", name)
-	return 0
-}
+// scrapeMetric lives in drill_helpers_test.go, shared with the
+// torture drill.

@@ -6,10 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"math/rand"
-	"net"
-	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -200,83 +197,5 @@ func TestChaosCrashRecovery(t *testing.T) {
 	waitExit(t, cmd, 60*time.Second)
 }
 
-// freeAddr grabs an ephemeral localhost port and releases it for the
-// daemon to bind.
-func freeAddr(t *testing.T) string {
-	t.Helper()
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := l.Addr().String()
-	l.Close()
-	return addr
-}
-
-func waitReady(t *testing.T, base string) {
-	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		resp, err := http.Get(base + "/readyz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return
-			}
-		}
-		time.Sleep(25 * time.Millisecond)
-	}
-	t.Fatal("orion-serve never became ready")
-}
-
-func waitExit(t *testing.T, cmd *exec.Cmd, timeout time.Duration) {
-	t.Helper()
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
-	select {
-	case <-done:
-	case <-time.After(timeout):
-		_ = cmd.Process.Kill()
-		t.Fatal("orion-serve did not exit after SIGTERM")
-	}
-}
-
-// saveArtifacts copies the journal directory and daemon log into
-// $CHAOS_ARTIFACT_DIR so CI can upload them on failure.
-func saveArtifacts(t *testing.T, journalDir, logPath string) {
-	dst := os.Getenv("CHAOS_ARTIFACT_DIR")
-	if dst == "" {
-		return
-	}
-	if err := os.MkdirAll(dst, 0o755); err != nil {
-		t.Logf("artifacts: %v", err)
-		return
-	}
-	copyFile := func(src, name string) {
-		in, err := os.Open(src)
-		if err != nil {
-			t.Logf("artifacts: %v", err)
-			return
-		}
-		defer in.Close()
-		out, err := os.Create(filepath.Join(dst, name))
-		if err != nil {
-			t.Logf("artifacts: %v", err)
-			return
-		}
-		defer out.Close()
-		if _, err := io.Copy(out, in); err != nil {
-			t.Logf("artifacts: %v", err)
-		}
-	}
-	copyFile(logPath, filepath.Base(logPath))
-	entries, err := os.ReadDir(journalDir)
-	if err != nil {
-		t.Logf("artifacts: %v", err)
-		return
-	}
-	for _, e := range entries {
-		copyFile(filepath.Join(journalDir, e.Name()), e.Name())
-	}
-	t.Logf("chaos artifacts saved to %s", dst)
-}
+// freeAddr, waitReady, waitExit and saveArtifacts live in
+// drill_helpers_test.go, shared with the torture drill.

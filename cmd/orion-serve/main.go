@@ -38,6 +38,13 @@
 // (optionally with {"deadline": "5m"}) continues it later:
 //
 //	orion-serve -journal-dir /var/lib/orion-serve -checkpoint-stride 65536
+//
+// -errfs-profile (testing only) routes all journal and checkpoint I/O
+// through a deterministic fault injector — torn writes, failed fsyncs,
+// a disk that fills and later clears — so storage-failure drills can be
+// run against the real binary:
+//
+//	orion-serve -journal-dir /tmp/j -errfs-profile 'enospc:bytes=4096,fails=20'
 package main
 
 import (
@@ -51,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"orion/internal/errfs"
 	"orion/internal/server"
 )
 
@@ -64,7 +72,20 @@ func main() {
 	journalDir := flag.String("journal-dir", "", "crash-safety journal directory (empty = in-memory only)")
 	jobDeadline := flag.Duration("job-deadline", 0, "per-experiment wall-clock limit (0 = unlimited)")
 	ckptStride := flag.Uint64("checkpoint-stride", 0, "persist a resume checkpoint every N simulated events (0 = off; needs -journal-dir)")
+	errfsProfile := flag.String("errfs-profile", "", "TESTING ONLY: storage fault-injection profile for the journal/checkpoint filesystem, e.g. 'enospc:bytes=4096,fails=20; flaky:psync=0.01' (see internal/errfs)")
+	errfsSeed := flag.Int64("errfs-seed", 1, "seed for probabilistic errfs faults")
+	degradedProbe := flag.Duration("degraded-probe", 0, "how often a disk-full daemon probes for space (0 = default 1s)")
 	flag.Parse()
+
+	var fsys errfs.FS
+	if *errfsProfile != "" {
+		inj, err := errfs.FromProfile(*errfsProfile, *errfsSeed)
+		if err != nil {
+			log.Fatalf("bad -errfs-profile: %v", err)
+		}
+		log.Printf("orion-serve: FAULT INJECTION ACTIVE: journal/checkpoint I/O goes through errfs profile %q (seed %d)", *errfsProfile, *errfsSeed)
+		fsys = inj
+	}
 
 	s, err := server.New(server.Config{
 		Workers:          *workers,
@@ -74,6 +95,8 @@ func main() {
 		JournalDir:       *journalDir,
 		JobDeadline:      *jobDeadline,
 		CheckpointStride: *ckptStride,
+		FS:               fsys,
+		DegradedProbe:    *degradedProbe,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,127 @@
+//go:build chaos || torture
+
+package orion_test
+
+// Shared plumbing for the real-process drills (chaos crash/resume and
+// the torture ENOSPC drill): ephemeral ports, readiness/exit waits,
+// metric scraping, and artifact capture for CI postmortems.
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// freeAddr grabs an ephemeral localhost port and releases it for the
+// daemon to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("orion-serve never became ready")
+}
+
+func waitExit(t *testing.T, cmd *exec.Cmd, timeout time.Duration) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		t.Fatal("orion-serve did not exit after SIGTERM")
+	}
+}
+
+// scrapeMetric fetches /metrics and returns the value of an unlabeled
+// series by exact name.
+func scrapeMetric(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+		if err != nil {
+			t.Fatalf("parse %s: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// saveArtifacts copies the journal directory and daemon log into
+// $CHAOS_ARTIFACT_DIR so CI can upload them on failure.
+func saveArtifacts(t *testing.T, journalDir, logPath string) {
+	dst := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dst == "" {
+		return
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	copyFile := func(src, name string) {
+		in, err := os.Open(src)
+		if err != nil {
+			t.Logf("artifacts: %v", err)
+			return
+		}
+		defer in.Close()
+		out, err := os.Create(filepath.Join(dst, name))
+		if err != nil {
+			t.Logf("artifacts: %v", err)
+			return
+		}
+		defer out.Close()
+		if _, err := io.Copy(out, in); err != nil {
+			t.Logf("artifacts: %v", err)
+		}
+	}
+	copyFile(logPath, filepath.Base(logPath))
+	entries, err := os.ReadDir(journalDir)
+	if err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	for _, e := range entries {
+		copyFile(filepath.Join(journalDir, e.Name()), e.Name())
+	}
+	t.Logf("chaos artifacts saved to %s", dst)
+}

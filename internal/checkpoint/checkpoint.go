@@ -33,9 +33,9 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 
+	"orion/internal/errfs"
 	"orion/internal/journal"
 )
 
@@ -196,17 +196,25 @@ func Read(r io.Reader) (*Checkpoint, error) {
 	return c, nil
 }
 
-// WriteFile atomically persists the checkpoint: write to a temp file in
-// the same directory, fsync, rename over the final path, fsync the
-// directory. A crash at any point leaves either the previous checkpoint
-// or the new one, never a torn file under the final name.
+// WriteFile atomically persists the checkpoint over the real filesystem.
 func WriteFile(path string, c *Checkpoint) error {
+	return WriteFileFS(errfs.OS{}, path, c)
+}
+
+// WriteFileFS atomically persists the checkpoint through fsys: write to
+// a temp file in the same directory, fsync, rename over the final path,
+// fsync the directory. A crash at any point leaves either the previous
+// checkpoint or the new one, never a torn file under the final name. A
+// failed fsync is never retried on the same descriptor — the temp file
+// is discarded and the whole write reports failure (the caller's next
+// checkpoint stride produces a fresh file).
+func WriteFileFS(fsys errfs.FS, path string, c *Checkpoint) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	tmp, err := fsys.CreateTemp(dir, ".ckpt-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if err := Write(tmp, c); err != nil {
 		tmp.Close()
 		return err
@@ -218,15 +226,10 @@ func WriteFile(path string, c *Checkpoint) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("checkpoint: close: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: rename: %w", err)
 	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("checkpoint: sync dir: %w", err)
 	}
 	return nil
@@ -234,12 +237,28 @@ func WriteFile(path string, c *Checkpoint) error {
 
 // ReadFile loads a checkpoint written by WriteFile.
 func ReadFile(path string) (*Checkpoint, error) {
-	f, err := os.Open(path)
+	return ReadFileFS(errfs.OS{}, path)
+}
+
+// ReadFileFS loads a checkpoint through fsys.
+func ReadFileFS(fsys errfs.FS, path string) (*Checkpoint, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Read(f)
+	return Read(bytes.NewReader(data))
+}
+
+// Quarantine moves a damaged checkpoint aside to path+".bad" so it stops
+// shadowing recovery but stays available for post-mortem. It returns the
+// quarantine path. An already-present .bad file is overwritten — the
+// newest corpse is the interesting one.
+func Quarantine(fsys errfs.FS, path string) (string, error) {
+	bad := path + ".bad"
+	if err := fsys.Rename(path, bad); err != nil {
+		return bad, fmt.Errorf("checkpoint: quarantine: %w", err)
+	}
+	return bad, nil
 }
 
 // --- deterministic binary encoding ------------------------------------------

@@ -1,0 +1,158 @@
+package checkpoint
+
+// Storage-fault torture for checkpoint files: every fault site in the
+// temp-write → fsync → rename → dir-sync pipeline is injected via errfs,
+// and the invariant checked afterwards is atomicity — the final path
+// holds either the previous intact checkpoint or the new one, never a
+// torn file, no matter which step failed.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orion/internal/errfs"
+)
+
+// writeUnderFault writes sample() through an injector armed by arm, then
+// reports (writeErr, finalReadable, finalIsNew).
+func writeUnderFault(t *testing.T, arm func(*errfs.Injector)) (err error, readable, isNew bool) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt-exp-1.ck")
+
+	// Seed a valid "previous" checkpoint so overwrite faults have
+	// something to clobber.
+	prev := sample()
+	prev.Meta.Cursor = 111
+	if err := WriteFile(path, prev); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := errfs.New(errfs.OS{}, 1)
+	arm(inj)
+	next := sample()
+	next.Meta.Cursor = 222
+	werr := WriteFileFS(inj, path, next)
+	if werr != nil && inj.Faults() == 0 {
+		t.Fatalf("write failed without the fault firing: %v", werr)
+	}
+
+	got, rerr := ReadFile(path)
+	if rerr != nil {
+		return werr, false, false
+	}
+	return werr, true, got.Meta.Cursor == 222
+}
+
+func TestTortureCheckpointWriteFaultMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		arm  func(*errfs.Injector)
+	}{
+		{"temp-create-fails", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpOpen, Path: ".ckpt-*", Effect: errfs.EffectErr})
+		}},
+		{"write-fails", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpWrite, Path: ".ckpt-*", Nth: 1, Effect: errfs.EffectErr})
+		}},
+		{"torn-write", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpWrite, Path: ".ckpt-*", Nth: 2, Effect: errfs.EffectShortWrite, TearAt: 5})
+		}},
+		{"sync-loss", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpSync, Path: ".ckpt-*", Nth: 1, Effect: errfs.EffectSyncLoss})
+		}},
+		{"rename-fails", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpRename, Path: ".ckpt-*", Nth: 1, Effect: errfs.EffectErr})
+		}},
+		{"enospc", func(i *errfs.Injector) {
+			i.SetWriteBudget(16, 0)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err, readable, isNew := writeUnderFault(t, tc.arm)
+			if err == nil {
+				t.Fatal("checkpoint write succeeded despite the injected fault")
+			}
+			if !readable {
+				t.Fatal("final path unreadable after failed write: atomicity broken")
+			}
+			if isNew {
+				t.Fatal("failed write left the NEW checkpoint visible")
+			}
+		})
+	}
+	// Control: dir-sync failure after the rename. The new checkpoint may
+	// legitimately be visible (rename already happened) — the caller just
+	// cannot count on it surviving a power cut, which is why the error
+	// still propagates.
+	t.Run("dir-sync-fails", func(t *testing.T) {
+		err, readable, _ := writeUnderFault(t, func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpSyncDir, Nth: 1, Effect: errfs.EffectErr})
+		})
+		if err == nil {
+			t.Fatal("dir-sync failure not surfaced")
+		}
+		if !readable {
+			t.Fatal("final path unreadable after dir-sync failure")
+		}
+	})
+}
+
+// TestTortureWriteFaultLeavesNoTempDebris: failed writes must not
+// accumulate .ckpt-* temp files.
+func TestTortureWriteFaultLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt-exp-1.ck")
+	inj := errfs.New(errfs.OS{}, 1)
+	inj.AddRule(errfs.Rule{Op: errfs.OpSync, Path: ".ckpt-*", Nth: 0, Effect: errfs.EffectSyncLoss})
+	for k := 0; k < 5; k++ {
+		if err := WriteFileFS(inj, path, sample()); err == nil {
+			t.Fatal("write over failing sync was acked")
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("temp debris left behind: %v", ents)
+	}
+}
+
+// TestQuarantine: a corrupt checkpoint moves to path+".bad", the
+// original path is freed, and the corpse keeps the damaged bytes.
+func TestQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt-exp-1.ck")
+	if err := os.WriteFile(path, []byte("damaged"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Quarantine(errfs.OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != path+".bad" {
+		t.Fatalf("quarantine path = %q", bad)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("original path still occupied after quarantine")
+	}
+	corpse, err := os.ReadFile(bad)
+	if err != nil || string(corpse) != "damaged" {
+		t.Fatalf("corpse = %q, %v", corpse, err)
+	}
+	// A second quarantine of a fresh corpse overwrites the old one.
+	if err := os.WriteFile(path, []byte("damaged2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Quarantine(errfs.OS{}, path); err != nil {
+		t.Fatal(err)
+	}
+	corpse, _ = os.ReadFile(bad)
+	if string(corpse) != "damaged2" {
+		t.Fatalf("second quarantine kept the stale corpse: %q", corpse)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -22,6 +23,16 @@ import (
 	"orion/internal/harness"
 	"orion/internal/server"
 )
+
+// ErrDurabilityDegraded marks a rejection from a server whose journal
+// disk is full: the 503 body carried "durability_degraded": true. The
+// client still retries with the server's Retry-After hint like any
+// other 503 (the condition is transient by design — the server probes
+// for space and reopens admission), but callers that exhaust their
+// attempts can tell this apart from a drain with
+// errors.Is(err, ErrDurabilityDegraded) and decide, say, to page an
+// operator about disk space instead of silently re-queueing.
+var ErrDurabilityDegraded = errors.New("orion-serve: durability degraded (journal disk full)")
 
 // Options tunes a Client.
 type Options struct {
@@ -180,6 +191,7 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (i
 				code:       resp.StatusCode,
 				msg:        errorMessage(body),
 				retryAfter: resp.Header.Get("Retry-After"),
+				degraded:   durabilityDegraded(body),
 			}
 			continue
 		default:
@@ -194,9 +206,25 @@ type retryError struct {
 	code       int
 	msg        string
 	retryAfter string
+	degraded   bool
 }
 
 func (e *retryError) Error() string { return fmt.Sprintf("orion-serve: %d: %s", e.code, e.msg) }
+
+// Is lets errors.Is(err, ErrDurabilityDegraded) see through the
+// give-up wrapper when the final rejection came from a degraded server.
+func (e *retryError) Is(target error) bool {
+	return target == ErrDurabilityDegraded && e.degraded
+}
+
+// durabilityDegraded reports whether a rejection body carries the
+// server's degraded-mode marker.
+func durabilityDegraded(body []byte) bool {
+	var db struct {
+		DurabilityDegraded bool `json:"durability_degraded"`
+	}
+	return json.Unmarshal(body, &db) == nil && db.DurabilityDegraded
+}
 
 // errorMessage extracts the server's {"error": ...} body, falling back
 // to the raw bytes.

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -369,5 +370,61 @@ func TestResumeEndpoint(t *testing.T) {
 	}
 	if apiErr.Code != http.StatusConflict {
 		t.Errorf("code = %d, want 409", apiErr.Code)
+	}
+}
+
+// TestDegradedRejectionsAreDistinguishable: a 503 whose body carries
+// "durability_degraded": true (journal disk full) must surface as
+// ErrDurabilityDegraded after retries are exhausted — so callers can
+// page about disk space instead of treating it as an ordinary drain —
+// while a plain drain 503 must NOT match the sentinel. The degraded
+// path keeps the same Retry-After-aware backoff as every other 503.
+func TestDegradedRejectionsAreDistinguishable(t *testing.T) {
+	degraded := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"error":               "journal disk full: durability degraded, not accepting new work",
+			"durability_degraded": true,
+		})
+	}))
+	defer degraded.Close()
+
+	opts := fastOpts()
+	opts.MaxAttempts = 2
+	c := New(degraded.URL, opts)
+	start := time.Now()
+	_, err := c.Submit(context.Background(), testConfig(), "")
+	if err == nil {
+		t.Fatal("submit to a degraded server must eventually fail")
+	}
+	if !errors.Is(err, ErrDurabilityDegraded) {
+		t.Errorf("errors.Is(err, ErrDurabilityDegraded) = false, want true; err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("error = %v, want the server's message surfaced", err)
+	}
+	if wait := time.Since(start); wait < time.Second {
+		t.Errorf("gave up after %v, Retry-After demanded >= 1s between attempts", wait)
+	}
+
+	// Control: an ordinary drain 503 does not match the sentinel.
+	s, err := server.New(server.Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	draining := httptest.NewServer(s.Handler())
+	defer draining.Close()
+	c = New(draining.URL, opts)
+	_, err = c.Submit(context.Background(), testConfig(), "")
+	if err == nil {
+		t.Fatal("submit to a draining server must eventually fail")
+	}
+	if errors.Is(err, ErrDurabilityDegraded) {
+		t.Errorf("drain rejection matched ErrDurabilityDegraded; err = %v", err)
 	}
 }

@@ -1,0 +1,126 @@
+// Package errfs is the storage-fault seam under orion-serve's durability
+// layer: a minimal filesystem abstraction (FS/File) with a passthrough OS
+// implementation and a deterministic fault-injecting wrapper. The journal
+// and checkpoint packages do all their I/O through an FS, so a torture
+// test (or a live drill via orion-serve's -errfs-profile flag) can make
+// the "disk" produce exactly the failures real filesystems produce:
+//
+//   - failed writes and short writes (a torn frame at a chosen offset);
+//   - failed fsyncs that DROP the unsynced bytes and poison the fd —
+//     the fsyncgate semantics where retrying fsync on the same descriptor
+//     returns success while the data is already gone;
+//   - ENOSPC after a byte budget, with the partial write landing on disk
+//     the way a real full disk tears an append;
+//   - corrupt-on-read bit flips;
+//   - open, rename, remove, truncate and directory-sync errors.
+//
+// Everything the Injector does is driven by explicit rules and a seeded
+// RNG, so a given (profile, seed) reproduces the same fault schedule —
+// the same idiom internal/fault uses for GPU faults.
+package errfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// File is the subset of *os.File the durability layer needs.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage. After a Sync error the
+	// caller must assume the unsynced suffix is gone and must not retry
+	// Sync on the same descriptor (see the package comment).
+	Sync() error
+	// Truncate changes the file's size (used to cut torn tails).
+	Truncate(size int64) error
+	// Name reports the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem seam. Implementations: OS (passthrough) and
+// Injector (deterministic fault injection around another FS).
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	MkdirAll(path string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory entry so file creations, removals and
+	// renames inside it survive a crash.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough implementation over the real filesystem.
+type OS struct{}
+
+// OpenFile opens a file exactly like os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// CreateTemp creates a temp file exactly like os.CreateTemp.
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+// ReadFile reads a whole file.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir lists a directory.
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// Stat stats a path.
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// Rename renames a path.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes a path.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate resizes a path.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// MkdirAll creates a directory tree.
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir opens the directory and fsyncs it.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ErrInjected is the base error every injected fault wraps (unless a rule
+// overrides it), so tests can tell injected failures from real ones.
+var ErrInjected = errors.New("errfs: injected fault")
+
+// ErrNoSpace is the injected full-disk error; it wraps syscall.ENOSPC so
+// errors.Is(err, syscall.ENOSPC) classifies injected and real full disks
+// the same way.
+var ErrNoSpace = fmt.Errorf("errfs: disk full: %w", syscall.ENOSPC)
+
+// IsNoSpace reports whether err is a full-disk condition, injected or
+// real.
+func IsNoSpace(err error) bool { return errors.Is(err, syscall.ENOSPC) }
+
+// baseName is filepath.Base tolerant of empty paths.
+func baseName(name string) string {
+	if name == "" {
+		return ""
+	}
+	return filepath.Base(name)
+}

@@ -1,0 +1,303 @@
+package errfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func openForAppend(t *testing.T, fsys FS, path string) File {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestOSPassthrough: the OS implementation behaves like the os package.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS{}
+	path := filepath.Join(dir, "a.txt")
+	f := openForAppend(t, fsys, path)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+}
+
+// TestShortWriteLandsPrefix: a torn write leaves exactly TearAt bytes in
+// the file and fails with ErrInjected.
+func TestShortWriteLandsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(OS{}, 1)
+	inj.AddRule(Rule{Op: OpWrite, Nth: 2, Effect: EffectShortWrite, TearAt: 3})
+	path := filepath.Join(dir, "w.log")
+	f := openForAppend(t, inj, path)
+	defer f.Close()
+
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 err = %v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("write 2 n = %d, want 3", n)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "aaaabbb" {
+		t.Fatalf("file = %q, want aaaabbb", data)
+	}
+	if inj.Faults() != 1 {
+		t.Fatalf("faults = %d", inj.Faults())
+	}
+}
+
+// TestSyncLossPoisonsAndDropsPages: the fsyncgate scenario — the failed
+// fsync erases the unsynced suffix and every later Sync on the fd fails.
+func TestSyncLossPoisonsAndDropsPages(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(OS{}, 1)
+	inj.AddRule(Rule{Op: OpSync, Nth: 2, Effect: EffectSyncLoss})
+	path := filepath.Join(dir, "s.log")
+	f := openForAppend(t, inj, path)
+	defer f.Close()
+
+	f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	f.Write([]byte("+lost"))
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 err = %v, want ErrInjected", err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "durable" {
+		t.Fatalf("file after sync loss = %q, want only the synced prefix", data)
+	}
+	// The descriptor is poisoned: the retry also fails even though no rule
+	// matches the 3rd sync.
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync on poisoned fd succeeded")
+	}
+}
+
+// TestWriteBudgetENOSPCAndClear: writes fail with ENOSPC once the budget
+// is spent (partial prefix landing), and the disk "frees up" after the
+// configured number of refused writes.
+func TestWriteBudgetENOSPCAndClear(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(OS{}, 1)
+	inj.SetWriteBudget(6, 2)
+	path := filepath.Join(dir, "e.log")
+	f := openForAppend(t, inj, path)
+	defer f.Close()
+
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	// 4 of 6 bytes used: this write tears after 2 bytes.
+	n, err := f.Write([]byte("bbbb"))
+	if n != 2 || !IsNoSpace(err) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("over budget: n=%d err=%v", n, err)
+	}
+	// Second refused write: budget clears afterwards (fails=2).
+	if _, err := f.Write([]byte("cccc")); !IsNoSpace(err) {
+		t.Fatalf("still full: %v", err)
+	}
+	if _, err := f.Write([]byte("dddd")); err != nil {
+		t.Fatalf("after space freed: %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "aaaabbdddd" {
+		t.Fatalf("file = %q", data)
+	}
+}
+
+// TestCorruptReadFlipsOneBit: the read fault flips exactly the requested
+// bit and leaves the file on disk intact.
+func TestCorruptReadFlipsOneBit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.bin")
+	if err := os.WriteFile(path, []byte{0x00, 0x00}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := New(OS{}, 1)
+	inj.AddRule(Rule{Op: OpRead, Nth: 1, Effect: EffectCorruptRead, BitPos: 9})
+	got, err := inj.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x00 || got[1] != 0x02 {
+		t.Fatalf("corrupt read = %x", got)
+	}
+	// Second read is clean (Nth=1 fires once) and the file never changed.
+	got, _ = inj.ReadFile(path)
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("second read = %x, want pristine", got)
+	}
+}
+
+// TestPathGlobAndNth: rules match on the base name glob and fire exactly
+// once at the Nth occurrence.
+func TestPathGlobAndNth(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(OS{}, 1)
+	boom := errors.New("boom")
+	inj.AddRule(Rule{Op: OpRename, Path: "seg-*.wal", Nth: 2, Err: boom})
+
+	mk := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	other := mk("other.txt")
+	s1 := mk("seg-00000001.wal")
+	s2 := mk("seg-00000002.wal")
+	s3 := mk("seg-00000003.wal")
+
+	if err := inj.Rename(other, other+".x"); err != nil {
+		t.Fatalf("non-matching path: %v", err)
+	}
+	if err := inj.Rename(s1, s1+".x"); err != nil {
+		t.Fatalf("1st match: %v", err)
+	}
+	if err := inj.Rename(s2, s2+".x"); !errors.Is(err, boom) {
+		t.Fatalf("2nd match err = %v, want boom", err)
+	}
+	if err := inj.Rename(s3, s3+".x"); err != nil {
+		t.Fatalf("3rd match: %v", err)
+	}
+}
+
+// TestFlakyDeterministic: the same seed produces the same fault schedule.
+func TestFlakyDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		dir := t.TempDir()
+		inj := New(OS{}, seed)
+		inj.SetFlaky(0.3, 0)
+		f := openForAppend(t, inj, filepath.Join(dir, "f.log"))
+		defer f.Close()
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			_, err := f.Write([]byte("x"))
+			outcomes = append(outcomes, err != nil)
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at write %d", i)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("flaky p=0.3 produced %d/%d faults", faults, len(a))
+	}
+	if c := run(8); equalBools(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFromProfile: the drill grammar builds the intended rules.
+func TestFromProfile(t *testing.T) {
+	inj, err := FromProfile("enospc:bytes=8,fails=1; syncfail:nth=1; torn:nth=1,at=2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	f := openForAppend(t, inj, filepath.Join(dir, "p.log"))
+	defer f.Close()
+	// torn:nth=1,at=2 tears the first write after 2 bytes.
+	if n, err := f.Write([]byte("abcd")); n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn: n=%d err=%v", n, err)
+	}
+	// syncfail:nth=1 loses the torn prefix too (nothing was ever synced).
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("syncfail: %v", err)
+	}
+	// budget: rule-matched writes bypass the budget, so all 8 bytes remain.
+	f2 := openForAppend(t, inj, filepath.Join(dir, "q.log"))
+	defer f2.Close()
+	if _, err := f2.Write([]byte("12345678")); err != nil {
+		t.Fatalf("exact budget: %v", err)
+	}
+	if _, err := f2.Write([]byte("xx")); !IsNoSpace(err) {
+		t.Fatalf("enospc: %v", err)
+	}
+	// fails=1: cleared now.
+	if _, err := f2.Write([]byte("ok")); err != nil {
+		t.Fatalf("after clear: %v", err)
+	}
+
+	for _, bad := range []string{"wat:nth=1", "torn:nth", "enospc:bytes=x"} {
+		if _, err := FromProfile(bad, 1); err == nil {
+			t.Errorf("FromProfile(%q) accepted", bad)
+		}
+	}
+	if _, err := FromProfile("", 1); err != nil {
+		t.Errorf("empty profile: %v", err)
+	}
+}
+
+// TestOpenFileTracksExistingSize: reopening an existing file for append
+// seeds the synced watermark at the current size, so a sync-loss fault
+// only drops bytes written through THIS descriptor.
+func TestOpenFileTracksExistingSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.log")
+	if err := os.WriteFile(path, []byte("old!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := New(OS{}, 1)
+	inj.AddRule(Rule{Op: OpSync, Nth: 1, Effect: EffectSyncLoss})
+	f := openForAppend(t, inj, path)
+	defer f.Close()
+	f.Write([]byte("new"))
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync should fail")
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "old!" {
+		t.Fatalf("file = %q, want the pre-open content preserved", data)
+	}
+}

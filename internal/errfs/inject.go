@@ -1,0 +1,547 @@
+package errfs
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Op classifies an FS operation for rule matching.
+type Op int
+
+const (
+	// OpOpen covers OpenFile and CreateTemp.
+	OpOpen Op = iota
+	// OpWrite covers File.Write.
+	OpWrite
+	// OpSync covers File.Sync.
+	OpSync
+	// OpRead covers FS.ReadFile.
+	OpRead
+	// OpRename covers FS.Rename.
+	OpRename
+	// OpRemove covers FS.Remove.
+	OpRemove
+	// OpTruncate covers FS.Truncate and File.Truncate.
+	OpTruncate
+	// OpSyncDir covers FS.SyncDir.
+	OpSyncDir
+	opCount
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRead:
+		return "read"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpSyncDir:
+		return "syncdir"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Effect is what an injected fault does to the matched operation.
+type Effect int
+
+const (
+	// EffectErr fails the operation outright with no side effect on disk
+	// (write: nothing lands; sync: pages survive — the benign variant).
+	EffectErr Effect = iota
+	// EffectShortWrite writes only the first TearAt bytes of the buffer
+	// (half when TearAt is 0), then fails — a torn frame at a chosen
+	// offset.
+	EffectShortWrite
+	// EffectSyncLoss fails the fsync AND drops every byte written since
+	// the last successful fsync (the kernel discarded the dirty pages),
+	// then poisons the descriptor: all later Syncs on it fail too. This is
+	// the fsyncgate scenario the journal's poisoning rule exists for.
+	EffectSyncLoss
+	// EffectCorruptRead flips one bit (BitPos, modulo the data length) in
+	// the returned data without touching the file.
+	EffectCorruptRead
+)
+
+// Rule is one deterministic crashpoint: on the Nth operation matching
+// (Op, Path), apply Effect.
+type Rule struct {
+	// Op is the operation class the rule watches.
+	Op Op
+	// Path, when non-empty, is a glob matched against the base name of
+	// the operation's path ("seg-*.wal", ".ckpt-*"). Empty matches all.
+	Path string
+	// Nth fires the rule on the nth matching operation (1-based). Zero
+	// fires on every match.
+	Nth int
+	// Effect is the injected behaviour.
+	Effect Effect
+	// Err overrides the returned error (default ErrInjected).
+	Err error
+	// TearAt is EffectShortWrite's surviving byte count.
+	TearAt int64
+	// BitPos is EffectCorruptRead's bit index.
+	BitPos int64
+
+	seen  int
+	fired bool
+}
+
+func (r *Rule) errOr(def error) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return def
+}
+
+// Injector wraps another FS and injects faults per its rules, its ENOSPC
+// byte budget, and its seeded flaky rates. All mutation is mutex-guarded;
+// the fault sequence is a pure function of (rules, budget, seed, op
+// sequence), so single-goroutine torture tests are fully deterministic.
+type Injector struct {
+	base FS
+
+	mu    sync.Mutex
+	rules []*Rule
+	rng   *rand.Rand
+	// pWrite / pSync are the flaky-mode fault probabilities (0 = off).
+	pWrite, pSync float64
+
+	// budget is the ENOSPC model: total bytes writable across the FS.
+	// Negative means unlimited. After budget exhaustion, enospcFails
+	// counts down on every refused write; at zero the budget clears
+	// (space was freed) — that self-clearing is what lets a live drill
+	// exercise the server's degraded-mode recovery without a side
+	// channel into the daemon.
+	budget      int64
+	enospcFails int
+
+	faults int64
+}
+
+// New wraps base (OS{} when nil) with a fault injector seeded for the
+// flaky mode. With no rules, budget or rates set it is a passthrough.
+func New(base FS, seed int64) *Injector {
+	if base == nil {
+		base = OS{}
+	}
+	return &Injector{base: base, rng: rand.New(rand.NewSource(seed)), budget: -1}
+}
+
+// AddRule arms one crashpoint rule.
+func (i *Injector) AddRule(r Rule) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = append(i.rules, &r)
+	return i
+}
+
+// SetWriteBudget arms the ENOSPC model: bytes may land before the disk
+// "fills"; after failsUntilClear refused writes the budget lifts (space
+// freed). failsUntilClear <= 0 keeps the disk full until ClearWriteBudget.
+func (i *Injector) SetWriteBudget(bytes int64, failsUntilClear int) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.budget = bytes
+	i.enospcFails = failsUntilClear
+	return i
+}
+
+// ClearWriteBudget lifts the ENOSPC condition (space was freed).
+func (i *Injector) ClearWriteBudget() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.budget = -1
+}
+
+// SetFlaky arms seeded random faults: each write fails (short, half the
+// buffer) with probability pWrite, each sync fails with loss with
+// probability pSync.
+func (i *Injector) SetFlaky(pWrite, pSync float64) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.pWrite, i.pSync = pWrite, pSync
+	return i
+}
+
+// Faults reports how many faults have fired.
+func (i *Injector) Faults() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.faults
+}
+
+// decide consults the rules (then flaky rates) for one operation. It
+// returns nil when the operation should proceed normally. Callers apply
+// the effect; decide only picks it. Callers hold no injector lock.
+func (i *Injector) decide(op Op, name string) *Rule {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	base := baseName(name)
+	for _, r := range i.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" {
+			if ok, _ := filepath.Match(r.Path, base); !ok {
+				continue
+			}
+		}
+		r.seen++
+		if r.Nth == 0 || (r.seen == r.Nth && !r.fired) {
+			r.fired = true
+			i.faults++
+			return r
+		}
+	}
+	switch op {
+	case OpWrite:
+		if i.pWrite > 0 && i.rng.Float64() < i.pWrite {
+			i.faults++
+			return &Rule{Op: OpWrite, Effect: EffectShortWrite}
+		}
+	case OpSync:
+		if i.pSync > 0 && i.rng.Float64() < i.pSync {
+			i.faults++
+			return &Rule{Op: OpSync, Effect: EffectSyncLoss}
+		}
+	}
+	return nil
+}
+
+// charge debits the ENOSPC budget for an n-byte write. It returns how
+// many bytes may land and a nil error, or the allowed prefix plus
+// ErrNoSpace once the budget is gone.
+func (i *Injector) charge(n int) (int, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.budget < 0 {
+		return n, nil
+	}
+	if int64(n) <= i.budget {
+		i.budget -= int64(n)
+		return n, nil
+	}
+	allowed := int(i.budget)
+	i.budget = 0
+	i.faults++
+	if i.enospcFails > 0 {
+		i.enospcFails--
+		if i.enospcFails == 0 {
+			// Space freed: the next write succeeds again.
+			i.budget = -1
+		}
+	}
+	return allowed, ErrNoSpace
+}
+
+// --- FS implementation ------------------------------------------------------
+
+// OpenFile opens through the base FS unless an open rule fires.
+func (i *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if r := i.decide(OpOpen, name); r != nil {
+		return nil, fmt.Errorf("open %s: %w", name, r.errOr(ErrInjected))
+	}
+	f, err := i.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(0)
+	if flag&os.O_TRUNC == 0 {
+		if fi, err := i.base.Stat(name); err == nil {
+			size = fi.Size()
+		}
+	}
+	return &injFile{inj: i, f: f, size: size, synced: size}, nil
+}
+
+// CreateTemp creates through the base FS unless an open rule fires.
+func (i *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if r := i.decide(OpOpen, filepath.Join(dir, pattern)); r != nil {
+		return nil, fmt.Errorf("create temp %s: %w", pattern, r.errOr(ErrInjected))
+	}
+	f, err := i.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f}, nil
+}
+
+// ReadFile reads through the base FS; a read rule can fail the read or
+// flip a bit in the returned data.
+func (i *Injector) ReadFile(name string) ([]byte, error) {
+	data, err := i.base.ReadFile(name)
+	if err != nil {
+		return data, err
+	}
+	if r := i.decide(OpRead, name); r != nil {
+		switch r.Effect {
+		case EffectCorruptRead:
+			if len(data) > 0 {
+				bit := r.BitPos % (int64(len(data)) * 8)
+				data[bit/8] ^= 1 << (bit % 8)
+			}
+		default:
+			return nil, fmt.Errorf("read %s: %w", name, r.errOr(ErrInjected))
+		}
+	}
+	return data, nil
+}
+
+// ReadDir lists through the base FS (never injected: replay enumerates
+// segments through it and a fault here is indistinguishable from an open
+// error, which OpOpen already covers).
+func (i *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return i.base.ReadDir(name) }
+
+// Stat stats through the base FS.
+func (i *Injector) Stat(name string) (fs.FileInfo, error) { return i.base.Stat(name) }
+
+// Rename renames through the base FS unless a rename rule fires.
+func (i *Injector) Rename(oldpath, newpath string) error {
+	if r := i.decide(OpRename, oldpath); r != nil {
+		return fmt.Errorf("rename %s: %w", oldpath, r.errOr(ErrInjected))
+	}
+	return i.base.Rename(oldpath, newpath)
+}
+
+// Remove removes through the base FS unless a remove rule fires.
+func (i *Injector) Remove(name string) error {
+	if r := i.decide(OpRemove, name); r != nil {
+		return fmt.Errorf("remove %s: %w", name, r.errOr(ErrInjected))
+	}
+	return i.base.Remove(name)
+}
+
+// Truncate resizes through the base FS unless a truncate rule fires.
+func (i *Injector) Truncate(name string, size int64) error {
+	if r := i.decide(OpTruncate, name); r != nil {
+		return fmt.Errorf("truncate %s: %w", name, r.errOr(ErrInjected))
+	}
+	return i.base.Truncate(name, size)
+}
+
+// MkdirAll creates through the base FS.
+func (i *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	return i.base.MkdirAll(path, perm)
+}
+
+// SyncDir syncs through the base FS unless a syncdir rule fires.
+func (i *Injector) SyncDir(dir string) error {
+	if r := i.decide(OpSyncDir, dir); r != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, r.errOr(ErrInjected))
+	}
+	return i.base.SyncDir(dir)
+}
+
+// injFile wraps one open file with fault injection. It tracks the bytes
+// written and the bytes covered by the last successful sync, which is
+// what lets EffectSyncLoss emulate dropped dirty pages by truncating the
+// underlying file back to the synced prefix.
+type injFile struct {
+	inj      *Injector
+	f        File
+	size     int64
+	synced   int64
+	poisoned bool
+}
+
+// Write applies write rules, the flaky rate and the ENOSPC budget, in
+// that order. Short and torn writes land their surviving prefix in the
+// underlying file, exactly like a real partial append.
+func (x *injFile) Write(p []byte) (int, error) {
+	if r := x.inj.decide(OpWrite, x.f.Name()); r != nil {
+		switch r.Effect {
+		case EffectShortWrite:
+			tear := r.TearAt
+			if tear <= 0 {
+				tear = int64(len(p)) / 2
+			}
+			if tear > int64(len(p)) {
+				tear = int64(len(p))
+			}
+			n, _ := x.f.Write(p[:tear])
+			x.size += int64(n)
+			return n, fmt.Errorf("write %s: %w", x.f.Name(), r.errOr(ErrInjected))
+		default:
+			return 0, fmt.Errorf("write %s: %w", x.f.Name(), r.errOr(ErrInjected))
+		}
+	}
+	allowed, cerr := x.inj.charge(len(p))
+	if allowed > 0 || cerr == nil {
+		n, werr := x.f.Write(p[:allowed])
+		x.size += int64(n)
+		if werr != nil {
+			return n, werr
+		}
+	}
+	if cerr != nil {
+		return allowed, fmt.Errorf("write %s: %w", x.f.Name(), cerr)
+	}
+	return allowed, nil
+}
+
+// Sync applies sync rules. EffectSyncLoss drops the unsynced suffix and
+// poisons the descriptor: every later Sync fails too, so a caller that
+// retries fsync on the same fd can never be fooled into thinking the
+// lost bytes became durable.
+func (x *injFile) Sync() error {
+	if x.poisoned {
+		return fmt.Errorf("sync %s: fd poisoned by earlier fsync failure: %w", x.f.Name(), ErrInjected)
+	}
+	if r := x.inj.decide(OpSync, x.f.Name()); r != nil {
+		switch r.Effect {
+		case EffectSyncLoss:
+			// The kernel dropped the dirty pages: the unsynced suffix is
+			// gone from the file, and this fd will never sync again.
+			_ = x.f.Truncate(x.synced)
+			x.size = x.synced
+			x.poisoned = true
+		}
+		return fmt.Errorf("sync %s: %w", x.f.Name(), r.errOr(ErrInjected))
+	}
+	if err := x.f.Sync(); err != nil {
+		return err
+	}
+	x.synced = x.size
+	return nil
+}
+
+// Truncate resizes through (rules under OpTruncate).
+func (x *injFile) Truncate(size int64) error {
+	if r := x.inj.decide(OpTruncate, x.f.Name()); r != nil {
+		return fmt.Errorf("truncate %s: %w", x.f.Name(), r.errOr(ErrInjected))
+	}
+	if err := x.f.Truncate(size); err != nil {
+		return err
+	}
+	x.size = size
+	if x.synced > size {
+		x.synced = size
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (x *injFile) Close() error { return x.f.Close() }
+
+// Name reports the underlying path.
+func (x *injFile) Name() string { return x.f.Name() }
+
+// --- profiles ---------------------------------------------------------------
+
+// FromProfile builds an injector over the OS filesystem from a drill
+// profile spec. Profiles combine with ';':
+//
+//	enospc:bytes=8192,fails=40   full disk after 8 KiB; clears after 40 refused writes
+//	syncfail:nth=3               3rd fsync fails with page loss and fd poisoning
+//	syncerr:nth=3                3rd fsync fails benignly (pages survive)
+//	torn:nth=5,at=7              5th write tears after 7 bytes
+//	writefail:nth=5              5th write fails outright
+//	openfail:nth=2               2nd open/create fails
+//	renamefail:nth=1             1st rename fails
+//	corrupt:nth=1,bit=200        1st read comes back with bit 200 flipped
+//	flaky:pwrite=0.01,psync=0.01 seeded random write/sync failures
+//
+// The seed drives only the flaky profile; everything else is exact.
+func FromProfile(spec string, seed int64) (*Injector, error) {
+	inj := New(OS{}, seed)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, argstr, _ := strings.Cut(part, ":")
+		args := map[string]string{}
+		if argstr != "" {
+			for _, kv := range strings.Split(argstr, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("errfs: profile %q: bad arg %q", part, kv)
+				}
+				args[strings.TrimSpace(k)] = strings.TrimSpace(v)
+			}
+		}
+		geti := func(k string, def int64) (int64, error) {
+			v, ok := args[k]
+			if !ok {
+				return def, nil
+			}
+			return strconv.ParseInt(v, 10, 64)
+		}
+		getf := func(k string, def float64) (float64, error) {
+			v, ok := args[k]
+			if !ok {
+				return def, nil
+			}
+			return strconv.ParseFloat(v, 64)
+		}
+		var err error
+		switch name {
+		case "enospc":
+			var bytes, fails int64
+			if bytes, err = geti("bytes", 4096); err == nil {
+				fails, err = geti("fails", 0)
+			}
+			inj.SetWriteBudget(bytes, int(fails))
+		case "syncfail", "syncerr":
+			var nth int64
+			nth, err = geti("nth", 1)
+			eff := EffectSyncLoss
+			if name == "syncerr" {
+				eff = EffectErr
+			}
+			inj.AddRule(Rule{Op: OpSync, Nth: int(nth), Effect: eff})
+		case "torn":
+			var nth, at int64
+			if nth, err = geti("nth", 1); err == nil {
+				at, err = geti("at", 0)
+			}
+			inj.AddRule(Rule{Op: OpWrite, Nth: int(nth), Effect: EffectShortWrite, TearAt: at})
+		case "writefail":
+			var nth int64
+			nth, err = geti("nth", 1)
+			inj.AddRule(Rule{Op: OpWrite, Nth: int(nth), Effect: EffectErr})
+		case "openfail":
+			var nth int64
+			nth, err = geti("nth", 1)
+			inj.AddRule(Rule{Op: OpOpen, Nth: int(nth), Effect: EffectErr})
+		case "renamefail":
+			var nth int64
+			nth, err = geti("nth", 1)
+			inj.AddRule(Rule{Op: OpRename, Nth: int(nth), Effect: EffectErr})
+		case "corrupt":
+			var nth, bit int64
+			if nth, err = geti("nth", 1); err == nil {
+				bit, err = geti("bit", 0)
+			}
+			inj.AddRule(Rule{Op: OpRead, Nth: int(nth), Effect: EffectCorruptRead, BitPos: bit})
+		case "flaky":
+			var pw, ps float64
+			if pw, err = getf("pwrite", 0.01); err == nil {
+				ps, err = getf("psync", 0.01)
+			}
+			inj.SetFlaky(pw, ps)
+		default:
+			return nil, fmt.Errorf("errfs: unknown profile %q", name)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("errfs: profile %q: %w", part, err)
+		}
+	}
+	return inj, nil
+}

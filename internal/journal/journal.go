@@ -22,6 +22,17 @@
 // as fatal. Compaction rewrites the live job images into a fresh
 // segment and deletes the older ones; replay is idempotent, so a crash
 // mid-compaction at worst replays a record twice.
+//
+// Storage faults: all I/O goes through an errfs.FS (Options.FS), and the
+// journal assumes real-disk failure semantics. A failed fsync may have
+// dropped the dirty pages, so it is NEVER retried on the same descriptor
+// — the segment fd is poisoned: truncated back to its last-synced size,
+// closed, and every append waiting on that sync fails. The next Append
+// rotates to a fresh segment. A failed write truncates the torn frame
+// back out so the segment stays parseable. Append's error contract is
+// the standard WAL one: nil means durable; an error means the record
+// must be treated as not written (it is at most a truncated tail that
+// replay discards).
 package journal
 
 import (
@@ -37,6 +48,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"orion/internal/errfs"
 )
 
 // Op tags a record's kind.
@@ -50,6 +63,10 @@ const (
 	// OpState records a state transition; terminal transitions carry the
 	// error or the result summary.
 	OpState Op = "state"
+	// OpNoop is a durability probe: a record with no job ID that Reduce
+	// ignores. The server appends one to test whether the journal can
+	// accept writes again after a full-disk episode.
+	OpNoop Op = "noop"
 )
 
 // Record is one journal entry. Config and Summary stay raw JSON so the
@@ -74,11 +91,17 @@ type Options struct {
 	SegmentBytes int64
 	// NoSync skips fsync entirely (tests only; crash durability is gone).
 	NoSync bool
+	// FS is the filesystem the journal does all I/O through (default
+	// errfs.OS{}); swap in an errfs.Injector to torture the journal.
+	FS errfs.FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 1 << 20
+	}
+	if o.FS == nil {
+		o.FS = errfs.OS{}
 	}
 	return o
 }
@@ -91,28 +114,41 @@ type segment struct {
 	size int64
 }
 
+// batch is one group commit: every append whose frame is on disk before
+// the syncer's fsync shares the batch, and the fsync outcome is the
+// outcome for all of them.
+type batch struct {
+	done chan struct{}
+	err  error
+}
+
 // Journal is one open journal directory. Appends are durable when they
 // return: concurrent appends share one fsync (group commit), so the
 // per-record cost amortizes under load.
 type Journal struct {
 	dir  string
 	opts Options
+	fsys errfs.FS
 
-	mu   sync.Mutex // guards f, segs, sizes
-	f    *os.File   // active segment
-	segs []segment  // in seq order; last is active
-	size atomic.Int64
+	// mu guards everything below and is held ACROSS the fsync in the
+	// syncer. That serializes sync against writes and rotations, which is
+	// what makes the poisoning rule exact: when a sync fails, the frames
+	// at risk are precisely the active segment's bytes past j.synced, and
+	// the appends waiting on j.pending are precisely their writers.
+	// Batching still happens — appenders queue on mu during the fsync and
+	// all join the next batch.
+	mu      sync.Mutex
+	cond    *sync.Cond // signals the syncer that a batch is pending
+	f       errfs.File // active segment; nil when poisoned (or closed)
+	segs    []segment  // in seq order; last is active
+	nextSeq uint64     // never reused, even across failed opens (O_EXCL)
+	synced  int64      // active segment bytes covered by a successful fsync
+	pending *batch
+	closed  bool
+	done    chan struct{}
 
-	// Group commit: appends bump writeSeq and wait until syncSeq catches
-	// up; a dedicated syncer goroutine fsyncs the active segment once per
-	// batch and broadcasts.
-	smu      sync.Mutex
-	cond     *sync.Cond
-	writeSeq uint64
-	syncSeq  uint64
-	syncErr  error
-	closed   bool
-	done     chan struct{}
+	size    atomic.Int64
+	poisons atomic.Int64
 }
 
 func segName(seq uint64) string { return fmt.Sprintf("seg-%08d.wal", seq) }
@@ -127,16 +163,11 @@ func parseSegName(name string) (uint64, bool) {
 
 // syncDir fsyncs the directory entry so segment creations and removals
 // survive a crash.
-func syncDir(dir string, noSync bool) error {
-	if noSync {
+func (j *Journal) syncDir() error {
+	if j.opts.NoSync {
 		return nil
 	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return j.fsys.SyncDir(j.dir)
 }
 
 // Open replays the journal in dir (creating it if needed), truncates any
@@ -147,10 +178,11 @@ func syncDir(dir string, noSync bool) error {
 // writes.
 func Open(dir string, opts Options) (*Journal, []Record, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
@@ -162,8 +194,8 @@ func Open(dir string, opts Options) (*Journal, []Record, error) {
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 
-	j := &Journal{dir: dir, opts: opts, done: make(chan struct{})}
-	j.cond = sync.NewCond(&j.smu)
+	j := &Journal{dir: dir, opts: opts, fsys: fsys, done: make(chan struct{})}
+	j.cond = sync.NewCond(&j.mu)
 
 	var recs []Record
 	corrupt := false
@@ -174,10 +206,10 @@ func Open(dir string, opts Options) (*Journal, []Record, error) {
 		if corrupt {
 			// Everything after a corruption point is unreachable history:
 			// remove it so it cannot resurface on a later replay.
-			_ = os.Remove(path)
+			_ = fsys.Remove(path)
 			continue
 		}
-		data, err := os.ReadFile(path)
+		data, err := fsys.ReadFile(path)
 		if err != nil {
 			return nil, nil, fmt.Errorf("journal: %w", err)
 		}
@@ -185,7 +217,7 @@ func Open(dir string, opts Options) (*Journal, []Record, error) {
 		recs = append(recs, rs...)
 		size := int64(len(data))
 		if !ok {
-			if err := os.Truncate(path, valid); err != nil {
+			if err := fsys.Truncate(path, valid); err != nil {
 				return nil, nil, fmt.Errorf("journal: truncate corrupt tail: %w", err)
 			}
 			size = valid
@@ -195,16 +227,17 @@ func Open(dir string, opts Options) (*Journal, []Record, error) {
 		j.size.Add(size)
 	}
 
-	f, err := os.OpenFile(filepath.Join(dir, segName(maxSeq+1)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	f, err := fsys.OpenFile(filepath.Join(dir, segName(maxSeq+1)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	if err := syncDir(dir, opts.NoSync); err != nil {
+	if err := j.syncDir(); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
 	j.f = f
 	j.segs = append(j.segs, segment{seq: maxSeq + 1})
+	j.nextSeq = maxSeq + 2
 	if opts.NoSync {
 		close(j.done)
 	} else {
@@ -275,7 +308,10 @@ func decodeFrames(data []byte) (recs []Record, valid int64, ok bool) {
 }
 
 // Append writes one record and returns once it is durable (fsynced,
-// shared with any concurrently appending goroutines).
+// shared with any concurrently appending goroutines). On error the
+// record must be treated as not written: its bytes are either truncated
+// back out immediately or, after a poisoned sync, cut when the segment
+// fd is dropped — replay never surfaces them.
 func (j *Journal) Append(rec Record) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
@@ -284,9 +320,17 @@ func (j *Journal) Append(rec Record) error {
 	frame := EncodeFrame(payload)
 
 	j.mu.Lock()
-	if j.f == nil {
+	if j.closed {
 		j.mu.Unlock()
 		return ErrClosed
+	}
+	if j.f == nil {
+		// A previous sync failure poisoned the segment fd; rotate to a
+		// fresh segment (fresh descriptor) before accepting new records.
+		if err := j.openNextLocked(); err != nil {
+			j.mu.Unlock()
+			return err
+		}
 	}
 	active := &j.segs[len(j.segs)-1]
 	if active.size > 0 && active.size+int64(len(frame)) > j.opts.SegmentBytes {
@@ -296,31 +340,100 @@ func (j *Journal) Append(rec Record) error {
 		}
 		active = &j.segs[len(j.segs)-1]
 	}
-	if _, err := j.f.Write(frame); err != nil {
+	if n, err := j.f.Write(frame); err != nil {
+		// The frame is torn: n of its bytes may be in the file. Cut it
+		// back out so the segment stays parseable for later appends; if
+		// even that fails the fd is unusable — poison it.
+		if n > 0 {
+			if terr := j.f.Truncate(active.size); terr != nil {
+				j.poisonLocked()
+			}
+		}
 		j.mu.Unlock()
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	active.size += int64(len(frame))
 	j.size.Add(int64(len(frame)))
-	j.mu.Unlock()
 
 	if j.opts.NoSync {
+		j.synced = active.size
+		j.mu.Unlock()
 		return nil
 	}
-	// Group commit: wait for the syncer to cover this write.
-	j.smu.Lock()
-	defer j.smu.Unlock()
-	j.writeSeq++
-	w := j.writeSeq
-	j.cond.Broadcast()
-	for j.syncSeq < w && j.syncErr == nil && !j.closed {
-		j.cond.Wait()
+	// Group commit: join the pending batch (creating it wakes the syncer)
+	// and wait for its fsync verdict.
+	if j.pending == nil {
+		j.pending = &batch{done: make(chan struct{})}
+		j.cond.Broadcast()
 	}
-	if j.syncErr != nil {
-		return j.syncErr
+	b := j.pending
+	j.mu.Unlock()
+
+	<-b.done
+	return b.err
+}
+
+// poisonLocked implements the fsync-failure rule: assume the unsynced
+// suffix of the active segment is gone (a failed fsync may have dropped
+// the dirty pages — retrying on the same fd would lie about durability),
+// truncate the segment back to its last-synced size, drop the fd, and
+// fail any appends waiting on the pending batch. The next Append opens a
+// fresh segment. Callers hold j.mu.
+func (j *Journal) poisonLocked() {
+	j.poisons.Add(1)
+	active := &j.segs[len(j.segs)-1]
+	if j.f != nil {
+		_ = j.f.Truncate(j.synced)
+		_ = j.f.Close()
+		j.f = nil
 	}
-	if j.syncSeq < w {
-		return ErrClosed
+	j.size.Add(j.synced - active.size)
+	active.size = j.synced
+	if j.pending != nil {
+		j.pending.err = fmt.Errorf("journal: sync failed, segment %s poisoned", segName(active.seq))
+		close(j.pending.done)
+		j.pending = nil
+	}
+}
+
+// openNextLocked opens a fresh segment after the active one was sealed
+// or poisoned. Callers hold j.mu, with j.f nil. The sequence counter
+// advances even when the open fails partway (the O_EXCL create may have
+// succeeded before the directory sync failed), so a retry never
+// collides with its own debris.
+func (j *Journal) openNextLocked() error {
+	seq := j.nextSeq
+	j.nextSeq++
+	f, err := j.fsys.OpenFile(filepath.Join(j.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	if err := j.syncDir(); err != nil {
+		f.Close()
+		_ = j.fsys.Remove(f.Name())
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	j.f = f
+	j.segs = append(j.segs, segment{seq: seq})
+	j.synced = 0
+	return nil
+}
+
+// sealLocked makes the active segment durable and closes it. A seal-time
+// sync failure poisons the fd like any other. Callers hold j.mu; j.f is
+// nil afterwards.
+func (j *Journal) sealLocked() error {
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			j.poisonLocked()
+			return fmt.Errorf("journal: rotate sync: %w", err)
+		}
+		j.synced = j.segs[len(j.segs)-1].size
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("journal: rotate close: %w", err)
 	}
 	return nil
 }
@@ -328,69 +441,38 @@ func (j *Journal) Append(rec Record) error {
 // rotateLocked seals the active segment (fsync + close) and opens the
 // next one. Callers hold j.mu.
 func (j *Journal) rotateLocked() error {
-	if !j.opts.NoSync {
-		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("journal: rotate sync: %w", err)
-		}
+	if err := j.sealLocked(); err != nil {
+		return err
 	}
-	if err := j.f.Close(); err != nil {
-		return fmt.Errorf("journal: rotate close: %w", err)
-	}
-	seq := j.segs[len(j.segs)-1].seq + 1
-	f, err := os.OpenFile(filepath.Join(j.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
-	if err != nil {
-		return fmt.Errorf("journal: rotate: %w", err)
-	}
-	if err := syncDir(j.dir, j.opts.NoSync); err != nil {
-		f.Close()
-		return fmt.Errorf("journal: rotate: %w", err)
-	}
-	j.f = f
-	j.segs = append(j.segs, segment{seq: seq})
-	return nil
+	return j.openNextLocked()
 }
 
-// syncer is the group-commit loop: one fsync per batch of appends.
+// syncer is the group-commit loop: one fsync per batch of appends. It
+// holds j.mu across the fsync (see the Journal comment), so the batch it
+// takes covers exactly the active segment's bytes, and appenders that
+// arrive during the fsync queue on the mutex and form the next batch.
 func (j *Journal) syncer() {
 	defer close(j.done)
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	for {
-		j.smu.Lock()
-		for j.writeSeq == j.syncSeq && !j.closed {
+		for j.pending == nil && !j.closed {
 			j.cond.Wait()
 		}
-		if j.closed && j.writeSeq == j.syncSeq {
-			j.smu.Unlock()
-			return
+		if j.pending == nil {
+			return // closed and drained
 		}
-		w := j.writeSeq
-		j.smu.Unlock()
-
-		j.mu.Lock()
-		f := j.f
-		j.mu.Unlock()
-		var err error
-		if f != nil {
-			err = f.Sync()
-			// A rotation or Close raced us and sealed (synced) the file
-			// before closing it; the data this batch covers is durable.
-			if errors.Is(err, os.ErrClosed) {
-				err = nil
-			}
+		b := j.pending
+		j.pending = nil
+		// Invariant: a pending batch implies a live fd — poisonLocked
+		// fails the batch and nils the fd under the same mutex.
+		if err := j.f.Sync(); err != nil {
+			j.poisonLocked()
+			b.err = fmt.Errorf("journal: sync: %w", err)
+		} else {
+			j.synced = j.segs[len(j.segs)-1].size
 		}
-
-		j.smu.Lock()
-		if err != nil && j.syncErr == nil {
-			j.syncErr = err
-		}
-		if w > j.syncSeq {
-			j.syncSeq = w
-		}
-		j.cond.Broadcast()
-		closed := j.closed && j.writeSeq == j.syncSeq
-		j.smu.Unlock()
-		if closed {
-			return
-		}
+		close(b.done)
 	}
 }
 
@@ -398,12 +480,18 @@ func (j *Journal) syncer() {
 // of live job state (see SnapshotRecords) — in a fresh segment, then
 // deletes every older segment. Replay after a crash mid-compaction sees
 // old records followed by the snapshot, which Reduce resolves to the
-// same state.
+// same state. Old segments are only removed after the snapshot is
+// durable, so a failed compaction never loses history.
 func (j *Journal) Compact(recs []Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.f == nil {
+	if j.closed {
 		return ErrClosed
+	}
+	if j.f == nil {
+		if err := j.openNextLocked(); err != nil {
+			return err
+		}
 	}
 	if err := j.rotateLocked(); err != nil {
 		return err
@@ -421,22 +509,26 @@ func (j *Journal) Compact(recs []Record) error {
 		}
 		n += int64(len(frame))
 	}
-	if !j.opts.NoSync {
-		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("journal: compact sync: %w", err)
-		}
-	}
 	active.size += n
 	j.size.Add(n)
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			j.poisonLocked()
+			return fmt.Errorf("journal: compact sync: %w", err)
+		}
+		j.synced = active.size
+	} else {
+		j.synced = active.size
+	}
 	// Snapshot is durable: older segments are dead weight.
 	for _, seg := range j.segs[:len(j.segs)-1] {
-		if err := os.Remove(filepath.Join(j.dir, segName(seg.seq))); err != nil {
+		if err := j.fsys.Remove(filepath.Join(j.dir, segName(seg.seq))); err != nil {
 			return fmt.Errorf("journal: compact remove: %w", err)
 		}
 		j.size.Add(-seg.size)
 	}
 	j.segs = j.segs[len(j.segs)-1:]
-	return syncDir(j.dir, j.opts.NoSync)
+	return j.syncDir()
 }
 
 // SizeBytes reports the journal's on-disk size across all segments.
@@ -449,19 +541,23 @@ func (j *Journal) Segments() int {
 	return len(j.segs)
 }
 
+// Poisons reports how many segment fds were poisoned by fsync failures
+// over the journal's lifetime.
+func (j *Journal) Poisons() int64 { return j.poisons.Load() }
+
 // Close seals the journal: pending appends settle, the active segment is
 // fsynced and closed. Further Appends return ErrClosed.
 func (j *Journal) Close() error {
-	j.smu.Lock()
+	j.mu.Lock()
 	if j.closed {
-		j.smu.Unlock()
+		j.mu.Unlock()
 		<-j.done
 		return nil
 	}
 	j.closed = true
 	j.cond.Broadcast()
-	j.smu.Unlock()
-	<-j.done
+	j.mu.Unlock()
+	<-j.done // syncer drains the last batch and exits
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -470,12 +566,16 @@ func (j *Journal) Close() error {
 	}
 	var err error
 	if !j.opts.NoSync {
-		err = j.f.Sync()
+		if serr := j.f.Sync(); serr != nil {
+			j.poisonLocked()
+			return fmt.Errorf("journal: close sync: %w", serr)
+		}
+		j.synced = j.segs[len(j.segs)-1].size
 	}
-	if cerr := j.f.Close(); err == nil {
-		err = cerr
+	if j.f != nil {
+		err = j.f.Close()
+		j.f = nil
 	}
-	j.f = nil
 	return err
 }
 
@@ -503,7 +603,8 @@ func terminalState(s string) bool {
 // appearance order. It is idempotent and tolerant: duplicate submits
 // (possible after a crash mid-compaction) keep the first config, and a
 // state record whose submit was compacted away still creates the job so
-// a later snapshot record can fill the config in.
+// a later snapshot record can fill the config in. Records with no job ID
+// (OpNoop durability probes) are skipped.
 func Reduce(recs []Record) []*JobImage {
 	byID := map[string]*JobImage{}
 	var order []*JobImage

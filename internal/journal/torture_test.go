@@ -1,0 +1,407 @@
+package journal
+
+// Storage-fault torture for the journal: for every injectable fault site
+// in the append path, inject the fault via errfs, restart recovery, and
+// assert the WAL invariant:
+//
+//	acked ⊆ visible ⊆ attempted   (in attempt order)
+//
+// — no acknowledged record may be lost, and nothing that was never
+// attempted may appear. For the faults below the errfs model is strict
+// enough (failed syncs drop pages, torn frames are truncated back out)
+// that the tests assert the tight form, visible == acked. A second
+// replay of the same directory must reduce to bit-identical job images:
+// recovery is deterministic, not merely correct.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orion/internal/errfs"
+)
+
+// tortureAppend drives n appends through a journal on fsys, returning
+// the IDs in attempt order and the subset that was acked (Append
+// returned nil). Unlike the regular helpers it tolerates append errors —
+// they are the point.
+func tortureAppend(t *testing.T, dir string, fsys errfs.FS, n int) (attempted, acked []string) {
+	t.Helper()
+	j, _, err := Open(dir, Options{SegmentBytes: 256, FS: fsys})
+	if err != nil {
+		t.Fatalf("open under injection: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("exp-%04d", i)
+		attempted = append(attempted, id)
+		err := j.Append(Record{Op: OpSubmit, ID: id, Config: json.RawMessage(`{"seed":7}`)})
+		if err == nil {
+			acked = append(acked, id)
+		}
+	}
+	_ = j.Close() // the workload may have poisoned the tail; Close may error
+	return attempted, acked
+}
+
+// recoveredIDs reopens dir on the clean filesystem and returns the
+// replayed record IDs in order, plus the reduced job images as JSON (the
+// bit-identity probe).
+func recoveredIDs(t *testing.T, dir string) ([]string, string) {
+	t.Helper()
+	j, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer j.Close()
+	var ids []string
+	for _, r := range recs {
+		if r.ID != "" {
+			ids = append(ids, r.ID)
+		}
+	}
+	images, err := json.Marshal(Reduce(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids, string(images)
+}
+
+// assertWALInvariant checks acked ⊆ visible ⊆ attempted in order, and
+// (tight=true) visible == acked.
+func assertWALInvariant(t *testing.T, attempted, acked, visible []string, tight bool) {
+	t.Helper()
+	pos := map[string]int{}
+	for i, id := range attempted {
+		pos[id] = i
+	}
+	last := -1
+	for _, id := range visible {
+		p, ok := pos[id]
+		if !ok {
+			t.Fatalf("recovered record %q was never attempted", id)
+		}
+		if p <= last {
+			t.Fatalf("recovered records out of attempt order at %q", id)
+		}
+		last = p
+	}
+	vis := map[string]bool{}
+	for _, id := range visible {
+		vis[id] = true
+	}
+	for _, id := range acked {
+		if !vis[id] {
+			t.Fatalf("ACKED RECORD LOST: %q was acknowledged but did not survive recovery", id)
+		}
+	}
+	if tight && len(visible) != len(acked) {
+		t.Fatalf("visible (%d) != acked (%d): an unacknowledged record survived recovery", len(visible), len(acked))
+	}
+}
+
+// TestTortureCrashpointMatrix is the crashpoint matrix: one scripted
+// workload per injectable fault site.
+func TestTortureCrashpointMatrix(t *testing.T) {
+	const n = 40
+	cases := []struct {
+		name string
+		arm  func(*errfs.Injector)
+		// minAcked guards against the fault wedging the journal: appends
+		// after the (one-shot or clearing) fault must succeed again.
+		minAcked int
+	}{
+		{"write-error", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpWrite, Path: "seg-*.wal", Nth: 5, Effect: errfs.EffectErr})
+		}, n - 1},
+		{"torn-write-1byte", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpWrite, Path: "seg-*.wal", Nth: 5, Effect: errfs.EffectShortWrite, TearAt: 1})
+		}, n - 1},
+		{"torn-write-mid-header", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpWrite, Path: "seg-*.wal", Nth: 7, Effect: errfs.EffectShortWrite, TearAt: FrameHeaderLen - 3})
+		}, n - 1},
+		{"torn-write-mid-payload", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpWrite, Path: "seg-*.wal", Nth: 9, Effect: errfs.EffectShortWrite, TearAt: FrameHeaderLen + 11})
+		}, n - 1},
+		{"sync-loss-first-batch", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpSync, Path: "seg-*.wal", Nth: 1, Effect: errfs.EffectSyncLoss})
+		}, n - 1},
+		{"sync-loss-later-batch", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpSync, Path: "seg-*.wal", Nth: 6, Effect: errfs.EffectSyncLoss})
+		}, n - 1},
+		{"sync-error-pages-survive", func(i *errfs.Injector) {
+			// The benign variant: fsync fails but the pages are intact. The
+			// journal must STILL poison and drop the suffix — it cannot tell
+			// this apart from the lossy case, and retrying would lie.
+			i.AddRule(errfs.Rule{Op: errfs.OpSync, Path: "seg-*.wal", Nth: 3, Effect: errfs.EffectErr})
+		}, n - 1},
+		{"enospc-then-clear", func(i *errfs.Injector) {
+			i.SetWriteBudget(1024, 3)
+		}, 1},
+		{"rotation-open-fails", func(i *errfs.Injector) {
+			// First open happens inside Open(); the 2nd is the first rotation.
+			i.AddRule(errfs.Rule{Op: errfs.OpOpen, Path: "seg-*.wal", Nth: 2, Effect: errfs.EffectErr})
+		}, n - 1},
+		{"dir-sync-fails-on-rotation", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpSyncDir, Nth: 2, Effect: errfs.EffectErr})
+		}, n - 1},
+		{"double-fault-torn-then-sync-loss", func(i *errfs.Injector) {
+			i.AddRule(errfs.Rule{Op: errfs.OpWrite, Path: "seg-*.wal", Nth: 4, Effect: errfs.EffectShortWrite, TearAt: 3})
+			i.AddRule(errfs.Rule{Op: errfs.OpSync, Path: "seg-*.wal", Nth: 5, Effect: errfs.EffectSyncLoss})
+		}, n - 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			inj := errfs.New(errfs.OS{}, 1)
+			tc.arm(inj)
+			attempted, acked := tortureAppend(t, dir, inj, n)
+			if inj.Faults() == 0 {
+				t.Fatal("fault never fired: the crashpoint is not exercising anything")
+			}
+			if len(acked) < tc.minAcked {
+				t.Fatalf("only %d/%d appends acked: journal wedged after the fault", len(acked), n)
+			}
+			visible, images := recoveredIDs(t, dir)
+			assertWALInvariant(t, attempted, acked, visible, true)
+			// Recovery must be deterministic: replay again, bit-compare.
+			visible2, images2 := recoveredIDs(t, dir)
+			if images != images2 || len(visible) != len(visible2) {
+				t.Fatal("two replays of the same directory reduced to different images")
+			}
+		})
+	}
+}
+
+// TestTortureFlakySweep runs seeded random write/sync faults across many
+// seeds; whatever the schedule, no acked record may be lost and no
+// unacked record may surface.
+func TestTortureFlakySweep(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			inj := errfs.New(errfs.OS{}, seed)
+			inj.SetFlaky(0.05, 0.05)
+			attempted, acked := tortureAppend(t, dir, inj, 60)
+			visible, _ := recoveredIDs(t, dir)
+			assertWALInvariant(t, attempted, acked, visible, true)
+		})
+	}
+}
+
+// TestTorturePoisonRotates: a sync failure must rotate to a fresh
+// segment — the poisoned fd is never reused, and the poison counter
+// records the episode.
+func TestTorturePoisonRotates(t *testing.T) {
+	dir := t.TempDir()
+	inj := errfs.New(errfs.OS{}, 1)
+	inj.AddRule(errfs.Rule{Op: errfs.OpSync, Path: "seg-*.wal", Nth: 1, Effect: errfs.EffectSyncLoss})
+	j, _, err := Open(dir, Options{FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpSubmit, ID: "exp-1"}); err == nil {
+		t.Fatal("append over the failed fsync was acked")
+	}
+	if got := j.Poisons(); got != 1 {
+		t.Fatalf("Poisons() = %d, want 1", got)
+	}
+	// The journal recovers on the very next append, into a new segment.
+	if err := j.Append(Record{Op: OpSubmit, ID: "exp-2"}); err != nil {
+		t.Fatalf("append after poison: %v", err)
+	}
+	if got := j.Segments(); got != 2 {
+		t.Fatalf("Segments() = %d after poison rotation, want 2", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The poisoned segment's unsynced suffix is gone; the fresh segment
+	// holds exp-2.
+	_, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 1 || recs[0].ID != "exp-2" {
+		t.Fatalf("recovered %+v, want only exp-2", recs)
+	}
+}
+
+// TestTortureENOSPCPartialFrame: a full disk mid-frame must not leave a
+// torn frame behind — the partial prefix is truncated back out so the
+// segment stays parseable.
+func TestTortureENOSPCPartialFrame(t *testing.T) {
+	dir := t.TempDir()
+	inj := errfs.New(errfs.OS{}, 1)
+	j, _, err := Open(dir, Options{FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpSubmit, ID: "exp-1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Budget that tears the next frame partway through.
+	inj.SetWriteBudget(10, 0)
+	if err := j.Append(Record{Op: OpSubmit, ID: "exp-2"}); !errfs.IsNoSpace(err) {
+		t.Fatalf("append on full disk = %v, want ENOSPC", err)
+	}
+	// Space comes back: the journal keeps going on the same segment.
+	inj.ClearWriteBudget()
+	if err := j.Append(Record{Op: OpSubmit, ID: "exp-3"}); err != nil {
+		t.Fatalf("append after space freed: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := mustOpen(t, dir, Options{})
+	var ids []string
+	for _, r := range recs {
+		ids = append(ids, r.ID)
+	}
+	want := []string{"exp-1", "exp-3"}
+	if len(ids) != len(want) || ids[0] != want[0] || ids[1] != want[1] {
+		t.Fatalf("recovered %v, want %v", ids, want)
+	}
+}
+
+// TestTortureCompactSyncFailureKeepsHistory: a failed fsync of the
+// compaction snapshot must not delete the old segments — recovery still
+// sees the full history.
+func TestTortureCompactSyncFailureKeepsHistory(t *testing.T) {
+	dir := t.TempDir()
+	inj := errfs.New(errfs.OS{}, 1)
+	j, _, err := Open(dir, Options{FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(Record{Op: OpSubmit, ID: fmt.Sprintf("exp-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Next sync is the compaction snapshot's: lose it.
+	inj.AddRule(errfs.Rule{Op: errfs.OpSync, Path: "seg-*.wal", Nth: 0, Effect: errfs.EffectSyncLoss})
+	snap := SnapshotRecords(Reduce(mustReplay(t, dir)))
+	err = j.Compact(snap)
+	if err == nil {
+		t.Fatal("compact over a failed snapshot sync was acked")
+	}
+	_ = j.Close()
+	visible, _ := recoveredIDs(t, dir)
+	if len(visible) != 5 {
+		t.Fatalf("recovered %d records after failed compaction, want all 5", len(visible))
+	}
+}
+
+// mustReplay re-reads dir without keeping a journal open (helper for
+// building compaction snapshots in tests).
+func mustReplay(t *testing.T, dir string) []Record {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for _, e := range entries {
+		if _, ok := parseSegName(e.Name()); !ok {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, _, _ := decodeFrames(data)
+		recs = append(recs, rs...)
+	}
+	return recs
+}
+
+// TestTruncationSweep cuts a three-record segment at EVERY byte offset
+// and checks recovery at each: the records whose frames fit entirely
+// under the cut survive, nothing else does, and the corrupt tail is
+// truncated from the file (complementing FuzzJournalReplay, which
+// explores random corruption rather than the exhaustive torn-tail
+// space).
+func TestTruncationSweep(t *testing.T) {
+	// Build the reference segment and the per-record frame boundaries.
+	recs := []Record{
+		{Op: OpSubmit, ID: "exp-a", Config: json.RawMessage(`{"seed":1}`), IdemKey: "ka"},
+		{Op: OpState, ID: "exp-a", State: "running"},
+		{Op: OpState, ID: "exp-a", State: "done", Summary: json.RawMessage(`{"p99":2.25}`)},
+	}
+	var data []byte
+	var ends []int // cumulative end offset of each frame
+	for _, r := range recs {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, EncodeFrame(payload)...)
+		ends = append(ends, len(data))
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, segName(1))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Independent oracle: frames wholly under the cut survive.
+		wantN, wantValid := 0, 0
+		for i, end := range ends {
+			if end <= cut {
+				wantN, wantValid = i+1, end
+			}
+		}
+		j, got := mustOpen(t, dir, Options{NoSync: true})
+		if len(got) != wantN {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, len(got), wantN)
+		}
+		for i := range got {
+			if got[i].State != recs[i].State || got[i].ID != recs[i].ID {
+				t.Fatalf("cut=%d: record %d = %+v, want %+v", cut, i, got[i], recs[i])
+			}
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != int64(wantValid) {
+			t.Fatalf("cut=%d: torn tail not truncated: size %d, want %d", cut, fi.Size(), wantValid)
+		}
+		// The reopened journal accepts appends and a second recovery sees
+		// the survivors plus the new record.
+		if err := j.Append(Record{Op: OpState, ID: "exp-new", State: "queued"}); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, again := mustOpen(t, dir, Options{NoSync: true})
+		if len(again) != wantN+1 || again[len(again)-1].ID != "exp-new" {
+			t.Fatalf("cut=%d: second recovery saw %d records, want %d", cut, len(again), wantN+1)
+		}
+	}
+}
+
+// TestTortureCorruptReadAtOpen: a bit flip surfacing at read time is a
+// corruption point — the damaged record and everything after it are
+// dropped, never fatal.
+func TestTortureCorruptReadAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{NoSync: true})
+	appendN(t, j, 3)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	inj := errfs.New(errfs.OS{}, 1)
+	// Flip a bit deep in the segment payload area on the first read.
+	inj.AddRule(errfs.Rule{Op: errfs.OpRead, Path: "seg-*.wal", Nth: 1, Effect: errfs.EffectCorruptRead, BitPos: 4000})
+	j2, recs, err := Open(dir, Options{FS: inj})
+	if err != nil {
+		t.Fatalf("open over corrupt read: %v", err)
+	}
+	defer j2.Close()
+	if len(recs) >= 9 {
+		t.Fatalf("corrupt read recovered all %d records, want a truncated prefix", len(recs))
+	}
+}

@@ -1,0 +1,104 @@
+package server
+
+// Degraded mode: orion-serve's answer to a full journal disk.
+//
+// The journal-before-ack rule means a server that cannot append cannot
+// honestly accept work. But killing in-flight experiments over a full
+// disk would throw away hours of deterministic compute that needs no
+// durability to finish — the results only need the disk once, at the
+// terminal transition. So ENOSPC splits the control plane's behaviour:
+//
+//   - NEW submissions are rejected with 503 + Retry-After and a
+//     durability_degraded flag in the body, so clients can tell "come
+//     back later, disk full" from an ordinary drain;
+//   - IN-FLIGHT jobs keep running journal-less. Their transitions apply
+//     in memory only and each such job is stamped durability_degraded —
+//     visible on GET /v1/experiments/{id} — meaning a crash during the
+//     window would lose those transitions (replay would re-execute);
+//   - a probe goroutine appends a no-op journal record every
+//     DegradedProbe until one lands, then compacts the live job table
+//     into a fresh snapshot — re-establishing durability for everything
+//     that happened during the window — and reopens admission.
+//
+// Only ENOSPC enters this mode. Other storage faults either self-heal
+// inside the journal (a poisoned fsync rotates to a fresh segment) or
+// fail the individual operation.
+
+import (
+	"log"
+	"net/http"
+	"time"
+
+	"orion/internal/errfs"
+	"orion/internal/journal"
+)
+
+// degradedBody is the 503 response while durability is degraded. It is a
+// distinct shape from errorBody so clients can detect the condition
+// without string-matching.
+type degradedBody struct {
+	Error              string `json:"error"`
+	DurabilityDegraded bool   `json:"durability_degraded"`
+}
+
+// rejectDegraded answers a submission attempted while the journal disk
+// is full: 503, the usual Retry-After hint, and the degraded flag.
+func (s *Server) rejectDegraded(w http.ResponseWriter) {
+	s.cRejected.Inc()
+	s.retryAfterHeader(w)
+	writeJSON(w, http.StatusServiceUnavailable, degradedBody{
+		Error:              "journal disk full: durability degraded, not accepting new work",
+		DurabilityDegraded: true,
+	})
+}
+
+// noteJournalError classifies a failed journal append. ENOSPC flips the
+// server into degraded mode (once); everything else is left to the
+// caller's own error handling. Safe to call with a nil error.
+func (s *Server) noteJournalError(err error) {
+	if err == nil || !errfs.IsNoSpace(err) {
+		return
+	}
+	if !s.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	s.gDegraded.Set(1)
+	log.Printf("orion-serve: journal disk full (%v): entering degraded mode — rejecting new submissions, running jobs continue journal-less", err)
+	go s.degradedProbe()
+}
+
+// degradedProbe periodically appends an OpNoop record (invisible to
+// replay) until one lands — the signal that space came back. It then
+// compacts the live job table into a fresh snapshot so every transition
+// that happened journal-less during the window becomes durable, and only
+// then reopens admission.
+func (s *Server) degradedProbe() {
+	t := time.NewTicker(s.cfg.DegradedProbe)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			if err := s.jn.Append(journal.Record{Op: journal.OpNoop, Time: time.Now()}); err != nil {
+				continue
+			}
+			s.compactNow()
+			s.degraded.Store(false)
+			s.gDegraded.Set(0)
+			log.Printf("orion-serve: journal disk recovered: degraded mode over, compacted and accepting submissions again")
+			return
+		}
+	}
+}
+
+// markDegraded stamps a job as having run through a degraded window:
+// one or more of its journal appends never reached disk. Callers hold
+// no lock.
+func (s *Server) markDegraded(id string) {
+	s.mu.Lock()
+	if j := s.jobs[id]; j != nil {
+		j.degraded = true
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"orion/internal/errfs"
+	"orion/internal/harness"
+	"orion/internal/sim"
+)
+
+// TestDegradedModeLifecycle walks the full ENOSPC state machine against
+// a live server whose journal sits on a fault-injecting filesystem:
+//
+//  1. a job is accepted and running when the disk fills;
+//  2. the triggering submission and every one after it gets 503 with
+//     Retry-After and durability_degraded in the body;
+//  3. the in-flight job finishes journal-less and its status is stamped
+//     durability_degraded;
+//  4. when space returns the probe notices, compacts, and admission
+//     reopens;
+//  5. the degraded window's terminal transition — which never reached
+//     the journal directly — survives a restart, because the recovery
+//     compaction snapshotted the live table.
+func TestDegradedModeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	inj := errfs.New(errfs.OS{}, 1)
+	unblock := make(chan struct{})
+	a := mustNew(t, Config{
+		Workers: 1, QueueDepth: 4, JournalDir: dir, FS: inj,
+		DegradedProbe: 20 * time.Millisecond, testBlock: unblock,
+	})
+	tsA := httptest.NewServer(a.Handler())
+	cfg := quickConfig(harness.Orion)
+
+	st, resp := submit(t, tsA, cfg)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit before the disk fills: %d", resp.StatusCode)
+	}
+	waitRunning(t, a, st.ID)
+
+	// The disk fills. A huge failsUntilClear keeps the budget from
+	// self-clearing; the test clears it explicitly below.
+	inj.SetWriteBudget(0, 1<<30)
+
+	// The submission that trips over ENOSPC answers 503 + degraded, not
+	// a bare 500: the client must be able to tell "disk full" apart from
+	// a crash.
+	assertDegradedRejection(t, submitRaw(t, tsA, cfg), "triggering submission")
+	// Once degraded, rejection happens up front — before touching the
+	// journal at all.
+	assertDegradedRejection(t, submitRaw(t, tsA, cfg), "subsequent submission")
+	if code := postResume(t, tsA, st.ID, ""); code != http.StatusServiceUnavailable {
+		t.Errorf("resume while degraded: %d, want 503 (resumption is admission)", code)
+	}
+	if got := metricLine(t, tsA, "orion_serve_durability_degraded"); got != "orion_serve_durability_degraded 1" {
+		t.Errorf("degraded gauge = %q, want 1", got)
+	}
+
+	// The in-flight job runs to completion journal-less; its terminal
+	// append fails, which stamps it durability_degraded.
+	close(unblock)
+	got := pollDone(t, tsA, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("in-flight job during degraded window: %q (%s)", got.State, got.Error)
+	}
+	if !got.DurabilityDegraded {
+		t.Error("job that ran journal-less is not stamped durability_degraded")
+	}
+	if got.Result == nil {
+		t.Error("degraded job lost its summary")
+	}
+
+	// Space returns: the probe lands a no-op append, compacts the live
+	// table, and reopens admission.
+	inj.ClearWriteBudget()
+	deadline := time.Now().Add(10 * time.Second)
+	accepted := false
+	var st2 JobStatus
+	for time.Now().Before(deadline) {
+		st2, resp = submit(t, tsA, cfg)
+		if resp.StatusCode == http.StatusAccepted {
+			accepted = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !accepted {
+		t.Fatal("admission never reopened after space returned")
+	}
+	if a.degraded.Load() {
+		t.Error("server still flagged degraded after accepting work")
+	}
+	if got := metricLine(t, tsA, "orion_serve_durability_degraded"); got != "orion_serve_durability_degraded 0" {
+		t.Errorf("degraded gauge = %q, want 0", got)
+	}
+	if pollDone(t, tsA, st2.ID).State != StateDone {
+		t.Error("post-recovery job did not finish")
+	}
+
+	// The degraded window's transitions were made durable by the
+	// recovery compaction: a restart restores the first job as done,
+	// summary intact, even though its terminal append never landed.
+	if err := a.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tsA.Close()
+	b := mustNew(t, Config{Workers: 1, QueueDepth: 4, JournalDir: dir})
+	defer b.Shutdown(context.Background())
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+	after := pollDone(t, tsB, st.ID)
+	if after.State != StateDone || after.Result == nil {
+		t.Fatalf("after restart: state=%q result=%v, want the degraded-window terminal state durable", after.State, after.Result != nil)
+	}
+}
+
+// rawResponse is a fully-drained HTTP response for rejection asserts.
+type rawResponse struct {
+	code   int
+	header http.Header
+	body   []byte
+}
+
+// submitRaw posts a submission and drains the response, whatever the
+// status — the rejection-path tests need the body of non-202 answers,
+// which the submit helper discards.
+func submitRaw(t *testing.T, ts *httptest.Server, cfg harness.Config) rawResponse {
+	t.Helper()
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return rawResponse{code: resp.StatusCode, header: resp.Header, body: buf.Bytes()}
+}
+
+// assertDegradedRejection checks the 503-with-flag contract.
+func assertDegradedRejection(t *testing.T, resp rawResponse, what string) {
+	t.Helper()
+	if resp.code != http.StatusServiceUnavailable {
+		t.Fatalf("%s while degraded: %d, want 503", what, resp.code)
+	}
+	if resp.header.Get("Retry-After") == "" {
+		t.Errorf("%s: degraded 503 missing Retry-After", what)
+	}
+	var body struct {
+		Error              string `json:"error"`
+		DurabilityDegraded bool   `json:"durability_degraded"`
+	}
+	if err := json.Unmarshal(resp.body, &body); err != nil {
+		t.Fatalf("%s: bad degraded body: %v", what, err)
+	}
+	if !body.DurabilityDegraded {
+		t.Errorf("%s: body missing durability_degraded: true", what)
+	}
+	if !strings.Contains(body.Error, "disk full") {
+		t.Errorf("%s: error = %q, want the disk-full message", what, body.Error)
+	}
+}
+
+// metricLine fetches /metrics and returns the line starting with name.
+func metricLine(t *testing.T, ts *httptest.Server, name string) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, name+" ") || line == name {
+			return line
+		}
+	}
+	return ""
+}
+
+// TestCheckpointWriteErrorSurfaced: a failing checkpoint write must not
+// kill the run — the job finishes, the error shows up once in the
+// counter and as checkpoint_error on the job's status.
+func TestCheckpointWriteErrorSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	inj := errfs.New(errfs.OS{}, 1).AddRule(errfs.Rule{
+		Op: errfs.OpSync, Path: ".ckpt-*", Nth: 1, Effect: errfs.EffectErr,
+	})
+	s := mustNew(t, Config{
+		Workers: 1, QueueDepth: 4, JournalDir: dir, FS: inj,
+		CheckpointStride: sim.InterruptStride,
+	})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := quickConfig(harness.Orion)
+	st, resp := submit(t, ts, cfg)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	got := pollDone(t, ts, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("job with a failing checkpoint sink: %q (%s)", got.State, got.Error)
+	}
+	if got.CheckpointError == "" {
+		t.Error("checkpoint_error not surfaced on the job status")
+	}
+	if got := s.cCkptErrs.Value(); got != 1 {
+		t.Errorf("checkpoint_write_errors_total = %v, want 1 (rule fires once)", got)
+	}
+	if inj.Faults() == 0 {
+		t.Error("injector never fired — test exercised nothing")
+	}
+	if line := metricLine(t, ts, "orion_serve_checkpoint_write_errors_total"); !strings.HasSuffix(line, " 1") {
+		t.Errorf("/metrics checkpoint_write_errors_total line = %q", line)
+	}
+}

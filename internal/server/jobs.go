@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"orion/internal/checkpoint"
+	"orion/internal/errfs"
 	"orion/internal/harness"
 	"orion/internal/metrics"
 )
@@ -78,8 +80,17 @@ type job struct {
 	finished  time.Time
 	summary   *harness.Summary
 	errMsg    string
-	events    []Event
-	subs      map[chan Event]bool
+	// ckptErr is the most recent checkpoint write failure (kept after the
+	// job finishes — it explains why a resume had less to work with).
+	ckptErr string
+	// ckptErrLogged dedups the operator log line to once per job.
+	ckptErrLogged bool
+	// degraded marks a job at least one of whose journal appends never
+	// reached disk (full-disk window): its transitions lacked the usual
+	// crash guarantee while it ran.
+	degraded bool
+	events   []Event
+	subs     map[chan Event]bool
 }
 
 // JobStatus is the wire-level view of a job.
@@ -97,18 +108,26 @@ type JobStatus struct {
 	// to an uninterrupted run (the harness is deterministic per seed).
 	Recovered    bool `json:"recovered,omitempty"`
 	RestartCount int  `json:"restart_count,omitempty"`
+	// CheckpointError is the last failed checkpoint write, if any: the
+	// job kept running, but a resume can only use the previous stride.
+	CheckpointError string `json:"checkpoint_error,omitempty"`
+	// DurabilityDegraded marks a job that ran through a full-disk window
+	// journal-less: its transitions were not crash-durable at the time.
+	DurabilityDegraded bool `json:"durability_degraded,omitempty"`
 }
 
 func (j *job) status() JobStatus {
 	st := JobStatus{
-		ID:           j.id,
-		State:        j.state,
-		Scheme:       j.cfg.Scheme,
-		SubmittedAt:  j.submitted,
-		Error:        j.errMsg,
-		Result:       j.summary,
-		Recovered:    j.recovered,
-		RestartCount: j.restarts,
+		ID:                 j.id,
+		State:              j.state,
+		Scheme:             j.cfg.Scheme,
+		SubmittedAt:        j.submitted,
+		Error:              j.errMsg,
+		Result:             j.summary,
+		Recovered:          j.recovered,
+		RestartCount:       j.restarts,
+		CheckpointError:    j.ckptErr,
+		DurabilityDegraded: j.degraded,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -184,6 +203,7 @@ func (s *Server) worker() {
 
 // execOpts describes one experiment execution attempt.
 type execOpts struct {
+	id       string
 	cfg      harness.Config
 	cfgJSON  json.RawMessage
 	progress func(string)
@@ -227,7 +247,7 @@ func (s *Server) execute(o execOpts) (res *harness.Result, horizon time.Duration
 			Resume: o.resume,
 		}
 		if o.ckptPath != "" {
-			cc.Sink = s.checkpointSink(o.ckptPath)
+			cc.Sink = s.checkpointSink(o.id, o.ckptPath)
 		}
 		rc.Checkpoint = cc
 	}
@@ -254,20 +274,44 @@ func (s *Server) checkpointPath(id string) string {
 	return filepath.Join(s.cfg.JournalDir, "ckpt-"+id+".ck")
 }
 
-// checkpointSink persists each captured checkpoint atomically. Errors
-// are swallowed: a failed checkpoint write must not kill the experiment
-// — it only shrinks how much a later resume can skip. (Contrast the
-// golden resume tests, which return an error here exactly to emulate a
-// crash at a stride boundary.)
-func (s *Server) checkpointSink(path string) func(*checkpoint.Checkpoint) error {
+// checkpointSink persists each captured checkpoint atomically. A write
+// failure must not kill the experiment — it only shrinks how much a
+// later resume can skip — but it is no longer silent: the counter bumps,
+// the job is annotated with the error (visible on GET
+// /v1/experiments/{id}), the operator log gets one line per job, and an
+// ENOSPC flips the server into degraded mode. (Contrast the golden
+// resume tests, which return an error here exactly to emulate a crash at
+// a stride boundary.)
+func (s *Server) checkpointSink(id, path string) func(*checkpoint.Checkpoint) error {
 	return func(ck *checkpoint.Checkpoint) error {
 		start := time.Now()
-		if err := checkpoint.WriteFile(path, ck); err != nil {
+		if err := checkpoint.WriteFileFS(s.fsys, path, ck); err != nil {
+			s.cCkptErrs.Inc()
+			s.noteCheckpointError(id, err)
+			s.noteJournalError(err)
 			return nil
 		}
 		s.gCkptBytes.Set(float64(ck.SizeBytes()))
 		s.hCkptWrite.Observe(time.Since(start).Seconds())
 		return nil
+	}
+}
+
+// noteCheckpointError annotates the job with its latest checkpoint write
+// failure and logs the first one.
+func (s *Server) noteCheckpointError(id string, err error) {
+	logIt := false
+	s.mu.Lock()
+	if j := s.jobs[id]; j != nil {
+		j.ckptErr = err.Error()
+		if !j.ckptErrLogged {
+			j.ckptErrLogged = true
+			logIt = true
+		}
+	}
+	s.mu.Unlock()
+	if logIt {
+		log.Printf("orion-serve: checkpoint write for %s failed: %v (further failures for this job counted but not logged)", id, err)
 	}
 }
 
@@ -309,14 +353,18 @@ func (s *Server) runJob(j *job, arena *harness.Arena) {
 	}
 
 	opts := execOpts{
-		cfg: cfg, cfgJSON: j.cfgJSON, progress: progress, arena: arena,
+		id: j.id, cfg: cfg, cfgJSON: j.cfgJSON, progress: progress, arena: arena,
 		deadline: deadline, ckptPath: s.checkpointPath(j.id), resume: resume,
 	}
 	res, horizon, err := s.execute(opts)
 	if err != nil && opts.resume != nil && !errors.Is(err, context.DeadlineExceeded) {
 		// The checkpoint could not be verified against the replay (config
 		// drift, code change, damaged file). Resuming is an optimization,
-		// not an obligation: fall back to full deterministic re-execution.
+		// not an obligation: quarantine the file it came from and fall
+		// back to full deterministic re-execution.
+		if opts.ckptPath != "" && s.statExists(opts.ckptPath) {
+			s.quarantineCheckpoint(j.id, opts.ckptPath, err)
+		}
 		s.mu.Lock()
 		s.emit(j, "resume-fallback")
 		s.mu.Unlock()
@@ -333,7 +381,7 @@ func (s *Server) runJob(j *job, arena *harness.Arena) {
 	// checkpoint was persisted: the spent work survives and the client
 	// decides whether to grant a larger budget.
 	parked := err != nil && errors.Is(err, context.DeadlineExceeded) &&
-		opts.ckptPath != "" && fileExists(opts.ckptPath)
+		opts.ckptPath != "" && s.statExists(opts.ckptPath)
 
 	s.mu.Lock()
 	j.finished = time.Now()
@@ -368,10 +416,16 @@ func (s *Server) runJob(j *job, arena *harness.Arena) {
 	if state.terminal() {
 		// The checkpoint has served its purpose; parked jobs keep theirs.
 		if p := opts.ckptPath; p != "" {
-			_ = os.Remove(p)
+			_ = s.fsys.Remove(p)
 		}
 	}
 	s.maybeCompact()
+}
+
+// statExists reports whether path exists on the server's filesystem.
+func (s *Server) statExists(path string) bool {
+	_, err := s.fsys.Stat(path)
+	return err == nil
 }
 
 // fileExists reports whether path names an existing file.
@@ -404,6 +458,9 @@ func (s *Server) wallSeconds(scheme string) *metrics.Histogram {
 type admissionError struct {
 	code int
 	msg  string
+	// degraded routes the rejection through the durability_degraded
+	// response shape (full journal disk) instead of the plain error body.
+	degraded bool
 }
 
 func (e *admissionError) Error() string { return e.msg }
@@ -419,12 +476,12 @@ func (e *admissionError) Error() string { return e.msg }
 func (s *Server) admit(cfg harness.Config, idemKey string) (*job, bool, *admissionError) {
 	cfgJSON, err := json.Marshal(cfg)
 	if err != nil {
-		return nil, false, &admissionError{http.StatusInternalServerError, err.Error()}
+		return nil, false, &admissionError{code: http.StatusInternalServerError, msg: err.Error()}
 	}
 	s.mu.Lock()
 	if s.draining.Load() {
 		s.mu.Unlock()
-		return nil, false, &admissionError{http.StatusServiceUnavailable, "server is draining"}
+		return nil, false, &admissionError{code: http.StatusServiceUnavailable, msg: "server is draining"}
 	}
 	if idemKey != "" {
 		if id, ok := s.idem[idemKey]; ok {
@@ -440,8 +497,8 @@ func (s *Server) admit(cfg harness.Config, idemKey string) (*job, bool, *admissi
 	if s.queued >= s.cfg.QueueDepth {
 		n := s.queued
 		s.mu.Unlock()
-		return nil, false, &admissionError{http.StatusTooManyRequests,
-			fmt.Sprintf("queue full (%d waiting)", n)}
+		return nil, false, &admissionError{code: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("queue full (%d waiting)", n)}
 	}
 	if len(s.order) >= s.cfg.MaxJobs {
 		evicted := false
@@ -458,8 +515,8 @@ func (s *Server) admit(cfg harness.Config, idemKey string) (*job, bool, *admissi
 		}
 		if !evicted {
 			s.mu.Unlock()
-			return nil, false, &admissionError{http.StatusTooManyRequests,
-				fmt.Sprintf("job table full (%d live jobs)", s.cfg.MaxJobs)}
+			return nil, false, &admissionError{code: http.StatusTooManyRequests,
+				msg: fmt.Sprintf("job table full (%d live jobs)", s.cfg.MaxJobs)}
 		}
 	}
 	s.seq++
@@ -495,8 +552,14 @@ func (s *Server) admit(cfg harness.Config, idemKey string) (*job, bool, *admissi
 		s.cJobs(StateFailed).Inc()
 		s.emit(j, string(StateFailed))
 		s.mu.Unlock()
-		return nil, false, &admissionError{http.StatusInternalServerError,
-			"journal append failed: " + err.Error()}
+		if errfs.IsNoSpace(err) {
+			// journalSubmit already flipped degraded mode; this submission
+			// is the one that discovered the full disk.
+			return nil, false, &admissionError{code: http.StatusServiceUnavailable,
+				msg: "journal disk full: durability degraded, not accepting new work", degraded: true}
+		}
+		return nil, false, &admissionError{code: http.StatusInternalServerError,
+			msg: "journal append failed: " + err.Error()}
 	}
 
 	s.mu.Lock()
@@ -512,7 +575,7 @@ func (s *Server) admit(cfg harness.Config, idemKey string) (*job, bool, *admissi
 		s.emit(j, string(StateCanceled))
 		s.mu.Unlock()
 		s.journalState(j.id, StateCanceled, j.errMsg, nil, 0)
-		return nil, false, &admissionError{http.StatusServiceUnavailable, "server is draining"}
+		return nil, false, &admissionError{code: http.StatusServiceUnavailable, msg: "server is draining"}
 	}
 	s.queue <- j // capacity reserved by s.queued above; never blocks
 	s.mu.Unlock()

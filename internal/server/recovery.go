@@ -2,8 +2,10 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
+	"log"
 	"time"
 
 	"orion/internal/checkpoint"
@@ -19,7 +21,7 @@ import (
 // restore in place with their summaries. Called from New before the
 // worker pool starts, so no locking is needed.
 func (s *Server) openJournal() ([]*job, error) {
-	jn, recs, err := journal.Open(s.cfg.JournalDir, journal.Options{})
+	jn, recs, err := journal.Open(s.cfg.JournalDir, journal.Options{FS: s.fsys})
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +79,7 @@ func (s *Server) openJournal() ([]*job, error) {
 			// previous incarnation died between journaling the terminal
 			// state and the cleanup.
 			if p := s.checkpointPath(j.id); p != "" {
-				_ = os.Remove(p)
+				_ = s.fsys.Remove(p)
 			}
 			s.emit(j, string(j.state))
 		case j.state == StateParked:
@@ -135,16 +137,37 @@ func (s *Server) openJournal() ([]*job, error) {
 func journalTerminal(st string) bool { return State(st).terminal() }
 
 // attachCheckpoint loads a runnable job's persisted checkpoint, if any:
-// the job resumes from it instead of re-executing from event zero. An
-// unreadable file is simply ignored — resuming is an optimization.
+// the job resumes from it instead of re-executing from event zero. A
+// corrupt file is quarantined to <path>.bad — resuming is an
+// optimization, so the job falls back to full re-execution, but the
+// damaged bytes are kept for post-mortem instead of being silently
+// shadowed or deleted.
 func (s *Server) attachCheckpoint(j *job) {
 	path := s.checkpointPath(j.id)
 	if path == "" {
 		return
 	}
-	if ck, err := checkpoint.ReadFile(path); err == nil {
+	ck, err := checkpoint.ReadFileFS(s.fsys, path)
+	if err == nil {
 		j.resume = ck
+		return
 	}
+	if errors.Is(err, fs.ErrNotExist) {
+		return
+	}
+	s.quarantineCheckpoint(j.id, path, err)
+}
+
+// quarantineCheckpoint moves a damaged checkpoint aside and records the
+// episode (metric + once-per-job log + job annotation).
+func (s *Server) quarantineCheckpoint(id, path string, cause error) {
+	s.cCkptQuarant.Inc()
+	bad, qerr := checkpoint.Quarantine(s.fsys, path)
+	if qerr != nil {
+		log.Printf("orion-serve: checkpoint for %s unreadable (%v) and quarantine failed: %v", id, cause, qerr)
+		return
+	}
+	log.Printf("orion-serve: checkpoint for %s unreadable (%v): quarantined to %s, job will re-run from event zero", id, cause, bad)
 }
 
 // jobSeq extracts the numeric suffix of an "exp-%06d" id (0 if the id
@@ -159,7 +182,7 @@ func jobSeq(id string) uint64 {
 
 // journalSubmit makes a submission durable. Unlike state transitions
 // this error is surfaced: the server must not acknowledge work it could
-// lose.
+// lose. An ENOSPC here additionally flips the server into degraded mode.
 func (s *Server) journalSubmit(j *job) error {
 	if s.jn == nil {
 		return nil
@@ -171,13 +194,17 @@ func (s *Server) journalSubmit(j *job) error {
 		Config:  j.cfgJSON,
 		IdemKey: j.idemKey,
 	})
-	s.gJournalBytes.Set(float64(s.jn.SizeBytes()))
+	s.noteJournalError(err)
+	s.journalGauges()
 	return err
 }
 
 // journalState records a state transition, best-effort: a failed append
 // at worst means the transition replays after a crash, and replay is
 // idempotent (re-execution is deterministic, cancellation re-applies).
+// A failed append stamps the job durability_degraded — its owner ran on
+// without the usual crash guarantee — and an ENOSPC flips the server
+// into degraded mode.
 func (s *Server) journalState(id string, st State, errMsg string, summary *harness.Summary, restarts int) {
 	if s.jn == nil {
 		return
@@ -186,7 +213,7 @@ func (s *Server) journalState(id string, st State, errMsg string, summary *harne
 	if summary != nil {
 		sum, _ = json.Marshal(summary)
 	}
-	_ = s.jn.Append(journal.Record{
+	err := s.jn.Append(journal.Record{
 		Op:       journal.OpState,
 		ID:       id,
 		Time:     time.Now(),
@@ -195,16 +222,35 @@ func (s *Server) journalState(id string, st State, errMsg string, summary *harne
 		Summary:  sum,
 		Restarts: restarts,
 	})
-	s.gJournalBytes.Set(float64(s.jn.SizeBytes()))
+	if err != nil {
+		s.markDegraded(id)
+		s.noteJournalError(err)
+	}
+	s.journalGauges()
 }
 
-// maybeCompact compacts the journal once it outgrows the threshold. The
-// snapshot is taken from the live job table (always at least as current
-// as the journal), so records appended between the snapshot and the
-// rewrite are at worst replayed as a re-execution of a deterministic
-// job — never as lost acknowledged work.
+// journalGauges refreshes the journal's size and poison gauges.
+func (s *Server) journalGauges() {
+	s.gJournalBytes.Set(float64(s.jn.SizeBytes()))
+	s.gPoisons.Set(float64(s.jn.Poisons()))
+}
+
+// maybeCompact compacts the journal once it outgrows the threshold.
 func (s *Server) maybeCompact() {
 	if s.jn == nil || s.jn.SizeBytes() <= journalCompactBytes {
+		return
+	}
+	s.compactNow()
+}
+
+// compactNow compacts the journal from the live job table (always at
+// least as current as the journal), so records appended between the
+// snapshot and the rewrite are at worst replayed as a re-execution of a
+// deterministic job — never as lost acknowledged work. Degraded-mode
+// recovery also calls this directly: the snapshot is what makes the
+// journal-less window's transitions durable again.
+func (s *Server) compactNow() {
+	if s.jn == nil {
 		return
 	}
 	if !s.compacting.CompareAndSwap(false, true) {
@@ -234,6 +280,8 @@ func (s *Server) maybeCompact() {
 	}
 	s.mu.Unlock()
 
-	_ = s.jn.Compact(journal.SnapshotRecords(images))
-	s.gJournalBytes.Set(float64(s.jn.SizeBytes()))
+	if err := s.jn.Compact(journal.SnapshotRecords(images)); err != nil {
+		s.noteJournalError(err)
+	}
+	s.journalGauges()
 }

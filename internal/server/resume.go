@@ -2,7 +2,9 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
 	"time"
 
@@ -46,13 +48,26 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		deadline = d
 	}
 
+	if s.degraded.Load() {
+		// Resumption is admission: a journal-less server must not accept
+		// new work it cannot make durable.
+		s.rejectDegraded(w)
+		return
+	}
+
 	// Load the checkpoint before taking the lock; it is a small file and
 	// the job cannot leave Parked behind our back (only this handler and
-	// the worker move it, and no worker owns a parked job).
+	// the worker move it, and no worker owns a parked job). A corrupt
+	// file is quarantined and the resume re-runs from event zero.
 	var ck *checkpoint.Checkpoint
 	if path := s.checkpointPath(j.id); path != "" {
-		if loaded, err := checkpoint.ReadFile(path); err == nil {
+		loaded, err := checkpoint.ReadFileFS(s.fsys, path)
+		switch {
+		case err == nil:
 			ck = loaded
+		case errors.Is(err, fs.ErrNotExist):
+		default:
+			s.quarantineCheckpoint(j.id, path, err)
 		}
 	}
 

@@ -185,6 +185,17 @@ func TestCorruptCheckpointFallsBack(t *testing.T) {
 	if got := b.cResumed.Value(); got != 0 {
 		t.Errorf("resumed counter = %v for a corrupt checkpoint, want 0", got)
 	}
+	// The damaged bytes are quarantined for post-mortem, not deleted or
+	// left in place to trip the next recovery.
+	if fileExists(ckPath) {
+		t.Error("corrupt checkpoint still in place, want it moved aside")
+	}
+	if !fileExists(ckPath + ".bad") {
+		t.Error("quarantined checkpoint missing (want " + ckPath + ".bad)")
+	}
+	if got := b.cCkptQuarant.Value(); got != 1 {
+		t.Errorf("quarantine counter = %v, want 1", got)
+	}
 }
 
 // TestDeadlineParksAndResumes: a job whose wall-clock deadline expires

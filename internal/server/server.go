@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"orion/internal/errfs"
 	"orion/internal/harness"
 	"orion/internal/journal"
 	"orion/internal/metrics"
@@ -76,6 +77,14 @@ type Config struct {
 	// idle event streams emit ": heartbeat" so dead client connections
 	// are detected and their subscriptions torn down promptly.
 	Heartbeat time.Duration
+	// FS is the filesystem the journal and checkpoint files go through
+	// (default the real one). Swapping in an errfs.Injector — directly or
+	// via orion-serve's -errfs-profile flag — tortures the durability
+	// layer with disk faults.
+	FS errfs.FS
+	// DegradedProbe is how often a durability-degraded server probes the
+	// journal for recovered disk space (default 1s).
+	DegradedProbe time.Duration
 
 	// testBlock mirrors Server.testBlock but is installed before the
 	// worker pool starts — the only race-free way to pin workers on a
@@ -101,6 +110,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Heartbeat <= 0 {
 		c.Heartbeat = 15 * time.Second
+	}
+	if c.FS == nil {
+		c.FS = errfs.OS{}
+	}
+	if c.DegradedProbe <= 0 {
+		c.DegradedProbe = time.Second
 	}
 	return c
 }
@@ -129,9 +144,17 @@ type Server struct {
 	// (the journal has its own locking and group commit), so a slow fsync
 	// never blocks reads of the job table.
 	jn *journal.Journal
+	// fsys is the filesystem checkpoint files go through (the journal
+	// carries its own copy via journal.Options.FS).
+	fsys errfs.FS
 	// compacting serializes compaction passes; overlapping passes would
 	// rotate over each other's snapshots.
 	compacting atomic.Bool
+	// degraded flags the full-disk degraded mode: new submissions answer
+	// 503 with durability_degraded set, in-flight jobs keep running
+	// journal-less, and a probe goroutine watches for space to return
+	// (see degraded.go).
+	degraded atomic.Bool
 
 	reg           *metrics.Registry
 	cSubmitted    *metrics.Counter
@@ -140,9 +163,13 @@ type Server struct {
 	cPanics       *metrics.Counter
 	cResumed      *metrics.Counter
 	cReplayed     *metrics.Counter
+	cCkptErrs     *metrics.Counter
+	cCkptQuarant  *metrics.Counter
 	gQueueDepth   *metrics.Gauge
 	gWorkersBusy  *metrics.Gauge
 	gJournalBytes *metrics.Gauge
+	gPoisons      *metrics.Gauge
+	gDegraded     *metrics.Gauge
 	gCkptBytes    *metrics.Gauge
 	hCkptWrite    *metrics.Histogram
 
@@ -162,6 +189,7 @@ func New(cfg Config) (*Server, error) {
 	reg := metrics.NewRegistry()
 	s := &Server{
 		cfg:  cfg,
+		fsys: cfg.FS,
 		jobs: map[string]*job{},
 		idem: map[string]string{},
 		quit: make(chan struct{}),
@@ -178,12 +206,20 @@ func New(cfg Config) (*Server, error) {
 			"Jobs that continued from a verified checkpoint instead of re-executing from event zero.", nil),
 		cReplayed: reg.Counter("orion_serve_events_replayed_total",
 			"Simulation events re-executed to reach resume checkpoints (always less than a full re-run).", nil),
+		cCkptErrs: reg.Counter("orion_serve_checkpoint_write_errors_total",
+			"Experiment checkpoint writes that failed (job keeps running; resume granularity shrinks).", nil),
+		cCkptQuarant: reg.Counter("orion_serve_checkpoint_quarantined_total",
+			"Corrupt checkpoint files moved aside to .ck.bad (job fell back to full re-run).", nil),
 		gQueueDepth: reg.Gauge("orion_serve_queue_depth",
 			"Jobs admitted but not yet running.", nil),
 		gWorkersBusy: reg.Gauge("orion_serve_workers_busy",
 			"Workers currently running an experiment.", nil),
 		gJournalBytes: reg.Gauge("orion_serve_journal_bytes",
 			"On-disk size of the job journal (0 when journaling is off).", nil),
+		gPoisons: reg.Gauge("orion_serve_journal_segment_poisons",
+			"Journal segment fds poisoned by fsync failures over this incarnation's lifetime.", nil),
+		gDegraded: reg.Gauge("orion_serve_durability_degraded",
+			"1 while the journal disk is full: submissions answer 503, running jobs continue journal-less.", nil),
 		gCkptBytes: reg.Gauge("orion_serve_checkpoint_bytes",
 			"Size of the most recently persisted experiment checkpoint.", nil),
 		hCkptWrite: reg.Histogram("orion_serve_checkpoint_write_seconds",
@@ -292,6 +328,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.rejectUnavailable(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	if s.degraded.Load() {
+		s.rejectDegraded(w)
+		return
+	}
 	cfg, err := harness.ParseConfig(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
@@ -305,9 +345,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, created, aerr := s.admit(cfg, r.Header.Get("Idempotency-Key"))
 	if aerr != nil {
-		if aerr.code == http.StatusTooManyRequests || aerr.code == http.StatusServiceUnavailable {
+		switch {
+		case aerr.degraded:
+			s.rejectDegraded(w)
+		case aerr.code == http.StatusTooManyRequests || aerr.code == http.StatusServiceUnavailable:
 			s.rejectUnavailable(w, aerr.code, aerr.msg)
-		} else {
+		default:
 			writeJSON(w, aerr.code, errorBody{aerr.msg})
 		}
 		return

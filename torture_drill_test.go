@@ -1,0 +1,253 @@
+//go:build torture
+
+package orion_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"orion/internal/harness"
+	"orion/internal/server"
+	"orion/internal/sim"
+)
+
+// TestTortureENOSPCDrill is the end-to-end disk-full drill against a
+// real orion-serve process. The daemon's journal sits on an errfs
+// profile whose write budget runs out and then self-clears — a disk
+// that fills mid-operation and later gets space back. The drill walks
+// the whole degraded-mode arc over plain HTTP:
+//
+//  1. submissions are accepted normally until the budget runs out;
+//  2. the first submission to trip ENOSPC — and every one after it —
+//     gets 503 with Retry-After and "durability_degraded": true, and
+//     the orion_serve_durability_degraded gauge reads 1;
+//  3. jobs accepted before the window run to completion anyway;
+//  4. once the budget self-clears, the daemon's probe notices, the
+//     gauge drops to 0 and admission reopens — with no operator action;
+//  5. after a graceful restart WITHOUT fault injection, every job that
+//     was ever acknowledged — including those that finished during the
+//     journal-less window — restores as done with its result, because
+//     recovery compaction made the window durable.
+//
+// Build-tagged `torture` (run via `make torture`). On failure the
+// journal directory and daemon log are copied to $CHAOS_ARTIFACT_DIR
+// for postmortem.
+func TestTortureENOSPCDrill(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	work := t.TempDir()
+	journalDir := filepath.Join(work, "journal")
+	logPath := filepath.Join(work, "orion-serve.log")
+	defer func() {
+		if t.Failed() {
+			saveArtifacts(t, journalDir, logPath)
+		}
+	}()
+
+	bin := filepath.Join(work, "orion-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/orion-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build orion-serve: %v\n%s", err, out)
+	}
+
+	addr := freeAddr(t)
+	base := "http://" + addr
+	start := func(profile string) *exec.Cmd {
+		logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := []string{
+			"-addr", addr,
+			"-journal-dir", journalDir,
+			"-workers", "2",
+			"-queue", "32",
+			"-drain-timeout", "60s",
+			"-degraded-probe", "100ms",
+		}
+		if profile != "" {
+			args = append(args, "-errfs-profile", profile, "-errfs-seed", "1")
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start orion-serve: %v", err)
+		}
+		logf.Close()
+		waitReady(t, base)
+		return cmd
+	}
+
+	// 1 KiB of journal budget: a couple of submissions land, then the
+	// disk is full. 25 refused writes clear it — the probe fires every
+	// 100ms, so space "returns" a few seconds into the window.
+	cmd := start("enospc:bytes=1024,fails=25")
+
+	cfg := harness.Config{
+		Scheme:  harness.Orion,
+		Horizon: 2 * sim.Second,
+		Warmup:  500 * sim.Millisecond,
+		Seed:    42,
+		Jobs: []harness.JobConfig{
+			{Workload: "resnet50-inf", Priority: "hp", Arrival: "poisson", RPS: 40},
+			{Workload: "mobilenetv2-train", Priority: "be"},
+		},
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func() (int, server.JobStatus, bool) {
+		resp, err := http.Post(base+"/v1/experiments", "application/json", bytes.NewReader(cfgJSON))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted {
+			var st server.JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			return resp.StatusCode, st, false
+		}
+		var body struct {
+			DurabilityDegraded bool `json:"durability_degraded"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		if resp.StatusCode == http.StatusServiceUnavailable && body.DurabilityDegraded {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("degraded 503 missing Retry-After")
+			}
+			return resp.StatusCode, server.JobStatus{}, true
+		}
+		return resp.StatusCode, server.JobStatus{}, false
+	}
+
+	// Phase 1→2: submit until the disk fills. Every acknowledged job is
+	// remembered — the restart at the end must restore all of them.
+	var acked []string
+	degradedSeen := false
+	for i := 0; i < 50 && !degradedSeen; i++ {
+		code, st, degraded := submit()
+		switch {
+		case code == http.StatusAccepted:
+			acked = append(acked, st.ID)
+		case degraded:
+			degradedSeen = true
+		default:
+			t.Fatalf("submission %d: unexpected status %d", i, code)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !degradedSeen {
+		t.Fatal("disk never filled: no degraded 503 in 50 submissions")
+	}
+	if len(acked) == 0 {
+		t.Fatal("no submission was accepted before the disk filled")
+	}
+	t.Logf("degraded after %d acknowledged submissions", len(acked))
+	if v := scrapeMetric(t, base, "orion_serve_durability_degraded"); v != 1 {
+		t.Errorf("durability_degraded gauge = %v during the window, want 1", v)
+	}
+
+	// Phase 3: pre-window jobs finish even while the journal is dark.
+	for _, id := range acked {
+		if st := awaitDone(t, base, id, 60*time.Second); st.State != server.StateDone {
+			t.Errorf("pre-window job %s: %q (%s)", id, st.State, st.Error)
+		}
+	}
+
+	// Phase 4: the budget self-clears after 25 refused writes; the probe
+	// burns them down at 10/s. Admission must reopen on its own.
+	deadline := time.Now().Add(30 * time.Second)
+	reopened := false
+	var postID string
+	for time.Now().Before(deadline) {
+		code, st, _ := submit()
+		if code == http.StatusAccepted {
+			reopened = true
+			postID = st.ID
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !reopened {
+		t.Fatal("admission never reopened after space returned")
+	}
+	acked = append(acked, postID)
+	if st := awaitDone(t, base, postID, 60*time.Second); st.State != server.StateDone {
+		t.Errorf("post-recovery job %s: %q (%s)", postID, st.State, st.Error)
+	}
+	gaugeDeadline := time.Now().Add(10 * time.Second)
+	for scrapeMetric(t, base, "orion_serve_durability_degraded") != 0 {
+		if time.Now().After(gaugeDeadline) {
+			t.Error("durability_degraded gauge stuck at 1 after recovery")
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Phase 5: graceful restart with NO fault injection — everything
+	// ever acknowledged must be durable, including the jobs whose
+	// terminal transitions happened journal-less.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	waitExit(t, cmd, 60*time.Second)
+	cmd = start("")
+	for _, id := range acked {
+		st := getStatus(t, base, id)
+		if st.State != server.StateDone || st.Result == nil {
+			t.Errorf("after restart, job %s: state=%q result=%v — degraded-window work was not durable",
+				id, st.State, st.Result != nil)
+		}
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	waitExit(t, cmd, 60*time.Second)
+}
+
+// getStatus fetches one job over HTTP, failing the test on transport or
+// decode errors.
+func getStatus(t *testing.T, base, id string) server.JobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/experiments/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", id, resp.StatusCode)
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// awaitDone polls a job until it is terminal or the timeout passes.
+func awaitDone(t *testing.T, base, id string, timeout time.Duration) server.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var st server.JobStatus
+	for time.Now().Before(deadline) {
+		st = getStatus(t, base, id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished (last state %q)", id, st.State)
+	return st
+}
