@@ -1,6 +1,6 @@
 # Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, and
 # the full test suite under the race detector.
-.PHONY: check fmt vet build test bench bench-json bench-compare chaos chaos-resume torture
+.PHONY: check fmt vet build test bench bench-json bench-compare chaos chaos-resume torture fleet-drill
 
 check: fmt vet build test
 
@@ -47,17 +47,28 @@ torture:
 bench:
 	go test -bench . -benchmem -benchtime=1x ./...
 
+# Crash drill for the fleet subsystem: boots a real orion-serve with
+# -fleet and -journal-dir, streams jobs at it, SIGKILLs it mid-stream,
+# restarts against the same journal, and asserts the recovered placements
+# are bit-identical (placement hash + every job's device binding). Set
+# CHAOS_ARTIFACT_DIR to keep the journal + daemon logs on failure.
+fleet-drill:
+	go test -race -tags fleetdrill -run TestFleetDrillCrashRecovery -v -timeout 600s .
+
 # Regenerate the committed benchmark baseline (quick -short sweeps, so it
 # finishes in CI time). Later PRs diff their own run against this file
 # for a performance trajectory. BENCH_PR2.json is the pre-optimization
-# snapshot and stays committed for the before/after record.
+# snapshot and BENCH_PR4.json the pre-fleet one; both stay committed for
+# the before/after record.
 bench-json:
-	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > BENCH_PR4.json
+	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > BENCH_PR7.json
 
 # Regression gate: rerun the bench sweep and diff it against the committed
 # baseline. B/op and allocs/op are deterministic and gate at 10%; ns/op is
 # noisy on shared machines (single-shot runs wobble by tens of percent)
-# and only fails past a 2× slowdown.
+# and only fails past a 2× slowdown. The fleet placer additionally carries
+# an absolute throughput floor: 10k placement decisions/s on the 1k-device
+# topology, independent of what the committed baseline drifted to.
 bench-compare:
 	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > /tmp/bench-new.json
-	go run ./cmd/bench-json -compare BENCH_PR4.json /tmp/bench-new.json
+	go run ./cmd/bench-json -compare -floor 'FleetPlacement:decisions/s:10000' BENCH_PR7.json /tmp/bench-new.json

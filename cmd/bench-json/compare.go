@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // compareMetrics are the units the regression gate inspects; other
@@ -108,9 +110,73 @@ func sortedMissing(oldByName, newByName map[string]Benchmark) []string {
 	return missing
 }
 
+// floor is one absolute lower bound on a new-run metric: unlike the
+// relative thresholds it fails even on the first run that defines the
+// baseline, so headline capabilities ("≥10k placement decisions/s")
+// cannot silently erode along with the baseline they are diffed against.
+type floor struct {
+	bench, metric string
+	min           float64
+}
+
+// parseFloors parses the -floor flag: semicolon-separated
+// "Bench:metric:min" triples. Metric names may themselves contain
+// colons-free units like "decisions/s", so the split is at the first and
+// last colon.
+func parseFloors(spec string) ([]floor, error) {
+	var out []floor
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		first := strings.Index(part, ":")
+		last := strings.LastIndex(part, ":")
+		if first < 0 || first == last {
+			return nil, fmt.Errorf("bad -floor entry %q (want Bench:metric:min)", part)
+		}
+		min, err := strconv.ParseFloat(part[last+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -floor minimum in %q: %v", part, err)
+		}
+		out = append(out, floor{bench: part[:first], metric: part[first+1 : last], min: min})
+	}
+	return out, nil
+}
+
+// checkFloors verifies every floor against the new run. A benchmark name
+// matches with or without the -cpus suffix ("FleetPlacement" matches
+// "FleetPlacement-8"). Violations (including a missing benchmark or
+// metric) are returned as messages.
+func checkFloors(w io.Writer, newB Baseline, floors []floor) []string {
+	var bad []string
+	for _, f := range floors {
+		found := false
+		for _, bm := range newB.Benchmarks {
+			if bm.Name != f.bench && !strings.HasPrefix(bm.Name, f.bench+"-") {
+				continue
+			}
+			found = true
+			v, ok := bm.Metrics[f.metric]
+			if !ok {
+				bad = append(bad, fmt.Sprintf("%s: metric %q missing (floor %g)", bm.Name, f.metric, f.min))
+				continue
+			}
+			fmt.Fprintf(w, "%-40s %-12s %14.0f >= %10.0f (floor)\n", bm.Name, f.metric, v, f.min)
+			if v < f.min {
+				bad = append(bad, fmt.Sprintf("%s %s: %g below floor %g", bm.Name, f.metric, v, f.min))
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("%s: benchmark missing from new run (floor %s >= %g)", f.bench, f.metric, f.min))
+		}
+	}
+	return bad
+}
+
 // runCompare implements the -compare mode: exit 0 when no inspected
-// metric regressed past its threshold, 1 otherwise.
-func runCompare(w io.Writer, oldPath, newPath string, defThresh, nsThresh float64) int {
+// metric regressed past its threshold and every floor holds, 1 otherwise.
+func runCompare(w io.Writer, oldPath, newPath string, defThresh, nsThresh float64, floors []floor) int {
 	oldB, err := loadBaseline(oldPath)
 	if err != nil {
 		fmt.Fprintln(w, "bench-json:", err)
@@ -122,15 +188,24 @@ func runCompare(w io.Writer, oldPath, newPath string, defThresh, nsThresh float6
 		return 2
 	}
 	regs := compare(w, oldB, newB, defThresh, nsThresh)
-	if len(regs) == 0 {
+	floorViolations := checkFloors(w, newB, floors)
+	if len(regs) == 0 && len(floorViolations) == 0 {
 		fmt.Fprintln(w, "bench-json: no regressions past threshold")
 		return 0
 	}
-	fmt.Fprintf(w, "bench-json: %d regression(s) past threshold:\n", len(regs))
-	for _, r := range regs {
-		fmt.Fprintf(w, "  %s %s: %.0f -> %.0f (%+.1f%%, threshold %+.0f%%)\n",
-			r.bench, r.metric, r.old, r.new, r.change*100,
-			threshold(r.metric, defThresh, nsThresh)*100)
+	if len(regs) > 0 {
+		fmt.Fprintf(w, "bench-json: %d regression(s) past threshold:\n", len(regs))
+		for _, r := range regs {
+			fmt.Fprintf(w, "  %s %s: %.0f -> %.0f (%+.1f%%, threshold %+.0f%%)\n",
+				r.bench, r.metric, r.old, r.new, r.change*100,
+				threshold(r.metric, defThresh, nsThresh)*100)
+		}
+	}
+	if len(floorViolations) > 0 {
+		fmt.Fprintf(w, "bench-json: %d floor violation(s):\n", len(floorViolations))
+		for _, v := range floorViolations {
+			fmt.Fprintf(w, "  %s\n", v)
+		}
 	}
 	return 1
 }

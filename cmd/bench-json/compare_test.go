@@ -89,15 +89,115 @@ func TestRunCompareExitCodes(t *testing.T) {
 	badPath := write("bad.json", bl(bench("Fig2-8", 1000, 900, 50)))
 
 	var buf bytes.Buffer
-	if code := runCompare(&buf, oldPath, goodPath, 0.10, 0.25); code != 0 {
+	if code := runCompare(&buf, oldPath, goodPath, 0.10, 0.25, nil); code != 0 {
 		t.Fatalf("clean compare exit = %d, want 0\n%s", code, buf.String())
 	}
 	buf.Reset()
-	if code := runCompare(&buf, oldPath, badPath, 0.10, 0.25); code != 1 {
+	if code := runCompare(&buf, oldPath, badPath, 0.10, 0.25, nil); code != 1 {
 		t.Fatalf("regressed compare exit = %d, want 1\n%s", code, buf.String())
 	}
 	buf.Reset()
-	if code := runCompare(&buf, filepath.Join(dir, "missing.json"), goodPath, 0.10, 0.25); code != 2 {
+	if code := runCompare(&buf, filepath.Join(dir, "missing.json"), goodPath, 0.10, 0.25, nil); code != 2 {
 		t.Fatalf("missing baseline exit = %d, want 2\n%s", code, buf.String())
+	}
+}
+
+func TestParseFloors(t *testing.T) {
+	floors, err := parseFloors(" FleetPlacement:decisions/s:10000 ; Fig2:ns/op:1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []floor{
+		{bench: "FleetPlacement", metric: "decisions/s", min: 10000},
+		{bench: "Fig2", metric: "ns/op", min: 1},
+	}
+	if len(floors) != len(want) {
+		t.Fatalf("floors = %+v, want %+v", floors, want)
+	}
+	for i := range want {
+		if floors[i] != want[i] {
+			t.Fatalf("floors[%d] = %+v, want %+v", i, floors[i], want[i])
+		}
+	}
+	if fs, err := parseFloors(""); err != nil || len(fs) != 0 {
+		t.Fatalf("empty spec: %+v, %v", fs, err)
+	}
+	for _, bad := range []string{"NoColons", "OneColon:10", "Bench:metric:notanumber"} {
+		if _, err := parseFloors(bad); err == nil {
+			t.Fatalf("parseFloors(%q) accepted malformed entry", bad)
+		}
+	}
+}
+
+func TestCheckFloors(t *testing.T) {
+	fleetBench := Benchmark{Name: "FleetPlacement-8", Iterations: 1, Metrics: map[string]float64{
+		"ns/op": 100, "decisions/s": 52000,
+	}}
+	newB := bl(fleetBench)
+	floors := []floor{{bench: "FleetPlacement", metric: "decisions/s", min: 10000}}
+
+	var buf bytes.Buffer
+	if bad := checkFloors(&buf, newB, floors); len(bad) != 0 {
+		t.Fatalf("met floor reported as violation: %v", bad)
+	}
+	if !strings.Contains(buf.String(), "FleetPlacement-8") {
+		t.Fatalf("floor table missing matched row:\n%s", buf.String())
+	}
+
+	// Below the floor.
+	low := fleetBench
+	low.Metrics = map[string]float64{"decisions/s": 900}
+	if bad := checkFloors(&buf, bl(low), floors); len(bad) != 1 || !strings.Contains(bad[0], "below floor") {
+		t.Fatalf("below-floor violations = %v", bad)
+	}
+
+	// Benchmark absent from the run entirely.
+	if bad := checkFloors(&buf, bl(bench("Other-8", 1, 1, 1)), floors); len(bad) != 1 || !strings.Contains(bad[0], "missing from new run") {
+		t.Fatalf("missing-benchmark violations = %v", bad)
+	}
+
+	// Benchmark present but without the floored metric.
+	noMetric := Benchmark{Name: "FleetPlacement-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 1}}
+	if bad := checkFloors(&buf, bl(noMetric), floors); len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("missing-metric violations = %v", bad)
+	}
+}
+
+func TestRunCompareEnforcesFloors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, b Baseline) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	fleet := Benchmark{Name: "FleetPlacement-8", Iterations: 1, Metrics: map[string]float64{
+		"ns/op": 100, "decisions/s": 52000,
+	}}
+	slow := Benchmark{Name: "FleetPlacement-8", Iterations: 1, Metrics: map[string]float64{
+		"ns/op": 100, "decisions/s": 900,
+	}}
+	oldPath := write("old.json", bl(fleet))
+	goodPath := write("good.json", bl(fleet))
+	slowPath := write("slow.json", bl(slow))
+	floors := []floor{{bench: "FleetPlacement", metric: "decisions/s", min: 10000}}
+
+	var buf bytes.Buffer
+	if code := runCompare(&buf, oldPath, goodPath, 0.10, 0.25, floors); code != 0 {
+		t.Fatalf("met floor exit = %d, want 0\n%s", code, buf.String())
+	}
+	buf.Reset()
+	// Throughput collapse without any ns/op, B/op or allocs/op regression:
+	// only the floor catches it.
+	if code := runCompare(&buf, oldPath, slowPath, 0.10, 0.25, floors); code != 1 {
+		t.Fatalf("violated floor exit = %d, want 1\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "floor violation") {
+		t.Fatalf("violation not reported:\n%s", buf.String())
 	}
 }

@@ -114,14 +114,23 @@ func main() {
 		"allowed fractional increase for B/op and allocs/op in -compare mode")
 	nsThresh := flag.Float64("ns-threshold", 1.0,
 		"allowed fractional increase for ns/op in -compare mode")
+	floorSpec := flag.String("floor", "",
+		"absolute floors on the new run's metrics in -compare mode, semicolon-separated "+
+			"'Bench:metric:min' triples, e.g. 'FleetPlacement:decisions/s:10000'; a named "+
+			"benchmark missing from the run or below its floor fails the gate")
 	flag.Parse()
 
 	if *compareMode {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: bench-json -compare old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: bench-json -compare [-floor ...] old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *defThresh, *nsThresh))
+		floors, err := parseFloors(*floorSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(2)
+		}
+		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *defThresh, *nsThresh, floors))
 	}
 
 	base, err := parse(os.Stdin)

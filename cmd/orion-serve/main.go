@@ -45,6 +45,23 @@
 // run against the real binary:
 //
 //	orion-serve -journal-dir /tmp/j -errfs-profile 'enospc:bytes=4096,fails=20'
+//
+// -fleet enables the cluster-scale placement subsystem: the daemon
+// simulates a fleet of heterogeneous devices (A100/V100/MIG-slice
+// classes in zone/rack/node cells) and places a stream of jobs onto it
+// with the interference-aware filter → score → bind pipeline, making
+// each per-device Orion scheduler the leaf of a two-level scheduler:
+//
+//	orion-serve -fleet 'zones=2,racks=2,nodes=8,gpus=4,mix=a100:1+v100:2+mig2g:1,seed=7'
+//
+//	curl -s localhost:8080/v1/fleet/jobs -d '{
+//	  "jobs": [
+//	    {"workload": "bert-inf", "priority": "hp", "memory_bytes": 4294967296},
+//	    {"workload": "mobilenetv2-inf", "memory_bytes": 2147483648}
+//	  ]
+//	}'
+//	curl -s localhost:8080/v1/fleet/jobs/flt-000001   # placement + interference outcome
+//	curl -s localhost:8080/v1/fleet                   # utilization / fragmentation / hash
 package main
 
 import (
@@ -60,6 +77,7 @@ import (
 
 	"orion/internal/errfs"
 	"orion/internal/server"
+	"orion/internal/sim"
 )
 
 func main() {
@@ -75,6 +93,9 @@ func main() {
 	errfsProfile := flag.String("errfs-profile", "", "TESTING ONLY: storage fault-injection profile for the journal/checkpoint filesystem, e.g. 'enospc:bytes=4096,fails=20; flaky:psync=0.01' (see internal/errfs)")
 	errfsSeed := flag.Int64("errfs-seed", 1, "seed for probabilistic errfs faults")
 	degradedProbe := flag.Duration("degraded-probe", 0, "how often a disk-full daemon probes for space (0 = default 1s)")
+	fleetSpec := flag.String("fleet", "", "enable the fleet placement subsystem over this topology, e.g. 'zones=2,racks=4,nodes=16,gpus=8,mix=a100:1+v100:2,seed=7' (empty = disabled)")
+	fleetEvalHorizon := flag.Duration("fleet-eval-horizon", 0, "simulated horizon per fleet interference evaluation (0 = default 2s, negative = disable evaluation)")
+	fleetSeed := flag.Int64("fleet-seed", 0, "seed for fleet interference evaluations (0 = harness default)")
 	flag.Parse()
 
 	var fsys errfs.FS
@@ -97,6 +118,9 @@ func main() {
 		CheckpointStride: *ckptStride,
 		FS:               fsys,
 		DegradedProbe:    *degradedProbe,
+		FleetSpec:        *fleetSpec,
+		FleetEvalHorizon: sim.Duration(*fleetEvalHorizon),
+		FleetSeed:        *fleetSeed,
 	})
 	if err != nil {
 		log.Fatal(err)

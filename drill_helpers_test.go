@@ -1,4 +1,4 @@
-//go:build chaos || torture
+//go:build chaos || torture || fleetdrill
 
 package orion_test
 

@@ -1,0 +1,51 @@
+package orion_test
+
+import (
+	"testing"
+
+	"orion/internal/fleet"
+)
+
+// benchFleetSpec is the golden 1k-device heterogeneous topology: 2
+// zones × 4 racks × 16 nodes × 8 GPUs with an a100/v100/mig2g mix.
+const benchFleetSpec = "zones=2,racks=4,nodes=16,gpus=8,mix=a100:1+v100:2+mig2g:1,seed=7"
+
+// BenchmarkFleetPlacement measures the placement pipeline's decision
+// rate on a 1k-device fleet: filter → score → bind for a synthetic
+// 2k-job stream. The headline decisions/s metric carries an absolute
+// floor in the CI gate (`make bench-compare` passes
+// -floor 'FleetPlacement:decisions/s:10000').
+func BenchmarkFleetPlacement(b *testing.B) {
+	topo, err := fleet.ParseSpec(benchFleetSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := fleet.SyntheticStream(2000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var placed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The fleet mutates as jobs bind, so each iteration places onto a
+		// fresh build; construction stays outside the timed region.
+		b.StopTimer()
+		f, err := topo.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		ps, _, err := f.PlaceBatch(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		placed = len(ps)
+	}
+	b.StopTimer()
+	if placed == 0 {
+		b.Fatal("no jobs placed")
+	}
+	b.ReportMetric(float64(b.N*len(jobs))/b.Elapsed().Seconds(), "decisions/s")
+	b.ReportMetric(float64(placed), "jobs-placed")
+}

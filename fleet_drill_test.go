@@ -1,0 +1,201 @@
+//go:build fleetdrill
+
+package orion_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"orion/internal/client"
+	"orion/internal/fleet"
+	"orion/internal/server"
+)
+
+// TestFleetDrillCrashRecovery is the fleet subsystem's end-to-end crash
+// drill against a real orion-serve process: boot with -fleet over a
+// 64-device topology and a journal, stream 200 jobs at it in batches,
+// SIGKILL the daemon mid-stream, restart it against the same journal,
+// and assert every acknowledged placement recovered bit-identically
+// (same state, same device binding, same fleet-wide placement hash).
+// The stream then finishes on the restarted daemon and a second
+// kill/restart re-checks the full final state.
+//
+// Build-tagged `fleetdrill` (run via `make fleet-drill`): it SIGKILLs
+// real processes, so it stays out of `make test`. On failure the journal
+// directory and daemon log are copied to $CHAOS_ARTIFACT_DIR (if set).
+func TestFleetDrillCrashRecovery(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	work := t.TempDir()
+	journalDir := filepath.Join(work, "journal")
+	logPath := filepath.Join(work, "orion-serve.log")
+	defer func() {
+		if t.Failed() {
+			saveArtifacts(t, journalDir, logPath)
+		}
+	}()
+
+	bin := filepath.Join(work, "orion-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/orion-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build orion-serve: %v\n%s", err, out)
+	}
+
+	// 1 zone × 2 racks × 8 nodes × 4 GPUs = 64 devices, half A100 half
+	// V100. Evaluation is disabled (-1s horizon): the drill is about
+	// placement durability, not interference summaries.
+	const fleetSpec = "zones=1,racks=2,nodes=8,gpus=4,mix=a100:1+v100:1,seed=3"
+
+	// The 200-job stream, with drill-owned IDs so submissions are
+	// distinguishable from anything the server auto-assigns.
+	stream, err := fleet.SyntheticStream(200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range stream {
+		stream[i].ID = fmt.Sprintf("drill-%03d", i)
+	}
+
+	addr := freeAddr(t)
+	base := "http://" + addr
+	c := client.New(base, client.Options{
+		Timeout:     5 * time.Second,
+		MaxAttempts: 8,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+	})
+
+	start := func() *exec.Cmd {
+		logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin,
+			"-addr", addr,
+			"-journal-dir", journalDir,
+			"-fleet", fleetSpec,
+			"-fleet-eval-horizon", "-1s",
+		)
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start orion-serve: %v", err)
+		}
+		logf.Close() // the child holds its own descriptor
+		waitReady(t, base)
+		return cmd
+	}
+
+	// jobKey is the part of a job's status that must survive a crash
+	// bit-identically: its state and its exact device binding. Timestamps
+	// are excluded (they are bookkeeping, not placement).
+	jobKey := func(st server.FleetJobStatus) string {
+		p, err := json.Marshal(st.Placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%s|%s|%s|%s", st.State, st.Workload, st.Priority, p)
+	}
+
+	submitBatch := func(jobs []fleet.JobSpec) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if _, err := c.SubmitFleetJobs(ctx, jobs); err != nil {
+			t.Fatalf("submit batch starting at %s: %v", jobs[0].ID, err)
+		}
+	}
+
+	// collectState reads back every acknowledged job plus the fleet-wide
+	// snapshot. Job states are re-read from the server (not taken from
+	// submit responses) because later submissions legitimately move
+	// earlier jobs: a high-priority arrival preempts, an eviction
+	// re-places the pending queue.
+	collectState := func(acked int) (map[string]string, server.FleetStatus) {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		states := make(map[string]string, acked)
+		for i := 0; i < acked; i++ {
+			st, err := c.FleetJob(ctx, stream[i].ID)
+			if err != nil {
+				t.Fatalf("read back %s: %v", stream[i].ID, err)
+			}
+			states[stream[i].ID] = jobKey(st)
+		}
+		snap, err := c.FleetSnapshot(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return states, snap
+	}
+
+	compareState := func(label string, wantStates map[string]string, wantSnap server.FleetStatus, gotStates map[string]string, gotSnap server.FleetStatus) {
+		for id, want := range wantStates {
+			if got := gotStates[id]; got != want {
+				t.Errorf("%s: job %s diverged after crash:\n got %s\nwant %s", label, id, got, want)
+			}
+		}
+		if gotSnap.PlacementHash != wantSnap.PlacementHash {
+			t.Errorf("%s: placement hash %s after crash, want %s", label, gotSnap.PlacementHash, wantSnap.PlacementHash)
+		}
+		if gotSnap.Stats.JobsPlaced != wantSnap.Stats.JobsPlaced || gotSnap.Pending != wantSnap.Pending {
+			t.Errorf("%s: placed/pending = %d/%d after crash, want %d/%d",
+				label, gotSnap.Stats.JobsPlaced, gotSnap.Pending, wantSnap.Stats.JobsPlaced, wantSnap.Pending)
+		}
+	}
+
+	const batch = 10
+	const killAfter = 100 // jobs acknowledged before the mid-stream SIGKILL
+
+	// Phase 1: stream the first half, then SIGKILL between batches (every
+	// submitted batch is acknowledged, so the pre-kill state is exact).
+	cmd := start()
+	for i := 0; i < killAfter; i += batch {
+		submitBatch(stream[i : i+batch])
+	}
+	preStates, preSnap := collectState(killAfter)
+	if preSnap.Stats.JobsPlaced == 0 {
+		t.Fatal("drill placed nothing before the kill; stream or topology is broken")
+	}
+	t.Logf("pre-kill: %d jobs acked, %d placed, %d pending, hash %s",
+		killAfter, preSnap.Stats.JobsPlaced, preSnap.Pending, preSnap.PlacementHash)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = cmd.Wait()
+
+	// Phase 2: restart against the same journal and verify recovery.
+	cmd = start()
+	gotStates, gotSnap := collectState(killAfter)
+	compareState("mid-stream recovery", preStates, preSnap, gotStates, gotSnap)
+
+	// Phase 3: finish the stream on the recovered daemon, then crash it
+	// again and re-check the complete final state.
+	for i := killAfter; i < len(stream); i += batch {
+		submitBatch(stream[i : i+batch])
+	}
+	finalStates, finalSnap := collectState(len(stream))
+	t.Logf("post-stream: %d jobs acked, %d placed, %d pending, %d preemptions, hash %s",
+		len(stream), finalSnap.Stats.JobsPlaced, finalSnap.Pending, finalSnap.Stats.Preemptions, finalSnap.PlacementHash)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("second SIGKILL: %v", err)
+	}
+	_ = cmd.Wait()
+
+	cmd = start()
+	gotStates, gotSnap = collectState(len(stream))
+	compareState("final recovery", finalStates, finalSnap, gotStates, gotSnap)
+
+	// Graceful exit for the last incarnation.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	waitExit(t, cmd, 60*time.Second)
+}

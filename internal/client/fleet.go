@@ -1,0 +1,113 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"orion/internal/fleet"
+	"orion/internal/server"
+)
+
+// SubmitFleetJobs streams a batch of jobs onto the fleet placer and
+// returns each job's placement outcome (placed with a binding, or
+// pending when nothing currently fits). Retries follow the same backoff
+// policy as experiment submissions; note that unlike Submit there is no
+// idempotency key — supply explicit JobSpec IDs to make retries after
+// ambiguous failures detectable (a duplicate ID answers 409).
+func (c *Client) SubmitFleetJobs(ctx context.Context, jobs []fleet.JobSpec) ([]server.FleetJobStatus, error) {
+	body, err := json.Marshal(map[string][]fleet.JobSpec{"jobs": jobs})
+	if err != nil {
+		return nil, err
+	}
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.base+"/v1/fleet/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sts []server.FleetJobStatus
+	if err := json.Unmarshal(out, &sts); err != nil {
+		return nil, fmt.Errorf("client: decode fleet submit response: %w", err)
+	}
+	return sts, nil
+}
+
+// FleetJob fetches one fleet job's placement and, once the background
+// evaluation has run, its per-device interference summary.
+func (c *Client) FleetJob(ctx context.Context, id string) (server.FleetJobStatus, error) {
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+"/v1/fleet/jobs/"+id, nil)
+	})
+	if err != nil {
+		return server.FleetJobStatus{}, err
+	}
+	var st server.FleetJobStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		return server.FleetJobStatus{}, fmt.Errorf("client: decode fleet job: %w", err)
+	}
+	return st, nil
+}
+
+// FleetSnapshot fetches the fleet-wide utilization/fragmentation
+// snapshot, including the placement hash the recovery drill compares.
+func (c *Client) FleetSnapshot(ctx context.Context) (server.FleetStatus, error) {
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+"/v1/fleet", nil)
+	})
+	if err != nil {
+		return server.FleetStatus{}, err
+	}
+	var st server.FleetStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		return server.FleetStatus{}, fmt.Errorf("client: decode fleet snapshot: %w", err)
+	}
+	return st, nil
+}
+
+// EvictFleetJob removes a fleet job, freeing its device capacity (the
+// server re-places queued jobs immediately). Evicting an already-evicted
+// job is idempotent.
+func (c *Client) EvictFleetJob(ctx context.Context, id string) (server.FleetJobStatus, error) {
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodDelete, c.base+"/v1/fleet/jobs/"+id, nil)
+	})
+	if err != nil {
+		return server.FleetJobStatus{}, err
+	}
+	var st server.FleetJobStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		return server.FleetJobStatus{}, fmt.Errorf("client: decode fleet evict: %w", err)
+	}
+	return st, nil
+}
+
+// AwaitFleetEvaluation polls a fleet job until its interference
+// evaluation lands (state "evaluated"), it is evicted, or ctx expires.
+func (c *Client) AwaitFleetEvaluation(ctx context.Context, id string, poll time.Duration) (server.FleetJobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		st, err := c.FleetJob(ctx, id)
+		if err != nil {
+			return server.FleetJobStatus{}, err
+		}
+		if st.State == server.FleetEvaluated || st.State == server.FleetEvicted {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("client: await fleet job %s: %w", id, ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+}

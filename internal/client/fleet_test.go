@@ -1,0 +1,67 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"orion/internal/fleet"
+	"orion/internal/server"
+)
+
+func TestFleetRoundTrip(t *testing.T) {
+	s, err := server.New(server.Config{
+		FleetSpec:        "zones=1,racks=1,nodes=1,gpus=2,mix=v100:1,seed=1",
+		FleetEvalHorizon: -1, // placement only; evaluation has its own tests
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := New(ts.URL, fastOpts())
+	ctx := context.Background()
+
+	sts, err := c.SubmitFleetJobs(ctx, []fleet.JobSpec{
+		{ID: "a", Workload: "resnet50-inf", MemoryBytes: 2 << 30},
+		{ID: "b", Workload: "bert-inf", Priority: "hp", MemoryBytes: 2 << 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 2 || sts[0].State != server.FleetPlaced || sts[1].State != server.FleetPlaced {
+		t.Fatalf("submit outcomes: %+v", sts)
+	}
+
+	st, err := c.FleetJob(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Placement == nil || st.Placement.Device == "" {
+		t.Fatalf("job a has no binding: %+v", st)
+	}
+
+	snap, err := c.FleetSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Stats.JobsPlaced != 2 || snap.PlacementHash == "" {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+
+	ev, err := c.EvictFleetJob(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.State != server.FleetEvicted {
+		t.Fatalf("evict state = %s", ev.State)
+	}
+	snap, err = c.FleetSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Stats.JobsPlaced != 1 || snap.Stats.Evictions != 1 {
+		t.Fatalf("post-evict snapshot: %+v", snap)
+	}
+}

@@ -33,15 +33,45 @@ type Summary struct {
 	RequestLatency sim.Duration
 }
 
+// ProfileError reports an invalid kernel measurement in a profile
+// handed to Summarize: a negative duration or a NaN/out-of-range
+// utilization. It is a typed error so callers can distinguish corrupt
+// profiles from merely empty ones.
+type ProfileError struct {
+	// Workload is the profile's workload ID; Kernel the offending
+	// kernel's index.
+	Workload string
+	Kernel   int
+	// Field names the bad measurement; Value is what it held.
+	Field string
+	Value float64
+}
+
+func (e *ProfileError) Error() string {
+	return fmt.Sprintf("cluster: profile %s kernel %d: bad %s %v", e.Workload, e.Kernel, e.Field, e.Value)
+}
+
 // Summarize condenses a profile (plus the job's memory footprint) for
-// placement.
+// placement. Kernels with zero duration (memory-op slots that occupy no
+// compute time) are skipped; a negative duration or a NaN/out-of-range
+// utilization is a *ProfileError — placement decisions built on corrupt
+// measurements would be silently wrong.
 func Summarize(p *profiler.Profile, memoryBytes int64) (Summary, error) {
 	if p == nil {
 		return Summary{}, fmt.Errorf("cluster: nil profile")
 	}
 	var total, c, m float64
-	for _, k := range p.Kernels {
-		if k.Duration <= 0 {
+	for i, k := range p.Kernels {
+		if k.Duration < 0 {
+			return Summary{}, &ProfileError{Workload: p.Workload, Kernel: i, Field: "duration", Value: float64(k.Duration)}
+		}
+		if !(k.ComputeUtil >= 0) || k.ComputeUtil > 1 {
+			return Summary{}, &ProfileError{Workload: p.Workload, Kernel: i, Field: "compute_util", Value: k.ComputeUtil}
+		}
+		if !(k.MemBWUtil >= 0) || k.MemBWUtil > 1 {
+			return Summary{}, &ProfileError{Workload: p.Workload, Kernel: i, Field: "membw_util", Value: k.MemBWUtil}
+		}
+		if k.Duration == 0 {
 			continue
 		}
 		d := float64(k.Duration)
@@ -81,43 +111,121 @@ type Pair struct {
 // HasB reports whether the pair has a second job.
 func (p Pair) HasB() bool { return p.B.Workload != "" }
 
+// maxGreedyCandidates caps how many partners each job nominates per
+// matching round: with jobs ordered by roofline leaning, a job's best
+// partners sit at one end of the order, so a short scan from that end
+// captures the same top pairs the exhaustive O(n²) enumeration would.
+const maxGreedyCandidates = 8
+
 // PlaceGreedy pairs jobs by descending complementarity, skipping pairs
 // whose combined memory exceeds the device. Leftover jobs (odd counts,
 // memory misfits) get their own GPU.
+//
+// Complementarity factors as (a.Compute-a.MemBW)·(b.MemBW-b.Compute),
+// so with jobs sorted by leaning d = Compute-MemBW descending, a job's
+// best partners among later positions are at the far end (compute-
+// leaning jobs) or immediately adjacent (memory-leaning jobs). Each
+// round every unmatched job nominates up to maxGreedyCandidates
+// memory-feasible partners from that extreme, the candidates are
+// matched greedily by score, and rounds repeat until no pair forms —
+// allocating O(n·K) candidates instead of materializing all O(n²)
+// pairs. Output is deterministic and invariant under permutations of
+// the input as long as (leaning, workload, memory) triples are
+// distinct: ties break on workload IDs, never on input positions.
 func PlaceGreedy(jobs []Summary, deviceMemory int64) []Pair {
+	n := len(jobs)
+	lean := make([]float64, n)
+	for i, j := range jobs {
+		lean[i] = j.Compute - j.MemBW
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if lean[ia] != lean[ib] {
+			return lean[ia] > lean[ib]
+		}
+		if jobs[ia].Workload != jobs[ib].Workload {
+			return jobs[ia].Workload < jobs[ib].Workload
+		}
+		if jobs[ia].MemoryBytes != jobs[ib].MemoryBytes {
+			return jobs[ia].MemoryBytes < jobs[ib].MemoryBytes
+		}
+		return ia < ib
+	})
+
 	type cand struct {
-		i, j  int
+		a, b  int // indices into jobs
 		score float64
 	}
-	var cands []cand
-	for i := 0; i < len(jobs); i++ {
-		for j := i + 1; j < len(jobs); j++ {
-			if jobs[i].MemoryBytes+jobs[j].MemoryBytes > deviceMemory {
+	var cands []cand // reused across rounds
+	used := make([]bool, n)
+	var out []Pair
+	// active is compacted in place between rounds; copy so order stays
+	// intact for the leftover sweep.
+	active := append([]int(nil), order...)
+	for len(active) > 1 {
+		cands = cands[:0]
+		for pi, i := range active {
+			rest := active[pi+1:]
+			feasible := 0
+			// Compute-leaning jobs (lean >= 0) find their best partners
+			// at the memory-leaning back of the order; memory-leaning
+			// jobs among the closest (least memory-leaning) successors.
+			if lean[i] >= 0 {
+				for k := len(rest) - 1; k >= 0 && feasible < maxGreedyCandidates; k-- {
+					j := rest[k]
+					if jobs[i].MemoryBytes+jobs[j].MemoryBytes > deviceMemory {
+						continue
+					}
+					cands = append(cands, cand{i, j, Complementarity(jobs[i], jobs[j])})
+					feasible++
+				}
+			} else {
+				for k := 0; k < len(rest) && feasible < maxGreedyCandidates; k++ {
+					j := rest[k]
+					if jobs[i].MemoryBytes+jobs[j].MemoryBytes > deviceMemory {
+						continue
+					}
+					cands = append(cands, cand{i, j, Complementarity(jobs[i], jobs[j])})
+					feasible++
+				}
+			}
+		}
+		sort.Slice(cands, func(x, y int) bool {
+			cx, cy := cands[x], cands[y]
+			if cx.score != cy.score {
+				return cx.score > cy.score
+			}
+			if jobs[cx.a].Workload != jobs[cy.a].Workload {
+				return jobs[cx.a].Workload < jobs[cy.a].Workload
+			}
+			return jobs[cx.b].Workload < jobs[cy.b].Workload
+		})
+		matched := 0
+		for _, c := range cands {
+			if used[c.a] || used[c.b] {
 				continue
 			}
-			cands = append(cands, cand{i, j, Complementarity(jobs[i], jobs[j])})
+			used[c.a], used[c.b] = true, true
+			out = append(out, Pair{A: jobs[c.a], B: jobs[c.b]})
+			matched++
 		}
+		if matched == 0 {
+			break
+		}
+		next := active[:0]
+		for _, i := range active {
+			if !used[i] {
+				next = append(next, i)
+			}
+		}
+		active = next
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].score != cands[b].score {
-			return cands[a].score > cands[b].score
-		}
-		if cands[a].i != cands[b].i {
-			return cands[a].i < cands[b].i
-		}
-		return cands[a].j < cands[b].j
-	})
-	used := make([]bool, len(jobs))
-	var out []Pair
-	for _, c := range cands {
-		if used[c.i] || used[c.j] {
-			continue
-		}
-		used[c.i], used[c.j] = true, true
-		out = append(out, Pair{A: jobs[c.i], B: jobs[c.j]})
-	}
-	for i, u := range used {
-		if !u {
+	for _, i := range order {
+		if !used[i] {
 			out = append(out, Pair{A: jobs[i]})
 		}
 	}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"orion/internal/profiler"
+	"orion/internal/sim"
+)
+
+func TestSummarizeRejectsBadKernels(t *testing.T) {
+	mk := func(k ...profiler.KernelProfile) *profiler.Profile {
+		return &profiler.Profile{Workload: "w", Kernels: k}
+	}
+	good := profiler.KernelProfile{Duration: sim.Duration(1000), ComputeUtil: 0.5, MemBWUtil: 0.5}
+	cases := []struct {
+		name  string
+		prof  *profiler.Profile
+		field string
+	}{
+		{"negative duration", mk(good, profiler.KernelProfile{Duration: -1, ComputeUtil: 0.5, MemBWUtil: 0.5}), "duration"},
+		{"nan compute", mk(good, profiler.KernelProfile{Duration: 10, ComputeUtil: math.NaN(), MemBWUtil: 0.5}), "compute_util"},
+		{"negative compute", mk(good, profiler.KernelProfile{Duration: 10, ComputeUtil: -0.1, MemBWUtil: 0.5}), "compute_util"},
+		{"compute above one", mk(good, profiler.KernelProfile{Duration: 10, ComputeUtil: 1.5, MemBWUtil: 0.5}), "compute_util"},
+		{"nan membw", mk(good, profiler.KernelProfile{Duration: 10, ComputeUtil: 0.5, MemBWUtil: math.NaN()}), "membw_util"},
+		{"membw above one", mk(good, profiler.KernelProfile{Duration: 10, ComputeUtil: 0.5, MemBWUtil: 2}), "membw_util"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Summarize(tc.prof, 1<<30)
+			var pe *ProfileError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *ProfileError, got %v", err)
+			}
+			if pe.Field != tc.field || pe.Workload != "w" || pe.Kernel != 1 {
+				t.Fatalf("error detail wrong: %+v", pe)
+			}
+			if !strings.Contains(pe.Error(), tc.field) {
+				t.Fatalf("message %q omits field", pe.Error())
+			}
+		})
+	}
+}
+
+func TestSummarizeSkipsZeroDurationKernels(t *testing.T) {
+	// Memory-op slots legitimately occupy zero compute time; they must
+	// be skipped, not rejected, and must not skew the averages.
+	p := &profiler.Profile{Workload: "w", Kernels: []profiler.KernelProfile{
+		{Duration: 0, ComputeUtil: 1, MemBWUtil: 1},
+		{Duration: 1000, ComputeUtil: 0.6, MemBWUtil: 0.4},
+	}}
+	s, err := Summarize(p, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Compute != 0.6 || s.MemBW != 0.4 {
+		t.Fatalf("zero-duration kernel skewed summary: %+v", s)
+	}
+	// All-zero durations is still "no kernels".
+	if _, err := Summarize(&profiler.Profile{Workload: "w", Kernels: []profiler.KernelProfile{
+		{Duration: 0, ComputeUtil: 0.5, MemBWUtil: 0.5},
+	}}, 0); err == nil {
+		t.Fatal("all-zero-duration profile accepted")
+	}
+}
+
+// canonicalPlacement renders a placement as an order-independent
+// string: members sorted within each pair, pairs sorted overall.
+func canonicalPlacement(pairs []Pair) string {
+	keys := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		a, b := p.A.Workload, p.B.Workload
+		if p.HasB() && b < a {
+			a, b = b, a
+		}
+		keys = append(keys, a+"+"+b)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+func randomJobs(rng *rand.Rand, n int) []Summary {
+	jobs := make([]Summary, n)
+	for i := range jobs {
+		jobs[i] = Summary{
+			Workload:    fmt.Sprintf("w%03d", i),
+			Compute:     float64(rng.Intn(101)) / 100,
+			MemBW:       float64(rng.Intn(101)) / 100,
+			MemoryBytes: int64(rng.Intn(12)+1) << 30,
+		}
+	}
+	return jobs
+}
+
+// FuzzPlaceGreedyPermutationInvariant is the placement-determinism
+// property: for any seeded job set, PlaceGreedy produces the same
+// placement (as a set of pairs) for every permutation of the input.
+func FuzzPlaceGreedyPermutationInvariant(f *testing.F) {
+	f.Add(int64(1), uint8(6))
+	f.Add(int64(42), uint8(17))
+	f.Add(int64(7), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		count := int(n%24) + 2
+		rng := rand.New(rand.NewSource(seed))
+		jobs := randomJobs(rng, count)
+		want := canonicalPlacement(PlaceGreedy(jobs, 16<<30))
+		for trial := 0; trial < 4; trial++ {
+			perm := append([]Summary(nil), jobs...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			if got := canonicalPlacement(PlaceGreedy(perm, 16<<30)); got != want {
+				t.Fatalf("permuted placement differs:\n got %s\nwant %s", got, want)
+			}
+		}
+	})
+}
+
+// placeGreedyQuadratic is the pre-optimization reference: materialize
+// every feasible pair, sort, match. Kept in test code as the benchmark
+// baseline and as a semantic cross-check at small n.
+func placeGreedyQuadratic(jobs []Summary, deviceMemory int64) []Pair {
+	type cand struct {
+		i, j  int
+		score float64
+	}
+	var cands []cand
+	for i := 0; i < len(jobs); i++ {
+		for j := i + 1; j < len(jobs); j++ {
+			if jobs[i].MemoryBytes+jobs[j].MemoryBytes > deviceMemory {
+				continue
+			}
+			cands = append(cands, cand{i, j, Complementarity(jobs[i], jobs[j])})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
+	used := make([]bool, len(jobs))
+	var out []Pair
+	for _, c := range cands {
+		if used[c.i] || used[c.j] {
+			continue
+		}
+		used[c.i], used[c.j] = true, true
+		out = append(out, Pair{A: jobs[c.i], B: jobs[c.j]})
+	}
+	for i, u := range used {
+		if !u {
+			out = append(out, Pair{A: jobs[i]})
+		}
+	}
+	return out
+}
+
+// TestPlaceGreedyPairsEverythingPairable: like the quadratic reference,
+// the capped placer keeps pairing rounds going until no feasible pair
+// remains, so it never uses more GPUs than the reference.
+func TestPlaceGreedyPairsEverythingPairable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		jobs := randomJobs(rng, 2+rng.Intn(60))
+		got := GPUs(PlaceGreedy(jobs, 16<<30))
+		ref := GPUs(placeGreedyQuadratic(jobs, 16<<30))
+		if got > ref {
+			t.Fatalf("trial %d: capped placer used %d GPUs, reference %d", trial, got, ref)
+		}
+	}
+}
+
+func benchJobs(n int) []Summary {
+	return randomJobs(rand.New(rand.NewSource(99)), n)
+}
+
+func BenchmarkPlaceGreedy1k(b *testing.B) {
+	jobs := benchJobs(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PlaceGreedy(jobs, 16<<30)
+	}
+}
+
+// BenchmarkPlaceGreedyQuadraticRef1k is the old O(n²) materialization,
+// kept so the allocation win of the capped placer stays measurable.
+func BenchmarkPlaceGreedyQuadraticRef1k(b *testing.B) {
+	jobs := benchJobs(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		placeGreedyQuadratic(jobs, 16<<30)
+	}
+}

@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"orion/internal/gpu"
+)
+
+// Class describes one device class in the fleet: a whole GPU model or a
+// MIG slice of one. Capacity is expressed in V100-reference units (the
+// same frame workload profiles are collected in), so a job's demand
+// vector compares directly against any class.
+type Class struct {
+	// Name identifies the class ("A100-40GB", "MIG-2g.10gb", ...).
+	Name string
+	// MemoryBytes is the slice's device-memory capacity.
+	MemoryBytes int64
+	// Capacity is the per-resource capacity in V100-reference units.
+	Capacity Vector
+	// spec builds the gpu.Spec a harness evaluation of this class runs
+	// on; MIG slices get proportionally scaled A100 specs.
+	spec func() gpu.Spec
+}
+
+// Spec returns the gpu.Spec harness evaluations of this class run on.
+func (c Class) Spec() gpu.Spec { return c.spec() }
+
+// migA100 scales the A100 spec down to a MIG slice with the given number
+// of GPC slices (of 7) and memory slices (of 8). MIG partitions SMs by
+// GPC and memory bandwidth with capacity, so both scale linearly; the
+// profile reference capacities stay in V100 terms so kernel demand
+// rescales automatically (a kernel wanting 40% of a V100's bandwidth
+// wants proportionally more of a 1g slice).
+func migA100(name string, gpcs, memSlices int) Class {
+	spec := func() gpu.Spec {
+		s := gpu.A100()
+		s.Name = name
+		s.NumSMs = s.NumSMs * gpcs / 7
+		s.MemoryBytes = s.MemoryBytes * int64(memSlices) / 8
+		s.MemBandwidth = s.MemBandwidth * float64(memSlices) / 8
+		s.PCIeBandwidth = s.PCIeBandwidth * float64(memSlices) / 8
+		return s
+	}
+	sp := spec()
+	return Class{
+		Name:        name,
+		MemoryBytes: sp.MemoryBytes,
+		Capacity:    capacityOf(sp),
+		spec:        spec,
+	}
+}
+
+// capacityOf derives a class's capacity vector from its spec, in
+// V100-reference units. The L2 and PCIe dimensions track compute and
+// host-link bandwidth respectively until the per-resource interference
+// model calibrates them independently.
+func capacityOf(s gpu.Spec) Vector {
+	ref := gpu.V100()
+	return Vector{
+		RCompute: float64(s.NumSMs) / float64(ref.NumSMs),
+		RMemBW:   s.MemBandwidth / ref.MemBandwidth,
+		RL2:      float64(s.NumSMs) / float64(ref.NumSMs),
+		RPCIe:    s.PCIeBandwidth / ref.PCIeBandwidth,
+	}
+}
+
+// ClassV100 is the whole-V100 class (the paper's main testbed).
+func ClassV100() Class {
+	sp := gpu.V100()
+	return Class{Name: sp.Name, MemoryBytes: sp.MemoryBytes, Capacity: capacityOf(sp), spec: gpu.V100}
+}
+
+// ClassA100 is the whole-A100 class (the §6.3 generalization testbed).
+func ClassA100() Class {
+	sp := gpu.A100()
+	return Class{Name: sp.Name, MemoryBytes: sp.MemoryBytes, Capacity: capacityOf(sp), spec: gpu.A100}
+}
+
+// The three MIG slice classes mirror NVIDIA's A100-40GB MIG profiles.
+func ClassMIG1g() Class { return migA100("MIG-1g.5gb", 1, 1) }
+func ClassMIG2g() Class { return migA100("MIG-2g.10gb", 2, 2) }
+func ClassMIG3g() Class { return migA100("MIG-3g.20gb", 3, 4) }
+
+// Classes lists every built-in device class.
+func Classes() []Class {
+	return []Class{ClassV100(), ClassA100(), ClassMIG1g(), ClassMIG2g(), ClassMIG3g()}
+}
+
+// ClassByName resolves a class by its Name, or by the short aliases used
+// in topology spec strings ("v100", "a100", "mig1g", "mig2g", "mig3g").
+func ClassByName(name string) (Class, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "v100", "v100-16gb":
+		return ClassV100(), nil
+	case "a100", "a100-40gb":
+		return ClassA100(), nil
+	case "mig1g", "mig-1g.5gb", "1g.5gb":
+		return ClassMIG1g(), nil
+	case "mig2g", "mig-2g.10gb", "2g.10gb":
+		return ClassMIG2g(), nil
+	case "mig3g", "mig-3g.20gb", "3g.20gb":
+		return ClassMIG3g(), nil
+	}
+	return Class{}, fmt.Errorf("fleet: unknown device class %q (have v100, a100, mig1g, mig2g, mig3g)", name)
+}

@@ -1,0 +1,468 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// JobSpec is one fractional job in the placement stream: a workload's
+// interference demand vector plus its resident memory and constraints.
+type JobSpec struct {
+	// ID is the fleet-unique job id ("flt-000042").
+	ID string `json:"id"`
+	// Workload names the workload (catalog ID) the job runs — what a
+	// harness evaluation of the bound device simulates.
+	Workload string `json:"workload"`
+	// Priority is "hp" or "be" (default). Best-effort jobs may be
+	// preempted to make room for high-priority ones.
+	Priority string `json:"priority,omitempty"`
+	// Demand is the per-resource interference demand in V100-reference
+	// units (time-weighted average intensities from the offline profile).
+	Demand Vector `json:"demand"`
+	// MemoryBytes is the job's resident device memory.
+	MemoryBytes int64 `json:"memory_bytes"`
+	// Classes restricts placement to the named device classes (empty =
+	// any class).
+	Classes []string `json:"classes,omitempty"`
+	// Zone pins the job to one zone ("z0"; empty = any zone).
+	Zone string `json:"zone,omitempty"`
+}
+
+// HighPriority reports whether the job may preempt best-effort residents.
+func (j JobSpec) HighPriority() bool { return j.Priority == "hp" }
+
+// Validate checks a job spec before placement.
+func (j JobSpec) Validate() error {
+	if j.ID == "" {
+		return errors.New("fleet: job has no id")
+	}
+	if !j.Demand.Valid() {
+		return fmt.Errorf("fleet: job %s has invalid demand %v", j.ID, j.Demand)
+	}
+	if j.MemoryBytes < 0 {
+		return fmt.Errorf("fleet: job %s has negative memory", j.ID)
+	}
+	return nil
+}
+
+// Device is one GPU (or MIG slice) in the fleet.
+type Device struct {
+	// Index is the device's position in the fleet (stable, 0-based).
+	Index int
+	// ID is the cell path: "z<zone>/r<rack>/n<node>/g<slot>".
+	ID string
+	// Zone, Rack and Node locate the device in the cell hierarchy.
+	Zone, Rack, Node int
+	// Class is the device's hardware class.
+	Class Class
+	// Healthy devices accept placements; unhealthy ones are filtered.
+	Healthy bool
+	// MemUsed is the residents' summed memory.
+	MemUsed int64
+	// Load is the residents' summed demand vector.
+	Load Vector
+	// Residents lists resident job IDs in bind order.
+	Residents []string
+	// HPResidents counts high-priority residents. The per-device Orion
+	// scheduler protects exactly one high-priority client, so the filter
+	// admits at most one HP job per device.
+	HPResidents int
+}
+
+// FreeMemory is the device's unallocated memory.
+func (d *Device) FreeMemory() int64 { return d.Class.MemoryBytes - d.MemUsed }
+
+// Placement records one bind decision.
+type Placement struct {
+	JobID string `json:"job_id"`
+	// Device is the bound device's cell path; DeviceIndex its index.
+	Device      string `json:"device"`
+	DeviceIndex int    `json:"device_index"`
+	Class       string `json:"class"`
+	// Score is the placement score the device won with.
+	Score float64 `json:"score"`
+	// Residents is the device's co-resident job set right after the
+	// bind, in bind order (this job last).
+	Residents []string `json:"residents"`
+}
+
+// ErrNoCapacity is returned when no device passes the filter stage.
+var ErrNoCapacity = errors.New("fleet: no device can host the job")
+
+// Fleet is the placement state over one topology. It is not
+// goroutine-safe; the serving layer serializes access.
+type Fleet struct {
+	topo    Topology
+	policy  Policy
+	devices []*Device
+	jobs    map[string]JobSpec
+	where   map[string]int // job ID -> device index
+
+	evictions   uint64
+	preemptions uint64
+}
+
+func newFleet(t Topology) *Fleet {
+	return &Fleet{
+		topo:   t,
+		policy: DefaultPolicy(),
+		jobs:   map[string]JobSpec{},
+		where:  map[string]int{},
+	}
+}
+
+// SetPolicy replaces the scoring policy (before placement starts).
+func (f *Fleet) SetPolicy(p Policy) { f.policy = p.withDefaults() }
+
+// Policy returns the active scoring policy.
+func (f *Fleet) Policy() Policy { return f.policy }
+
+// Devices returns the fleet's devices in index order. Callers must not
+// mutate them.
+func (f *Fleet) Devices() []*Device { return f.devices }
+
+// Topology returns the fleet's topology.
+func (f *Fleet) Topology() Topology { return f.topo }
+
+// Job returns a placed job's spec.
+func (f *Fleet) Job(id string) (JobSpec, bool) {
+	j, ok := f.jobs[id]
+	return j, ok
+}
+
+// Where returns the device index a job is bound to.
+func (f *Fleet) Where(id string) (int, bool) {
+	idx, ok := f.where[id]
+	return idx, ok
+}
+
+// SetHealth marks a device healthy or cordoned. Residents of a newly
+// unhealthy device stay bound (the caller decides whether to drain).
+func (f *Fleet) SetHealth(deviceIndex int, healthy bool) error {
+	if deviceIndex < 0 || deviceIndex >= len(f.devices) {
+		return fmt.Errorf("fleet: no device %d", deviceIndex)
+	}
+	f.devices[deviceIndex].Healthy = healthy
+	return nil
+}
+
+// admissible reports whether the device passes the filter stage for the
+// job: health, zone and class constraints, memory fit, and the resident
+// cap that bounds per-device scheduler load.
+func (f *Fleet) admissible(d *Device, j JobSpec) bool {
+	if !d.Healthy {
+		return false
+	}
+	if j.Zone != "" && fmt.Sprintf("z%d", d.Zone) != j.Zone {
+		return false
+	}
+	if len(d.Residents) >= f.policy.MaxResidents {
+		return false
+	}
+	if j.HighPriority() && d.HPResidents > 0 {
+		return false
+	}
+	if d.MemUsed+j.MemoryBytes > d.Class.MemoryBytes {
+		return false
+	}
+	return classAllowed(j, d.Class)
+}
+
+// classAllowed reports whether the job's class constraint (if any)
+// admits the class.
+func classAllowed(j JobSpec, c Class) bool {
+	if len(j.Classes) == 0 {
+		return true
+	}
+	for _, name := range j.Classes {
+		if cl, err := ClassByName(name); err == nil && cl.Name == c.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// Place runs the filter → score → bind pipeline for one job: every
+// admissible device is scored (interference complementarity against its
+// residents minus the fragmentation gradient) and the best one wins,
+// ties broken by lowest device index. Placement over a fixed job order
+// is fully deterministic.
+func (f *Fleet) Place(j JobSpec) (Placement, error) {
+	if err := f.validateNew(j); err != nil {
+		return Placement{}, err
+	}
+	best := -1
+	var bestScore float64
+	for _, d := range f.devices {
+		if !f.admissible(d, j) {
+			continue
+		}
+		s := f.policy.score(d, j)
+		if best < 0 || s > bestScore {
+			best, bestScore = d.Index, s
+		}
+	}
+	if best < 0 {
+		return Placement{}, ErrNoCapacity
+	}
+	return f.bind(j, best, bestScore), nil
+}
+
+// PlaceOrPreempt places the job, preempting best-effort residents for a
+// high-priority job that fits nowhere: the admissible-ignoring-occupancy
+// device needing the fewest evictions (ties: lowest index) gives up its
+// most recently bound best-effort residents until the job fits. Evicted
+// job IDs are returned for requeueing.
+func (f *Fleet) PlaceOrPreempt(j JobSpec) (Placement, []string, error) {
+	p, err := f.Place(j)
+	if err == nil || !errors.Is(err, ErrNoCapacity) || !j.HighPriority() {
+		return p, nil, err
+	}
+	best, bestVictims := -1, 0
+	for _, d := range f.devices {
+		victims, ok := f.preemptionPlan(d, j)
+		if !ok {
+			continue
+		}
+		if best < 0 || len(victims) < bestVictims {
+			best, bestVictims = d.Index, len(victims)
+		}
+	}
+	if best < 0 {
+		return Placement{}, nil, ErrNoCapacity
+	}
+	victims, _ := f.preemptionPlan(f.devices[best], j)
+	for _, id := range victims {
+		f.unbind(id)
+		f.preemptions++
+	}
+	d := f.devices[best]
+	return f.bind(j, best, f.policy.score(d, j)), victims, nil
+}
+
+// preemptionPlan reports which best-effort residents (most recently
+// bound first) the device would shed to host the job, and whether that
+// is enough.
+func (f *Fleet) preemptionPlan(d *Device, j JobSpec) ([]string, bool) {
+	if !d.Healthy || (j.Zone != "" && fmt.Sprintf("z%d", d.Zone) != j.Zone) {
+		return nil, false
+	}
+	if !classAllowed(j, d.Class) {
+		return nil, false
+	}
+	if j.MemoryBytes > d.Class.MemoryBytes {
+		return nil, false
+	}
+	// Victims are best-effort only, so eviction can never open the
+	// one-HP-client slot the leaf scheduler enforces.
+	if j.HighPriority() && d.HPResidents > 0 {
+		return nil, false
+	}
+	free := d.FreeMemory()
+	slots := f.policy.MaxResidents - len(d.Residents)
+	var victims []string
+	for i := len(d.Residents) - 1; i >= 0 && (free < j.MemoryBytes || slots < 1); i-- {
+		id := d.Residents[i]
+		if f.jobs[id].HighPriority() {
+			continue
+		}
+		victims = append(victims, id)
+		free += f.jobs[id].MemoryBytes
+		slots++
+	}
+	if free < j.MemoryBytes || slots < 1 {
+		return nil, false
+	}
+	return victims, true
+}
+
+// Bind places the job on a specific device, bypassing scoring — the
+// recovery path, which replays journaled decisions instead of re-scoring
+// (so recovered placements are bit-identical even across policy
+// changes). The filter still applies: a bind that no longer fits is a
+// corrupted journal and is surfaced.
+func (f *Fleet) Bind(j JobSpec, deviceIndex int) (Placement, error) {
+	if err := f.validateNew(j); err != nil {
+		return Placement{}, err
+	}
+	if deviceIndex < 0 || deviceIndex >= len(f.devices) {
+		return Placement{}, fmt.Errorf("fleet: bind %s: no device %d", j.ID, deviceIndex)
+	}
+	d := f.devices[deviceIndex]
+	if d.MemUsed+j.MemoryBytes > d.Class.MemoryBytes {
+		return Placement{}, fmt.Errorf("fleet: bind %s: device %s cannot fit %d bytes", j.ID, d.ID, j.MemoryBytes)
+	}
+	return f.bind(j, deviceIndex, f.policy.score(d, j)), nil
+}
+
+func (f *Fleet) validateNew(j JobSpec) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if _, dup := f.where[j.ID]; dup {
+		return fmt.Errorf("fleet: job %s already placed", j.ID)
+	}
+	return nil
+}
+
+func (f *Fleet) bind(j JobSpec, deviceIndex int, score float64) Placement {
+	d := f.devices[deviceIndex]
+	d.Residents = append(d.Residents, j.ID)
+	d.MemUsed += j.MemoryBytes
+	d.Load = d.Load.Add(j.Demand)
+	if j.HighPriority() {
+		d.HPResidents++
+	}
+	f.jobs[j.ID] = j
+	f.where[j.ID] = deviceIndex
+	return Placement{
+		JobID:       j.ID,
+		Device:      d.ID,
+		DeviceIndex: deviceIndex,
+		Class:       d.Class.Name,
+		Score:       score,
+		Residents:   append([]string(nil), d.Residents...),
+	}
+}
+
+// Remove evicts a placed job, freeing its capacity.
+func (f *Fleet) Remove(jobID string) error {
+	if _, ok := f.where[jobID]; !ok {
+		return fmt.Errorf("fleet: job %s not placed", jobID)
+	}
+	f.unbind(jobID)
+	f.evictions++
+	return nil
+}
+
+func (f *Fleet) unbind(jobID string) {
+	idx := f.where[jobID]
+	j := f.jobs[jobID]
+	d := f.devices[idx]
+	for i, id := range d.Residents {
+		if id == jobID {
+			d.Residents = append(d.Residents[:i], d.Residents[i+1:]...)
+			break
+		}
+	}
+	d.MemUsed -= j.MemoryBytes
+	d.Load = d.Load.Sub(j.Demand)
+	if j.HighPriority() {
+		d.HPResidents--
+	}
+	delete(f.jobs, jobID)
+	delete(f.where, jobID)
+}
+
+// PlaceBatch sorts the jobs by ID and places each in order, so the
+// outcome is invariant under permutations of the input slice. Jobs that
+// fit nowhere are returned as leftovers rather than failing the batch.
+func (f *Fleet) PlaceBatch(jobs []JobSpec) (placed []Placement, leftover []JobSpec, err error) {
+	ordered := append([]JobSpec(nil), jobs...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].ID < ordered[b].ID })
+	for _, j := range ordered {
+		p, perr := f.Place(j)
+		if errors.Is(perr, ErrNoCapacity) {
+			leftover = append(leftover, j)
+			continue
+		}
+		if perr != nil {
+			return placed, leftover, perr
+		}
+		placed = append(placed, p)
+	}
+	return placed, leftover, nil
+}
+
+// PlaceNaive is the profile-oblivious baseline: first-fit in device
+// order, ignoring interference and fragmentation (what a cluster manager
+// without the co-design would do). Same filter stage, no scoring.
+func (f *Fleet) PlaceNaive(j JobSpec) (Placement, error) {
+	if err := f.validateNew(j); err != nil {
+		return Placement{}, err
+	}
+	for _, d := range f.devices {
+		if f.admissible(d, j) {
+			return f.bind(j, d.Index, 0), nil
+		}
+	}
+	return Placement{}, ErrNoCapacity
+}
+
+// Stats is a point-in-time utilization/fragmentation snapshot.
+type Stats struct {
+	// Devices, Healthy and Allocated count the fleet, its healthy
+	// subset, and devices hosting at least one job.
+	Devices   int `json:"devices"`
+	Healthy   int `json:"healthy"`
+	Allocated int `json:"allocated"`
+	// JobsPlaced counts currently bound jobs.
+	JobsPlaced int `json:"jobs_placed"`
+	// MemUsedBytes / MemCapBytes aggregate device memory.
+	MemUsedBytes int64 `json:"mem_used_bytes"`
+	MemCapBytes  int64 `json:"mem_cap_bytes"`
+	// Load and Capacity aggregate the per-resource vectors.
+	Load     Vector `json:"load"`
+	Capacity Vector `json:"capacity"`
+	// Fragmentation is the mean per-device fragmentation score (see
+	// Policy.frag): 0 = perfectly packable remainder, higher = more
+	// stranded capacity.
+	Fragmentation float64 `json:"fragmentation"`
+	// Evictions and Preemptions count removals over the fleet's life.
+	Evictions   uint64 `json:"evictions"`
+	Preemptions uint64 `json:"preemptions"`
+	// DevicesByClass counts devices per class name.
+	DevicesByClass map[string]int `json:"devices_by_class"`
+}
+
+// Snapshot computes fleet-wide stats.
+func (f *Fleet) Snapshot() Stats {
+	st := Stats{
+		Devices:        len(f.devices),
+		JobsPlaced:     len(f.jobs),
+		Evictions:      f.evictions,
+		Preemptions:    f.preemptions,
+		DevicesByClass: map[string]int{},
+	}
+	var fragSum float64
+	for _, d := range f.devices {
+		st.DevicesByClass[d.Class.Name]++
+		st.MemCapBytes += d.Class.MemoryBytes
+		st.Capacity = st.Capacity.Add(d.Class.Capacity)
+		if d.Healthy {
+			st.Healthy++
+			fragSum += f.policy.frag(d.Class, d.Load, d.MemUsed)
+		}
+		if len(d.Residents) > 0 {
+			st.Allocated++
+		}
+		st.MemUsedBytes += d.MemUsed
+		st.Load = st.Load.Add(d.Load)
+	}
+	if st.Healthy > 0 {
+		st.Fragmentation = fragSum / float64(st.Healthy)
+	}
+	return st
+}
+
+// Hash digests the current placement (job → device bindings) to a
+// stable 64-bit value: the golden-hash determinism suites compare it
+// across runs, restarts and input permutations.
+func (f *Fleet) Hash() uint64 {
+	ids := make([]string, 0, len(f.where))
+	for id := range f.where {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	h := fnv.New64a()
+	for _, id := range ids {
+		fmt.Fprintf(h, "%s=%d;", id, f.where[id])
+	}
+	return h.Sum64()
+}
+
+// HashString renders Hash in the fixed-width hex form the API and drill
+// compare.
+func (f *Fleet) HashString() string { return fmt.Sprintf("%016x", f.Hash()) }

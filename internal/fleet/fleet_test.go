@@ -1,0 +1,464 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// computeHeavy/memHeavy are synthetic Table-1-style demand profiles.
+var (
+	computeHeavy = Vector{RCompute: 0.8, RMemBW: 0.2, RL2: 0.2, RPCIe: 0.05}
+	memHeavy     = Vector{RCompute: 0.1, RMemBW: 0.8, RL2: 0.8, RPCIe: 0.05}
+)
+
+func tinyFleet(t *testing.T, spec string) *Fleet {
+	t.Helper()
+	topo, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	f, err := topo.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return f
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2, 3, 4}
+	w := Vector{0.5, 0.5, 0.5, 0.5}
+	if got := v.Add(w); got != (Vector{1.5, 2.5, 3.5, 4.5}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vector{0.5, 1.5, 2.5, 3.5}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vector{2, 4, 6, 8}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if !v.Valid() || v.IsZero() {
+		t.Fatalf("Valid/IsZero wrong for %v", v)
+	}
+	for _, bad := range []Vector{{math.NaN()}, {-1}, {math.Inf(1)}, {2e9}} {
+		if bad.Valid() {
+			t.Fatalf("Vector %v should be invalid", bad)
+		}
+	}
+	if s := v.String(); !strings.Contains(s, "compute=1.00") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestClassCapacities(t *testing.T) {
+	v100, a100 := ClassV100(), ClassA100()
+	if a100.Capacity[RCompute] <= v100.Capacity[RCompute] {
+		t.Fatalf("A100 compute capacity %v not above V100 %v", a100.Capacity, v100.Capacity)
+	}
+	if v100.Capacity[RCompute] != 1 || v100.Capacity[RMemBW] != 1 {
+		t.Fatalf("V100 capacity should be the reference unit, got %v", v100.Capacity)
+	}
+	mig := ClassMIG2g()
+	if mig.MemoryBytes != 10<<30 {
+		t.Fatalf("MIG-2g.10gb memory = %d", mig.MemoryBytes)
+	}
+	sp := mig.Spec()
+	full := ClassA100().Spec()
+	if sp.NumSMs != full.NumSMs*2/7 {
+		t.Fatalf("MIG-2g SMs = %d, want %d", sp.NumSMs, full.NumSMs*2/7)
+	}
+	if sp.MemBandwidth >= full.MemBandwidth/2 {
+		t.Fatalf("MIG-2g bandwidth %v not scaled from %v", sp.MemBandwidth, full.MemBandwidth)
+	}
+	for _, c := range Classes() {
+		if c.MemoryBytes <= 0 || !c.Capacity.Valid() || c.Capacity.IsZero() {
+			t.Fatalf("class %s has degenerate capacity", c.Name)
+		}
+	}
+}
+
+func TestClassByName(t *testing.T) {
+	for alias, want := range map[string]string{
+		"v100": "V100-16GB", "a100": "A100-40GB",
+		"mig1g": "MIG-1g.5gb", "MIG-2g.10gb": "MIG-2g.10gb", "3g.20gb": "MIG-3g.20gb",
+	} {
+		c, err := ClassByName(alias)
+		if err != nil {
+			t.Fatalf("ClassByName(%q): %v", alias, err)
+		}
+		if c.Name != want {
+			t.Fatalf("ClassByName(%q) = %s, want %s", alias, c.Name, want)
+		}
+	}
+	if _, err := ClassByName("h100"); err == nil {
+		t.Fatal("unknown class should error")
+	}
+}
+
+func TestTopologyBuildDeterministic(t *testing.T) {
+	spec := "zones=2,racks=2,nodes=4,gpus=4,mix=a100:1+v100:2+mig2g:1,seed=9,unhealthy=100"
+	a := tinyFleet(t, spec)
+	b := tinyFleet(t, spec)
+	if len(a.Devices()) != 64 {
+		t.Fatalf("device count = %d", len(a.Devices()))
+	}
+	for i := range a.Devices() {
+		da, db := a.Devices()[i], b.Devices()[i]
+		if da.ID != db.ID || da.Class.Name != db.Class.Name || da.Healthy != db.Healthy {
+			t.Fatalf("device %d differs across identical builds: %+v vs %+v", i, da, db)
+		}
+	}
+	unhealthy := 0
+	for _, d := range a.Devices() {
+		if !d.Healthy {
+			unhealthy++
+		}
+	}
+	if unhealthy == 0 || unhealthy == len(a.Devices()) {
+		t.Fatalf("unhealthy marks not drawn: %d of %d", unhealthy, len(a.Devices()))
+	}
+	if a.Devices()[0].ID != "z0/r0/n0/g0" {
+		t.Fatalf("first device ID = %q", a.Devices()[0].ID)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"zones", "zones=x", "warp=1", "mix=h100:1", "mix=v100:0", "zones=0", "unhealthy=1000",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) should error", bad)
+		}
+	}
+	topo, err := ParseSpec("")
+	if err != nil || topo.Devices() != 64 {
+		t.Fatalf("default spec: %v devices, err %v", topo.Devices(), err)
+	}
+}
+
+// TestPlacePairsComplementary is the §7 co-design in miniature: with a
+// compute-bound resident on one device, a memory-bound job prefers that
+// device over an empty one, and a second compute-bound job avoids it.
+func TestPlacePairsComplementary(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=2,mix=v100")
+	a := JobSpec{ID: "a", Workload: "resnet50-inf", Demand: computeHeavy, MemoryBytes: 2 << 30}
+	pa, err := f.Place(a)
+	if err != nil {
+		t.Fatalf("place a: %v", err)
+	}
+	b := JobSpec{ID: "b", Workload: "mobilenetv2-inf", Demand: memHeavy, MemoryBytes: 2 << 30}
+	pb, err := f.Place(b)
+	if err != nil {
+		t.Fatalf("place b: %v", err)
+	}
+	if pb.DeviceIndex != pa.DeviceIndex {
+		t.Fatalf("memory-bound job should pack with the compute-bound resident: %d vs %d", pb.DeviceIndex, pa.DeviceIndex)
+	}
+	c := JobSpec{ID: "c", Workload: "resnet50-inf", Demand: computeHeavy, MemoryBytes: 2 << 30}
+	pc, err := f.Place(c)
+	if err != nil {
+		t.Fatalf("place c: %v", err)
+	}
+	if pc.DeviceIndex == pa.DeviceIndex {
+		t.Fatal("second compute-bound job should repel to the empty device")
+	}
+}
+
+func TestPlaceFilters(t *testing.T) {
+	f := tinyFleet(t, "zones=2,racks=1,nodes=1,gpus=1,mix=v100")
+	if err := f.SetHealth(0, false); err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Place(JobSpec{ID: "j1", Demand: computeHeavy, MemoryBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DeviceIndex != 1 {
+		t.Fatalf("unhealthy device not filtered: placed on %d", p.DeviceIndex)
+	}
+
+	// Memory filter: a V100 cannot host 17 GiB.
+	if _, err := f.Place(JobSpec{ID: "j2", Demand: memHeavy, MemoryBytes: 17 << 30}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("oversized job: %v", err)
+	}
+	// Class filter: no A100 in this fleet.
+	if _, err := f.Place(JobSpec{ID: "j3", Demand: memHeavy, MemoryBytes: 1 << 30, Classes: []string{"a100"}}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("class-constrained job: %v", err)
+	}
+	// Zone filter: only z0 allowed, but z0's sole device is unhealthy.
+	if _, err := f.Place(JobSpec{ID: "j4", Demand: memHeavy, MemoryBytes: 1 << 30, Zone: "z0"}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("zone-pinned job: %v", err)
+	}
+	if err := f.SetHealth(0, true); err != nil {
+		t.Fatal(err)
+	}
+	p, err = f.Place(JobSpec{ID: "j5", Demand: memHeavy, MemoryBytes: 1 << 30, Zone: "z0"})
+	if err != nil || p.DeviceIndex != 0 {
+		t.Fatalf("zone pin after heal: %+v, %v", p, err)
+	}
+}
+
+func TestPlaceResidentCap(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=1,mix=v100")
+	f.SetPolicy(Policy{MaxResidents: 2})
+	for _, id := range []string{"a", "b"} {
+		if _, err := f.Place(JobSpec{ID: id, Demand: computeHeavy, MemoryBytes: 1 << 30}); err != nil {
+			t.Fatalf("place %s: %v", id, err)
+		}
+	}
+	if _, err := f.Place(JobSpec{ID: "c", Demand: computeHeavy, MemoryBytes: 1 << 30}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("resident cap not enforced: %v", err)
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=2,mix=v100")
+	if _, err := f.Place(JobSpec{Demand: computeHeavy}); err == nil {
+		t.Fatal("empty ID should error")
+	}
+	if _, err := f.Place(JobSpec{ID: "n", Demand: Vector{math.NaN()}}); err == nil {
+		t.Fatal("NaN demand should error")
+	}
+	if _, err := f.Place(JobSpec{ID: "m", Demand: computeHeavy, MemoryBytes: -1}); err == nil {
+		t.Fatal("negative memory should error")
+	}
+	if _, err := f.Place(JobSpec{ID: "dup", Demand: computeHeavy, MemoryBytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Place(JobSpec{ID: "dup", Demand: computeHeavy, MemoryBytes: 1}); err == nil {
+		t.Fatal("duplicate ID should error")
+	}
+}
+
+// TestOneHPResidentPerDevice mirrors the leaf scheduler's contract:
+// Orion protects exactly one high-priority client per device, so the
+// filter never co-locates two HP jobs.
+func TestOneHPResidentPerDevice(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=2,mix=v100")
+	for i := 0; i < 2; i++ {
+		p, err := f.Place(JobSpec{ID: fmt.Sprintf("hp-%d", i), Priority: "hp", Demand: computeHeavy, MemoryBytes: 1 << 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.DeviceIndex != i {
+			t.Fatalf("hp-%d on device %d, want %d", i, p.DeviceIndex, i)
+		}
+	}
+	if _, err := f.Place(JobSpec{ID: "hp-2", Priority: "hp", Demand: memHeavy, MemoryBytes: 1 << 30}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("third HP job should find no device: %v", err)
+	}
+	// BE jobs still fit anywhere.
+	if _, err := f.Place(JobSpec{ID: "be-0", Demand: memHeavy, MemoryBytes: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreemption(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=1,mix=v100")
+	be := JobSpec{ID: "be-1", Demand: memHeavy, MemoryBytes: 12 << 30}
+	if _, err := f.Place(be); err != nil {
+		t.Fatal(err)
+	}
+	hp := JobSpec{ID: "hp-1", Priority: "hp", Demand: computeHeavy, MemoryBytes: 10 << 30}
+	// Plain Place fails: the BE resident holds the memory.
+	if _, err := f.Place(JobSpec{ID: "probe", Priority: "hp", Demand: computeHeavy, MemoryBytes: 10 << 30}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("expected no capacity, got %v", err)
+	}
+	p, victims, err := f.PlaceOrPreempt(hp)
+	if err != nil {
+		t.Fatalf("PlaceOrPreempt: %v", err)
+	}
+	if len(victims) != 1 || victims[0] != "be-1" {
+		t.Fatalf("victims = %v", victims)
+	}
+	if p.DeviceIndex != 0 {
+		t.Fatalf("hp job placed on %d", p.DeviceIndex)
+	}
+	if _, placed := f.Where("be-1"); placed {
+		t.Fatal("victim still bound")
+	}
+	st := f.Snapshot()
+	if st.Preemptions != 1 {
+		t.Fatalf("preemptions = %d", st.Preemptions)
+	}
+	// A HP resident is never a victim: a second HP job that needs the
+	// space fails instead of evicting hp-1.
+	if _, _, err := f.PlaceOrPreempt(JobSpec{ID: "hp-2", Priority: "hp", Demand: memHeavy, MemoryBytes: 10 << 30}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("HP resident preempted: %v", err)
+	}
+	// BE jobs never preempt.
+	if _, _, err := f.PlaceOrPreempt(JobSpec{ID: "be-2", Demand: memHeavy, MemoryBytes: 10 << 30}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("BE job preempted: %v", err)
+	}
+}
+
+func TestRemoveFreesCapacity(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=1,mix=v100")
+	j := JobSpec{ID: "a", Demand: computeHeavy, MemoryBytes: 12 << 30}
+	if _, err := f.Place(j); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Place(JobSpec{ID: "b", Demand: memHeavy, MemoryBytes: 12 << 30}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("expected full device, got %v", err)
+	}
+	if err := f.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove("a"); err == nil {
+		t.Fatal("double remove should error")
+	}
+	d := f.Devices()[0]
+	if d.MemUsed != 0 || !d.Load.IsZero() || len(d.Residents) != 0 {
+		t.Fatalf("capacity not freed: %+v", d)
+	}
+	if _, err := f.Place(JobSpec{ID: "b2", Demand: memHeavy, MemoryBytes: 12 << 30}); err != nil {
+		t.Fatalf("place after remove: %v", err)
+	}
+	if st := f.Snapshot(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d", st.Evictions)
+	}
+}
+
+// TestBindReplaysPlacement is the recovery contract: rebinding recorded
+// (job, device) pairs in journal order reproduces the placement state
+// bit-identically without re-scoring.
+func TestBindReplaysPlacement(t *testing.T) {
+	spec := "zones=1,racks=2,nodes=2,gpus=2,mix=a100:1+v100:1,seed=3"
+	f := tinyFleet(t, spec)
+	jobs, err := SyntheticStream(40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, _, err := f.PlaceBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) == 0 {
+		t.Fatal("nothing placed")
+	}
+	byID := map[string]JobSpec{}
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	g := tinyFleet(t, spec)
+	for _, p := range placed {
+		if _, err := g.Bind(byID[p.JobID], p.DeviceIndex); err != nil {
+			t.Fatalf("bind %s: %v", p.JobID, err)
+		}
+	}
+	if f.Hash() != g.Hash() {
+		t.Fatalf("replayed hash %s != original %s", g.HashString(), f.HashString())
+	}
+	for i, d := range f.Devices() {
+		e := g.Devices()[i]
+		if d.MemUsed != e.MemUsed || d.Load != e.Load {
+			t.Fatalf("device %d state diverged after replay", i)
+		}
+	}
+	// Bind onto a device that cannot fit is a corrupted journal.
+	if _, err := g.Bind(JobSpec{ID: "huge", Demand: memHeavy, MemoryBytes: 64 << 30}, 0); err == nil {
+		t.Fatal("oversized bind should error")
+	}
+}
+
+func TestPlaceBatchPermutationInvariant(t *testing.T) {
+	spec := "zones=1,racks=2,nodes=4,gpus=2,mix=a100:1+v100:2,seed=5"
+	jobs, err := SyntheticStream(60, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tinyFleet(t, spec)
+	if _, _, err := f.PlaceBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]JobSpec(nil), jobs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		g := tinyFleet(t, spec)
+		if _, _, err := g.PlaceBatch(shuffled); err != nil {
+			t.Fatal(err)
+		}
+		if g.Hash() != f.Hash() {
+			t.Fatalf("trial %d: permuted placement hash %s != %s", trial, g.HashString(), f.HashString())
+		}
+	}
+}
+
+func TestPlaceNaiveFirstFit(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=4,mix=v100")
+	for i, id := range []string{"a", "b", "c"} {
+		p, err := f.PlaceNaive(JobSpec{ID: id, Demand: computeHeavy, MemoryBytes: 5 << 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+		if p.DeviceIndex != 0 {
+			t.Fatalf("naive should first-fit on device 0, got %d for %s", p.DeviceIndex, id)
+		}
+	}
+	p, err := f.PlaceNaive(JobSpec{ID: "d", Demand: computeHeavy, MemoryBytes: 5 << 30})
+	if err != nil || p.DeviceIndex != 1 {
+		t.Fatalf("naive overflow: %+v, %v", p, err)
+	}
+}
+
+func TestSnapshotStats(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=2,mix=v100")
+	if _, err := f.Place(JobSpec{ID: "a", Demand: computeHeavy, MemoryBytes: 4 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Snapshot()
+	if st.Devices != 2 || st.Healthy != 2 || st.Allocated != 1 || st.JobsPlaced != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MemUsedBytes != 4<<30 || st.MemCapBytes != 32<<30 {
+		t.Fatalf("memory stats = %+v", st)
+	}
+	if st.Load[RCompute] != computeHeavy[RCompute] || st.Capacity[RCompute] != 2 {
+		t.Fatalf("vector stats = %+v", st)
+	}
+	if st.Fragmentation <= 0 {
+		t.Fatalf("fragmentation gauge = %v", st.Fragmentation)
+	}
+	if st.DevicesByClass["V100-16GB"] != 2 {
+		t.Fatalf("class counts = %v", st.DevicesByClass)
+	}
+}
+
+func TestSyntheticStreamDeterministic(t *testing.T) {
+	a, err := SyntheticStream(50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticStream(50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Workload != b[i].Workload ||
+			a[i].MemoryBytes != b[i].MemoryBytes || a[i].Demand != b[i].Demand {
+			t.Fatalf("stream not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := SyntheticStream(50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Workload != c[i].Workload || a[i].MemoryBytes != c[i].MemoryBytes {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+	if _, err := SyntheticStream(0, 1); err == nil {
+		t.Fatal("empty stream should error")
+	}
+}

@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"fmt"
+
+	"orion/internal/cluster"
+	"orion/internal/gpu"
+	"orion/internal/profiler"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// scenarioArchetypes are the workloads a synthetic fleet job stream
+// draws from — the paper's Table 1 spread of compute-bound and
+// memory-bound models.
+var scenarioArchetypes = []string{
+	"resnet50-inf",
+	"mobilenetv2-inf",
+	"resnet101-inf",
+	"bert-inf",
+	"transformer-inf",
+	"llm-inf",
+}
+
+// DemandFor derives a workload's interference demand vector from its
+// offline profile on a V100 (the reference class): compute and memory
+// bandwidth come from the time-weighted kernel averages, the L2
+// dimension tracks DRAM traffic (cache pressure follows memory streams)
+// and PCIe tracks the input stream — placeholders the per-resource
+// interference model will calibrate independently.
+func DemandFor(workloadID string) (Vector, error) {
+	m, err := workload.ByID(workloadID)
+	if err != nil {
+		return Vector{}, err
+	}
+	p, err := profiler.Collect(m, gpu.V100())
+	if err != nil {
+		return Vector{}, err
+	}
+	s, err := cluster.Summarize(p, m.WeightsBytes)
+	if err != nil {
+		return Vector{}, err
+	}
+	pcie := 0.05
+	if m.Kind == workload.Training {
+		pcie = 0.15
+	}
+	return Vector{
+		RCompute: s.Compute,
+		RMemBW:   s.MemBW,
+		RL2:      s.MemBW,
+		RPCIe:    pcie,
+	}, nil
+}
+
+// SyntheticStream generates a deterministic job stream of n jobs from
+// the Table-1 archetypes: same n and seed → bit-identical stream. Job
+// IDs are zero-padded so lexicographic order equals generation order
+// (PlaceBatch's sort key). Memory footprints are synthetic (weights plus
+// a activation/KV-cache slab drawn per job): most jobs fit any class,
+// llm jobs only fit A100-sized memory, and a slice of small jobs is
+// pinned to MIG classes to exercise the class filter. Every 5th job is
+// high-priority.
+func SyntheticStream(n int, seed int64) ([]JobSpec, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet: stream size %d must be positive", n)
+	}
+	demands := make(map[string]Vector, len(scenarioArchetypes))
+	for _, id := range scenarioArchetypes {
+		d, err := DemandFor(id)
+		if err != nil {
+			return nil, err
+		}
+		demands[id] = d
+	}
+	rng := sim.NewRand(seed).Split("fleet-stream")
+	jobs := make([]JobSpec, 0, n)
+	for i := 0; i < n; i++ {
+		wl := scenarioArchetypes[rng.Intn(len(scenarioArchetypes))]
+		j := JobSpec{
+			ID:       fmt.Sprintf("flt-%06d", i),
+			Workload: wl,
+			Demand:   demands[wl],
+		}
+		switch {
+		case wl == "llm-inf":
+			// KV-cache-heavy: only A100-sized memory fits.
+			j.MemoryBytes = int64(16+rng.Intn(14)) << 30
+		case i%11 == 3:
+			// Small job pinned to MIG slices: exercises class filter.
+			j.MemoryBytes = int64(1+rng.Intn(4)) << 30
+			j.Classes = []string{"mig1g", "mig2g", "mig3g"}
+		default:
+			j.MemoryBytes = int64(2+rng.Intn(10)) << 30
+		}
+		if i%5 == 0 {
+			j.Priority = "hp"
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}

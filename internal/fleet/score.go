@@ -1,0 +1,114 @@
+package fleet
+
+import "math"
+
+// Policy weights the two scoring terms and bounds per-device occupancy.
+//
+// The score of placing job j on device d is
+//
+//	score = -Wc · contention(d, j) - Wf · (frag(d ∪ j) - frag(d))
+//
+// contention(d, j) = Σ_r (Load_r/Cap_r)·(Dem_r/Cap_r): jobs stressing
+// the resource a device is already loaded on repel; complementary
+// profiles (compute-bound next to memory-bound, Orion's §7 pairing) are
+// nearly free. frag is the fragmentation-gradient term: the skew between
+// a device's free compute and free memory-bandwidth fractions, weighted
+// by its free memory (lopsided remainders strand capacity no future job
+// can use), plus a stranded-memory penalty when the remainder is too
+// small for a typical job. Picking the device with the best (highest)
+// score descends the fleet-wide fragmentation gradient, FGD-style.
+type Policy struct {
+	// ContentionWeight scales the interference-contention term.
+	ContentionWeight float64
+	// FragWeight scales the fragmentation-gradient term.
+	FragWeight float64
+	// MaxResidents caps co-resident jobs per device (bounds the leaf
+	// scheduler's client count).
+	MaxResidents int
+	// MinJobBytes is the "typical smallest job" memory: free memory
+	// below it counts as stranded.
+	MinJobBytes int64
+}
+
+// DefaultPolicy returns the tuning the golden suites pin down.
+func DefaultPolicy() Policy {
+	return Policy{
+		ContentionWeight: 1.0,
+		FragWeight:       0.5,
+		MaxResidents:     6,
+		MinJobBytes:      1 << 30,
+	}
+}
+
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.ContentionWeight == 0 {
+		p.ContentionWeight = d.ContentionWeight
+	}
+	if p.FragWeight == 0 {
+		p.FragWeight = d.FragWeight
+	}
+	if p.MaxResidents <= 0 {
+		p.MaxResidents = d.MaxResidents
+	}
+	if p.MinJobBytes <= 0 {
+		p.MinJobBytes = d.MinJobBytes
+	}
+	return p
+}
+
+// score evaluates placing j on d. All product sums go through explicit
+// float64 conversions: Go may contract a*b+c into a fused
+// multiply-add on some architectures, and the golden placement hashes
+// must not depend on the host's FMA behavior.
+func (p Policy) score(d *Device, j JobSpec) float64 {
+	cap := d.Class.Capacity
+	var contention float64
+	for r := 0; r < NumResources; r++ {
+		if cap[r] <= 0 {
+			continue
+		}
+		load := float64(d.Load[r] / cap[r])
+		dem := float64(j.Demand[r] / cap[r])
+		contention += float64(load * dem)
+	}
+	before := p.frag(d.Class, d.Load, d.MemUsed)
+	after := p.frag(d.Class, d.Load.Add(j.Demand), d.MemUsed+j.MemoryBytes)
+	gradient := float64(after - before)
+	return float64(-float64(p.ContentionWeight*contention) - float64(p.FragWeight*gradient))
+}
+
+// frag scores how stranded a device's remaining capacity is: 0 for an
+// empty or perfectly balanced remainder, approaching 1+ for remainders
+// no future job can use.
+func (p Policy) frag(c Class, load Vector, memUsed int64) float64 {
+	freeCompute := freeFrac(load[RCompute], c.Capacity[RCompute])
+	freeMemBW := freeFrac(load[RMemBW], c.Capacity[RMemBW])
+	freeMem := c.MemoryBytes - memUsed
+	if freeMem < 0 {
+		freeMem = 0
+	}
+	freeMemFrac := 0.0
+	if c.MemoryBytes > 0 {
+		freeMemFrac = float64(freeMem) / float64(c.MemoryBytes)
+	}
+	skew := math.Abs(freeCompute - freeMemBW)
+	f := float64(skew * freeMemFrac)
+	if freeMem > 0 && freeMem < p.MinJobBytes {
+		// The remainder can hold no typical job: every free cycle on
+		// this device is stranded behind it.
+		f += float64(freeCompute+freeMemBW) / 2
+	}
+	return f
+}
+
+func freeFrac(load, cap float64) float64 {
+	if cap <= 0 {
+		return 0
+	}
+	f := float64(1 - float64(load/cap))
+	if f < 0 {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"orion/internal/sim"
+)
+
+// Share is one device class's weight in a topology's class mix.
+type Share struct {
+	Class  Class
+	Weight int
+}
+
+// Topology describes a fleet's cell hierarchy (zone → rack → node →
+// device) and device-class mix. Build is deterministic per Seed: the
+// same topology always produces the same device list, class assignment,
+// and health marks.
+type Topology struct {
+	// Zones × RacksPerZone × NodesPerRack × DevicesPerNode devices.
+	Zones          int
+	RacksPerZone   int
+	NodesPerRack   int
+	DevicesPerNode int
+	// Mix is the class mix, weighted; empty means all V100.
+	Mix []Share
+	// Seed drives class assignment and health marks.
+	Seed int64
+	// UnhealthyPerMille marks roughly this fraction (out of 1000) of
+	// devices unhealthy at build time — cordoned capacity the filter
+	// stage must route around.
+	UnhealthyPerMille int
+}
+
+// Devices reports how many devices the topology describes.
+func (t Topology) Devices() int {
+	return t.Zones * t.RacksPerZone * t.NodesPerRack * t.DevicesPerNode
+}
+
+// Validate checks the topology for internal consistency.
+func (t Topology) Validate() error {
+	if t.Zones <= 0 || t.RacksPerZone <= 0 || t.NodesPerRack <= 0 || t.DevicesPerNode <= 0 {
+		return fmt.Errorf("fleet: topology dimensions must be positive (%d/%d/%d/%d)",
+			t.Zones, t.RacksPerZone, t.NodesPerRack, t.DevicesPerNode)
+	}
+	if t.UnhealthyPerMille < 0 || t.UnhealthyPerMille >= 1000 {
+		return fmt.Errorf("fleet: unhealthy fraction %d out of range [0,1000)", t.UnhealthyPerMille)
+	}
+	total := 0
+	for _, s := range t.Mix {
+		if s.Weight < 0 {
+			return fmt.Errorf("fleet: class %s has negative weight", s.Class.Name)
+		}
+		total += s.Weight
+	}
+	if len(t.Mix) > 0 && total == 0 {
+		return fmt.Errorf("fleet: class mix has zero total weight")
+	}
+	return nil
+}
+
+// Build constructs the fleet: devices in cell order (zone-major), class
+// assignment and health marks drawn from the topology seed.
+func (t Topology) Build() (*Fleet, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	mix := t.Mix
+	if len(mix) == 0 {
+		mix = []Share{{Class: ClassV100(), Weight: 1}}
+	}
+	totalWeight := 0
+	for _, s := range mix {
+		totalWeight += s.Weight
+	}
+	classRand := sim.NewRand(t.Seed).Split("fleet-class")
+	healthRand := sim.NewRand(t.Seed).Split("fleet-health")
+
+	f := newFleet(t)
+	idx := 0
+	for z := 0; z < t.Zones; z++ {
+		for r := 0; r < t.RacksPerZone; r++ {
+			for n := 0; n < t.NodesPerRack; n++ {
+				for g := 0; g < t.DevicesPerNode; g++ {
+					pick := classRand.Intn(totalWeight)
+					var cl Class
+					for _, s := range mix {
+						if pick < s.Weight {
+							cl = s.Class
+							break
+						}
+						pick -= s.Weight
+					}
+					d := &Device{
+						Index:   idx,
+						ID:      fmt.Sprintf("z%d/r%d/n%d/g%d", z, r, n, g),
+						Zone:    z,
+						Rack:    r,
+						Node:    n,
+						Class:   cl,
+						Healthy: true,
+					}
+					if t.UnhealthyPerMille > 0 && healthRand.Intn(1000) < t.UnhealthyPerMille {
+						d.Healthy = false
+					}
+					f.devices = append(f.devices, d)
+					idx++
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// ParseSpec parses a compact topology spec string of the form
+//
+//	"zones=2,racks=4,nodes=16,gpus=8,mix=a100:1+v100:2+mig2g:1,seed=7,unhealthy=25"
+//
+// Every key is optional; the defaults describe a single-zone 64-device
+// fleet ("zones=1,racks=2,nodes=8,gpus=4") with an even a100/v100 mix.
+func ParseSpec(spec string) (Topology, error) {
+	t := Topology{
+		Zones: 1, RacksPerZone: 2, NodesPerRack: 8, DevicesPerNode: 4,
+		Mix:  []Share{{Class: ClassA100(), Weight: 1}, {Class: ClassV100(), Weight: 1}},
+		Seed: 1,
+	}
+	if strings.TrimSpace(spec) == "" {
+		return t, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return Topology{}, fmt.Errorf("fleet: bad topology field %q (want key=value)", part)
+		}
+		k = strings.ToLower(strings.TrimSpace(k))
+		v = strings.TrimSpace(v)
+		if k == "mix" {
+			mix, err := parseMix(v)
+			if err != nil {
+				return Topology{}, err
+			}
+			t.Mix = mix
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Topology{}, fmt.Errorf("fleet: bad topology value %q for %q", v, k)
+		}
+		switch k {
+		case "zones":
+			t.Zones = n
+		case "racks":
+			t.RacksPerZone = n
+		case "nodes":
+			t.NodesPerRack = n
+		case "gpus", "devices":
+			t.DevicesPerNode = n
+		case "seed":
+			t.Seed = int64(n)
+		case "unhealthy":
+			t.UnhealthyPerMille = n
+		default:
+			return Topology{}, fmt.Errorf("fleet: unknown topology key %q", k)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// parseMix parses "a100:1+v100:2+mig2g:1" (weight defaults to 1).
+func parseMix(s string) ([]Share, error) {
+	var mix []Share
+	for _, part := range strings.Split(s, "+") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight := part, 1
+		if n, w, ok := strings.Cut(part, ":"); ok {
+			var err error
+			weight, err = strconv.Atoi(strings.TrimSpace(w))
+			if err != nil || weight <= 0 {
+				return nil, fmt.Errorf("fleet: bad class weight in %q", part)
+			}
+			name = n
+		}
+		cl, err := ClassByName(name)
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, Share{Class: cl, Weight: weight})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("fleet: empty class mix")
+	}
+	return mix, nil
+}

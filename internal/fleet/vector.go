@@ -1,0 +1,108 @@
+// Package fleet is the cluster-scale placement layer the paper's §7
+// cluster-manager co-design calls for: a simulated fleet of hundreds to
+// thousands of heterogeneous devices (A100/V100/MIG-slice classes)
+// organized into hierarchical cells (node → rack → zone), with a
+// placement pipeline — filter, score, bind — that packs fractional,
+// interference-scored jobs onto devices so that each device's Orion
+// scheduler (the leaf of the two-level scheduler) has opposite-profile
+// kernels to interleave.
+//
+// The scoring policy follows the contention-aware partitioning line of
+// work: a per-resource contention term (jobs stressing the same resource
+// repel, complementary profiles attract) plus a fragmentation-gradient
+// term in the style of FGD placement that prefers placements which least
+// strand future capacity. Interference demand is carried as a
+// per-resource vector rather than a scalar from day one, so the deeper
+// per-resource interference model (issue slots, L2, DRAM — see
+// ROADMAP.md) can calibrate the extra dimensions without changing the
+// placement interface.
+//
+// Everything is deterministic per seed: placement over the same job
+// stream produces the same bindings (and the same PlacementHash) on
+// every run and across input permutations when the batch entry point is
+// used.
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Resource indexes one dimension of an interference vector. Compute and
+// memory bandwidth are populated from offline profiles today; the L2 and
+// PCIe dimensions are carried through the interface (and the arithmetic)
+// so the per-resource interference model can fill them in without an API
+// change.
+const (
+	RCompute = iota
+	RMemBW
+	RL2
+	RPCIe
+	NumResources
+)
+
+// resourceNames renders vectors for humans; order matches the indices.
+var resourceNames = [NumResources]string{"compute", "membw", "l2", "pcie"}
+
+// Vector is a per-resource demand (or capacity) vector in V100-reference
+// units: 1.0 in a dimension means "all of a V100's worth" of that
+// resource.
+type Vector [NumResources]float64
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) Vector {
+	for r := range v {
+		v[r] += w[r]
+	}
+	return v
+}
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) Vector {
+	for r := range v {
+		v[r] -= w[r]
+	}
+	return v
+}
+
+// Scale returns v scaled by k.
+func (v Vector) Scale(k float64) Vector {
+	for r := range v {
+		v[r] *= k
+	}
+	return v
+}
+
+// IsZero reports whether every dimension is zero.
+func (v Vector) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether every dimension is finite and non-negative.
+func (v Vector) Valid() bool {
+	for _, x := range v {
+		// NaN fails both comparisons; infinities fail the bound.
+		if !(x >= 0) || x > 1e9 {
+			return false
+		}
+	}
+	return true
+}
+
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for r, x := range v {
+		if r > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.2f", resourceNames[r], x)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

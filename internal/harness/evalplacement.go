@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"orion/internal/gpu"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// EvalJob is one resident of a device in a fleet placement evaluation:
+// a catalog workload plus its wire priority ("hp" or "be").
+type EvalJob struct {
+	Workload string `json:"workload"`
+	Priority string `json:"priority,omitempty"`
+}
+
+// EvalConfig describes a per-device interference evaluation for the
+// fleet placer: the device the fleet bound jobs to (any gpu.Spec,
+// including MIG slices — not just the named v100/a100 wire devices)
+// and the resident job set. The zero values of Scheme/Horizon/Warmup/
+// Seed select Orion and the harness defaults, so a fleet evaluation
+// with equal inputs is bit-identical across processes.
+type EvalConfig struct {
+	Device  gpu.Spec
+	Scheme  Scheme
+	Jobs    []EvalJob
+	Horizon sim.Duration
+	Warmup  sim.Duration
+	Seed    int64
+}
+
+// EvalPlacement runs the resident job set of one fleet device through
+// the per-device simulator and returns the wire Summary the fleet API
+// reports for that device. All jobs run closed-loop: the fleet layer
+// asks "how do these residents interfere at saturation", not "does this
+// arrival rate meet its SLO" — the latter stays with /v1/experiments.
+func EvalPlacement(ctx context.Context, cfg EvalConfig) (*Summary, error) {
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("harness: eval placement: no jobs")
+	}
+	rc := RunConfig{
+		Scheme:  cfg.Scheme,
+		Device:  cfg.Device,
+		Horizon: cfg.Horizon,
+		Warmup:  cfg.Warmup,
+		Seed:    cfg.Seed,
+	}
+	if rc.Scheme == "" {
+		rc.Scheme = Orion
+	}
+	if !validScheme(rc.Scheme) {
+		return nil, fmt.Errorf("harness: eval placement: unknown scheme %q", rc.Scheme)
+	}
+	if rc.Horizon == 0 {
+		rc.Horizon = DefaultHorizon
+	}
+	if rc.Warmup == 0 {
+		rc.Warmup = DefaultWarmup
+	}
+	if rc.Seed == 0 {
+		rc.Seed = DefaultSeed
+	}
+	hp := 0
+	for i, ej := range cfg.Jobs {
+		m, err := workload.ByID(ej.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("harness: eval placement job %d: %w", i, err)
+		}
+		prio, err := ParsePriority(ej.Priority)
+		if err != nil {
+			return nil, fmt.Errorf("harness: eval placement job %d: %w", i, err)
+		}
+		if prio == sched.HighPriority {
+			hp++
+		}
+		rc.Jobs = append(rc.Jobs, JobSpec{Model: m, Priority: prio, Arrival: Closed})
+	}
+	// The fleet placer guarantees at most one high-priority resident per
+	// device (the Orion leaf scheduler serves exactly one HP client);
+	// catch violations here so a placement bug fails loudly instead of
+	// surfacing as an opaque Register error mid-simulation.
+	if rc.Scheme == Orion && hp > 1 {
+		return nil, fmt.Errorf("harness: eval placement: %d high-priority residents on one device (orion serves at most 1)", hp)
+	}
+	r, err := RunContext(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	return Summarize(r), nil
+}

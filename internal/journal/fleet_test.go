@@ -1,0 +1,140 @@
+package journal
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func fleetRecs() []Record {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return []Record{
+		// a: submitted and placed in one record, later evaluated.
+		{Op: OpFleetSubmit, ID: "a", Time: t0, State: "placed",
+			Config: json.RawMessage(`{"workload":"bert-inf"}`), Placement: json.RawMessage(`{"device_index":3}`)},
+		// b: pending at submit, placed later.
+		{Op: OpFleetSubmit, ID: "b", Time: t0, Config: json.RawMessage(`{"workload":"llm-inf"}`)},
+		// noise the fleet reducer must skip and vice versa.
+		{Op: OpSubmit, ID: "exp-1", Time: t0, Config: json.RawMessage(`{"scheme":"orion"}`)},
+		{Op: OpNoop},
+		{Op: OpFleetState, ID: "a", Time: t0.Add(time.Second), State: "evaluated",
+			Summary: json.RawMessage(`{"throughput":12.5}`)},
+		{Op: OpFleetState, ID: "b", Time: t0.Add(2 * time.Second), State: "placed",
+			Placement: json.RawMessage(`{"device_index":7}`)},
+		// c: placed then evicted.
+		{Op: OpFleetSubmit, ID: "c", Time: t0, State: "placed",
+			Config: json.RawMessage(`{"workload":"resnet50-inf"}`), Placement: json.RawMessage(`{"device_index":1}`)},
+		{Op: OpFleetState, ID: "c", Time: t0.Add(3 * time.Second), State: "evicted"},
+	}
+}
+
+func TestReduceFleet(t *testing.T) {
+	ims := ReduceFleet(fleetRecs())
+	if len(ims) != 3 {
+		t.Fatalf("%d fleet images, want 3", len(ims))
+	}
+	a, b, c := ims[0], ims[1], ims[2]
+	if a.ID != "a" || a.State != "evaluated" || a.Placement == nil || a.Summary == nil {
+		t.Fatalf("a = %+v", a)
+	}
+	if b.ID != "b" || b.State != "placed" || string(b.Placement) != `{"device_index":7}` {
+		t.Fatalf("b = %+v", b)
+	}
+	if c.ID != "c" || c.State != "evicted" || c.Placement != nil {
+		t.Fatalf("c = %+v (eviction must clear the binding)", c)
+	}
+	// Bind order: a was bound at record 0, b at record 5.
+	if !(a.BindSeq < b.BindSeq) || c.BindSeq != -1 {
+		t.Fatalf("bind seqs a=%d b=%d c=%d", a.BindSeq, b.BindSeq, c.BindSeq)
+	}
+}
+
+func TestReduceSkipsFleetRecords(t *testing.T) {
+	ims := Reduce(fleetRecs())
+	if len(ims) != 1 || ims[0].ID != "exp-1" {
+		t.Fatalf("experiment reduce saw fleet records: %+v", ims)
+	}
+}
+
+func TestFleetSnapshotRoundTrip(t *testing.T) {
+	orig := ReduceFleet(fleetRecs())
+	snap := FleetSnapshotRecords(orig)
+	replayed := ReduceFleet(snap)
+	if len(replayed) != len(orig) {
+		t.Fatalf("round trip lost images: %d vs %d", len(replayed), len(orig))
+	}
+	// Experiment reduce must also ignore the snapshot records.
+	if exp := Reduce(snap); len(exp) != 0 {
+		t.Fatalf("fleet snapshot leaked into experiment reduce: %+v", exp)
+	}
+	for i := range orig {
+		o, r := orig[i], replayed[i]
+		if o.ID != r.ID || o.State != r.State || string(o.Config) != string(r.Config) ||
+			string(o.Placement) != string(r.Placement) || string(o.Summary) != string(r.Summary) {
+			t.Fatalf("image %d diverged:\n orig %+v\n repl %+v", i, o, r)
+		}
+	}
+	// Relative bind order must survive the round trip.
+	bindOrder := func(ims []*FleetImage) []string {
+		type bs struct {
+			id  string
+			seq int
+		}
+		var bound []bs
+		for _, im := range ims {
+			if im.Placement != nil {
+				bound = append(bound, bs{im.ID, im.BindSeq})
+			}
+		}
+		for i := 1; i < len(bound); i++ {
+			if bound[i-1].seq > bound[i].seq {
+				bound[i-1], bound[i] = bound[i], bound[i-1]
+			}
+		}
+		ids := make([]string, len(bound))
+		for i, b := range bound {
+			ids[i] = b.id
+		}
+		return ids
+	}
+	ob, rb := bindOrder(orig), bindOrder(replayed)
+	if len(ob) != len(rb) {
+		t.Fatalf("bound counts differ: %v vs %v", ob, rb)
+	}
+	for i := range ob {
+		if ob[i] != rb[i] {
+			t.Fatalf("bind order changed: %v vs %v", ob, rb)
+		}
+	}
+}
+
+func TestFleetRecordsSurviveAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, recs, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal has %d records", len(recs))
+	}
+	for _, r := range fleetRecs() {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	ims := ReduceFleet(recs)
+	if len(ims) != 3 || ims[0].State != "evaluated" || ims[2].State != "evicted" {
+		t.Fatalf("replayed fleet images wrong: %+v", ims)
+	}
+	if string(ims[0].Placement) != `{"device_index":3}` {
+		t.Fatalf("placement did not round-trip: %s", ims[0].Placement)
+	}
+}

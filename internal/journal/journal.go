@@ -67,7 +67,19 @@ const (
 	// ignores. The server appends one to test whether the journal can
 	// accept writes again after a full-disk episode.
 	OpNoop Op = "noop"
+	// OpFleetSubmit records an accepted fleet job: the job spec (Config)
+	// and, when the job was placed synchronously, its binding
+	// (Placement). Written (and fsynced) before the server acknowledges
+	// the submission.
+	OpFleetSubmit Op = "fleet-submit"
+	// OpFleetState records a fleet job transition: placed (with
+	// Placement), evaluated (with Summary), evicted, or back to pending.
+	OpFleetState Op = "fleet-state"
 )
+
+// fleetOp reports whether the record belongs to the fleet stream, which
+// reduces separately from experiment jobs (see ReduceFleet).
+func fleetOp(op Op) bool { return op == OpFleetSubmit || op == OpFleetState }
 
 // Record is one journal entry. Config and Summary stay raw JSON so the
 // journal does not depend on the harness packages (and so replayed
@@ -82,6 +94,9 @@ type Record struct {
 	Error    string          `json:"error,omitempty"`
 	Summary  json.RawMessage `json:"summary,omitempty"`
 	Restarts int             `json:"restarts,omitempty"`
+	// Placement is a fleet job's binding (raw JSON for the same reason
+	// as Config); only fleet records carry it.
+	Placement json.RawMessage `json:"placement,omitempty"`
 }
 
 // Options tunes a Journal.
@@ -618,7 +633,7 @@ func Reduce(recs []Record) []*JobImage {
 		return im
 	}
 	for _, r := range recs {
-		if r.ID == "" {
+		if r.ID == "" || fleetOp(r.Op) {
 			continue
 		}
 		im := get(r.ID)
@@ -671,6 +686,116 @@ func SnapshotRecords(images []*JobImage) []Record {
 				Summary: im.Summary, Restarts: im.Restarts,
 			})
 		}
+	}
+	return recs
+}
+
+// --- fleet reduction --------------------------------------------------------
+
+// FleetImage is one fleet job's state as reduced from the journal.
+type FleetImage struct {
+	ID     string
+	Config json.RawMessage
+	// State is pending, placed, evaluated, or evicted.
+	State string
+	// Placement is the job's current binding (nil when pending/evicted).
+	Placement json.RawMessage
+	Summary   json.RawMessage
+	Error     string
+	Submitted time.Time
+	Updated   time.Time
+	// BindSeq orders placements by when each job's current binding was
+	// journaled; recovery rebinds in this order so per-device resident
+	// lists (and thus future preemption-victim choices) reconstruct
+	// exactly.
+	BindSeq int
+}
+
+// ReduceFleet folds the replayed stream's fleet records into per-job
+// images, in first-appearance order. Like Reduce it is idempotent and
+// duplicate-tolerant; non-fleet records are skipped.
+func ReduceFleet(recs []Record) []*FleetImage {
+	byID := map[string]*FleetImage{}
+	var order []*FleetImage
+	get := func(id string) *FleetImage {
+		im, ok := byID[id]
+		if !ok {
+			im = &FleetImage{ID: id, State: "pending", BindSeq: -1}
+			byID[id] = im
+			order = append(order, im)
+		}
+		return im
+	}
+	for seq, r := range recs {
+		if r.ID == "" || !fleetOp(r.Op) {
+			continue
+		}
+		im := get(r.ID)
+		switch r.Op {
+		case OpFleetSubmit:
+			if im.Config == nil {
+				im.Config = r.Config
+			}
+			if im.Submitted.IsZero() {
+				im.Submitted = r.Time
+			}
+			if r.State != "" {
+				im.State = r.State
+			}
+		case OpFleetState:
+			if r.State != "" {
+				im.State = r.State
+			}
+			im.Updated = r.Time
+		}
+		if r.Error != "" {
+			im.Error = r.Error
+		}
+		if r.Summary != nil {
+			im.Summary = r.Summary
+		}
+		if r.Placement != nil {
+			im.Placement = r.Placement
+			im.BindSeq = seq
+		}
+		if im.State == "pending" || im.State == "evicted" {
+			im.Placement = nil
+			im.BindSeq = -1
+		}
+	}
+	return order
+}
+
+// FleetSnapshotRecords renders fleet images back into the minimal record
+// set a compacted journal needs: every job's submit (in first-appearance
+// order, which preserves the pending queue), then one state record per
+// bound or terminal job, bound jobs ordered by BindSeq so a replay of
+// the snapshot reconstructs the same bind order.
+func FleetSnapshotRecords(images []*FleetImage) []Record {
+	var recs []Record
+	for _, im := range images {
+		recs = append(recs, Record{
+			Op: OpFleetSubmit, ID: im.ID, Time: im.Submitted, Config: im.Config,
+		})
+	}
+	bound := make([]*FleetImage, 0, len(images))
+	for _, im := range images {
+		if im.Placement != nil {
+			bound = append(bound, im)
+		} else if im.State != "pending" {
+			recs = append(recs, Record{
+				Op: OpFleetState, ID: im.ID, Time: im.Updated,
+				State: im.State, Error: im.Error, Summary: im.Summary,
+			})
+		}
+	}
+	sort.SliceStable(bound, func(a, b int) bool { return bound[a].BindSeq < bound[b].BindSeq })
+	for _, im := range bound {
+		recs = append(recs, Record{
+			Op: OpFleetState, ID: im.ID, Time: im.Updated,
+			State: im.State, Error: im.Error,
+			Summary: im.Summary, Placement: im.Placement,
+		})
 	}
 	return recs
 }

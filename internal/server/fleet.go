@@ -1,0 +1,727 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"orion/internal/fleet"
+	"orion/internal/harness"
+	"orion/internal/journal"
+	"orion/internal/sim"
+)
+
+// Fleet job lifecycle: pending → placed → evaluated, with evicted as
+// the terminal removal state (DELETE, or preemption by a high-priority
+// job — preemption victims re-enter pending). Unlike experiments these
+// are long-lived allocations, not runs: "evaluated" only means the
+// per-device interference simulation finished; the job stays bound.
+const (
+	FleetPending   = "pending"
+	FleetPlaced    = "placed"
+	FleetEvaluated = "evaluated"
+	FleetEvicted   = "evicted"
+)
+
+// maxFleetJobs bounds retained fleet job records (evicted ones are
+// recycled first, mirroring the experiment table's bounded retention).
+const maxFleetJobs = 16384
+
+// fleetJob is one job in the placement stream. Guarded by fleetAPI.mu.
+type fleetJob struct {
+	spec      fleet.JobSpec
+	specJSON  json.RawMessage
+	state     string
+	placement *fleet.Placement
+	summary   *harness.Summary
+	errMsg    string
+	// bindSeq orders successful binds fleet-wide; compaction snapshots
+	// carry it so recovery rebinds in the exact original order.
+	bindSeq   int
+	submitted time.Time
+	updated   time.Time
+}
+
+// fleetAPI is the serving layer over one fleet.Fleet: it serializes all
+// placement mutations, owns the pending queue, and memoizes per-device
+// interference evaluations. Journal appends for fleet records happen
+// under mu — the journaled bind order must equal the in-memory bind
+// order, or recovery would rebuild different resident lists.
+type fleetAPI struct {
+	mu      sync.Mutex
+	f       *fleet.Fleet
+	jobs    map[string]*fleetJob
+	order   []string
+	pending []string // job IDs awaiting capacity, FIFO
+	seq     uint64
+	binds   int
+
+	evalQ chan string
+	memo  map[string]*harness.Summary
+
+	horizon, warmup sim.Duration
+	seed            int64
+}
+
+// FleetJobStatus is the wire-level view of one fleet job.
+type FleetJobStatus struct {
+	ID          string           `json:"id"`
+	State       string           `json:"state"`
+	Workload    string           `json:"workload,omitempty"`
+	Priority    string           `json:"priority,omitempty"`
+	SubmittedAt time.Time        `json:"submitted_at"`
+	UpdatedAt   time.Time        `json:"updated_at"`
+	Placement   *fleet.Placement `json:"placement,omitempty"`
+	// Result is the per-device interference outcome: the harness summary
+	// of this job's device simulated with its full resident set.
+	Result *harness.Summary `json:"result,omitempty"`
+	// Preempted lists the best-effort jobs this submission displaced
+	// (set only in the submit response; victims re-enter the pending
+	// queue).
+	Preempted []string `json:"preempted,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// FleetStatus is the wire-level fleet snapshot.
+type FleetStatus struct {
+	Spec  string      `json:"spec"`
+	Stats fleet.Stats `json:"stats"`
+	// PlacementHash digests the current job → device bindings; the drill
+	// compares it across a crash/restart for bit-identical recovery.
+	PlacementHash string `json:"placement_hash"`
+	Pending       int    `json:"pending"`
+	Jobs          int    `json:"jobs"`
+}
+
+// fleetSubmitRequest is the POST /v1/fleet/jobs body.
+type fleetSubmitRequest struct {
+	Jobs []fleet.JobSpec `json:"jobs"`
+}
+
+func (s *Server) fleetEnabled() bool { return s.fleet != nil }
+
+// newFleetAPI builds the fleet state from the configured topology spec.
+func newFleetAPI(cfg Config) (*fleetAPI, error) {
+	topo, err := fleet.ParseSpec(cfg.FleetSpec)
+	if err != nil {
+		return nil, err
+	}
+	f, err := topo.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &fleetAPI{
+		f:       f,
+		jobs:    map[string]*fleetJob{},
+		evalQ:   make(chan string, 4096),
+		memo:    map[string]*harness.Summary{},
+		horizon: cfg.FleetEvalHorizon,
+		warmup:  cfg.FleetEvalWarmup,
+		seed:    cfg.FleetSeed,
+	}, nil
+}
+
+func (fj *fleetJob) status() FleetJobStatus {
+	return FleetJobStatus{
+		ID:          fj.spec.ID,
+		State:       fj.state,
+		Workload:    fj.spec.Workload,
+		Priority:    fj.spec.Priority,
+		SubmittedAt: fj.submitted,
+		UpdatedAt:   fj.updated,
+		Placement:   fj.placement,
+		Result:      fj.summary,
+		Error:       fj.errMsg,
+	}
+}
+
+// parseFleetSubmit strictly decodes the submission body; unknown fields
+// fail loudly like harness.ParseConfig.
+func parseFleetSubmit(r io.Reader) (fleetSubmitRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req fleetSubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		return fleetSubmitRequest{}, fmt.Errorf("fleet: decode submission: %w", err)
+	}
+	return req, nil
+}
+
+func (s *Server) handleFleetSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetEnabled() {
+		writeJSON(w, http.StatusNotFound, errorBody{"fleet placement is not enabled (start with -fleet)"})
+		return
+	}
+	if s.draining.Load() {
+		s.rejectUnavailable(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.degraded.Load() {
+		s.rejectDegraded(w)
+		return
+	}
+	req, err := parseFleetSubmit(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"fleet: submission has no jobs"})
+		return
+	}
+
+	fa := s.fleet
+	fa.mu.Lock()
+	// Validate the whole batch before admitting any of it, so a rejected
+	// batch leaves no partial state behind.
+	specs := make([]fleet.JobSpec, len(req.Jobs))
+	seen := make(map[string]bool, len(req.Jobs))
+	for i, js := range req.Jobs {
+		if js.ID == "" {
+			js.ID = fmt.Sprintf("flt-%06d", fa.seq+uint64(i)+1)
+		}
+		if js.Workload == "" {
+			fa.mu.Unlock()
+			writeJSON(w, http.StatusUnprocessableEntity,
+				errorBody{fmt.Sprintf("fleet: job %d has no workload (needed for interference evaluation)", i)})
+			return
+		}
+		if js.Demand.IsZero() {
+			d, derr := fleet.DemandFor(js.Workload)
+			if derr != nil {
+				fa.mu.Unlock()
+				writeJSON(w, http.StatusUnprocessableEntity, errorBody{derr.Error()})
+				return
+			}
+			js.Demand = d
+		}
+		if verr := js.Validate(); verr != nil {
+			fa.mu.Unlock()
+			writeJSON(w, http.StatusUnprocessableEntity, errorBody{verr.Error()})
+			return
+		}
+		if _, dup := fa.jobs[js.ID]; dup || seen[js.ID] {
+			fa.mu.Unlock()
+			writeJSON(w, http.StatusConflict, errorBody{fmt.Sprintf("fleet: job %s already exists", js.ID)})
+			return
+		}
+		seen[js.ID] = true
+		specs[i] = js
+	}
+	if len(fa.order)+len(specs) > maxFleetJobs && !fa.reclaim(len(fa.order)+len(specs)-maxFleetJobs) {
+		fa.mu.Unlock()
+		s.rejectUnavailable(w, http.StatusTooManyRequests,
+			fmt.Sprintf("fleet job table full (%d records)", maxFleetJobs))
+		return
+	}
+	fa.seq += uint64(len(specs))
+
+	out := make([]FleetJobStatus, 0, len(specs))
+	for _, js := range specs {
+		st, aerr := s.fleetAdmit(js)
+		if aerr != nil {
+			// The journal rejected the submission: everything admitted so
+			// far stands (each was individually journaled-before-acked);
+			// report the failure for this and the remaining jobs.
+			fa.mu.Unlock()
+			if derr := s.jnDegradedCheck(aerr); derr {
+				s.rejectDegraded(w)
+				return
+			}
+			writeJSON(w, http.StatusInternalServerError, errorBody{"journal append failed: " + aerr.Error()})
+			return
+		}
+		out = append(out, st)
+	}
+	s.fleetGaugesLocked()
+	fa.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, out)
+}
+
+// jnDegradedCheck routes a journal failure through degraded-mode
+// rejection when it was an out-of-space condition (noteJournalError has
+// already flipped the mode bit by the time this runs).
+func (s *Server) jnDegradedCheck(err error) bool {
+	return err != nil && s.degraded.Load()
+}
+
+// reclaim drops up to n of the oldest evicted job records to make room.
+// Callers hold fa.mu. Returns false when fewer than n could be freed.
+func (fa *fleetAPI) reclaim(n int) bool {
+	kept := fa.order[:0]
+	for _, id := range fa.order {
+		if n > 0 && fa.jobs[id].state == FleetEvicted {
+			delete(fa.jobs, id)
+			n--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	fa.order = kept
+	return n <= 0
+}
+
+// fleetAdmit journals one accepted job (journal-before-ack: a crash
+// after this point re-creates it), then runs the placement pipeline.
+// Callers hold fa.mu; the journal append happens under it deliberately,
+// so the journaled bind order always matches the in-memory bind order.
+func (s *Server) fleetAdmit(js fleet.JobSpec) (FleetJobStatus, error) {
+	fa := s.fleet
+	specJSON, err := json.Marshal(js)
+	if err != nil {
+		return FleetJobStatus{}, err
+	}
+	now := time.Now()
+	fj := &fleetJob{spec: js, specJSON: specJSON, state: FleetPending, bindSeq: -1, submitted: now, updated: now}
+	if s.jn != nil {
+		err := s.jn.Append(journal.Record{
+			Op:     journal.OpFleetSubmit,
+			ID:     js.ID,
+			Time:   now,
+			Config: specJSON,
+		})
+		if err != nil {
+			s.noteJournalError(err)
+			s.journalGauges()
+			return FleetJobStatus{}, err
+		}
+		s.journalGauges()
+	}
+	fa.jobs[js.ID] = fj
+	fa.order = append(fa.order, js.ID)
+	s.cFleetSubmitted.Inc()
+
+	st := s.fleetPlaceLocked(fj)
+	return st, nil
+}
+
+// fleetPlaceLocked runs filter → score → bind for one admitted job and
+// journals the outcome. High-priority jobs preempt best-effort
+// residents when nothing fits; victims re-enter the pending queue.
+// Callers hold fa.mu.
+func (s *Server) fleetPlaceLocked(fj *fleetJob) FleetJobStatus {
+	fa := s.fleet
+	start := time.Now()
+	p, victims, err := fa.f.PlaceOrPreempt(fj.spec)
+	s.hFleetPlace.Observe(time.Since(start).Seconds())
+	if err != nil {
+		// No capacity anywhere: the job waits in the pending queue for an
+		// eviction to free room. Any other error is a validation bug —
+		// specs were validated at admission — but is still surfaced.
+		fj.state = FleetPending
+		fj.updated = time.Now()
+		fa.pending = append(fa.pending, fj.spec.ID)
+		st := fj.status()
+		return st
+	}
+	var preempted []string
+	for _, vid := range victims {
+		s.cFleetPreempted.Inc()
+		v := fa.jobs[vid]
+		v.state = FleetPending
+		v.placement = nil
+		v.summary = nil
+		v.bindSeq = -1
+		v.updated = time.Now()
+		fa.pending = append(fa.pending, vid)
+		s.journalFleetState(vid, FleetPending, nil, nil)
+		preempted = append(preempted, vid)
+	}
+	fj.state = FleetPlaced
+	fj.placement = &p
+	fj.bindSeq = fa.binds
+	fa.binds++
+	fj.updated = time.Now()
+	s.journalFleetState(fj.spec.ID, FleetPlaced, fj.placement, nil)
+	s.fleetEnqueueEval(fj.spec.ID)
+	st := fj.status()
+	st.Preempted = preempted
+	return st
+}
+
+// fleetRetryPendingLocked re-runs placement for queued jobs, FIFO, after
+// capacity frees up. Jobs that still fit nowhere stay queued in order.
+func (s *Server) fleetRetryPendingLocked() {
+	fa := s.fleet
+	waiting := fa.pending
+	fa.pending = nil
+	for _, id := range waiting {
+		fj := fa.jobs[id]
+		if fj == nil || fj.state != FleetPending {
+			continue
+		}
+		s.fleetPlaceLocked(fj)
+	}
+}
+
+func (s *Server) handleFleetJob(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetEnabled() {
+		writeJSON(w, http.StatusNotFound, errorBody{"fleet placement is not enabled (start with -fleet)"})
+		return
+	}
+	fa := s.fleet
+	fa.mu.Lock()
+	fj := fa.jobs[r.PathValue("id")]
+	if fj == nil {
+		fa.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, errorBody{"no such fleet job"})
+		return
+	}
+	st := fj.status()
+	fa.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleFleetList(w http.ResponseWriter, _ *http.Request) {
+	if !s.fleetEnabled() {
+		writeJSON(w, http.StatusNotFound, errorBody{"fleet placement is not enabled (start with -fleet)"})
+		return
+	}
+	fa := s.fleet
+	fa.mu.Lock()
+	out := make([]FleetJobStatus, 0, len(fa.order))
+	for _, id := range fa.order {
+		st := fa.jobs[id].status()
+		st.Result = nil // keep the listing light; poll the job for results
+		out = append(out, st)
+	}
+	fa.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFleetEvict(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetEnabled() {
+		writeJSON(w, http.StatusNotFound, errorBody{"fleet placement is not enabled (start with -fleet)"})
+		return
+	}
+	fa := s.fleet
+	fa.mu.Lock()
+	fj := fa.jobs[r.PathValue("id")]
+	if fj == nil {
+		fa.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, errorBody{"no such fleet job"})
+		return
+	}
+	switch fj.state {
+	case FleetEvicted:
+		// Idempotent: evicting twice reports the same terminal state.
+	case FleetPending:
+		fj.state = FleetEvicted
+		fj.updated = time.Now()
+		s.journalFleetState(fj.spec.ID, FleetEvicted, nil, nil)
+	default:
+		if err := fa.f.Remove(fj.spec.ID); err != nil {
+			fa.mu.Unlock()
+			writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+			return
+		}
+		s.cFleetEvicted.Inc()
+		fj.state = FleetEvicted
+		fj.placement = nil
+		fj.bindSeq = -1
+		fj.updated = time.Now()
+		s.journalFleetState(fj.spec.ID, FleetEvicted, nil, nil)
+		// Freed capacity may unblock queued jobs.
+		s.fleetRetryPendingLocked()
+	}
+	s.fleetGaugesLocked()
+	st := fj.status()
+	fa.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleFleetSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if !s.fleetEnabled() {
+		writeJSON(w, http.StatusNotFound, errorBody{"fleet placement is not enabled (start with -fleet)"})
+		return
+	}
+	fa := s.fleet
+	fa.mu.Lock()
+	st := FleetStatus{
+		Spec:          s.cfg.FleetSpec,
+		Stats:         fa.f.Snapshot(),
+		PlacementHash: fa.f.HashString(),
+		Pending:       len(fa.pending),
+		Jobs:          len(fa.order),
+	}
+	fa.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// fleetGaugesLocked refreshes the fleet gauges from a fresh snapshot.
+// Callers hold fa.mu.
+func (s *Server) fleetGaugesLocked() {
+	st := s.fleet.f.Snapshot()
+	s.gFleetDevices.Set(float64(st.Allocated))
+	s.gFleetFrag.Set(st.Fragmentation)
+	s.gFleetPending.Set(float64(len(s.fleet.pending)))
+}
+
+// journalFleetState records a fleet job transition, best-effort like
+// journalState: a lost append means the transition replays after a
+// crash, and replay (re-placing a pending job, re-evaluating a device)
+// is deterministic. Callers hold fa.mu — see fleetAPI for why.
+func (s *Server) journalFleetState(id, state string, p *fleet.Placement, sum *harness.Summary) {
+	if s.jn == nil {
+		return
+	}
+	var praw, sraw json.RawMessage
+	if p != nil {
+		praw, _ = json.Marshal(p)
+	}
+	if sum != nil {
+		sraw, _ = json.Marshal(sum)
+	}
+	err := s.jn.Append(journal.Record{
+		Op:        journal.OpFleetState,
+		ID:        id,
+		Time:      time.Now(),
+		State:     state,
+		Placement: praw,
+		Summary:   sraw,
+	})
+	if err != nil {
+		s.noteJournalError(err)
+	}
+	s.journalGauges()
+}
+
+// fleetEnqueueEval queues a placed job for asynchronous interference
+// evaluation. A full queue drops the request — evaluation is advisory
+// (the binding already happened); the job simply stays "placed".
+func (s *Server) fleetEnqueueEval(id string) {
+	if s.fleet.horizon < 0 {
+		return // evaluation disabled
+	}
+	select {
+	case s.fleet.evalQ <- id:
+	default:
+	}
+}
+
+// fleetEvaluator is the single background goroutine that turns "placed"
+// into "evaluated": for each queued job it snapshots the bound device's
+// resident set, simulates it with the per-device Orion scheduler
+// (harness.EvalPlacement), and attaches the summary. Results are
+// memoized on (class, horizon, seed, resident multiset) — a fleet full
+// of repeated archetype combinations evaluates each combination once.
+func (s *Server) fleetEvaluator() {
+	defer s.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-s.quit
+		cancel()
+	}()
+	defer cancel()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case id := <-s.fleet.evalQ:
+			s.fleetEvalOne(ctx, id)
+		}
+	}
+}
+
+func (s *Server) fleetEvalOne(ctx context.Context, id string) {
+	fa := s.fleet
+	fa.mu.Lock()
+	fj := fa.jobs[id]
+	if fj == nil || fj.placement == nil {
+		fa.mu.Unlock()
+		return
+	}
+	d := fa.f.Devices()[fj.placement.DeviceIndex]
+	jobs := make([]harness.EvalJob, 0, len(d.Residents))
+	keys := make([]string, 0, len(d.Residents))
+	for _, rid := range d.Residents {
+		spec, ok := fa.f.Job(rid)
+		if !ok {
+			continue
+		}
+		jobs = append(jobs, harness.EvalJob{Workload: spec.Workload, Priority: spec.Priority})
+		keys = append(keys, spec.Workload+"/"+spec.Priority)
+	}
+	// The memo key is order-independent: two devices hosting the same
+	// class and resident multiset interfere identically regardless of
+	// bind order (client registration order does not change the
+	// simulation for a fixed seed — but sort anyway so the cache hits).
+	sort.Strings(keys)
+	memoKey := fmt.Sprintf("%s|%d|%d|%d|%s", d.Class.Name, fa.horizon, fa.warmup, fa.seed, strings.Join(keys, ","))
+	if sum, ok := fa.memo[memoKey]; ok {
+		s.fleetAttachEval(fj, d.Residents, sum, "")
+		fa.mu.Unlock()
+		return
+	}
+	deviceSpec := d.Class.Spec()
+	residents := append([]string(nil), d.Residents...)
+	fa.mu.Unlock()
+
+	sum, err := harness.EvalPlacement(ctx, harness.EvalConfig{
+		Device:  deviceSpec,
+		Jobs:    jobs,
+		Horizon: fa.horizon,
+		Warmup:  fa.warmup,
+		Seed:    fa.seed,
+	})
+	errMsg := ""
+	if err != nil {
+		if ctx.Err() != nil {
+			return // shutting down; leave the job "placed"
+		}
+		errMsg = err.Error()
+	}
+
+	fa.mu.Lock()
+	if errMsg == "" {
+		fa.memo[memoKey] = sum
+	}
+	s.fleetAttachEval(fj, residents, sum, errMsg)
+	fa.mu.Unlock()
+}
+
+// fleetAttachEval applies an evaluation outcome if the job is still
+// bound with the same resident set (a concurrent evict/preempt makes
+// the result stale — drop it; the re-placement re-enqueues). Callers
+// hold fa.mu.
+func (s *Server) fleetAttachEval(fj *fleetJob, residents []string, sum *harness.Summary, errMsg string) {
+	if fj.placement == nil || fj.state == FleetEvicted {
+		return
+	}
+	cur := s.fleet.f.Devices()[fj.placement.DeviceIndex].Residents
+	if len(cur) != len(residents) {
+		return
+	}
+	for i := range cur {
+		if cur[i] != residents[i] {
+			return
+		}
+	}
+	fj.updated = time.Now()
+	if errMsg != "" {
+		fj.errMsg = errMsg
+		return
+	}
+	fj.summary = sum
+	fj.state = FleetEvaluated
+	s.journalFleetState(fj.spec.ID, FleetEvaluated, fj.placement, sum)
+}
+
+// recoverFleet rebuilds the fleet job table and bindings from the
+// journal's reduced fleet stream. Bindings replay through Fleet.Bind in
+// BindSeq order — no re-scoring — so the recovered placement is
+// bit-identical to the pre-crash one even across policy changes.
+// Called from openJournal before the worker pool starts; no locking.
+func (s *Server) recoverFleet(images []*journal.FleetImage) {
+	fa := s.fleet
+	type bound struct {
+		fj  *fleetJob
+		p   fleet.Placement
+		seq int
+	}
+	var binds []bound
+	for _, im := range images {
+		var spec fleet.JobSpec
+		if err := json.Unmarshal(im.Config, &spec); err != nil {
+			continue // unreadable spec: drop the record, keep the daemon
+		}
+		fj := &fleetJob{
+			spec:      spec,
+			specJSON:  im.Config,
+			state:     im.State,
+			bindSeq:   -1,
+			submitted: im.Submitted,
+			updated:   im.Updated,
+			errMsg:    im.Error,
+		}
+		if im.Summary != nil {
+			var sum harness.Summary
+			if err := json.Unmarshal(im.Summary, &sum); err == nil {
+				fj.summary = &sum
+			}
+		}
+		fa.jobs[spec.ID] = fj
+		fa.order = append(fa.order, spec.ID)
+		if n := fleetSeq(spec.ID); n > fa.seq {
+			fa.seq = n
+		}
+		switch {
+		case im.Placement != nil:
+			var p fleet.Placement
+			if err := json.Unmarshal(im.Placement, &p); err != nil {
+				fj.state = FleetPending
+				fa.pending = append(fa.pending, spec.ID)
+				continue
+			}
+			binds = append(binds, bound{fj, p, im.BindSeq})
+		case im.State == FleetPending:
+			fa.pending = append(fa.pending, spec.ID)
+		}
+	}
+	sort.SliceStable(binds, func(a, b int) bool { return binds[a].seq < binds[b].seq })
+	for _, b := range binds {
+		p, err := fa.f.Bind(b.fj.spec, b.p.DeviceIndex)
+		if err != nil {
+			// A bind that no longer fits means the journal and topology
+			// disagree (changed -fleet spec, say): surface it on the job
+			// and keep starting.
+			log.Printf("orion-serve: fleet recovery: %v (job re-queued)", err)
+			b.fj.state = FleetPending
+			b.fj.errMsg = err.Error()
+			fa.pending = append(fa.pending, b.fj.spec.ID)
+			continue
+		}
+		b.fj.placement = &p
+		b.fj.bindSeq = fa.binds
+		fa.binds++
+		if b.fj.state != FleetEvaluated || b.fj.summary == nil {
+			b.fj.state = FleetPlaced
+			s.fleetEnqueueEval(b.fj.spec.ID)
+		}
+	}
+	s.fleetGaugesLocked()
+}
+
+// fleetImages snapshots the live fleet job table for compaction.
+// Callers hold fa.mu (or run before the server starts serving).
+func (s *Server) fleetImages() []*journal.FleetImage {
+	fa := s.fleet
+	images := make([]*journal.FleetImage, 0, len(fa.order))
+	for _, id := range fa.order {
+		fj := fa.jobs[id]
+		im := &journal.FleetImage{
+			ID:        id,
+			Config:    fj.specJSON,
+			State:     fj.state,
+			Error:     fj.errMsg,
+			Submitted: fj.submitted,
+			Updated:   fj.updated,
+			BindSeq:   fj.bindSeq,
+		}
+		if fj.placement != nil {
+			im.Placement, _ = json.Marshal(fj.placement)
+		}
+		if fj.summary != nil {
+			im.Summary, _ = json.Marshal(fj.summary)
+		}
+		images = append(images, im)
+	}
+	return images
+}
+
+// fleetSeq extracts the numeric suffix of a server-assigned "flt-%06d"
+// id (0 for client-supplied ids).
+func fleetSeq(id string) uint64 {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "flt-%06d", &n); err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,373 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"orion/internal/fleet"
+	"orion/internal/sim"
+)
+
+// tinyFleetSpec is a 2-device single-node fleet: small enough that
+// capacity tests can fill it deliberately.
+const tinyFleetSpec = "zones=1,racks=1,nodes=1,gpus=2,mix=v100:1,seed=1"
+
+func fleetConfig(journalDir string) Config {
+	return Config{
+		JournalDir: journalDir,
+		FleetSpec:  tinyFleetSpec,
+		// Evaluation is exercised by TestFleetEvaluation; the other tests
+		// disable it so placement assertions don't race state changes.
+		FleetEvalHorizon: -1,
+	}
+}
+
+func postFleetJobs(t *testing.T, ts *httptest.Server, jobs []fleet.JobSpec) ([]FleetJobStatus, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"jobs": jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/fleet/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []FleetJobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp
+}
+
+func getFleetJob(t *testing.T, ts *httptest.Server, id string) FleetJobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/fleet/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET fleet job %s = %d", id, resp.StatusCode)
+	}
+	var st FleetJobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getFleetStatus(t *testing.T, ts *httptest.Server) FleetStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/fleet = %d", resp.StatusCode)
+	}
+	var st FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestFleetDisabledAnswers404(t *testing.T) {
+	s := mustNew(t, Config{})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/fleet"},
+		{http.MethodGet, "/v1/fleet/jobs"},
+		{http.MethodGet, "/v1/fleet/jobs/x"},
+		{http.MethodPost, "/v1/fleet/jobs"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, bytes.NewReader([]byte("{}")))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s = %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestFleetSubmitPlacesAndSnapshots(t *testing.T) {
+	s := mustNew(t, fleetConfig(""))
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	jobs := []fleet.JobSpec{
+		{Workload: "resnet50-inf", MemoryBytes: 4 << 30},
+		{Workload: "bert-inf", MemoryBytes: 4 << 30},
+	}
+	out, resp := postFleetJobs(t, ts, jobs)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	if len(out) != 2 {
+		t.Fatalf("submit returned %d statuses", len(out))
+	}
+	for _, st := range out {
+		if st.State != FleetPlaced || st.Placement == nil {
+			t.Fatalf("job %s: state %s, placement %v", st.ID, st.State, st.Placement)
+		}
+		// The demand vector was derived from the workload profile
+		// server-side; the binding must carry a concrete device.
+		if st.Placement.Device == "" || st.Placement.Class == "" {
+			t.Fatalf("job %s: empty binding %+v", st.ID, st.Placement)
+		}
+	}
+
+	fs := getFleetStatus(t, ts)
+	if fs.Stats.JobsPlaced != 2 || fs.Jobs != 2 || fs.Pending != 0 {
+		t.Fatalf("snapshot = %+v", fs)
+	}
+	if fs.PlacementHash == "" || fs.PlacementHash == "0000000000000000" {
+		t.Fatalf("placement hash missing: %q", fs.PlacementHash)
+	}
+	if fs.Spec != tinyFleetSpec {
+		t.Fatalf("spec = %q", fs.Spec)
+	}
+
+	if got := getFleetJob(t, ts, out[0].ID); got.State != FleetPlaced {
+		t.Fatalf("GET job state = %s", got.State)
+	}
+}
+
+func TestFleetRejectsBadSubmissions(t *testing.T) {
+	s := mustNew(t, fleetConfig(""))
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Unknown workload (demand underivable).
+	_, resp := postFleetJobs(t, ts, []fleet.JobSpec{{Workload: "no-such-model", MemoryBytes: 1 << 30}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown workload = %d, want 422", resp.StatusCode)
+	}
+	// No demand at all.
+	_, resp = postFleetJobs(t, ts, []fleet.JobSpec{{ID: "x", MemoryBytes: 1 << 30}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("zero demand = %d, want 422", resp.StatusCode)
+	}
+	// Duplicate IDs within one batch.
+	dup := fleet.JobSpec{ID: "same", Workload: "resnet50-inf", MemoryBytes: 1 << 30}
+	_, resp = postFleetJobs(t, ts, []fleet.JobSpec{dup, dup})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("in-batch duplicate = %d, want 409", resp.StatusCode)
+	}
+	// Duplicate of an existing job.
+	if _, resp = postFleetJobs(t, ts, []fleet.JobSpec{dup}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", resp.StatusCode)
+	}
+	if _, resp = postFleetJobs(t, ts, []fleet.JobSpec{dup}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cross-batch duplicate = %d, want 409", resp.StatusCode)
+	}
+	// Unknown fields fail loudly.
+	resp2, err := http.Post(ts.URL+"/v1/fleet/jobs", "application/json",
+		bytes.NewReader([]byte(`{"jobs":[],"typo":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field = %d, want 400", resp2.StatusCode)
+	}
+}
+
+func TestFleetEvictFreesCapacityForPending(t *testing.T) {
+	s := mustNew(t, fleetConfig(""))
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Two devices, one near-full job each; the third waits.
+	big := fleet.ClassV100().MemoryBytes - (1 << 30)
+	mk := func(id string) fleet.JobSpec {
+		return fleet.JobSpec{ID: id, Workload: "resnet50-inf", MemoryBytes: big}
+	}
+	out, resp := postFleetJobs(t, ts, []fleet.JobSpec{mk("a"), mk("b"), mk("c")})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	if out[0].State != FleetPlaced || out[1].State != FleetPlaced || out[2].State != FleetPending {
+		t.Fatalf("states = %s/%s/%s", out[0].State, out[1].State, out[2].State)
+	}
+	if fs := getFleetStatus(t, ts); fs.Pending != 1 {
+		t.Fatalf("pending = %d", fs.Pending)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fleet/jobs/a", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("evict = %d", dresp.StatusCode)
+	}
+	if st := getFleetJob(t, ts, "a"); st.State != FleetEvicted {
+		t.Fatalf("a = %s", st.State)
+	}
+	// The freed device immediately hosts the queued job.
+	if st := getFleetJob(t, ts, "c"); st.State != FleetPlaced {
+		t.Fatalf("c = %s after eviction", st.State)
+	}
+	if fs := getFleetStatus(t, ts); fs.Pending != 0 || fs.Stats.JobsPlaced != 2 {
+		t.Fatalf("post-evict snapshot = %+v", fs)
+	}
+}
+
+func TestFleetHighPriorityPreempts(t *testing.T) {
+	s := mustNew(t, fleetConfig(""))
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big := fleet.ClassV100().MemoryBytes - (1 << 30)
+	out, resp := postFleetJobs(t, ts, []fleet.JobSpec{
+		{ID: "be-0", Workload: "resnet50-inf", MemoryBytes: big},
+		{ID: "be-1", Workload: "resnet50-inf", MemoryBytes: big},
+	})
+	if resp.StatusCode != http.StatusAccepted || out[0].State != FleetPlaced || out[1].State != FleetPlaced {
+		t.Fatalf("setup failed: %d %+v", resp.StatusCode, out)
+	}
+
+	hp, resp := postFleetJobs(t, ts, []fleet.JobSpec{
+		{ID: "hp-0", Workload: "bert-inf", Priority: "hp", MemoryBytes: big},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("hp submit = %d", resp.StatusCode)
+	}
+	if hp[0].State != FleetPlaced || len(hp[0].Preempted) != 1 {
+		t.Fatalf("hp outcome = %+v", hp[0])
+	}
+	victim := getFleetJob(t, ts, hp[0].Preempted[0])
+	if victim.State != FleetPending || victim.Placement != nil {
+		t.Fatalf("victim = %+v", victim)
+	}
+	if fs := getFleetStatus(t, ts); fs.Stats.Preemptions != 1 || fs.Pending != 1 {
+		t.Fatalf("snapshot = %+v", fs)
+	}
+}
+
+func TestFleetEvaluation(t *testing.T) {
+	s := mustNew(t, Config{
+		FleetSpec:        tinyFleetSpec,
+		FleetEvalHorizon: 1 * sim.Second,
+		FleetEvalWarmup:  250 * sim.Millisecond,
+	})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out, resp := postFleetJobs(t, ts, []fleet.JobSpec{
+		{ID: "e-0", Workload: "resnet50-inf", Priority: "hp", MemoryBytes: 2 << 30},
+		{ID: "e-1", Workload: "mobilenetv2-inf", MemoryBytes: 2 << 30},
+	})
+	if resp.StatusCode != http.StatusAccepted || len(out) != 2 {
+		t.Fatalf("submit = %d %v", resp.StatusCode, out)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range []string{"e-0", "e-1"} {
+		for {
+			st := getFleetJob(t, ts, id)
+			if st.State == FleetEvaluated {
+				if st.Result == nil || len(st.Result.Jobs) == 0 {
+					t.Fatalf("%s evaluated without a summary: %+v", id, st)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never evaluated (state %s, err %q)", id, st.State, st.Error)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}
+
+func TestFleetRecoveryBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNew(t, fleetConfig(dir))
+	ts := httptest.NewServer(s.Handler())
+
+	var jobs []fleet.JobSpec
+	wls := []string{"resnet50-inf", "bert-inf", "mobilenetv2-inf", "transformer-inf"}
+	for i := 0; i < 24; i++ {
+		js := fleet.JobSpec{
+			Workload:    wls[i%len(wls)],
+			MemoryBytes: int64(2+i%4) << 30,
+		}
+		if i%5 == 0 {
+			js.Priority = "hp"
+		}
+		jobs = append(jobs, js)
+	}
+	if _, resp := postFleetJobs(t, ts, jobs); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	before := getFleetStatus(t, ts)
+	// Evict one so the evicted state must round-trip too.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fleet/jobs/flt-000003", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	after := getFleetStatus(t, ts)
+
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustNew(t, fleetConfig(dir))
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	got := getFleetStatus(t, ts2)
+	if got.PlacementHash != after.PlacementHash {
+		t.Fatalf("recovered hash %s, want %s", got.PlacementHash, after.PlacementHash)
+	}
+	if got.PlacementHash == before.PlacementHash {
+		t.Fatal("eviction did not change the hash; recovery assertion is vacuous")
+	}
+	if got.Stats.JobsPlaced != after.Stats.JobsPlaced || got.Pending != after.Pending || got.Jobs != after.Jobs {
+		t.Fatalf("recovered snapshot %+v, want %+v", got, after)
+	}
+	if st := getFleetJob(t, ts2, "flt-000003"); st.State != FleetEvicted {
+		t.Fatalf("evicted job recovered as %s", st.State)
+	}
+	// Per-device resident lists must reconstruct in bind order, so the
+	// recovered fleet makes the same future decisions: compare the full
+	// resident layout, not just the hash.
+	layout := func(srv *Server) string {
+		srv.fleet.mu.Lock()
+		defer srv.fleet.mu.Unlock()
+		var b bytes.Buffer
+		for _, d := range srv.fleet.f.Devices() {
+			fmt.Fprintf(&b, "%d:%v;", d.Index, d.Residents)
+		}
+		return b.String()
+	}
+	if l1, l2 := layout(s), layout(s2); l1 != l2 {
+		t.Fatalf("resident layout diverged:\n pre %s\npost %s", l1, l2)
+	}
+}

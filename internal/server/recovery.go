@@ -123,10 +123,22 @@ func (s *Server) openJournal() ([]*job, error) {
 		}
 	}
 
+	// Fleet jobs replay from their own record stream: bindings re-apply
+	// through Fleet.Bind in journaled bind order, no re-scoring. With the
+	// fleet disabled the records still survive compaction below, so
+	// restarting without -fleet does not destroy acknowledged placements.
+	fleetImages := journal.ReduceFleet(recs)
+	if s.fleet != nil {
+		s.recoverFleet(fleetImages)
+		fleetImages = s.fleetImages()
+	}
+
 	// Compact on open: the replayed history (including the restart bumps
 	// applied above) collapses to one snapshot, so journal size stays
 	// proportional to the job table, not to uptime.
-	if err := jn.Compact(journal.SnapshotRecords(images)); err != nil {
+	snap := journal.SnapshotRecords(images)
+	snap = append(snap, journal.FleetSnapshotRecords(fleetImages)...)
+	if err := jn.Compact(snap); err != nil {
 		return nil, err
 	}
 	s.gJournalBytes.Set(float64(jn.SizeBytes()))
@@ -280,7 +292,13 @@ func (s *Server) compactNow() {
 	}
 	s.mu.Unlock()
 
-	if err := s.jn.Compact(journal.SnapshotRecords(images)); err != nil {
+	snap := journal.SnapshotRecords(images)
+	if s.fleet != nil {
+		s.fleet.mu.Lock()
+		snap = append(snap, journal.FleetSnapshotRecords(s.fleetImages())...)
+		s.fleet.mu.Unlock()
+	}
+	if err := s.jn.Compact(snap); err != nil {
 		s.noteJournalError(err)
 	}
 	s.journalGauges()

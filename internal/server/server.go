@@ -40,6 +40,7 @@ import (
 	"orion/internal/harness"
 	"orion/internal/journal"
 	"orion/internal/metrics"
+	"orion/internal/sim"
 )
 
 // Config tunes the control plane.
@@ -85,6 +86,20 @@ type Config struct {
 	// DegradedProbe is how often a durability-degraded server probes the
 	// journal for recovered disk space (default 1s).
 	DegradedProbe time.Duration
+	// FleetSpec, when non-empty, enables the cluster-scale placement
+	// subsystem over the simulated fleet it describes (fleet.ParseSpec
+	// syntax, e.g. "zones=2,racks=4,nodes=16,gpus=8,mix=a100:1+v100:1").
+	// The /v1/fleet API places a stream of jobs onto the fleet with the
+	// interference-aware filter → score → bind pipeline; each per-device
+	// Orion scheduler is the leaf of the resulting two-level scheduler.
+	FleetSpec string
+	// FleetEvalHorizon/FleetEvalWarmup bound each per-device interference
+	// evaluation (defaults 2s / 500ms simulated). A negative horizon
+	// disables evaluation: placements stop at state "placed".
+	FleetEvalHorizon sim.Duration
+	FleetEvalWarmup  sim.Duration
+	// FleetSeed drives the per-device evaluations (default harness seed).
+	FleetSeed int64
 
 	// testBlock mirrors Server.testBlock but is installed before the
 	// worker pool starts — the only race-free way to pin workers on a
@@ -116,6 +131,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DegradedProbe <= 0 {
 		c.DegradedProbe = time.Second
+	}
+	if c.FleetEvalHorizon == 0 {
+		c.FleetEvalHorizon = 2 * sim.Second
+	}
+	if c.FleetEvalWarmup == 0 {
+		c.FleetEvalWarmup = sim.Second / 2
+	}
+	if c.FleetSeed == 0 {
+		c.FleetSeed = harness.DefaultSeed
 	}
 	return c
 }
@@ -173,6 +197,18 @@ type Server struct {
 	gCkptBytes    *metrics.Gauge
 	hCkptWrite    *metrics.Histogram
 
+	// fleet is non-nil when Config.FleetSpec enables the cluster-scale
+	// placement subsystem; its metrics register unconditionally so the
+	// series exist (at zero) even on fleet-less daemons.
+	fleet           *fleetAPI
+	hFleetPlace     *metrics.Histogram
+	gFleetDevices   *metrics.Gauge
+	gFleetFrag      *metrics.Gauge
+	gFleetPending   *metrics.Gauge
+	cFleetSubmitted *metrics.Counter
+	cFleetEvicted   *metrics.Counter
+	cFleetPreempted *metrics.Counter
+
 	// testBlock, when non-nil, parks every worker after it marks its job
 	// running until the channel closes — lets tests pin the pool in a
 	// known state without timing games. Never set outside tests.
@@ -225,6 +261,21 @@ func New(cfg Config) (*Server, error) {
 		hCkptWrite: reg.Histogram("orion_serve_checkpoint_write_seconds",
 			"Wall-clock cost of persisting one experiment checkpoint.",
 			[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1}, nil),
+		hFleetPlace: reg.Histogram("orion_serve_fleet_placement_seconds",
+			"Wall-clock cost of one fleet placement decision (filter + score + bind).",
+			[]float64{1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2}, nil),
+		gFleetDevices: reg.Gauge("orion_serve_fleet_devices_allocated",
+			"Fleet devices hosting at least one placed job.", nil),
+		gFleetFrag: reg.Gauge("orion_serve_fleet_fragmentation_score",
+			"Mean per-device fragmentation score across the healthy fleet (0 = perfectly packable).", nil),
+		gFleetPending: reg.Gauge("orion_serve_fleet_jobs_pending",
+			"Fleet jobs admitted but waiting for capacity.", nil),
+		cFleetSubmitted: reg.Counter("orion_serve_fleet_jobs_submitted_total",
+			"Fleet jobs accepted onto the placement stream.", nil),
+		cFleetEvicted: reg.Counter("orion_serve_fleet_evictions_total",
+			"Fleet jobs evicted via the API.", nil),
+		cFleetPreempted: reg.Counter("orion_serve_fleet_preemptions_total",
+			"Best-effort fleet jobs preempted by high-priority placements.", nil),
 		testBlock: cfg.testBlock,
 	}
 	reg.Gauge("orion_serve_workers", "Worker pool size.", nil).Set(float64(cfg.Workers))
@@ -232,6 +283,16 @@ func New(cfg Config) (*Server, error) {
 	// the first scrape instead of series appearing over time.
 	for _, st := range []State{StateDone, StateFailed, StateCanceled} {
 		s.cJobs(st)
+	}
+
+	// The fleet must exist before journal replay: recovery rebinds
+	// journaled placements onto it.
+	if cfg.FleetSpec != "" {
+		fa, err := newFleetAPI(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.fleet = fa
 	}
 
 	var runnable []*job
@@ -256,6 +317,10 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.fleet != nil && cfg.FleetEvalHorizon >= 0 {
+		s.wg.Add(1)
+		go s.fleetEvaluator()
+	}
 	return s, nil
 }
 
@@ -271,6 +336,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/experiments/{id}/resume", s.handleResume)
+	mux.HandleFunc("POST /v1/fleet/jobs", s.handleFleetSubmit)
+	mux.HandleFunc("GET /v1/fleet/jobs", s.handleFleetList)
+	mux.HandleFunc("GET /v1/fleet/jobs/{id}", s.handleFleetJob)
+	mux.HandleFunc("DELETE /v1/fleet/jobs/{id}", s.handleFleetEvict)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleetSnapshot)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)

@@ -272,6 +272,12 @@ func TestHealthAndMetricsEndpoints(t *testing.T) {
 		"orion_serve_recovered_jobs_total",
 		"orion_serve_journal_bytes",
 		"orion_serve_worker_panics_total",
+		"orion_serve_fleet_placement_seconds",
+		"orion_serve_fleet_devices_allocated",
+		"orion_serve_fleet_fragmentation_score",
+		"orion_serve_fleet_jobs_pending",
+		"orion_serve_fleet_evictions_total",
+		"orion_serve_fleet_preemptions_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
