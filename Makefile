@@ -1,6 +1,6 @@
 # Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, and
 # the full test suite under the race detector.
-.PHONY: check fmt vet build test bench bench-json bench-compare chaos chaos-resume torture fleet-drill
+.PHONY: check fmt vet build test bench bench-json bench-compare chaos chaos-resume torture fleet-drill fleet-chaos
 
 check: fmt vet build test
 
@@ -55,20 +55,32 @@ bench:
 fleet-drill:
 	go test -race -tags fleetdrill -run TestFleetDrillCrashRecovery -v -timeout 600s .
 
+# Failure-dynamics drill: boots a real orion-serve with -fleet and a
+# bounded -fleet-chaos-profile, arms the failure storm, SIGKILLs the
+# daemon while devices are down and jobs are mid-re-placement, restarts
+# it, and asserts the recovered storm finishes on the exact pre-crash
+# schedule — quiesced device health, per-job outcomes, and the placement
+# hash all bit-identical to an uninterrupted reference run. Set
+# CHAOS_ARTIFACT_DIR to keep the journals + daemon logs on failure.
+fleet-chaos:
+	go test -race -tags fleetchaos -run TestFleetChaosDrillKillMidStorm -v -timeout 600s .
+
 # Regenerate the committed benchmark baseline (quick -short sweeps, so it
 # finishes in CI time). Later PRs diff their own run against this file
 # for a performance trajectory. BENCH_PR2.json is the pre-optimization
-# snapshot and BENCH_PR4.json the pre-fleet one; both stay committed for
-# the before/after record.
+# snapshot, BENCH_PR4.json the pre-fleet one, and BENCH_PR7.json the
+# pre-failure-dynamics one; all stay committed for the before/after
+# record.
 bench-json:
-	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > BENCH_PR7.json
+	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > BENCH_PR8.json
 
 # Regression gate: rerun the bench sweep and diff it against the committed
 # baseline. B/op and allocs/op are deterministic and gate at 10%; ns/op is
 # noisy on shared machines (single-shot runs wobble by tens of percent)
 # and only fails past a 2× slowdown. The fleet placer additionally carries
-# an absolute throughput floor: 10k placement decisions/s on the 1k-device
-# topology, independent of what the committed baseline drifted to.
+# absolute throughput floors, independent of what the committed baseline
+# drifted to: 10k placement decisions/s and 2k failure-recovery
+# re-placements/s on the 1k-device topology.
 bench-compare:
 	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > /tmp/bench-new.json
-	go run ./cmd/bench-json -compare -floor 'FleetPlacement:decisions/s:10000' BENCH_PR7.json /tmp/bench-new.json
+	go run ./cmd/bench-json -compare -floor 'FleetPlacement:decisions/s:10000;FleetReplacement:replaced/s:2000' BENCH_PR8.json /tmp/bench-new.json

@@ -62,6 +62,23 @@
 //	}'
 //	curl -s localhost:8080/v1/fleet/jobs/flt-000001   # placement + interference outcome
 //	curl -s localhost:8080/v1/fleet                   # utilization / fragmentation / hash
+//
+// -fleet-chaos-profile (with -fleet) configures a seeded, deterministic
+// failure process over the fleet: per-class device MTBF/MTTR draws plus
+// correlated node- and rack-level events drive each device through the
+// Healthy → Suspect → Down → Recovering state machine, displacing
+// residents of Down devices back into the pending queue for re-placement
+// (HP first, exponential backoff, terminal "failed" past the re-place
+// deadline). The process is idle until armed, and every transition is
+// journaled so a crashed daemon recovers the failure history exactly:
+//
+//	orion-serve -fleet 'zones=2,racks=4,nodes=16,gpus=8,mix=a100:1+v100:2,seed=7' \
+//	  -fleet-chaos-profile 'mtbf=2000,mttr=12,pnode=8,prack=2,deadline=40,steps=250,seed=9'
+//
+//	curl -s -X POST localhost:8080/v1/fleet/chaos/start          # arm the storm
+//	curl -s localhost:8080/v1/fleet/chaos                        # step / event counts
+//	curl -s localhost:8080/v1/fleet/devices                      # per-device health
+//	curl -s -X POST localhost:8080/v1/fleet/devices/3/drain      # cordon + displace
 package main
 
 import (
@@ -96,6 +113,8 @@ func main() {
 	fleetSpec := flag.String("fleet", "", "enable the fleet placement subsystem over this topology, e.g. 'zones=2,racks=4,nodes=16,gpus=8,mix=a100:1+v100:2,seed=7' (empty = disabled)")
 	fleetEvalHorizon := flag.Duration("fleet-eval-horizon", 0, "simulated horizon per fleet interference evaluation (0 = default 2s, negative = disable evaluation)")
 	fleetSeed := flag.Int64("fleet-seed", 0, "seed for fleet interference evaluations (0 = harness default)")
+	fleetChaosProfile := flag.String("fleet-chaos-profile", "", "deterministic fleet failure process, e.g. 'mtbf=500,mttr=25,pnode=10,prack=2,deadline=60,seed=1' (needs -fleet; armed via POST /v1/fleet/chaos/start)")
+	fleetChaosTick := flag.Duration("fleet-chaos-tick", 0, "wall-clock interval between fleet failure-process steps (0 = default 250ms)")
 	flag.Parse()
 
 	var fsys errfs.FS
@@ -109,18 +128,20 @@ func main() {
 	}
 
 	s, err := server.New(server.Config{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		MaxJobs:          *maxJobs,
-		RetryAfter:       *retry,
-		JournalDir:       *journalDir,
-		JobDeadline:      *jobDeadline,
-		CheckpointStride: *ckptStride,
-		FS:               fsys,
-		DegradedProbe:    *degradedProbe,
-		FleetSpec:        *fleetSpec,
-		FleetEvalHorizon: sim.Duration(*fleetEvalHorizon),
-		FleetSeed:        *fleetSeed,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		MaxJobs:           *maxJobs,
+		RetryAfter:        *retry,
+		JournalDir:        *journalDir,
+		JobDeadline:       *jobDeadline,
+		CheckpointStride:  *ckptStride,
+		FS:                fsys,
+		DegradedProbe:     *degradedProbe,
+		FleetSpec:         *fleetSpec,
+		FleetEvalHorizon:  sim.Duration(*fleetEvalHorizon),
+		FleetSeed:         *fleetSeed,
+		FleetChaosProfile: *fleetChaosProfile,
+		FleetChaosTick:    *fleetChaosTick,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,4 +1,4 @@
-//go:build chaos || torture || fleetdrill
+//go:build chaos || torture || fleetdrill || fleetchaos
 
 package orion_test
 

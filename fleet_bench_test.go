@@ -49,3 +49,77 @@ func BenchmarkFleetPlacement(b *testing.B) {
 	b.ReportMetric(float64(b.N*len(jobs))/b.Elapsed().Seconds(), "decisions/s")
 	b.ReportMetric(float64(placed), "jobs-placed")
 }
+
+// BenchmarkFleetReplacement measures the failure-recovery path on the
+// same 1k-device fleet: take a whole rack Down (displacing its
+// residents) and re-place the displaced jobs through the scored
+// pipeline. Each iteration fails a different rack and heals it
+// afterwards, so capacity stays available across iterations. The
+// headline replaced/s metric carries an absolute floor in the CI gate
+// (`make bench-compare` passes -floor 'FleetReplacement:replaced/s:2000').
+func BenchmarkFleetReplacement(b *testing.B) {
+	topo, err := fleet.ParseSpec(benchFleetSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := topo.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := fleet.SyntheticStream(2000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := f.PlaceBatch(jobs); err != nil {
+		b.Fatal(err)
+	}
+
+	// Group device indexes by rack once, outside the timed region.
+	racks := map[[2]int][]int{}
+	var rackKeys [][2]int
+	for _, d := range f.Devices() {
+		k := [2]int{d.Zone, d.Rack}
+		if racks[k] == nil {
+			rackKeys = append(rackKeys, k)
+		}
+		racks[k] = append(racks[k], d.Index)
+	}
+
+	var tick int64
+	var replaced, displaced int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		devs := racks[rackKeys[i%len(rackKeys)]]
+		tick++
+		var pending []fleet.JobSpec
+		for _, idx := range devs {
+			specs, err := f.ApplyHealth(idx, fleet.HealthDown, tick)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pending = append(pending, specs...)
+		}
+		displaced += len(pending)
+		for _, spec := range pending {
+			if _, err := f.Place(spec); err == nil {
+				replaced++
+			}
+		}
+		b.StopTimer()
+		// Heal the rack so the next iteration has full capacity; the
+		// repair is recovery bookkeeping, not the measured path.
+		tick++
+		for _, idx := range devs {
+			if _, err := f.ApplyHealth(idx, fleet.HealthHealthy, tick); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if displaced == 0 {
+		b.Fatal("rack failure displaced nothing; the initial placement or topology is broken")
+	}
+	b.ReportMetric(float64(replaced)/b.Elapsed().Seconds(), "replaced/s")
+	b.ReportMetric(float64(displaced)/float64(b.N), "displaced/op")
+}

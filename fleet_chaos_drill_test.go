@@ -1,0 +1,217 @@
+//go:build fleetchaos
+
+package orion_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"orion/internal/client"
+	"orion/internal/fleet"
+	"orion/internal/server"
+)
+
+// TestFleetChaosDrillKillMidStorm is the failure-dynamics drill against
+// a real orion-serve process: boot with -fleet and a bounded
+// -fleet-chaos-profile, submit a job stream, arm the failure storm, and
+// SIGKILL the daemon while devices are going down and jobs are being
+// displaced and re-placed. The restarted daemon must resume the storm
+// from its journal (arming, device health, failure clock, pending
+// bookkeeping) and finish it on the exact pre-crash schedule: its
+// quiesced end state is compared field-for-field against a reference
+// daemon that ran the identical storm without interruption — same
+// per-device health and residents, same per-job outcome, same
+// fleet-wide placement hash, same failure-clock step.
+//
+// Build-tagged `fleetchaos` (run via `make fleet-chaos`): it SIGKILLs
+// real processes. On failure the journal directories and daemon logs
+// are copied to $CHAOS_ARTIFACT_DIR (if set).
+func TestFleetChaosDrillKillMidStorm(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	work := t.TempDir()
+	bin := filepath.Join(work, "orion-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/orion-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build orion-serve: %v\n%s", err, out)
+	}
+
+	// 16 devices in 2 racks so node- and rack-correlated failures both
+	// fire; the storm is bounded at 100 steps so both runs quiesce at the
+	// same failure-clock step. 25ms per step keeps the storm long enough
+	// (~2.5s) to kill the daemon genuinely mid-displacement.
+	const (
+		fleetSpec    = "zones=1,racks=2,nodes=4,gpus=2,mix=v100:1,seed=3"
+		chaosProfile = "mtbf=40,mttr=8,suspect=1,probation=3,pnode=20,prack=5,deadline=16,backoff=4,steps=100,seed=5"
+		chaosTick    = "25ms"
+		killAtStep   = 35
+	)
+
+	stream, err := fleet.SyntheticStream(24, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range stream {
+		stream[i].ID = fmt.Sprintf("storm-%03d", i)
+	}
+
+	// worldState digests everything the storm must leave behind. Job
+	// errors and attempt counts are excluded: a crash window legitimately
+	// loses an attempt-counter append, and the deadline message embeds it.
+	worldState := func(c *client.Client) string {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		var b strings.Builder
+		devs, err := c.FleetDevices(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range devs {
+			fmt.Fprintf(&b, "dev%d health=%s cordoned=%v residents=%v\n", d.Index, d.Health, d.Cordoned, d.Residents)
+		}
+		snap, err := c.FleetSnapshot(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "hash=%s pending=%d\n", snap.PlacementHash, snap.Pending)
+		for _, js := range stream {
+			st, err := c.FleetJob(ctx, js.ID)
+			if err != nil {
+				t.Fatalf("read back %s: %v", js.ID, err)
+			}
+			p, _ := json.Marshal(st.Placement)
+			fmt.Fprintf(&b, "job %s state=%s placement=%s\n", js.ID, st.State, p)
+		}
+		cst, err := c.FleetChaosStatus(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "chaos step=%d events=%d exhausted=%v\n", cst.Step, cst.Events, cst.Exhausted)
+		return b.String()
+	}
+
+	awaitStep := func(c *client.Client, cond func(server.FleetChaosStatus) bool, what string) {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		for {
+			cst, err := c.FleetChaosStatus(ctx)
+			if err != nil {
+				t.Fatalf("chaos status while awaiting %s: %v", what, err)
+			}
+			if cond(cst) {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				t.Fatalf("storm never reached %s: %+v", what, cst)
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+
+	// run executes one full storm and returns its quiesced world state.
+	// When interrupt is true the daemon is SIGKILLed mid-storm and
+	// restarted against the same journal.
+	run := func(label string, interrupt bool) string {
+		journalDir := filepath.Join(work, label, "journal")
+		logPath := filepath.Join(work, label, "orion-serve.log")
+		if err := os.MkdirAll(filepath.Dir(logPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if t.Failed() {
+				saveArtifacts(t, journalDir, logPath)
+			}
+		}()
+
+		addr := freeAddr(t)
+		base := "http://" + addr
+		c := client.New(base, client.Options{
+			Timeout:     5 * time.Second,
+			MaxAttempts: 8,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    2 * time.Second,
+		})
+		start := func() *exec.Cmd {
+			logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmd := exec.Command(bin,
+				"-addr", addr,
+				"-journal-dir", journalDir,
+				"-fleet", fleetSpec,
+				"-fleet-eval-horizon", "-1s",
+				"-fleet-chaos-profile", chaosProfile,
+				"-fleet-chaos-tick", chaosTick,
+			)
+			cmd.Stdout = logf
+			cmd.Stderr = logf
+			if err := cmd.Start(); err != nil {
+				t.Fatalf("start orion-serve: %v", err)
+			}
+			logf.Close()
+			waitReady(t, base)
+			return cmd
+		}
+
+		cmd := start()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if _, err := c.SubmitFleetJobs(ctx, stream); err != nil {
+			t.Fatalf("%s: submit: %v", label, err)
+		}
+		cancel()
+		ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+		cst, err := c.FleetChaosStart(ctx)
+		cancel()
+		if err != nil || !cst.Armed {
+			t.Fatalf("%s: arm storm: %v %+v", label, err, cst)
+		}
+
+		if interrupt {
+			awaitStep(c, func(st server.FleetChaosStatus) bool { return st.Step >= killAtStep }, fmt.Sprintf("step %d", killAtStep))
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatalf("SIGKILL: %v", err)
+			}
+			_ = cmd.Wait()
+			cmd = start()
+			ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+			cst, err = c.FleetChaosStatus(ctx)
+			cancel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cst.Armed {
+				t.Fatalf("recovered daemon lost the armed storm: %+v", cst)
+			}
+			t.Logf("%s: killed at step >= %d, recovered at step %d", label, killAtStep, cst.Step)
+		}
+
+		awaitStep(c, func(st server.FleetChaosStatus) bool { return st.Exhausted }, "exhaustion")
+		world := worldState(c)
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("SIGTERM: %v", err)
+		}
+		waitExit(t, cmd, 60*time.Second)
+		return world
+	}
+
+	reference := run("reference", false)
+	recovered := run("recovered", true)
+	if reference != recovered {
+		t.Errorf("storm outcomes diverged across mid-storm SIGKILL:\n--- reference ---\n%s--- recovered ---\n%s", reference, recovered)
+	}
+	if !strings.Contains(reference, "exhausted=true") {
+		t.Fatalf("reference storm never quiesced:\n%s", reference)
+	}
+	t.Logf("quiesced world (%d bytes) bit-identical across mid-storm kill", len(reference))
+}

@@ -90,6 +90,89 @@ func (c *Client) EvictFleetJob(ctx context.Context, id string) (server.FleetJobS
 	return st, nil
 }
 
+// fleetDeviceOp posts one operator action against a device and decodes
+// the resulting device view. Like every client call it funnels through
+// do, so a draining or durability-degraded daemon's 503 is retried with
+// its Retry-After hint and surfaces errors.Is(err, ErrDurabilityDegraded).
+func (c *Client) fleetDeviceOp(ctx context.Context, index int, op string) (server.FleetDeviceStatus, error) {
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodPost,
+			fmt.Sprintf("%s/v1/fleet/devices/%d/%s", c.base, index, op), nil)
+	})
+	if err != nil {
+		return server.FleetDeviceStatus{}, err
+	}
+	var st server.FleetDeviceStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		return server.FleetDeviceStatus{}, fmt.Errorf("client: decode fleet device %s: %w", op, err)
+	}
+	return st, nil
+}
+
+// CordonDevice marks a device administratively unschedulable; residents
+// stay bound.
+func (c *Client) CordonDevice(ctx context.Context, index int) (server.FleetDeviceStatus, error) {
+	return c.fleetDeviceOp(ctx, index, "cordon")
+}
+
+// UncordonDevice makes a cordoned device schedulable again.
+func (c *Client) UncordonDevice(ctx context.Context, index int) (server.FleetDeviceStatus, error) {
+	return c.fleetDeviceOp(ctx, index, "uncordon")
+}
+
+// DrainDevice cordons a device and gracefully displaces its residents
+// into the pending queue for re-placement elsewhere.
+func (c *Client) DrainDevice(ctx context.Context, index int) (server.FleetDeviceStatus, error) {
+	return c.fleetDeviceOp(ctx, index, "drain")
+}
+
+// FleetDevices lists every device with its health, cordon and resident
+// state.
+func (c *Client) FleetDevices(ctx context.Context) ([]server.FleetDeviceStatus, error) {
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+"/v1/fleet/devices", nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sts []server.FleetDeviceStatus
+	if err := json.Unmarshal(out, &sts); err != nil {
+		return nil, fmt.Errorf("client: decode fleet devices: %w", err)
+	}
+	return sts, nil
+}
+
+// FleetChaosStart arms the server's configured failure process
+// (idempotent) and returns its status.
+func (c *Client) FleetChaosStart(ctx context.Context) (server.FleetChaosStatus, error) {
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodPost, c.base+"/v1/fleet/chaos/start", nil)
+	})
+	if err != nil {
+		return server.FleetChaosStatus{}, err
+	}
+	var st server.FleetChaosStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		return server.FleetChaosStatus{}, fmt.Errorf("client: decode fleet chaos start: %w", err)
+	}
+	return st, nil
+}
+
+// FleetChaosStatus reports the failure process's progress.
+func (c *Client) FleetChaosStatus(ctx context.Context) (server.FleetChaosStatus, error) {
+	_, _, out, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+"/v1/fleet/chaos", nil)
+	})
+	if err != nil {
+		return server.FleetChaosStatus{}, err
+	}
+	var st server.FleetChaosStatus
+	if err := json.Unmarshal(out, &st); err != nil {
+		return server.FleetChaosStatus{}, fmt.Errorf("client: decode fleet chaos status: %w", err)
+	}
+	return st, nil
+}
+
 // AwaitFleetEvaluation polls a fleet job until its interference
 // evaluation lands (state "evaluated"), it is evicted, or ctx expires.
 func (c *Client) AwaitFleetEvaluation(ctx context.Context, id string, poll time.Duration) (server.FleetJobStatus, error) {

@@ -2,8 +2,12 @@ package client
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"orion/internal/fleet"
 	"orion/internal/server"
@@ -63,5 +67,132 @@ func TestFleetRoundTrip(t *testing.T) {
 	}
 	if snap.Stats.JobsPlaced != 1 || snap.Stats.Evictions != 1 {
 		t.Fatalf("post-evict snapshot: %+v", snap)
+	}
+}
+
+// TestFleetOperatorRoundTrip drives the operator surface through the
+// client: list devices, drain one (cordon + displacement), uncordon it,
+// and arm/inspect the failure process.
+func TestFleetOperatorRoundTrip(t *testing.T) {
+	s, err := server.New(server.Config{
+		FleetSpec:         "zones=1,racks=1,nodes=1,gpus=2,mix=v100:1,seed=1",
+		FleetEvalHorizon:  -1,
+		FleetChaosProfile: "mtbf=1000000,mttr=10,steps=1,seed=1",
+		FleetChaosTick:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := New(ts.URL, fastOpts())
+	ctx := context.Background()
+
+	if _, err := c.SubmitFleetJobs(ctx, []fleet.JobSpec{
+		{ID: "a", Workload: "resnet50-inf", MemoryBytes: 2 << 30},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	devs, err := c.FleetDevices(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 2 {
+		t.Fatalf("devices = %d, want 2", len(devs))
+	}
+	var bound int
+	for _, d := range devs {
+		if len(d.Residents) > 0 {
+			bound = d.Index
+		}
+	}
+	dst, err := c.DrainDevice(ctx, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Cordoned || dst.Displaced != 1 {
+		t.Fatalf("drain outcome: %+v", dst)
+	}
+	st, err := c.FleetJob(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.FleetPlaced || st.Placement.DeviceIndex == bound {
+		t.Fatalf("drained resident not re-placed elsewhere: %+v", st)
+	}
+	ust, err := c.UncordonDevice(ctx, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ust.Cordoned {
+		t.Fatalf("uncordon left the device cordoned: %+v", ust)
+	}
+
+	cst, err := c.FleetChaosStart(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cst.Armed {
+		t.Fatalf("chaos start did not arm: %+v", cst)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cst, err = c.FleetChaosStatus(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cst.Exhausted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chaos never exhausted its 1-step bound: %+v", cst)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFleetOpsDegradedParity: the fleet operator endpoints answer a
+// durability-degraded daemon's 503 exactly like experiment submissions,
+// so every fleet client call must surface ErrDurabilityDegraded and
+// honor the Retry-After hint between attempts.
+func TestFleetOpsDegradedParity(t *testing.T) {
+	degraded := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"error":               "journal disk full: durability degraded, not accepting new work",
+			"durability_degraded": true,
+		})
+	}))
+	defer degraded.Close()
+
+	opts := fastOpts()
+	opts.MaxAttempts = 2
+	c := New(degraded.URL, opts)
+	ctx := context.Background()
+
+	calls := map[string]func() error{
+		"CordonDevice":    func() error { _, err := c.CordonDevice(ctx, 0); return err },
+		"DrainDevice":     func() error { _, err := c.DrainDevice(ctx, 0); return err },
+		"FleetChaosStart": func() error { _, err := c.FleetChaosStart(ctx); return err },
+		"SubmitFleetJobs": func() error {
+			_, err := c.SubmitFleetJobs(ctx, []fleet.JobSpec{{ID: "x", Workload: "resnet50-inf", MemoryBytes: 1 << 30}})
+			return err
+		},
+	}
+	for name, call := range calls {
+		start := time.Now()
+		err := call()
+		if err == nil {
+			t.Fatalf("%s against a degraded server must fail", name)
+		}
+		if !errors.Is(err, ErrDurabilityDegraded) {
+			t.Errorf("%s: errors.Is(err, ErrDurabilityDegraded) = false; err = %v", name, err)
+		}
+		if wait := time.Since(start); wait < time.Second {
+			t.Errorf("%s: gave up after %v, Retry-After demanded >= 1s between attempts", name, wait)
+		}
 	}
 }

@@ -1,0 +1,309 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"orion/internal/sim"
+)
+
+// ChaosSpec configures the deterministic failure process. Time is
+// counted in abstract failure-clock steps; the serving layer maps steps
+// to wall time with a ticker, the storm suites advance them directly.
+type ChaosSpec struct {
+	// MTBFSteps is the mean steps between per-device failures (a
+	// healthy device fails each step with probability 1/MTBF).
+	// MTBFByClass overrides it per device-class alias.
+	MTBFSteps   int64
+	MTBFByClass map[string]int64
+	// MTTRSteps is the mean repair time in steps; each repair draws an
+	// exponential duration with this mean. MTTRByClass overrides it.
+	MTTRSteps   int64
+	MTTRByClass map[string]int64
+	// SuspectSteps is how long a wear failure lingers in Suspect before
+	// going Down (0 = straight to Down).
+	SuspectSteps int64
+	// ProbationSteps is the Recovering window after repair during which
+	// the device accepts no placements (0 = straight to Healthy).
+	ProbationSteps int64
+	// NodePerMille / RackPerMille are the per-step probabilities (out
+	// of 1000) of a correlated whole-node / whole-rack failure.
+	NodePerMille int
+	RackPerMille int
+	// ReplaceDeadlineSteps is how many steps a displaced job may stay
+	// un-re-placed before it fails terminally (FleetFailed).
+	ReplaceDeadlineSteps int64
+	// BackoffCapSteps caps the per-job exponential retry backoff.
+	BackoffCapSteps int64
+	// MaxSteps stops the process after this many steps (0 = unbounded)
+	// — the drills use it to reach a quiescent comparable state.
+	MaxSteps int64
+	// Seed seeds the failure RNG (independent of the topology seed).
+	Seed int64
+}
+
+// DefaultChaosSpec returns the tuning the storm suites pin down.
+func DefaultChaosSpec() ChaosSpec {
+	return ChaosSpec{
+		MTBFSteps:            500,
+		MTTRSteps:            25,
+		SuspectSteps:         1,
+		ProbationSteps:       5,
+		ReplaceDeadlineSteps: 60,
+		BackoffCapSteps:      16,
+		Seed:                 1,
+	}
+}
+
+// ParseChaosSpec parses a compact chaos profile of the form
+//
+//	"mtbf=400,mttr=25,suspect=1,probation=5,pnode=5,prack=1,deadline=60,steps=200,seed=9"
+//
+// Per-class MTBF/MTTR overrides use dotted keys: "mtbf.a100=800".
+// Every key is optional; see DefaultChaosSpec for the defaults.
+func ParseChaosSpec(spec string) (ChaosSpec, error) {
+	c := DefaultChaosSpec()
+	if strings.TrimSpace(spec) == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return ChaosSpec{}, fmt.Errorf("fleet: bad chaos field %q (want key=value)", part)
+		}
+		k = strings.ToLower(strings.TrimSpace(k))
+		n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		if err != nil || n < 0 {
+			return ChaosSpec{}, fmt.Errorf("fleet: bad chaos value %q for %q", v, k)
+		}
+		if base, class, dotted := strings.Cut(k, "."); dotted {
+			cl, err := ClassByName(class)
+			if err != nil {
+				return ChaosSpec{}, fmt.Errorf("fleet: chaos key %q: %v", k, err)
+			}
+			switch base {
+			case "mtbf":
+				if c.MTBFByClass == nil {
+					c.MTBFByClass = map[string]int64{}
+				}
+				c.MTBFByClass[cl.Name] = n
+			case "mttr":
+				if c.MTTRByClass == nil {
+					c.MTTRByClass = map[string]int64{}
+				}
+				c.MTTRByClass[cl.Name] = n
+			default:
+				return ChaosSpec{}, fmt.Errorf("fleet: unknown chaos key %q", k)
+			}
+			continue
+		}
+		switch k {
+		case "mtbf":
+			c.MTBFSteps = n
+		case "mttr":
+			c.MTTRSteps = n
+		case "suspect":
+			c.SuspectSteps = n
+		case "probation":
+			c.ProbationSteps = n
+		case "pnode":
+			c.NodePerMille = int(n)
+		case "prack":
+			c.RackPerMille = int(n)
+		case "deadline":
+			c.ReplaceDeadlineSteps = n
+		case "backoff":
+			c.BackoffCapSteps = n
+		case "steps":
+			c.MaxSteps = n
+		case "seed":
+			c.Seed = n
+		default:
+			return ChaosSpec{}, fmt.Errorf("fleet: unknown chaos key %q", k)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return ChaosSpec{}, err
+	}
+	return c, nil
+}
+
+// Validate checks the spec for internal consistency.
+func (c ChaosSpec) Validate() error {
+	if c.MTBFSteps <= 0 || c.MTTRSteps <= 0 {
+		return fmt.Errorf("fleet: chaos mtbf/mttr must be positive (%d/%d)", c.MTBFSteps, c.MTTRSteps)
+	}
+	if c.NodePerMille < 0 || c.NodePerMille >= 1000 || c.RackPerMille < 0 || c.RackPerMille >= 1000 {
+		return fmt.Errorf("fleet: chaos pnode/prack %d/%d out of range [0,1000)", c.NodePerMille, c.RackPerMille)
+	}
+	if c.ReplaceDeadlineSteps <= 0 {
+		return fmt.Errorf("fleet: chaos deadline must be positive (%d)", c.ReplaceDeadlineSteps)
+	}
+	return nil
+}
+
+// Chaos is the seeded failure process: a pure function of (spec,
+// topology, step count). It owns every device's failure trajectory —
+// wear failures drawn per class, correlated node/rack events, repair
+// and probation timers — and emits the transitions each step. It never
+// reads placement state, so recovery can fast-forward a fresh Chaos to
+// the journaled step count and continue the exact pre-crash schedule.
+type Chaos struct {
+	spec  ChaosSpec
+	rng   *sim.Rand
+	step  int64
+	state []HealthState
+	timer []int64 // steps left in the current transient state
+	mtbf  []int64
+	mttr  []int64
+
+	nodeDevs [][]int // global node index -> device indexes
+	rackDevs [][]int // global rack index -> device indexes
+
+	events int64
+}
+
+// NewChaos builds the failure process over the fleet's topology.
+func NewChaos(spec ChaosSpec, f *Fleet) (*Chaos, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t := f.Topology()
+	nNodes := t.Zones * t.RacksPerZone * t.NodesPerRack
+	nRacks := t.Zones * t.RacksPerZone
+	c := &Chaos{
+		spec:     spec,
+		rng:      sim.NewRand(spec.Seed).Split("fleet-chaos"),
+		state:    make([]HealthState, len(f.devices)),
+		timer:    make([]int64, len(f.devices)),
+		mtbf:     make([]int64, len(f.devices)),
+		mttr:     make([]int64, len(f.devices)),
+		nodeDevs: make([][]int, nNodes),
+		rackDevs: make([][]int, nRacks),
+	}
+	for i, d := range f.devices {
+		c.mtbf[i] = classRate(spec.MTBFByClass, d.Class.Name, spec.MTBFSteps)
+		c.mttr[i] = classRate(spec.MTTRByClass, d.Class.Name, spec.MTTRSteps)
+		node := (d.Zone*t.RacksPerZone+d.Rack)*t.NodesPerRack + d.Node
+		rack := d.Zone*t.RacksPerZone + d.Rack
+		c.nodeDevs[node] = append(c.nodeDevs[node], i)
+		c.rackDevs[rack] = append(c.rackDevs[rack], i)
+	}
+	return c, nil
+}
+
+func classRate(byClass map[string]int64, class string, def int64) int64 {
+	if v, ok := byClass[class]; ok && v > 0 {
+		return v
+	}
+	return def
+}
+
+// StepCount returns how many steps the process has taken.
+func (c *Chaos) StepCount() int64 { return c.step }
+
+// Events returns how many transitions the process has emitted.
+func (c *Chaos) Events() int64 { return c.events }
+
+// Exhausted reports whether the process hit its MaxSteps bound.
+func (c *Chaos) Exhausted() bool {
+	return c.spec.MaxSteps > 0 && c.step >= c.spec.MaxSteps
+}
+
+// Spec returns the configured spec.
+func (c *Chaos) Spec() ChaosSpec { return c.spec }
+
+// Step advances the failure clock one step and returns the transitions
+// it produced, in deterministic order: correlated rack events, then
+// node events, then per-device wear/repair/probation in index order.
+// Past MaxSteps it is a no-op.
+func (c *Chaos) Step() []HealthEvent {
+	if c.Exhausted() {
+		return nil
+	}
+	c.step++
+	var evs []HealthEvent
+	if c.spec.RackPerMille > 0 && c.rng.Intn(1000) < c.spec.RackPerMille {
+		r := c.rng.Intn(len(c.rackDevs))
+		for _, i := range c.rackDevs[r] {
+			evs = c.down(i, "rack", evs)
+		}
+	}
+	if c.spec.NodePerMille > 0 && c.rng.Intn(1000) < c.spec.NodePerMille {
+		n := c.rng.Intn(len(c.nodeDevs))
+		for _, i := range c.nodeDevs[n] {
+			evs = c.down(i, "node", evs)
+		}
+	}
+	for i := range c.state {
+		switch c.state[i] {
+		case HealthHealthy:
+			if float64(c.rng.Float64()*float64(c.mtbf[i])) < 1 {
+				if c.spec.SuspectSteps > 0 {
+					c.state[i], c.timer[i] = HealthSuspect, c.spec.SuspectSteps
+					evs = append(evs, HealthEvent{Device: i, To: HealthSuspect, Cause: "wear"})
+				} else {
+					evs = c.down(i, "wear", evs)
+				}
+			}
+		case HealthSuspect:
+			if c.timer[i]--; c.timer[i] <= 0 {
+				evs = c.down(i, "wear", evs)
+			}
+		case HealthDown:
+			if c.timer[i]--; c.timer[i] <= 0 {
+				if c.spec.ProbationSteps > 0 {
+					c.state[i], c.timer[i] = HealthRecovering, c.spec.ProbationSteps
+					evs = append(evs, HealthEvent{Device: i, To: HealthRecovering, Cause: "repair"})
+				} else {
+					c.state[i] = HealthHealthy
+					evs = append(evs, HealthEvent{Device: i, To: HealthHealthy, Cause: "repair"})
+				}
+			}
+		case HealthRecovering:
+			if c.timer[i]--; c.timer[i] <= 0 {
+				c.state[i] = HealthHealthy
+				evs = append(evs, HealthEvent{Device: i, To: HealthHealthy, Cause: "probation"})
+			}
+		}
+	}
+	c.events += int64(len(evs))
+	return evs
+}
+
+func (c *Chaos) down(i int, cause string, evs []HealthEvent) []HealthEvent {
+	if c.state[i] == HealthDown {
+		return evs
+	}
+	c.state[i] = HealthDown
+	c.timer[i] = c.repairTime(i)
+	return append(evs, HealthEvent{Device: i, To: HealthDown, Cause: cause})
+}
+
+func (c *Chaos) repairTime(i int) int64 {
+	t := int64(c.rng.ExpDuration(sim.Duration(c.mttr[i])))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// FastForward re-derives the process state after n steps — the
+// recovery path. Because Step reads nothing but the process's own
+// state, replaying n steps on a fresh Chaos reproduces the pre-crash
+// timers and RNG cursor exactly; the emitted events are discarded (the
+// journal already replayed their effects).
+func (c *Chaos) FastForward(n int64) {
+	for c.step < n {
+		before := c.step
+		c.Step()
+		if c.step == before {
+			return
+		}
+	}
+}

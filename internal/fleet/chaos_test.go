@@ -1,0 +1,210 @@
+package fleet
+
+import "testing"
+
+func TestParseChaosSpec(t *testing.T) {
+	c, err := ParseChaosSpec("mtbf=400,mttr=30,suspect=2,probation=8,pnode=5,prack=1,deadline=50,backoff=8,steps=100,seed=9,mtbf.a100=800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MTBFSteps != 400 || c.MTTRSteps != 30 || c.SuspectSteps != 2 || c.ProbationSteps != 8 {
+		t.Fatalf("spec = %+v", c)
+	}
+	if c.NodePerMille != 5 || c.RackPerMille != 1 || c.ReplaceDeadlineSteps != 50 ||
+		c.BackoffCapSteps != 8 || c.MaxSteps != 100 || c.Seed != 9 {
+		t.Fatalf("spec = %+v", c)
+	}
+	if c.MTBFByClass["A100-40GB"] != 800 {
+		t.Fatalf("per-class override = %v", c.MTBFByClass)
+	}
+	d, err := ParseChaosSpec("")
+	if err != nil || d.MTBFSteps != DefaultChaosSpec().MTBFSteps || d.Seed != DefaultChaosSpec().Seed {
+		t.Fatalf("empty spec: %+v, %v", d, err)
+	}
+	for _, bad := range []string{
+		"mtbf", "mtbf=x", "mtbf=0", "warp=1", "pnode=1000", "deadline=0",
+		"mtbf.h100=5", "latency.a100=5", "mttr=-2",
+	} {
+		if _, err := ParseChaosSpec(bad); err == nil {
+			t.Fatalf("ParseChaosSpec(%q) should error", bad)
+		}
+	}
+}
+
+func chaosFleet(t *testing.T) *Fleet {
+	t.Helper()
+	return tinyFleet(t, "zones=1,racks=2,nodes=4,gpus=4,mix=a100:1+v100:1,seed=3")
+}
+
+func chaosTrace(t *testing.T, f *Fleet, spec ChaosSpec, steps int) []HealthEvent {
+	t.Helper()
+	c, err := NewChaos(spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []HealthEvent
+	for i := 0; i < steps; i++ {
+		all = append(all, c.Step()...)
+	}
+	return all
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	spec, err := ParseChaosSpec("mtbf=60,mttr=6,pnode=20,prack=5,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := chaosFleet(t)
+	a := chaosTrace(t, f, spec, 200)
+	b := chaosTrace(t, f, spec, 200)
+	if len(a) == 0 {
+		t.Fatal("no events in 200 aggressive steps")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must produce a different schedule.
+	spec2 := spec
+	spec2.Seed = 8
+	c := chaosTrace(t, f, spec2, 200)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical failure schedules")
+	}
+}
+
+// TestChaosFastForward is the recovery contract: a fresh process
+// fast-forwarded N steps continues with exactly the schedule the
+// original would have produced.
+func TestChaosFastForward(t *testing.T) {
+	spec, err := ParseChaosSpec("mtbf=40,mttr=5,pnode=30,prack=10,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := chaosFleet(t)
+	orig, err := NewChaos(spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 73; i++ {
+		orig.Step()
+	}
+	resumed, err := NewChaos(spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.FastForward(73)
+	if resumed.StepCount() != orig.StepCount() || resumed.Events() != orig.Events() {
+		t.Fatalf("fast-forward diverged: step %d/%d events %d/%d",
+			resumed.StepCount(), orig.StepCount(), resumed.Events(), orig.Events())
+	}
+	for i := 0; i < 50; i++ {
+		a, b := orig.Step(), resumed.Step()
+		if len(a) != len(b) {
+			t.Fatalf("step %d: %d vs %d events", i, len(a), len(b))
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("step %d event %d differs: %+v vs %+v", i, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+func TestChaosStateMachineOrder(t *testing.T) {
+	spec, err := ParseChaosSpec("mtbf=20,mttr=4,suspect=2,probation=3,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := chaosFleet(t)
+	c, err := NewChaos(spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every device must walk Healthy→Suspect→Down→Recovering→Healthy in
+	// order: track per-device last state and check legal successors.
+	last := make(map[int]HealthState)
+	legal := map[HealthState][]HealthState{
+		HealthHealthy:    {HealthSuspect, HealthDown}, // Down via correlated events
+		HealthSuspect:    {HealthDown},
+		HealthDown:       {HealthRecovering, HealthHealthy},
+		HealthRecovering: {HealthHealthy, HealthDown},
+	}
+	saw := map[HealthState]bool{}
+	for i := 0; i < 400; i++ {
+		for _, ev := range c.Step() {
+			prev, ok := last[ev.Device]
+			if !ok {
+				prev = HealthHealthy
+			}
+			allowed := false
+			for _, s := range legal[prev] {
+				if s == ev.To {
+					allowed = true
+				}
+			}
+			if !allowed {
+				t.Fatalf("illegal transition %v → %v on device %d (%s)", prev, ev.To, ev.Device, ev.Cause)
+			}
+			last[ev.Device] = ev.To
+			saw[ev.To] = true
+		}
+	}
+	for _, want := range []HealthState{HealthSuspect, HealthDown, HealthRecovering, HealthHealthy} {
+		if !saw[want] {
+			t.Fatalf("400 steps never produced a %v transition", want)
+		}
+	}
+}
+
+func TestChaosMaxStepsAndCorrelatedEvents(t *testing.T) {
+	spec, err := ParseChaosSpec("mtbf=1000000,mttr=4,pnode=0,prack=900,steps=5,seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := chaosFleet(t)
+	c, err := NewChaos(spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var downs []HealthEvent
+	for i := 0; i < 20; i++ {
+		for _, ev := range c.Step() {
+			if ev.To == HealthDown {
+				downs = append(downs, ev)
+			}
+		}
+	}
+	if c.StepCount() != 5 || !c.Exhausted() {
+		t.Fatalf("max steps not honored: step %d", c.StepCount())
+	}
+	if len(downs) == 0 {
+		t.Fatal("prack=900 produced no rack event in 5 steps")
+	}
+	// A rack event downs whole racks: with 16 devices per rack the
+	// first wave must be a multiple of a rack's size.
+	rackOf := func(i int) int { return f.Devices()[i].Zone*2 + f.Devices()[i].Rack }
+	first := rackOf(downs[0].Device)
+	hit := map[int]bool{}
+	for _, ev := range downs {
+		if ev.Cause == "rack" && rackOf(ev.Device) == first {
+			hit[ev.Device] = true
+		}
+	}
+	if len(hit) != 16 {
+		t.Fatalf("rack event downed %d devices of the rack, want all 16", len(hit))
+	}
+}

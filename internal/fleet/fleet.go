@@ -57,8 +57,13 @@ type Device struct {
 	Zone, Rack, Node int
 	// Class is the device's hardware class.
 	Class Class
-	// Healthy devices accept placements; unhealthy ones are filtered.
-	Healthy bool
+	// Health is the device's position in the failure state machine.
+	// Only Healthy devices accept placements; see HealthState.
+	Health HealthState
+	// Cordoned marks the device administratively unschedulable
+	// (operator cordon or a build-time unhealthy mark). Orthogonal to
+	// Health: a repaired device stays cordoned until uncordoned.
+	Cordoned bool
 	// MemUsed is the residents' summed memory.
 	MemUsed int64
 	// Load is the residents' summed demand vector.
@@ -73,6 +78,11 @@ type Device struct {
 
 // FreeMemory is the device's unallocated memory.
 func (d *Device) FreeMemory() int64 { return d.Class.MemoryBytes - d.MemUsed }
+
+// Available reports whether the device accepts new placements: fully
+// healthy (not suspect, down, or on post-repair probation) and not
+// cordoned.
+func (d *Device) Available() bool { return d.Health == HealthHealthy && !d.Cordoned }
 
 // Placement records one bind decision.
 type Placement struct {
@@ -100,8 +110,16 @@ type Fleet struct {
 	jobs    map[string]JobSpec
 	where   map[string]int // job ID -> device index
 
-	evictions   uint64
-	preemptions uint64
+	// clock is the failure clock: the last chaos step applied via
+	// ApplyHealth/SetClock. domainFail maps failure-domain keys
+	// ("z0/r1", "z0/r1/n2") to the tick their last device went Down —
+	// the anti-affinity penalty decays from it.
+	clock      int64
+	domainFail map[string]int64
+
+	evictions     uint64
+	preemptions   uint64
+	displacements uint64
 }
 
 func newFleet(t Topology) *Fleet {
@@ -138,21 +156,19 @@ func (f *Fleet) Where(id string) (int, bool) {
 	return idx, ok
 }
 
-// SetHealth marks a device healthy or cordoned. Residents of a newly
-// unhealthy device stay bound (the caller decides whether to drain).
+// SetHealth marks a device schedulable or cordoned — the coarse
+// operator switch, kept alongside the finer state machine (Cordon,
+// ApplyHealth). Residents of a newly cordoned device stay bound (the
+// caller decides whether to drain).
 func (f *Fleet) SetHealth(deviceIndex int, healthy bool) error {
-	if deviceIndex < 0 || deviceIndex >= len(f.devices) {
-		return fmt.Errorf("fleet: no device %d", deviceIndex)
-	}
-	f.devices[deviceIndex].Healthy = healthy
-	return nil
+	return f.Cordon(deviceIndex, !healthy)
 }
 
 // admissible reports whether the device passes the filter stage for the
 // job: health, zone and class constraints, memory fit, and the resident
 // cap that bounds per-device scheduler load.
 func (f *Fleet) admissible(d *Device, j JobSpec) bool {
-	if !d.Healthy {
+	if !d.Available() {
 		return false
 	}
 	if j.Zone != "" && fmt.Sprintf("z%d", d.Zone) != j.Zone {
@@ -186,7 +202,8 @@ func classAllowed(j JobSpec, c Class) bool {
 
 // Place runs the filter → score → bind pipeline for one job: every
 // admissible device is scored (interference complementarity against its
-// residents minus the fragmentation gradient) and the best one wins,
+// residents minus the fragmentation gradient minus the anti-affinity
+// penalty for recently-failed failure domains) and the best one wins,
 // ties broken by lowest device index. Placement over a fixed job order
 // is fully deterministic.
 func (f *Fleet) Place(j JobSpec) (Placement, error) {
@@ -199,7 +216,7 @@ func (f *Fleet) Place(j JobSpec) (Placement, error) {
 		if !f.admissible(d, j) {
 			continue
 		}
-		s := f.policy.score(d, j)
+		s := float64(f.policy.score(d, j) - f.antiAffinity(d))
 		if best < 0 || s > bestScore {
 			best, bestScore = d.Index, s
 		}
@@ -246,7 +263,7 @@ func (f *Fleet) PlaceOrPreempt(j JobSpec) (Placement, []string, error) {
 // bound first) the device would shed to host the job, and whether that
 // is enough.
 func (f *Fleet) preemptionPlan(d *Device, j JobSpec) ([]string, bool) {
-	if !d.Healthy || (j.Zone != "" && fmt.Sprintf("z%d", d.Zone) != j.Zone) {
+	if !d.Available() || (j.Zone != "" && fmt.Sprintf("z%d", d.Zone) != j.Zone) {
 		return nil, false
 	}
 	if !classAllowed(j, d.Class) {
@@ -348,7 +365,17 @@ func (f *Fleet) unbind(jobID string) {
 		}
 	}
 	d.MemUsed -= j.MemoryBytes
-	d.Load = d.Load.Sub(j.Demand)
+	// Recompute Load from the surviving residents instead of subtracting:
+	// float64 (a+b)-b is not exactly a, so incremental updates leave
+	// history-dependent dust on devices that hosted and lost jobs — and a
+	// recovered fleet (which replays only the final bindings) would score
+	// near-ties differently from the live run it must match bit-for-bit.
+	// Summing in resident order keeps Load identical to what a fresh
+	// in-order rebind computes.
+	d.Load = Vector{}
+	for _, id := range d.Residents {
+		d.Load = d.Load.Add(f.jobs[id].Demand)
+	}
 	if j.HighPriority() {
 		d.HPResidents--
 	}
@@ -393,11 +420,17 @@ func (f *Fleet) PlaceNaive(j JobSpec) (Placement, error) {
 
 // Stats is a point-in-time utilization/fragmentation snapshot.
 type Stats struct {
-	// Devices, Healthy and Allocated count the fleet, its healthy
-	// subset, and devices hosting at least one job.
+	// Devices, Healthy and Allocated count the fleet, its
+	// placement-available subset, and devices hosting at least one job.
 	Devices   int `json:"devices"`
 	Healthy   int `json:"healthy"`
 	Allocated int `json:"allocated"`
+	// Suspect, Down, Recovering and Cordoned count devices per
+	// failure-machine state (Cordoned overlaps the others).
+	Suspect    int `json:"suspect,omitempty"`
+	Down       int `json:"down,omitempty"`
+	Recovering int `json:"recovering,omitempty"`
+	Cordoned   int `json:"cordoned,omitempty"`
 	// JobsPlaced counts currently bound jobs.
 	JobsPlaced int `json:"jobs_placed"`
 	// MemUsedBytes / MemCapBytes aggregate device memory.
@@ -410,9 +443,13 @@ type Stats struct {
 	// Policy.frag): 0 = perfectly packable remainder, higher = more
 	// stranded capacity.
 	Fragmentation float64 `json:"fragmentation"`
-	// Evictions and Preemptions count removals over the fleet's life.
-	Evictions   uint64 `json:"evictions"`
-	Preemptions uint64 `json:"preemptions"`
+	// Evictions, Preemptions and Displacements count removals over the
+	// fleet's life (displacements are failure- or drain-driven unbinds).
+	Evictions     uint64 `json:"evictions"`
+	Preemptions   uint64 `json:"preemptions"`
+	Displacements uint64 `json:"displacements,omitempty"`
+	// FailureClock is the last chaos step applied.
+	FailureClock int64 `json:"failure_clock,omitempty"`
 	// DevicesByClass counts devices per class name.
 	DevicesByClass map[string]int `json:"devices_by_class"`
 }
@@ -424,6 +461,8 @@ func (f *Fleet) Snapshot() Stats {
 		JobsPlaced:     len(f.jobs),
 		Evictions:      f.evictions,
 		Preemptions:    f.preemptions,
+		Displacements:  f.displacements,
+		FailureClock:   f.clock,
 		DevicesByClass: map[string]int{},
 	}
 	var fragSum float64
@@ -431,7 +470,18 @@ func (f *Fleet) Snapshot() Stats {
 		st.DevicesByClass[d.Class.Name]++
 		st.MemCapBytes += d.Class.MemoryBytes
 		st.Capacity = st.Capacity.Add(d.Class.Capacity)
-		if d.Healthy {
+		switch d.Health {
+		case HealthSuspect:
+			st.Suspect++
+		case HealthDown:
+			st.Down++
+		case HealthRecovering:
+			st.Recovering++
+		}
+		if d.Cordoned {
+			st.Cordoned++
+		}
+		if d.Available() {
 			st.Healthy++
 			fragSum += f.policy.frag(d.Class, d.Load, d.MemUsed)
 		}

@@ -107,13 +107,16 @@ func TestTopologyBuildDeterministic(t *testing.T) {
 	}
 	for i := range a.Devices() {
 		da, db := a.Devices()[i], b.Devices()[i]
-		if da.ID != db.ID || da.Class.Name != db.Class.Name || da.Healthy != db.Healthy {
+		if da.ID != db.ID || da.Class.Name != db.Class.Name || da.Cordoned != db.Cordoned {
 			t.Fatalf("device %d differs across identical builds: %+v vs %+v", i, da, db)
 		}
 	}
 	unhealthy := 0
 	for _, d := range a.Devices() {
-		if !d.Healthy {
+		if d.Health != HealthHealthy {
+			t.Fatalf("build should leave devices Healthy, got %v on %s", d.Health, d.ID)
+		}
+		if d.Cordoned {
 			unhealthy++
 		}
 	}

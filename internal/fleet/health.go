@@ -1,0 +1,187 @@
+package fleet
+
+import "fmt"
+
+// HealthState is one position in the per-device failure state machine:
+//
+//	Healthy → Suspect → Down → Recovering → Healthy
+//
+// Suspect devices keep their residents but accept no new placements (a
+// failure precursor or an operator investigating). Down devices have
+// lost their residents — the displacement path unbinds them for
+// re-placement. Recovering devices are back up but on probation: they
+// accept no placements until the probation window elapses, so a
+// flapping device cannot churn the same jobs twice.
+type HealthState uint8
+
+const (
+	HealthHealthy HealthState = iota
+	HealthSuspect
+	HealthDown
+	HealthRecovering
+)
+
+var healthNames = [...]string{"healthy", "suspect", "down", "recovering"}
+
+// String renders the state in the lowercase form the journal and API use.
+func (h HealthState) String() string {
+	if int(h) < len(healthNames) {
+		return healthNames[h]
+	}
+	return fmt.Sprintf("health(%d)", uint8(h))
+}
+
+// ParseHealthState inverts String.
+func ParseHealthState(s string) (HealthState, error) {
+	for i, n := range healthNames {
+		if n == s {
+			return HealthState(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fleet: unknown health state %q", s)
+}
+
+// HealthEvent is one device transition emitted by the failure process.
+type HealthEvent struct {
+	// Device is the device index the transition applies to.
+	Device int
+	// To is the state the device entered.
+	To HealthState
+	// Cause names what drove the transition: "wear" (per-device MTBF
+	// draw), "node"/"rack" (correlated domain event), "repair" (MTTR
+	// elapsed), "probation" (probation window elapsed).
+	Cause string
+}
+
+// nodeKey / rackKey name a device's failure domains for the
+// anti-affinity bookkeeping.
+func nodeKey(d *Device) string { return fmt.Sprintf("z%d/r%d/n%d", d.Zone, d.Rack, d.Node) }
+func rackKey(d *Device) string { return fmt.Sprintf("z%d/r%d", d.Zone, d.Rack) }
+
+// Domains returns the device's failure-domain keys (rack, then node) in
+// the form the anti-affinity map and the journal use.
+func (d *Device) Domains() []string { return []string{rackKey(d), nodeKey(d)} }
+
+// ApplyHealth moves a device to the given state at the given failure
+// clock tick. On a transition into Down the device's residents are
+// displaced — unbound and returned in bind order for the caller to
+// requeue — and the device's node and rack are recorded as
+// recently-failed domains for the anti-affinity score penalty.
+// Applying the current state again is a no-op.
+func (f *Fleet) ApplyHealth(deviceIndex int, h HealthState, tick int64) ([]JobSpec, error) {
+	if deviceIndex < 0 || deviceIndex >= len(f.devices) {
+		return nil, fmt.Errorf("fleet: no device %d", deviceIndex)
+	}
+	if tick > f.clock {
+		f.clock = tick
+	}
+	d := f.devices[deviceIndex]
+	prev := d.Health
+	d.Health = h
+	if h != HealthDown || prev == HealthDown {
+		return nil, nil
+	}
+	if f.domainFail == nil {
+		f.domainFail = map[string]int64{}
+	}
+	f.domainFail[nodeKey(d)] = tick
+	f.domainFail[rackKey(d)] = tick
+	return f.displace(d), nil
+}
+
+// Displace unbinds every resident of the device and returns their specs
+// in bind order — the graceful half of an operator drain. The device's
+// health is untouched and no failure domain is recorded.
+func (f *Fleet) Displace(deviceIndex int) ([]JobSpec, error) {
+	if deviceIndex < 0 || deviceIndex >= len(f.devices) {
+		return nil, fmt.Errorf("fleet: no device %d", deviceIndex)
+	}
+	return f.displace(f.devices[deviceIndex]), nil
+}
+
+func (f *Fleet) displace(d *Device) []JobSpec {
+	if len(d.Residents) == 0 {
+		return nil
+	}
+	displaced := make([]JobSpec, 0, len(d.Residents))
+	for _, id := range append([]string(nil), d.Residents...) {
+		displaced = append(displaced, f.jobs[id])
+		f.unbind(id)
+		f.displacements++
+	}
+	return displaced
+}
+
+// Cordon marks a device administratively unschedulable (or schedulable
+// again). Residents stay bound; the caller decides whether to drain.
+// Cordoning is orthogonal to the failure state machine: an uncordon
+// does not heal a Down device, and a repair does not clear a cordon.
+func (f *Fleet) Cordon(deviceIndex int, on bool) error {
+	if deviceIndex < 0 || deviceIndex >= len(f.devices) {
+		return fmt.Errorf("fleet: no device %d", deviceIndex)
+	}
+	f.devices[deviceIndex].Cordoned = on
+	return nil
+}
+
+// Clock returns the fleet's failure clock (the chaos step count last
+// applied).
+func (f *Fleet) Clock() int64 { return f.clock }
+
+// SetClock restores the failure clock — the recovery path.
+func (f *Fleet) SetClock(t int64) { f.clock = t }
+
+// DomainFailures returns a copy of the recently-failed-domain map
+// (domain key → last failure tick) for journaling.
+func (f *Fleet) DomainFailures() map[string]int64 {
+	if len(f.domainFail) == 0 {
+		return nil
+	}
+	m := make(map[string]int64, len(f.domainFail))
+	for k, v := range f.domainFail {
+		m[k] = v
+	}
+	return m
+}
+
+// RestoreDomainFailures replaces the recently-failed-domain map — the
+// recovery path.
+func (f *Fleet) RestoreDomainFailures(m map[string]int64) {
+	f.domainFail = nil
+	if len(m) == 0 {
+		return
+	}
+	f.domainFail = make(map[string]int64, len(m))
+	for k, v := range m {
+		f.domainFail[k] = v
+	}
+}
+
+// antiAffinity is the score penalty for placing onto a recently-failed
+// failure domain: full weight at the failure tick, decaying linearly to
+// zero over the anti-affinity window. Node and rack contributions add,
+// so a device whose node just died is repelled harder than its rack
+// neighbors. All arithmetic goes through explicit float64 conversions
+// (see Policy.score).
+func (f *Fleet) antiAffinity(d *Device) float64 {
+	if len(f.domainFail) == 0 || f.policy.AntiAffinityWeight <= 0 || f.policy.AntiAffinityWindow <= 0 {
+		return 0
+	}
+	var p float64
+	if t, ok := f.domainFail[nodeKey(d)]; ok {
+		p += f.domainDecay(t)
+	}
+	if t, ok := f.domainFail[rackKey(d)]; ok {
+		p += f.domainDecay(t)
+	}
+	return p
+}
+
+func (f *Fleet) domainDecay(failTick int64) float64 {
+	age := f.clock - failTick
+	if age < 0 || age >= f.policy.AntiAffinityWindow {
+		return 0
+	}
+	w := float64(f.policy.AntiAffinityWindow)
+	return float64(f.policy.AntiAffinityWeight * float64((w-float64(age))/w))
+}

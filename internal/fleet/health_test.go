@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHealthStateStrings(t *testing.T) {
+	for _, h := range []HealthState{HealthHealthy, HealthSuspect, HealthDown, HealthRecovering} {
+		got, err := ParseHealthState(h.String())
+		if err != nil || got != h {
+			t.Fatalf("round trip %v: got %v, err %v", h, got, err)
+		}
+	}
+	if _, err := ParseHealthState("zombie"); err == nil {
+		t.Fatal("unknown state should error")
+	}
+}
+
+// TestSetHealthEdgeCases pins the satellite contract: out-of-range
+// indexes error, cordoning the whole fleet zeroes the fragmentation
+// gauge instead of dividing by zero, and probation rejects placements.
+func TestSetHealthEdgeCases(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=2,mix=v100")
+	if err := f.SetHealth(-1, false); err == nil {
+		t.Fatal("negative index should error")
+	}
+	if err := f.SetHealth(2, false); err == nil {
+		t.Fatal("out-of-range index should error")
+	}
+	if _, err := f.ApplyHealth(99, HealthDown, 1); err == nil {
+		t.Fatal("ApplyHealth out-of-range index should error")
+	}
+	if _, err := f.Displace(99); err == nil {
+		t.Fatal("Displace out-of-range index should error")
+	}
+
+	// Cordon every device: Healthy hits zero and the fragmentation
+	// gauge must be exactly zero, not NaN.
+	if _, err := f.Place(JobSpec{ID: "a", Demand: computeHeavy, MemoryBytes: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Devices() {
+		if err := f.SetHealth(i, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Snapshot()
+	if st.Healthy != 0 || st.Cordoned != 2 {
+		t.Fatalf("stats after full cordon: %+v", st)
+	}
+	if st.Fragmentation != 0 {
+		t.Fatalf("fragmentation with zero healthy devices = %v, want 0", st.Fragmentation)
+	}
+	if _, err := f.Place(JobSpec{ID: "b", Demand: computeHeavy, MemoryBytes: 1 << 30}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("fully cordoned fleet placed a job: %v", err)
+	}
+	// Residents of a cordoned device stay bound.
+	if _, ok := f.Where("a"); !ok {
+		t.Fatal("cordon displaced a resident")
+	}
+}
+
+func TestProbationRejectsPlacements(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=1,mix=v100")
+	if _, err := f.ApplyHealth(0, HealthRecovering, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Place(JobSpec{ID: "a", Demand: computeHeavy, MemoryBytes: 1 << 30}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("recovering device accepted a placement: %v", err)
+	}
+	// Suspect devices likewise accept nothing new.
+	if _, err := f.ApplyHealth(0, HealthSuspect, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Place(JobSpec{ID: "b", Demand: computeHeavy, MemoryBytes: 1 << 30}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("suspect device accepted a placement: %v", err)
+	}
+	// Probation over: placements flow again.
+	if _, err := f.ApplyHealth(0, HealthHealthy, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Place(JobSpec{ID: "c", Demand: computeHeavy, MemoryBytes: 1 << 30}); err != nil {
+		t.Fatalf("healthy device rejected a placement: %v", err)
+	}
+}
+
+func TestDownDisplacesResidents(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=2,mix=v100")
+	for _, id := range []string{"a", "b"} {
+		if _, err := f.Bind(JobSpec{ID: id, Demand: computeHeavy, MemoryBytes: 1 << 30}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	displaced, err := f.ApplyHealth(0, HealthDown, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(displaced) != 2 || displaced[0].ID != "a" || displaced[1].ID != "b" {
+		t.Fatalf("displaced = %+v, want a,b in bind order", displaced)
+	}
+	if _, ok := f.Where("a"); ok {
+		t.Fatal("displaced job still bound")
+	}
+	d := f.Devices()[0]
+	if d.MemUsed != 0 || len(d.Residents) != 0 || !d.Load.IsZero() {
+		t.Fatalf("down device retains capacity: %+v", d)
+	}
+	st := f.Snapshot()
+	if st.Down != 1 || st.Displacements != 2 || st.FailureClock != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Re-applying Down is a no-op, not a second displacement.
+	if again, err := f.ApplyHealth(0, HealthDown, 4); err != nil || len(again) != 0 {
+		t.Fatalf("repeat Down displaced %d jobs, err %v", len(again), err)
+	}
+	// Domain failure recorded for both the node and the rack.
+	df := f.DomainFailures()
+	if df["z0/r0"] != 3 || df["z0/r0/n0"] != 3 {
+		t.Fatalf("domain failures = %v", df)
+	}
+}
+
+// TestAntiAffinitySteersAwayFromFailedDomains: after a device dies, an
+// otherwise tied placement prefers a device outside the failed node and
+// rack, and the preference decays once the window passes.
+func TestAntiAffinitySteersAwayFromFailedDomains(t *testing.T) {
+	spec := "zones=1,racks=2,nodes=1,gpus=2,mix=v100"
+	f := tinyFleet(t, spec)
+	// Empty devices tie at score 0; lowest index wins by default.
+	p, err := f.Place(JobSpec{ID: "pre", Demand: computeHeavy, MemoryBytes: 1 << 30})
+	if err != nil || p.DeviceIndex != 0 {
+		t.Fatalf("baseline tie-break: %+v, %v", p, err)
+	}
+	if err := f.Remove("pre"); err != nil {
+		t.Fatal(err)
+	}
+	// Device 0 dies: its node (z0/r0/n0) and rack (z0/r0) are tainted,
+	// so device 1 (same node) is penalized and device 2 (rack r1) wins.
+	if _, err := f.ApplyHealth(0, HealthDown, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err = f.Place(JobSpec{ID: "a", Demand: computeHeavy, MemoryBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DeviceIndex != 2 {
+		t.Fatalf("placement ignored the failed domain: device %d, want 2", p.DeviceIndex)
+	}
+	// Past the anti-affinity window the penalty is gone and the
+	// tie-break returns to lowest index.
+	f.SetClock(1 + f.Policy().AntiAffinityWindow)
+	p, err = f.Place(JobSpec{ID: "b", Demand: computeHeavy, MemoryBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DeviceIndex != 1 {
+		t.Fatalf("decayed penalty should restore index order: device %d, want 1", p.DeviceIndex)
+	}
+}
+
+func TestCordonOrthogonalToHealth(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=1,mix=v100")
+	if err := f.Cordon(0, true); err != nil {
+		t.Fatal(err)
+	}
+	// A repair does not clear the cordon.
+	if _, err := f.ApplyHealth(0, HealthHealthy, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.Devices()[0].Available() {
+		t.Fatal("cordoned device reports available after repair")
+	}
+	if err := f.Cordon(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Devices()[0].Available() {
+		t.Fatal("uncordoned healthy device should be available")
+	}
+}

@@ -28,15 +28,24 @@ type Policy struct {
 	// MinJobBytes is the "typical smallest job" memory: free memory
 	// below it counts as stranded.
 	MinJobBytes int64
+	// AntiAffinityWeight scales the penalty against placing onto a
+	// failure domain (node or rack) that lost a device recently; the
+	// penalty decays linearly to zero over AntiAffinityWindow failure-
+	// clock ticks. With no recorded failures the term is exactly zero,
+	// so placement on a quiet fleet is unchanged.
+	AntiAffinityWeight float64
+	AntiAffinityWindow int64
 }
 
 // DefaultPolicy returns the tuning the golden suites pin down.
 func DefaultPolicy() Policy {
 	return Policy{
-		ContentionWeight: 1.0,
-		FragWeight:       0.5,
-		MaxResidents:     6,
-		MinJobBytes:      1 << 30,
+		ContentionWeight:   1.0,
+		FragWeight:         0.5,
+		MaxResidents:       6,
+		MinJobBytes:        1 << 30,
+		AntiAffinityWeight: 0.25,
+		AntiAffinityWindow: 32,
 	}
 }
 
@@ -53,6 +62,12 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.MinJobBytes <= 0 {
 		p.MinJobBytes = d.MinJobBytes
+	}
+	if p.AntiAffinityWeight == 0 {
+		p.AntiAffinityWeight = d.AntiAffinityWeight
+	}
+	if p.AntiAffinityWindow == 0 {
+		p.AntiAffinityWindow = d.AntiAffinityWindow
 	}
 	return p
 }

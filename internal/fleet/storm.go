@@ -1,0 +1,154 @@
+package fleet
+
+import "sort"
+
+// Storm drives a fleet through a failure process in-process: each step
+// advances the Chaos clock, applies the emitted health transitions
+// (displacing residents of newly Down devices), and runs the
+// re-placement queue with HP-before-BE triage, per-job exponential
+// backoff, and a re-place deadline after which a displaced job fails
+// terminally. The golden failure-storm suite and the survivability
+// example both run storms; the serving layer implements the same
+// semantics with journaling interleaved (see internal/server).
+type Storm struct {
+	// Naive re-places through PlaceNaive (first-fit) instead of the
+	// scored pipeline — the survivability baseline.
+	Naive bool
+
+	// Displaced, Replaced and Failed count jobs displaced by Down
+	// transitions, successfully re-placed, and terminally failed.
+	// DownEvents counts Down transitions ("failure events").
+	Displaced, Replaced, Failed, DownEvents int
+
+	f     *Fleet
+	c     *Chaos
+	queue []stormJob
+	seq   int
+}
+
+type stormJob struct {
+	spec     JobSpec
+	seq      int   // FIFO order within a priority band
+	attempts int   // failed re-place attempts since displacement
+	dispTick int64 // failure-clock tick of displacement; -1 = never displaced
+	nextTry  int64 // earliest tick the next attempt may run
+}
+
+// NewStorm builds a storm over the fleet and failure process.
+func NewStorm(f *Fleet, c *Chaos) *Storm { return &Storm{f: f, c: c} }
+
+// Enqueue adds jobs that were never displaced (e.g. initial-placement
+// leftovers) to the pending queue; they retry without backoff and never
+// hit the re-place deadline.
+func (s *Storm) Enqueue(jobs []JobSpec) {
+	for _, j := range jobs {
+		s.queue = append(s.queue, stormJob{spec: j, seq: s.seq, dispTick: -1})
+		s.seq++
+	}
+}
+
+// Pending returns how many jobs wait in the re-placement queue.
+func (s *Storm) Pending() int { return len(s.queue) }
+
+// Step advances the failure clock one step, applies the transitions,
+// and runs the re-placement queue. It returns the health events applied.
+func (s *Storm) Step() []HealthEvent {
+	evs := s.c.Step()
+	for _, ev := range evs {
+		displaced, err := s.f.ApplyHealth(ev.Device, ev.To, s.c.StepCount())
+		if err != nil {
+			// The chaos process is built over this fleet; an index error
+			// here is a programming bug, not a runtime condition.
+			panic(err)
+		}
+		if ev.To == HealthDown {
+			s.DownEvents++
+		}
+		for _, j := range displaced {
+			s.Displaced++
+			s.queue = append(s.queue, stormJob{spec: j, seq: s.seq, dispTick: s.c.StepCount()})
+			s.seq++
+		}
+	}
+	s.retry()
+	return evs
+}
+
+// Run steps the storm until the failure process has produced at least
+// downEvents Down transitions (or exhausted its MaxSteps bound) and
+// returns the number of steps taken.
+func (s *Storm) Run(downEvents int) int64 {
+	var steps int64
+	for s.DownEvents < downEvents {
+		before := s.c.StepCount()
+		s.Step()
+		if s.c.StepCount() == before {
+			break
+		}
+		steps++
+	}
+	return steps
+}
+
+// retry drains the re-placement queue in triage order — HP before BE,
+// FIFO within each band — honoring per-job backoff and the re-place
+// deadline. Jobs that still fit nowhere back off exponentially (1, 2,
+// 4, … steps, capped); displaced jobs whose deadline passed fail
+// terminally and leave the queue.
+func (s *Storm) retry() {
+	if len(s.queue) == 0 {
+		return
+	}
+	tick := s.f.Clock()
+	sort.SliceStable(s.queue, func(a, b int) bool {
+		ja, jb := s.queue[a], s.queue[b]
+		if ja.spec.HighPriority() != jb.spec.HighPriority() {
+			return ja.spec.HighPriority()
+		}
+		return ja.seq < jb.seq
+	})
+	keep := s.queue[:0]
+	for _, e := range s.queue {
+		if e.dispTick >= 0 && tick < e.nextTry {
+			keep = append(keep, e)
+			continue
+		}
+		var err error
+		if s.Naive {
+			_, err = s.f.PlaceNaive(e.spec)
+		} else {
+			_, err = s.f.Place(e.spec)
+		}
+		if err == nil {
+			if e.dispTick >= 0 {
+				s.Replaced++
+			}
+			continue
+		}
+		if e.dispTick >= 0 && tick-e.dispTick >= s.c.Spec().ReplaceDeadlineSteps {
+			s.Failed++
+			continue
+		}
+		e.attempts++
+		e.nextTry = tick + BackoffSteps(e.attempts, s.c.Spec().BackoffCapSteps)
+		keep = append(keep, e)
+	}
+	s.queue = keep
+}
+
+// BackoffSteps is the shared exponential-backoff schedule: 1, 2, 4, …
+// steps after the Nth consecutive failed attempt, capped. The serving
+// layer uses the same schedule so recovery reproduces it exactly.
+func BackoffSteps(attempts int, cap int64) int64 {
+	if attempts < 1 {
+		return 0
+	}
+	if attempts > 30 {
+		attempts = 30
+	}
+	b := int64(1) << (attempts - 1)
+	if cap > 0 && b > cap {
+		b = cap
+	}
+	return b
+}

@@ -94,16 +94,15 @@ func (t Topology) Build() (*Fleet, error) {
 						pick -= s.Weight
 					}
 					d := &Device{
-						Index:   idx,
-						ID:      fmt.Sprintf("z%d/r%d/n%d/g%d", z, r, n, g),
-						Zone:    z,
-						Rack:    r,
-						Node:    n,
-						Class:   cl,
-						Healthy: true,
+						Index: idx,
+						ID:    fmt.Sprintf("z%d/r%d/n%d/g%d", z, r, n, g),
+						Zone:  z,
+						Rack:  r,
+						Node:  n,
+						Class: cl,
 					}
 					if t.UnhealthyPerMille > 0 && healthRand.Intn(1000) < t.UnhealthyPerMille {
-						d.Healthy = false
+						d.Cordoned = true
 					}
 					f.devices = append(f.devices, d)
 					idx++

@@ -25,15 +25,34 @@ func fleetRecs() []Record {
 		{Op: OpFleetSubmit, ID: "c", Time: t0, State: "placed",
 			Config: json.RawMessage(`{"workload":"resnet50-inf"}`), Placement: json.RawMessage(`{"device_index":1}`)},
 		{Op: OpFleetState, ID: "c", Time: t0.Add(3 * time.Second), State: "evicted"},
+		// d: placed, displaced by a device failure, one failed re-place
+		// attempt.
+		{Op: OpFleetSubmit, ID: "d", Time: t0, State: "placed",
+			Config: json.RawMessage(`{"workload":"bert-inf"}`), Placement: json.RawMessage(`{"device_index":5}`)},
+		{Op: OpFleetDisplace, ID: "d", Time: t0.Add(4 * time.Second), Device: 5, Tick: 17, PendSeq: 3},
+		{Op: OpFleetState, ID: "d", Time: t0.Add(5 * time.Second), State: "pending",
+			PendSeq: 3, Attempts: 2, Tick: 19},
+		// e: displaced and terminally failed at its re-place deadline.
+		{Op: OpFleetSubmit, ID: "e", Time: t0, State: "placed",
+			Config: json.RawMessage(`{"workload":"llm-inf"}`), Placement: json.RawMessage(`{"device_index":6}`)},
+		{Op: OpFleetDisplace, ID: "e", Time: t0.Add(4 * time.Second), Device: 6, Tick: 17, PendSeq: 4},
+		{Op: OpFleetState, ID: "e", Time: t0.Add(6 * time.Second), State: "failed",
+			Error: "re-place deadline exhausted"},
+		// device health transitions the job reducers must skip.
+		{Op: OpFleetHealth, ID: "z0/r0/n1/g1", Device: 5, State: "down", Tick: 17,
+			Domains: []string{"z0/r0", "z0/r0/n1"}},
+		{Op: OpFleetHealth, ID: "z0/r0/n1/g1", Device: 5, State: "recovering", Tick: 29},
+		{Op: OpFleetHealth, ID: "z0/r1/n0/g0", Device: 8, State: "cordon"},
+		{Op: OpFleetHealth, State: "chaos-start"},
 	}
 }
 
 func TestReduceFleet(t *testing.T) {
 	ims := ReduceFleet(fleetRecs())
-	if len(ims) != 3 {
-		t.Fatalf("%d fleet images, want 3", len(ims))
+	if len(ims) != 5 {
+		t.Fatalf("%d fleet images, want 5", len(ims))
 	}
-	a, b, c := ims[0], ims[1], ims[2]
+	a, b, c, d, e := ims[0], ims[1], ims[2], ims[3], ims[4]
 	if a.ID != "a" || a.State != "evaluated" || a.Placement == nil || a.Summary == nil {
 		t.Fatalf("a = %+v", a)
 	}
@@ -46,6 +65,21 @@ func TestReduceFleet(t *testing.T) {
 	// Bind order: a was bound at record 0, b at record 5.
 	if !(a.BindSeq < b.BindSeq) || c.BindSeq != -1 {
 		t.Fatalf("bind seqs a=%d b=%d c=%d", a.BindSeq, b.BindSeq, c.BindSeq)
+	}
+	// d was displaced: binding cleared, retry bookkeeping folded in.
+	if d.State != "pending" || d.Placement != nil || d.BindSeq != -1 {
+		t.Fatalf("d = %+v (displacement must clear the binding)", d)
+	}
+	if d.DispTick != 17 || d.PendSeq != 3 || d.Attempts != 2 || d.LastTry != 19 {
+		t.Fatalf("d bookkeeping = disp %d seq %d attempts %d lastTry %d",
+			d.DispTick, d.PendSeq, d.Attempts, d.LastTry)
+	}
+	// e hit its re-place deadline: terminal, bookkeeping cleared.
+	if e.State != "failed" || e.Placement != nil || e.Error == "" {
+		t.Fatalf("e = %+v", e)
+	}
+	if e.DispTick != -1 || e.PendSeq != 0 || e.Attempts != 0 {
+		t.Fatalf("terminal e kept retry bookkeeping: %+v", e)
 	}
 }
 
@@ -106,6 +140,16 @@ func TestFleetSnapshotRoundTrip(t *testing.T) {
 			t.Fatalf("bind order changed: %v vs %v", ob, rb)
 		}
 	}
+	// Retry bookkeeping (queue position, deadline clock, backoff state)
+	// must survive compaction too, or a recovered daemon would retry a
+	// displaced job on the wrong schedule.
+	for i := range orig {
+		o, r := orig[i], replayed[i]
+		if o.PendSeq != r.PendSeq || o.DispTick != r.DispTick ||
+			o.Attempts != r.Attempts || o.LastTry != r.LastTry {
+			t.Fatalf("retry bookkeeping for %s diverged:\n orig %+v\n repl %+v", o.ID, o, r)
+		}
+	}
 }
 
 func TestFleetRecordsSurviveAppendReplay(t *testing.T) {
@@ -131,10 +175,96 @@ func TestFleetRecordsSurviveAppendReplay(t *testing.T) {
 	}
 	defer j2.Close()
 	ims := ReduceFleet(recs)
-	if len(ims) != 3 || ims[0].State != "evaluated" || ims[2].State != "evicted" {
+	if len(ims) != 5 || ims[0].State != "evaluated" || ims[2].State != "evicted" {
 		t.Fatalf("replayed fleet images wrong: %+v", ims)
 	}
 	if string(ims[0].Placement) != `{"device_index":3}` {
 		t.Fatalf("placement did not round-trip: %s", ims[0].Placement)
+	}
+	if ims[3].DispTick != 17 || ims[3].PendSeq != 3 || ims[3].Attempts != 2 {
+		t.Fatalf("displacement bookkeeping did not round-trip: %+v", ims[3])
+	}
+	h := ReduceFleetHealth(recs)
+	if h == nil || h.Step != 29 || !h.Started {
+		t.Fatalf("health image did not round-trip: %+v", h)
+	}
+}
+
+func TestReduceFleetHealth(t *testing.T) {
+	recs := fleetRecs()
+	h := ReduceFleetHealth(recs)
+	if h == nil {
+		t.Fatal("health records produced no image")
+	}
+	if h.Step != 29 || !h.Started {
+		t.Fatalf("image = %+v, want step 29, started", h)
+	}
+	if len(h.Devices) != 2 {
+		t.Fatalf("devices = %+v, want 2 (only devices that left the default state)", h.Devices)
+	}
+	d5, d8 := h.Devices[0], h.Devices[1]
+	if d5.Device != 5 || d5.Health != "recovering" || d5.Cordoned || d5.ID != "z0/r0/n1/g1" {
+		t.Fatalf("device 5 = %+v", d5)
+	}
+	if d8.Device != 8 || d8.Health != "healthy" || !d8.Cordoned {
+		t.Fatalf("device 8 = %+v", d8)
+	}
+	if h.Domains["z0/r0"] != 17 || h.Domains["z0/r0/n1"] != 17 {
+		t.Fatalf("domains = %v", h.Domains)
+	}
+	// The job reducer must ignore health records entirely: the device ID
+	// ("z0/r0/n1/g1") must not appear as a fleet job.
+	for _, im := range ReduceFleet(recs) {
+		if im.ID == "z0/r0/n1/g1" || im.ID == "z0/r1/n0/g0" {
+			t.Fatalf("health record leaked into the job reduce: %+v", im)
+		}
+	}
+	// A stream with no health records reduces to nil.
+	if got := ReduceFleetHealth(recs[:8]); got != nil {
+		t.Fatalf("health image from job-only records: %+v", got)
+	}
+}
+
+func TestFleetHealthSnapshotRoundTrip(t *testing.T) {
+	orig := ReduceFleetHealth(fleetRecs())
+	rec, ok := FleetHealthSnapshotRecord(orig, time.Date(2026, 1, 2, 0, 0, 0, 0, time.UTC))
+	if !ok {
+		t.Fatal("non-empty health image produced no snapshot record")
+	}
+	if rec.ID != "" || rec.Op != OpFleetHealth {
+		t.Fatalf("snapshot record = %+v", rec)
+	}
+	replayed := ReduceFleetHealth([]Record{rec})
+	if replayed == nil {
+		t.Fatal("snapshot record reduced to nil")
+	}
+	if replayed.Step != orig.Step || replayed.Started != orig.Started ||
+		len(replayed.Devices) != len(orig.Devices) || len(replayed.Domains) != len(orig.Domains) {
+		t.Fatalf("round trip diverged:\n orig %+v\n repl %+v", orig, replayed)
+	}
+	for i := range orig.Devices {
+		if orig.Devices[i] != replayed.Devices[i] {
+			t.Fatalf("device %d diverged: %+v vs %+v", i, orig.Devices[i], replayed.Devices[i])
+		}
+	}
+	for dom, tick := range orig.Domains {
+		if replayed.Domains[dom] != tick {
+			t.Fatalf("domain %s diverged: %d vs %d", dom, replayed.Domains[dom], tick)
+		}
+	}
+	// Incremental records after a snapshot fold on top of it.
+	after := ReduceFleetHealth([]Record{rec,
+		{Op: OpFleetHealth, ID: "z0/r0/n1/g1", Device: 5, State: "healthy", Tick: 33},
+		{Op: OpFleetHealth, ID: "z0/r1/n0/g0", Device: 8, State: "uncordon"},
+	})
+	if after.Step != 33 || after.Devices[0].Health != "healthy" || after.Devices[1].Cordoned {
+		t.Fatalf("post-snapshot fold = %+v", after)
+	}
+	// Empty and nil images need no record.
+	if _, ok := FleetHealthSnapshotRecord(nil, time.Time{}); ok {
+		t.Fatal("nil image produced a record")
+	}
+	if _, ok := FleetHealthSnapshotRecord(&FleetHealth{}, time.Time{}); ok {
+		t.Fatal("empty image produced a record")
 	}
 }

@@ -73,13 +73,27 @@ const (
 	// the submission.
 	OpFleetSubmit Op = "fleet-submit"
 	// OpFleetState records a fleet job transition: placed (with
-	// Placement), evaluated (with Summary), evicted, or back to pending.
+	// Placement), evaluated (with Summary), evicted, failed, or back to
+	// pending (with the pending-queue position and retry bookkeeping).
 	OpFleetState Op = "fleet-state"
+	// OpFleetHealth records one device health transition (State is the
+	// health state, "cordon"/"uncordon", or "chaos-start"; Device the
+	// index; Tick the failure clock; Domains the failure domains a Down
+	// tainted). A record with no ID carries a compacted health snapshot
+	// in Config instead (see FleetHealthSnapshotRecord).
+	OpFleetHealth Op = "fleet-health"
+	// OpFleetDisplace records a job displaced from a Down or draining
+	// device back to the pending queue: Device is where it was bound,
+	// Tick when the displacement happened, PendSeq its queue position.
+	OpFleetDisplace Op = "fleet-displace"
 )
 
-// fleetOp reports whether the record belongs to the fleet stream, which
-// reduces separately from experiment jobs (see ReduceFleet).
-func fleetOp(op Op) bool { return op == OpFleetSubmit || op == OpFleetState }
+// fleetOp reports whether the record belongs to the fleet streams,
+// which reduce separately from experiment jobs (see ReduceFleet and
+// ReduceFleetHealth).
+func fleetOp(op Op) bool {
+	return op == OpFleetSubmit || op == OpFleetState || op == OpFleetHealth || op == OpFleetDisplace
+}
 
 // Record is one journal entry. Config and Summary stay raw JSON so the
 // journal does not depend on the harness packages (and so replayed
@@ -97,6 +111,18 @@ type Record struct {
 	// Placement is a fleet job's binding (raw JSON for the same reason
 	// as Config); only fleet records carry it.
 	Placement json.RawMessage `json:"placement,omitempty"`
+	// Device, Tick, Attempts, PendSeq and Domains carry the fleet
+	// failure-dynamics stream (OpFleetHealth / OpFleetDisplace, and
+	// pending OpFleetState records): the device index a transition
+	// applies to, the failure-clock step it happened at, a displaced
+	// job's failed re-place attempts, its pending-queue position
+	// (1-based; 0 = unset), and the failure-domain keys a Down
+	// transition tainted.
+	Device   int      `json:"device,omitempty"`
+	Tick     int64    `json:"tick,omitempty"`
+	Attempts int      `json:"attempts,omitempty"`
+	PendSeq  int      `json:"pend_seq,omitempty"`
+	Domains  []string `json:"domains,omitempty"`
 }
 
 // Options tunes a Journal.
@@ -696,9 +722,10 @@ func SnapshotRecords(images []*JobImage) []Record {
 type FleetImage struct {
 	ID     string
 	Config json.RawMessage
-	// State is pending, placed, evaluated, or evicted.
+	// State is pending, placed, evaluated, evicted, or failed.
 	State string
-	// Placement is the job's current binding (nil when pending/evicted).
+	// Placement is the job's current binding (nil when
+	// pending/evicted/failed).
 	Placement json.RawMessage
 	Summary   json.RawMessage
 	Error     string
@@ -709,6 +736,18 @@ type FleetImage struct {
 	// lists (and thus future preemption-victim choices) reconstruct
 	// exactly.
 	BindSeq int
+	// PendSeq orders pending jobs by when they (last) entered the
+	// pending queue (1-based; 0 = unset), so recovery rebuilds the
+	// retry queue in the pre-crash order.
+	PendSeq int
+	// DispTick is the failure-clock tick the job was displaced at (-1 =
+	// never displaced: no re-place deadline or backoff applies).
+	DispTick int64
+	// Attempts counts failed re-place attempts since displacement, and
+	// LastTry the failure-clock tick of the most recent one — together
+	// they reconstruct the exponential-backoff schedule.
+	Attempts int
+	LastTry  int64
 }
 
 // ReduceFleet folds the replayed stream's fleet records into per-job
@@ -720,14 +759,14 @@ func ReduceFleet(recs []Record) []*FleetImage {
 	get := func(id string) *FleetImage {
 		im, ok := byID[id]
 		if !ok {
-			im = &FleetImage{ID: id, State: "pending", BindSeq: -1}
+			im = &FleetImage{ID: id, State: "pending", BindSeq: -1, DispTick: -1}
 			byID[id] = im
 			order = append(order, im)
 		}
 		return im
 	}
 	for seq, r := range recs {
-		if r.ID == "" || !fleetOp(r.Op) {
+		if r.ID == "" || !fleetOp(r.Op) || r.Op == OpFleetHealth {
 			continue
 		}
 		im := get(r.ID)
@@ -746,6 +785,24 @@ func ReduceFleet(recs []Record) []*FleetImage {
 			if r.State != "" {
 				im.State = r.State
 			}
+			if r.State == "pending" {
+				if r.PendSeq > 0 {
+					im.PendSeq = r.PendSeq
+				}
+				if r.Attempts > 0 {
+					im.Attempts = r.Attempts
+					im.LastTry = r.Tick
+				}
+			}
+			im.Updated = r.Time
+		case OpFleetDisplace:
+			im.State = "pending"
+			im.DispTick = r.Tick
+			im.LastTry = r.Tick
+			im.Attempts = 0
+			if r.PendSeq > 0 {
+				im.PendSeq = r.PendSeq
+			}
 			im.Updated = r.Time
 		}
 		if r.Error != "" {
@@ -758,9 +815,14 @@ func ReduceFleet(recs []Record) []*FleetImage {
 			im.Placement = r.Placement
 			im.BindSeq = seq
 		}
-		if im.State == "pending" || im.State == "evicted" {
+		if im.State == "pending" || im.State == "evicted" || im.State == "failed" {
 			im.Placement = nil
 			im.BindSeq = -1
+		}
+		if im.State != "pending" {
+			// Leaving pending clears the retry bookkeeping: a re-placed
+			// job that is displaced again starts a fresh deadline.
+			im.PendSeq, im.Attempts, im.DispTick, im.LastTry = 0, 0, -1, 0
 		}
 	}
 	return order
@@ -782,10 +844,27 @@ func FleetSnapshotRecords(images []*FleetImage) []Record {
 	for _, im := range images {
 		if im.Placement != nil {
 			bound = append(bound, im)
-		} else if im.State != "pending" {
+			continue
+		}
+		if im.State != "pending" {
 			recs = append(recs, Record{
 				Op: OpFleetState, ID: im.ID, Time: im.Updated,
 				State: im.State, Error: im.Error, Summary: im.Summary,
+			})
+			continue
+		}
+		// Pending jobs with retry bookkeeping re-emit it so the queue
+		// order, deadline and backoff schedule survive compaction.
+		if im.DispTick >= 0 {
+			recs = append(recs, Record{
+				Op: OpFleetDisplace, ID: im.ID, Time: im.Updated,
+				Tick: im.DispTick, PendSeq: im.PendSeq,
+			})
+		}
+		if im.Attempts > 0 || (im.PendSeq > 0 && im.DispTick < 0) {
+			recs = append(recs, Record{
+				Op: OpFleetState, ID: im.ID, Time: im.Updated, State: "pending",
+				PendSeq: im.PendSeq, Attempts: im.Attempts, Tick: im.LastTry,
 			})
 		}
 	}
@@ -798,4 +877,115 @@ func FleetSnapshotRecords(images []*FleetImage) []Record {
 		})
 	}
 	return recs
+}
+
+// --- fleet health reduction -------------------------------------------------
+
+// DeviceHealth is one device's reduced health state. Only devices that
+// ever left the default (healthy, uncordoned) state appear in a
+// FleetHealth image.
+type DeviceHealth struct {
+	Device   int    `json:"device"`
+	ID       string `json:"id,omitempty"`
+	Health   string `json:"health,omitempty"`
+	Cordoned bool   `json:"cordoned,omitempty"`
+}
+
+// FleetHealth is the reduced device-health state of the fleet: the
+// failure clock, whether the chaos process was armed, per-device final
+// states, and the recently-failed failure domains the anti-affinity
+// penalty reads.
+type FleetHealth struct {
+	Step    int64            `json:"step"`
+	Started bool             `json:"started,omitempty"`
+	Devices []DeviceHealth   `json:"devices,omitempty"`
+	Domains map[string]int64 `json:"domains,omitempty"`
+}
+
+// ReduceFleetHealth folds the replayed stream's OpFleetHealth records
+// (incremental transitions and compacted snapshots) into the final
+// health image. Returns nil when the stream has no health records.
+func ReduceFleetHealth(recs []Record) *FleetHealth {
+	var h *FleetHealth
+	byDev := map[int]*DeviceHealth{}
+	ensure := func(idx int, id string) *DeviceHealth {
+		d, ok := byDev[idx]
+		if !ok {
+			d = &DeviceHealth{Device: idx, ID: id, Health: "healthy"}
+			byDev[idx] = d
+		}
+		return d
+	}
+	for _, r := range recs {
+		if r.Op != OpFleetHealth {
+			continue
+		}
+		if h == nil {
+			h = &FleetHealth{}
+		}
+		if r.ID == "" && len(r.Config) > 0 {
+			// Compacted snapshot: replaces everything reduced so far.
+			var snap FleetHealth
+			if err := json.Unmarshal(r.Config, &snap); err != nil {
+				continue
+			}
+			h = &snap
+			byDev = map[int]*DeviceHealth{}
+			for i := range h.Devices {
+				byDev[h.Devices[i].Device] = &h.Devices[i]
+			}
+			continue
+		}
+		if r.Tick > h.Step {
+			h.Step = r.Tick
+		}
+		switch r.State {
+		case "chaos-start":
+			h.Started = true
+			continue
+		case "cordon":
+			ensure(r.Device, r.ID).Cordoned = true
+		case "uncordon":
+			ensure(r.Device, r.ID).Cordoned = false
+		default:
+			ensure(r.Device, r.ID).Health = r.State
+		}
+		for _, dom := range r.Domains {
+			if h.Domains == nil {
+				h.Domains = map[string]int64{}
+			}
+			h.Domains[dom] = r.Tick
+		}
+	}
+	if h == nil {
+		return nil
+	}
+	// Flatten the pointer map into a fresh dense slice in index order
+	// (byDev may alias the old h.Devices backing array).
+	idxs := make([]int, 0, len(byDev))
+	for i := range byDev {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]DeviceHealth, 0, len(byDev))
+	for _, i := range idxs {
+		out = append(out, *byDev[i])
+	}
+	h.Devices = out
+	return h
+}
+
+// FleetHealthSnapshotRecord renders the reduced health image into the
+// single record a compacted journal carries (an OpFleetHealth record
+// with no ID and the image as Config). Returns ok=false for a nil or
+// empty image, which needs no record.
+func FleetHealthSnapshotRecord(h *FleetHealth, now time.Time) (Record, bool) {
+	if h == nil || (h.Step == 0 && !h.Started && len(h.Devices) == 0 && len(h.Domains) == 0) {
+		return Record{}, false
+	}
+	cfg, err := json.Marshal(h)
+	if err != nil {
+		return Record{}, false
+	}
+	return Record{Op: OpFleetHealth, Time: now, Config: cfg}, true
 }

@@ -23,11 +23,15 @@ import (
 // job — preemption victims re-enter pending). Unlike experiments these
 // are long-lived allocations, not runs: "evaluated" only means the
 // per-device interference simulation finished; the job stays bound.
+// With failure dynamics enabled a placed job can also be displaced back
+// to pending by a device failure or drain, and a displaced job that
+// exhausts its re-place deadline ends in the terminal failed state.
 const (
 	FleetPending   = "pending"
 	FleetPlaced    = "placed"
 	FleetEvaluated = "evaluated"
 	FleetEvicted   = "evicted"
+	FleetFailed    = "failed"
 )
 
 // maxFleetJobs bounds retained fleet job records (evicted ones are
@@ -47,6 +51,19 @@ type fleetJob struct {
 	bindSeq   int
 	submitted time.Time
 	updated   time.Time
+
+	// Re-placement bookkeeping, journaled so a recovered daemon retries
+	// on the exact pre-crash schedule: pendSeq is the job's pending-queue
+	// position (1-based; 0 = not pending), dispTick the failure-clock
+	// step it was displaced at (-1 = never displaced: no deadline or
+	// backoff applies), attempts the failed re-place attempts since
+	// displacement, lastTry the failure-clock step of the most recent
+	// one, and dispWall the displacement wall time (metrics only).
+	pendSeq  int
+	dispTick int64
+	attempts int
+	lastTry  int64
+	dispWall time.Time
 }
 
 // fleetAPI is the serving layer over one fleet.Fleet: it serializes all
@@ -59,9 +76,20 @@ type fleetAPI struct {
 	f       *fleet.Fleet
 	jobs    map[string]*fleetJob
 	order   []string
-	pending []string // job IDs awaiting capacity, FIFO
+	pending []string // job IDs awaiting capacity, in pendSeq order
 	seq     uint64
 	binds   int
+	// pendSeqCtr numbers entries into the pending queue (journaled, so
+	// recovery rebuilds the retry order exactly).
+	pendSeqCtr int
+
+	// chaos is the deterministic failure process (-fleet-chaos-profile;
+	// nil when disabled). It only advances once armed via POST
+	// /v1/fleet/chaos/start, and the arming is journaled so a recovered
+	// daemon resumes the storm where it left off.
+	chaos        *fleet.Chaos
+	chaosProfile string
+	chaosArmed   bool
 
 	evalQ chan string
 	memo  map[string]*harness.Summary
@@ -86,7 +114,10 @@ type FleetJobStatus struct {
 	// (set only in the submit response; victims re-enter the pending
 	// queue).
 	Preempted []string `json:"preempted,omitempty"`
-	Error     string   `json:"error,omitempty"`
+	// ReplaceAttempts counts failed re-place attempts since the job was
+	// displaced by a device failure or drain (0 once re-placed).
+	ReplaceAttempts int    `json:"replace_attempts,omitempty"`
+	Error           string `json:"error,omitempty"`
 }
 
 // FleetStatus is the wire-level fleet snapshot.
@@ -117,7 +148,7 @@ func newFleetAPI(cfg Config) (*fleetAPI, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &fleetAPI{
+	fa := &fleetAPI{
 		f:       f,
 		jobs:    map[string]*fleetJob{},
 		evalQ:   make(chan string, 4096),
@@ -125,20 +156,34 @@ func newFleetAPI(cfg Config) (*fleetAPI, error) {
 		horizon: cfg.FleetEvalHorizon,
 		warmup:  cfg.FleetEvalWarmup,
 		seed:    cfg.FleetSeed,
-	}, nil
+	}
+	if cfg.FleetChaosProfile != "" {
+		spec, err := fleet.ParseChaosSpec(cfg.FleetChaosProfile)
+		if err != nil {
+			return nil, err
+		}
+		c, err := fleet.NewChaos(spec, f)
+		if err != nil {
+			return nil, err
+		}
+		fa.chaos = c
+		fa.chaosProfile = cfg.FleetChaosProfile
+	}
+	return fa, nil
 }
 
 func (fj *fleetJob) status() FleetJobStatus {
 	return FleetJobStatus{
-		ID:          fj.spec.ID,
-		State:       fj.state,
-		Workload:    fj.spec.Workload,
-		Priority:    fj.spec.Priority,
-		SubmittedAt: fj.submitted,
-		UpdatedAt:   fj.updated,
-		Placement:   fj.placement,
-		Result:      fj.summary,
-		Error:       fj.errMsg,
+		ID:              fj.spec.ID,
+		State:           fj.state,
+		Workload:        fj.spec.Workload,
+		Priority:        fj.spec.Priority,
+		SubmittedAt:     fj.submitted,
+		UpdatedAt:       fj.updated,
+		Placement:       fj.placement,
+		Result:          fj.summary,
+		ReplaceAttempts: fj.attempts,
+		Error:           fj.errMsg,
 	}
 }
 
@@ -252,12 +297,13 @@ func (s *Server) jnDegradedCheck(err error) bool {
 	return err != nil && s.degraded.Load()
 }
 
-// reclaim drops up to n of the oldest evicted job records to make room.
-// Callers hold fa.mu. Returns false when fewer than n could be freed.
+// reclaim drops up to n of the oldest terminal (evicted or failed) job
+// records to make room. Callers hold fa.mu. Returns false when fewer
+// than n could be freed.
 func (fa *fleetAPI) reclaim(n int) bool {
 	kept := fa.order[:0]
 	for _, id := range fa.order {
-		if n > 0 && fa.jobs[id].state == FleetEvicted {
+		if st := fa.jobs[id].state; n > 0 && (st == FleetEvicted || st == FleetFailed) {
 			delete(fa.jobs, id)
 			n--
 			continue
@@ -279,7 +325,7 @@ func (s *Server) fleetAdmit(js fleet.JobSpec) (FleetJobStatus, error) {
 		return FleetJobStatus{}, err
 	}
 	now := time.Now()
-	fj := &fleetJob{spec: js, specJSON: specJSON, state: FleetPending, bindSeq: -1, submitted: now, updated: now}
+	fj := &fleetJob{spec: js, specJSON: specJSON, state: FleetPending, bindSeq: -1, dispTick: -1, submitted: now, updated: now}
 	if s.jn != nil {
 		err := s.jn.Append(journal.Record{
 			Op:     journal.OpFleetSubmit,
@@ -307,57 +353,136 @@ func (s *Server) fleetAdmit(js fleet.JobSpec) (FleetJobStatus, error) {
 // residents when nothing fits; victims re-enter the pending queue.
 // Callers hold fa.mu.
 func (s *Server) fleetPlaceLocked(fj *fleetJob) FleetJobStatus {
+	st, err := s.fleetTryPlaceLocked(fj)
+	if err != nil {
+		// No capacity anywhere: the job waits in the pending queue for an
+		// eviction or repair to free room. Any other error is a validation
+		// bug — specs were validated at admission — but is still surfaced.
+		s.fleetPendLocked(fj)
+		return fj.status()
+	}
+	return st
+}
+
+// fleetTryPlaceLocked attempts one placement and, on success, applies
+// and journals the binding (including any preemption victims, which
+// re-enter the pending queue). On failure the job's queue bookkeeping is
+// untouched — the caller decides whether to (re-)pend it. Callers hold
+// fa.mu.
+func (s *Server) fleetTryPlaceLocked(fj *fleetJob) (FleetJobStatus, error) {
 	fa := s.fleet
 	start := time.Now()
 	p, victims, err := fa.f.PlaceOrPreempt(fj.spec)
 	s.hFleetPlace.Observe(time.Since(start).Seconds())
 	if err != nil {
-		// No capacity anywhere: the job waits in the pending queue for an
-		// eviction to free room. Any other error is a validation bug —
-		// specs were validated at admission — but is still surfaced.
-		fj.state = FleetPending
-		fj.updated = time.Now()
-		fa.pending = append(fa.pending, fj.spec.ID)
-		st := fj.status()
-		return st
+		return FleetJobStatus{}, err
 	}
 	var preempted []string
 	for _, vid := range victims {
 		s.cFleetPreempted.Inc()
 		v := fa.jobs[vid]
-		v.state = FleetPending
 		v.placement = nil
 		v.summary = nil
 		v.bindSeq = -1
-		v.updated = time.Now()
-		fa.pending = append(fa.pending, vid)
-		s.journalFleetState(vid, FleetPending, nil, nil)
+		s.fleetPendLocked(v)
 		preempted = append(preempted, vid)
 	}
+	wasDisplaced := fj.dispTick >= 0
 	fj.state = FleetPlaced
 	fj.placement = &p
 	fj.bindSeq = fa.binds
 	fa.binds++
+	fj.pendSeq, fj.attempts, fj.lastTry = 0, 0, 0
+	fj.dispTick = -1
 	fj.updated = time.Now()
-	s.journalFleetState(fj.spec.ID, FleetPlaced, fj.placement, nil)
+	s.journalFleetState(fj.spec.ID, FleetPlaced, "", fj.placement, nil)
+	if wasDisplaced {
+		s.cFleetReplaced.Inc()
+		if !fj.dispWall.IsZero() {
+			s.hFleetReplace.Observe(time.Since(fj.dispWall).Seconds())
+			fj.dispWall = time.Time{}
+		}
+	}
 	s.fleetEnqueueEval(fj.spec.ID)
 	st := fj.status()
 	st.Preempted = preempted
-	return st
+	return st, nil
 }
 
-// fleetRetryPendingLocked re-runs placement for queued jobs, FIFO, after
-// capacity frees up. Jobs that still fit nowhere stay queued in order.
+// fleetPendLocked (re-)enters a job into the pending queue with a fresh
+// queue position and journals the transition (the journaled pendSeq is
+// what lets recovery rebuild the retry order exactly). Callers hold
+// fa.mu.
+func (s *Server) fleetPendLocked(fj *fleetJob) {
+	fa := s.fleet
+	fa.pendSeqCtr++
+	fj.pendSeq = fa.pendSeqCtr
+	fj.state = FleetPending
+	fj.updated = time.Now()
+	fa.pending = append(fa.pending, fj.spec.ID)
+	s.journalFleetPending(fj, 0)
+}
+
+// fleetRetryPendingLocked re-runs placement for queued jobs in triage
+// order — high-priority before best-effort, queue position within each
+// band — so a late HP arrival is re-placed before BE backlog, and a
+// large un-placeable job at the head cannot starve smaller jobs behind
+// it (every eligible job is attempted each pass). Displaced jobs honor
+// their exponential backoff and fail terminally once the re-place
+// deadline passes; both apply only with a chaos profile configured, so
+// a chaos-less daemon retries exactly as before. Jobs that still fit
+// nowhere stay queued in band order. Callers hold fa.mu.
 func (s *Server) fleetRetryPendingLocked() {
 	fa := s.fleet
-	waiting := fa.pending
+	if len(fa.pending) == 0 {
+		return
+	}
+	tick := fa.f.Clock()
+	var deadline, backoffCap int64
+	if fa.chaos != nil {
+		deadline = fa.chaos.Spec().ReplaceDeadlineSteps
+		backoffCap = fa.chaos.Spec().BackoffCapSteps
+	}
+	waiting := make([]*fleetJob, 0, len(fa.pending))
+	for _, id := range fa.pending {
+		if fj := fa.jobs[id]; fj != nil && fj.state == FleetPending {
+			waiting = append(waiting, fj)
+		}
+	}
 	fa.pending = nil
-	for _, id := range waiting {
-		fj := fa.jobs[id]
-		if fj == nil || fj.state != FleetPending {
+	sort.SliceStable(waiting, func(a, b int) bool {
+		if waiting[a].spec.HighPriority() != waiting[b].spec.HighPriority() {
+			return waiting[a].spec.HighPriority()
+		}
+		return waiting[a].pendSeq < waiting[b].pendSeq
+	})
+	for _, fj := range waiting {
+		if deadline > 0 && fj.dispTick >= 0 && fj.attempts > 0 &&
+			tick < fj.lastTry+fleet.BackoffSteps(fj.attempts, backoffCap) {
+			fa.pending = append(fa.pending, fj.spec.ID)
 			continue
 		}
-		s.fleetPlaceLocked(fj)
+		if _, err := s.fleetTryPlaceLocked(fj); err == nil {
+			continue
+		}
+		if deadline > 0 && fj.dispTick >= 0 {
+			if tick-fj.dispTick >= deadline {
+				fj.state = FleetFailed
+				fj.errMsg = fmt.Sprintf("fleet: re-place deadline exhausted (displaced at step %d, %d failed attempts)",
+					fj.dispTick, fj.attempts)
+				fj.updated = time.Now()
+				s.cFleetFailed.Inc()
+				s.journalFleetState(fj.spec.ID, FleetFailed, fj.errMsg, nil, nil)
+				continue
+			}
+			// Journal the failed attempt so a recovered daemon resumes the
+			// same backoff schedule.
+			fj.attempts++
+			fj.lastTry = tick
+			fj.updated = time.Now()
+			s.journalFleetPending(fj, tick)
+		}
+		fa.pending = append(fa.pending, fj.spec.ID)
 	}
 }
 
@@ -412,10 +537,12 @@ func (s *Server) handleFleetEvict(w http.ResponseWriter, r *http.Request) {
 	switch fj.state {
 	case FleetEvicted:
 		// Idempotent: evicting twice reports the same terminal state.
-	case FleetPending:
+	case FleetPending, FleetFailed:
+		// Nothing is bound; the record just moves to the terminal state
+		// (and a failed job's eviction frees its table slot for reclaim).
 		fj.state = FleetEvicted
 		fj.updated = time.Now()
-		s.journalFleetState(fj.spec.ID, FleetEvicted, nil, nil)
+		s.journalFleetState(fj.spec.ID, FleetEvicted, "", nil, nil)
 	default:
 		if err := fa.f.Remove(fj.spec.ID); err != nil {
 			fa.mu.Unlock()
@@ -427,7 +554,7 @@ func (s *Server) handleFleetEvict(w http.ResponseWriter, r *http.Request) {
 		fj.placement = nil
 		fj.bindSeq = -1
 		fj.updated = time.Now()
-		s.journalFleetState(fj.spec.ID, FleetEvicted, nil, nil)
+		s.journalFleetState(fj.spec.ID, FleetEvicted, "", nil, nil)
 		// Freed capacity may unblock queued jobs.
 		s.fleetRetryPendingLocked()
 	}
@@ -462,13 +589,17 @@ func (s *Server) fleetGaugesLocked() {
 	s.gFleetDevices.Set(float64(st.Allocated))
 	s.gFleetFrag.Set(st.Fragmentation)
 	s.gFleetPending.Set(float64(len(s.fleet.pending)))
+	s.gFleetDown.Set(float64(st.Down))
+	if s.fleet.chaos != nil {
+		s.gFleetChaosStep.Set(float64(s.fleet.chaos.StepCount()))
+	}
 }
 
 // journalFleetState records a fleet job transition, best-effort like
 // journalState: a lost append means the transition replays after a
 // crash, and replay (re-placing a pending job, re-evaluating a device)
 // is deterministic. Callers hold fa.mu — see fleetAPI for why.
-func (s *Server) journalFleetState(id, state string, p *fleet.Placement, sum *harness.Summary) {
+func (s *Server) journalFleetState(id, state, errMsg string, p *fleet.Placement, sum *harness.Summary) {
 	if s.jn == nil {
 		return
 	}
@@ -484,8 +615,32 @@ func (s *Server) journalFleetState(id, state string, p *fleet.Placement, sum *ha
 		ID:        id,
 		Time:      time.Now(),
 		State:     state,
+		Error:     errMsg,
 		Placement: praw,
 		Summary:   sraw,
+	})
+	if err != nil {
+		s.noteJournalError(err)
+	}
+	s.journalGauges()
+}
+
+// journalFleetPending records a pending transition with its queue
+// position and retry bookkeeping (tick is the failure-clock step of a
+// failed re-place attempt; 0 on first entry). Best-effort, like
+// journalFleetState. Callers hold fa.mu.
+func (s *Server) journalFleetPending(fj *fleetJob, tick int64) {
+	if s.jn == nil {
+		return
+	}
+	err := s.jn.Append(journal.Record{
+		Op:       journal.OpFleetState,
+		ID:       fj.spec.ID,
+		Time:     time.Now(),
+		State:    FleetPending,
+		PendSeq:  fj.pendSeq,
+		Attempts: fj.attempts,
+		Tick:     tick,
 	})
 	if err != nil {
 		s.noteJournalError(err)
@@ -611,16 +766,41 @@ func (s *Server) fleetAttachEval(fj *fleetJob, residents []string, sum *harness.
 	}
 	fj.summary = sum
 	fj.state = FleetEvaluated
-	s.journalFleetState(fj.spec.ID, FleetEvaluated, fj.placement, sum)
+	s.journalFleetState(fj.spec.ID, FleetEvaluated, "", fj.placement, sum)
 }
 
-// recoverFleet rebuilds the fleet job table and bindings from the
-// journal's reduced fleet stream. Bindings replay through Fleet.Bind in
-// BindSeq order — no re-scoring — so the recovered placement is
-// bit-identical to the pre-crash one even across policy changes.
-// Called from openJournal before the worker pool starts; no locking.
-func (s *Server) recoverFleet(images []*journal.FleetImage) {
+// recoverFleet rebuilds the fleet job table, bindings and device health
+// from the journal's reduced fleet streams. Health applies first (a
+// recovered device rejects placements exactly as the pre-crash one
+// did), bindings replay through Fleet.Bind in BindSeq order — no
+// re-scoring — so the recovered placement is bit-identical to the
+// pre-crash one even across policy changes, and a post-bind sweep
+// re-displaces residents of Down devices (covering a crash between the
+// health record and its displacement records landing). Called from
+// openJournal before the worker pool starts; no locking.
+func (s *Server) recoverFleet(images []*journal.FleetImage, health *journal.FleetHealth) {
 	fa := s.fleet
+	if health != nil {
+		for _, dh := range health.Devices {
+			if dh.Device < 0 || dh.Device >= len(fa.f.Devices()) {
+				log.Printf("orion-serve: fleet recovery: journaled device %d outside the topology (changed -fleet spec?)", dh.Device)
+				continue
+			}
+			_ = fa.f.Cordon(dh.Device, dh.Cordoned)
+			if dh.Health != "" && dh.Health != "healthy" {
+				if h, err := fleet.ParseHealthState(dh.Health); err == nil {
+					// No residents are bound yet, so nothing displaces here.
+					_, _ = fa.f.ApplyHealth(dh.Device, h, 0)
+				}
+			}
+		}
+		fa.f.RestoreDomainFailures(health.Domains)
+		fa.f.SetClock(health.Step)
+		if fa.chaos != nil {
+			fa.chaosArmed = health.Started
+			fa.chaos.FastForward(health.Step)
+		}
+	}
 	type bound struct {
 		fj  *fleetJob
 		p   fleet.Placement
@@ -637,9 +817,19 @@ func (s *Server) recoverFleet(images []*journal.FleetImage) {
 			specJSON:  im.Config,
 			state:     im.State,
 			bindSeq:   -1,
+			pendSeq:   im.PendSeq,
+			dispTick:  im.DispTick,
+			attempts:  im.Attempts,
+			lastTry:   im.LastTry,
 			submitted: im.Submitted,
 			updated:   im.Updated,
 			errMsg:    im.Error,
+		}
+		if fj.dispTick >= 0 {
+			// The true displacement wall time is gone with the process; the
+			// journaled update time is the closest bound, and it only feeds
+			// the replacement-latency histogram.
+			fj.dispWall = im.Updated
 		}
 		if im.Summary != nil {
 			var sum harness.Summary
@@ -651,6 +841,9 @@ func (s *Server) recoverFleet(images []*journal.FleetImage) {
 		fa.order = append(fa.order, spec.ID)
 		if n := fleetSeq(spec.ID); n > fa.seq {
 			fa.seq = n
+		}
+		if fj.pendSeq > fa.pendSeqCtr {
+			fa.pendSeqCtr = fj.pendSeq
 		}
 		switch {
 		case im.Placement != nil:
@@ -665,6 +858,11 @@ func (s *Server) recoverFleet(images []*journal.FleetImage) {
 			fa.pending = append(fa.pending, spec.ID)
 		}
 	}
+	// The pending queue retries in pendSeq order; jobs without journaled
+	// positions (older journals) keep first-appearance order at the front.
+	sort.SliceStable(fa.pending, func(a, b int) bool {
+		return fa.jobs[fa.pending[a]].pendSeq < fa.jobs[fa.pending[b]].pendSeq
+	})
 	sort.SliceStable(binds, func(a, b int) bool { return binds[a].seq < binds[b].seq })
 	for _, b := range binds {
 		p, err := fa.f.Bind(b.fj.spec, b.p.DeviceIndex)
@@ -686,6 +884,24 @@ func (s *Server) recoverFleet(images []*journal.FleetImage) {
 			s.fleetEnqueueEval(b.fj.spec.ID)
 		}
 	}
+	// Sweep: a crash between a Down record and its displacement records
+	// can leave journaled bindings on a Down device. Re-displace them now
+	// (journaling the displacements this run) so the recovered fleet
+	// reaches the state the uninterrupted run would have.
+	for _, d := range fa.f.Devices() {
+		if d.Health == fleet.HealthDown && len(d.Residents) > 0 {
+			specs, _ := fa.f.Displace(d.Index)
+			s.fleetDisplaceLocked(d.Index, specs, fa.f.Clock())
+		}
+	}
+	// Re-run the placement pass at the recovered clock: a crash between a
+	// journaled displacement and its same-tick re-placement leaves the job
+	// pending where the uninterrupted run already placed it. The pass is
+	// idempotent for journaled history — a job whose failed attempt at
+	// this tick was journaled is skipped by its backoff (lastTry equals
+	// the recovered clock), and a job that stayed pending fails again
+	// against the identical fleet state.
+	s.fleetRetryPendingLocked()
 	s.fleetGaugesLocked()
 }
 
@@ -704,6 +920,10 @@ func (s *Server) fleetImages() []*journal.FleetImage {
 			Submitted: fj.submitted,
 			Updated:   fj.updated,
 			BindSeq:   fj.bindSeq,
+			PendSeq:   fj.pendSeq,
+			DispTick:  fj.dispTick,
+			Attempts:  fj.attempts,
+			LastTry:   fj.lastTry,
 		}
 		if fj.placement != nil {
 			im.Placement, _ = json.Marshal(fj.placement)

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"orion/internal/fleet"
+	"orion/internal/journal"
+)
+
+// This file is the failure-dynamics serving layer: the chaos ticker
+// that advances the deterministic failure process, the displacement
+// path that moves residents of Down (or drained) devices back into the
+// pending queue, and the operator endpoints (cordon/uncordon/drain,
+// device listing, chaos arm/status). Every transition is journaled
+// UNDER fa.mu and BEFORE it is applied, so the journal's failure
+// history is a prefix-exact record of what the in-memory fleet did —
+// recovery replays it bit-identically.
+
+// FleetDeviceStatus is the wire-level view of one fleet device.
+type FleetDeviceStatus struct {
+	Index        int      `json:"index"`
+	ID           string   `json:"id"`
+	Class        string   `json:"class"`
+	Health       string   `json:"health"`
+	Cordoned     bool     `json:"cordoned,omitempty"`
+	Residents    []string `json:"residents,omitempty"`
+	MemUsedBytes int64    `json:"mem_used_bytes"`
+	MemCapBytes  int64    `json:"mem_cap_bytes"`
+	// Displaced is how many residents a drain displaced (drain
+	// responses only).
+	Displaced int `json:"displaced,omitempty"`
+}
+
+// FleetChaosStatus is the wire-level view of the failure process.
+type FleetChaosStatus struct {
+	Profile   string `json:"profile"`
+	Armed     bool   `json:"armed"`
+	Step      int64  `json:"step"`
+	MaxSteps  int64  `json:"max_steps,omitempty"`
+	Events    int64  `json:"events"`
+	Exhausted bool   `json:"exhausted,omitempty"`
+}
+
+func fleetDeviceStatus(d *fleet.Device) FleetDeviceStatus {
+	return FleetDeviceStatus{
+		Index:        d.Index,
+		ID:           d.ID,
+		Class:        d.Class.Name,
+		Health:       d.Health.String(),
+		Cordoned:     d.Cordoned,
+		Residents:    append([]string(nil), d.Residents...),
+		MemUsedBytes: d.MemUsed,
+		MemCapBytes:  d.Class.MemoryBytes,
+	}
+}
+
+// fleetChaosTicker advances the failure process on a wall-clock ticker.
+// Each tick takes fa.mu, applies one chaos step's health transitions
+// (journaling each first), and runs the re-placement queue — exactly
+// the sequence a fleet.Storm performs in-process, with journaling
+// interleaved. The process only moves once armed via POST
+// /v1/fleet/chaos/start.
+func (s *Server) fleetChaosTicker() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.FleetChaosTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			fa := s.fleet
+			fa.mu.Lock()
+			s.fleetChaosStepLocked()
+			fa.mu.Unlock()
+		}
+	}
+}
+
+// fleetChaosStepLocked applies one failure-process step. Callers hold
+// fa.mu.
+func (s *Server) fleetChaosStepLocked() {
+	fa := s.fleet
+	if fa.chaos == nil || !fa.chaosArmed || fa.chaos.Exhausted() {
+		return
+	}
+	evs := fa.chaos.Step()
+	tick := fa.chaos.StepCount()
+	for _, ev := range evs {
+		s.fleetApplyHealthLocked(ev.Device, ev.To, tick)
+	}
+	s.fleetRetryPendingLocked()
+	s.fleetGaugesLocked()
+}
+
+// fleetApplyHealthLocked journals one device health transition, applies
+// it, and displaces any residents a Down transition unbinds. The
+// journal append happens first: a crash between the append and the
+// apply is safe because recovery's post-bind sweep re-displaces
+// residents of Down devices. Callers hold fa.mu.
+func (s *Server) fleetApplyHealthLocked(deviceIndex int, h fleet.HealthState, tick int64) {
+	fa := s.fleet
+	devs := fa.f.Devices()
+	if deviceIndex < 0 || deviceIndex >= len(devs) {
+		return
+	}
+	d := devs[deviceIndex]
+	rec := journal.Record{
+		Op:     journal.OpFleetHealth,
+		ID:     d.ID,
+		Device: deviceIndex,
+		Time:   time.Now(),
+		State:  h.String(),
+		Tick:   tick,
+	}
+	if h == fleet.HealthDown && d.Health != fleet.HealthDown {
+		rec.Domains = d.Domains()
+	}
+	s.journalFleetHealth(rec)
+	displaced, err := fa.f.ApplyHealth(deviceIndex, h, tick)
+	if err != nil {
+		return // index validated above; unreachable
+	}
+	s.fleetDisplaceLocked(deviceIndex, displaced, tick)
+}
+
+// fleetDisplaceLocked moves displaced jobs into the pending queue with
+// fresh queue positions and journals each displacement. The displaced
+// job's deadline clock (dispTick) starts here. Callers hold fa.mu.
+func (s *Server) fleetDisplaceLocked(deviceIndex int, specs []fleet.JobSpec, tick int64) {
+	fa := s.fleet
+	now := time.Now()
+	for _, spec := range specs {
+		fj := fa.jobs[spec.ID]
+		if fj == nil {
+			continue
+		}
+		fa.pendSeqCtr++
+		fj.pendSeq = fa.pendSeqCtr
+		fj.state = FleetPending
+		fj.placement = nil
+		fj.summary = nil
+		fj.bindSeq = -1
+		fj.dispTick = tick
+		fj.attempts = 0
+		fj.lastTry = tick
+		fj.dispWall = now
+		fj.updated = now
+		fa.pending = append(fa.pending, spec.ID)
+		s.cFleetDisplaced.Inc()
+		s.journalFleetHealth(journal.Record{
+			Op:      journal.OpFleetDisplace,
+			ID:      spec.ID,
+			Device:  deviceIndex,
+			Time:    now,
+			Tick:    tick,
+			PendSeq: fj.pendSeq,
+		})
+	}
+}
+
+// journalFleetHealth appends a failure-stream record, best-effort like
+// journalFleetState: a lost append means the transition replays after a
+// crash, and the recovery sweep makes that safe. Callers hold fa.mu.
+func (s *Server) journalFleetHealth(rec journal.Record) {
+	if s.jn == nil {
+		return
+	}
+	if err := s.jn.Append(rec); err != nil {
+		s.noteJournalError(err)
+	}
+	s.journalGauges()
+}
+
+// --- operator endpoints -----------------------------------------------------
+
+func (s *Server) handleFleetCordon(w http.ResponseWriter, r *http.Request) {
+	s.fleetCordonOp(w, r, true, false)
+}
+
+func (s *Server) handleFleetUncordon(w http.ResponseWriter, r *http.Request) {
+	s.fleetCordonOp(w, r, false, false)
+}
+
+// handleFleetDrain cordons the device and gracefully displaces its
+// residents back into the pending queue for re-placement.
+func (s *Server) handleFleetDrain(w http.ResponseWriter, r *http.Request) {
+	s.fleetCordonOp(w, r, true, true)
+}
+
+func (s *Server) fleetCordonOp(w http.ResponseWriter, r *http.Request, on, drain bool) {
+	if !s.fleetEnabled() {
+		writeJSON(w, http.StatusNotFound, errorBody{"fleet placement is not enabled (start with -fleet)"})
+		return
+	}
+	if s.draining.Load() {
+		s.rejectUnavailable(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.degraded.Load() {
+		s.rejectDegraded(w)
+		return
+	}
+	idx, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"device id must be a device index"})
+		return
+	}
+	fa := s.fleet
+	fa.mu.Lock()
+	devs := fa.f.Devices()
+	if idx < 0 || idx >= len(devs) {
+		fa.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, errorBody{"no such fleet device"})
+		return
+	}
+	d := devs[idx]
+	state := "uncordon"
+	if on {
+		state = "cordon"
+	}
+	tick := fa.f.Clock()
+	s.journalFleetHealth(journal.Record{
+		Op:     journal.OpFleetHealth,
+		ID:     d.ID,
+		Device: idx,
+		Time:   time.Now(),
+		State:  state,
+		Tick:   tick,
+	})
+	_ = fa.f.Cordon(idx, on)
+	displaced := 0
+	if drain {
+		specs, _ := fa.f.Displace(idx)
+		s.fleetDisplaceLocked(idx, specs, tick)
+		displaced = len(specs)
+		// Displaced residents may fit elsewhere right away.
+		s.fleetRetryPendingLocked()
+	}
+	s.fleetGaugesLocked()
+	st := fleetDeviceStatus(d)
+	st.Displaced = displaced
+	fa.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleFleetDevices(w http.ResponseWriter, _ *http.Request) {
+	if !s.fleetEnabled() {
+		writeJSON(w, http.StatusNotFound, errorBody{"fleet placement is not enabled (start with -fleet)"})
+		return
+	}
+	fa := s.fleet
+	fa.mu.Lock()
+	devs := fa.f.Devices()
+	out := make([]FleetDeviceStatus, 0, len(devs))
+	for _, d := range devs {
+		out = append(out, fleetDeviceStatus(d))
+	}
+	fa.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleFleetChaosStart arms the configured failure process
+// (idempotently) and journals the arming so a recovered daemon resumes
+// the storm instead of sitting idle.
+func (s *Server) handleFleetChaosStart(w http.ResponseWriter, _ *http.Request) {
+	if !s.fleetEnabled() {
+		writeJSON(w, http.StatusNotFound, errorBody{"fleet placement is not enabled (start with -fleet)"})
+		return
+	}
+	if s.draining.Load() {
+		s.rejectUnavailable(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.degraded.Load() {
+		s.rejectDegraded(w)
+		return
+	}
+	fa := s.fleet
+	fa.mu.Lock()
+	if fa.chaos == nil {
+		fa.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, errorBody{"no failure process configured (start with -fleet-chaos-profile)"})
+		return
+	}
+	if !fa.chaosArmed {
+		fa.chaosArmed = true
+		s.journalFleetHealth(journal.Record{
+			Op:    journal.OpFleetHealth,
+			Time:  time.Now(),
+			State: "chaos-start",
+		})
+	}
+	st := s.fleetChaosStatusLocked()
+	fa.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleFleetChaosStatus(w http.ResponseWriter, _ *http.Request) {
+	if !s.fleetEnabled() {
+		writeJSON(w, http.StatusNotFound, errorBody{"fleet placement is not enabled (start with -fleet)"})
+		return
+	}
+	fa := s.fleet
+	fa.mu.Lock()
+	if fa.chaos == nil {
+		fa.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, errorBody{"no failure process configured (start with -fleet-chaos-profile)"})
+		return
+	}
+	st := s.fleetChaosStatusLocked()
+	fa.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// fleetChaosStatusLocked builds the chaos status view. Callers hold
+// fa.mu with fa.chaos non-nil.
+func (s *Server) fleetChaosStatusLocked() FleetChaosStatus {
+	fa := s.fleet
+	return FleetChaosStatus{
+		Profile:   fa.chaosProfile,
+		Armed:     fa.chaosArmed,
+		Step:      fa.chaos.StepCount(),
+		MaxSteps:  fa.chaos.Spec().MaxSteps,
+		Events:    fa.chaos.Events(),
+		Exhausted: fa.chaos.Exhausted(),
+	}
+}
+
+// fleetHealthImage reduces the live fleet's health state to the
+// compaction snapshot image (nil when nothing ever left the default
+// state). Callers hold fa.mu (or run before the server starts serving).
+func (s *Server) fleetHealthImage() *journal.FleetHealth {
+	fa := s.fleet
+	h := &journal.FleetHealth{
+		Step:    fa.f.Clock(),
+		Started: fa.chaosArmed,
+		Domains: fa.f.DomainFailures(),
+	}
+	for _, d := range fa.f.Devices() {
+		if d.Health == fleet.HealthHealthy && !d.Cordoned {
+			continue
+		}
+		h.Devices = append(h.Devices, journal.DeviceHealth{
+			Device:   d.Index,
+			ID:       d.ID,
+			Health:   d.Health.String(),
+			Cordoned: d.Cordoned,
+		})
+	}
+	if h.Step == 0 && !h.Started && len(h.Devices) == 0 && len(h.Domains) == 0 {
+		return nil
+	}
+	return h
+}

@@ -1,0 +1,472 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"orion/internal/fleet"
+)
+
+// postFleetOp issues one operator POST (cordon/uncordon/drain/chaos)
+// and decodes the body into out (when non-nil).
+func postFleetOp(t *testing.T, ts *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func getFleetDevices(t *testing.T, ts *httptest.Server) []FleetDeviceStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/fleet/devices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/fleet/devices = %d", resp.StatusCode)
+	}
+	var out []FleetDeviceStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getChaosStatus(t *testing.T, ts *httptest.Server) FleetChaosStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/fleet/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/fleet/chaos = %d", resp.StatusCode)
+	}
+	var st FleetChaosStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestFleetRetryTriagePinsOrder pins the pending-queue triage fix: a
+// late high-priority arrival is re-placed before the best-effort
+// backlog, and a large un-placeable job at the head of the queue cannot
+// starve smaller jobs behind it.
+func TestFleetRetryTriagePinsOrder(t *testing.T) {
+	s := mustNew(t, fleetConfig(""))
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cap := fleet.ClassV100().MemoryBytes
+	// Fill both devices with near-full HP residents (un-preemptible, so
+	// the queued HP job genuinely waits).
+	out, resp := postFleetJobs(t, ts, []fleet.JobSpec{
+		{ID: "hp-a", Workload: "resnet50-inf", Priority: "hp", MemoryBytes: cap - (1 << 28)},
+		{ID: "hp-b", Workload: "bert-inf", Priority: "hp", MemoryBytes: cap - (1 << 28)},
+	})
+	if resp.StatusCode != http.StatusAccepted || out[0].State != FleetPlaced || out[1].State != FleetPlaced {
+		t.Fatalf("setup: %d %+v", resp.StatusCode, out)
+	}
+	// Queue, in FIFO order: a big BE job (head of line), a small BE job,
+	// then an HP job. None fit right now.
+	q, resp := postFleetJobs(t, ts, []fleet.JobSpec{
+		{ID: "be-big", Workload: "resnet50-inf", MemoryBytes: cap - (1 << 28)},
+		{ID: "be-small", Workload: "mobilenetv2-inf", MemoryBytes: 1 << 29},
+		{ID: "hp-c", Workload: "transformer-inf", Priority: "hp", MemoryBytes: cap - (1 << 30)},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue submit = %d", resp.StatusCode)
+	}
+	for _, st := range q {
+		if st.State != FleetPending {
+			t.Fatalf("queued job %s = %s, want pending", st.ID, st.State)
+		}
+	}
+
+	// Free one device. Triage must place hp-c first (despite its later
+	// queue position), skip be-big (still does not fit), and then place
+	// be-small into the remainder.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fleet/jobs/hp-a", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+
+	if st := getFleetJob(t, ts, "hp-c"); st.State != FleetPlaced {
+		t.Fatalf("hp-c = %s, want placed (HP must jump the BE backlog)", st.State)
+	}
+	if st := getFleetJob(t, ts, "be-small"); st.State != FleetPlaced {
+		t.Fatalf("be-small = %s, want placed (must not starve behind be-big)", st.State)
+	}
+	if st := getFleetJob(t, ts, "be-big"); st.State != FleetPending {
+		t.Fatalf("be-big = %s, want pending", st.State)
+	}
+}
+
+// TestFleetCordonDrainUncordon exercises the operator endpoints: drain
+// cordons a device and displaces its residents for re-placement, and
+// the cordon survives a restart.
+func TestFleetCordonDrainUncordon(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNew(t, fleetConfig(dir))
+	ts := httptest.NewServer(s.Handler())
+
+	out, resp := postFleetJobs(t, ts, []fleet.JobSpec{
+		{ID: "a", Workload: "resnet50-inf", MemoryBytes: 2 << 30},
+		{ID: "b", Workload: "bert-inf", MemoryBytes: 2 << 30},
+	})
+	if resp.StatusCode != http.StatusAccepted || out[0].State != FleetPlaced {
+		t.Fatalf("setup: %d %+v", resp.StatusCode, out)
+	}
+	devA := out[0].Placement.DeviceIndex
+
+	var dst FleetDeviceStatus
+	if r := postFleetOp(t, ts, fmt.Sprintf("/v1/fleet/devices/%d/drain", devA), &dst); r.StatusCode != http.StatusOK {
+		t.Fatalf("drain = %d", r.StatusCode)
+	}
+	if !dst.Cordoned || dst.Displaced < 1 || len(dst.Residents) != 0 {
+		t.Fatalf("drained device = %+v", dst)
+	}
+	// The displaced job re-placed onto another device (capacity exists)
+	// and must not land back on the cordoned one.
+	st := getFleetJob(t, ts, "a")
+	if st.State != FleetPlaced {
+		t.Fatalf("a after drain = %s", st.State)
+	}
+	if st.Placement.DeviceIndex == devA {
+		t.Fatalf("a re-placed onto the drained device %d", devA)
+	}
+	if fs := getFleetStatus(t, ts); fs.Stats.Displacements < 1 || fs.Stats.Cordoned != 1 {
+		t.Fatalf("post-drain stats = %+v", fs.Stats)
+	}
+
+	// Unknown device and bad index answer 404/400.
+	if r := postFleetOp(t, ts, "/v1/fleet/devices/99/cordon", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("cordon 99 = %d", r.StatusCode)
+	}
+	if r := postFleetOp(t, ts, "/v1/fleet/devices/x/cordon", nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cordon x = %d", r.StatusCode)
+	}
+
+	// The cordon must survive a restart (journaled health stream).
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustNew(t, fleetConfig(dir))
+	ts2 := httptest.NewServer(s2.Handler())
+	for _, d := range getFleetDevices(t, ts2) {
+		if d.Index == devA && !d.Cordoned {
+			t.Fatalf("cordon on device %d lost across restart", devA)
+		}
+	}
+	// Uncordon restores schedulability.
+	var ust FleetDeviceStatus
+	if r := postFleetOp(t, ts2, fmt.Sprintf("/v1/fleet/devices/%d/uncordon", devA), &ust); r.StatusCode != http.StatusOK {
+		t.Fatalf("uncordon = %d", r.StatusCode)
+	}
+	if ust.Cordoned {
+		t.Fatalf("uncordoned device still cordoned: %+v", ust)
+	}
+	ts2.Close()
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chaosFleetConfig is fleetConfig plus an (unarmed) failure process.
+func chaosFleetConfig(dir, profile string) Config {
+	cfg := fleetConfig(dir)
+	cfg.FleetChaosProfile = profile
+	cfg.FleetChaosTick = time.Millisecond
+	return cfg
+}
+
+// TestFleetFailedAfterDeadline drives a displaced job past its re-place
+// deadline (no capacity anywhere) into the terminal failed state, and
+// checks the state survives recovery and can be evicted.
+func TestFleetFailedAfterDeadline(t *testing.T) {
+	dir := t.TempDir()
+	// Chaos is configured (so the deadline applies) but never armed; the
+	// test drives health transitions directly for determinism.
+	s := mustNew(t, chaosFleetConfig(dir, "mtbf=1000000,mttr=1000000,deadline=4,backoff=2,seed=1"))
+	ts := httptest.NewServer(s.Handler())
+
+	cap := fleet.ClassV100().MemoryBytes
+	out, resp := postFleetJobs(t, ts, []fleet.JobSpec{
+		{ID: "a", Workload: "resnet50-inf", MemoryBytes: cap - (1 << 28)},
+		{ID: "b", Workload: "bert-inf", MemoryBytes: cap - (1 << 28)},
+	})
+	if resp.StatusCode != http.StatusAccepted || out[0].State != FleetPlaced || out[1].State != FleetPlaced {
+		t.Fatalf("setup: %d %+v", resp.StatusCode, out)
+	}
+	devA := out[0].Placement.DeviceIndex
+
+	// Step 1: device goes Down; "a" is displaced and cannot re-place
+	// (its device is Down, the other is full).
+	s.fleet.mu.Lock()
+	s.fleetApplyHealthLocked(devA, fleet.HealthDown, 1)
+	s.fleetRetryPendingLocked()
+	s.fleet.mu.Unlock()
+
+	st := getFleetJob(t, ts, "a")
+	if st.State != FleetPending || st.ReplaceAttempts != 1 {
+		t.Fatalf("after displacement: %+v", st)
+	}
+
+	// Step 5: deadline (4 steps) exhausted — the job fails terminally.
+	s.fleet.mu.Lock()
+	s.fleetApplyHealthLocked(devA, fleet.HealthDown, 5) // no-op transition, advances the clock
+	s.fleetRetryPendingLocked()
+	s.fleet.mu.Unlock()
+
+	st = getFleetJob(t, ts, "a")
+	if st.State != FleetFailed || st.Error == "" {
+		t.Fatalf("after deadline: %+v", st)
+	}
+	if fs := getFleetStatus(t, ts); fs.Pending != 0 {
+		t.Fatalf("failed job still pending: %+v", fs)
+	}
+
+	// The terminal state survives recovery.
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustNew(t, chaosFleetConfig(dir, "mtbf=1000000,mttr=1000000,deadline=4,backoff=2,seed=1"))
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	st = getFleetJob(t, ts2, "a")
+	if st.State != FleetFailed {
+		t.Fatalf("failed state recovered as %s", st.State)
+	}
+	// A failed job can be evicted (frees its table slot).
+	req, _ := http.NewRequest(http.MethodDelete, ts2.URL+"/v1/fleet/jobs/a", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("evict failed job = %d", dresp.StatusCode)
+	}
+	if st := getFleetJob(t, ts2, "a"); st.State != FleetEvicted {
+		t.Fatalf("evicted failed job = %s", st.State)
+	}
+}
+
+// stormSpec / stormProfile drive a real (ticker-advanced) storm over an
+// 8-device fleet: bounded at 60 steps so runs quiesce comparably.
+const (
+	stormTestSpec    = "zones=1,racks=2,nodes=2,gpus=2,mix=v100:1,seed=1"
+	stormTestProfile = "mtbf=25,mttr=6,suspect=1,probation=3,pnode=30,deadline=10,backoff=4,steps=60,seed=3"
+)
+
+func stormTestConfig(dir string) Config {
+	cfg := chaosFleetConfig(dir, stormTestProfile)
+	cfg.FleetSpec = stormTestSpec
+	return cfg
+}
+
+func stormJobs() []fleet.JobSpec {
+	wls := []string{"resnet50-inf", "bert-inf", "mobilenetv2-inf", "transformer-inf"}
+	var jobs []fleet.JobSpec
+	for i := 0; i < 16; i++ {
+		js := fleet.JobSpec{
+			ID:          fmt.Sprintf("st-%03d", i),
+			Workload:    wls[i%len(wls)],
+			MemoryBytes: 4 << 30,
+		}
+		if i%4 == 0 {
+			js.Priority = "hp"
+		}
+		jobs = append(jobs, js)
+	}
+	return jobs
+}
+
+func awaitChaos(t *testing.T, ts *httptest.Server, cond func(FleetChaosStatus) bool, what string) FleetChaosStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := getChaosStatus(t, ts)
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chaos never reached %s: %+v", what, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// fleetWorldState digests everything the failure storm should leave
+// behind: per-device health/cordon/residents, the placement hash, and
+// every job's final state.
+func fleetWorldState(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	var b bytes.Buffer
+	for _, d := range getFleetDevices(t, ts) {
+		fmt.Fprintf(&b, "dev%d health=%s cordoned=%v residents=%v\n", d.Index, d.Health, d.Cordoned, d.Residents)
+	}
+	fmt.Fprintf(&b, "hash=%s\n", getFleetStatus(t, ts).PlacementHash)
+	resp, err := http.Get(ts.URL + "/v1/fleet/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jobs []FleetJobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		fmt.Fprintf(&b, "job %s state=%s\n", j.ID, j.State)
+	}
+	return b.String()
+}
+
+// TestFleetChaosStormRecoveryBitIdentical runs the same bounded failure
+// storm twice — once straight through, once interrupted by a restart
+// mid-storm — and requires both quiesced worlds to be identical: same
+// device health, same placement hash, same per-job outcomes. This is
+// the journaled failure history replaying bit-identically.
+func TestFleetChaosStormRecoveryBitIdentical(t *testing.T) {
+	run := func(interrupt bool) string {
+		dir := t.TempDir()
+		s := mustNew(t, stormTestConfig(dir))
+		ts := httptest.NewServer(s.Handler())
+		if _, resp := postFleetJobs(t, ts, stormJobs()); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit = %d", resp.StatusCode)
+		}
+		var cst FleetChaosStatus
+		if r := postFleetOp(t, ts, "/v1/fleet/chaos/start", &cst); r.StatusCode != http.StatusOK || !cst.Armed {
+			t.Fatalf("chaos start = %d %+v", r.StatusCode, cst)
+		}
+		if interrupt {
+			// Let the storm run partway, then restart the daemon. The
+			// recovered incarnation must resume the storm (arming is
+			// journaled) and finish it on the exact pre-crash schedule.
+			awaitChaos(t, ts, func(st FleetChaosStatus) bool { return st.Step >= 20 }, "step 20")
+			ts.Close()
+			if err := s.Shutdown(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			s = mustNew(t, stormTestConfig(dir))
+			ts = httptest.NewServer(s.Handler())
+			if st := getChaosStatus(t, ts); !st.Armed {
+				t.Fatalf("recovered daemon lost the armed storm: %+v", st)
+			}
+		}
+		awaitChaos(t, ts, func(st FleetChaosStatus) bool { return st.Exhausted }, "exhaustion")
+		world := fleetWorldState(t, ts)
+		ts.Close()
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return world
+	}
+
+	straight := run(false)
+	interrupted := run(true)
+	if straight != interrupted {
+		t.Fatalf("storm outcomes diverged across mid-storm restart:\n--- straight ---\n%s--- interrupted ---\n%s", straight, interrupted)
+	}
+	// Guard against a vacuous pass: the storm must actually have
+	// displaced something.
+	if !bytes.Contains([]byte(straight), []byte("health=")) || straight == "" {
+		t.Fatal("empty world state")
+	}
+}
+
+// TestFleetChaosStormDisplaces sanity-checks the ticker path end to
+// end: an armed storm takes devices down, displaces residents, and the
+// metrics/counters move.
+func TestFleetChaosStormDisplaces(t *testing.T) {
+	s := mustNew(t, stormTestConfig(""))
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, resp := postFleetJobs(t, ts, stormJobs()); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	// Status is visible before arming, and the process sits at step 0.
+	if st := getChaosStatus(t, ts); st.Armed || st.Step != 0 {
+		t.Fatalf("pre-arm status = %+v", st)
+	}
+	postFleetOp(t, ts, "/v1/fleet/chaos/start", nil)
+	// Arming twice is idempotent.
+	var cst FleetChaosStatus
+	if r := postFleetOp(t, ts, "/v1/fleet/chaos/start", &cst); r.StatusCode != http.StatusOK || !cst.Armed {
+		t.Fatalf("re-arm = %d %+v", r.StatusCode, cst)
+	}
+	st := awaitChaos(t, ts, func(st FleetChaosStatus) bool { return st.Exhausted }, "exhaustion")
+	if st.Step != 60 || st.Events == 0 {
+		t.Fatalf("exhausted status = %+v", st)
+	}
+	if fs := getFleetStatus(t, ts); fs.Stats.Displacements == 0 {
+		t.Fatalf("storm displaced nothing: %+v", fs.Stats)
+	}
+}
+
+// TestFleetOperatorEndpointsDegraded pins degraded-mode parity for the
+// fleet surface: a durability-degraded daemon rejects operator and
+// chaos mutations with 503 + durability_degraded + Retry-After, exactly
+// like experiment submissions.
+func TestFleetOperatorEndpointsDegraded(t *testing.T) {
+	s := mustNew(t, chaosFleetConfig("", "deadline=4,seed=1"))
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.degraded.Store(true)
+	for _, path := range []string{
+		"/v1/fleet/devices/0/cordon",
+		"/v1/fleet/devices/0/uncordon",
+		"/v1/fleet/devices/0/drain",
+		"/v1/fleet/chaos/start",
+	} {
+		resp, err := http.Post(ts.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Error              string `json:"error"`
+			DurabilityDegraded bool   `json:"durability_degraded"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || !body.DurabilityDegraded {
+			t.Errorf("%s degraded = %d %+v, want 503 + durability_degraded", path, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s degraded rejection missing Retry-After", path)
+		}
+	}
+	// Reads stay available while degraded.
+	s.degraded.Store(false)
+	if st := getChaosStatus(t, ts); st.Armed {
+		t.Fatalf("degraded rejection armed the storm: %+v", st)
+	}
+}

@@ -124,13 +124,17 @@ func (s *Server) openJournal() ([]*job, error) {
 	}
 
 	// Fleet jobs replay from their own record stream: bindings re-apply
-	// through Fleet.Bind in journaled bind order, no re-scoring. With the
-	// fleet disabled the records still survive compaction below, so
-	// restarting without -fleet does not destroy acknowledged placements.
+	// through Fleet.Bind in journaled bind order, no re-scoring, and the
+	// device-health stream restores the failure state machine and clock
+	// first. With the fleet disabled the records still survive compaction
+	// below, so restarting without -fleet does not destroy acknowledged
+	// placements or failure history.
 	fleetImages := journal.ReduceFleet(recs)
+	fleetHealth := journal.ReduceFleetHealth(recs)
 	if s.fleet != nil {
-		s.recoverFleet(fleetImages)
+		s.recoverFleet(fleetImages, fleetHealth)
 		fleetImages = s.fleetImages()
+		fleetHealth = s.fleetHealthImage()
 	}
 
 	// Compact on open: the replayed history (including the restart bumps
@@ -138,6 +142,9 @@ func (s *Server) openJournal() ([]*job, error) {
 	// proportional to the job table, not to uptime.
 	snap := journal.SnapshotRecords(images)
 	snap = append(snap, journal.FleetSnapshotRecords(fleetImages)...)
+	if rec, ok := journal.FleetHealthSnapshotRecord(fleetHealth, time.Now()); ok {
+		snap = append(snap, rec)
+	}
 	if err := jn.Compact(snap); err != nil {
 		return nil, err
 	}
@@ -296,6 +303,9 @@ func (s *Server) compactNow() {
 	if s.fleet != nil {
 		s.fleet.mu.Lock()
 		snap = append(snap, journal.FleetSnapshotRecords(s.fleetImages())...)
+		if rec, ok := journal.FleetHealthSnapshotRecord(s.fleetHealthImage(), time.Now()); ok {
+			snap = append(snap, rec)
+		}
 		s.fleet.mu.Unlock()
 	}
 	if err := s.jn.Compact(snap); err != nil {

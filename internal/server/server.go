@@ -100,6 +100,15 @@ type Config struct {
 	FleetEvalWarmup  sim.Duration
 	// FleetSeed drives the per-device evaluations (default harness seed).
 	FleetSeed int64
+	// FleetChaosProfile, when non-empty (and FleetSpec is set), arms the
+	// deterministic failure process over the fleet (fleet.ParseChaosSpec
+	// syntax, e.g. "mtbf=500,mttr=25,pnode=10,seed=1"). The process stays
+	// idle until POST /v1/fleet/chaos/start; every health transition is
+	// journaled so recovery replays the failure history bit-identically.
+	FleetChaosProfile string
+	// FleetChaosTick is the wall-clock interval between failure-process
+	// steps once armed (default 250ms).
+	FleetChaosTick time.Duration
 
 	// testBlock mirrors Server.testBlock but is installed before the
 	// worker pool starts — the only race-free way to pin workers on a
@@ -140,6 +149,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FleetSeed == 0 {
 		c.FleetSeed = harness.DefaultSeed
+	}
+	if c.FleetChaosTick <= 0 {
+		c.FleetChaosTick = 250 * time.Millisecond
 	}
 	return c
 }
@@ -208,6 +220,12 @@ type Server struct {
 	cFleetSubmitted *metrics.Counter
 	cFleetEvicted   *metrics.Counter
 	cFleetPreempted *metrics.Counter
+	gFleetDown      *metrics.Gauge
+	gFleetChaosStep *metrics.Gauge
+	cFleetDisplaced *metrics.Counter
+	cFleetReplaced  *metrics.Counter
+	cFleetFailed    *metrics.Counter
+	hFleetReplace   *metrics.Histogram
 
 	// testBlock, when non-nil, parks every worker after it marks its job
 	// running until the channel closes — lets tests pin the pool in a
@@ -276,6 +294,19 @@ func New(cfg Config) (*Server, error) {
 			"Fleet jobs evicted via the API.", nil),
 		cFleetPreempted: reg.Counter("orion_serve_fleet_preemptions_total",
 			"Best-effort fleet jobs preempted by high-priority placements.", nil),
+		gFleetDown: reg.Gauge("orion_serve_fleet_device_down",
+			"Fleet devices currently in the Down health state.", nil),
+		gFleetChaosStep: reg.Gauge("orion_serve_fleet_chaos_step",
+			"Failure-process steps applied to the fleet (0 when chaos is off or unarmed).", nil),
+		cFleetDisplaced: reg.Counter("orion_serve_fleet_displaced_jobs_total",
+			"Fleet jobs displaced from Down or drained devices.", nil),
+		cFleetReplaced: reg.Counter("orion_serve_fleet_replacements_total",
+			"Displaced fleet jobs successfully re-placed.", nil),
+		cFleetFailed: reg.Counter("orion_serve_fleet_failed_jobs_total",
+			"Displaced fleet jobs that exhausted their re-place deadline.", nil),
+		hFleetReplace: reg.Histogram("orion_serve_fleet_replacement_seconds",
+			"Wall-clock time from displacement to successful re-placement.",
+			[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}, nil),
 		testBlock: cfg.testBlock,
 	}
 	reg.Gauge("orion_serve_workers", "Worker pool size.", nil).Set(float64(cfg.Workers))
@@ -321,6 +352,10 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.fleetEvaluator()
 	}
+	if s.fleet != nil && s.fleet.chaos != nil {
+		s.wg.Add(1)
+		go s.fleetChaosTicker()
+	}
 	return s, nil
 }
 
@@ -341,6 +376,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/fleet/jobs/{id}", s.handleFleetJob)
 	mux.HandleFunc("DELETE /v1/fleet/jobs/{id}", s.handleFleetEvict)
 	mux.HandleFunc("GET /v1/fleet", s.handleFleetSnapshot)
+	mux.HandleFunc("GET /v1/fleet/devices", s.handleFleetDevices)
+	mux.HandleFunc("POST /v1/fleet/devices/{id}/cordon", s.handleFleetCordon)
+	mux.HandleFunc("POST /v1/fleet/devices/{id}/uncordon", s.handleFleetUncordon)
+	mux.HandleFunc("POST /v1/fleet/devices/{id}/drain", s.handleFleetDrain)
+	mux.HandleFunc("POST /v1/fleet/chaos/start", s.handleFleetChaosStart)
+	mux.HandleFunc("GET /v1/fleet/chaos", s.handleFleetChaosStatus)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
