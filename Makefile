@@ -68,11 +68,23 @@ fleet-chaos:
 # Regenerate the committed benchmark baseline (quick -short sweeps, so it
 # finishes in CI time). Later PRs diff their own run against this file
 # for a performance trajectory. BENCH_PR2.json is the pre-optimization
-# snapshot, BENCH_PR4.json the pre-fleet one, and BENCH_PR7.json the
-# pre-failure-dynamics one; all stay committed for the before/after
-# record.
+# snapshot, BENCH_PR4.json the pre-fleet one, BENCH_PR7.json the
+# pre-failure-dynamics one, and BENCH_PR8.json the pre-parallel-sweep
+# one; all stay committed for the before/after record.
 bench-json:
-	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > BENCH_PR8.json
+	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > BENCH_PR9.json
+
+# Core-count-aware floor for the SweepParallel speedup gate: the batch
+# runner must deliver >=2x wall-clock over the serial path on 4+ cores,
+# ~1.4x on 2 cores, and at least break even (0.9, noise headroom) on 1.
+NPROC := $(shell nproc 2>/dev/null || echo 1)
+ifeq ($(shell test $(NPROC) -ge 4 && echo yes),yes)
+SWEEP_FLOOR := 2
+else ifeq ($(shell test $(NPROC) -ge 2 && echo yes),yes)
+SWEEP_FLOOR := 1.4
+else
+SWEEP_FLOOR := 0.9
+endif
 
 # Regression gate: rerun the bench sweep and diff it against the committed
 # baseline. B/op and allocs/op are deterministic and gate at 10%; ns/op is
@@ -80,7 +92,8 @@ bench-json:
 # and only fails past a 2× slowdown. The fleet placer additionally carries
 # absolute throughput floors, independent of what the committed baseline
 # drifted to: 10k placement decisions/s and 2k failure-recovery
-# re-placements/s on the 1k-device topology.
+# re-placements/s on the 1k-device topology. The parallel sweep engine
+# carries the core-count-aware speedup floor above.
 bench-compare:
 	go test -bench . -benchmem -benchtime=1x -short -run '^$$' . | go run ./cmd/bench-json > /tmp/bench-new.json
-	go run ./cmd/bench-json -compare -floor 'FleetPlacement:decisions/s:10000;FleetReplacement:replaced/s:2000' BENCH_PR8.json /tmp/bench-new.json
+	go run ./cmd/bench-json -compare -floor 'FleetPlacement:decisions/s:10000;FleetReplacement:replaced/s:2000;SweepParallel:speedup-x:$(SWEEP_FLOOR)' BENCH_PR9.json /tmp/bench-new.json

@@ -12,8 +12,13 @@
 package orion_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"orion/internal/core"
 	"orion/internal/gpu"
@@ -308,6 +313,69 @@ func toyPairTime(b *testing.B, spec gpu.Spec, collocate bool) sim.Duration {
 		b.Fatal(err)
 	}
 	return d
+}
+
+// BenchmarkSweepParallel measures the multi-core batch runner against
+// the serial path on the same schemes × seeds grid the seedsweep
+// experiment runs. Each iteration executes the identical cell list at
+// parallelism 1 and again at GOMAXPROCS, verifies the merged summaries
+// are bit-identical cell by cell, and reports wall-clock throughput
+// for both plus the speedup and the parallel run's per-cell scheduling
+// skew (slowest cell / fastest cell). `make bench-compare` carries a
+// core-count-aware floor on speedup-x so the multi-core win cannot
+// silently regress.
+func BenchmarkSweepParallel(b *testing.B) {
+	schemes := []harness.Scheme{harness.Orion, harness.Reef, harness.Streams, harness.Temporal}
+	horizon := benchHorizon() / 2
+	cfgs := harness.SeedSweepCells(schemes, 3, 42, horizon, horizon/4)
+	ctx := context.Background()
+	var serial, par time.Duration
+	skew := 1.0
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		sres, _, err := harness.RunBatchTimed(ctx, cfgs, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(start)
+		start = time.Now()
+		pres, durs, err := harness.RunBatchTimed(ctx, cfgs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		par += time.Since(start)
+		for j := range sres {
+			sj, err := json.Marshal(harness.Summarize(sres[j]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			pj, err := json.Marshal(harness.Summarize(pres[j]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(sj, pj) {
+				b.Fatalf("cell %d: parallel summary differs from serial", j)
+			}
+		}
+		lo, hi := durs[0], durs[0]
+		for _, d := range durs[1:] {
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		if lo > 0 {
+			skew = float64(hi) / float64(lo)
+		}
+	}
+	cells := float64(len(cfgs) * b.N)
+	b.ReportMetric(cells/par.Seconds(), "cells/s")
+	b.ReportMetric(cells/serial.Seconds(), "serial-cells/s")
+	b.ReportMetric(serial.Seconds()/par.Seconds(), "speedup-x")
+	b.ReportMetric(skew, "skew-x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 }
 
 // BenchmarkAblationSchedulerTick sweeps the scheduler's poll interval —

@@ -1,0 +1,193 @@
+//go:build chaos
+
+package orion_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"orion/internal/client"
+	"orion/internal/harness"
+	"orion/internal/server"
+	"orion/internal/sim"
+)
+
+// TestChaosResumeParallelBatch is the kill/resume drill for the
+// multi-seed batch path: start orion-serve with checkpointing on,
+// submit one experiment with Seeds=3 (which fans out on the parallel
+// batch runner inside the worker), SIGKILL the daemon after the first
+// container checkpoint is durable, restart against the same journal
+// directory, and let the batch finish. The invariants mirror the
+// single-run drill:
+//
+//   - the recovered batch's aggregate (and every per-seed summary under
+//     it) is bit-identical to an uninterrupted in-process RunWireBatch
+//     of the same config — per-cell cursors quiesce exactly;
+//   - events_replayed_total is positive but strictly below the control
+//     run's total event count: finished cells restored without
+//     re-execution and in-flight cells replayed only their own prefix;
+//   - the job reports exactly one restart.
+//
+// Build-tagged `chaos`; `make chaos-resume` picks it up by prefix.
+func TestChaosResumeParallelBatch(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	work := t.TempDir()
+	journalDir := filepath.Join(work, "journal")
+	logPath := filepath.Join(work, "orion-serve.log")
+	defer func() {
+		if t.Failed() {
+			saveArtifacts(t, journalDir, logPath)
+		}
+	}()
+
+	bin := filepath.Join(work, "orion-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/orion-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build orion-serve: %v\n%s", err, out)
+	}
+
+	// Three ~10-simulated-second cells keep the daemon busy long enough
+	// that the kill lands with some cells finished and some in flight.
+	cfg := harness.Config{
+		Scheme:  harness.Orion,
+		Horizon: 10 * sim.Second,
+		Warmup:  500 * sim.Millisecond,
+		Seed:    7,
+		Seeds:   3,
+		Jobs: []harness.JobConfig{
+			{Workload: "resnet50-inf", Priority: "hp", Arrival: "poisson", RPS: 40},
+			{Workload: "mobilenetv2-train", Priority: "be"},
+		},
+	}
+
+	control, err := harness.RunWireBatch(context.Background(), cfg, harness.BatchOptions{})
+	if err != nil {
+		t.Fatalf("control batch: %v", err)
+	}
+	controlSummary, err := json.Marshal(control.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if control.Events == 0 {
+		t.Fatal("control batch processed no events")
+	}
+
+	addr := freeAddr(t)
+	base := "http://" + addr
+	c := client.New(base, client.Options{
+		Timeout:     5 * time.Second,
+		MaxAttempts: 8,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+	})
+
+	start := func() *exec.Cmd {
+		logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin,
+			"-addr", addr,
+			"-journal-dir", journalDir,
+			"-checkpoint-stride", strconv.FormatUint(sim.InterruptStride, 10),
+			"-workers", "1",
+			"-queue", "8",
+			"-drain-timeout", "120s",
+		)
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start orion-serve: %v", err)
+		}
+		logf.Close()
+		waitReady(t, base)
+		return cmd
+	}
+
+	cmd := start()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	st, err := c.Submit(ctx, cfg, "chaos-resume-batch")
+	cancel()
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ckPath := filepath.Join(journalDir, "ckpt-"+st.ID+".ck")
+
+	deadline := time.Now().Add(60 * time.Second)
+	for !fileNonEmpty(ckPath) {
+		if time.Now().After(deadline) {
+			t.Fatal("no batch container checkpoint appeared before the kill deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = cmd.Wait()
+
+	if dst := os.Getenv("CHAOS_ARTIFACT_DIR"); dst != "" {
+		if err := os.MkdirAll(dst, 0o755); err == nil {
+			if b, err := os.ReadFile(ckPath); err == nil {
+				_ = os.WriteFile(filepath.Join(dst, "batch-"+filepath.Base(ckPath)), b, 0o644)
+			}
+		}
+	}
+
+	cmd = start()
+	ctx, cancel = context.WithTimeout(context.Background(), 180*time.Second)
+	final, err := c.Await(ctx, st.ID, 100*time.Millisecond)
+	cancel()
+	if err != nil {
+		t.Fatalf("await %s: %v", st.ID, err)
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("job %s: state %q (%s)", st.ID, final.State, final.Error)
+	}
+	if !final.Recovered || final.RestartCount != 1 {
+		t.Errorf("job %s: recovered=%v restarts=%d, want recovered with 1 restart",
+			st.ID, final.Recovered, final.RestartCount)
+	}
+	if final.Result == nil {
+		t.Fatalf("job %s: done without a result", st.ID)
+	}
+	if len(final.Result.Seeds) != cfg.Seeds {
+		t.Fatalf("job %s: result carries %d per-seed summaries, want %d",
+			st.ID, len(final.Result.Seeds), cfg.Seeds)
+	}
+	got, err := json.Marshal(final.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(controlSummary) {
+		t.Errorf("batch aggregate diverged after kill+resume:\n got %s\nwant %s", got, controlSummary)
+	}
+
+	resumed := scrapeMetric(t, base, "orion_serve_resumed_jobs_total")
+	replayed := scrapeMetric(t, base, "orion_serve_events_replayed_total")
+	if resumed < 1 {
+		t.Errorf("resumed_jobs_total = %v, want >= 1 (batch re-executed from scratch?)", resumed)
+	}
+	if replayed <= 0 || replayed >= float64(control.Events) {
+		t.Errorf("events_replayed_total = %v, want in (0, %d): the container resume must skip work",
+			replayed, control.Events)
+	}
+	if fileNonEmpty(ckPath) {
+		t.Errorf("batch container checkpoint %s not cleaned up after the job finished", ckPath)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	waitExit(t, cmd, 120*time.Second)
+
+	saveArtifacts(t, journalDir, logPath)
+}

@@ -162,7 +162,7 @@ func checkFloors(w io.Writer, newB Baseline, floors []floor) []string {
 				bad = append(bad, fmt.Sprintf("%s: metric %q missing (floor %g)", bm.Name, f.metric, f.min))
 				continue
 			}
-			fmt.Fprintf(w, "%-40s %-12s %14.0f >= %10.0f (floor)\n", bm.Name, f.metric, v, f.min)
+			fmt.Fprintf(w, "%-40s %-12s %14.6g >= %10.6g (floor)\n", bm.Name, f.metric, v, f.min)
 			if v < f.min {
 				bad = append(bad, fmt.Sprintf("%s %s: %g below floor %g", bm.Name, f.metric, v, f.min))
 			}

@@ -100,6 +100,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "concurrent experiment runners")
+	batchParallelism := flag.Int("batch-parallelism", 0, "worker pool per multi-seed batch job (0 = the submission's choice, default all cores)")
 	queue := flag.Int("queue", 16, "admission queue depth (full queue => 429)")
 	maxJobs := flag.Int("max-jobs", 1024, "retained job records (memory bound)")
 	drain := flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown drain deadline")
@@ -112,6 +113,7 @@ func main() {
 	degradedProbe := flag.Duration("degraded-probe", 0, "how often a disk-full daemon probes for space (0 = default 1s)")
 	fleetSpec := flag.String("fleet", "", "enable the fleet placement subsystem over this topology, e.g. 'zones=2,racks=4,nodes=16,gpus=8,mix=a100:1+v100:2,seed=7' (empty = disabled)")
 	fleetEvalHorizon := flag.Duration("fleet-eval-horizon", 0, "simulated horizon per fleet interference evaluation (0 = default 2s, negative = disable evaluation)")
+	fleetEvalWorkers := flag.Int("fleet-eval-workers", 0, "concurrent fleet interference evaluators (0 = default 2)")
 	fleetSeed := flag.Int64("fleet-seed", 0, "seed for fleet interference evaluations (0 = harness default)")
 	fleetChaosProfile := flag.String("fleet-chaos-profile", "", "deterministic fleet failure process, e.g. 'mtbf=500,mttr=25,pnode=10,prack=2,deadline=60,seed=1' (needs -fleet; armed via POST /v1/fleet/chaos/start)")
 	fleetChaosTick := flag.Duration("fleet-chaos-tick", 0, "wall-clock interval between fleet failure-process steps (0 = default 250ms)")
@@ -128,20 +130,22 @@ func main() {
 	}
 
 	s, err := server.New(server.Config{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		MaxJobs:           *maxJobs,
-		RetryAfter:        *retry,
-		JournalDir:        *journalDir,
-		JobDeadline:       *jobDeadline,
-		CheckpointStride:  *ckptStride,
-		FS:                fsys,
-		DegradedProbe:     *degradedProbe,
-		FleetSpec:         *fleetSpec,
-		FleetEvalHorizon:  sim.Duration(*fleetEvalHorizon),
-		FleetSeed:         *fleetSeed,
-		FleetChaosProfile: *fleetChaosProfile,
-		FleetChaosTick:    *fleetChaosTick,
+		Workers:              *workers,
+		BatchParallelism:     *batchParallelism,
+		QueueDepth:           *queue,
+		MaxJobs:              *maxJobs,
+		RetryAfter:           *retry,
+		JournalDir:           *journalDir,
+		JobDeadline:          *jobDeadline,
+		CheckpointStride:     *ckptStride,
+		FS:                   fsys,
+		DegradedProbe:        *degradedProbe,
+		FleetSpec:            *fleetSpec,
+		FleetEvalHorizon:     sim.Duration(*fleetEvalHorizon),
+		FleetEvalParallelism: *fleetEvalWorkers,
+		FleetSeed:            *fleetSeed,
+		FleetChaosProfile:    *fleetChaosProfile,
+		FleetChaosTick:       *fleetChaosTick,
 	})
 	if err != nil {
 		log.Fatal(err)

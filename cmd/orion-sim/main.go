@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"orion/internal/harness"
@@ -30,6 +32,8 @@ func main() {
 	horizon := flag.Float64("horizon", 10, "simulated seconds")
 	warmup := flag.Float64("warmup", 2, "warmup seconds excluded from stats")
 	seed := flag.Int64("seed", 42, "arrival seed")
+	seeds := flag.Int("seeds", 1, "run this many consecutive seeds and aggregate (multi-seed batch)")
+	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool size for multi-seed batches")
 	faults := flag.Bool("faults", false, "inject faults: best-effort crashes + transient launch/alloc failures")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (same seed, same fault schedule)")
 	flag.Parse()
@@ -41,7 +45,8 @@ func main() {
 	flags := harness.SimFlags{
 		Scheme: *scheme, HP: *hp, HPArrival: *hpArr, HPRPS: *hpRPS,
 		BE: *be, Device: *device, Horizon: *horizon, Warmup: *warmup,
-		Seed: *seed, Faults: *faults, FaultSeed: *faultSeed,
+		Seed: *seed, Seeds: *seeds, Parallelism: *parallelism,
+		Faults: *faults, FaultSeed: *faultSeed,
 	}
 	if *hpFile != "" {
 		f, err := os.Open(*hpFile)
@@ -60,7 +65,12 @@ func main() {
 
 	// The same pure path orion-serve uses for JSON submissions:
 	// flags → wire Config → RunConfig.
-	runCfg, err := harness.ConfigFromSimFlags(flags).Build()
+	cfg := harness.ConfigFromSimFlags(flags)
+	if cfg.Seeds > 1 {
+		runBatch(cfg)
+		return
+	}
+	runCfg, err := cfg.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -110,5 +120,47 @@ func main() {
 		for _, e := range rb.Events {
 			fmt.Printf("  %s\n", e)
 		}
+	}
+}
+
+// runBatch fans a multi-seed submission across the worker pool and prints
+// the cross-seed aggregate followed by one line per seed. Cell results
+// merge in seed order, so the output is identical at any -parallelism.
+func runBatch(cfg harness.Config) {
+	// Validate the base configuration up front so flag mistakes exit 2
+	// exactly like the single-run path.
+	if _, err := cfg.Build(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	out, err := harness.RunWireBatch(context.Background(), cfg, harness.BatchOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := out.Summary
+	base := cfg.Seed
+	if base == 0 {
+		base = harness.DefaultSeed
+	}
+	fmt.Printf("scheme=%s seeds=%d..%d parallelism=%d events=%d\n",
+		s.Scheme, base, base+int64(cfg.Seeds)-1, cfg.Parallelism, out.Events)
+	fmt.Println("\naggregate across seeds (means):")
+	for _, j := range s.Jobs {
+		fmt.Printf("%-22s [%s]\n", j.Name, j.Priority)
+		fmt.Printf("  requests   %d total (%.2f/s per seed)\n", j.Completed, j.ThroughputRPS)
+		fmt.Printf("  latency    p50 %.2fms  p95 %.2fms  p99 %.2fms\n", j.P50Ms, j.P95Ms, j.P99Ms)
+		if j.Failed > 0 || j.TimedOut > 0 || j.Retried > 0 {
+			fmt.Printf("  robustness failed %d  timed-out %d  retried %d\n",
+				j.Failed, j.TimedOut, j.Retried)
+		}
+	}
+	fmt.Println("\nper-seed breakdown:")
+	for i, ss := range s.Seeds {
+		fmt.Printf("  seed %-6d", base+int64(i))
+		for _, j := range ss.Jobs {
+			fmt.Printf("  %s p99 %.2fms %.2f/s", j.Priority, j.P99Ms, j.ThroughputRPS)
+		}
+		fmt.Println()
 	}
 }

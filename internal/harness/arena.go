@@ -11,19 +11,29 @@ import "orion/internal/sim"
 //
 // Runs through an arena are bit-identical to runs on a fresh engine:
 // Engine.Reset restores the exact initial state (clock, sequence numbers,
-// counters), which the golden-hash determinism tests pin down.
+// counters), and Rand.Reseed rewinds the pooled master RNG to the exact
+// (seed, draws=0) state a fresh generator starts from, which the
+// golden-hash determinism tests pin down.
 type Arena struct {
 	eng *sim.Engine
+	rng *sim.Rand
 }
 
 // NewArena returns an empty arena; the first run through it warms the
 // pools.
 func NewArena() *Arena {
-	return &Arena{eng: sim.NewEngine()}
+	return &Arena{eng: sim.NewEngine(), rng: sim.NewRand(0)}
 }
 
 // engine returns the arena's engine, reset and ready for a new run.
 func (a *Arena) engine() *sim.Engine {
 	a.eng.Reset()
 	return a.eng
+}
+
+// rand returns the arena's pooled master generator, reseeded so no draw
+// state from the previous run's cell leaks into this one.
+func (a *Arena) rand(seed int64) *sim.Rand {
+	a.rng.Reseed(seed)
+	return a.rng
 }

@@ -1,0 +1,387 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"orion/internal/checkpoint"
+	"orion/internal/parallel"
+)
+
+// RunBatch executes independent simulation cells on a bounded worker
+// pool and returns the results in cell order. Each worker owns one
+// pooled Arena reused across the cells it claims (engine Reset + RNG
+// Reseed make arena runs bit-identical to fresh-engine runs), so the
+// merged results — and anything rendered from them — are byte-identical
+// to running the cells serially, at any parallelism. Parallelism <= 0
+// means GOMAXPROCS. On failure the error wraps *parallel.CellError
+// identifying the lowest-indexed failed cell.
+func RunBatch(ctx context.Context, cfgs []RunConfig, parallelism int) ([]*Result, error) {
+	res, _, err := RunBatchTimed(ctx, cfgs, parallelism)
+	return res, err
+}
+
+// RunBatchTimed is RunBatch plus the per-cell wall-clock durations, in
+// cell order — the benchmark suite reports their max/min ratio as
+// scheduling skew.
+func RunBatchTimed(ctx context.Context, cfgs []RunConfig, parallelism int) ([]*Result, []time.Duration, error) {
+	durs := make([]time.Duration, len(cfgs))
+	results, err := parallel.Map(ctx, parallelism, len(cfgs), NewArena,
+		func(ctx context.Context, i int, a *Arena) (*Result, error) {
+			cfg := cfgs[i]
+			if cfg.Arena == nil {
+				cfg.Arena = a
+			}
+			start := time.Now()
+			r, err := RunContext(ctx, cfg)
+			durs[i] = time.Since(start)
+			return r, err
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, durs, nil
+}
+
+// --- multi-seed wire batches ------------------------------------------------
+
+// buildBatchCells expands a wire Config with Seeds = N into N runnable
+// cells at consecutive seeds, plus each cell's own canonical wire config
+// (Seeds/Parallelism cleared) for stamping into per-cell checkpoints.
+func buildBatchCells(c Config) ([]RunConfig, []json.RawMessage, error) {
+	n := c.Seeds
+	if n <= 0 {
+		n = 1
+	}
+	base := c.Seed
+	if base == 0 {
+		base = DefaultSeed
+	}
+	rcs := make([]RunConfig, n)
+	wires := make([]json.RawMessage, n)
+	for i := range rcs {
+		ci := c
+		ci.Seed = base + int64(i)
+		ci.Seeds = 0
+		ci.Parallelism = 0
+		rc, err := ci.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		rcs[i] = rc
+		w, err := json.Marshal(ci)
+		if err != nil {
+			return nil, nil, err
+		}
+		wires[i] = w
+	}
+	return rcs, wires, nil
+}
+
+// SummarizeBatch folds per-seed summaries (in seed order) into one
+// aggregate: latency/throughput/utilization fields are the mean across
+// seeds, request and verdict counts are totals, and the inputs ride
+// along under Seeds. Everything is computed in fixed seed order, so the
+// aggregate is bit-deterministic regardless of how the cells were
+// scheduled. A single-element batch returns its summary unchanged.
+func SummarizeBatch(seeds []*Summary) *Summary {
+	if len(seeds) == 1 {
+		return seeds[0]
+	}
+	n := float64(len(seeds))
+	agg := &Summary{Scheme: seeds[0].Scheme, Seeds: seeds}
+	for j := range seeds[0].Jobs {
+		js := JobSummary{Name: seeds[0].Jobs[j].Name, Priority: seeds[0].Jobs[j].Priority}
+		for _, s := range seeds {
+			sj := s.Jobs[j]
+			js.Completed += sj.Completed
+			js.Failed += sj.Failed
+			js.TimedOut += sj.TimedOut
+			js.Retried += sj.Retried
+			js.ThroughputRPS += sj.ThroughputRPS
+			js.P50Ms += sj.P50Ms
+			js.P95Ms += sj.P95Ms
+			js.P99Ms += sj.P99Ms
+			js.MeanMs += sj.MeanMs
+			js.DedicatedMs += sj.DedicatedMs
+		}
+		js.ThroughputRPS /= n
+		js.P50Ms /= n
+		js.P95Ms /= n
+		js.P99Ms /= n
+		js.MeanMs /= n
+		js.DedicatedMs /= n
+		agg.Jobs = append(agg.Jobs, js)
+	}
+	for _, s := range seeds {
+		agg.Utilization.SMBusy += s.Utilization.SMBusy
+		agg.Utilization.Compute += s.Utilization.Compute
+		agg.Utilization.MemBW += s.Utilization.MemBW
+		agg.Utilization.MemCapacity += s.Utilization.MemCapacity
+		for k, v := range s.Verdicts {
+			if agg.Verdicts == nil {
+				agg.Verdicts = map[string]uint64{}
+			}
+			agg.Verdicts[k] += v
+		}
+	}
+	agg.Utilization.SMBusy /= n
+	agg.Utilization.Compute /= n
+	agg.Utilization.MemBW /= n
+	agg.Utilization.MemCapacity /= n
+	return agg
+}
+
+// BatchOptions configures RunWireBatch.
+type BatchOptions struct {
+	// Parallelism overrides Config.Parallelism when positive.
+	Parallelism int
+	// Progress receives per-cell stage strings ("seed 43: simulate").
+	// Cells run concurrently, so the callback must be safe for
+	// concurrent use.
+	Progress func(stage string)
+	// Checkpoint makes the batch resumable. Sink receives container
+	// checkpoints holding every cell's state (see batchCkpt); Resume
+	// takes a previously sunk container: finished cells restore their
+	// recorded summaries without re-executing, in-flight cells replay
+	// only their own prefix and re-execute their own remainder.
+	Checkpoint *CheckpointConfig
+}
+
+// BatchOutcome is what a multi-seed batch produces.
+type BatchOutcome struct {
+	// Summary is the cross-seed aggregate; Summary.Seeds holds the
+	// per-seed summaries in seed order.
+	Summary *Summary
+	// Events is the total of every cell's engine events (for cells
+	// restored from a checkpoint: the events their original run
+	// processed). Replayed totals the events cells re-executed to reach
+	// their resume cursors.
+	Events   uint64
+	Replayed uint64
+}
+
+// RunWireBatch expands a wire Config's Seeds into independent cells,
+// fans them out with RunBatch semantics, and folds the results with
+// SummarizeBatch. Output is bit-identical at every parallelism level; a
+// Config with Seeds <= 1 degenerates to a single cell whose summary is
+// exactly the single-run one.
+func RunWireBatch(ctx context.Context, c Config, opt BatchOptions) (*BatchOutcome, error) {
+	rcs, wires, err := buildBatchCells(c)
+	if err != nil {
+		return nil, err
+	}
+	n := len(rcs)
+
+	var bk *batchCkpt
+	if cc := opt.Checkpoint; cc != nil {
+		bk = &batchCkpt{
+			scheme: string(c.Scheme), seed: rcs[0].Seed, cfgJSON: cc.Config,
+			stride: cc.Stride, sink: cc.Sink,
+			latest: make([]*checkpoint.Checkpoint, n),
+			done:   make([]*batchCellDone, n),
+			cells:  make([]*checkpoint.Checkpoint, n),
+		}
+		if cc.Resume != nil {
+			if err := bk.decode(cc.Resume, c.Scheme, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	par := opt.Parallelism
+	if par <= 0 {
+		par = c.Parallelism
+	}
+	outcomes := make([]*batchCellDone, n)
+	_, err = parallel.Map(ctx, par, n, NewArena, func(ctx context.Context, i int, a *Arena) (struct{}, error) {
+		if bk != nil {
+			if d := bk.doneCell(i); d != nil {
+				outcomes[i] = d
+				return struct{}{}, nil
+			}
+		}
+		rc := rcs[i]
+		if rc.Arena == nil {
+			rc.Arena = a
+		}
+		if opt.Progress != nil {
+			seed := rc.Seed
+			rc.Progress = func(stage string) { opt.Progress(fmt.Sprintf("seed %d: %s", seed, stage)) }
+		}
+		if bk != nil {
+			rc.Checkpoint = &CheckpointConfig{
+				Stride: bk.stride,
+				Config: wires[i],
+				Resume: bk.resumeCell(i),
+				Sink:   bk.cellSink(i),
+			}
+		}
+		res, err := RunContext(ctx, rc)
+		if err != nil {
+			return struct{}{}, err
+		}
+		d := &batchCellDone{Summary: Summarize(res), Events: res.Events, Replayed: res.Replayed}
+		outcomes[i] = d
+		if bk != nil {
+			if err := bk.finish(i, d); err != nil {
+				return struct{}{}, fmt.Errorf("harness: batch checkpoint sink: %w", err)
+			}
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sums := make([]*Summary, n)
+	out := &BatchOutcome{}
+	for i, d := range outcomes {
+		sums[i] = d.Summary
+		out.Events += d.Events
+		out.Replayed += d.Replayed
+	}
+	out.Summary = SummarizeBatch(sums)
+	return out, nil
+}
+
+// --- batch checkpoint container ---------------------------------------------
+
+// batchCellDone records one finished cell inside a batch checkpoint: the
+// cell's full summary plus its event counts, so a resumed batch restores
+// the cell without re-executing a single event.
+type batchCellDone struct {
+	Summary  *Summary `json:"summary"`
+	Events   uint64   `json:"events"`
+	Replayed uint64   `json:"replayed"`
+}
+
+// batchCkpt folds per-cell checkpoints into one container checkpoint —
+// the on-disk unit of batch resumability. The container's sections are
+// "cell/NNNNN" (an in-flight cell's own serialized checkpoint: its
+// cursor covers only that cell's prefix) and "done/NNNNN" (a finished
+// cell's recorded outcome). Every sink call persists the whole batch
+// state, so whichever container was durable last names, per cell,
+// exactly what a resume may skip.
+type batchCkpt struct {
+	mu      sync.Mutex
+	scheme  string
+	seed    int64 // base seed
+	cfgJSON json.RawMessage
+	stride  uint64
+	sink    func(*checkpoint.Checkpoint) error
+	latest  []*checkpoint.Checkpoint // in-flight cells' newest checkpoints
+	done    []*batchCellDone         // finished cells
+	cells   []*checkpoint.Checkpoint // resume checkpoints from a prior container
+}
+
+// decode splits a container checkpoint back into per-cell resume state.
+func (b *batchCkpt) decode(ck *checkpoint.Checkpoint, scheme Scheme, n int) error {
+	if ck.Meta.Scheme != "" && ck.Meta.Scheme != string(scheme) {
+		return fmt.Errorf("harness: batch checkpoint is for scheme %q, run is %q", ck.Meta.Scheme, scheme)
+	}
+	if ck.Meta.Seed != 0 && ck.Meta.Seed != b.seed {
+		return fmt.Errorf("harness: batch checkpoint base seed %d, run base seed %d", ck.Meta.Seed, b.seed)
+	}
+	for _, s := range ck.Sections {
+		var i int
+		switch {
+		case strings.HasPrefix(s.Name, "done/"):
+			if _, err := fmt.Sscanf(s.Name, "done/%d", &i); err != nil || i < 0 || i >= n {
+				return fmt.Errorf("harness: batch checkpoint section %q does not name a cell in [0,%d)", s.Name, n)
+			}
+			var d batchCellDone
+			if err := json.Unmarshal(s.Data, &d); err != nil {
+				return fmt.Errorf("harness: batch checkpoint section %q: %w", s.Name, err)
+			}
+			b.done[i] = &d
+		case strings.HasPrefix(s.Name, "cell/"):
+			if _, err := fmt.Sscanf(s.Name, "cell/%d", &i); err != nil || i < 0 || i >= n {
+				return fmt.Errorf("harness: batch checkpoint section %q does not name a cell in [0,%d)", s.Name, n)
+			}
+			cell, err := checkpoint.Read(bytes.NewReader(s.Data))
+			if err != nil {
+				return fmt.Errorf("harness: batch checkpoint section %q: %w", s.Name, err)
+			}
+			b.cells[i] = cell
+		default:
+			return fmt.Errorf("harness: batch checkpoint has unknown section %q (not a batch container?)", s.Name)
+		}
+	}
+	return nil
+}
+
+func (b *batchCkpt) doneCell(i int) *batchCellDone {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.done[i]
+}
+
+func (b *batchCkpt) resumeCell(i int) *checkpoint.Checkpoint {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cells[i]
+}
+
+// cellSink wraps the batch sink for one cell: each per-cell capture
+// updates the cell's slot and persists the whole container. A sink
+// error propagates — the cell (and with it the batch) must not outrun
+// its durability guarantee.
+func (b *batchCkpt) cellSink(i int) func(*checkpoint.Checkpoint) error {
+	if b.sink == nil {
+		return nil
+	}
+	return func(ck *checkpoint.Checkpoint) error {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.latest[i] = ck
+		return b.sinkLocked()
+	}
+}
+
+// finish records a finished cell and persists the container so a crash
+// after this point never re-executes the cell.
+func (b *batchCkpt) finish(i int, d *batchCellDone) error {
+	if b.sink == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.done[i] = d
+	b.latest[i] = nil
+	return b.sinkLocked()
+}
+
+func (b *batchCkpt) sinkLocked() error {
+	ck := &checkpoint.Checkpoint{Meta: checkpoint.Meta{
+		Scheme: b.scheme, Seed: b.seed, Config: b.cfgJSON,
+	}}
+	for i := range b.latest {
+		if d := b.done[i]; d != nil {
+			data, err := json.Marshal(d)
+			if err != nil {
+				return err
+			}
+			ck.Sections = append(ck.Sections, checkpoint.Section{Name: fmt.Sprintf("done/%05d", i), Data: data})
+			ck.Meta.Cursor += d.Events
+			continue
+		}
+		if c := b.latest[i]; c != nil {
+			var buf bytes.Buffer
+			if err := checkpoint.Write(&buf, c); err != nil {
+				return err
+			}
+			ck.Sections = append(ck.Sections, checkpoint.Section{Name: fmt.Sprintf("cell/%05d", i), Data: buf.Bytes()})
+			ck.Meta.Cursor += c.Meta.Cursor
+			if c.Meta.Clock > ck.Meta.Clock {
+				ck.Meta.Clock = c.Meta.Clock
+			}
+		}
+	}
+	return b.sink(ck)
+}

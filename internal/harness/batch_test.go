@@ -1,0 +1,265 @@
+package harness_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"orion/internal/checkpoint"
+	"orion/internal/harness"
+	"orion/internal/parallel"
+	"orion/internal/sim"
+)
+
+// TestGoldenArenaSeedIsolation is the RNG-leak regression test: one
+// arena reused across different seeds must reproduce each seed's
+// fresh-engine hash exactly. Before the pooled master RNG was reseeded
+// per run (instead of recreated), a reused arena could carry one
+// cell's injector/arrival draw state into the next cell of a batch.
+func TestGoldenArenaSeedIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed-isolation sweep runs 5 simulations")
+	}
+	fresh := map[int64]string{
+		1: goldenHash(t, goldenConfig(harness.Orion, 1)),
+		2: goldenHash(t, goldenConfig(harness.Orion, 2)),
+	}
+	arena := harness.NewArena()
+	// 1 → 2 → 1: the third run catches state leaked by the second.
+	for _, seed := range []int64{1, 2, 1} {
+		rc, err := goldenConfig(harness.Orion, seed).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Arena = arena
+		res, err := harness.RunContext(context.Background(), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := wireHash(t, harness.Summarize(res)); got != fresh[seed] {
+			t.Fatalf("seed %d through reused arena drifted from fresh engine:\n  got  %s\n  want %s",
+				seed, got, fresh[seed])
+		}
+	}
+}
+
+// TestGoldenSerialParallelEquivalence runs the full golden grid (4
+// schemes × 3 seeds) through the batch runner at parallelism 1, 2 and
+// NumCPU and checks every cell against the pinned golden hashes: the
+// parallel path must be bit-identical to the serial reference at every
+// pool size.
+func TestGoldenSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep runs 12 simulations per parallelism level")
+	}
+	schemes := []harness.Scheme{harness.Orion, harness.Reef, harness.Streams, harness.Temporal}
+	seeds := []int64{1, 2, 3}
+	var cfgs []harness.RunConfig
+	var keys []string
+	for _, scheme := range schemes {
+		for _, seed := range seeds {
+			rc, err := goldenConfig(scheme, seed).Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs = append(cfgs, rc)
+			keys = append(keys, goldenKey(scheme, seed))
+		}
+	}
+	for _, par := range dedupInts(1, 2, runtime.NumCPU()) {
+		par := par
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			results, err := harness.RunBatch(context.Background(), cfgs, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, res := range results {
+				got := wireHash(t, harness.Summarize(res))
+				if want := goldenSummaries[keys[i]]; got != want {
+					t.Errorf("%s at parallelism %d drifted from the pinned golden hash:\n  got  %s\n  want %s",
+						keys[i], par, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRunWireBatchAggregateStable: the multi-seed aggregate (including
+// the per-seed summaries riding along under Seeds) is byte-identical at
+// every parallelism level.
+func TestRunWireBatchAggregateStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate sweep runs 3 simulations per parallelism level")
+	}
+	cfg := goldenConfig(harness.Orion, 1)
+	cfg.Seeds = 3
+	var want []byte
+	for _, par := range dedupInts(1, 2, runtime.NumCPU()) {
+		out, err := harness.RunWireBatch(context.Background(), cfg, harness.BatchOptions{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(out.Summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = b
+			if len(out.Summary.Seeds) != 3 {
+				t.Fatalf("aggregate carries %d per-seed summaries, want 3", len(out.Summary.Seeds))
+			}
+			continue
+		}
+		if string(b) != string(want) {
+			t.Errorf("aggregate at parallelism %d differs from parallelism 1:\n  got  %s\n  want %s", par, b, want)
+		}
+	}
+}
+
+// TestRunWireBatchSingleSeed: a Seeds<=1 config through the batch path
+// produces exactly the single-run summary — no aggregate wrapper, no
+// Seeds field, same bytes, so the golden wire format is untouched.
+func TestRunWireBatchSingleSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 2 simulations")
+	}
+	cfg := goldenConfig(harness.Reef, 2)
+	out, err := harness.RunWireBatch(context.Background(), cfg, harness.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := wireHash(t, out.Summary), goldenSummaries[goldenKey(harness.Reef, 2)]; got != want {
+		t.Fatalf("single-seed batch drifted from golden hash:\n  got  %s\n  want %s", got, want)
+	}
+	if out.Summary.Seeds != nil {
+		t.Fatal("single-seed batch grew a Seeds field")
+	}
+}
+
+// TestRunWireBatchCheckpointResume emulates a crash mid-batch in
+// process: the checkpoint sink records container checkpoints, then
+// starts failing, which aborts the batch exactly like a died worker.
+// Resuming from the last durable container must reproduce the
+// uninterrupted aggregate byte-for-byte while re-executing only the
+// interrupted cells' remainders.
+func TestRunWireBatchCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 6+ simulations")
+	}
+	cfg := goldenConfig(harness.Orion, 1)
+	cfg.Seeds = 3
+
+	control, err := harness.RunWireBatch(context.Background(), cfg, harness.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(control.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash run: serial so the sink sees a deterministic capture order;
+	// fail after a few captures, keeping the last successful container.
+	var last *checkpoint.Checkpoint
+	sinks := 0
+	boom := errors.New("disk died")
+	_, err = harness.RunWireBatch(context.Background(), cfg, harness.BatchOptions{
+		Parallelism: 1,
+		Checkpoint: &harness.CheckpointConfig{
+			Stride: sim.InterruptStride,
+			Sink: func(ck *checkpoint.Checkpoint) error {
+				sinks++
+				if sinks > 40 {
+					return boom
+				}
+				last = ck
+				return nil
+			},
+		},
+	})
+	if err == nil {
+		t.Fatal("crash run unexpectedly succeeded")
+	}
+	var ce *parallel.CellError
+	if !errors.As(err, &ce) || !errors.Is(err, boom) {
+		t.Fatalf("crash run error %v, want a CellError wrapping the sink failure", err)
+	}
+	if last == nil {
+		t.Fatal("no container checkpoint was persisted before the crash")
+	}
+
+	resumed, err := harness.RunWireBatch(context.Background(), cfg, harness.BatchOptions{
+		Checkpoint: &harness.CheckpointConfig{
+			Stride: sim.InterruptStride,
+			Resume: last,
+		},
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	gotJSON, err := json.Marshal(resumed.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("resumed aggregate differs from uninterrupted control:\n  got  %s\n  want %s", gotJSON, wantJSON)
+	}
+	if resumed.Replayed == 0 {
+		t.Error("resumed batch replayed nothing — the container carried no in-flight cell state")
+	}
+	if resumed.Replayed >= control.Events {
+		t.Errorf("resumed batch replayed %d events, control ran %d total — nothing was skipped",
+			resumed.Replayed, control.Events)
+	}
+}
+
+// TestRunWireBatchRejectsForeignCheckpoint: a single-cell checkpoint is
+// not a batch container and must be rejected with a clear error rather
+// than resumed into nonsense.
+func TestRunWireBatchRejectsForeignCheckpoint(t *testing.T) {
+	cfg := goldenConfig(harness.Orion, 1)
+	cfg.Seeds = 2
+	_, err := harness.RunWireBatch(context.Background(), cfg, harness.BatchOptions{
+		Checkpoint: &harness.CheckpointConfig{
+			Stride: sim.InterruptStride,
+			Resume: &checkpoint.Checkpoint{
+				Meta:     checkpoint.Meta{Scheme: "orion", Seed: 1},
+				Sections: []checkpoint.Section{{Name: "engine/clock", Data: []byte("x")}},
+			},
+		},
+	})
+	if err == nil {
+		t.Fatal("foreign checkpoint accepted")
+	}
+	if want := "unknown section"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func wireHash(t *testing.T, s *harness.Summary) string {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+func dedupInts(vals ...int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

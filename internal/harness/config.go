@@ -81,7 +81,22 @@ type Config struct {
 	DefaultFaults bool `json:"default_faults,omitempty"`
 	// FaultSeed seeds DefaultFaults; zero selects DefaultFaultSeed.
 	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// Seeds, when > 1, runs the same scenario at Seeds consecutive seeds
+	// (Seed, Seed+1, ...) as one batch: per-seed cells fan out across the
+	// worker pool and the summary carries the per-seed results plus a
+	// deterministic aggregate (see RunWireBatch). Zero or one means a
+	// single run, and the field stays off the wire (omitempty) so
+	// single-run summaries and golden hashes are unchanged.
+	Seeds int `json:"seeds,omitempty"`
+	// Parallelism bounds the batch worker pool; zero means GOMAXPROCS.
+	// Any value yields bit-identical output — the knob trades wall-clock
+	// for cores, never determinism.
+	Parallelism int `json:"parallelism,omitempty"`
 }
+
+// MaxBatchSeeds bounds Config.Seeds so one wire submission cannot ask a
+// server for an unbounded amount of work.
+const MaxBatchSeeds = 512
 
 // ParseConfig strictly decodes a wire Config from JSON: unknown fields
 // are rejected so that a typoed knob fails loudly instead of silently
@@ -157,6 +172,12 @@ func (c Config) Build() (RunConfig, error) {
 	}
 	if len(c.Jobs) == 0 {
 		return RunConfig{}, fmt.Errorf("harness: config has no jobs")
+	}
+	if c.Seeds < 0 || c.Seeds > MaxBatchSeeds {
+		return RunConfig{}, fmt.Errorf("harness: seeds %d out of range [0,%d]", c.Seeds, MaxBatchSeeds)
+	}
+	if c.Parallelism < 0 {
+		return RunConfig{}, fmt.Errorf("harness: negative parallelism %d", c.Parallelism)
 	}
 	spec, err := ParseDevice(c.Device)
 	if err != nil {
@@ -257,6 +278,10 @@ type SimFlags struct {
 	Seed      int64
 	Faults    bool
 	FaultSeed int64
+	// Seeds > 1 runs the scenario at that many consecutive seeds as one
+	// batch; Parallelism bounds the batch worker pool (0 = GOMAXPROCS).
+	Seeds       int
+	Parallelism int
 	// HPModel overrides HP with a pre-loaded trace model (-hp-file).
 	HPModel *workload.Model
 }
@@ -274,6 +299,10 @@ func ConfigFromSimFlags(f SimFlags) Config {
 		Seed:          f.Seed,
 		DefaultFaults: f.Faults,
 		FaultSeed:     f.FaultSeed,
+		Parallelism:   f.Parallelism,
+	}
+	if f.Seeds > 1 {
+		c.Seeds = f.Seeds
 	}
 	c.Jobs = append(c.Jobs, JobConfig{
 		Workload: f.HP,
@@ -338,6 +367,11 @@ type Summary struct {
 	Utilization UtilSummary        `json:"utilization"`
 	Verdicts    map[string]uint64  `json:"verdicts,omitempty"`
 	Robustness  *RobustnessSummary `json:"robustness,omitempty"`
+	// Seeds carries the per-seed summaries of a multi-seed batch, in
+	// seed order; the outer fields then hold the cross-seed aggregate
+	// (see SummarizeBatch). Empty — and off the wire — for single runs,
+	// which keeps the golden summary hashes unchanged.
+	Seeds []*Summary `json:"seeds,omitempty"`
 }
 
 // Summarize flattens a Result for the wire.

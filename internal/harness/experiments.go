@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,6 +32,10 @@ type Options struct {
 	Quick bool
 	// Seed randomizes arrivals deterministically.
 	Seed int64
+	// Parallelism bounds the worker pool the sweep-shaped experiments
+	// fan their independent cells out on; zero means GOMAXPROCS. Any
+	// value renders byte-identical output (see internal/parallel).
+	Parallelism int
 }
 
 // Rendered is a displayable experiment result.
@@ -204,18 +209,21 @@ func Table1(opt Options) (Rendered, error) {
 	if opt.Quick {
 		models = []*workload.Model{workload.ResNet50Inference(), workload.ResNet50Training()}
 	}
-	var out Table1Result
-	for _, m := range models {
-		arrival := Closed
-		r, err := Run(RunConfig{
+	cfgs := make([]RunConfig, len(models))
+	for i, m := range models {
+		cfgs[i] = RunConfig{
 			Scheme:  Ideal,
-			Jobs:    []JobSpec{{Model: m, Priority: sched.HighPriority, Arrival: arrival}},
+			Jobs:    []JobSpec{{Model: m, Priority: sched.HighPriority, Arrival: Closed}},
 			Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
-		})
-		if err != nil {
-			return nil, err
 		}
-		u := r.Utilization
+	}
+	results, err := RunBatch(context.Background(), cfgs, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var out Table1Result
+	for i, m := range models {
+		u := results[i].Utilization
 		out.Rows = append(out.Rows, Table1Row{
 			Workload: m.ID(), Batch: m.Batch,
 			SMBusy: u.SMBusy, Compute: u.Compute, MemBW: u.MemBW, MemCap: u.MemCapacity,

@@ -1,11 +1,14 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
 	"orion/internal/core"
 	"orion/internal/gpu"
+	"orion/internal/parallel"
 	"orion/internal/sched"
 	"orion/internal/sim"
 	"orion/internal/trace"
@@ -85,9 +88,13 @@ func indent(s, prefix string) string {
 }
 
 // collocationSweep runs every (HP, BE partner, scheme) combination and
-// averages cells over partners.
+// averages cells over partners. The independent runs fan out across the
+// batch worker pool (par = 0 means GOMAXPROCS); cells are laid out and
+// aggregated in the same canonical (hp, scheme, partner) nesting the
+// old serial triple loop used, so the figure — and anything rendered
+// from it — is byte-identical at every parallelism.
 func collocationSweep(title string, hps []JobSpec, partnersFor func(hp JobSpec) []JobSpec,
-	schemes []Scheme, device gpu.Spec, horizon, warmup sim.Duration, seed int64,
+	schemes []Scheme, device gpu.Spec, horizon, warmup sim.Duration, seed int64, par int,
 	custom func(cfg *RunConfig)) (*CollocationFigure, error) {
 
 	fig := &CollocationFigure{
@@ -95,14 +102,15 @@ func collocationSweep(title string, hps []JobSpec, partnersFor func(hp JobSpec) 
 		Schemes: schemes,
 		Cells:   map[string]map[Scheme]*CollocationCell{},
 	}
-	for _, hp := range hps {
+	partners := make([][]JobSpec, len(hps))
+	var cfgs []RunConfig
+	for hi, hp := range hps {
 		hpID := hp.Model.ID()
 		fig.HPs = append(fig.HPs, hpID)
 		fig.Cells[hpID] = map[Scheme]*CollocationCell{}
+		partners[hi] = partnersFor(hp)
 		for _, s := range schemes {
-			agg := &CollocationCell{}
-			var p50, p95, p99 sim.Duration
-			for _, be := range partnersFor(hp) {
+			for _, be := range partners[hi] {
 				cfg := RunConfig{
 					Scheme: s, Device: device,
 					Jobs:    []JobSpec{hp, be},
@@ -112,10 +120,35 @@ func collocationSweep(title string, hps []JobSpec, partnersFor func(hp JobSpec) 
 				if custom != nil {
 					custom(&cfg)
 				}
-				r, err := Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s vs %s: %w", s, hpID, be.Model.ID(), err)
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	results, err := RunBatch(context.Background(), cfgs, par)
+	if err != nil {
+		return nil, sweepError(err, func(i int) string {
+			for hi, hp := range hps {
+				for _, s := range schemes {
+					for _, be := range partners[hi] {
+						if i == 0 {
+							return fmt.Sprintf("%s/%s vs %s", s, hp.Model.ID(), be.Model.ID())
+						}
+						i--
+					}
 				}
+			}
+			return "?"
+		})
+	}
+	idx := 0
+	for hi := range hps {
+		hpID := hps[hi].Model.ID()
+		for _, s := range schemes {
+			agg := &CollocationCell{}
+			var p50, p95, p99 sim.Duration
+			for range partners[hi] {
+				r := results[idx]
+				idx++
 				h := r.HP()
 				p50 += h.Stats.Latency.P50()
 				p95 += h.Stats.Latency.P95()
@@ -138,6 +171,17 @@ func collocationSweep(title string, hps []JobSpec, partnersFor func(hp JobSpec) 
 		}
 	}
 	return fig, nil
+}
+
+// sweepError re-attaches a failed batch cell's human-readable label
+// ("orion/resnet50-inf vs mobilenetv2-train") to the underlying run
+// error, preserving the message shape of the old serial loops.
+func sweepError(err error, label func(cell int) string) error {
+	var ce *parallel.CellError
+	if errors.As(err, &ce) {
+		return fmt.Errorf("%s: %w", label(ce.Cell), ce.Err)
+	}
+	return err
 }
 
 // trainPartnersExcept returns the training workloads other than the HP
@@ -178,13 +222,10 @@ func Figure2(opt Options) (Rendered, error) {
 		pairs = pairs[:1]
 	}
 	schemes := []Scheme{Ideal, Temporal, Streams, MPSScheme, Reef, Orion}
-	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 2: closed-loop job pairs, throughput per scheme (req or it /s)\n")
+	var cfgs []RunConfig
 	for _, p := range pairs {
-		fmt.Fprintf(&b, "\npair: %s (hp) + %s (be)\n", p.hp.ID(), p.be.ID())
-		fmt.Fprintf(&b, "  %-10s %-10s %-10s %-12s\n", "scheme", "hp(thr)", "be(thr)", "aggregate")
 		for _, s := range schemes {
-			r, err := Run(RunConfig{
+			cfgs = append(cfgs, RunConfig{
 				Scheme: s,
 				Jobs: []JobSpec{
 					{Model: p.hp, Priority: sched.HighPriority, Arrival: Closed},
@@ -192,9 +233,21 @@ func Figure2(opt Options) (Rendered, error) {
 				},
 				Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
 			})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	results, err := RunBatch(context.Background(), cfgs, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: closed-loop job pairs, throughput per scheme (req or it /s)\n")
+	idx := 0
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "\npair: %s (hp) + %s (be)\n", p.hp.ID(), p.be.ID())
+		fmt.Fprintf(&b, "  %-10s %-10s %-10s %-12s\n", "scheme", "hp(thr)", "be(thr)", "aggregate")
+		for _, s := range schemes {
+			r := results[idx]
+			idx++
 			fmt.Fprintf(&b, "  %-10s %-10.2f %-10.2f %-12.2f\n",
 				s, r.HP().Stats.Throughput(), r.BestEffort()[0].Stats.Throughput(),
 				r.AggregateThroughput())
@@ -223,7 +276,7 @@ func infTrainFigure(opt Options, arrival ArrivalKind, label string) (Rendered, e
 		}
 		hps = append(hps, JobSpec{Model: m, Priority: sched.HighPriority, Arrival: arrival, RPS: rps})
 	}
-	return collocationSweep(label, hps, partners, schemes, gpu.V100(), horizon, warmup, opt.Seed, nil)
+	return collocationSweep(label, hps, partners, schemes, gpu.V100(), horizon, warmup, opt.Seed, opt.Parallelism, nil)
 }
 
 // Figure6 is inference-training with Apollo-trace arrivals.
@@ -363,7 +416,7 @@ func Figure10(opt Options) (Rendered, error) {
 	}
 	return collocationSweep(
 		"Figure 10: train-train, high-priority and best-effort throughput averaged over partners",
-		hps, partners, schemes, gpu.V100(), horizon, warmup, opt.Seed, nil)
+		hps, partners, schemes, gpu.V100(), horizon, warmup, opt.Seed, opt.Parallelism, nil)
 }
 
 // --- Table 4: cost savings ----------------------------------------------------
@@ -402,21 +455,21 @@ func Table4(opt Options) (Rendered, error) {
 		trainModels = trainModels[:2]
 		infModels = infModels[:1]
 	}
-	var out Table4Result
+	// Cells per training model: one dedicated run, then one Orion run per
+	// inference partner — flattened so the whole table fans out at once.
+	var cfgs []RunConfig
 	for _, tm := range trainModels {
 		be := JobSpec{Model: tm, Priority: sched.BestEffort, Arrival: Closed}
-		ded, err := DedicatedThroughput(be, gpu.V100(), horizon, warmup, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		var col float64
-		var n int
+		cfgs = append(cfgs, RunConfig{
+			Scheme: Ideal, Device: gpu.V100(), Jobs: []JobSpec{be},
+			Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
+		})
 		for _, im := range infModels {
 			rps, err := trace.RPS(im.Name, trace.InfTrainPoisson)
 			if err != nil {
 				return nil, err
 			}
-			r, err := Run(RunConfig{
+			cfgs = append(cfgs, RunConfig{
 				Scheme: Orion,
 				Jobs: []JobSpec{
 					{Model: im, Priority: sched.HighPriority, Arrival: Poisson, RPS: rps},
@@ -424,10 +477,22 @@ func Table4(opt Options) (Rendered, error) {
 				},
 				Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
 			})
-			if err != nil {
-				return nil, err
-			}
-			col += r.BestEffort()[0].Stats.Throughput()
+		}
+	}
+	results, err := RunBatch(context.Background(), cfgs, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var out Table4Result
+	idx := 0
+	for _, tm := range trainModels {
+		ded := results[idx].Jobs[0].Stats.Throughput()
+		idx++
+		var col float64
+		var n int
+		for range infModels {
+			col += results[idx].BestEffort()[0].Stats.Throughput()
+			idx++
 			n++
 		}
 		col /= float64(n)
@@ -473,7 +538,7 @@ func infInfFigure(opt Options, hpArrival, beArrival ArrivalKind, hpScenario, beS
 		}
 		return out
 	}
-	return collocationSweep(label, hps, partners, schemes, gpu.V100(), horizon, warmup, opt.Seed, nil)
+	return collocationSweep(label, hps, partners, schemes, gpu.V100(), horizon, warmup, opt.Seed, opt.Parallelism, nil)
 }
 
 // Figure11 is inf-inf with the Apollo trace driving the high-priority
@@ -508,6 +573,7 @@ func Figure13(opt Options) (Rendered, error) {
 		Schemes: schemes,
 		Cells:   map[string]map[Scheme]*CollocationCell{},
 	}
+	var cfgs []RunConfig
 	for _, hpM := range models {
 		hpID := hpM.ID()
 		fig.HPs = append(fig.HPs, hpID)
@@ -528,13 +594,22 @@ func Figure13(opt Options) (Rendered, error) {
 			jobs = append(jobs, JobSpec{Model: beM, Priority: sched.BestEffort, Arrival: Poisson, RPS: beRPS})
 		}
 		for _, s := range schemes {
-			r, err := Run(RunConfig{
+			cfgs = append(cfgs, RunConfig{
 				Scheme: s, Device: gpu.A100(), Jobs: jobs,
 				Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
 			})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	results, err := RunBatch(context.Background(), cfgs, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, hpM := range models {
+		hpID := hpM.ID()
+		for _, s := range schemes {
+			r := results[idx]
+			idx++
 			h := r.HP()
 			cell := &CollocationCell{
 				HPp50: h.Stats.Latency.P50(), HPp95: h.Stats.Latency.P95(),
@@ -606,10 +681,8 @@ func Figure14(opt Options) (Rendered, error) {
 		}},
 	}
 
-	var out AblationResult
+	var cfgs []RunConfig
 	for _, v := range variants {
-		var p95, p99 sim.Duration
-		var n int
 		for _, hpM := range hpModels {
 			rps, err := trace.RPS(hpM.Name, trace.InfTrainPoisson)
 			if err != nil {
@@ -627,10 +700,23 @@ func Figure14(opt Options) (Rendered, error) {
 				if v.custom != nil {
 					v.custom(&cfg)
 				}
-				r, err := Run(cfg)
-				if err != nil {
-					return nil, err
-				}
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	results, err := RunBatch(context.Background(), cfgs, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var out AblationResult
+	idx := 0
+	for _, v := range variants {
+		var p95, p99 sim.Duration
+		var n int
+		for range hpModels {
+			for range beModels {
+				r := results[idx]
+				idx++
 				p95 += r.HP().Stats.Latency.P95()
 				p99 += r.HP().Stats.Latency.P99()
 				n++
@@ -682,9 +768,9 @@ func DurThresholdSensitivity(opt Options) (Rendered, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out DurThreshResult
+	var cfgs []RunConfig
 	for _, th := range sweep {
-		r, err := Run(RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Scheme: Orion,
 			Jobs: []JobSpec{
 				{Model: hpM, Priority: sched.HighPriority, Arrival: Poisson, RPS: rps},
@@ -693,9 +779,14 @@ func DurThresholdSensitivity(opt Options) (Rendered, error) {
 			Horizon: horizon, Warmup: warmup, Seed: opt.Seed,
 			OrionConfig: &core.Config{DurThreshold: th},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := RunBatch(context.Background(), cfgs, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var out DurThreshResult
+	for i, th := range sweep {
+		r := results[i]
 		out.Rows = append(out.Rows, DurThreshRow{
 			Threshold: th, HPp99: r.HP().Stats.Latency.P99(),
 			BEThroughput: r.BestEffort()[0].Stats.Throughput(),
@@ -738,21 +829,23 @@ func Overhead(opt Options) (Rendered, error) {
 	if opt.Quick {
 		models = models[:1]
 	}
-	var out OverheadResult
+	var cfgs []RunConfig
 	for _, m := range models {
 		job := JobSpec{Model: m, Priority: sched.HighPriority, Arrival: Closed}
-		native, err := Run(RunConfig{Scheme: Ideal, Jobs: []JobSpec{job},
-			Horizon: horizon, Warmup: warmup, Seed: opt.Seed})
-		if err != nil {
-			return nil, err
-		}
-		orion, err := Run(RunConfig{Scheme: Orion, Jobs: []JobSpec{job},
-			Horizon: horizon, Warmup: warmup, Seed: opt.Seed})
-		if err != nil {
-			return nil, err
-		}
-		nm := native.Jobs[0].Stats.Latency.Mean()
-		om := orion.Jobs[0].Stats.Latency.Mean()
+		cfgs = append(cfgs,
+			RunConfig{Scheme: Ideal, Jobs: []JobSpec{job},
+				Horizon: horizon, Warmup: warmup, Seed: opt.Seed},
+			RunConfig{Scheme: Orion, Jobs: []JobSpec{job},
+				Horizon: horizon, Warmup: warmup, Seed: opt.Seed})
+	}
+	results, err := RunBatch(context.Background(), cfgs, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	var out OverheadResult
+	for i, m := range models {
+		nm := results[2*i].Jobs[0].Stats.Latency.Mean()
+		om := results[2*i+1].Jobs[0].Stats.Latency.Mean()
 		out.Rows = append(out.Rows, OverheadRow{
 			Workload: m.ID(), Native: nm, Orion: om,
 			Overhead: float64(om-nm) / float64(nm),

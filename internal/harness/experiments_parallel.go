@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"orion/internal/parallel"
+	"orion/internal/sched"
+	"orion/internal/sim"
+	"orion/internal/workload"
+)
+
+// SeedSweepCell is one (scheme, seed) point of the multi-seed sweep.
+type SeedSweepCell struct {
+	Scheme Scheme
+	Seed   int64
+	HPp99  sim.Duration
+	HPThr  float64
+	Wall   time.Duration
+}
+
+// SeedSweepResult is the schemes × seeds grid plus batch timing.
+type SeedSweepResult struct {
+	Schemes     []Scheme
+	SeedsPer    int
+	Parallelism int
+	Cells       []SeedSweepCell
+	Wall        time.Duration
+}
+
+// Render prints per-scheme mean ± spread of the high-priority p99
+// across seeds, then the batch timing line the benchmark scrapes.
+func (r *SeedSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-seed sweep: %d schemes x %d seeds on %d workers\n\n",
+		len(r.Schemes), r.SeedsPer, parallel.Workers(r.Parallelism))
+	fmt.Fprintf(&b, "%-10s %-14s %-14s %-14s %-12s\n",
+		"scheme", "p99 mean(ms)", "p99 min(ms)", "p99 max(ms)", "hp thr(r/s)")
+	for _, s := range r.Schemes {
+		var sum, thr float64
+		lo, hi := sim.Duration(1<<62), sim.Duration(0)
+		var n int
+		for _, c := range r.Cells {
+			if c.Scheme != s {
+				continue
+			}
+			sum += c.HPp99.Millis()
+			thr += c.HPThr
+			if c.HPp99 < lo {
+				lo = c.HPp99
+			}
+			if c.HPp99 > hi {
+				hi = c.HPp99
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %-14.2f %-14.2f %-14.2f %-12.2f\n",
+			s, sum/float64(n), lo.Millis(), hi.Millis(), thr/float64(n))
+	}
+	fmt.Fprintf(&b, "\n%d cells in %v (%.1f cells/s)\n",
+		len(r.Cells), r.Wall.Round(time.Millisecond),
+		float64(len(r.Cells))/r.Wall.Seconds())
+	return b.String()
+}
+
+// SeedSweepCells builds the sweep's canonical cell list: every scheme at
+// every consecutive seed of the standard collocation shape (Poisson
+// ResNet50 inference against closed-loop MobileNetV2 training — the
+// golden-suite scenario). Exposed so the SweepParallel benchmark and the
+// serial-vs-parallel equivalence suite run the exact same cells.
+func SeedSweepCells(schemes []Scheme, seeds int, baseSeed int64, horizon, warmup sim.Duration) []RunConfig {
+	var cfgs []RunConfig
+	for _, s := range schemes {
+		for i := 0; i < seeds; i++ {
+			cfgs = append(cfgs, RunConfig{
+				Scheme: s,
+				Jobs: []JobSpec{
+					{Model: workload.ResNet50Inference(), Priority: sched.HighPriority, Arrival: Poisson, RPS: 20},
+					{Model: workload.MobileNetV2Training(), Priority: sched.BestEffort, Arrival: Closed},
+				},
+				Horizon: horizon, Warmup: warmup, Seed: baseSeed + int64(i),
+			})
+		}
+	}
+	return cfgs
+}
+
+// SeedSweep runs the schemes × seeds grid through the parallel batch
+// runner — the §7 scaling prototype behind the SweepParallel benchmark.
+// Results merge in canonical cell order, so the per-scheme grid is
+// byte-identical at every parallelism; only the trailing wall-clock
+// line varies run to run.
+func SeedSweep(opt Options) (Rendered, error) {
+	horizon, warmup := opt.horizons(sim.Seconds(4), sim.Seconds(1))
+	schemes := []Scheme{Orion, Reef, Streams, Temporal}
+	seeds := 3
+	if opt.Quick {
+		schemes = schemes[:2]
+		seeds = 2
+	}
+	cfgs := SeedSweepCells(schemes, seeds, opt.Seed, horizon, warmup)
+	start := time.Now()
+	results, durs, err := RunBatchTimed(context.Background(), cfgs, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	out := &SeedSweepResult{
+		Schemes: schemes, SeedsPer: seeds, Parallelism: opt.Parallelism,
+		Wall: time.Since(start),
+	}
+	for i, r := range results {
+		out.Cells = append(out.Cells, SeedSweepCell{
+			Scheme: cfgs[i].Scheme, Seed: cfgs[i].Seed,
+			HPp99: r.HP().Stats.Latency.P99(), HPThr: r.HP().Stats.Throughput(),
+			Wall: durs[i],
+		})
+	}
+	return out, nil
+}

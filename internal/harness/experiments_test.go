@@ -39,8 +39,8 @@ func TestRegistryIDsUnique(t *testing.T) {
 	if len(Registry()) != 18 {
 		t.Errorf("paper registry has %d experiments, want 18", len(Registry()))
 	}
-	if len(seen) != 25 {
-		t.Errorf("full registry has %d experiments, want 25", len(seen))
+	if len(seen) != 26 {
+		t.Errorf("full registry has %d experiments, want 26", len(seen))
 	}
 }
 

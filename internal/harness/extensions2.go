@@ -20,6 +20,7 @@ func moreExtensions() []Experiment {
 		{"swapping", "Layer-by-layer swapping for an oversubscribed best-effort job (§5.1.3)", Swapping},
 		{"serving", "Oversubscribed serving: state swap vs layer window (§3, §4)", Serving},
 		{"faults", "Fault injection: BE crashes + transient CUDA errors, SLO-guarded degradation", Faults},
+		{"seedsweep", "Multi-seed parallel sweep: schemes x seeds on all cores (§7)", SeedSweep},
 	}
 }
 

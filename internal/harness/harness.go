@@ -318,7 +318,12 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Result, error) {
 		eng = sim.NewEngine()
 	}
 	eng.MaxEvents = 2_000_000_000
-	master := sim.NewRand(cfg.Seed + 7)
+	var master *sim.Rand
+	if cfg.Arena != nil {
+		master = cfg.Arena.rand(cfg.Seed + 7)
+	} else {
+		master = sim.NewRand(cfg.Seed + 7)
+	}
 
 	// Devices: one shared device, or one per job under Ideal.
 	var devices []*gpu.Device

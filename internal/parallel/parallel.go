@@ -1,0 +1,137 @@
+// Package parallel provides the deterministic batch runner under every
+// multi-core sweep in the repository: a bounded worker pool that
+// executes independent cells — one (scheme, seed, workload-pair)
+// simulation per cell — and merges results in canonical cell order.
+//
+// Determinism argument: each cell is a pure function of its index (the
+// simulation engine is single-threaded and bit-deterministic per seed;
+// pooled arenas reset to a bit-identical initial state), cells share no
+// mutable state, and results land in a slice slot owned by exactly one
+// cell. Scheduling therefore affects only wall-clock, never values:
+// running at parallelism 1, 2, or NumCPU yields byte-identical merged
+// output.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// CellError reports which cell of a batch failed. It unwraps to the
+// cell's own error so errors.Is/As see through it (the server relies on
+// errors.Is(err, context.DeadlineExceeded) to park deadline-hit jobs).
+type CellError struct {
+	// Cell is the canonical index of the failed cell.
+	Cell int
+	// Err is the cell's error.
+	Err error
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Cell, e.Err) }
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Workers resolves a parallelism knob: n itself when positive,
+// otherwise GOMAXPROCS (the "use all cores" default).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn over cells 0..n-1 on a bounded pool of workers
+// (Workers(workers), capped at n) and returns the results in cell
+// order. Each worker builds one scratch value (e.g. a pooled
+// harness.Arena) at start and reuses it for every cell it claims, so
+// scratch values are never shared between goroutines. Cells are claimed
+// in index order off an atomic counter; completion order is free but
+// results[i] is written only by cell i's owner, so the merged slice is
+// canonical regardless of scheduling.
+//
+// The first cell failure cancels the context passed to the remaining
+// cells (fail-fast). Map then reports the lowest-indexed failure that
+// is not a secondary cancellation, wrapped in *CellError; if every
+// recorded error is a cancellation (the parent ctx was canceled), the
+// lowest-indexed one is reported. On error the partial results are
+// discarded.
+func Map[S, R any](ctx context.Context, workers, n int, scratch func() S,
+	fn func(ctx context.Context, cell int, s S) (R, error)) ([]R, error) {
+
+	results := make([]R, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			s := scratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := cctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				r, err := runCell(cctx, i, s, fn)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	firstErr := -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr < 0 {
+			firstErr = i
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, &CellError{Cell: i, Err: err}
+		}
+	}
+	if firstErr >= 0 {
+		return nil, &CellError{Cell: firstErr, Err: errs[firstErr]}
+	}
+	return results, nil
+}
+
+// runCell invokes fn with a panic bulkhead: cells run on pool
+// goroutines, where a caller's recover cannot reach, so a panicking
+// cell would otherwise kill the whole process. It fails the batch as an
+// ordinary error instead, stack attached.
+func runCell[S, R any](ctx context.Context, i int, s S,
+	fn func(ctx context.Context, cell int, s S) (R, error)) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return fn(ctx, i, s)
+}

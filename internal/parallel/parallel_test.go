@@ -1,0 +1,172 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestMapCanonicalOrder checks results land in cell order no matter how
+// many workers raced over the batch.
+func TestMapCanonicalOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := Map(context.Background(), workers, 50, func() int { return 0 },
+			func(_ context.Context, cell int, _ int) (int, error) {
+				if cell%3 == 0 {
+					time.Sleep(time.Millisecond) // skew completion order
+				}
+				return cell * 2, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*2 {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*2)
+			}
+		}
+	}
+}
+
+// TestMapScratchPerWorker checks scratch values are built once per
+// worker and never shared: each cell bumps its worker's private counter,
+// and the per-worker counts must sum to n.
+func TestMapScratchPerWorker(t *testing.T) {
+	const n, workers = 40, 4
+	var built atomic.Int64
+	counters := make([]*int64, 0, workers)
+	var mu chan struct{} = make(chan struct{}, 1)
+	mu <- struct{}{}
+	scratch := func() *int64 {
+		built.Add(1)
+		c := new(int64)
+		<-mu
+		counters = append(counters, c)
+		mu <- struct{}{}
+		return c
+	}
+	_, err := Map(context.Background(), workers, n, scratch,
+		func(_ context.Context, _ int, c *int64) (struct{}, error) {
+			*c++ // no atomics: a shared scratch would trip the race detector
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := built.Load(); b > workers {
+		t.Fatalf("scratch built %d times, want <= %d", b, workers)
+	}
+	var total int64
+	for _, c := range counters {
+		total += *c
+	}
+	if total != n {
+		t.Fatalf("per-worker counts sum to %d, want %d", total, n)
+	}
+}
+
+// TestMapLowestError checks the reported failure is the lowest-indexed
+// real error, not a secondary cancellation from the fail-fast abort.
+func TestMapLowestError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 4, 30, func() struct{} { return struct{}{} },
+		func(ctx context.Context, cell int, _ struct{}) (int, error) {
+			switch cell {
+			case 5, 17:
+				return 0, fmt.Errorf("cell says: %w", boom)
+			}
+			return cell, nil
+		})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not *CellError", err)
+	}
+	if ce.Cell != 5 && ce.Cell != 17 {
+		t.Fatalf("CellError.Cell = %d, want 5 or 17", ce.Cell)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("errors.Is(err, boom) = false for %v", err)
+	}
+}
+
+// TestMapFailFast checks a cell failure cancels in-flight cells and
+// skips unclaimed ones instead of running the batch to completion.
+func TestMapFailFast(t *testing.T) {
+	start := time.Now()
+	_, err := Map(context.Background(), 2, 8, func() struct{} { return struct{}{} },
+		func(ctx context.Context, cell int, _ struct{}) (int, error) {
+			if cell == 0 {
+				return 0, errors.New("first cell fails")
+			}
+			select {
+			case <-ctx.Done(): // released by the fail-fast cancel
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return cell, nil
+			}
+		})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("batch took %v: fail-fast cancellation did not propagate", d)
+	}
+}
+
+// TestMapParentCancel checks a canceled parent context surfaces (rather
+// than hanging or returning partial results as success).
+func TestMapParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 4, 10, func() struct{} { return struct{}{} },
+		func(ctx context.Context, cell int, _ struct{}) (int, error) {
+			return cell, ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMapDeadlineSurvivesWrapping checks errors.Is sees a deadline
+// through the CellError wrapper — the server's parked-job logic depends
+// on it.
+func TestMapDeadlineSurvivesWrapping(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := Map(ctx, 2, 4, func() struct{} { return struct{}{} },
+		func(ctx context.Context, cell int, _ struct{}) (int, error) {
+			return 0, fmt.Errorf("run canceled: %w", ctx.Err())
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded through the wrapper", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0,
+		func() struct{} { t.Fatal("scratch built for empty batch"); return struct{}{} },
+		func(_ context.Context, cell int, _ struct{}) (int, error) { return cell, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

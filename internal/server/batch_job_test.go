@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"orion/internal/harness"
+	"orion/internal/sim"
+)
+
+// TestBatchJobAggregate: a multi-seed submission runs through the
+// normal admission path, fans out on the batch runner inside one
+// worker, and reports the cross-seed aggregate with the per-seed
+// summaries riding along — bit-identical to an in-process batch run.
+func TestBatchJobAggregate(t *testing.T) {
+	cfg := quickConfig(harness.Orion)
+	cfg.Seeds = 2
+
+	control, err := harness.RunWireBatch(context.Background(), cfg, harness.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, resp := submit(t, ts, cfg)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	got := pollDone(t, ts, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("batch job: %q (%s)", got.State, got.Error)
+	}
+	if len(got.Result.Seeds) != 2 {
+		t.Fatalf("result carries %d per-seed summaries, want 2", len(got.Result.Seeds))
+	}
+	if summaryJSON(t, got.Result) != summaryJSON(t, control.Summary) {
+		t.Error("server batch aggregate not bit-identical to in-process RunWireBatch")
+	}
+}
+
+// TestBatchDeadlineParksAndResumes: the deadline/park/resume lifecycle
+// holds for multi-seed jobs — the container checkpoint parks the batch
+// at its per-cell cursors, and the resumed run quiesces to the same
+// aggregate as an uninterrupted batch.
+func TestBatchDeadlineParksAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickConfig(harness.Orion)
+	cfg.Horizon = 10 * sim.Second // per cell; 2 cells cannot finish in 300ms
+	cfg.Seeds = 2
+
+	// Run the uninterrupted control first: besides providing the
+	// bit-identity reference, it pays the process's cold-start cost
+	// (first-run allocation of the workload models and engine arenas is
+	// slow under -race) so the server job's deadline budget below is
+	// spent simulating, not warming up.
+	control, err := harness.RunWireBatch(context.Background(), cfg, harness.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The deadline must expire after the first container checkpoint lands
+	// but well before both 10-simulated-second cells finish (>1s of wall
+	// clock even without -race).
+	s := mustNew(t, Config{
+		Workers: 1, QueueDepth: 4, JournalDir: dir,
+		CheckpointStride: sim.InterruptStride, JobDeadline: 300 * time.Millisecond,
+	})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, resp := submit(t, ts, cfg)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	parked := pollState(t, ts, st.ID, StateParked)
+	if parked.State != StateParked {
+		t.Fatalf("batch job: %q (%s)", parked.State, parked.Error)
+	}
+	ckPath := filepath.Join(dir, "ckpt-"+st.ID+".ck")
+	if !fileExists(ckPath) {
+		t.Fatal("parked batch has no container checkpoint file")
+	}
+
+	if code := postResume(t, ts, st.ID, `{"deadline":"120s"}`); code != http.StatusAccepted {
+		t.Fatalf("resume: %d", code)
+	}
+	got := pollDone(t, ts, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("resumed batch: %q (%s)", got.State, got.Error)
+	}
+
+	if summaryJSON(t, got.Result) != summaryJSON(t, control.Summary) {
+		t.Error("parked-and-resumed batch aggregate not bit-identical to uninterrupted batch")
+	}
+	if got := s.cResumed.Value(); got != 1 {
+		t.Errorf("resumed counter = %v, want 1", got)
+	}
+	if v := s.cReplayed.Value(); v <= 0 {
+		t.Errorf("events_replayed_total = %v, want > 0 for a container resume", v)
+	}
+	if fileExists(ckPath) {
+		t.Error("container checkpoint not cleaned up after the batch finished")
+	}
+}

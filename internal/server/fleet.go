@@ -661,12 +661,16 @@ func (s *Server) fleetEnqueueEval(id string) {
 	}
 }
 
-// fleetEvaluator is the single background goroutine that turns "placed"
-// into "evaluated": for each queued job it snapshots the bound device's
-// resident set, simulates it with the per-device Orion scheduler
-// (harness.EvalPlacement), and attaches the summary. Results are
-// memoized on (class, horizon, seed, resident multiset) — a fleet full
-// of repeated archetype combinations evaluates each combination once.
+// fleetEvaluator turns "placed" into "evaluated": for each queued job
+// it snapshots the bound device's resident set, simulates it with the
+// per-device Orion scheduler (harness.EvalPlacement), and attaches the
+// summary. Config.FleetEvalParallelism of these run concurrently — the
+// per-device simulations are independent, snapshots and attachment
+// happen under fa.mu, and the stale-drop rule in fleetAttachEval makes
+// attachment order irrelevant. Results are memoized on (class, horizon,
+// seed, resident multiset) — a fleet full of repeated archetype
+// combinations evaluates each combination once (two evaluators racing
+// the same cold key both compute it; the duplicate write is benign).
 func (s *Server) fleetEvaluator() {
 	defer s.wg.Done()
 	ctx, cancel := context.WithCancel(context.Background())

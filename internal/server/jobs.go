@@ -217,22 +217,44 @@ type execOpts struct {
 	resume *checkpoint.Checkpoint
 }
 
+// execResult is what one execution attempt produced: the wire summary
+// plus the engine event totals the metrics layer reports.
+type execResult struct {
+	summary  *harness.Summary
+	replayed uint64
+}
+
 // execute runs one experiment with the crash bulkheads in place: a
 // panicking harness run is caught here (the job fails with the stack in
 // its error; the daemon keeps serving), and the effective per-job
 // deadline cancels runaway simulations through the harness's context
-// plumbing.
-func (s *Server) execute(o execOpts) (res *harness.Result, horizon time.Duration, err error) {
+// plumbing. A multi-seed submission (cfg.Seeds > 1) fans its cells out
+// across the batch worker pool instead of running on the one worker
+// goroutine; everything else — deadline, checkpointing, parking — is
+// identical.
+func (s *Server) execute(o execOpts) (er *execResult, horizon time.Duration, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.cPanics.Inc()
-			res = nil
+			er = nil
 			err = fmt.Errorf("experiment panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
 	if s.testRun != nil {
-		res, err = s.testRun(o.cfg)
-		return res, 0, err
+		res, err := s.testRun(o.cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &execResult{summary: harness.Summarize(res)}, 0, nil
+	}
+	ctx := context.Background()
+	if o.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.deadline)
+		defer cancel()
+	}
+	if o.cfg.Seeds > 1 {
+		return s.executeBatch(ctx, o)
 	}
 	rc, err := o.cfg.Build()
 	if err != nil {
@@ -251,18 +273,56 @@ func (s *Server) execute(o execOpts) (res *harness.Result, horizon time.Duration
 		}
 		rc.Checkpoint = cc
 	}
-	ctx := context.Background()
-	if o.deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, o.deadline)
-		defer cancel()
-	}
+	var res *harness.Result
 	// Label the run so CPU profiles of the daemon attribute samples to the
 	// experiment kind being simulated.
 	pprof.Do(ctx, pprof.Labels("experiment", string(o.cfg.Scheme)), func(ctx context.Context) {
 		res, err = harness.RunContext(ctx, rc)
 	})
-	return res, rc.Horizon.Std(), err
+	if err != nil {
+		return nil, 0, err
+	}
+	return &execResult{summary: harness.Summarize(res), replayed: res.Replayed}, rc.Horizon.Std(), nil
+}
+
+// executeBatch fans one multi-seed job's cells out on the parallel
+// batch runner. Checkpoints go through the same per-job ckpt-<id>.ck
+// file, holding a container with every cell's state (finished cells'
+// summaries plus in-flight cells' own checkpoints), so park/resume and
+// crash recovery work exactly like single runs: a resumed batch skips
+// finished cells entirely and replays only each in-flight cell's own
+// prefix. Errors surface as *parallel.CellError, which unwraps to the
+// cell's error — errors.Is(err, context.DeadlineExceeded) still parks.
+func (s *Server) executeBatch(ctx context.Context, o execOpts) (*execResult, time.Duration, error) {
+	bo := harness.BatchOptions{
+		Parallelism: s.cfg.BatchParallelism,
+		Progress:    o.progress,
+	}
+	if o.ckptPath != "" || o.resume != nil {
+		cc := &harness.CheckpointConfig{
+			Stride: s.cfg.CheckpointStride,
+			Config: o.cfgJSON,
+			Resume: o.resume,
+		}
+		if o.ckptPath != "" {
+			cc.Sink = s.checkpointSink(o.id, o.ckptPath)
+		}
+		bo.Checkpoint = cc
+	}
+	var out *harness.BatchOutcome
+	var err error
+	pprof.Do(ctx, pprof.Labels("experiment", string(o.cfg.Scheme)), func(ctx context.Context) {
+		out, err = harness.RunWireBatch(ctx, o.cfg, bo)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	h := o.cfg.Horizon
+	if h == 0 {
+		h = harness.DefaultHorizon
+	}
+	return &execResult{summary: out.Summary, replayed: out.Replayed},
+		h.Std() * time.Duration(o.cfg.Seeds), nil
 }
 
 // checkpointPath is where a job's latest checkpoint lives, next to the
@@ -356,7 +416,7 @@ func (s *Server) runJob(j *job, arena *harness.Arena) {
 		id: j.id, cfg: cfg, cfgJSON: j.cfgJSON, progress: progress, arena: arena,
 		deadline: deadline, ckptPath: s.checkpointPath(j.id), resume: resume,
 	}
-	res, horizon, err := s.execute(opts)
+	er, horizon, err := s.execute(opts)
 	if err != nil && opts.resume != nil && !errors.Is(err, context.DeadlineExceeded) {
 		// The checkpoint could not be verified against the replay (config
 		// drift, code change, damaged file). Resuming is an optimization,
@@ -369,13 +429,13 @@ func (s *Server) runJob(j *job, arena *harness.Arena) {
 		s.emit(j, "resume-fallback")
 		s.mu.Unlock()
 		opts.resume = nil
-		res, horizon, err = s.execute(opts)
+		er, horizon, err = s.execute(opts)
 	}
 	wall := time.Since(j.started).Seconds()
 
 	var summary *harness.Summary
 	if err == nil {
-		summary = harness.Summarize(res)
+		summary = er.summary
 	}
 	// A deadline expiry parks the job instead of failing it when a
 	// checkpoint was persisted: the spent work survives and the client
@@ -406,7 +466,7 @@ func (s *Server) runJob(j *job, arena *harness.Arena) {
 		s.wallSeconds(scheme).Observe(wall)
 		if opts.resume != nil {
 			s.cResumed.Inc()
-			s.cReplayed.Add(float64(res.Replayed))
+			s.cReplayed.Add(float64(er.replayed))
 		}
 		s.emit(j, string(StateDone))
 	}

@@ -205,11 +205,19 @@ func TestCorruptCheckpointFallsBack(t *testing.T) {
 func TestDeadlineParksAndResumes(t *testing.T) {
 	dir := t.TempDir()
 	cfg := quickConfig(harness.Orion)
-	cfg.Horizon = 10 * sim.Second // ~0.5s+ of wall time: cannot finish in 50ms
+	cfg.Horizon = 10 * sim.Second // ~0.5s+ of wall time: cannot finish in 200ms
+
+	// The control run doubles as process warm-up: a cold first simulation
+	// under -race can eat the whole deadline budget before the server
+	// job's first checkpoint lands, failing the job instead of parking it.
+	direct, err := harness.RunWire(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	a := mustNew(t, Config{
 		Workers: 1, QueueDepth: 4, JournalDir: dir,
-		CheckpointStride: sim.InterruptStride, JobDeadline: 50 * time.Millisecond,
+		CheckpointStride: sim.InterruptStride, JobDeadline: 200 * time.Millisecond,
 	})
 	tsA := httptest.NewServer(a.Handler())
 	st, resp := submit(t, tsA, cfg)
@@ -236,7 +244,7 @@ func TestDeadlineParksAndResumes(t *testing.T) {
 	tsA.Close()
 	b := mustNew(t, Config{
 		Workers: 1, QueueDepth: 4, JournalDir: dir,
-		CheckpointStride: sim.InterruptStride, JobDeadline: 50 * time.Millisecond,
+		CheckpointStride: sim.InterruptStride, JobDeadline: 200 * time.Millisecond,
 	})
 	defer b.Shutdown(context.Background())
 	tsB := httptest.NewServer(b.Handler())
@@ -255,10 +263,6 @@ func TestDeadlineParksAndResumes(t *testing.T) {
 	got := pollDone(t, tsB, st.ID)
 	if got.State != StateDone {
 		t.Fatalf("resumed job: %q (%s)", got.State, got.Error)
-	}
-	direct, err := harness.RunWire(context.Background(), cfg)
-	if err != nil {
-		t.Fatal(err)
 	}
 	if want := summaryJSON(t, harness.Summarize(direct)); summaryJSON(t, got.Result) != want {
 		t.Error("parked-and-resumed summary not bit-identical to direct run")

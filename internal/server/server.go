@@ -51,6 +51,11 @@ type Config struct {
 	// QueueDepth bounds jobs admitted but not yet running (default 16).
 	// Submissions beyond it are rejected with 429 + Retry-After.
 	QueueDepth int
+	// BatchParallelism bounds the worker pool one multi-seed batch job
+	// (Config.Seeds > 1) fans out on. Zero defers to the submission's own
+	// parallelism field, which in turn defaults to GOMAXPROCS; results
+	// are bit-identical at every setting, only wall-clock changes.
+	BatchParallelism int
 	// MaxJobs bounds retained job records, finished ones included
 	// (default 1024). Oldest finished records are evicted first; if every
 	// record is live the submission is rejected, keeping memory bounded.
@@ -98,6 +103,11 @@ type Config struct {
 	// disables evaluation: placements stop at state "placed".
 	FleetEvalHorizon sim.Duration
 	FleetEvalWarmup  sim.Duration
+	// FleetEvalParallelism is how many evaluator goroutines drain the
+	// fleet's evaluation queue (default 2): per-device simulations are
+	// independent, so they overlap on idle cores. Results attach under
+	// the fleet lock with the same stale-drop rule at any setting.
+	FleetEvalParallelism int
 	// FleetSeed drives the per-device evaluations (default harness seed).
 	FleetSeed int64
 	// FleetChaosProfile, when non-empty (and FleetSpec is set), arms the
@@ -146,6 +156,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FleetEvalWarmup == 0 {
 		c.FleetEvalWarmup = sim.Second / 2
+	}
+	if c.FleetEvalParallelism <= 0 {
+		c.FleetEvalParallelism = 2
 	}
 	if c.FleetSeed == 0 {
 		c.FleetSeed = harness.DefaultSeed
@@ -349,8 +362,10 @@ func New(cfg Config) (*Server, error) {
 		go s.worker()
 	}
 	if s.fleet != nil && cfg.FleetEvalHorizon >= 0 {
-		s.wg.Add(1)
-		go s.fleetEvaluator()
+		for i := 0; i < cfg.FleetEvalParallelism; i++ {
+			s.wg.Add(1)
+			go s.fleetEvaluator()
+		}
 	}
 	if s.fleet != nil && s.fleet.chaos != nil {
 		s.wg.Add(1)

@@ -19,6 +19,16 @@ func NewRand(seed int64) *Rand {
 	return &Rand{r: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed rewinds the generator to the exact state NewRand(seed) would
+// produce, zeroing the draw counter. Pooled arenas use it to recycle one
+// allocation across runs at different seeds: a cell's injector/arrival
+// RNG state must never leak into the next cell, and (seed, draws=0) is
+// the complete fingerprint of a fresh stream.
+func (r *Rand) Reseed(seed int64) {
+	r.r.Seed(seed)
+	r.draws = 0
+}
+
 // Draws reports how many values this generator has handed out. Together
 // with the construction seed it pins the generator's exact state: replaying
 // the same draw count from the same seed reproduces the stream.
