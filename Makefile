@@ -1,6 +1,6 @@
 # Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, and
 # the full test suite under the race detector.
-.PHONY: check fmt vet build test bench bench-json bench-compare chaos chaos-resume torture fleet-drill fleet-chaos
+.PHONY: check fmt vet build test bench bench-json bench-compare chaos chaos-resume torture fleet-drill fleet-chaos fleet-gray
 
 check: fmt vet build test
 
@@ -64,6 +64,16 @@ fleet-drill:
 # CHAOS_ARTIFACT_DIR to keep the journals + daemon logs on failure.
 fleet-chaos:
 	go test -race -tags fleetchaos -run TestFleetChaosDrillKillMidStorm -v -timeout 600s .
+
+# Gray-failure drill: boots a real orion-serve with a chaos profile
+# dominated by degradation (thermal/ECC/PCIe capacity haircuts, stepwise
+# partial repair) and flapping, SIGKILLs the daemon while a device is
+# actively degraded, restarts it, and asserts the recovered haircut
+# vectors, overflow placements, flap counters, and quarantine latches
+# are bit-identical to an uninterrupted reference run. Set
+# CHAOS_ARTIFACT_DIR to keep the journals + daemon logs on failure.
+fleet-gray:
+	go test -race -tags fleetgray -run TestFleetGrayDrillKillMidDegradation -v -timeout 600s .
 
 # Regenerate the committed benchmark baseline (quick -short sweeps, so it
 # finishes in CI time). Later PRs diff their own run against this file

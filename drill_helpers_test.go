@@ -1,4 +1,4 @@
-//go:build chaos || torture || fleetdrill || fleetchaos
+//go:build chaos || torture || fleetdrill || fleetchaos || fleetgray
 
 package orion_test
 

@@ -1,0 +1,200 @@
+// Fleet gray failures: drive two placements of the same job stream
+// through the IDENTICAL gray-failure storm — thermal throttles, ECC
+// remaps and PCIe downtrainings arriving on the same seeded schedule —
+// and compare what survives. One fleet is haircut-aware: a degraded
+// device keeps serving with its capacity vector shrunk by the haircut,
+// keeps every resident that still fits, and sheds only the overflow.
+// The other runs the pre-gray binary health model (Storm.BinaryHealth):
+// every degradation is treated as a hard failure, the device empties,
+// and it stays out until the haircut fully repairs. The failure process
+// is a pure function of (spec, topology, step), so both fleets see the
+// same trace: every difference in the end state is the health model's
+// doing. After the storm quiesces, every occupied device is simulated
+// under the per-device Orion scheduler — degraded devices on their
+// haircut-scaled EffectiveSpec — and the aggregate survivor throughput
+// compared; this program exits non-zero if haircut-aware placement ever
+// stops beating the binary model through gray failures.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"orion/internal/fleet"
+	"orion/internal/harness"
+	"orion/internal/sim"
+)
+
+const (
+	// Moderate load (≈2.5 residents/device before the storm) so the two
+	// health models have real choices when re-placing displaced jobs.
+	topoSpec = "zones=1,racks=4,nodes=8,gpus=4,mix=a100:1+v100:2,seed=7"
+	nJobs    = 300
+	seed     = 42
+
+	// The storm is dominated by gray events: hard wear failures are
+	// rare (mtbf=500), degradations frequent (dmtbf=80, so ~1.6 per
+	// step fleet-wide) and slow to repair (dmttr=25 before the stepwise
+	// repair even begins), with flapping hot enough to trip the armed
+	// detector. Bounded at 150 steps so both runs quiesce at the same
+	// failure-clock step.
+	chaosSpec = "mtbf=500,mttr=20,suspect=1,probation=5,pnode=5,prack=2,deadline=40," +
+		"dmtbf=80,dmttr=25,dsteps=3,pflap=6,flapwin=24,flapthresh=5,steps=150,seed=9"
+
+	// Short per-device horizons keep the two full-fleet sweeps to a few
+	// seconds of wall clock.
+	horizon = 300 * sim.Millisecond
+	warmup  = 50 * sim.Millisecond
+)
+
+func main() {
+	start := time.Now()
+	topo, err := fleet.ParseSpec(topoSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := fleet.SyntheticStream(nJobs, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := fleet.ParseChaosSpec(chaosSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: %d devices (%s)\nstream: %d jobs, seed %d\nstorm:  %s\n\n",
+		topo.Devices(), topoSpec, nJobs, seed, chaosSpec)
+
+	aware, awareStorm := runStorm(topo, spec, jobs, false)
+	binary, binaryStorm := runStorm(topo, spec, jobs, true)
+
+	fmt.Printf("%-14s %6s %9s %9s %9s %7s %9s %11s\n",
+		"health model", "gray", "displaced", "replaced", "failed", "placed", "degraded", "quarantines")
+	fmt.Printf("%-14s %6d %9d %9d %9d %7d %9d %11d\n", "haircut-aware",
+		awareStorm.GrayEvents, awareStorm.Displaced, awareStorm.Replaced, awareStorm.Failed,
+		aware.Snapshot().JobsPlaced, aware.Snapshot().Degraded, awareStorm.Quarantines)
+	fmt.Printf("%-14s %6d %9d %9d %9d %7d %9d %11d\n\n", "binary",
+		binaryStorm.GrayEvents, binaryStorm.Displaced, binaryStorm.Replaced, binaryStorm.Failed,
+		binary.Snapshot().JobsPlaced, binary.Snapshot().Degraded, binaryStorm.Quarantines)
+
+	awareTput := aggregateThroughput(aware)
+	binaryTput := aggregateThroughput(binary)
+
+	fmt.Printf("aggregate survivor throughput (every occupied device simulated under Orion,\ndegraded devices on their haircut-scaled spec, horizon %v):\n", time.Duration(horizon))
+	fmt.Printf("  haircut-aware: %10.0f req/s\n", awareTput)
+	fmt.Printf("  binary health: %10.0f req/s\n", binaryTput)
+	fmt.Printf("  advantage:     %+9.1f%%\n", (awareTput/binaryTput-1)*100)
+	fmt.Printf("\ndone in %s\n", time.Since(start).Round(time.Millisecond))
+
+	if awareTput <= binaryTput {
+		log.Fatalf("haircut-aware placement (%f req/s) no longer beats the binary health model (%f req/s) through gray failures",
+			awareTput, binaryTput)
+	}
+}
+
+// runStorm places the stream with the scored pipeline, then drives the
+// fleet through the full bounded gray storm under the given health
+// model and returns the quiesced fleet.
+func runStorm(topo fleet.Topology, spec fleet.ChaosSpec, jobs []fleet.JobSpec, binary bool) (*fleet.Fleet, *fleet.Storm) {
+	f, err := topo.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, leftover, err := f.PlaceBatch(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := fleet.NewChaos(spec, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	storm := fleet.NewStorm(f, c)
+	storm.BinaryHealth = binary
+	storm.Enqueue(leftover)
+	for !c.Exhausted() {
+		storm.Step()
+	}
+	return f, storm
+}
+
+// aggregateThroughput simulates every occupied device's resident set
+// with the per-device Orion scheduler and sums the throughput all jobs
+// achieve. Degraded devices run on their EffectiveSpec — the class spec
+// with the haircut applied — so a throttled device contributes its
+// genuinely reduced capacity, not its nameplate one. Devices with
+// identical (class, haircut, resident multiset) tuples are evaluated
+// once and the memoized sum reused.
+func aggregateThroughput(f *fleet.Fleet) float64 {
+	type task struct {
+		key   string
+		dev   *fleet.Device
+		count int
+	}
+	byKey := map[string]*task{}
+	for _, d := range f.Devices() {
+		if len(d.Residents) == 0 {
+			continue
+		}
+		mix := make([]string, 0, len(d.Residents))
+		for _, id := range d.Residents {
+			j, ok := f.Job(id)
+			if !ok {
+				log.Fatalf("resident %s on %s has no job record", id, d.ID)
+			}
+			mix = append(mix, j.Workload+"/"+j.Priority)
+		}
+		sort.Strings(mix)
+		key := fmt.Sprintf("%s|%v|%v|%s", d.Class.Name, d.Haircut, d.MemFactor, strings.Join(mix, ","))
+		if t, ok := byKey[key]; ok {
+			t.count++
+			continue
+		}
+		byKey[key] = &task{key: key, dev: d, count: 1}
+	}
+	tasks := make([]*task, 0, len(byKey))
+	for _, t := range byKey {
+		tasks = append(tasks, t)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].key < tasks[j].key })
+
+	sums := make([]float64, len(tasks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(i int, t *task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := harness.EvalConfig{
+				Device:  t.dev.EffectiveSpec(),
+				Horizon: horizon,
+				Warmup:  warmup,
+				Seed:    seed,
+			}
+			for _, id := range t.dev.Residents {
+				j, _ := f.Job(id)
+				cfg.Jobs = append(cfg.Jobs, harness.EvalJob{Workload: j.Workload, Priority: j.Priority})
+			}
+			sum, err := harness.EvalPlacement(context.Background(), cfg)
+			if err != nil {
+				log.Fatalf("evaluate %s: %v", t.key, err)
+			}
+			for _, js := range sum.Jobs {
+				sums[i] += js.ThroughputRPS
+			}
+		}(i, t)
+	}
+	wg.Wait()
+
+	var total float64
+	for i, t := range tasks {
+		total += sums[i] * float64(t.count)
+	}
+	return total
+}

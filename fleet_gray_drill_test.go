@@ -1,0 +1,249 @@
+//go:build fleetgray
+
+package orion_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"orion/internal/client"
+	"orion/internal/fleet"
+	"orion/internal/server"
+)
+
+// TestFleetGrayDrillKillMidDegradation is the gray-failure drill
+// against a real orion-serve process: boot with -fleet and a bounded
+// chaos profile that degrades devices (thermal/ECC/PCIe haircuts,
+// stepwise partial repair) and flaps them hard enough to trip the flap
+// detector, then SIGKILL the daemon while at least one device is
+// actively degraded. The restarted daemon must rebuild the haircut
+// vectors, the displaced-overflow placements, and the flap-detector
+// state (windowed transition counts and quarantine latches) from its
+// journal bit-identically: its quiesced end state — including every
+// device's haircut factors, flap count, and quarantine reason — is
+// compared byte-for-byte against a reference daemon that ran the
+// identical storm uninterrupted.
+//
+// Build-tagged `fleetgray` (run via `make fleet-gray`): it SIGKILLs
+// real processes. On failure the journal directories and daemon logs
+// are copied to $CHAOS_ARTIFACT_DIR (if set).
+func TestFleetGrayDrillKillMidDegradation(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	work := t.TempDir()
+	bin := filepath.Join(work, "orion-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/orion-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build orion-serve: %v\n%s", err, out)
+	}
+
+	// 16 devices, hard failures kept rare (mtbf=200) so the storm is
+	// dominated by gray events: dmtbf=12 keeps ~1 degradation per step
+	// in flight, pflap=40 with flapthresh=4 latches quarantines. Bounded
+	// at 120 steps so both runs quiesce at the same failure-clock step.
+	const (
+		fleetSpec    = "zones=1,racks=2,nodes=4,gpus=2,mix=v100:1,seed=3"
+		chaosProfile = "mtbf=200,mttr=8,suspect=1,probation=3,pnode=5,prack=2,deadline=16,backoff=4," +
+			"dmtbf=12,dmttr=6,dsteps=2,pflap=40,flapwin=20,flapthresh=4,steps=120,seed=5"
+		chaosTick  = "25ms"
+		killAtStep = 40
+	)
+
+	stream, err := fleet.SyntheticStream(24, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range stream {
+		stream[i].ID = fmt.Sprintf("gray-%03d", i)
+	}
+
+	// worldState digests everything the gray storm must leave behind —
+	// on top of the binary-health drill's fields it pins each device's
+	// haircut vector, memory factor, windowed flap count, and quarantine
+	// latch (with its operator-visible reason).
+	worldState := func(c *client.Client) string {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		var b strings.Builder
+		devs, err := c.FleetDevices(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range devs {
+			fmt.Fprintf(&b, "dev%d health=%s cordoned=%v haircut=%v memfactor=%v flaps=%d quarantined=%v reason=%q memcap=%d residents=%v\n",
+				d.Index, d.Health, d.Cordoned, d.Haircut, d.MemFactor, d.FlapCount,
+				d.Quarantined, d.QuarantineReason, d.MemCapBytes, d.Residents)
+		}
+		snap, err := c.FleetSnapshot(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "hash=%s pending=%d\n", snap.PlacementHash, snap.Pending)
+		for _, js := range stream {
+			st, err := c.FleetJob(ctx, js.ID)
+			if err != nil {
+				t.Fatalf("read back %s: %v", js.ID, err)
+			}
+			p, _ := json.Marshal(st.Placement)
+			fmt.Fprintf(&b, "job %s state=%s placement=%s\n", js.ID, st.State, p)
+		}
+		cst, err := c.FleetChaosStatus(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "chaos step=%d events=%d exhausted=%v\n", cst.Step, cst.Events, cst.Exhausted)
+		return b.String()
+	}
+
+	awaitStep := func(c *client.Client, cond func(server.FleetChaosStatus) bool, what string) {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		for {
+			cst, err := c.FleetChaosStatus(ctx)
+			if err != nil {
+				t.Fatalf("chaos status while awaiting %s: %v", what, err)
+			}
+			if cond(cst) {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				t.Fatalf("storm never reached %s: %+v", what, cst)
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+
+	// awaitDegraded waits until the device list shows a live haircut, so
+	// the SIGKILL genuinely lands mid-degradation.
+	awaitDegraded := func(c *client.Client) {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		for {
+			devs, err := c.FleetDevices(ctx)
+			if err != nil {
+				t.Fatalf("devices while awaiting degradation: %v", err)
+			}
+			for _, d := range devs {
+				if d.Health == "degraded" && len(d.Haircut) > 0 {
+					return
+				}
+			}
+			select {
+			case <-ctx.Done():
+				t.Fatal("storm never degraded a device")
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+
+	run := func(label string, interrupt bool) string {
+		journalDir := filepath.Join(work, label, "journal")
+		logPath := filepath.Join(work, label, "orion-serve.log")
+		if err := os.MkdirAll(filepath.Dir(logPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if t.Failed() {
+				saveArtifacts(t, journalDir, logPath)
+			}
+		}()
+
+		addr := freeAddr(t)
+		base := "http://" + addr
+		c := client.New(base, client.Options{
+			Timeout:     5 * time.Second,
+			MaxAttempts: 8,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    2 * time.Second,
+		})
+		start := func() *exec.Cmd {
+			logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmd := exec.Command(bin,
+				"-addr", addr,
+				"-journal-dir", journalDir,
+				"-fleet", fleetSpec,
+				"-fleet-eval-horizon", "-1s",
+				"-fleet-chaos-profile", chaosProfile,
+				"-fleet-chaos-tick", chaosTick,
+			)
+			cmd.Stdout = logf
+			cmd.Stderr = logf
+			if err := cmd.Start(); err != nil {
+				t.Fatalf("start orion-serve: %v", err)
+			}
+			logf.Close()
+			waitReady(t, base)
+			return cmd
+		}
+
+		cmd := start()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if _, err := c.SubmitFleetJobs(ctx, stream); err != nil {
+			t.Fatalf("%s: submit: %v", label, err)
+		}
+		cancel()
+		ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+		cst, err := c.FleetChaosStart(ctx)
+		cancel()
+		if err != nil || !cst.Armed {
+			t.Fatalf("%s: arm storm: %v %+v", label, err, cst)
+		}
+
+		if interrupt {
+			awaitStep(c, func(st server.FleetChaosStatus) bool { return st.Step >= killAtStep }, fmt.Sprintf("step %d", killAtStep))
+			awaitDegraded(c)
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatalf("SIGKILL: %v", err)
+			}
+			_ = cmd.Wait()
+			cmd = start()
+			ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+			cst, err = c.FleetChaosStatus(ctx)
+			cancel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cst.Armed {
+				t.Fatalf("recovered daemon lost the armed storm: %+v", cst)
+			}
+			t.Logf("%s: killed mid-degradation at step >= %d, recovered at step %d", label, killAtStep, cst.Step)
+		}
+
+		awaitStep(c, func(st server.FleetChaosStatus) bool { return st.Exhausted }, "exhaustion")
+		world := worldState(c)
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("SIGTERM: %v", err)
+		}
+		waitExit(t, cmd, 60*time.Second)
+		return world
+	}
+
+	reference := run("reference", false)
+	recovered := run("recovered", true)
+	if reference != recovered {
+		t.Errorf("gray storm outcomes diverged across mid-degradation SIGKILL:\n--- reference ---\n%s--- recovered ---\n%s", reference, recovered)
+	}
+	if !strings.Contains(reference, "exhausted=true") {
+		t.Fatalf("reference storm never quiesced:\n%s", reference)
+	}
+	if !strings.Contains(reference, "haircut=[") {
+		t.Logf("note: no device was degraded at quiesce (haircuts repaired before exhaustion)")
+	}
+	if !strings.Contains(reference, "flap-quarantine") && !strings.Contains(reference, "flaps=") {
+		t.Fatalf("gray storm left no flap-detector traces:\n%s", reference)
+	}
+	t.Logf("quiesced gray world (%d bytes) bit-identical across mid-degradation kill", len(reference))
+}

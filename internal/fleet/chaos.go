@@ -1,12 +1,23 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"orion/internal/sim"
 )
+
+// ErrChaosSpec is wrapped by every chaos-profile parse or validation
+// error, so operator tooling can distinguish a malformed profile from
+// an internal failure with errors.Is.
+var ErrChaosSpec = errors.New("fleet: invalid chaos spec")
+
+// chaosErr builds a typed chaos-spec error.
+func chaosErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrChaosSpec, fmt.Sprintf(format, args...))
+}
 
 // ChaosSpec configures the deterministic failure process. Time is
 // counted in abstract failure-clock steps; the serving layer maps steps
@@ -41,6 +52,88 @@ type ChaosSpec struct {
 	MaxSteps int64
 	// Seed seeds the failure RNG (independent of the topology seed).
 	Seed int64
+
+	// DegradeMTBFSteps is the mean steps between gray-failure
+	// degradation events per up device (0 = gray failures off, the
+	// default — the process then draws no extra randomness and old
+	// profiles replay bit-identically). A degradation event thermally
+	// throttles, ECC-remaps, or downtrains the device (haircut per
+	// kind); on a MIG slice it is a whole-slice loss (straight Down).
+	DegradeMTBFSteps int64
+	// DegradeMTTRSteps is the mean steps a haircut persists before
+	// stepwise repair begins (0 = MTTRSteps).
+	DegradeMTTRSteps int64
+	// DegradeRepairSteps is how many partial-repair steps restore full
+	// capacity once repair begins; each step halves the remaining
+	// capacity gap, the last clears it (0 = 2).
+	DegradeRepairSteps int64
+	// FlapPerMille is the per-step probability (out of 1000) that an up
+	// device starts a flapping sequence: a burst of one-step Suspect
+	// blips that return to the prior state with its timers intact
+	// (0 = flapping off).
+	FlapPerMille int
+	// FlapWindowSteps / FlapThreshold arm the fleet's flap detector:
+	// FlapThreshold or more health transitions inside a sliding window
+	// of FlapWindowSteps quarantine the device. FlapThreshold defaults
+	// to 6 when flapping is enabled and the window to 32 when the
+	// threshold is set; FlapThreshold 0 with FlapPerMille 0 leaves the
+	// detector unarmed (old profiles keep byte-identical device state).
+	FlapWindowSteps int64
+	FlapThreshold   int
+	// Haircuts overrides the per-kind degradation factors
+	// ("thermal"/"ecc"/"pcie"); see DefaultHaircuts.
+	Haircuts map[string]Haircut
+}
+
+// Haircut is one degradation kind's capacity factors: Vec scales the
+// per-resource capacity vector component-wise, Mem scales device
+// memory. All factors are in (0,1]; 1 = untouched.
+type Haircut struct {
+	Vec Vector
+	Mem float64
+}
+
+// degradeKinds lists the gray-failure kinds in the fixed order the RNG
+// draws over.
+var degradeKinds = [...]string{"thermal", "ecc", "pcie"}
+
+// DefaultHaircuts returns the built-in degradation factors: thermal
+// throttle cuts compute (and L2 with it) to 70%, an ECC row remap costs
+// 15% bandwidth and ~4% of memory, PCIe link downtraining halves the
+// host link.
+func DefaultHaircuts() map[string]Haircut {
+	return map[string]Haircut{
+		"thermal": {Vec: Vector{RCompute: 0.70, RMemBW: 1, RL2: 0.70, RPCIe: 1}, Mem: 1},
+		"ecc":     {Vec: Vector{RCompute: 1, RMemBW: 0.85, RL2: 1, RPCIe: 1}, Mem: 0.96},
+		"pcie":    {Vec: Vector{RCompute: 1, RMemBW: 1, RL2: 1, RPCIe: 0.50}, Mem: 1},
+	}
+}
+
+// withGrayDefaults fills the derived gray-failure defaults; both
+// ParseChaosSpec and NewChaos apply it so programmatic specs behave
+// like parsed ones.
+func (c ChaosSpec) withGrayDefaults() ChaosSpec {
+	if c.DegradeMTBFSteps > 0 && c.DegradeMTTRSteps <= 0 {
+		c.DegradeMTTRSteps = c.MTTRSteps
+	}
+	if c.DegradeMTBFSteps > 0 && c.DegradeRepairSteps <= 0 {
+		c.DegradeRepairSteps = 2
+	}
+	if c.FlapPerMille > 0 && c.FlapThreshold <= 0 {
+		c.FlapThreshold = 6
+	}
+	if c.FlapThreshold > 0 && c.FlapWindowSteps <= 0 {
+		c.FlapWindowSteps = 32
+	}
+	return c
+}
+
+// haircutFor returns the (possibly overridden) factors for a kind.
+func (c ChaosSpec) haircutFor(kind string) Haircut {
+	if h, ok := c.Haircuts[kind]; ok {
+		return h
+	}
+	return DefaultHaircuts()[kind]
 }
 
 // DefaultChaosSpec returns the tuning the storm suites pin down.
@@ -60,8 +153,12 @@ func DefaultChaosSpec() ChaosSpec {
 //
 //	"mtbf=400,mttr=25,suspect=1,probation=5,pnode=5,prack=1,deadline=60,steps=200,seed=9"
 //
-// Per-class MTBF/MTTR overrides use dotted keys: "mtbf.a100=800".
-// Every key is optional; see DefaultChaosSpec for the defaults.
+// Per-class MTBF/MTTR overrides use dotted keys: "mtbf.a100=800". Gray
+// failures use "dmtbf=200,dmttr=30,dsteps=3,pflap=5,flapwin=32,
+// flapthresh=6", and per-kind haircut overrides the form
+// "hc.thermal=compute:0.6+l2:0.6" (resources compute/membw/l2/pcie/mem,
+// factors in (0,1]). Every key is optional; see DefaultChaosSpec and
+// DefaultHaircuts for the defaults. All errors wrap ErrChaosSpec.
 func ParseChaosSpec(spec string) (ChaosSpec, error) {
 	c := DefaultChaosSpec()
 	if strings.TrimSpace(spec) == "" {
@@ -74,17 +171,28 @@ func ParseChaosSpec(spec string) (ChaosSpec, error) {
 		}
 		k, v, ok := strings.Cut(part, "=")
 		if !ok {
-			return ChaosSpec{}, fmt.Errorf("fleet: bad chaos field %q (want key=value)", part)
+			return ChaosSpec{}, chaosErr("bad chaos field %q (want key=value)", part)
 		}
 		k = strings.ToLower(strings.TrimSpace(k))
+		if kind, isHC := strings.CutPrefix(k, "hc."); isHC {
+			h, err := parseHaircut(v)
+			if err != nil {
+				return ChaosSpec{}, fmt.Errorf("%w (key %q)", err, k)
+			}
+			if c.Haircuts == nil {
+				c.Haircuts = map[string]Haircut{}
+			}
+			c.Haircuts[kind] = h
+			continue
+		}
 		n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
 		if err != nil || n < 0 {
-			return ChaosSpec{}, fmt.Errorf("fleet: bad chaos value %q for %q", v, k)
+			return ChaosSpec{}, chaosErr("bad chaos value %q for %q", v, k)
 		}
 		if base, class, dotted := strings.Cut(k, "."); dotted {
 			cl, err := ClassByName(class)
 			if err != nil {
-				return ChaosSpec{}, fmt.Errorf("fleet: chaos key %q: %v", k, err)
+				return ChaosSpec{}, chaosErr("chaos key %q: %v", k, err)
 			}
 			switch base {
 			case "mtbf":
@@ -98,7 +206,7 @@ func ParseChaosSpec(spec string) (ChaosSpec, error) {
 				}
 				c.MTTRByClass[cl.Name] = n
 			default:
-				return ChaosSpec{}, fmt.Errorf("fleet: unknown chaos key %q", k)
+				return ChaosSpec{}, chaosErr("unknown chaos key %q", k)
 			}
 			continue
 		}
@@ -123,26 +231,105 @@ func ParseChaosSpec(spec string) (ChaosSpec, error) {
 			c.MaxSteps = n
 		case "seed":
 			c.Seed = n
+		case "dmtbf":
+			c.DegradeMTBFSteps = n
+		case "dmttr":
+			c.DegradeMTTRSteps = n
+		case "dsteps":
+			c.DegradeRepairSteps = n
+		case "pflap":
+			c.FlapPerMille = int(n)
+		case "flapwin":
+			c.FlapWindowSteps = n
+		case "flapthresh":
+			c.FlapThreshold = int(n)
 		default:
-			return ChaosSpec{}, fmt.Errorf("fleet: unknown chaos key %q", k)
+			return ChaosSpec{}, chaosErr("unknown chaos key %q", k)
 		}
 	}
+	c = c.withGrayDefaults()
 	if err := c.Validate(); err != nil {
 		return ChaosSpec{}, err
 	}
 	return c, nil
 }
 
-// Validate checks the spec for internal consistency.
+// parseHaircut parses "compute:0.7+l2:0.7+mem:0.9" into factors
+// (unlisted resources stay 1).
+func parseHaircut(v string) (Haircut, error) {
+	h := Haircut{Vec: Ones(), Mem: 1}
+	for _, term := range strings.Split(v, "+") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		res, frac, ok := strings.Cut(term, ":")
+		if !ok {
+			return Haircut{}, chaosErr("bad haircut term %q (want resource:factor)", term)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(frac), 64)
+		if err != nil || !(x > 0) || x > 1 {
+			return Haircut{}, chaosErr("haircut factor %q for %q outside (0,1]", frac, res)
+		}
+		switch strings.ToLower(strings.TrimSpace(res)) {
+		case "compute":
+			h.Vec[RCompute] = x
+		case "membw":
+			h.Vec[RMemBW] = x
+		case "l2":
+			h.Vec[RL2] = x
+		case "pcie":
+			h.Vec[RPCIe] = x
+		case "mem":
+			h.Mem = x
+		default:
+			return Haircut{}, chaosErr("unknown haircut resource %q (have compute, membw, l2, pcie, mem)", res)
+		}
+	}
+	return h, nil
+}
+
+// Validate checks the spec for internal consistency. All errors wrap
+// ErrChaosSpec.
 func (c ChaosSpec) Validate() error {
 	if c.MTBFSteps <= 0 || c.MTTRSteps <= 0 {
-		return fmt.Errorf("fleet: chaos mtbf/mttr must be positive (%d/%d)", c.MTBFSteps, c.MTTRSteps)
+		return chaosErr("chaos mtbf/mttr must be positive (%d/%d)", c.MTBFSteps, c.MTTRSteps)
 	}
 	if c.NodePerMille < 0 || c.NodePerMille >= 1000 || c.RackPerMille < 0 || c.RackPerMille >= 1000 {
-		return fmt.Errorf("fleet: chaos pnode/prack %d/%d out of range [0,1000)", c.NodePerMille, c.RackPerMille)
+		return chaosErr("chaos pnode/prack %d/%d out of range [0,1000)", c.NodePerMille, c.RackPerMille)
 	}
 	if c.ReplaceDeadlineSteps <= 0 {
-		return fmt.Errorf("fleet: chaos deadline must be positive (%d)", c.ReplaceDeadlineSteps)
+		return chaosErr("chaos deadline must be positive (%d)", c.ReplaceDeadlineSteps)
+	}
+	if c.FlapPerMille < 0 || c.FlapPerMille >= 1000 {
+		return chaosErr("chaos pflap %d out of range [0,1000)", c.FlapPerMille)
+	}
+	if c.DegradeMTBFSteps < 0 || c.DegradeMTTRSteps < 0 || c.DegradeRepairSteps < 0 ||
+		c.FlapWindowSteps < 0 || c.FlapThreshold < 0 {
+		return chaosErr("chaos gray-failure steps must be non-negative (dmtbf=%d dmttr=%d dsteps=%d flapwin=%d flapthresh=%d)",
+			c.DegradeMTBFSteps, c.DegradeMTTRSteps, c.DegradeRepairSteps, c.FlapWindowSteps, c.FlapThreshold)
+	}
+	if c.FlapThreshold > 0 && c.FlapWindowSteps <= 0 {
+		return chaosErr("chaos flapthresh %d needs a positive flapwin", c.FlapThreshold)
+	}
+	for kind, h := range c.Haircuts {
+		known := false
+		for _, k := range degradeKinds {
+			if k == kind {
+				known = true
+			}
+		}
+		if !known {
+			return chaosErr("unknown degradation kind %q (have thermal, ecc, pcie)", kind)
+		}
+		for r := 0; r < NumResources; r++ {
+			if !(h.Vec[r] > 0) || h.Vec[r] > 1 {
+				return chaosErr("haircut %q factor %v outside (0,1]", kind, h.Vec)
+			}
+		}
+		if !(h.Mem > 0) || h.Mem > 1 {
+			return chaosErr("haircut %q memory factor %v outside (0,1]", kind, h.Mem)
+		}
 	}
 	return nil
 }
@@ -162,14 +349,28 @@ type Chaos struct {
 	mtbf  []int64
 	mttr  []int64
 
+	// Gray-failure state, all zero-valued (and never touched) when the
+	// spec leaves degradation and flapping off.
+	deg      []Haircut     // current absolute haircut (zero = clean)
+	degTimer []int64       // steps until stepwise repair begins
+	degLeft  []int64       // partial-repair steps remaining
+	mig      []bool        // MIG-slice devices lose the whole slice
+	blip     []bool        // mid-flap-blip (one-step Suspect excursion)
+	prior    []HealthState // state saved across a blip
+	priorT   []int64       // timer saved across a blip (probation credit)
+	flapLeft []int         // blips left in the current flap sequence
+	flapGap  []int64       // steps until the next blip
+
 	nodeDevs [][]int // global node index -> device indexes
 	rackDevs [][]int // global rack index -> device indexes
 
 	events int64
 }
 
-// NewChaos builds the failure process over the fleet's topology.
+// NewChaos builds the failure process over the fleet's topology and, if
+// the spec arms the flap detector, arms it on the fleet.
 func NewChaos(spec ChaosSpec, f *Fleet) (*Chaos, error) {
+	spec = spec.withGrayDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -183,16 +384,29 @@ func NewChaos(spec ChaosSpec, f *Fleet) (*Chaos, error) {
 		timer:    make([]int64, len(f.devices)),
 		mtbf:     make([]int64, len(f.devices)),
 		mttr:     make([]int64, len(f.devices)),
+		deg:      make([]Haircut, len(f.devices)),
+		degTimer: make([]int64, len(f.devices)),
+		degLeft:  make([]int64, len(f.devices)),
+		mig:      make([]bool, len(f.devices)),
+		blip:     make([]bool, len(f.devices)),
+		prior:    make([]HealthState, len(f.devices)),
+		priorT:   make([]int64, len(f.devices)),
+		flapLeft: make([]int, len(f.devices)),
+		flapGap:  make([]int64, len(f.devices)),
 		nodeDevs: make([][]int, nNodes),
 		rackDevs: make([][]int, nRacks),
 	}
 	for i, d := range f.devices {
 		c.mtbf[i] = classRate(spec.MTBFByClass, d.Class.Name, spec.MTBFSteps)
 		c.mttr[i] = classRate(spec.MTTRByClass, d.Class.Name, spec.MTTRSteps)
+		c.mig[i] = strings.HasPrefix(strings.ToLower(d.Class.Name), "mig")
 		node := (d.Zone*t.RacksPerZone+d.Rack)*t.NodesPerRack + d.Node
 		rack := d.Zone*t.RacksPerZone + d.Rack
 		c.nodeDevs[node] = append(c.nodeDevs[node], i)
 		c.rackDevs[rack] = append(c.rackDevs[rack], i)
+	}
+	if spec.FlapThreshold > 0 {
+		f.SetFlapPolicy(spec.FlapWindowSteps, spec.FlapThreshold)
 	}
 	return c, nil
 }
@@ -241,15 +455,46 @@ func (c *Chaos) Step() []HealthEvent {
 		}
 	}
 	for i := range c.state {
+		if c.blip[i] {
+			// End of a one-step flap blip: return to the saved state
+			// with its timer intact — a Recovering device keeps its
+			// accumulated probation credit instead of restarting the
+			// full window from zero.
+			c.blip[i] = false
+			c.state[i], c.timer[i] = c.prior[i], c.priorT[i]
+			ev := HealthEvent{Device: i, To: c.prior[i], Cause: "flap-return"}
+			if c.prior[i] == HealthDegraded {
+				ev.Haircut, ev.MemFactor = c.deg[i].Vec, c.deg[i].Mem
+			}
+			evs = append(evs, ev)
+			c.flapLeft[i]--
+			c.flapGap[i] = 2
+			continue
+		}
+		if c.flapLeft[i] > 0 &&
+			(c.state[i] == HealthHealthy || c.state[i] == HealthRecovering || c.state[i] == HealthDegraded) {
+			if c.flapGap[i] > 0 {
+				c.flapGap[i]--
+			} else {
+				c.prior[i], c.priorT[i] = c.state[i], c.timer[i]
+				c.state[i], c.blip[i] = HealthSuspect, true
+				evs = append(evs, HealthEvent{Device: i, To: HealthSuspect, Cause: "flap"})
+				continue
+			}
+		}
 		switch c.state[i] {
-		case HealthHealthy:
+		case HealthHealthy, HealthDegraded:
 			if float64(c.rng.Float64()*float64(c.mtbf[i])) < 1 {
-				if c.spec.SuspectSteps > 0 {
+				if c.state[i] == HealthHealthy && c.spec.SuspectSteps > 0 {
 					c.state[i], c.timer[i] = HealthSuspect, c.spec.SuspectSteps
 					evs = append(evs, HealthEvent{Device: i, To: HealthSuspect, Cause: "wear"})
 				} else {
+					// A degraded device that wear-fails is already ill:
+					// it goes straight Down.
 					evs = c.down(i, "wear", evs)
 				}
+			} else if c.spec.DegradeMTBFSteps > 0 {
+				evs = c.grayStep(i, evs)
 			}
 		case HealthSuspect:
 			if c.timer[i]--; c.timer[i] <= 0 {
@@ -271,9 +516,85 @@ func (c *Chaos) Step() []HealthEvent {
 				evs = append(evs, HealthEvent{Device: i, To: HealthHealthy, Cause: "probation"})
 			}
 		}
+		if c.spec.FlapPerMille > 0 && c.state[i] == HealthHealthy && c.flapLeft[i] == 0 &&
+			c.rng.Intn(1000) < c.spec.FlapPerMille {
+			// Start a flapping sequence: 2–4 one-step Suspect blips with
+			// short gaps, enough to trip an armed flap detector.
+			c.flapLeft[i] = 2 + c.rng.Intn(3)
+			c.flapGap[i] = 1
+		}
 	}
 	c.events += int64(len(evs))
 	return evs
+}
+
+// grayStep advances device i's gray-failure trajectory: timer-driven
+// stepwise repair of an existing haircut first (no RNG), then a fresh
+// degradation draw. Only called when DegradeMTBFSteps > 0, so profiles
+// without gray failures consume the identical RNG sequence as before.
+func (c *Chaos) grayStep(i int, evs []HealthEvent) []HealthEvent {
+	if c.deg[i].Mem > 0 {
+		if c.degLeft[i] > 0 {
+			if c.degLeft[i]--; c.degLeft[i] == 0 {
+				// Final repair step restores full capacity.
+				c.deg[i] = Haircut{}
+				c.state[i] = HealthHealthy
+				return append(evs, HealthEvent{Device: i, To: HealthHealthy, Cause: "degrade-repair"})
+			}
+			// Partial repair: halve the remaining capacity gap.
+			h := c.deg[i]
+			for r := 0; r < NumResources; r++ {
+				h.Vec[r] = float64(1 - float64(float64(1-h.Vec[r])*0.5))
+			}
+			h.Mem = float64(1 - float64(float64(1-h.Mem)*0.5))
+			c.deg[i] = h
+			return append(evs, HealthEvent{Device: i, To: HealthDegraded, Cause: "partial-repair", Haircut: h.Vec, MemFactor: h.Mem})
+		}
+		if c.degTimer[i] > 0 {
+			if c.degTimer[i]--; c.degTimer[i] == 0 {
+				c.degLeft[i] = c.spec.DegradeRepairSteps
+			}
+		}
+	}
+	if float64(c.rng.Float64()*float64(c.spec.DegradeMTBFSteps)) < 1 {
+		if c.mig[i] {
+			// A MIG slice doesn't degrade gracefully: losing engines
+			// takes the whole slice out.
+			return c.down(i, "slice-loss", evs)
+		}
+		kind := degradeKinds[c.rng.Intn(len(degradeKinds))]
+		hc := c.spec.haircutFor(kind)
+		cur := c.deg[i]
+		if cur.Mem == 0 {
+			cur = Haircut{Vec: Ones(), Mem: 1}
+		}
+		// Faults compound multiplicatively, floored so a pathological
+		// pile-up never zeroes a dimension outright.
+		for r := 0; r < NumResources; r++ {
+			cur.Vec[r] = float64(cur.Vec[r] * hc.Vec[r])
+			if cur.Vec[r] < 0.05 {
+				cur.Vec[r] = 0.05
+			}
+		}
+		cur.Mem = float64(cur.Mem * hc.Mem)
+		if cur.Mem < 0.05 {
+			cur.Mem = 0.05
+		}
+		c.deg[i] = cur
+		c.state[i] = HealthDegraded
+		c.degTimer[i] = c.grayRepairDelay()
+		c.degLeft[i] = 0
+		return append(evs, HealthEvent{Device: i, To: HealthDegraded, Cause: kind, Haircut: cur.Vec, MemFactor: cur.Mem})
+	}
+	return evs
+}
+
+func (c *Chaos) grayRepairDelay() int64 {
+	t := int64(c.rng.ExpDuration(sim.Duration(c.spec.DegradeMTTRSteps)))
+	if t < 1 {
+		t = 1
+	}
+	return t
 }
 
 func (c *Chaos) down(i int, cause string, evs []HealthEvent) []HealthEvent {
@@ -282,6 +603,10 @@ func (c *Chaos) down(i int, cause string, evs []HealthEvent) []HealthEvent {
 	}
 	c.state[i] = HealthDown
 	c.timer[i] = c.repairTime(i)
+	// A hard failure supersedes any gray state: repair returns the
+	// device clean, and an in-flight flap sequence is abandoned.
+	c.deg[i], c.degTimer[i], c.degLeft[i] = Haircut{}, 0, 0
+	c.blip[i], c.flapLeft[i], c.flapGap[i] = false, 0, 0
 	return append(evs, HealthEvent{Device: i, To: HealthDown, Cause: cause})
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+
+	"orion/internal/gpu"
 )
 
 // JobSpec is one fractional job in the placement stream: a workload's
@@ -74,15 +76,72 @@ type Device struct {
 	// scheduler protects exactly one high-priority client, so the filter
 	// admits at most one HP job per device.
 	HPResidents int
+	// Haircut and MemFactor are the gray-failure capacity factors while
+	// Health == HealthDegraded: effective capacity = Capacity ⊙ Haircut,
+	// effective memory = MemoryBytes · MemFactor. Zero-valued on every
+	// other state (EffCapacity/EffMemoryBytes gate on Health, so a clean
+	// device's arithmetic never touches them).
+	Haircut   Vector
+	MemFactor float64
+	// FlapTicks holds the failure-clock ticks of recent health
+	// transitions inside the flap window; Quarantined latches when the
+	// count crosses the flap threshold, with QuarantineReason the
+	// operator-visible explanation. A full quiet window releases the
+	// latch (decaying reset in TickHealth).
+	FlapTicks        []int64
+	Quarantined      bool
+	QuarantineReason string
 }
 
-// FreeMemory is the device's unallocated memory.
-func (d *Device) FreeMemory() int64 { return d.Class.MemoryBytes - d.MemUsed }
+// EffCapacity is the device's capacity vector after the gray-failure
+// haircut. Clean devices return the raw class capacity (no ×1.0 is ever
+// computed, so clean-fleet scores are bit-identical to pre-gray builds).
+func (d *Device) EffCapacity() Vector {
+	if d.Health != HealthDegraded {
+		return d.Class.Capacity
+	}
+	return d.Class.Capacity.Mul(d.Haircut)
+}
 
-// Available reports whether the device accepts new placements: fully
-// healthy (not suspect, down, or on post-repair probation) and not
-// cordoned.
-func (d *Device) Available() bool { return d.Health == HealthHealthy && !d.Cordoned }
+// EffMemoryBytes is the device's memory capacity after the gray-failure
+// haircut.
+func (d *Device) EffMemoryBytes() int64 {
+	if d.Health != HealthDegraded || d.MemFactor <= 0 || d.MemFactor >= 1 {
+		return d.Class.MemoryBytes
+	}
+	return int64(float64(float64(d.Class.MemoryBytes) * float64(d.MemFactor)))
+}
+
+// EffectiveSpec is the gpu.Spec a harness evaluation of this device
+// should run on: the class spec with the haircut applied the same way
+// MIG slicing scales an A100 (SM count by the compute factor, bandwidths
+// and memory by theirs). Reference capacities stay untouched so kernel
+// demand rescales automatically against the shrunken device.
+func (d *Device) EffectiveSpec() gpu.Spec {
+	s := d.Class.Spec()
+	if d.Health != HealthDegraded {
+		return s
+	}
+	s.NumSMs = int(float64(float64(s.NumSMs) * float64(d.Haircut[RCompute])))
+	if s.NumSMs < 1 {
+		s.NumSMs = 1
+	}
+	s.MemBandwidth = float64(s.MemBandwidth * d.Haircut[RMemBW])
+	s.PCIeBandwidth = float64(s.PCIeBandwidth * d.Haircut[RPCIe])
+	s.MemoryBytes = d.EffMemoryBytes()
+	return s
+}
+
+// FreeMemory is the device's unallocated memory under its effective
+// (haircut-scaled) capacity.
+func (d *Device) FreeMemory() int64 { return d.EffMemoryBytes() - d.MemUsed }
+
+// Available reports whether the device accepts new placements: healthy
+// or degraded-but-up (a haircut shrinks the capacity the scorer sees but
+// does not remove the device), not cordoned, and not flap-quarantined.
+func (d *Device) Available() bool {
+	return (d.Health == HealthHealthy || d.Health == HealthDegraded) && !d.Cordoned && !d.Quarantined
+}
 
 // Placement records one bind decision.
 type Placement struct {
@@ -116,6 +175,13 @@ type Fleet struct {
 	// the anti-affinity penalty decays from it.
 	clock      int64
 	domainFail map[string]int64
+
+	// flapWindow/flapThreshold arm the flap detector (threshold <= 0 =
+	// off, the default — old profiles keep byte-identical device state).
+	// quarEvents buffers quarantine latch changes for the serving layer.
+	flapWindow    int64
+	flapThreshold int
+	quarEvents    []QuarantineEvent
 
 	evictions     uint64
 	preemptions   uint64
@@ -180,7 +246,7 @@ func (f *Fleet) admissible(d *Device, j JobSpec) bool {
 	if j.HighPriority() && d.HPResidents > 0 {
 		return false
 	}
-	if d.MemUsed+j.MemoryBytes > d.Class.MemoryBytes {
+	if d.MemUsed+j.MemoryBytes > d.EffMemoryBytes() {
 		return false
 	}
 	return classAllowed(j, d.Class)
@@ -269,7 +335,7 @@ func (f *Fleet) preemptionPlan(d *Device, j JobSpec) ([]string, bool) {
 	if !classAllowed(j, d.Class) {
 		return nil, false
 	}
-	if j.MemoryBytes > d.Class.MemoryBytes {
+	if j.MemoryBytes > d.EffMemoryBytes() {
 		return nil, false
 	}
 	// Victims are best-effort only, so eviction can never open the
@@ -425,12 +491,15 @@ type Stats struct {
 	Devices   int `json:"devices"`
 	Healthy   int `json:"healthy"`
 	Allocated int `json:"allocated"`
-	// Suspect, Down, Recovering and Cordoned count devices per
-	// failure-machine state (Cordoned overlaps the others).
-	Suspect    int `json:"suspect,omitempty"`
-	Down       int `json:"down,omitempty"`
-	Recovering int `json:"recovering,omitempty"`
-	Cordoned   int `json:"cordoned,omitempty"`
+	// Suspect, Down, Recovering, Degraded and Cordoned count devices per
+	// failure-machine state (Cordoned overlaps the others, as does
+	// Quarantined — the flap-detector latch).
+	Suspect     int `json:"suspect,omitempty"`
+	Down        int `json:"down,omitempty"`
+	Recovering  int `json:"recovering,omitempty"`
+	Degraded    int `json:"degraded,omitempty"`
+	Cordoned    int `json:"cordoned,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
 	// JobsPlaced counts currently bound jobs.
 	JobsPlaced int `json:"jobs_placed"`
 	// MemUsedBytes / MemCapBytes aggregate device memory.
@@ -443,6 +512,10 @@ type Stats struct {
 	// Policy.frag): 0 = perfectly packable remainder, higher = more
 	// stranded capacity.
 	Fragmentation float64 `json:"fragmentation"`
+	// HaircutRatio is Σ effective capacity / Σ raw capacity over all
+	// devices (summed component-wise then divided): exactly 1.0 on a
+	// fleet with no gray failures, sinking toward 0 as haircuts deepen.
+	HaircutRatio float64 `json:"haircut_ratio,omitempty"`
 	// Evictions, Preemptions and Displacements count removals over the
 	// fleet's life (displacements are failure- or drain-driven unbinds).
 	Evictions     uint64 `json:"evictions"`
@@ -466,10 +539,13 @@ func (f *Fleet) Snapshot() Stats {
 		DevicesByClass: map[string]int{},
 	}
 	var fragSum float64
+	var rawCap, effCap Vector
 	for _, d := range f.devices {
 		st.DevicesByClass[d.Class.Name]++
 		st.MemCapBytes += d.Class.MemoryBytes
 		st.Capacity = st.Capacity.Add(d.Class.Capacity)
+		rawCap = rawCap.Add(d.Class.Capacity)
+		effCap = effCap.Add(d.EffCapacity())
 		switch d.Health {
 		case HealthSuspect:
 			st.Suspect++
@@ -477,13 +553,18 @@ func (f *Fleet) Snapshot() Stats {
 			st.Down++
 		case HealthRecovering:
 			st.Recovering++
+		case HealthDegraded:
+			st.Degraded++
 		}
 		if d.Cordoned {
 			st.Cordoned++
 		}
+		if d.Quarantined {
+			st.Quarantined++
+		}
 		if d.Available() {
 			st.Healthy++
-			fragSum += f.policy.frag(d.Class, d.Load, d.MemUsed)
+			fragSum += f.policy.frag(d.EffCapacity(), d.EffMemoryBytes(), d.Load, d.MemUsed)
 		}
 		if len(d.Residents) > 0 {
 			st.Allocated++
@@ -493,6 +574,14 @@ func (f *Fleet) Snapshot() Stats {
 	}
 	if st.Healthy > 0 {
 		st.Fragmentation = fragSum / float64(st.Healthy)
+	}
+	var rawSum, effSum float64
+	for r := 0; r < NumResources; r++ {
+		rawSum += rawCap[r]
+		effSum += effCap[r]
+	}
+	if rawSum > 0 {
+		st.HaircutRatio = float64(effSum / rawSum)
 	}
 	return st
 }

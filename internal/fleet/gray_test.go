@@ -1,0 +1,485 @@
+package fleet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// grayHaircut builds a haircut vector with the given per-resource
+// factors (1 elsewhere).
+func grayHaircut(factors map[int]float64) Vector {
+	v := Ones()
+	for r, x := range factors {
+		v[r] = x
+	}
+	return v
+}
+
+func TestApplyDegradeSemantics(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=2,mix=v100:1,seed=1")
+	d := f.Devices()[0]
+	rawCap, rawMem := d.Class.Capacity, d.Class.MemoryBytes
+
+	hc := grayHaircut(map[int]float64{RCompute: 0.7, RL2: 0.7})
+	if _, err := f.ApplyDegrade(0, hc, 0.9, 5); err != nil {
+		t.Fatal(err)
+	}
+	if d.Health != HealthDegraded || !d.Available() {
+		t.Fatalf("degraded device: health %v available %v (must stay schedulable)", d.Health, d.Available())
+	}
+	if got, want := d.EffCapacity(), rawCap.Mul(hc); got != want {
+		t.Fatalf("EffCapacity = %v, want %v", got, want)
+	}
+	if got, want := d.EffMemoryBytes(), int64(float64(rawMem)*0.9); got != want {
+		t.Fatalf("EffMemoryBytes = %d, want %d", got, want)
+	}
+	sp := d.EffectiveSpec()
+	full := d.Class.Spec()
+	if sp.NumSMs != int(float64(full.NumSMs)*0.7) || sp.MemBandwidth != full.MemBandwidth {
+		t.Fatalf("EffectiveSpec SMs %d bw %v (full %d/%v)", sp.NumSMs, sp.MemBandwidth, full.NumSMs, full.MemBandwidth)
+	}
+	// The untouched sibling keeps raw capacity.
+	if d2 := f.Devices()[1]; d2.EffCapacity() != rawCap || d2.EffMemoryBytes() != rawMem {
+		t.Fatal("haircut leaked onto a clean device")
+	}
+
+	// All-ones factors are a full restore.
+	if _, err := f.ApplyDegrade(0, Ones(), 1, 6); err != nil {
+		t.Fatal(err)
+	}
+	if d.Health != HealthHealthy || d.MemFactor != 0 || d.EffCapacity() != rawCap || d.EffMemoryBytes() != rawMem {
+		t.Fatalf("restore left residue: health %v factor %v", d.Health, d.MemFactor)
+	}
+
+	// Out-of-range factors and bad indexes are rejected.
+	if _, err := f.ApplyDegrade(0, grayHaircut(map[int]float64{RCompute: 0}), 1, 7); err == nil {
+		t.Fatal("zero compute factor accepted")
+	}
+	if _, err := f.ApplyDegrade(0, Ones(), 1.5, 7); err == nil {
+		t.Fatal("memory factor 1.5 accepted")
+	}
+	if _, err := f.ApplyDegrade(99, Ones(), 1, 7); err == nil {
+		t.Fatal("bad device index accepted")
+	}
+
+	// Degrading a Down device is a no-op: its capacity is already gone.
+	if _, err := f.ApplyHealth(1, HealthDown, 8); err != nil {
+		t.Fatal(err)
+	}
+	displaced, err := f.ApplyDegrade(1, hc, 0.9, 9)
+	if err != nil || displaced != nil {
+		t.Fatalf("degrade of a Down device: %v, %v", displaced, err)
+	}
+	if f.Devices()[1].Health != HealthDown || f.Devices()[1].MemFactor != 0 {
+		t.Fatalf("Down device mutated by degrade: %+v", f.Devices()[1])
+	}
+}
+
+// TestDegradedDeviceKeepsResidents is the heart of the gray-failure
+// model: a haircut sheds only the overflow — best-effort newest-first,
+// high-priority last — and the device keeps serving what still fits.
+func TestDegradedDeviceKeepsResidents(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=1,mix=v100:1,seed=1")
+	d := f.Devices()[0]
+	unit := d.Class.MemoryBytes / 5
+	dem := Vector{0.1, 0.1, 0.1, 0.1}
+	for _, j := range []JobSpec{
+		{ID: "hp-old", Workload: "w", Priority: "hp", Demand: dem, MemoryBytes: unit},
+		{ID: "be-old", Workload: "w", Demand: dem, MemoryBytes: unit},
+		{ID: "be-new", Workload: "w", Demand: dem, MemoryBytes: unit},
+		{ID: "hp-new", Workload: "w", Priority: "hp", Demand: dem, MemoryBytes: unit},
+	} {
+		if _, err := f.Bind(j, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 4/5 used, capacity cut to 7/10: exactly one resident must go, and
+	// it must be the newest best-effort one.
+	displaced, err := f.ApplyDegrade(0, Ones(), 0.7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(displaced) != 1 || displaced[0].ID != "be-new" {
+		t.Fatalf("displaced = %+v, want just be-new", displaced)
+	}
+	if got := d.Residents; len(got) != 3 {
+		t.Fatalf("degraded device kept %d residents, want 3 (%v)", len(got), got)
+	}
+
+	// A deeper haircut digs into the HP band only after the BE band is
+	// empty: 3/5 used against 3/10 capacity sheds be-old then hp-new.
+	displaced, err = f.ApplyDegrade(0, Ones(), 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(displaced) != 2 || displaced[0].ID != "be-old" || displaced[1].ID != "hp-new" {
+		t.Fatalf("displaced = %+v, want [be-old hp-new] (HP-last)", displaced)
+	}
+	if len(d.Residents) != 1 || d.Residents[0] != "hp-old" {
+		t.Fatalf("survivors = %v, want the oldest HP job", d.Residents)
+	}
+	if f.Snapshot().Displacements != 3 {
+		t.Fatalf("displacement counter = %d, want 3", f.Snapshot().Displacements)
+	}
+}
+
+func TestFlapDetectorQuarantineAndRelease(t *testing.T) {
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=2,mix=v100:1,seed=1")
+	f.SetFlapPolicy(10, 3)
+	d := f.Devices()[0]
+	flip := func(h HealthState, tick int64) {
+		t.Helper()
+		if _, err := f.ApplyHealth(0, h, tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flip(HealthSuspect, 1)
+	flip(HealthHealthy, 2)
+	if d.Quarantined {
+		t.Fatal("quarantined below threshold")
+	}
+	flip(HealthSuspect, 3)
+	if !d.Quarantined || d.Available() {
+		t.Fatalf("3 transitions in the window must quarantine: %+v", d)
+	}
+	if !strings.Contains(d.QuarantineReason, "flap-quarantine") {
+		t.Fatalf("reason = %q", d.QuarantineReason)
+	}
+	evs := f.TakeQuarantineEvents()
+	if len(evs) != 1 || !evs[0].On || evs[0].Device != 0 || evs[0].Tick != 3 {
+		t.Fatalf("quarantine events = %+v", evs)
+	}
+	if again := f.TakeQuarantineEvents(); len(again) != 0 {
+		t.Fatalf("drain not idempotent: %+v", again)
+	}
+
+	// More churn while latched stays latched, no duplicate event.
+	flip(HealthHealthy, 4)
+	if !d.Quarantined || len(f.TakeQuarantineEvents()) != 0 {
+		t.Fatal("latch re-fired while already quarantined")
+	}
+
+	// A quiet window releases the latch (decaying reset).
+	f.TickHealth(9)
+	if !d.Quarantined {
+		t.Fatal("released before the window went quiet")
+	}
+	f.TickHealth(15) // cutoff 5: ticks 1..4 age out
+	if d.Quarantined || d.QuarantineReason != "" || len(d.FlapTicks) != 0 {
+		t.Fatalf("decaying reset failed: %+v", d)
+	}
+	if !d.Available() {
+		t.Fatal("released device must schedule again")
+	}
+	evs = f.TakeQuarantineEvents()
+	if len(evs) != 1 || evs[0].On || evs[0].Tick != 15 {
+		t.Fatalf("release events = %+v", evs)
+	}
+
+	// An unarmed fleet must never touch flap state — old profiles keep
+	// byte-identical devices.
+	g := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=2,mix=v100:1,seed=1")
+	for tick := int64(1); tick <= 8; tick++ {
+		st := HealthSuspect
+		if tick%2 == 0 {
+			st = HealthHealthy
+		}
+		if _, err := g.ApplyHealth(0, st, tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gd := g.Devices()[0]; gd.FlapTicks != nil || gd.Quarantined {
+		t.Fatalf("unarmed detector touched device state: %+v", gd)
+	}
+}
+
+// TestChaosProbationCredit pins the Recovering-probation edge case: a
+// flap blip that yanks a Recovering device to Suspect for one step must
+// return it with its accumulated probation credit intact, not restart
+// the window from zero.
+func TestChaosProbationCredit(t *testing.T) {
+	spec := DefaultChaosSpec()
+	spec.MTBFSteps = 1 << 40 // wear effectively off, RNG still drawn
+	spec.ProbationSteps = 6
+	f := tinyFleet(t, "zones=1,racks=1,nodes=1,gpus=2,mix=v100:1,seed=1")
+	c, err := NewChaos(spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device 0 is mid-probation with 3 of its 6 steps already served.
+	c.state[0], c.timer[0] = HealthRecovering, 3
+	c.flapLeft[0], c.flapGap[0] = 1, 0
+
+	evs := c.Step()
+	if len(evs) != 1 || evs[0] != (HealthEvent{Device: 0, To: HealthSuspect, Cause: "flap"}) {
+		t.Fatalf("blip start = %+v", evs)
+	}
+	evs = c.Step()
+	if len(evs) != 1 || evs[0] != (HealthEvent{Device: 0, To: HealthRecovering, Cause: "flap-return"}) {
+		t.Fatalf("blip return = %+v", evs)
+	}
+	if c.state[0] != HealthRecovering || c.timer[0] != 3 {
+		t.Fatalf("probation credit lost: state %v timer %d, want Recovering/3", c.state[0], c.timer[0])
+	}
+	// Exactly 3 more steps finish probation — a restarted window would
+	// need the full 6.
+	for i := 0; i < 2; i++ {
+		if evs := c.Step(); len(evs) != 0 {
+			t.Fatalf("unexpected events mid-probation: %+v", evs)
+		}
+	}
+	evs = c.Step()
+	if len(evs) != 1 || evs[0] != (HealthEvent{Device: 0, To: HealthHealthy, Cause: "probation"}) {
+		t.Fatalf("probation end = %+v (credit not honored)", evs)
+	}
+
+	// A Degraded device blips the same way and returns with its haircut.
+	c.deg[1] = Haircut{Vec: grayHaircut(map[int]float64{RCompute: 0.7}), Mem: 0.9}
+	c.state[1] = HealthDegraded
+	c.flapLeft[1], c.flapGap[1] = 1, 0
+	c.Step() // blip
+	evs = c.Step()
+	if len(evs) != 1 || evs[0].To != HealthDegraded || evs[0].Cause != "flap-return" ||
+		evs[0].Haircut != c.deg[1].Vec || evs[0].MemFactor != 0.9 {
+		t.Fatalf("degraded blip return = %+v", evs)
+	}
+}
+
+const grayChaosSpec = "mtbf=80,mttr=8,suspect=1,probation=3,dmtbf=25,dmttr=8,dsteps=2,pflap=25,flapwin=16,flapthresh=4,seed=13"
+
+// TestChaosGrayTransitionTable extends the state-machine pin to the
+// gray states: every emitted transition must be legal from the
+// device's tracked prior state, degrade events must carry in-range
+// factors, and 400 aggressive steps must exercise every gray cause.
+func TestChaosGrayTransitionTable(t *testing.T) {
+	spec, err := ParseChaosSpec(grayChaosSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tinyFleet(t, "zones=1,racks=2,nodes=4,gpus=4,mix=a100:1+v100:1+mig2g:1,seed=3")
+	c, err := NewChaos(spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legal := map[HealthState][]HealthState{
+		HealthHealthy:    {HealthSuspect, HealthDown, HealthDegraded},
+		HealthSuspect:    {HealthDown, HealthHealthy, HealthRecovering, HealthDegraded}, // flap blips return anywhere up
+		HealthDown:       {HealthRecovering, HealthHealthy},
+		HealthRecovering: {HealthHealthy, HealthDown, HealthSuspect},
+		HealthDegraded:   {HealthDegraded, HealthHealthy, HealthDown, HealthSuspect},
+	}
+	last := map[int]HealthState{}
+	causes := map[string]int{}
+	for i := 0; i < 400; i++ {
+		for _, ev := range c.Step() {
+			prev, ok := last[ev.Device]
+			if !ok {
+				prev = HealthHealthy
+			}
+			allowed := false
+			for _, s := range legal[prev] {
+				if s == ev.To {
+					allowed = true
+				}
+			}
+			if !allowed {
+				t.Fatalf("illegal transition %v → %v on device %d (%s)", prev, ev.To, ev.Device, ev.Cause)
+			}
+			if ev.To == HealthDegraded {
+				if !(ev.MemFactor > 0) || ev.MemFactor > 1 {
+					t.Fatalf("degrade memory factor %v out of (0,1]: %+v", ev.MemFactor, ev)
+				}
+				for r := 0; r < NumResources; r++ {
+					if !(ev.Haircut[r] > 0) || ev.Haircut[r] > 1 {
+						t.Fatalf("degrade haircut %v out of (0,1]: %+v", ev.Haircut, ev)
+					}
+				}
+			} else if ev.Cause != "flap-return" && (ev.Haircut != Vector{} || ev.MemFactor != 0) {
+				t.Fatalf("non-degrade event carries factors: %+v", ev)
+			}
+			last[ev.Device] = ev.To
+			causes[ev.Cause]++
+		}
+	}
+	for _, want := range []string{"thermal", "ecc", "pcie", "partial-repair", "degrade-repair",
+		"slice-loss", "flap", "flap-return", "wear", "repair", "probation"} {
+		if causes[want] == 0 {
+			t.Fatalf("400 gray steps never produced cause %q (saw %v)", want, causes)
+		}
+	}
+	// MIG slices never degrade gracefully: they lose the whole slice.
+	for i, d := range f.Devices() {
+		if strings.HasPrefix(strings.ToLower(d.Class.Name), "mig") && last[i] == HealthDegraded {
+			t.Fatalf("MIG device %d ended Degraded", i)
+		}
+	}
+}
+
+// TestChaosGrayFastForward is the recovery contract for the gray
+// process: degradation haircuts, repair timers, and flap sequences all
+// replay bit-exactly from a fresh fast-forwarded process.
+func TestChaosGrayFastForward(t *testing.T) {
+	spec, err := ParseChaosSpec(grayChaosSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tinyFleet(t, "zones=1,racks=2,nodes=4,gpus=4,mix=a100:1+v100:1+mig2g:1,seed=3")
+	orig, err := NewChaos(spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 73; i++ {
+		orig.Step()
+	}
+	resumed, err := NewChaos(spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.FastForward(73)
+	for i := 0; i < 80; i++ {
+		a, b := orig.Step(), resumed.Step()
+		if len(a) != len(b) {
+			t.Fatalf("step %d: %d vs %d events", i, len(a), len(b))
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("step %d event %d differs: %+v vs %+v", i, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+func FuzzParseChaosSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"mtbf=400,mttr=30,suspect=2,probation=8,pnode=5,prack=1,deadline=50,backoff=8,steps=100,seed=9",
+		"mtbf=40,mttr=8,suspect=1,probation=3,pnode=20,prack=5,deadline=16,backoff=4,steps=100,seed=5",
+		grayChaosSpec,
+		"dmtbf=200,dmttr=30,dsteps=3,pflap=5,flapwin=32,flapthresh=6",
+		"hc.thermal=compute:0.6+l2:0.6,dmtbf=100",
+		"hc.ecc=membw:0.8+mem:0.9",
+		"hc.pcie=pcie:0.25",
+		"hc.warp=compute:0.5",
+		"hc.thermal=compute:1.5",
+		"hc.thermal=compute",
+		"pflap=1000", "flapthresh=3", "dmtbf=-1", "mtbf.a100=800", "mtbf=x", "=", ",,,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseChaosSpec(s)
+		if err != nil {
+			if !errors.Is(err, ErrChaosSpec) {
+				t.Fatalf("ParseChaosSpec(%q): error %v does not wrap ErrChaosSpec", s, err)
+			}
+			return
+		}
+		// Accepted specs must be internally consistent and buildable.
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("ParseChaosSpec(%q) accepted a spec Validate rejects: %v", s, verr)
+		}
+	})
+}
+
+// The golden gray-failure storm: the golden fleet rides out the same
+// 200-down-event storm with degradation, stepwise repair, flapping and
+// the flap detector armed on top. The end state must hash identically
+// on every run, degraded devices must demonstrably keep residents
+// (gray failures shed overflow, not the device), and the detector must
+// latch at least once.
+const (
+	grayStormChaosSpec = stormChaosSpec + ",dmtbf=600,dmttr=15,dsteps=3,pflap=4,flapwin=24,flapthresh=5"
+
+	// grayStormGoldenHash pins the end-state placement hash after the
+	// gray storm (557 displaced, 535 replaced, 16 failed, 771 gray
+	// events, 654 quarantine latches at 260 steps).
+	grayStormGoldenHash = "ddaf2c9e6ec0804c"
+)
+
+type grayStormResult struct {
+	stormResult
+	grayEvents    int
+	quarantines   int
+	keptResidents bool // some Degraded device held residents mid-storm
+}
+
+func runGoldenGrayStorm(t *testing.T) grayStormResult {
+	t.Helper()
+	topo, err := ParseSpec(stormTopoSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := SyntheticStream(stormJobs, stormStreamSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.PlaceBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseChaosSpec(grayStormChaosSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChaos(spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStorm(f, c)
+	var r grayStormResult
+	var steps int64
+	for s.DownEvents < stormDownEvents {
+		before := c.StepCount()
+		s.Step()
+		if c.StepCount() == before {
+			break
+		}
+		steps++
+		if !r.keptResidents {
+			for _, d := range f.Devices() {
+				if d.Health == HealthDegraded && len(d.Residents) > 0 {
+					r.keptResidents = true
+					break
+				}
+			}
+		}
+	}
+	r.stormResult = stormResult{
+		hash:      f.HashString(),
+		steps:     steps,
+		displaced: s.Displaced,
+		replaced:  s.Replaced,
+		failed:    s.Failed,
+		placed:    f.Snapshot().JobsPlaced,
+	}
+	r.grayEvents, r.quarantines = s.GrayEvents, s.Quarantines
+	return r
+}
+
+func TestGoldenGrayStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm suite is seconds of work; skipped in -short")
+	}
+	a := runGoldenGrayStorm(t)
+	t.Logf("gray storm: hash %s after %d steps; displaced %d, replaced %d, failed %d, placed %d, gray %d, quarantines %d",
+		a.hash, a.steps, a.displaced, a.replaced, a.failed, a.placed, a.grayEvents, a.quarantines)
+	if a.grayEvents == 0 || a.quarantines == 0 {
+		t.Fatalf("gray storm exercised no gray machinery: %+v", a)
+	}
+	if !a.keptResidents {
+		t.Fatal("no degraded device ever kept a resident — haircuts displaced everything")
+	}
+	if a.hash != grayStormGoldenHash {
+		t.Fatalf("gray storm hash = %s, want golden %s (gray-failure dynamics drifted — "+
+			"if intentional, update the golden constants)", a.hash, grayStormGoldenHash)
+	}
+	b := runGoldenGrayStorm(t)
+	if b != a {
+		t.Fatalf("gray storm not deterministic across runs:\n a=%+v\n b=%+v", a, b)
+	}
+}

@@ -5,13 +5,18 @@ import "fmt"
 // HealthState is one position in the per-device failure state machine:
 //
 //	Healthy → Suspect → Down → Recovering → Healthy
+//	Healthy ⇄ Degraded (gray failures: capacity haircut, device stays up)
 //
 // Suspect devices keep their residents but accept no new placements (a
 // failure precursor or an operator investigating). Down devices have
 // lost their residents — the displacement path unbinds them for
 // re-placement. Recovering devices are back up but on probation: they
 // accept no placements until the probation window elapses, so a
-// flapping device cannot churn the same jobs twice.
+// flapping device cannot churn the same jobs twice. Degraded devices
+// are the gray-failure state: up and serving, but with a per-resource
+// capacity haircut (thermal throttle, ECC row remap, PCIe link
+// downtraining) that shrinks the capacity vector the scorer sees; they
+// keep every resident that still fits and displace only the overflow.
 type HealthState uint8
 
 const (
@@ -19,9 +24,10 @@ const (
 	HealthSuspect
 	HealthDown
 	HealthRecovering
+	HealthDegraded
 )
 
-var healthNames = [...]string{"healthy", "suspect", "down", "recovering"}
+var healthNames = [...]string{"healthy", "suspect", "down", "recovering", "degraded"}
 
 // String renders the state in the lowercase form the journal and API use.
 func (h HealthState) String() string {
@@ -49,8 +55,28 @@ type HealthEvent struct {
 	To HealthState
 	// Cause names what drove the transition: "wear" (per-device MTBF
 	// draw), "node"/"rack" (correlated domain event), "repair" (MTTR
-	// elapsed), "probation" (probation window elapsed).
+	// elapsed), "probation" (probation window elapsed), a degradation
+	// kind ("thermal"/"ecc"/"pcie"), "slice-loss" (MIG slice lost
+	// wholesale), "partial-repair"/"degrade-repair" (stepwise capacity
+	// restoration), or "flap"/"flap-return" (a flap blip and its end).
 	Cause string
+	// Haircut and MemFactor carry a Degraded transition's absolute
+	// capacity factors: effective capacity = Class.Capacity ⊙ Haircut,
+	// effective memory = Class.MemoryBytes · MemFactor. Zero-valued on
+	// every other transition.
+	Haircut   Vector
+	MemFactor float64
+}
+
+// QuarantineEvent is one flap-detector decision: a device quarantined
+// after too many health transitions inside the sliding window (On), or
+// released after a full quiet window (decaying reset, !On). The serving
+// layer journals these so recovery restores the latch bit-identically.
+type QuarantineEvent struct {
+	Device int
+	On     bool
+	Reason string
+	Tick   int64
 }
 
 // nodeKey / rackKey name a device's failure domains for the
@@ -78,6 +104,19 @@ func (f *Fleet) ApplyHealth(deviceIndex int, h HealthState, tick int64) ([]JobSp
 	d := f.devices[deviceIndex]
 	prev := d.Health
 	d.Health = h
+	switch {
+	case h == HealthDegraded && d.MemFactor == 0:
+		// Entering Degraded without a haircut (operator or legacy journal
+		// record): neutral factors until ApplyDegrade supplies real ones.
+		d.Haircut, d.MemFactor = Ones(), 1
+	case h != HealthDegraded && d.MemFactor != 0:
+		// Leaving Degraded — a full repair restores full capacity, and a
+		// hard failure's repair path returns the device clean.
+		d.Haircut, d.MemFactor = Vector{}, 0
+	}
+	if prev != h {
+		f.noteTransition(d, tick)
+	}
 	if h != HealthDown || prev == HealthDown {
 		return nil, nil
 	}
@@ -87,6 +126,88 @@ func (f *Fleet) ApplyHealth(deviceIndex int, h HealthState, tick int64) ([]JobSp
 	f.domainFail[nodeKey(d)] = tick
 	f.domainFail[rackKey(d)] = tick
 	return f.displace(d), nil
+}
+
+// ApplyDegrade moves a device into (or further into) the Degraded state
+// with the given absolute capacity factors: every per-resource factor
+// and the memory factor must be in (0, 1]. The device keeps serving —
+// residents that still fit under the shrunken memory capacity stay
+// bound; only the overflow is displaced, best-effort first (HP-last),
+// most recently bound first within each band. Factors of all ones
+// restore the device to Healthy. Applying to a Down device is a no-op:
+// its capacity is already gone, and the repair path returns it clean.
+func (f *Fleet) ApplyDegrade(deviceIndex int, haircut Vector, memFactor float64, tick int64) ([]JobSpec, error) {
+	if deviceIndex < 0 || deviceIndex >= len(f.devices) {
+		return nil, fmt.Errorf("fleet: no device %d", deviceIndex)
+	}
+	for r := 0; r < NumResources; r++ {
+		if !(haircut[r] > 0) || haircut[r] > 1 {
+			return nil, fmt.Errorf("fleet: device %d: haircut %v outside (0,1]", deviceIndex, haircut)
+		}
+	}
+	if !(memFactor > 0) || memFactor > 1 {
+		return nil, fmt.Errorf("fleet: device %d: memory factor %v outside (0,1]", deviceIndex, memFactor)
+	}
+	if tick > f.clock {
+		f.clock = tick
+	}
+	d := f.devices[deviceIndex]
+	if d.Health == HealthDown {
+		return nil, nil
+	}
+	if haircut == Ones() && memFactor == 1 {
+		// Fully restored: equivalent to a degrade-repair transition.
+		d.Haircut, d.MemFactor = Vector{}, 0
+		if d.Health == HealthDegraded {
+			d.Health = HealthHealthy
+			f.noteTransition(d, tick)
+		}
+		return nil, nil
+	}
+	d.Haircut, d.MemFactor = haircut, memFactor
+	d.Health = HealthDegraded
+	// Every degradation event (including a partial repair's new factors)
+	// counts toward the flap window: a device oscillating through gray
+	// states churns placements just like one oscillating through Down.
+	f.noteTransition(d, tick)
+	return f.displaceOverflow(d), nil
+}
+
+// DisplaceOverflow displaces whatever no longer fits under the device's
+// effective (haircut-scaled) memory capacity — the recovery sweep uses
+// it when a crash landed between a journaled degrade and its
+// displacement records.
+func (f *Fleet) DisplaceOverflow(deviceIndex int) ([]JobSpec, error) {
+	if deviceIndex < 0 || deviceIndex >= len(f.devices) {
+		return nil, fmt.Errorf("fleet: no device %d", deviceIndex)
+	}
+	return f.displaceOverflow(f.devices[deviceIndex]), nil
+}
+
+// displaceOverflow sheds residents until the device's memory use fits
+// its effective capacity: best-effort before high-priority (HP-last),
+// most recently bound first within each band — the same victim order
+// preemption uses, so the jobs with the most sunk placement time
+// survive.
+func (f *Fleet) displaceOverflow(d *Device) []JobSpec {
+	eff := d.EffMemoryBytes()
+	if d.MemUsed <= eff {
+		return nil
+	}
+	var out []JobSpec
+	for pass := 0; pass < 2 && d.MemUsed > eff; pass++ {
+		hp := pass == 1
+		for i := len(d.Residents) - 1; i >= 0 && d.MemUsed > eff; i-- {
+			id := d.Residents[i]
+			if f.jobs[id].HighPriority() != hp {
+				continue
+			}
+			out = append(out, f.jobs[id])
+			f.unbind(id)
+			f.displacements++
+		}
+	}
+	return out
 }
 
 // Displace unbinds every resident of the device and returns their specs
@@ -122,6 +243,92 @@ func (f *Fleet) Cordon(deviceIndex int, on bool) error {
 	}
 	f.devices[deviceIndex].Cordoned = on
 	return nil
+}
+
+// SetFlapPolicy arms the flap detector: more than threshold health
+// transitions inside a sliding window of the given failure-clock width
+// quarantine the device. threshold <= 0 disables the detector entirely
+// (the default), in which case no per-device flap state is ever touched
+// — old chaos profiles keep byte-identical device state.
+func (f *Fleet) SetFlapPolicy(window int64, threshold int) {
+	f.flapWindow, f.flapThreshold = window, threshold
+}
+
+// FlapPolicy returns the armed flap window and threshold (0,0 = off).
+func (f *Fleet) FlapPolicy() (int64, int) { return f.flapWindow, f.flapThreshold }
+
+// noteTransition records one health transition for the flap detector
+// and latches the quarantine when the windowed count crosses the
+// threshold. A complete no-op when the detector is unarmed.
+func (f *Fleet) noteTransition(d *Device, tick int64) {
+	if f.flapThreshold <= 0 {
+		return
+	}
+	d.FlapTicks = append(d.FlapTicks, tick)
+	d.FlapTicks = pruneTicks(d.FlapTicks, tick-f.flapWindow)
+	if !d.Quarantined && len(d.FlapTicks) >= f.flapThreshold {
+		d.Quarantined = true
+		d.QuarantineReason = fmt.Sprintf("flap-quarantine: %d transitions in %d ticks", len(d.FlapTicks), f.flapWindow)
+		f.quarEvents = append(f.quarEvents, QuarantineEvent{Device: d.Index, On: true, Reason: d.QuarantineReason, Tick: tick})
+	}
+}
+
+// pruneTicks drops ticks at or before the cutoff, in place.
+func pruneTicks(ticks []int64, cutoff int64) []int64 {
+	keep := ticks[:0]
+	for _, t := range ticks {
+		if t > cutoff {
+			keep = append(keep, t)
+		}
+	}
+	return keep
+}
+
+// TickHealth advances the flap detector to the given failure-clock tick:
+// transition records age out of the sliding window, and a quarantined
+// device whose window has gone fully quiet is released (the decaying
+// reset). It does not advance the fleet's failure clock — backoff and
+// retry timing key off Clock(), which only health events move.
+func (f *Fleet) TickHealth(tick int64) {
+	if f.flapThreshold <= 0 {
+		return
+	}
+	for _, d := range f.devices {
+		if len(d.FlapTicks) > 0 {
+			d.FlapTicks = pruneTicks(d.FlapTicks, tick-f.flapWindow)
+		}
+		if d.Quarantined && len(d.FlapTicks) == 0 {
+			d.Quarantined = false
+			d.QuarantineReason = ""
+			d.FlapTicks = nil
+			f.quarEvents = append(f.quarEvents, QuarantineEvent{Device: d.Index, On: false, Tick: tick})
+		}
+	}
+}
+
+// TakeQuarantineEvents drains the buffered quarantine latch changes
+// since the last call — the serving layer journals each one.
+func (f *Fleet) TakeQuarantineEvents() []QuarantineEvent {
+	evs := f.quarEvents
+	f.quarEvents = nil
+	return evs
+}
+
+// RestoreFlapState reinstates a device's flap-detector state verbatim —
+// the recovery path. No pruning and no events: the journal already
+// recorded the latch decisions, and the first post-recovery TickHealth
+// converges the window exactly as the live run would have.
+func (f *Fleet) RestoreFlapState(deviceIndex int, ticks []int64, quarantined bool, reason string) {
+	if deviceIndex < 0 || deviceIndex >= len(f.devices) {
+		return
+	}
+	d := f.devices[deviceIndex]
+	d.FlapTicks = append([]int64(nil), ticks...)
+	if len(d.FlapTicks) == 0 {
+		d.FlapTicks = nil
+	}
+	d.Quarantined = quarantined
+	d.QuarantineReason = reason
 }
 
 // Clock returns the fleet's failure clock (the chaos step count last

@@ -76,8 +76,13 @@ func (p Policy) withDefaults() Policy {
 // float64 conversions: Go may contract a*b+c into a fused
 // multiply-add on some architectures, and the golden placement hashes
 // must not depend on the host's FMA behavior.
+// Degraded devices are scored against their effective (haircut-scaled)
+// capacity, so a thermal-throttled device looks proportionally more
+// loaded and more fragmentation-prone than a clean one; clean devices
+// take the raw-capacity fast path and score bit-identically to pre-gray
+// builds.
 func (p Policy) score(d *Device, j JobSpec) float64 {
-	cap := d.Class.Capacity
+	cap := d.EffCapacity()
 	var contention float64
 	for r := 0; r < NumResources; r++ {
 		if cap[r] <= 0 {
@@ -87,25 +92,27 @@ func (p Policy) score(d *Device, j JobSpec) float64 {
 		dem := float64(j.Demand[r] / cap[r])
 		contention += float64(load * dem)
 	}
-	before := p.frag(d.Class, d.Load, d.MemUsed)
-	after := p.frag(d.Class, d.Load.Add(j.Demand), d.MemUsed+j.MemoryBytes)
+	memCap := d.EffMemoryBytes()
+	before := p.frag(cap, memCap, d.Load, d.MemUsed)
+	after := p.frag(cap, memCap, d.Load.Add(j.Demand), d.MemUsed+j.MemoryBytes)
 	gradient := float64(after - before)
 	return float64(-float64(p.ContentionWeight*contention) - float64(p.FragWeight*gradient))
 }
 
 // frag scores how stranded a device's remaining capacity is: 0 for an
 // empty or perfectly balanced remainder, approaching 1+ for remainders
-// no future job can use.
-func (p Policy) frag(c Class, load Vector, memUsed int64) float64 {
-	freeCompute := freeFrac(load[RCompute], c.Capacity[RCompute])
-	freeMemBW := freeFrac(load[RMemBW], c.Capacity[RMemBW])
-	freeMem := c.MemoryBytes - memUsed
+// no future job can use. cap/memCap are the device's effective
+// capacities (raw for clean devices, haircut-scaled for degraded ones).
+func (p Policy) frag(cap Vector, memCap int64, load Vector, memUsed int64) float64 {
+	freeCompute := freeFrac(load[RCompute], cap[RCompute])
+	freeMemBW := freeFrac(load[RMemBW], cap[RMemBW])
+	freeMem := memCap - memUsed
 	if freeMem < 0 {
 		freeMem = 0
 	}
 	freeMemFrac := 0.0
-	if c.MemoryBytes > 0 {
-		freeMemFrac = float64(freeMem) / float64(c.MemoryBytes)
+	if memCap > 0 {
+		freeMemFrac = float64(freeMem) / float64(memCap)
 	}
 	skew := math.Abs(freeCompute - freeMemBW)
 	f := float64(skew * freeMemFrac)

@@ -14,11 +14,17 @@ type Storm struct {
 	// Naive re-places through PlaceNaive (first-fit) instead of the
 	// scored pipeline — the survivability baseline.
 	Naive bool
+	// BinaryHealth treats every Degraded transition as Down — the
+	// pre-gray-failure health model, kept as the baseline the gray
+	// example compares haircut-aware placement against.
+	BinaryHealth bool
 
 	// Displaced, Replaced and Failed count jobs displaced by Down
-	// transitions, successfully re-placed, and terminally failed.
-	// DownEvents counts Down transitions ("failure events").
-	Displaced, Replaced, Failed, DownEvents int
+	// transitions (or degradation overflow), successfully re-placed,
+	// and terminally failed. DownEvents counts Down transitions
+	// ("failure events"), GrayEvents degradation transitions applied as
+	// haircuts, and Quarantines flap-detector latches.
+	Displaced, Replaced, Failed, DownEvents, GrayEvents, Quarantines int
 
 	f     *Fleet
 	c     *Chaos
@@ -54,20 +60,38 @@ func (s *Storm) Pending() int { return len(s.queue) }
 // and runs the re-placement queue. It returns the health events applied.
 func (s *Storm) Step() []HealthEvent {
 	evs := s.c.Step()
+	tick := s.c.StepCount()
 	for _, ev := range evs {
-		displaced, err := s.f.ApplyHealth(ev.Device, ev.To, s.c.StepCount())
+		to := ev.To
+		if s.BinaryHealth && to == HealthDegraded {
+			to = HealthDown
+		}
+		var displaced []JobSpec
+		var err error
+		if to == HealthDegraded {
+			displaced, err = s.f.ApplyDegrade(ev.Device, ev.Haircut, ev.MemFactor, tick)
+			s.GrayEvents++
+		} else {
+			displaced, err = s.f.ApplyHealth(ev.Device, to, tick)
+		}
 		if err != nil {
 			// The chaos process is built over this fleet; an index error
 			// here is a programming bug, not a runtime condition.
 			panic(err)
 		}
-		if ev.To == HealthDown {
+		if to == HealthDown {
 			s.DownEvents++
 		}
 		for _, j := range displaced {
 			s.Displaced++
-			s.queue = append(s.queue, stormJob{spec: j, seq: s.seq, dispTick: s.c.StepCount()})
+			s.queue = append(s.queue, stormJob{spec: j, seq: s.seq, dispTick: tick})
 			s.seq++
+		}
+	}
+	s.f.TickHealth(tick)
+	for _, q := range s.f.TakeQuarantineEvents() {
+		if q.On {
+			s.Quarantines++
 		}
 	}
 	s.retry()

@@ -57,6 +57,24 @@ func (v Vector) Add(w Vector) Vector {
 	return v
 }
 
+// Mul returns the component-wise product v ⊙ w — how capacity haircuts
+// compose (each factor scales its resource independently).
+func (v Vector) Mul(w Vector) Vector {
+	for r := range v {
+		v[r] = float64(v[r] * w[r])
+	}
+	return v
+}
+
+// Ones is the neutral haircut: every factor 1.0 (full capacity).
+func Ones() Vector {
+	var v Vector
+	for r := range v {
+		v[r] = 1
+	}
+	return v
+}
+
 // Sub returns v - w.
 func (v Vector) Sub(w Vector) Vector {
 	for r := range v {

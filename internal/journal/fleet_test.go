@@ -2,6 +2,7 @@ package journal
 
 import (
 	"encoding/json"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -47,8 +48,29 @@ func fleetRecs() []Record {
 	}
 }
 
+// mustReduceFleet / mustReduceFleetHealth unwrap the reducers for
+// tests whose record streams are known to carry no newer-schema
+// records.
+func mustReduceFleet(t *testing.T, recs []Record) []*FleetImage {
+	t.Helper()
+	ims, err := ReduceFleet(recs)
+	if err != nil {
+		t.Fatalf("ReduceFleet: %v", err)
+	}
+	return ims
+}
+
+func mustReduceFleetHealth(t *testing.T, recs []Record) *FleetHealth {
+	t.Helper()
+	h, err := ReduceFleetHealth(recs)
+	if err != nil {
+		t.Fatalf("ReduceFleetHealth: %v", err)
+	}
+	return h
+}
+
 func TestReduceFleet(t *testing.T) {
-	ims := ReduceFleet(fleetRecs())
+	ims := mustReduceFleet(t, fleetRecs())
 	if len(ims) != 5 {
 		t.Fatalf("%d fleet images, want 5", len(ims))
 	}
@@ -91,9 +113,9 @@ func TestReduceSkipsFleetRecords(t *testing.T) {
 }
 
 func TestFleetSnapshotRoundTrip(t *testing.T) {
-	orig := ReduceFleet(fleetRecs())
+	orig := mustReduceFleet(t, fleetRecs())
 	snap := FleetSnapshotRecords(orig)
-	replayed := ReduceFleet(snap)
+	replayed := mustReduceFleet(t, snap)
 	if len(replayed) != len(orig) {
 		t.Fatalf("round trip lost images: %d vs %d", len(replayed), len(orig))
 	}
@@ -174,7 +196,7 @@ func TestFleetRecordsSurviveAppendReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	ims := ReduceFleet(recs)
+	ims := mustReduceFleet(t, recs)
 	if len(ims) != 5 || ims[0].State != "evaluated" || ims[2].State != "evicted" {
 		t.Fatalf("replayed fleet images wrong: %+v", ims)
 	}
@@ -184,7 +206,7 @@ func TestFleetRecordsSurviveAppendReplay(t *testing.T) {
 	if ims[3].DispTick != 17 || ims[3].PendSeq != 3 || ims[3].Attempts != 2 {
 		t.Fatalf("displacement bookkeeping did not round-trip: %+v", ims[3])
 	}
-	h := ReduceFleetHealth(recs)
+	h := mustReduceFleetHealth(t, recs)
 	if h == nil || h.Step != 29 || !h.Started {
 		t.Fatalf("health image did not round-trip: %+v", h)
 	}
@@ -192,7 +214,7 @@ func TestFleetRecordsSurviveAppendReplay(t *testing.T) {
 
 func TestReduceFleetHealth(t *testing.T) {
 	recs := fleetRecs()
-	h := ReduceFleetHealth(recs)
+	h := mustReduceFleetHealth(t, recs)
 	if h == nil {
 		t.Fatal("health records produced no image")
 	}
@@ -214,19 +236,19 @@ func TestReduceFleetHealth(t *testing.T) {
 	}
 	// The job reducer must ignore health records entirely: the device ID
 	// ("z0/r0/n1/g1") must not appear as a fleet job.
-	for _, im := range ReduceFleet(recs) {
+	for _, im := range mustReduceFleet(t, recs) {
 		if im.ID == "z0/r0/n1/g1" || im.ID == "z0/r1/n0/g0" {
 			t.Fatalf("health record leaked into the job reduce: %+v", im)
 		}
 	}
 	// A stream with no health records reduces to nil.
-	if got := ReduceFleetHealth(recs[:8]); got != nil {
+	if got := mustReduceFleetHealth(t, recs[:8]); got != nil {
 		t.Fatalf("health image from job-only records: %+v", got)
 	}
 }
 
 func TestFleetHealthSnapshotRoundTrip(t *testing.T) {
-	orig := ReduceFleetHealth(fleetRecs())
+	orig := mustReduceFleetHealth(t, fleetRecs())
 	rec, ok := FleetHealthSnapshotRecord(orig, time.Date(2026, 1, 2, 0, 0, 0, 0, time.UTC))
 	if !ok {
 		t.Fatal("non-empty health image produced no snapshot record")
@@ -234,7 +256,7 @@ func TestFleetHealthSnapshotRoundTrip(t *testing.T) {
 	if rec.ID != "" || rec.Op != OpFleetHealth {
 		t.Fatalf("snapshot record = %+v", rec)
 	}
-	replayed := ReduceFleetHealth([]Record{rec})
+	replayed := mustReduceFleetHealth(t, []Record{rec})
 	if replayed == nil {
 		t.Fatal("snapshot record reduced to nil")
 	}
@@ -243,7 +265,7 @@ func TestFleetHealthSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("round trip diverged:\n orig %+v\n repl %+v", orig, replayed)
 	}
 	for i := range orig.Devices {
-		if orig.Devices[i] != replayed.Devices[i] {
+		if !reflect.DeepEqual(orig.Devices[i], replayed.Devices[i]) {
 			t.Fatalf("device %d diverged: %+v vs %+v", i, orig.Devices[i], replayed.Devices[i])
 		}
 	}
@@ -253,7 +275,7 @@ func TestFleetHealthSnapshotRoundTrip(t *testing.T) {
 		}
 	}
 	// Incremental records after a snapshot fold on top of it.
-	after := ReduceFleetHealth([]Record{rec,
+	after := mustReduceFleetHealth(t, []Record{rec,
 		{Op: OpFleetHealth, ID: "z0/r0/n1/g1", Device: 5, State: "healthy", Tick: 33},
 		{Op: OpFleetHealth, ID: "z0/r1/n0/g0", Device: 8, State: "uncordon"},
 	})

@@ -1,0 +1,148 @@
+package journal
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// grayRecs interleaves binary health transitions, gray degradations,
+// displacements and flap-detector latches the way a live chaos tick
+// writes them.
+func grayRecs() []Record {
+	t0 := time.Date(2026, 2, 1, 0, 0, 0, 0, time.UTC)
+	return []Record{
+		{Op: OpFleetSubmit, ID: "a", Time: t0, State: "placed",
+			Config: []byte(`{"workload":"bert-inf"}`), Placement: []byte(`{"device_index":3}`)},
+		// Device 3 takes a thermal haircut; job a is displaced as overflow.
+		{Op: OpFleetDegrade, ID: "z0/r0/n0/g3", Device: 3, State: "degraded", Tick: 10,
+			Haircut: []float64{0.7, 1, 0.7, 1}, MemFactor: 0.9, Schema: FleetSchemaVersion},
+		{Op: OpFleetDisplace, ID: "a", Time: t0.Add(time.Second), Device: 3, Tick: 10, PendSeq: 1},
+		// A partial repair narrows the haircut.
+		{Op: OpFleetDegrade, ID: "z0/r0/n0/g3", Device: 3, State: "degraded", Tick: 14,
+			Haircut: []float64{0.85, 1, 0.85, 1}, MemFactor: 0.95, Schema: FleetSchemaVersion},
+		// Device 4 flaps its way into quarantine, then ages out of it.
+		{Op: OpFleetHealth, ID: "z0/r0/n1/g0", Device: 4, State: "suspect", Tick: 15},
+		{Op: OpFleetHealth, ID: "z0/r0/n1/g0", Device: 4, State: "healthy", Tick: 16},
+		{Op: OpFleetHealth, ID: "z0/r0/n1/g0", Device: 4, State: "quarantine", Tick: 16,
+			Error: "flap-quarantine: 6 transitions in 32 ticks", Schema: FleetSchemaVersion},
+		// Device 3 heals fully: the haircut must clear.
+		{Op: OpFleetHealth, ID: "z0/r0/n0/g3", Device: 3, State: "healthy", Tick: 20},
+	}
+}
+
+func TestReduceFleetHealthGray(t *testing.T) {
+	recs := grayRecs()
+	// Cut the stream right after the partial repair: device 3 must carry
+	// the latest absolute factors, not the first ones.
+	h := mustReduceFleetHealth(t, recs[:4])
+	if h == nil || h.Step != 14 {
+		t.Fatalf("health image = %+v, want step 14", h)
+	}
+	if len(h.Devices) != 1 {
+		t.Fatalf("devices = %+v", h.Devices)
+	}
+	d3 := h.Devices[0]
+	if d3.Health != "degraded" || d3.MemFactor != 0.95 ||
+		!reflect.DeepEqual(d3.Haircut, []float64{0.85, 1, 0.85, 1}) {
+		t.Fatalf("degraded device = %+v (latest factors must win)", d3)
+	}
+	// Both degrade ticks count toward the flap window.
+	if !reflect.DeepEqual(d3.FlapTicks, []int64{10, 14}) {
+		t.Fatalf("flap ticks = %v", d3.FlapTicks)
+	}
+
+	// The full stream: device 3 healed (haircut cleared), device 4
+	// latched in quarantine with its reason.
+	h = mustReduceFleetHealth(t, recs)
+	if len(h.Devices) != 2 {
+		t.Fatalf("devices = %+v", h.Devices)
+	}
+	d3, d4 := h.Devices[0], h.Devices[1]
+	if d3.Health != "healthy" || d3.Haircut != nil || d3.MemFactor != 0 {
+		t.Fatalf("healed device kept its haircut: %+v", d3)
+	}
+	if !d4.Quarantined || d4.Reason != "flap-quarantine: 6 transitions in 32 ticks" {
+		t.Fatalf("quarantine latch = %+v", d4)
+	}
+	// The latch record itself is no transition: device 4 has exactly the
+	// suspect and healthy ticks.
+	if !reflect.DeepEqual(d4.FlapTicks, []int64{15, 16}) {
+		t.Fatalf("d4 flap ticks = %v", d4.FlapTicks)
+	}
+
+	// An unquarantine record clears the latch and the window.
+	h = mustReduceFleetHealth(t, append(recs,
+		Record{Op: OpFleetHealth, ID: "z0/r0/n1/g0", Device: 4, State: "unquarantine", Tick: 50,
+			Schema: FleetSchemaVersion}))
+	d4 = h.Devices[1]
+	if d4.Quarantined || d4.Reason != "" || d4.FlapTicks != nil {
+		t.Fatalf("unquarantine left residue: %+v", d4)
+	}
+
+	// The job reducer skips degrade records entirely: no device ID leaks
+	// in as a job, and job a's displacement bookkeeping still folds.
+	ims := mustReduceFleet(t, recs)
+	if len(ims) != 1 || ims[0].ID != "a" {
+		t.Fatalf("job images = %+v", ims)
+	}
+	if ims[0].Placement != nil || ims[0].DispTick != 10 || ims[0].PendSeq != 1 {
+		t.Fatalf("displacement did not fold: %+v", ims[0])
+	}
+}
+
+func TestFleetHealthGraySnapshotRoundTrip(t *testing.T) {
+	orig := mustReduceFleetHealth(t, grayRecs()[:7])
+	rec, ok := FleetHealthSnapshotRecord(orig, time.Date(2026, 2, 2, 0, 0, 0, 0, time.UTC))
+	if !ok {
+		t.Fatal("gray health image produced no snapshot record")
+	}
+	replayed := mustReduceFleetHealth(t, []Record{rec})
+	if replayed.Step != orig.Step || len(replayed.Devices) != len(orig.Devices) {
+		t.Fatalf("round trip diverged:\n orig %+v\n repl %+v", orig, replayed)
+	}
+	for i := range orig.Devices {
+		if !reflect.DeepEqual(orig.Devices[i], replayed.Devices[i]) {
+			t.Fatalf("device %d diverged:\n orig %+v\n repl %+v", i, orig.Devices[i], replayed.Devices[i])
+		}
+	}
+}
+
+// TestFleetSchemaRejection pins the forward-compatibility contract: a
+// fleet record stamped by a newer schema version fails both reducers
+// with the typed *SchemaError instead of being silently misread.
+func TestFleetSchemaRejection(t *testing.T) {
+	newer := Record{Op: OpFleetDegrade, ID: "z0/r0/n0/g3", Device: 3, State: "degraded",
+		Tick: 30, Haircut: []float64{0.7, 1, 0.7, 1}, MemFactor: 0.9,
+		Schema: FleetSchemaVersion + 1}
+	recs := append(grayRecs(), newer)
+
+	if _, err := ReduceFleet(recs); err == nil {
+		t.Fatal("ReduceFleet accepted a newer-schema record")
+	} else {
+		var se *SchemaError
+		if !errors.As(err, &se) || se.Op != OpFleetDegrade || se.Schema != FleetSchemaVersion+1 {
+			t.Fatalf("ReduceFleet error = %v, want *SchemaError for %s", err, OpFleetDegrade)
+		}
+	}
+	if _, err := ReduceFleetHealth(recs); err == nil {
+		t.Fatal("ReduceFleetHealth accepted a newer-schema record")
+	} else {
+		var se *SchemaError
+		if !errors.As(err, &se) {
+			t.Fatalf("ReduceFleetHealth error = %v, want *SchemaError", err)
+		}
+	}
+
+	// Records at or below the current version pass.
+	if _, err := ReduceFleetHealth(grayRecs()); err != nil {
+		t.Fatalf("current-schema stream rejected: %v", err)
+	}
+	// A newer schema stamp on a non-fleet record is not our contract to
+	// enforce — the experiment stream has no versioning yet.
+	if _, err := ReduceFleet([]Record{{Op: OpSubmit, ID: "exp-1", Schema: 99,
+		Config: []byte(`{}`)}}); err != nil {
+		t.Fatalf("non-fleet record tripped the fleet schema check: %v", err)
+	}
+}

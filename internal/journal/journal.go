@@ -86,13 +86,47 @@ const (
 	// device back to the pending queue: Device is where it was bound,
 	// Tick when the displacement happened, PendSeq its queue position.
 	OpFleetDisplace Op = "fleet-displace"
+	// OpFleetDegrade records a gray-failure transition: the device
+	// entered (or changed depth within) the Degraded state with the
+	// absolute capacity factors in Haircut/MemFactor. Displacement of
+	// overflow residents follows as OpFleetDisplace records.
+	OpFleetDegrade Op = "fleet-degrade"
 )
+
+// FleetSchemaVersion is the fleet-stream schema this build writes.
+// Records stamped with a higher version (a newer build's journal) are
+// rejected with a SchemaError at reduce time rather than silently
+// misread. Version 2 introduced OpFleetDegrade and the gray-failure
+// fields; version-0 (unstamped) records are the pre-gray stream and
+// always accepted.
+const FleetSchemaVersion = 2
+
+// SchemaError reports a fleet record written by a newer schema version
+// than this build understands.
+type SchemaError struct {
+	Op     Op
+	Schema int
+}
+
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("journal: fleet record %q has schema version %d, newer than supported %d — refusing to recover from a newer build's journal",
+		e.Op, e.Schema, FleetSchemaVersion)
+}
 
 // fleetOp reports whether the record belongs to the fleet streams,
 // which reduce separately from experiment jobs (see ReduceFleet and
 // ReduceFleetHealth).
 func fleetOp(op Op) bool {
-	return op == OpFleetSubmit || op == OpFleetState || op == OpFleetHealth || op == OpFleetDisplace
+	return op == OpFleetSubmit || op == OpFleetState || op == OpFleetHealth || op == OpFleetDisplace || op == OpFleetDegrade
+}
+
+// checkFleetSchema returns the typed error for a fleet record stamped
+// by a newer schema version.
+func checkFleetSchema(r Record) error {
+	if fleetOp(r.Op) && r.Schema > FleetSchemaVersion {
+		return &SchemaError{Op: r.Op, Schema: r.Schema}
+	}
+	return nil
 }
 
 // Record is one journal entry. Config and Summary stay raw JSON so the
@@ -123,6 +157,13 @@ type Record struct {
 	Attempts int      `json:"attempts,omitempty"`
 	PendSeq  int      `json:"pend_seq,omitempty"`
 	Domains  []string `json:"domains,omitempty"`
+	// Haircut and MemFactor carry an OpFleetDegrade record's absolute
+	// capacity factors (per-resource, then memory). Schema stamps fleet
+	// records whose shape post-dates the unversioned stream; see
+	// FleetSchemaVersion.
+	Haircut   []float64 `json:"haircut,omitempty"`
+	MemFactor float64   `json:"mem_factor,omitempty"`
+	Schema    int       `json:"schema,omitempty"`
 }
 
 // Options tunes a Journal.
@@ -752,8 +793,11 @@ type FleetImage struct {
 
 // ReduceFleet folds the replayed stream's fleet records into per-job
 // images, in first-appearance order. Like Reduce it is idempotent and
-// duplicate-tolerant; non-fleet records are skipped.
-func ReduceFleet(recs []Record) []*FleetImage {
+// duplicate-tolerant; non-fleet records are skipped. A fleet record
+// stamped by a newer schema version aborts the reduction with a
+// *SchemaError — recovering placement state through fields this build
+// cannot read would corrupt it silently.
+func ReduceFleet(recs []Record) ([]*FleetImage, error) {
 	byID := map[string]*FleetImage{}
 	var order []*FleetImage
 	get := func(id string) *FleetImage {
@@ -766,7 +810,10 @@ func ReduceFleet(recs []Record) []*FleetImage {
 		return im
 	}
 	for seq, r := range recs {
-		if r.ID == "" || !fleetOp(r.Op) || r.Op == OpFleetHealth {
+		if err := checkFleetSchema(r); err != nil {
+			return nil, err
+		}
+		if r.ID == "" || !fleetOp(r.Op) || r.Op == OpFleetHealth || r.Op == OpFleetDegrade {
 			continue
 		}
 		im := get(r.ID)
@@ -825,7 +872,7 @@ func ReduceFleet(recs []Record) []*FleetImage {
 			im.PendSeq, im.Attempts, im.DispTick, im.LastTry = 0, 0, -1, 0
 		}
 	}
-	return order
+	return order, nil
 }
 
 // FleetSnapshotRecords renders fleet images back into the minimal record
@@ -889,6 +936,15 @@ type DeviceHealth struct {
 	ID       string `json:"id,omitempty"`
 	Health   string `json:"health,omitempty"`
 	Cordoned bool   `json:"cordoned,omitempty"`
+	// Haircut/MemFactor are the gray-failure capacity factors while
+	// Health == "degraded". FlapTicks are the health-transition ticks
+	// inside the flap window; Quarantined/Reason the flap-detector
+	// latch. All restored verbatim by recovery.
+	Haircut     []float64 `json:"haircut,omitempty"`
+	MemFactor   float64   `json:"mem_factor,omitempty"`
+	FlapTicks   []int64   `json:"flap_ticks,omitempty"`
+	Quarantined bool      `json:"quarantined,omitempty"`
+	Reason      string    `json:"reason,omitempty"`
 }
 
 // FleetHealth is the reduced device-health state of the fleet: the
@@ -902,10 +958,12 @@ type FleetHealth struct {
 	Domains map[string]int64 `json:"domains,omitempty"`
 }
 
-// ReduceFleetHealth folds the replayed stream's OpFleetHealth records
-// (incremental transitions and compacted snapshots) into the final
-// health image. Returns nil when the stream has no health records.
-func ReduceFleetHealth(recs []Record) *FleetHealth {
+// ReduceFleetHealth folds the replayed stream's OpFleetHealth and
+// OpFleetDegrade records (incremental transitions and compacted
+// snapshots) into the final health image. Returns nil when the stream
+// has no health records, and a *SchemaError when a fleet record was
+// stamped by a newer schema version than this build understands.
+func ReduceFleetHealth(recs []Record) (*FleetHealth, error) {
 	var h *FleetHealth
 	byDev := map[int]*DeviceHealth{}
 	ensure := func(idx int, id string) *DeviceHealth {
@@ -917,13 +975,16 @@ func ReduceFleetHealth(recs []Record) *FleetHealth {
 		return d
 	}
 	for _, r := range recs {
-		if r.Op != OpFleetHealth {
+		if err := checkFleetSchema(r); err != nil {
+			return nil, err
+		}
+		if r.Op != OpFleetHealth && r.Op != OpFleetDegrade {
 			continue
 		}
 		if h == nil {
 			h = &FleetHealth{}
 		}
-		if r.ID == "" && len(r.Config) > 0 {
+		if r.Op == OpFleetHealth && r.ID == "" && len(r.Config) > 0 {
 			// Compacted snapshot: replaces everything reduced so far.
 			var snap FleetHealth
 			if err := json.Unmarshal(r.Config, &snap); err != nil {
@@ -939,6 +1000,14 @@ func ReduceFleetHealth(recs []Record) *FleetHealth {
 		if r.Tick > h.Step {
 			h.Step = r.Tick
 		}
+		if r.Op == OpFleetDegrade {
+			d := ensure(r.Device, r.ID)
+			d.Health = "degraded"
+			d.Haircut = append([]float64(nil), r.Haircut...)
+			d.MemFactor = r.MemFactor
+			d.FlapTicks = append(d.FlapTicks, r.Tick)
+			continue
+		}
 		switch r.State {
 		case "chaos-start":
 			h.Started = true
@@ -947,8 +1016,24 @@ func ReduceFleetHealth(recs []Record) *FleetHealth {
 			ensure(r.Device, r.ID).Cordoned = true
 		case "uncordon":
 			ensure(r.Device, r.ID).Cordoned = false
+		case "quarantine":
+			// The flap-detector latch is journaled as its own record (the
+			// reason travels in Error) and restored verbatim — it counts
+			// as no transition itself.
+			d := ensure(r.Device, r.ID)
+			d.Quarantined, d.Reason = true, r.Error
+		case "unquarantine":
+			d := ensure(r.Device, r.ID)
+			d.Quarantined, d.Reason, d.FlapTicks = false, "", nil
 		default:
-			ensure(r.Device, r.ID).Health = r.State
+			d := ensure(r.Device, r.ID)
+			d.Health = r.State
+			d.FlapTicks = append(d.FlapTicks, r.Tick)
+			if r.State != "degraded" {
+				// Leaving Degraded clears the haircut (ApplyHealth does
+				// the same on the live fleet).
+				d.Haircut, d.MemFactor = nil, 0
+			}
 		}
 		for _, dom := range r.Domains {
 			if h.Domains == nil {
@@ -958,7 +1043,7 @@ func ReduceFleetHealth(recs []Record) *FleetHealth {
 		}
 	}
 	if h == nil {
-		return nil
+		return nil, nil
 	}
 	// Flatten the pointer map into a fresh dense slice in index order
 	// (byDev may alias the old h.Devices backing array).
@@ -972,7 +1057,7 @@ func ReduceFleetHealth(recs []Record) *FleetHealth {
 		out = append(out, *byDev[i])
 	}
 	h.Devices = out
-	return h
+	return h, nil
 }
 
 // FleetHealthSnapshotRecord renders the reduced health image into the

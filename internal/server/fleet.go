@@ -590,6 +590,8 @@ func (s *Server) fleetGaugesLocked() {
 	s.gFleetFrag.Set(st.Fragmentation)
 	s.gFleetPending.Set(float64(len(s.fleet.pending)))
 	s.gFleetDown.Set(float64(st.Down))
+	s.gFleetDegraded.Set(float64(st.Degraded))
+	s.gFleetHaircut.Set(st.HaircutRatio)
 	if s.fleet.chaos != nil {
 		s.gFleetChaosStep.Set(float64(s.fleet.chaos.StepCount()))
 	}
@@ -791,15 +793,33 @@ func (s *Server) recoverFleet(images []*journal.FleetImage, health *journal.Flee
 				continue
 			}
 			_ = fa.f.Cordon(dh.Device, dh.Cordoned)
-			if dh.Health != "" && dh.Health != "healthy" {
+			if dh.Health == "degraded" && len(dh.Haircut) == fleet.NumResources && dh.MemFactor > 0 {
+				var vec fleet.Vector
+				for r := 0; r < fleet.NumResources; r++ {
+					vec[r] = dh.Haircut[r]
+				}
+				// No residents are bound yet, so nothing displaces here;
+				// the post-bind sweep sheds any journaled overflow.
+				_, _ = fa.f.ApplyDegrade(dh.Device, vec, dh.MemFactor, 0)
+			} else if dh.Health != "" && dh.Health != "healthy" {
 				if h, err := fleet.ParseHealthState(dh.Health); err == nil {
 					// No residents are bound yet, so nothing displaces here.
 					_, _ = fa.f.ApplyHealth(dh.Device, h, 0)
 				}
 			}
+			if _, thresh := fa.f.FlapPolicy(); thresh > 0 {
+				// Flap state restores verbatim — but only under an armed
+				// detector, so pre-gray journals leave device state
+				// byte-identical to the live run.
+				fa.f.RestoreFlapState(dh.Device, dh.FlapTicks, dh.Quarantined, dh.Reason)
+			}
 		}
 		fa.f.RestoreDomainFailures(health.Domains)
 		fa.f.SetClock(health.Step)
+		// Converge the flap window to the recovered clock and discard the
+		// re-derived latch events — the journal already recorded them.
+		fa.f.TickHealth(health.Step)
+		fa.f.TakeQuarantineEvents()
 		if fa.chaos != nil {
 			fa.chaosArmed = health.Started
 			fa.chaos.FastForward(health.Step)
@@ -869,8 +889,7 @@ func (s *Server) recoverFleet(images []*journal.FleetImage, health *journal.Flee
 	})
 	sort.SliceStable(binds, func(a, b int) bool { return binds[a].seq < binds[b].seq })
 	for _, b := range binds {
-		p, err := fa.f.Bind(b.fj.spec, b.p.DeviceIndex)
-		if err != nil {
+		if _, err := fa.f.Bind(b.fj.spec, b.p.DeviceIndex); err != nil {
 			// A bind that no longer fits means the journal and topology
 			// disagree (changed -fleet spec, say): surface it on the job
 			// and keep starting.
@@ -880,7 +899,13 @@ func (s *Server) recoverFleet(images []*journal.FleetImage, health *journal.Flee
 			fa.pending = append(fa.pending, b.fj.spec.ID)
 			continue
 		}
-		b.fj.placement = &p
+		// Serve the journaled placement verbatim: Bind recomputes its
+		// score against recovery-time device state (clock, haircuts, load
+		// without since-displaced residents), but the acknowledged
+		// decision — score included — is the one the pre-crash daemon
+		// journaled and the uninterrupted run still serves.
+		jp := b.p
+		b.fj.placement = &jp
 		b.fj.bindSeq = fa.binds
 		fa.binds++
 		if b.fj.state != FleetEvaluated || b.fj.summary == nil {
@@ -895,6 +920,14 @@ func (s *Server) recoverFleet(images []*journal.FleetImage, health *journal.Flee
 	for _, d := range fa.f.Devices() {
 		if d.Health == fleet.HealthDown && len(d.Residents) > 0 {
 			specs, _ := fa.f.Displace(d.Index)
+			s.fleetDisplaceLocked(d.Index, specs, fa.f.Clock())
+		}
+		// Same for a crash between a Degrade record and its displacement
+		// records: shed the memory overflow with the same HP-last,
+		// newest-first selection the live run used, so the recovered
+		// resident set matches it bit-exactly.
+		if d.Health == fleet.HealthDegraded && len(d.Residents) > 0 {
+			specs, _ := fa.f.DisplaceOverflow(d.Index)
 			s.fleetDisplaceLocked(d.Index, specs, fa.f.Clock())
 		}
 	}

@@ -31,6 +31,15 @@ type FleetDeviceStatus struct {
 	// Displaced is how many residents a drain displaced (drain
 	// responses only).
 	Displaced int `json:"displaced,omitempty"`
+	// Haircut/MemFactor are the gray-failure capacity factors (set only
+	// while Health == "degraded"); FlapCount the health transitions
+	// inside the flap window; Quarantined/QuarantineReason the
+	// flap-detector latch.
+	Haircut          []float64 `json:"haircut,omitempty"`
+	MemFactor        float64   `json:"mem_factor,omitempty"`
+	FlapCount        int       `json:"flap_count,omitempty"`
+	Quarantined      bool      `json:"quarantined,omitempty"`
+	QuarantineReason string    `json:"quarantine_reason,omitempty"`
 }
 
 // FleetChaosStatus is the wire-level view of the failure process.
@@ -44,16 +53,33 @@ type FleetChaosStatus struct {
 }
 
 func fleetDeviceStatus(d *fleet.Device) FleetDeviceStatus {
-	return FleetDeviceStatus{
-		Index:        d.Index,
-		ID:           d.ID,
-		Class:        d.Class.Name,
-		Health:       d.Health.String(),
-		Cordoned:     d.Cordoned,
-		Residents:    append([]string(nil), d.Residents...),
-		MemUsedBytes: d.MemUsed,
-		MemCapBytes:  d.Class.MemoryBytes,
+	st := FleetDeviceStatus{
+		Index:            d.Index,
+		ID:               d.ID,
+		Class:            d.Class.Name,
+		Health:           d.Health.String(),
+		Cordoned:         d.Cordoned,
+		Residents:        append([]string(nil), d.Residents...),
+		MemUsedBytes:     d.MemUsed,
+		MemCapBytes:      d.EffMemoryBytes(),
+		FlapCount:        len(d.FlapTicks),
+		Quarantined:      d.Quarantined,
+		QuarantineReason: d.QuarantineReason,
 	}
+	if d.Health == fleet.HealthDegraded {
+		st.Haircut = haircutSlice(d.Haircut)
+		st.MemFactor = d.MemFactor
+	}
+	return st
+}
+
+// haircutSlice flattens a fleet.Vector into the wire/journal form.
+func haircutSlice(v fleet.Vector) []float64 {
+	out := make([]float64, fleet.NumResources)
+	for r := 0; r < fleet.NumResources; r++ {
+		out[r] = v[r]
+	}
+	return out
 }
 
 // fleetChaosTicker advances the failure process on a wall-clock ticker.
@@ -89,10 +115,75 @@ func (s *Server) fleetChaosStepLocked() {
 	evs := fa.chaos.Step()
 	tick := fa.chaos.StepCount()
 	for _, ev := range evs {
-		s.fleetApplyHealthLocked(ev.Device, ev.To, tick)
+		if ev.To == fleet.HealthDegraded {
+			s.fleetApplyDegradeLocked(ev, tick)
+		} else {
+			s.fleetApplyHealthLocked(ev.Device, ev.To, tick)
+		}
 	}
+	s.fleetTickHealthLocked(tick)
 	s.fleetRetryPendingLocked()
 	s.fleetGaugesLocked()
+}
+
+// fleetApplyDegradeLocked journals one gray-failure transition (the
+// absolute capacity factors travel in the record, stamped with the
+// fleet schema version), applies the haircut, and displaces the memory
+// overflow. Journal-before-apply as everywhere: a crash in between is
+// healed by recovery's degraded-overflow sweep. Callers hold fa.mu.
+func (s *Server) fleetApplyDegradeLocked(ev fleet.HealthEvent, tick int64) {
+	fa := s.fleet
+	devs := fa.f.Devices()
+	if ev.Device < 0 || ev.Device >= len(devs) {
+		return
+	}
+	d := devs[ev.Device]
+	s.journalFleetHealth(journal.Record{
+		Op:        journal.OpFleetDegrade,
+		ID:        d.ID,
+		Device:    ev.Device,
+		Time:      time.Now(),
+		State:     "degraded",
+		Tick:      tick,
+		Haircut:   haircutSlice(ev.Haircut),
+		MemFactor: ev.MemFactor,
+		Schema:    journal.FleetSchemaVersion,
+	})
+	displaced, err := fa.f.ApplyDegrade(ev.Device, ev.Haircut, ev.MemFactor, tick)
+	if err != nil {
+		return // factors come from the chaos process; unreachable
+	}
+	s.fleetDisplaceLocked(ev.Device, displaced, tick)
+}
+
+// fleetTickHealthLocked advances the flap detector and journals each
+// quarantine latch change so recovery restores the latch verbatim.
+// Callers hold fa.mu.
+func (s *Server) fleetTickHealthLocked(tick int64) {
+	fa := s.fleet
+	fa.f.TickHealth(tick)
+	devs := fa.f.Devices()
+	for _, q := range fa.f.TakeQuarantineEvents() {
+		state := "unquarantine"
+		if q.On {
+			state = "quarantine"
+			s.cFleetQuarantined.Inc()
+		}
+		var id string
+		if q.Device >= 0 && q.Device < len(devs) {
+			id = devs[q.Device].ID
+		}
+		s.journalFleetHealth(journal.Record{
+			Op:     journal.OpFleetHealth,
+			ID:     id,
+			Device: q.Device,
+			Time:   time.Now(),
+			State:  state,
+			Tick:   q.Tick,
+			Error:  q.Reason,
+			Schema: journal.FleetSchemaVersion,
+		})
+	}
 }
 
 // fleetApplyHealthLocked journals one device health transition, applies
@@ -340,15 +431,23 @@ func (s *Server) fleetHealthImage() *journal.FleetHealth {
 		Domains: fa.f.DomainFailures(),
 	}
 	for _, d := range fa.f.Devices() {
-		if d.Health == fleet.HealthHealthy && !d.Cordoned {
+		if d.Health == fleet.HealthHealthy && !d.Cordoned && !d.Quarantined && len(d.FlapTicks) == 0 {
 			continue
 		}
-		h.Devices = append(h.Devices, journal.DeviceHealth{
-			Device:   d.Index,
-			ID:       d.ID,
-			Health:   d.Health.String(),
-			Cordoned: d.Cordoned,
-		})
+		dh := journal.DeviceHealth{
+			Device:      d.Index,
+			ID:          d.ID,
+			Health:      d.Health.String(),
+			Cordoned:    d.Cordoned,
+			FlapTicks:   append([]int64(nil), d.FlapTicks...),
+			Quarantined: d.Quarantined,
+			Reason:      d.QuarantineReason,
+		}
+		if d.Health == fleet.HealthDegraded {
+			dh.Haircut = haircutSlice(d.Haircut)
+			dh.MemFactor = d.MemFactor
+		}
+		h.Devices = append(h.Devices, dh)
 	}
 	if h.Step == 0 && !h.Started && len(h.Devices) == 0 && len(h.Domains) == 0 {
 		return nil

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// grayTestProfile is a bounded storm dominated by gray events: hard
+// failures rare, ~1 degradation per step across the 8 devices, and
+// flapping hot enough to latch the armed detector. Deterministic per
+// seed, so the quiesced end state (including which devices sit degraded
+// or quarantined at exhaustion) is pinned.
+const grayTestProfile = "mtbf=120,mttr=6,suspect=1,probation=3,pnode=5,deadline=12,backoff=4," +
+	"dmtbf=6,dmttr=5,dsteps=2,pflap=60,flapwin=16,flapthresh=4,steps=60,seed=3"
+
+func grayStormConfig(dir string) Config {
+	cfg := chaosFleetConfig(dir, grayTestProfile)
+	cfg.FleetSpec = stormTestSpec
+	return cfg
+}
+
+// grayWorldState extends the storm digest with everything the gray
+// model adds: haircut vectors, memory factors, effective memory
+// capacity, windowed flap counts, and quarantine latches.
+func grayWorldState(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	var b bytes.Buffer
+	for _, d := range getFleetDevices(t, ts) {
+		fmt.Fprintf(&b, "dev%d health=%s haircut=%v memfactor=%v memcap=%d flaps=%d quarantined=%v reason=%q residents=%v\n",
+			d.Index, d.Health, d.Haircut, d.MemFactor, d.MemCapBytes, d.FlapCount,
+			d.Quarantined, d.QuarantineReason, d.Residents)
+	}
+	fmt.Fprintf(&b, "hash=%s\n", getFleetStatus(t, ts).PlacementHash)
+	resp, err := http.Get(ts.URL + "/v1/fleet/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jobs []FleetJobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		fmt.Fprintf(&b, "job %s state=%s\n", j.ID, j.State)
+	}
+	return b.String()
+}
+
+// TestFleetGrayStormExposesDegradation runs the gray storm end to end
+// in process and checks the operator surface: degraded devices appear
+// on GET /v1/fleet/devices with their haircut factors and shrunken
+// memory capacity, flap quarantines carry an operator-visible reason,
+// and the new gauges/counters move.
+func TestFleetGrayStormExposesDegradation(t *testing.T) {
+	s := mustNew(t, grayStormConfig(""))
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, resp := postFleetJobs(t, ts, stormJobs()); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	postFleetOp(t, ts, "/v1/fleet/chaos/start", nil)
+	awaitChaos(t, ts, func(st FleetChaosStatus) bool { return st.Exhausted }, "exhaustion")
+
+	var degraded, quarantined, flapped int
+	for _, d := range getFleetDevices(t, ts) {
+		if d.Health == "degraded" {
+			degraded++
+			if len(d.Haircut) != 4 || !(d.MemFactor > 0) || d.MemFactor > 1 {
+				t.Fatalf("degraded device %d factors malformed: %+v", d.Index, d)
+			}
+			if d.MemFactor < 1 && d.MemCapBytes >= 16<<30 {
+				t.Fatalf("degraded device %d memory capacity not shrunk: %+v", d.Index, d)
+			}
+		} else if len(d.Haircut) != 0 || d.MemFactor != 0 {
+			t.Fatalf("non-degraded device %d leaks haircut fields: %+v", d.Index, d)
+		}
+		if d.Quarantined {
+			quarantined++
+			if !strings.Contains(d.QuarantineReason, "flap-quarantine") {
+				t.Fatalf("quarantine without reason: %+v", d)
+			}
+		}
+		if d.FlapCount > 0 {
+			flapped++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("gray storm quiesced with no degraded device (profile drifted?)")
+	}
+	if quarantined == 0 && flapped == 0 {
+		t.Fatal("gray storm quiesced with no flap-detector traces")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	body := buf.String()
+	for _, want := range []string{
+		"orion_serve_fleet_degraded_devices",
+		"orion_serve_fleet_capacity_haircut_ratio",
+		"orion_serve_fleet_flap_quarantines_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(body, "orion_serve_fleet_flap_quarantines_total 0\n") {
+		t.Error("flap quarantine counter never moved")
+	}
+	if strings.Contains(body, "orion_serve_fleet_degraded_devices 0\n") {
+		t.Error("degraded-devices gauge never moved")
+	}
+}
+
+// TestFleetGrayStormRecoveryBitIdentical is the in-process twin of the
+// fleet-gray drill: the same bounded gray storm runs once straight
+// through and once interrupted by a mid-storm restart, and both
+// quiesced worlds — haircut factors, effective capacities, flap
+// counters, quarantine reasons, placements — must match byte for byte.
+func TestFleetGrayStormRecoveryBitIdentical(t *testing.T) {
+	run := func(interrupt bool) string {
+		dir := t.TempDir()
+		s := mustNew(t, grayStormConfig(dir))
+		ts := httptest.NewServer(s.Handler())
+		if _, resp := postFleetJobs(t, ts, stormJobs()); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit = %d", resp.StatusCode)
+		}
+		var cst FleetChaosStatus
+		if r := postFleetOp(t, ts, "/v1/fleet/chaos/start", &cst); r.StatusCode != http.StatusOK || !cst.Armed {
+			t.Fatalf("chaos start = %d %+v", r.StatusCode, cst)
+		}
+		if interrupt {
+			awaitChaos(t, ts, func(st FleetChaosStatus) bool { return st.Step >= 20 }, "step 20")
+			ts.Close()
+			if err := s.Shutdown(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			s = mustNew(t, grayStormConfig(dir))
+			ts = httptest.NewServer(s.Handler())
+			if st := getChaosStatus(t, ts); !st.Armed {
+				t.Fatalf("recovered daemon lost the armed storm: %+v", st)
+			}
+		}
+		awaitChaos(t, ts, func(st FleetChaosStatus) bool { return st.Exhausted }, "exhaustion")
+		world := grayWorldState(t, ts)
+		ts.Close()
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return world
+	}
+
+	straight := run(false)
+	interrupted := run(true)
+	if straight != interrupted {
+		t.Fatalf("gray storm outcomes diverged across mid-storm restart:\n--- straight ---\n%s--- interrupted ---\n%s", straight, interrupted)
+	}
+	if !strings.Contains(straight, "health=degraded") {
+		t.Fatalf("gray storm never left a degraded device in the digest:\n%s", straight)
+	}
+}

@@ -129,8 +129,17 @@ func (s *Server) openJournal() ([]*job, error) {
 	// first. With the fleet disabled the records still survive compaction
 	// below, so restarting without -fleet does not destroy acknowledged
 	// placements or failure history.
-	fleetImages := journal.ReduceFleet(recs)
-	fleetHealth := journal.ReduceFleetHealth(recs)
+	fleetImages, err := journal.ReduceFleet(recs)
+	if err != nil {
+		// A *SchemaError: the journal holds fleet records from a newer
+		// build. Recovering through fields this build cannot read would
+		// corrupt placement state — fail startup instead.
+		return nil, err
+	}
+	fleetHealth, err := journal.ReduceFleetHealth(recs)
+	if err != nil {
+		return nil, err
+	}
 	if s.fleet != nil {
 		s.recoverFleet(fleetImages, fleetHealth)
 		fleetImages = s.fleetImages()

@@ -225,20 +225,23 @@ type Server struct {
 	// fleet is non-nil when Config.FleetSpec enables the cluster-scale
 	// placement subsystem; its metrics register unconditionally so the
 	// series exist (at zero) even on fleet-less daemons.
-	fleet           *fleetAPI
-	hFleetPlace     *metrics.Histogram
-	gFleetDevices   *metrics.Gauge
-	gFleetFrag      *metrics.Gauge
-	gFleetPending   *metrics.Gauge
-	cFleetSubmitted *metrics.Counter
-	cFleetEvicted   *metrics.Counter
-	cFleetPreempted *metrics.Counter
-	gFleetDown      *metrics.Gauge
-	gFleetChaosStep *metrics.Gauge
-	cFleetDisplaced *metrics.Counter
-	cFleetReplaced  *metrics.Counter
-	cFleetFailed    *metrics.Counter
-	hFleetReplace   *metrics.Histogram
+	fleet             *fleetAPI
+	hFleetPlace       *metrics.Histogram
+	gFleetDevices     *metrics.Gauge
+	gFleetFrag        *metrics.Gauge
+	gFleetPending     *metrics.Gauge
+	cFleetSubmitted   *metrics.Counter
+	cFleetEvicted     *metrics.Counter
+	cFleetPreempted   *metrics.Counter
+	gFleetDown        *metrics.Gauge
+	gFleetChaosStep   *metrics.Gauge
+	cFleetDisplaced   *metrics.Counter
+	cFleetReplaced    *metrics.Counter
+	cFleetFailed      *metrics.Counter
+	gFleetDegraded    *metrics.Gauge
+	gFleetHaircut     *metrics.Gauge
+	cFleetQuarantined *metrics.Counter
+	hFleetReplace     *metrics.Histogram
 
 	// testBlock, when non-nil, parks every worker after it marks its job
 	// running until the channel closes — lets tests pin the pool in a
@@ -317,6 +320,12 @@ func New(cfg Config) (*Server, error) {
 			"Displaced fleet jobs successfully re-placed.", nil),
 		cFleetFailed: reg.Counter("orion_serve_fleet_failed_jobs_total",
 			"Displaced fleet jobs that exhausted their re-place deadline.", nil),
+		gFleetDegraded: reg.Gauge("orion_serve_fleet_degraded_devices",
+			"Fleet devices in the Degraded (gray-failure) state: up and serving under a capacity haircut.", nil),
+		gFleetHaircut: reg.Gauge("orion_serve_fleet_capacity_haircut_ratio",
+			"Aggregate effective/raw capacity ratio across the fleet (1.0 = no gray failures).", nil),
+		cFleetQuarantined: reg.Counter("orion_serve_fleet_flap_quarantines_total",
+			"Devices quarantined by the flap detector (too many health transitions in the window).", nil),
 		hFleetReplace: reg.Histogram("orion_serve_fleet_replacement_seconds",
 			"Wall-clock time from displacement to successful re-placement.",
 			[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}, nil),
